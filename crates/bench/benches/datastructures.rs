@@ -1,0 +1,28 @@
+//! Criterion bench: concurrent data-structure throughput (the executable
+//! microbenchmark workloads).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use estima_workloads::{ExecutableWorkload, MicrobenchKind, MicrobenchWorkload};
+
+fn bench_microbenchmarks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("microbench_ops");
+    group.sample_size(10);
+    for kind in [
+        MicrobenchKind::LockedHashMap,
+        MicrobenchKind::LockFreeHashMap,
+        MicrobenchKind::LockedOrderedSet,
+    ] {
+        for threads in [1usize, 4] {
+            let mut workload = MicrobenchWorkload::new(kind);
+            workload.ops_per_thread = 10_000;
+            let label = format!("{}_{}t", workload.name().replace(' ', "_"), threads);
+            group.bench_with_input(BenchmarkId::from_parameter(label), &threads, |b, &t| {
+                b.iter(|| workload.run(t))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_microbenchmarks);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench: kernel fitting throughput.
+//!
+//! Measures how fast each Table 1 kernel can be fitted to a 12-point series
+//! (the size ESTIMA deals with when measuring one Opteron socket) and the
+//! cost of the full model-selection loop (`approximate_series`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use estima_core::{approximate_series, fit_kernel, FitOptions, KernelKind};
+
+fn series() -> (Vec<f64>, Vec<f64>) {
+    let xs: Vec<f64> = (1..=12).map(|c| c as f64).collect();
+    let ys: Vec<f64> = xs.iter().map(|x| 1.0e9 + 2.0e7 * x + 5.0e5 * x * x).collect();
+    (xs, ys)
+}
+
+fn bench_single_kernels(c: &mut Criterion) {
+    let (xs, ys) = series();
+    let mut group = c.benchmark_group("fit_kernel");
+    group.sample_size(30);
+    for kernel in KernelKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kernel.name()), &kernel, |b, &k| {
+            b.iter(|| fit_kernel(k, std::hint::black_box(&xs), std::hint::black_box(&ys)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_model_selection(c: &mut Criterion) {
+    let (xs, ys) = series();
+    let options = FitOptions::default();
+    let mut group = c.benchmark_group("approximate_series");
+    group.sample_size(20);
+    group.bench_function("12_points_all_kernels", |b| {
+        b.iter(|| {
+            approximate_series(
+                std::hint::black_box(&xs),
+                std::hint::black_box(&ys),
+                "bench",
+                &options,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_kernels, bench_model_selection);
+criterion_main!(benches);

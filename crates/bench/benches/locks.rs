@@ -1,0 +1,45 @@
+//! Criterion bench: spinlock scalability under contention.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use estima_sync::{ArrayLock, RawLock, SpinMutex, TasLock, TicketLock, TtasLock};
+
+fn hammer<L: RawLock + 'static>(threads: usize, iters_per_thread: usize) -> u64 {
+    let mutex = Arc::new(SpinMutex::<u64, L>::new(0));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let mutex = Arc::clone(&mutex);
+            scope.spawn(move || {
+                for _ in 0..iters_per_thread {
+                    *mutex.lock() += 1;
+                }
+            });
+        }
+    });
+    let value = *mutex.lock();
+    value
+}
+
+fn bench_locks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lock_contention");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("tas", threads), &threads, |b, &t| {
+            b.iter(|| hammer::<TasLock>(t, 2_000))
+        });
+        group.bench_with_input(BenchmarkId::new("ttas", threads), &threads, |b, &t| {
+            b.iter(|| hammer::<TtasLock>(t, 2_000))
+        });
+        group.bench_with_input(BenchmarkId::new("ticket", threads), &threads, |b, &t| {
+            b.iter(|| hammer::<TicketLock>(t, 2_000))
+        });
+        group.bench_with_input(BenchmarkId::new("anderson", threads), &threads, |b, &t| {
+            b.iter(|| hammer::<ArrayLock>(t, 2_000))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_locks);
+criterion_main!(benches);

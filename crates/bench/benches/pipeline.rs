@@ -1,0 +1,51 @@
+//! Criterion bench: end-to-end prediction latency.
+//!
+//! How long does it take ESTIMA to go from a 12-core measurement set to a
+//! 48-core prediction? This is the latency a user of the tool experiences.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use estima_core::{Estima, EstimaConfig, TargetSpec};
+use estima_counters::{collect_up_to, SimulatedCounterSource};
+use estima_machine::MachineDescriptor;
+use estima_workloads::WorkloadId;
+
+fn bench_prediction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predict_12_to_48");
+    group.sample_size(10);
+    for workload in [WorkloadId::Intruder, WorkloadId::Raytrace, WorkloadId::Memcached] {
+        let mut source =
+            SimulatedCounterSource::new(MachineDescriptor::opteron48(), workload.profile());
+        let set = collect_up_to(&mut source, workload.name(), 12);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workload.name()),
+            &set,
+            |b, set| {
+                let estima = Estima::new(EstimaConfig::default());
+                b.iter(|| {
+                    estima
+                        .predict(std::hint::black_box(set), &TargetSpec::cores(48))
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_collection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collect_measurements");
+    group.sample_size(20);
+    group.bench_function("opteron_12_cores", |b| {
+        b.iter(|| {
+            let mut source = SimulatedCounterSource::new(
+                MachineDescriptor::opteron48(),
+                WorkloadId::Intruder.profile(),
+            );
+            collect_up_to(&mut source, "intruder", 12)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_prediction, bench_collection);
+criterion_main!(benches);

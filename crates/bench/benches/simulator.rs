@@ -1,0 +1,34 @@
+//! Criterion bench: machine-simulator throughput (single runs and sweeps).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use estima_machine::{MachineDescriptor, Simulator};
+use estima_workloads::WorkloadId;
+
+fn bench_single_run(c: &mut Criterion) {
+    let simulator = Simulator::new(MachineDescriptor::opteron48());
+    let mut group = c.benchmark_group("simulator_run");
+    group.sample_size(50);
+    for workload in [WorkloadId::Intruder, WorkloadId::Streamcluster, WorkloadId::Memcached] {
+        let profile = workload.profile();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workload.name()),
+            &profile,
+            |b, profile| b.iter(|| simulator.run(std::hint::black_box(profile), 48)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let simulator = Simulator::new(MachineDescriptor::opteron48());
+    let profile = WorkloadId::Kmeans.profile();
+    let mut group = c.benchmark_group("simulator_sweep");
+    group.sample_size(30);
+    group.bench_function("kmeans_1_to_48", |b| {
+        b.iter(|| simulator.sweep(std::hint::black_box(&profile), 48))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_run, bench_sweep);
+criterion_main!(benches);

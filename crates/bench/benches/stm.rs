@@ -1,0 +1,58 @@
+//! Criterion bench: STM commit/abort throughput.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use estima_stm::{Stm, TVar};
+
+fn bench_uncontended_commits(c: &mut Criterion) {
+    let stm = Stm::new();
+    let var = TVar::new(0u64);
+    let mut group = c.benchmark_group("stm_single_thread");
+    group.sample_size(30);
+    group.bench_function("read_modify_write", |b| {
+        b.iter(|| stm.atomically("bench", |txn| txn.modify(&var, |v| v + 1)))
+    });
+    group.bench_function("read_only_5_vars", |b| {
+        let vars: Vec<TVar<u64>> = (0..5).map(TVar::new).collect();
+        b.iter(|| {
+            stm.atomically("bench_ro", |txn| {
+                let mut sum = 0;
+                for v in &vars {
+                    sum += txn.read(v)?;
+                }
+                Ok(sum)
+            })
+        })
+    });
+    group.finish();
+}
+
+fn bench_contended_counter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stm_contended_counter");
+    group.sample_size(10);
+    for threads in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
+            b.iter(|| {
+                let stm = Arc::new(Stm::new());
+                let counter = Arc::new(TVar::new(0u64));
+                std::thread::scope(|scope| {
+                    for _ in 0..threads {
+                        let stm = Arc::clone(&stm);
+                        let counter = Arc::clone(&counter);
+                        scope.spawn(move || {
+                            for _ in 0..500 {
+                                stm.atomically("bench_inc", |txn| txn.modify(&counter, |v| v + 1));
+                            }
+                        });
+                    }
+                });
+                counter.read_atomic()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_uncontended_commits, bench_contended_counter);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! reproduce all            # every experiment
+//! reproduce table4 fig8    # a selection
+//! reproduce --list         # available experiment ids
+//! ```
+//!
+//! Each report is printed to stdout and also written to
+//! `target/experiments/<id>.md`.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: reproduce [--list] <all | experiment-id ...>");
+        eprintln!("experiments: {}", estima_bench::all_ids().join(", "));
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    if args.iter().any(|a| a == "--list") {
+        for id in estima_bench::all_ids() {
+            println!("{id}");
+        }
+        return;
+    }
+
+    let ids: Vec<String> = if args.iter().any(|a| a == "all") {
+        estima_bench::all_ids().iter().map(|s| s.to_string()).collect()
+    } else {
+        args
+    };
+
+    let out_dir = PathBuf::from("target/experiments");
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("warning: cannot create {}: {e}", out_dir.display());
+    }
+
+    let mut failures = 0;
+    for id in &ids {
+        eprintln!("==> running {id}");
+        match estima_bench::run(id) {
+            Some(report) => {
+                let markdown = report.to_markdown();
+                println!("{markdown}");
+                let path = out_dir.join(format!("{id}.md"));
+                match std::fs::File::create(&path) {
+                    Ok(mut file) => {
+                        if let Err(e) = file.write_all(markdown.as_bytes()) {
+                            eprintln!("warning: failed to write {}: {e}", path.display());
+                        }
+                    }
+                    Err(e) => eprintln!("warning: failed to create {}: {e}", path.display()),
+                }
+            }
+            None => {
+                eprintln!("error: unknown experiment id `{id}`");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

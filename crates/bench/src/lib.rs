@@ -1,0 +1,28 @@
+//! # estima-bench
+//!
+//! The experiment harness of the ESTIMA reproduction: one function per table
+//! and figure of the paper's evaluation, a shared [`harness`] for wiring
+//! workloads to machines and predictions, and [`report`] types for rendering
+//! the regenerated rows and series.
+//!
+//! Run everything with the `reproduce` binary:
+//!
+//! ```text
+//! cargo run -p estima-bench --bin reproduce --release -- all
+//! cargo run -p estima-bench --bin reproduce --release -- table4 fig8
+//! ```
+//!
+//! Reports are printed to stdout and written under `target/experiments/`.
+//! The Criterion benches in `benches/` cover the performance of the tool
+//! itself and of every substrate (fitting throughput, prediction latency,
+//! STM, locks, concurrent data structures, the simulator engine).
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+pub mod report;
+
+pub use experiments::{all_ids, run};
+pub use harness::Scenario;
+pub use report::{Report, Section};

@@ -1,0 +1,201 @@
+//! Bottleneck identification from extrapolated stall categories (§4.6).
+//!
+//! After a prediction, the per-category extrapolations tell us which stall
+//! categories will dominate at high core counts — before the slowdown is
+//! observable on the measurements machine. The paper uses this to point
+//! developers at the PARSEC barrier mutexes in `streamcluster` and the
+//! contended shared structure behind `TMDECODER_PROCESS` in `intruder`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::measurement::{StallCategory, StallSource};
+use crate::predictor::Prediction;
+
+/// One entry of a bottleneck report: a stall category and how much it is
+/// predicted to matter at the target core count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BottleneckEntry {
+    /// The stall category.
+    pub category: StallCategory,
+    /// Predicted total cycles at the analysed core count.
+    pub predicted_cycles: f64,
+    /// Share of all predicted stall cycles at the analysed core count (0..1).
+    pub share: f64,
+    /// Growth factor: predicted cycles at the analysed core count divided by
+    /// the measured cycles at the largest measured core count. Categories
+    /// with both a high share and a high growth factor are the ones to fix.
+    pub growth_factor: f64,
+}
+
+/// A ranked bottleneck report at a specific core count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BottleneckReport {
+    /// Application the report is for.
+    pub app_name: String,
+    /// Core count the shares and growth factors are computed at.
+    pub at_cores: u32,
+    /// Entries sorted by descending share.
+    pub entries: Vec<BottleneckEntry>,
+}
+
+impl BottleneckReport {
+    /// Build a report from a prediction, analysed at `at_cores` (typically
+    /// the target machine size).
+    pub fn from_prediction(prediction: &Prediction, at_cores: u32) -> Self {
+        let total: f64 = prediction
+            .categories
+            .iter()
+            .filter_map(|c| c.at(at_cores))
+            .sum();
+        let mut entries: Vec<BottleneckEntry> = prediction
+            .categories
+            .iter()
+            .filter_map(|c| {
+                let predicted = c.at(at_cores)?;
+                let measured_last = c.measured.last().map(|(_, v)| *v).unwrap_or(0.0);
+                let growth = if measured_last > 0.0 {
+                    predicted / measured_last
+                } else {
+                    f64::INFINITY
+                };
+                Some(BottleneckEntry {
+                    category: c.category.clone(),
+                    predicted_cycles: predicted,
+                    share: if total > 0.0 { predicted / total } else { 0.0 },
+                    growth_factor: growth,
+                })
+            })
+            .collect();
+        entries.sort_by(|a, b| b.share.partial_cmp(&a.share).unwrap_or(std::cmp::Ordering::Equal));
+        BottleneckReport {
+            app_name: prediction.app_name.clone(),
+            at_cores,
+            entries,
+        }
+    }
+
+    /// The single most significant category, if any.
+    pub fn dominant(&self) -> Option<&BottleneckEntry> {
+        self.entries.first()
+    }
+
+    /// Entries restricted to software-reported categories — these carry code
+    /// location hints (e.g. `stm.abort.process_packets`) and point directly
+    /// at the responsible synchronisation site.
+    pub fn software_entries(&self) -> Vec<&BottleneckEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.category.source == StallSource::Software)
+            .collect()
+    }
+
+    /// Entries whose predicted share exceeds `threshold` *and* whose growth
+    /// factor exceeds `growth_threshold` — the "future bottlenecks" the paper
+    /// talks about: not dominant yet on the measurements machine, dominant on
+    /// the target.
+    pub fn future_bottlenecks(&self, threshold: f64, growth_threshold: f64) -> Vec<&BottleneckEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.share >= threshold && e.growth_factor >= growth_threshold)
+            .collect()
+    }
+
+    /// Render the report as human-readable text.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Bottleneck report for `{}` at {} cores\n",
+            self.app_name, self.at_cores
+        ));
+        out.push_str(&format!(
+            "{:<40} {:>16} {:>8} {:>8}\n",
+            "category", "pred. cycles", "share", "growth"
+        ));
+        for e in &self.entries {
+            out.push_str(&format!(
+                "{:<40} {:>16.3e} {:>7.1}% {:>7.1}x\n",
+                e.category.to_string(),
+                e.predicted_cycles,
+                e.share * 100.0,
+                e.growth_factor
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{EstimaConfig, TargetSpec};
+    use crate::measurement::{Measurement, MeasurementSet};
+    use crate::predictor::Estima;
+
+    fn prediction_with_growing_lock_stalls() -> Prediction {
+        let mut set = MeasurementSet::new("locky", 2.1);
+        for cores in 1..=12u32 {
+            let n = cores as f64;
+            let compute = 1.0e8 * n; // grows linearly with cores
+            let lock = 5.0e5 * n * n * n; // superlinear: the future bottleneck
+            let time = 10.0 / n + 1.0e-9 * (compute + lock) / n;
+            set.push(
+                Measurement::new(cores, time)
+                    .with_stall(StallCategory::backend("rob_full"), compute)
+                    .with_stall(StallCategory::software("lock.barrier_wait"), lock),
+            );
+        }
+        Estima::new(EstimaConfig::default())
+            .predict(&set, &TargetSpec::cores(48))
+            .unwrap()
+    }
+
+    #[test]
+    fn report_ranks_by_share() {
+        let p = prediction_with_growing_lock_stalls();
+        let report = BottleneckReport::from_prediction(&p, 48);
+        assert!(!report.entries.is_empty());
+        for pair in report.entries.windows(2) {
+            assert!(pair[0].share >= pair[1].share);
+        }
+        let total_share: f64 = report.entries.iter().map(|e| e.share).sum();
+        assert!((total_share - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn superlinear_category_dominates_at_scale() {
+        let p = prediction_with_growing_lock_stalls();
+        let report = BottleneckReport::from_prediction(&p, 48);
+        let dominant = report.dominant().unwrap();
+        assert_eq!(dominant.category.name, "lock.barrier_wait");
+        assert!(dominant.share > 0.5, "share {}", dominant.share);
+        assert!(dominant.growth_factor > 5.0);
+    }
+
+    #[test]
+    fn software_entries_filtered() {
+        let p = prediction_with_growing_lock_stalls();
+        let report = BottleneckReport::from_prediction(&p, 48);
+        let sw = report.software_entries();
+        assert_eq!(sw.len(), 1);
+        assert_eq!(sw[0].category.source, StallSource::Software);
+    }
+
+    #[test]
+    fn future_bottlenecks_requires_share_and_growth() {
+        let p = prediction_with_growing_lock_stalls();
+        let report = BottleneckReport::from_prediction(&p, 48);
+        let future = report.future_bottlenecks(0.3, 2.0);
+        assert!(future.iter().any(|e| e.category.name == "lock.barrier_wait"));
+        // An absurd threshold returns nothing.
+        assert!(report.future_bottlenecks(1.1, 1.0).is_empty());
+    }
+
+    #[test]
+    fn text_report_mentions_every_category() {
+        let p = prediction_with_growing_lock_stalls();
+        let report = BottleneckReport::from_prediction(&p, 48);
+        let text = report.to_text();
+        assert!(text.contains("lock.barrier_wait"));
+        assert!(text.contains("rob_full"));
+    }
+}

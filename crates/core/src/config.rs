@@ -1,0 +1,163 @@
+//! Configuration of the ESTIMA prediction pipeline.
+
+use crate::fit::FitOptions;
+use crate::kernels::KernelKind;
+use crate::measurement::StallSource;
+
+/// The target of a prediction: what machine (and dataset) we extrapolate to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TargetSpec {
+    /// Number of cores on the target machine.
+    pub cores: u32,
+    /// Clock frequency of the target machine in GHz. When it differs from the
+    /// measurements machine, measured execution times are scaled by the
+    /// frequency ratio before the stall/time correlation step (§4.3).
+    pub frequency_ghz: Option<f64>,
+    /// Dataset scale factor for weak-scaling predictions (§4.5). A value of
+    /// 2.0 means the target run uses a dataset twice as large; extrapolated
+    /// stall values are scaled accordingly. Strong scaling uses 1.0.
+    pub dataset_scale: f64,
+}
+
+impl TargetSpec {
+    /// Strong-scaling target with the given core count, same frequency and
+    /// dataset as the measurements machine.
+    pub fn cores(cores: u32) -> Self {
+        TargetSpec {
+            cores,
+            frequency_ghz: None,
+            dataset_scale: 1.0,
+        }
+    }
+
+    /// Set the target machine frequency in GHz.
+    pub fn with_frequency_ghz(mut self, ghz: f64) -> Self {
+        self.frequency_ghz = Some(ghz);
+        self
+    }
+
+    /// Set the dataset scale factor (weak scaling).
+    pub fn with_dataset_scale(mut self, scale: f64) -> Self {
+        self.dataset_scale = scale;
+        self
+    }
+}
+
+/// Configuration of the ESTIMA predictor.
+#[derive(Debug, Clone)]
+pub struct EstimaConfig {
+    /// Include software-reported stall categories (lock spinning, barrier
+    /// waits, aborted STM transaction cycles) in the extrapolation. Software
+    /// stalls are optional in the paper but significantly improve accuracy
+    /// for synchronisation-heavy applications (§5.3, Fig 13).
+    pub use_software_stalls: bool,
+    /// Include frontend hardware stalls. Off by default — the paper shows
+    /// they add no information and can hurt (§5.2, Table 6). Exposed for the
+    /// Table 6 ablation.
+    pub use_frontend_stalls: bool,
+    /// Options for the per-category regression step (§3.1.2): kernels,
+    /// checkpoint counts, prefix refitting, Levenberg–Marquardt settings.
+    pub fit: FitOptions,
+    /// Minimum number of measurements required before predicting.
+    pub min_measurements: usize,
+}
+
+impl Default for EstimaConfig {
+    fn default() -> Self {
+        EstimaConfig {
+            use_software_stalls: true,
+            use_frontend_stalls: false,
+            fit: FitOptions::default(),
+            min_measurements: 4,
+        }
+    }
+}
+
+impl EstimaConfig {
+    /// Configuration using hardware backend stalls only (the paper's default
+    /// when no runtime instrumentation is available).
+    pub fn hardware_only() -> Self {
+        EstimaConfig {
+            use_software_stalls: false,
+            ..EstimaConfig::default()
+        }
+    }
+
+    /// Restrict the kernel set (ablation support).
+    pub fn with_kernels(mut self, kernels: Vec<KernelKind>) -> Self {
+        self.fit.kernels = kernels;
+        self
+    }
+
+    /// Set the checkpoint counts used for model selection.
+    pub fn with_checkpoints(mut self, checkpoints: Vec<usize>) -> Self {
+        self.fit.checkpoint_counts = checkpoints;
+        self
+    }
+
+    /// Enable or disable prefix refitting (the `i in 3..n` loop of §3.1.2).
+    pub fn with_prefix_refitting(mut self, enabled: bool) -> Self {
+        self.fit.prefix_refitting = enabled;
+        self
+    }
+
+    /// The stall sources this configuration draws categories from.
+    pub fn sources(&self) -> Vec<StallSource> {
+        let mut sources = vec![StallSource::HardwareBackend];
+        if self.use_software_stalls {
+            sources.push(StallSource::Software);
+        }
+        if self.use_frontend_stalls {
+            sources.push(StallSource::HardwareFrontend);
+        }
+        sources
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_uses_backend_and_software() {
+        let sources = EstimaConfig::default().sources();
+        assert!(sources.contains(&StallSource::HardwareBackend));
+        assert!(sources.contains(&StallSource::Software));
+        assert!(!sources.contains(&StallSource::HardwareFrontend));
+    }
+
+    #[test]
+    fn hardware_only_excludes_software() {
+        let sources = EstimaConfig::hardware_only().sources();
+        assert_eq!(sources, vec![StallSource::HardwareBackend]);
+    }
+
+    #[test]
+    fn frontend_ablation_adds_source() {
+        let mut cfg = EstimaConfig::default();
+        cfg.use_frontend_stalls = true;
+        assert!(cfg.sources().contains(&StallSource::HardwareFrontend));
+    }
+
+    #[test]
+    fn target_spec_builders() {
+        let t = TargetSpec::cores(48)
+            .with_frequency_ghz(2.8)
+            .with_dataset_scale(2.0);
+        assert_eq!(t.cores, 48);
+        assert_eq!(t.frequency_ghz, Some(2.8));
+        assert_eq!(t.dataset_scale, 2.0);
+    }
+
+    #[test]
+    fn kernel_restriction_applies() {
+        let cfg = EstimaConfig::default().with_kernels(vec![KernelKind::Poly25]);
+        assert_eq!(cfg.fit.kernels, vec![KernelKind::Poly25]);
+    }
+
+    #[test]
+    fn checkpoint_override_applies() {
+        let cfg = EstimaConfig::default().with_checkpoints(vec![2]);
+        assert_eq!(cfg.fit.checkpoint_counts, vec![2]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Error types for the ESTIMA prediction pipeline.
+
+#![allow(missing_docs)] // enum variant fields are described on the variants
+
+use std::fmt;
+
+/// Errors produced by the ESTIMA prediction pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EstimaError {
+    /// Not enough measurements to run the regression step.
+    ///
+    /// The pipeline needs at least `required` measurements (training points
+    /// plus checkpoints) but only `available` were provided.
+    InsufficientMeasurements { required: usize, available: usize },
+    /// The measurement set contains no stall categories at all.
+    NoStallCategories,
+    /// A stall category had measurements for a different set of core counts
+    /// than the execution-time measurements.
+    InconsistentCoreCounts { category: String },
+    /// A measurement contained a non-finite or negative value.
+    InvalidMeasurement { cores: u32, detail: String },
+    /// Every candidate kernel was rejected for a category (all fits diverged
+    /// or produced unrealistic extrapolations).
+    NoViableFit { category: String },
+    /// The target machine has fewer cores than the largest measurement.
+    TargetSmallerThanMeasurements { target: u32, measured: u32 },
+    /// The linear-algebra layer failed (singular system, non-finite values).
+    Numerical(String),
+    /// Configuration was internally inconsistent (e.g. empty kernel set).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for EstimaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EstimaError::InsufficientMeasurements {
+                required,
+                available,
+            } => write!(
+                f,
+                "insufficient measurements: need at least {required}, got {available}"
+            ),
+            EstimaError::NoStallCategories => {
+                write!(f, "measurement set contains no stall categories")
+            }
+            EstimaError::InconsistentCoreCounts { category } => write!(
+                f,
+                "stall category `{category}` was not measured at every core count"
+            ),
+            EstimaError::InvalidMeasurement { cores, detail } => {
+                write!(f, "invalid measurement at {cores} cores: {detail}")
+            }
+            EstimaError::NoViableFit { category } => write!(
+                f,
+                "no extrapolation kernel produced a realistic fit for `{category}`"
+            ),
+            EstimaError::TargetSmallerThanMeasurements { target, measured } => write!(
+                f,
+                "target core count {target} is smaller than largest measured core count {measured}"
+            ),
+            EstimaError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+            EstimaError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EstimaError {}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, EstimaError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_insufficient() {
+        let e = EstimaError::InsufficientMeasurements {
+            required: 5,
+            available: 2,
+        };
+        let s = e.to_string();
+        assert!(s.contains('5') && s.contains('2'));
+    }
+
+    #[test]
+    fn display_all_variants_nonempty() {
+        let variants = vec![
+            EstimaError::InsufficientMeasurements {
+                required: 1,
+                available: 0,
+            },
+            EstimaError::NoStallCategories,
+            EstimaError::InconsistentCoreCounts {
+                category: "rob_full".into(),
+            },
+            EstimaError::InvalidMeasurement {
+                cores: 4,
+                detail: "NaN".into(),
+            },
+            EstimaError::NoViableFit {
+                category: "ls_full".into(),
+            },
+            EstimaError::TargetSmallerThanMeasurements {
+                target: 4,
+                measured: 12,
+            },
+            EstimaError::Numerical("singular".into()),
+            EstimaError::InvalidConfig("no kernels".into()),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&EstimaError::NoStallCategories);
+    }
+}

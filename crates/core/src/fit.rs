@@ -1,0 +1,432 @@
+//! Function approximation: fitting Table 1 kernels to measured series.
+//!
+//! This module implements the regression step of §3.1.2:
+//!
+//! 1. the last `c` measurements (highest core counts) are designated
+//!    *checkpoints* and held out of the fit,
+//! 2. for every prefix `i in 3..=n` of the remaining training points, every
+//!    enabled kernel is fitted to the prefix,
+//! 3. fits that are "not realistic" (poles, negative or non-finite values in
+//!    the extrapolation range) are discarded,
+//! 4. the candidate with the lowest RMSE at the checkpoints wins.
+//!
+//! Linear kernels (`CubicLn`, `Poly25`) are fitted with a QR least-squares
+//! solve; the rational kernels and `ExpRat` are seeded with a linearised
+//! least-squares estimate and refined with Levenberg–Marquardt.
+
+use crate::error::{EstimaError, Result};
+use crate::kernels::{FittedCurve, KernelKind};
+use crate::levenberg::{levenberg_marquardt, LmOptions};
+use crate::linalg::{solve_least_squares_qr, Matrix};
+use crate::stats::rmse;
+
+/// Options for fitting a single series.
+#[derive(Debug, Clone)]
+pub struct FitOptions {
+    /// Kernels to consider (defaults to all six of Table 1).
+    pub kernels: Vec<KernelKind>,
+    /// Candidate checkpoint counts; the paper uses 2 and 4. Each viable value
+    /// (i.e. leaving at least [`FitOptions::min_training_points`] training
+    /// points) is tried and candidates compete across checkpoint counts.
+    pub checkpoint_counts: Vec<usize>,
+    /// Minimum number of training points required for any fit.
+    pub min_training_points: usize,
+    /// Largest core count the fitted curve must stay realistic up to.
+    pub realism_horizon: u32,
+    /// Upper bound on the magnitude a realistic curve may reach inside the
+    /// horizon; guards against explosive extrapolations.
+    pub max_magnitude: f64,
+    /// Upper bound on how much a realistic curve may grow relative to the
+    /// largest training value. Stall categories grow by at most a few tens of
+    /// times when quadrupling the core count; a fit that extrapolates to
+    /// hundreds of times the measured maximum is chasing noise or a pole.
+    pub max_growth_factor: f64,
+    /// Whether to refit on every prefix `i in 3..=n` (the paper's
+    /// anti-over-fitting loop) or only on the full training set.
+    pub prefix_refitting: bool,
+    /// Levenberg–Marquardt options for the nonlinear kernels.
+    pub lm: LmOptions,
+}
+
+impl Default for FitOptions {
+    fn default() -> Self {
+        FitOptions {
+            kernels: KernelKind::ALL.to_vec(),
+            checkpoint_counts: vec![2, 4],
+            min_training_points: 3,
+            realism_horizon: 64,
+            max_magnitude: 1e18,
+            max_growth_factor: 100.0,
+            prefix_refitting: true,
+            lm: LmOptions::default(),
+        }
+    }
+}
+
+/// Fit a single kernel to the series `(xs, ys)` and return its parameters.
+///
+/// Returns an error if the fit diverges or the system is rank deficient.
+pub fn fit_kernel(kernel: KernelKind, xs: &[f64], ys: &[f64]) -> Result<Vec<f64>> {
+    fit_kernel_with(kernel, xs, ys, &LmOptions::default())
+}
+
+/// [`fit_kernel`] with explicit Levenberg–Marquardt options.
+pub fn fit_kernel_with(
+    kernel: KernelKind,
+    xs: &[f64],
+    ys: &[f64],
+    lm: &LmOptions,
+) -> Result<Vec<f64>> {
+    if xs.len() != ys.len() || xs.is_empty() {
+        return Err(EstimaError::Numerical("fit_kernel: bad series".into()));
+    }
+    if kernel.is_linear() {
+        return fit_linear(kernel, xs, ys);
+    }
+    let initial = linearized_initial_guess(kernel, xs, ys)?;
+    let model = move |params: &[f64], x: f64| kernel.eval(params, x);
+    let result = levenberg_marquardt(model, xs, ys, &initial, lm)?;
+    Ok(result.params)
+}
+
+/// Least-squares fit for kernels linear in their parameters.
+///
+/// When the series has fewer points than the kernel has parameters (the
+/// memcached scenario of §4.3 measures only a handful of desktop threads),
+/// the system is under-determined; a lightly ridge-regularised normal-equation
+/// solve picks the minimum-norm-ish solution instead of failing.
+fn fit_linear(kernel: KernelKind, xs: &[f64], ys: &[f64]) -> Result<Vec<f64>> {
+    let rows: Vec<Vec<f64>> = xs.iter().map(|x| kernel.design_row(*x)).collect();
+    let design = Matrix::from_rows(&rows);
+    if design.rows() >= design.cols() {
+        if let Ok(solution) = solve_least_squares_qr(&design, ys) {
+            return Ok(solution);
+        }
+    }
+    // Ridge fallback: (A^T A + λ diag) x = A^T y.
+    let mut gram = design.gram();
+    let n = gram.rows();
+    let scale = (0..n).map(|i| gram[(i, i)]).fold(0.0f64, f64::max).max(1.0);
+    for i in 0..n {
+        gram[(i, i)] += 1e-8 * scale;
+    }
+    let rhs = design.mul_transpose_vec(ys);
+    crate::linalg::solve_cholesky(&gram, &rhs)
+}
+
+/// Linearised initial guess for the nonlinear kernels.
+///
+/// Rational kernels `p(n)/q(n)` with `q(0)=1` satisfy
+/// `y = p(n) - y·(q(n) - 1)`, which is linear in the joint coefficient vector
+/// when the measured `y` is substituted on the right-hand side — the classic
+/// rational-fit linearisation. `ExpRat` is linearised through `ln y`.
+fn linearized_initial_guess(kernel: KernelKind, xs: &[f64], ys: &[f64]) -> Result<Vec<f64>> {
+    let mean_y = ys.iter().sum::<f64>() / ys.len() as f64;
+    match kernel {
+        KernelKind::Rat22 | KernelKind::Rat23 | KernelKind::Rat33 => {
+            let (num_degree, den_degree) = match kernel {
+                KernelKind::Rat22 => (2usize, 2usize),
+                KernelKind::Rat23 => (2, 3),
+                KernelKind::Rat33 => (3, 3),
+                _ => unreachable!(),
+            };
+            let n_params = kernel.param_count();
+            if xs.len() >= n_params {
+                let mut rows = Vec::with_capacity(xs.len());
+                for (x, y) in xs.iter().zip(ys) {
+                    let mut row = Vec::with_capacity(n_params);
+                    for d in 0..=num_degree {
+                        row.push(x.powi(d as i32));
+                    }
+                    for d in 1..=den_degree {
+                        row.push(-y * x.powi(d as i32));
+                    }
+                    rows.push(row);
+                }
+                let design = Matrix::from_rows(&rows);
+                if let Ok(sol) = solve_least_squares_qr(&design, ys) {
+                    if sol.iter().all(|v| v.is_finite()) {
+                        return Ok(sol);
+                    }
+                }
+            }
+            // Fallback: a flat function at the mean of the data.
+            let mut p = vec![0.0; n_params];
+            p[0] = mean_y;
+            Ok(p)
+        }
+        KernelKind::ExpRat => {
+            // ln y ≈ (a + b n) / (1 + d n), with c fixed to 1 for the guess.
+            if ys.iter().all(|y| *y > 0.0) && xs.len() >= 3 {
+                let zs: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
+                let rows: Vec<Vec<f64>> = xs
+                    .iter()
+                    .zip(&zs)
+                    .map(|(x, z)| vec![1.0, *x, -z * x])
+                    .collect();
+                let design = Matrix::from_rows(&rows);
+                if let Ok(sol) = solve_least_squares_qr(&design, &zs) {
+                    if sol.iter().all(|v| v.is_finite()) {
+                        return Ok(vec![sol[0], sol[1], 1.0, sol[2]]);
+                    }
+                }
+            }
+            Ok(vec![mean_y.abs().max(1e-9).ln(), 0.0, 1.0, 0.0])
+        }
+        _ => unreachable!("linear kernels use fit_linear"),
+    }
+}
+
+/// One candidate produced by the prefix loop: a fitted curve plus the
+/// checkpoint count it competed under (useful for diagnostics).
+#[derive(Debug, Clone)]
+pub struct FitCandidate {
+    /// The fitted curve.
+    pub curve: FittedCurve,
+    /// Number of checkpoints this candidate was scored against.
+    pub checkpoints: usize,
+}
+
+/// Approximate a measured series with the best kernel, per §3.1.2.
+///
+/// `xs` are core counts, `ys` the measured values, both sorted by core count.
+/// Returns the winning [`FittedCurve`]; the error carries the offending
+/// category name supplied in `label`.
+pub fn approximate_series(xs: &[f64], ys: &[f64], label: &str, options: &FitOptions) -> Result<FittedCurve> {
+    let candidates = candidate_fits(xs, ys, options)?;
+    candidates
+        .into_iter()
+        .map(|c| c.curve)
+        .min_by(|a, b| {
+            a.checkpoint_rmse
+                .partial_cmp(&b.checkpoint_rmse)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .ok_or_else(|| EstimaError::NoViableFit {
+            category: label.to_string(),
+        })
+}
+
+/// Produce every viable candidate fit for the series (all kernels × all
+/// prefixes × all checkpoint counts), already filtered for realism. The
+/// scaling-factor step needs the full candidate list because it selects by
+/// correlation rather than checkpoint RMSE.
+pub fn candidate_fits(xs: &[f64], ys: &[f64], options: &FitOptions) -> Result<Vec<FitCandidate>> {
+    if xs.len() != ys.len() {
+        return Err(EstimaError::Numerical(
+            "candidate_fits: xs/ys length mismatch".into(),
+        ));
+    }
+    let m = xs.len();
+    if options.kernels.is_empty() {
+        return Err(EstimaError::InvalidConfig("empty kernel set".into()));
+    }
+    let mut viable_checkpoint_counts: Vec<usize> = options
+        .checkpoint_counts
+        .iter()
+        .copied()
+        .filter(|c| *c >= 1 && m > c + options.min_training_points.max(2) - 1)
+        .collect();
+    if viable_checkpoint_counts.is_empty() {
+        // Degrade gracefully to a single checkpoint when the series is short.
+        if m >= options.min_training_points + 1 {
+            viable_checkpoint_counts.push(1);
+        } else {
+            return Err(EstimaError::InsufficientMeasurements {
+                required: options.min_training_points + 1,
+                available: m,
+            });
+        }
+    }
+
+    let mut candidates = Vec::new();
+    for &c in &viable_checkpoint_counts {
+        let n_train = m - c;
+        let train_x = &xs[..n_train];
+        let train_y = &ys[..n_train];
+        let check_x = &xs[n_train..];
+        let check_y = &ys[n_train..];
+
+        let prefix_lengths: Vec<usize> = if options.prefix_refitting {
+            (options.min_training_points..=n_train).collect()
+        } else {
+            vec![n_train]
+        };
+
+        for &len in &prefix_lengths {
+            let px = &train_x[..len];
+            let py = &train_y[..len];
+            for &kernel in &options.kernels {
+                let params = match fit_kernel_with(kernel, px, py, &options.lm) {
+                    Ok(p) => p,
+                    Err(_) => continue,
+                };
+                let train_pred: Vec<f64> = px.iter().map(|x| kernel.eval(&params, *x)).collect();
+                let check_pred: Vec<f64> =
+                    check_x.iter().map(|x| kernel.eval(&params, *x)).collect();
+                let curve = FittedCurve {
+                    kernel,
+                    params,
+                    checkpoint_rmse: rmse(&check_pred, check_y),
+                    training_rmse: rmse(&train_pred, py),
+                    training_points: len,
+                };
+                if !curve.checkpoint_rmse.is_finite() {
+                    continue;
+                }
+                let data_max = ys.iter().copied().fold(0.0f64, f64::max);
+                let magnitude_cap = if data_max > 0.0 {
+                    (data_max * options.max_growth_factor).min(options.max_magnitude)
+                } else {
+                    options.max_magnitude
+                };
+                if !curve.is_realistic(options.realism_horizon, magnitude_cap) {
+                    continue;
+                }
+                candidates.push(FitCandidate { curve, checkpoints: c });
+            }
+        }
+    }
+    Ok(candidates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series_from(kernel: KernelKind, params: &[f64], max: u32) -> (Vec<f64>, Vec<f64>) {
+        let xs: Vec<f64> = (1..=max).map(|c| c as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| kernel.eval(params, *x)).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn linear_kernel_recovers_exact_parameters() {
+        let true_params = [10.0, 5.0, 1.5, 0.2];
+        let (xs, ys) = series_from(KernelKind::Poly25, &true_params, 12);
+        let fitted = fit_kernel(KernelKind::Poly25, &xs, &ys).unwrap();
+        for (f, t) in fitted.iter().zip(&true_params) {
+            assert!((f - t).abs() < 1e-6, "fitted {fitted:?}");
+        }
+    }
+
+    #[test]
+    fn cubicln_recovers_exact_parameters() {
+        let true_params = [100.0, 20.0, 3.0, 0.5];
+        let (xs, ys) = series_from(KernelKind::CubicLn, &true_params, 12);
+        let fitted = fit_kernel(KernelKind::CubicLn, &xs, &ys).unwrap();
+        for (f, t) in fitted.iter().zip(&true_params) {
+            assert!((f - t).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rational_kernel_reproduces_series() {
+        let true_params = [50.0, 10.0, 2.0, 0.05, 0.001];
+        let (xs, ys) = series_from(KernelKind::Rat22, &true_params, 12);
+        let fitted = fit_kernel(KernelKind::Rat22, &xs, &ys).unwrap();
+        // Parameters of rational fits are not unique; check the values match.
+        for (x, y) in xs.iter().zip(&ys) {
+            let v = KernelKind::Rat22.eval(&fitted, *x);
+            assert!((v - y).abs() / y < 1e-4, "at {x}: {v} vs {y}");
+        }
+    }
+
+    #[test]
+    fn exprat_reproduces_series() {
+        let true_params = [2.0, 0.3, 1.0, 0.05];
+        let (xs, ys) = series_from(KernelKind::ExpRat, &true_params, 12);
+        let fitted = fit_kernel(KernelKind::ExpRat, &xs, &ys).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            let v = KernelKind::ExpRat.eval(&fitted, *x);
+            assert!((v - y).abs() / y < 1e-3, "at {x}: {v} vs {y}");
+        }
+    }
+
+    #[test]
+    fn approximate_series_extrapolates_growing_stalls() {
+        // Quadratic-ish growth in total stall cycles: Poly25/rational kernels
+        // should capture it and extrapolate sensibly to 4x the cores.
+        let xs: Vec<f64> = (1..=12).map(|c| c as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1000.0 + 50.0 * x + 8.0 * x * x).collect();
+        let curve = approximate_series(&xs, &ys, "test", &FitOptions::default()).unwrap();
+        let at_48 = curve.eval(48.0);
+        let truth = 1000.0 + 50.0 * 48.0 + 8.0 * 48.0 * 48.0;
+        assert!(
+            (at_48 - truth).abs() / truth < 0.25,
+            "extrapolated {at_48}, truth {truth}"
+        );
+    }
+
+    #[test]
+    fn approximate_series_flat_series() {
+        let xs: Vec<f64> = (1..=10).map(|c| c as f64).collect();
+        let ys = vec![500.0; 10];
+        let curve = approximate_series(&xs, &ys, "flat", &FitOptions::default()).unwrap();
+        let at_40 = curve.eval(40.0);
+        assert!((at_40 - 500.0).abs() / 500.0 < 0.05, "{at_40}");
+    }
+
+    #[test]
+    fn approximate_series_needs_enough_points() {
+        let xs = vec![1.0, 2.0];
+        let ys = vec![1.0, 2.0];
+        let err = approximate_series(&xs, &ys, "short", &FitOptions::default());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn candidates_are_all_realistic() {
+        let xs: Vec<f64> = (1..=12).map(|c| c as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 100.0 * x).collect();
+        let opts = FitOptions::default();
+        let candidates = candidate_fits(&xs, &ys, &opts).unwrap();
+        assert!(!candidates.is_empty());
+        for c in &candidates {
+            assert!(c.curve.is_realistic(opts.realism_horizon, opts.max_magnitude));
+            assert!(c.curve.checkpoint_rmse.is_finite());
+        }
+    }
+
+    #[test]
+    fn prefix_refitting_produces_more_candidates() {
+        let xs: Vec<f64> = (1..=12).map(|c| c as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 10.0 + x * x).collect();
+        let with = candidate_fits(&xs, &ys, &FitOptions::default()).unwrap().len();
+        let without = candidate_fits(
+            &xs,
+            &ys,
+            &FitOptions {
+                prefix_refitting: false,
+                ..FitOptions::default()
+            },
+        )
+        .unwrap()
+        .len();
+        assert!(with > without);
+    }
+
+    #[test]
+    fn empty_kernel_set_is_invalid_config() {
+        let xs: Vec<f64> = (1..=8).map(|c| c as f64).collect();
+        let ys = xs.clone();
+        let opts = FitOptions {
+            kernels: vec![],
+            ..FitOptions::default()
+        };
+        assert!(matches!(
+            candidate_fits(&xs, &ys, &opts),
+            Err(EstimaError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn short_series_degrades_to_one_checkpoint() {
+        // Four points: cannot hold out 2 or 4 checkpoints with 3 training
+        // points, so the fitter falls back to a single checkpoint.
+        let xs = vec![1.0, 2.0, 3.0, 4.0];
+        let ys = vec![10.0, 12.0, 14.0, 16.0];
+        let curve = approximate_series(&xs, &ys, "short", &FitOptions::default()).unwrap();
+        assert!(curve.eval(8.0).is_finite());
+    }
+}

@@ -1,0 +1,377 @@
+//! The extrapolation function kernels of Table 1.
+//!
+//! ESTIMA approximates every stall-cycle category (and the time/stall scaling
+//! factor) with one of six analytic function families:
+//!
+//! | Name    | Function |
+//! |---------|----------|
+//! | Rat22   | (a0 + a1·n + a2·n²) / (1 + b1·n + b2·n²) |
+//! | Rat23   | (a0 + a1·n + a2·n²) / (1 + b1·n + b2·n² + b3·n³) |
+//! | Rat33   | (a0 + a1·n + a2·n² + a3·n³) / (1 + b1·n + b2·n² + b3·n³) |
+//! | CubicLn | a + b·ln(n) + c·ln(n)² + d·ln(n)³ |
+//! | ExpRat  | exp((a + b·n) / (c + d·n)) |
+//! | Poly25  | a + b·n + c·n² + d·n^2.5 |
+//!
+//! `CubicLn` and `Poly25` are linear in their parameters and are fitted with
+//! ordinary least squares. The rational kernels and `ExpRat` are nonlinear and
+//! are fitted with Levenberg–Marquardt, seeded by a linearised least-squares
+//! initial guess (see [`crate::fit`]).
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier for one of the six extrapolation kernels of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KernelKind {
+    /// Degree-2 / degree-2 rational function (5 parameters).
+    Rat22,
+    /// Degree-2 / degree-3 rational function (6 parameters).
+    Rat23,
+    /// Degree-3 / degree-3 rational function (7 parameters).
+    Rat33,
+    /// Cubic polynomial in `ln(n)` (4 parameters, linear in parameters).
+    CubicLn,
+    /// Exponential of a degree-1 rational (4 parameters).
+    ExpRat,
+    /// Polynomial with a `n^2.5` term (4 parameters, linear in parameters).
+    Poly25,
+}
+
+impl KernelKind {
+    /// All kernels, in the order of Table 1.
+    pub const ALL: [KernelKind; 6] = [
+        KernelKind::Rat22,
+        KernelKind::Rat23,
+        KernelKind::Rat33,
+        KernelKind::CubicLn,
+        KernelKind::ExpRat,
+        KernelKind::Poly25,
+    ];
+
+    /// Human-readable name as used in the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelKind::Rat22 => "Rat22",
+            KernelKind::Rat23 => "Rat23",
+            KernelKind::Rat33 => "Rat33",
+            KernelKind::CubicLn => "CubicLn",
+            KernelKind::ExpRat => "ExpRat",
+            KernelKind::Poly25 => "Poly25",
+        }
+    }
+
+    /// Number of free parameters.
+    pub fn param_count(&self) -> usize {
+        match self {
+            KernelKind::Rat22 => 5,
+            KernelKind::Rat23 => 6,
+            KernelKind::Rat33 => 7,
+            KernelKind::CubicLn => 4,
+            KernelKind::ExpRat => 4,
+            KernelKind::Poly25 => 4,
+        }
+    }
+
+    /// True when the kernel is linear in its parameters and can be fitted with
+    /// a single least-squares solve.
+    pub fn is_linear(&self) -> bool {
+        matches!(self, KernelKind::CubicLn | KernelKind::Poly25)
+    }
+
+    /// Evaluate the kernel at `n` (number of cores) with the given parameter
+    /// vector. The parameter layout matches [`KernelKind::param_count`]:
+    ///
+    /// * `Rat22`:  `[a0, a1, a2, b1, b2]`
+    /// * `Rat23`:  `[a0, a1, a2, b1, b2, b3]`
+    /// * `Rat33`:  `[a0, a1, a2, a3, b1, b2, b3]`
+    /// * `CubicLn`: `[a, b, c, d]`
+    /// * `ExpRat`: `[a, b, c, d]`
+    /// * `Poly25`: `[a, b, c, d]`
+    pub fn eval(&self, params: &[f64], n: f64) -> f64 {
+        debug_assert_eq!(params.len(), self.param_count(), "parameter count mismatch");
+        match self {
+            KernelKind::Rat22 => {
+                let num = params[0] + params[1] * n + params[2] * n * n;
+                let den = 1.0 + params[3] * n + params[4] * n * n;
+                num / den
+            }
+            KernelKind::Rat23 => {
+                let num = params[0] + params[1] * n + params[2] * n * n;
+                let den = 1.0 + params[3] * n + params[4] * n * n + params[5] * n * n * n;
+                num / den
+            }
+            KernelKind::Rat33 => {
+                let num =
+                    params[0] + params[1] * n + params[2] * n * n + params[3] * n * n * n;
+                let den = 1.0 + params[4] * n + params[5] * n * n + params[6] * n * n * n;
+                num / den
+            }
+            KernelKind::CubicLn => {
+                let l = n.max(f64::MIN_POSITIVE).ln();
+                params[0] + params[1] * l + params[2] * l * l + params[3] * l * l * l
+            }
+            KernelKind::ExpRat => {
+                let den = params[2] + params[3] * n;
+                if den.abs() < 1e-12 {
+                    return f64::INFINITY;
+                }
+                ((params[0] + params[1] * n) / den).exp()
+            }
+            KernelKind::Poly25 => {
+                params[0] + params[1] * n + params[2] * n * n + params[3] * n.powf(2.5)
+            }
+        }
+    }
+
+    /// Value of the denominator at `n`, for kernels that have one. Used by the
+    /// realism check to reject fits whose denominator crosses zero inside the
+    /// extrapolation range (a pole would produce an absurd prediction).
+    pub fn denominator(&self, params: &[f64], n: f64) -> Option<f64> {
+        match self {
+            KernelKind::Rat22 => Some(1.0 + params[3] * n + params[4] * n * n),
+            KernelKind::Rat23 => {
+                Some(1.0 + params[3] * n + params[4] * n * n + params[5] * n * n * n)
+            }
+            KernelKind::Rat33 => {
+                Some(1.0 + params[4] * n + params[5] * n * n + params[6] * n * n * n)
+            }
+            KernelKind::ExpRat => Some(params[2] + params[3] * n),
+            KernelKind::CubicLn | KernelKind::Poly25 => None,
+        }
+    }
+
+    /// Design-matrix row for the linear kernels. Panics for nonlinear kernels.
+    pub fn design_row(&self, n: f64) -> Vec<f64> {
+        match self {
+            KernelKind::CubicLn => {
+                let l = n.max(f64::MIN_POSITIVE).ln();
+                vec![1.0, l, l * l, l * l * l]
+            }
+            KernelKind::Poly25 => vec![1.0, n, n * n, n.powf(2.5)],
+            _ => panic!("design_row called on nonlinear kernel {self:?}"),
+        }
+    }
+}
+
+impl std::fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A fitted instance of a kernel: the kernel family plus its parameter vector
+/// and fit metadata. This is the unit the model-selection step ranks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FittedCurve {
+    /// Which kernel family this curve belongs to.
+    pub kernel: KernelKind,
+    /// Fitted parameter vector (layout per [`KernelKind::eval`]).
+    pub params: Vec<f64>,
+    /// Root-mean-square error at the held-out checkpoints (the selection
+    /// criterion of §3.1.2).
+    pub checkpoint_rmse: f64,
+    /// Root-mean-square error on the training points.
+    pub training_rmse: f64,
+    /// Number of training points the curve was fitted on (the paper refits on
+    /// every prefix `i in 3..n` to avoid over-fitting).
+    pub training_points: usize,
+}
+
+impl FittedCurve {
+    /// Evaluate the fitted curve at a (possibly fractional) core count.
+    pub fn eval(&self, n: f64) -> f64 {
+        self.kernel.eval(&self.params, n)
+    }
+
+    /// Evaluate the curve at every core count in `1..=max_cores`.
+    pub fn eval_range(&self, max_cores: u32) -> Vec<(u32, f64)> {
+        (1..=max_cores).map(|c| (c, self.eval(c as f64))).collect()
+    }
+
+    /// True when the curve produces finite, non-negative values and a
+    /// non-vanishing denominator over `1..=max_cores`. This is the paper's
+    /// "discard the function types that produce functions that are not
+    /// realistic for this approximation" rule, made concrete.
+    pub fn is_realistic(&self, max_cores: u32, max_magnitude: f64) -> bool {
+        for c in 1..=max_cores {
+            let n = c as f64;
+            if let Some(den) = self.kernel.denominator(&self.params, n) {
+                if den.abs() < 1e-9 {
+                    return false;
+                }
+            }
+            let v = self.eval(n);
+            if !v.is_finite() || v < 0.0 || v.abs() > max_magnitude {
+                return false;
+            }
+        }
+        // Also require the denominator not to change sign anywhere in the
+        // range (a sign change implies a pole between integer core counts).
+        if let Some(first) = self.kernel.denominator(&self.params, 1.0) {
+            let steps = (max_cores * 4).max(4);
+            for s in 0..=steps {
+                let n = 1.0 + (max_cores as f64 - 1.0) * s as f64 / steps as f64;
+                if let Some(d) = self.kernel.denominator(&self.params, n) {
+                    if d * first < 0.0 {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn all_kernels_listed_once() {
+        assert_eq!(KernelKind::ALL.len(), 6);
+        let names: std::collections::HashSet<_> =
+            KernelKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn param_counts_match_table1() {
+        assert_eq!(KernelKind::Rat22.param_count(), 5);
+        assert_eq!(KernelKind::Rat23.param_count(), 6);
+        assert_eq!(KernelKind::Rat33.param_count(), 7);
+        assert_eq!(KernelKind::CubicLn.param_count(), 4);
+        assert_eq!(KernelKind::ExpRat.param_count(), 4);
+        assert_eq!(KernelKind::Poly25.param_count(), 4);
+    }
+
+    #[test]
+    fn linear_kernels_flagged() {
+        assert!(KernelKind::CubicLn.is_linear());
+        assert!(KernelKind::Poly25.is_linear());
+        assert!(!KernelKind::Rat22.is_linear());
+        assert!(!KernelKind::ExpRat.is_linear());
+    }
+
+    #[test]
+    fn rat22_constant_function() {
+        // a0 = 7, all else zero -> constant 7
+        let p = [7.0, 0.0, 0.0, 0.0, 0.0];
+        for n in [1.0, 4.0, 48.0] {
+            assert!(approx(KernelKind::Rat22.eval(&p, n), 7.0, 1e-12));
+        }
+    }
+
+    #[test]
+    fn rat33_reduces_to_linear_when_denominator_trivial() {
+        // (0 + 2n)/1 = 2n
+        let p = [0.0, 2.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        assert!(approx(KernelKind::Rat33.eval(&p, 10.0), 20.0, 1e-12));
+    }
+
+    #[test]
+    fn cubicln_at_one_core_is_intercept() {
+        let p = [5.0, 3.0, -1.0, 0.5];
+        assert!(approx(KernelKind::CubicLn.eval(&p, 1.0), 5.0, 1e-12));
+    }
+
+    #[test]
+    fn exprat_matches_manual_formula() {
+        let p = [1.0, 0.5, 2.0, 0.1];
+        let n = 8.0_f64;
+        let expected = ((1.0 + 0.5 * n) / (2.0 + 0.1 * n)).exp();
+        assert!(approx(KernelKind::ExpRat.eval(&p, n), expected, 1e-12));
+    }
+
+    #[test]
+    fn exprat_degenerate_denominator_is_infinite() {
+        let p = [1.0, 0.5, 0.0, 0.0];
+        assert!(KernelKind::ExpRat.eval(&p, 4.0).is_infinite());
+    }
+
+    #[test]
+    fn poly25_matches_manual_formula() {
+        let p = [1.0, 2.0, 3.0, 4.0];
+        let n: f64 = 4.0;
+        let expected = 1.0 + 2.0 * n + 3.0 * n * n + 4.0 * n.powf(2.5);
+        assert!(approx(KernelKind::Poly25.eval(&p, n), expected, 1e-12));
+    }
+
+    #[test]
+    fn design_rows_match_eval_for_linear_kernels() {
+        for kernel in [KernelKind::CubicLn, KernelKind::Poly25] {
+            let params = [0.3, -1.2, 0.7, 0.05];
+            for n in [1.0, 3.0, 12.0, 48.0] {
+                let row = kernel.design_row(n);
+                let via_row: f64 = row.iter().zip(&params).map(|(r, p)| r * p).sum();
+                assert!(approx(via_row, kernel.eval(&params, n), 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn design_row_panics_for_rational() {
+        KernelKind::Rat22.design_row(2.0);
+    }
+
+    #[test]
+    fn realistic_rejects_pole_in_range() {
+        // Denominator 1 - 0.1 n crosses zero at n = 10.
+        let curve = FittedCurve {
+            kernel: KernelKind::Rat22,
+            params: vec![1.0, 1.0, 0.0, -0.1, 0.0],
+            checkpoint_rmse: 0.0,
+            training_rmse: 0.0,
+            training_points: 5,
+        };
+        assert!(!curve.is_realistic(48, 1e30));
+        assert!(curve.is_realistic(5, 1e30));
+    }
+
+    #[test]
+    fn realistic_rejects_negative_values() {
+        let curve = FittedCurve {
+            kernel: KernelKind::Poly25,
+            params: vec![1.0, -10.0, 0.0, 0.0],
+            checkpoint_rmse: 0.0,
+            training_rmse: 0.0,
+            training_points: 5,
+        };
+        assert!(!curve.is_realistic(48, 1e30));
+    }
+
+    #[test]
+    fn realistic_accepts_growing_curve() {
+        let curve = FittedCurve {
+            kernel: KernelKind::Poly25,
+            params: vec![100.0, 5.0, 0.2, 0.01],
+            checkpoint_rmse: 0.0,
+            training_rmse: 0.0,
+            training_points: 5,
+        };
+        assert!(curve.is_realistic(64, 1e30));
+    }
+
+    #[test]
+    fn eval_range_covers_all_core_counts() {
+        let curve = FittedCurve {
+            kernel: KernelKind::CubicLn,
+            params: vec![1.0, 1.0, 0.0, 0.0],
+            checkpoint_rmse: 0.0,
+            training_rmse: 0.0,
+            training_points: 4,
+        };
+        let range = curve.eval_range(16);
+        assert_eq!(range.len(), 16);
+        assert_eq!(range[0].0, 1);
+        assert_eq!(range[15].0, 16);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(format!("{}", KernelKind::Rat23), "Rat23");
+    }
+}

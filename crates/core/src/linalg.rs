@@ -1,0 +1,472 @@
+//! Minimal dense linear algebra used by the regression layer.
+//!
+//! ESTIMA's function approximation needs only small dense systems (the largest
+//! kernel has seven parameters), so this module implements a compact
+//! row-major [`Matrix`] with the handful of operations the fitting code needs:
+//! matrix-vector products, transposed products, Cholesky and QR
+//! factorisations, and least-squares solves. Everything is written for
+//! numerical robustness on tiny, possibly ill-conditioned systems rather than
+//! for large-scale performance.
+
+use crate::error::{EstimaError, Result};
+
+/// Dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Create a matrix of zeros with the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Create an identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build a matrix from nested rows. All rows must have the same length.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "all rows must have equal length");
+            data.extend_from_slice(row);
+        }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow the underlying row-major storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix-vector product `A * x`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, x.len(), "dimension mismatch in mul_vec");
+        let mut out = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            out[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        out
+    }
+
+    /// Transposed matrix-vector product `A^T * y`.
+    pub fn mul_transpose_vec(&self, y: &[f64]) -> Vec<f64> {
+        assert_eq!(self.rows, y.len(), "dimension mismatch in mul_transpose_vec");
+        let mut out = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for j in 0..self.cols {
+                out[j] += row[j] * y[i];
+            }
+        }
+        out
+    }
+
+    /// Gram matrix `A^T * A`.
+    pub fn gram(&self) -> Matrix {
+        let mut g = Matrix::zeros(self.cols, self.cols);
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for j in 0..self.cols {
+                for k in j..self.cols {
+                    g[(j, k)] += row[j] * row[k];
+                }
+            }
+        }
+        // mirror the upper triangle
+        for j in 0..self.cols {
+            for k in 0..j {
+                g[(j, k)] = g[(k, j)];
+            }
+        }
+        g
+    }
+
+    /// Matrix-matrix product.
+    pub fn mul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "dimension mismatch in mul");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// True when every element is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Solve the symmetric positive-definite system `A x = b` via Cholesky
+/// factorisation. Returns an error when the matrix is not SPD (within a small
+/// tolerance) or contains non-finite values.
+pub fn solve_cholesky(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let n = a.rows();
+    if a.cols() != n || b.len() != n {
+        return Err(EstimaError::Numerical("cholesky: shape mismatch".into()));
+    }
+    if !a.is_finite() || b.iter().any(|v| !v.is_finite()) {
+        return Err(EstimaError::Numerical("cholesky: non-finite input".into()));
+    }
+    // Lower-triangular factor L with A = L L^T.
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if sum <= 1e-14 {
+                    return Err(EstimaError::Numerical(
+                        "cholesky: matrix not positive definite".into(),
+                    ));
+                }
+                l[(i, j)] = sum.sqrt();
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+    }
+    // Forward solve L y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[(i, k)] * y[k];
+        }
+        y[i] = sum / l[(i, i)];
+    }
+    // Backward solve L^T x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in (i + 1)..n {
+            sum -= l[(k, i)] * x[k];
+        }
+        x[i] = sum / l[(i, i)];
+    }
+    if x.iter().any(|v| !v.is_finite()) {
+        return Err(EstimaError::Numerical("cholesky: non-finite solution".into()));
+    }
+    Ok(x)
+}
+
+/// Solve an over-determined least-squares problem `min ||A x - b||` using
+/// Householder QR with column-free pivoting. `A` must have at least as many
+/// rows as columns.
+pub fn solve_least_squares_qr(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let m = a.rows();
+    let n = a.cols();
+    if m < n {
+        return Err(EstimaError::Numerical(
+            "least squares: fewer rows than columns".into(),
+        ));
+    }
+    if b.len() != m {
+        return Err(EstimaError::Numerical("least squares: rhs length mismatch".into()));
+    }
+    if !a.is_finite() || b.iter().any(|v| !v.is_finite()) {
+        return Err(EstimaError::Numerical("least squares: non-finite input".into()));
+    }
+
+    // Work on copies: R starts as A, and we apply Householder reflections to
+    // both R and the right-hand side.
+    let mut r = a.clone();
+    let mut rhs = b.to_vec();
+
+    for k in 0..n {
+        // Compute the Householder vector for column k.
+        let mut norm = 0.0;
+        for i in k..m {
+            norm += r[(i, k)] * r[(i, k)];
+        }
+        let norm = norm.sqrt();
+        if norm < 1e-300 {
+            return Err(EstimaError::Numerical(
+                "least squares: rank deficient design matrix".into(),
+            ));
+        }
+        let alpha = if r[(k, k)] >= 0.0 { -norm } else { norm };
+        let mut v = vec![0.0; m];
+        for i in k..m {
+            v[i] = r[(i, k)];
+        }
+        v[k] -= alpha;
+        let vtv: f64 = v[k..].iter().map(|x| x * x).sum();
+        if vtv < 1e-300 {
+            continue;
+        }
+        // Apply the reflection H = I - 2 v v^T / (v^T v) to R and rhs.
+        for j in k..n {
+            let mut dot = 0.0;
+            for i in k..m {
+                dot += v[i] * r[(i, j)];
+            }
+            let scale = 2.0 * dot / vtv;
+            for i in k..m {
+                r[(i, j)] -= scale * v[i];
+            }
+        }
+        let mut dot = 0.0;
+        for i in k..m {
+            dot += v[i] * rhs[i];
+        }
+        let scale = 2.0 * dot / vtv;
+        for i in k..m {
+            rhs[i] -= scale * v[i];
+        }
+    }
+
+    // Back substitution on the upper-triangular part.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = rhs[i];
+        for j in (i + 1)..n {
+            sum -= r[(i, j)] * x[j];
+        }
+        let diag = r[(i, i)];
+        if diag.abs() < 1e-300 {
+            return Err(EstimaError::Numerical(
+                "least squares: singular triangular factor".into(),
+            ));
+        }
+        x[i] = sum / diag;
+    }
+    if x.iter().any(|v| !v.is_finite()) {
+        return Err(EstimaError::Numerical("least squares: non-finite solution".into()));
+    }
+    Ok(x)
+}
+
+/// Solve a square linear system `A x = b` with partial-pivoting Gaussian
+/// elimination. Used by the Levenberg–Marquardt inner step, where the damped
+/// normal matrix is symmetric but may be indefinite after heavy damping.
+pub fn solve_gaussian(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let n = a.rows();
+    if a.cols() != n || b.len() != n {
+        return Err(EstimaError::Numerical("gaussian: shape mismatch".into()));
+    }
+    let mut aug = a.clone();
+    let mut rhs = b.to_vec();
+    for col in 0..n {
+        // Partial pivoting.
+        let mut pivot = col;
+        let mut best = aug[(col, col)].abs();
+        for row in (col + 1)..n {
+            let v = aug[(row, col)].abs();
+            if v > best {
+                best = v;
+                pivot = row;
+            }
+        }
+        if best < 1e-300 {
+            return Err(EstimaError::Numerical("gaussian: singular matrix".into()));
+        }
+        if pivot != col {
+            for j in 0..n {
+                let tmp = aug[(col, j)];
+                aug[(col, j)] = aug[(pivot, j)];
+                aug[(pivot, j)] = tmp;
+            }
+            rhs.swap(col, pivot);
+        }
+        for row in (col + 1)..n {
+            let factor = aug[(row, col)] / aug[(col, col)];
+            if factor == 0.0 {
+                continue;
+            }
+            for j in col..n {
+                let v = aug[(col, j)];
+                aug[(row, j)] -= factor * v;
+            }
+            rhs[row] -= factor * rhs[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = rhs[i];
+        for j in (i + 1)..n {
+            sum -= aug[(i, j)] * x[j];
+        }
+        x[i] = sum / aug[(i, i)];
+    }
+    if x.iter().any(|v| !v.is_finite()) {
+        return Err(EstimaError::Numerical("gaussian: non-finite solution".into()));
+    }
+    Ok(x)
+}
+
+/// Euclidean norm of a vector.
+pub fn norm2(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Dot product of two equally sized vectors.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn identity_mul_vec() {
+        let id = Matrix::identity(3);
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(id.mul_vec(&x), x);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let t = a.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn gram_matches_explicit_product() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let g = a.gram();
+        let explicit = a.transpose().mul(&a);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(approx(g[(i, j)], explicit[(i, j)], 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_solves_spd_system() {
+        // A = [[4,2],[2,3]], b = [10, 9] -> x = [1.5, 2]
+        let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]);
+        let x = solve_cholesky(&a, &[10.0, 9.0]).unwrap();
+        assert!(approx(x[0], 1.5, 1e-10));
+        assert!(approx(x[1], 2.0, 1e-10));
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        assert!(solve_cholesky(&a, &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn qr_least_squares_exact_fit() {
+        // Fit y = 2x + 1 exactly through three points.
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 2.0], vec![1.0, 3.0]]);
+        let b = vec![3.0, 5.0, 7.0];
+        let x = solve_least_squares_qr(&a, &b).unwrap();
+        assert!(approx(x[0], 1.0, 1e-10));
+        assert!(approx(x[1], 2.0, 1e-10));
+    }
+
+    #[test]
+    fn qr_least_squares_overdetermined() {
+        // Noisy line: the solution should be close to slope 1 intercept 0.
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [1.1, 1.9, 3.05, 3.95, 5.1];
+        let rows: Vec<Vec<f64>> = xs.iter().map(|x| vec![1.0, *x]).collect();
+        let a = Matrix::from_rows(&rows);
+        let sol = solve_least_squares_qr(&a, &ys).unwrap();
+        assert!(sol[0].abs() < 0.2);
+        assert!(approx(sol[1], 1.0, 0.05));
+    }
+
+    #[test]
+    fn qr_rejects_underdetermined() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0]]);
+        assert!(solve_least_squares_qr(&a, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn gaussian_solves_general_system() {
+        let a = Matrix::from_rows(&[vec![0.0, 2.0], vec![1.0, 1.0]]);
+        let x = solve_gaussian(&a, &[4.0, 3.0]).unwrap();
+        assert!(approx(x[0], 1.0, 1e-10));
+        assert!(approx(x[1], 2.0, 1e-10));
+    }
+
+    #[test]
+    fn gaussian_rejects_singular() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(solve_gaussian(&a, &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn norm_and_dot() {
+        assert!(approx(norm2(&[3.0, 4.0]), 5.0, 1e-12));
+        assert!(approx(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0, 1e-12));
+    }
+}

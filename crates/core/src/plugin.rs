@@ -1,0 +1,165 @@
+//! Plugin components for additional stall-cycle categories (§4.1).
+//!
+//! ESTIMA accepts user-specified stall sources beyond the built-in hardware
+//! counters: a runtime (an STM library, a lock wrapper, the application
+//! itself) reports cycle counts per run, and a plugin describes how those
+//! reports are turned into a single per-run value (minimum, maximum, sum or
+//! average over the reported samples — e.g. sum over threads, or max over
+//! repeated runs). The original tool reads these from a report file with a
+//! regular expression; here the transport is a plain function/closure, and
+//! the aggregation rules are identical.
+
+use serde::{Deserialize, Serialize};
+
+use crate::measurement::{Measurement, MeasurementSet, StallCategory};
+
+/// How multiple reported values for one run are collapsed into a single
+/// cycle count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Aggregate {
+    /// Use the smallest reported value.
+    Min,
+    /// Use the largest reported value.
+    Max,
+    /// Sum all reported values (e.g. cycles reported per thread).
+    Sum,
+    /// Average of the reported values.
+    Average,
+}
+
+impl Aggregate {
+    /// Apply the aggregation to a slice of reported values. Returns 0.0 for
+    /// an empty slice.
+    pub fn apply(&self, values: &[f64]) -> f64 {
+        if values.is_empty() {
+            return 0.0;
+        }
+        match self {
+            Aggregate::Min => values.iter().copied().fold(f64::INFINITY, f64::min),
+            Aggregate::Max => values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            Aggregate::Sum => values.iter().sum(),
+            Aggregate::Average => values.iter().sum::<f64>() / values.len() as f64,
+        }
+    }
+}
+
+/// Description of one plugin-provided stall category.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PluginSpec {
+    /// Category the collected values are recorded under.
+    pub category: StallCategory,
+    /// Aggregation applied to the values reported for one run.
+    pub aggregate: Aggregate,
+}
+
+impl PluginSpec {
+    /// A software-stall plugin summing per-thread reports — the common case
+    /// (aborted STM cycles per thread, lock spin cycles per thread).
+    pub fn software_sum(name: impl Into<String>) -> Self {
+        PluginSpec {
+            category: StallCategory::software(name),
+            aggregate: Aggregate::Sum,
+        }
+    }
+}
+
+/// A collector couples a [`PluginSpec`] with a closure that produces the
+/// reported values for a given core count (for example by running the
+/// instrumented application, or by parsing a report it already wrote).
+pub struct PluginCollector<'a> {
+    /// The plugin description.
+    pub spec: PluginSpec,
+    /// Produces the raw reported values for a run at the given core count.
+    pub collect: Box<dyn Fn(u32) -> Vec<f64> + 'a>,
+}
+
+impl<'a> PluginCollector<'a> {
+    /// Create a collector from a spec and a collection closure.
+    pub fn new(spec: PluginSpec, collect: impl Fn(u32) -> Vec<f64> + 'a) -> Self {
+        PluginCollector {
+            spec,
+            collect: Box::new(collect),
+        }
+    }
+
+    /// Aggregate the values reported for one run.
+    pub fn collect_for(&self, cores: u32) -> f64 {
+        self.spec.aggregate.apply(&(self.collect)(cores))
+    }
+}
+
+/// Apply a set of plugin collectors to every measurement in a set, adding the
+/// collected categories. Existing values for the same category are replaced.
+pub fn apply_plugins(set: &MeasurementSet, plugins: &[PluginCollector<'_>]) -> MeasurementSet {
+    let mut out = MeasurementSet::new(set.app_name.clone(), set.frequency_ghz);
+    for m in set.measurements() {
+        let mut updated: Measurement = m.clone();
+        for plugin in plugins {
+            let value = plugin.collect_for(m.cores);
+            updated = updated.with_stall(plugin.spec.category.clone(), value);
+        }
+        out.push(updated);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measurement::StallSource;
+
+    #[test]
+    fn aggregates_match_definitions() {
+        let values = [4.0, 1.0, 7.0];
+        assert_eq!(Aggregate::Min.apply(&values), 1.0);
+        assert_eq!(Aggregate::Max.apply(&values), 7.0);
+        assert_eq!(Aggregate::Sum.apply(&values), 12.0);
+        assert_eq!(Aggregate::Average.apply(&values), 4.0);
+    }
+
+    #[test]
+    fn empty_reports_aggregate_to_zero() {
+        for agg in [Aggregate::Min, Aggregate::Max, Aggregate::Sum, Aggregate::Average] {
+            assert_eq!(agg.apply(&[]), 0.0);
+        }
+    }
+
+    #[test]
+    fn software_sum_spec_shape() {
+        let spec = PluginSpec::software_sum("stm.aborted_cycles");
+        assert_eq!(spec.category.source, StallSource::Software);
+        assert_eq!(spec.aggregate, Aggregate::Sum);
+    }
+
+    #[test]
+    fn collector_aggregates_per_core_reports() {
+        let collector = PluginCollector::new(PluginSpec::software_sum("spin"), |cores| {
+            // Each of `cores` threads reports 100 cycles.
+            vec![100.0; cores as usize]
+        });
+        assert_eq!(collector.collect_for(4), 400.0);
+        assert_eq!(collector.collect_for(1), 100.0);
+    }
+
+    #[test]
+    fn apply_plugins_adds_categories_to_every_measurement() {
+        let mut set = MeasurementSet::new("app", 2.0);
+        for cores in 1..=4u32 {
+            set.push(Measurement::new(cores, 1.0).with_stall(StallCategory::backend("rob"), 10.0));
+        }
+        let collectors = vec![PluginCollector::new(
+            PluginSpec::software_sum("stm.aborted_cycles"),
+            |cores| vec![50.0 * cores as f64],
+        )];
+        let enriched = apply_plugins(&set, &collectors);
+        assert_eq!(enriched.len(), 4);
+        let cat = StallCategory::software("stm.aborted_cycles");
+        let series = enriched.category_series(&cat);
+        assert_eq!(series[3], (4, 200.0));
+        // The original backend category is preserved.
+        assert_eq!(
+            enriched.category_series(&StallCategory::backend("rob"))[0],
+            (1, 10.0)
+        );
+    }
+}

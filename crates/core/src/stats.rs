@@ -1,0 +1,247 @@
+//! Descriptive statistics and error metrics used across the pipeline.
+//!
+//! ESTIMA relies on three statistics:
+//!
+//! * the root-mean-square error at the held-out checkpoints, used to pick the
+//!   extrapolation kernel for each stall category (§3.1.2 of the paper),
+//! * the Pearson correlation between stalled cycles per core and execution
+//!   time, used both to pick the scaling-factor kernel (§3.1.3) and in the
+//!   evaluation (Table 5 / Table 6),
+//! * relative prediction errors, reported in Tables 4 and 7.
+
+/// Arithmetic mean of a slice. Returns `0.0` for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation of a slice. Returns `0.0` for fewer than two
+/// values.
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64;
+    var.sqrt()
+}
+
+/// Root-mean-square error between predictions and observations.
+///
+/// Both slices must have the same length; mismatched or empty input yields
+/// `f64::INFINITY` so that a broken candidate never wins model selection.
+pub fn rmse(predicted: &[f64], observed: &[f64]) -> f64 {
+    if predicted.len() != observed.len() || predicted.is_empty() {
+        return f64::INFINITY;
+    }
+    let sum: f64 = predicted
+        .iter()
+        .zip(observed)
+        .map(|(p, o)| (p - o) * (p - o))
+        .sum();
+    (sum / predicted.len() as f64).sqrt()
+}
+
+/// Mean absolute error between predictions and observations.
+pub fn mae(predicted: &[f64], observed: &[f64]) -> f64 {
+    if predicted.len() != observed.len() || predicted.is_empty() {
+        return f64::INFINITY;
+    }
+    predicted
+        .iter()
+        .zip(observed)
+        .map(|(p, o)| (p - o).abs())
+        .sum::<f64>()
+        / predicted.len() as f64
+}
+
+/// Relative error `|predicted - observed| / |observed|`, expressed as a
+/// fraction (0.30 = 30%). Observations of zero yield the absolute error.
+pub fn relative_error(predicted: f64, observed: f64) -> f64 {
+    if observed == 0.0 {
+        (predicted - observed).abs()
+    } else {
+        (predicted - observed).abs() / observed.abs()
+    }
+}
+
+/// Maximum relative error over paired series (as a fraction).
+///
+/// This is the metric reported in Table 4 and Table 7 of the paper: the worst
+/// prediction error over all target core counts.
+pub fn max_relative_error(predicted: &[f64], observed: &[f64]) -> f64 {
+    predicted
+        .iter()
+        .zip(observed)
+        .map(|(p, o)| relative_error(*p, *o))
+        .fold(0.0, f64::max)
+}
+
+/// Pearson product-moment correlation coefficient between two series.
+///
+/// Returns `0.0` when either series is constant or the lengths mismatch. The
+/// paper reports correlations of stalled cycles per core with execution time
+/// (Table 5); a value of 1.0 means the two curves move in lock step.
+pub fn pearson_correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return 0.0;
+    }
+    let r = cov / (vx.sqrt() * vy.sqrt());
+    r.clamp(-1.0, 1.0)
+}
+
+/// Minimum of a slice, `f64::INFINITY` if empty.
+pub fn min(values: &[f64]) -> f64 {
+    values.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Maximum of a slice, `f64::NEG_INFINITY` if empty.
+pub fn max(values: &[f64]) -> f64 {
+    values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Summary statistics over a collection of per-workload errors, matching the
+/// summary rows (Average / Std. Dev. / Max.) at the bottom of Tables 4–7.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorSummary {
+    /// Arithmetic mean of the errors.
+    pub average: f64,
+    /// Population standard deviation of the errors.
+    pub std_dev: f64,
+    /// Largest error.
+    pub max: f64,
+    /// Smallest error.
+    pub min: f64,
+}
+
+impl ErrorSummary {
+    /// Summarise a slice of error values (fractions or percentages; the
+    /// summary is unit-preserving).
+    pub fn from_errors(errors: &[f64]) -> Self {
+        ErrorSummary {
+            average: mean(errors),
+            std_dev: std_dev(errors),
+            max: max(errors),
+            min: min(errors),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn mean_basic() {
+        assert!(approx(mean(&[1.0, 2.0, 3.0]), 2.0));
+        assert!(approx(mean(&[]), 0.0));
+    }
+
+    #[test]
+    fn std_dev_basic() {
+        assert!(approx(std_dev(&[2.0, 2.0, 2.0]), 0.0));
+        assert!(approx(std_dev(&[1.0, 3.0]), 1.0));
+        assert!(approx(std_dev(&[5.0]), 0.0));
+    }
+
+    #[test]
+    fn rmse_perfect_fit_is_zero() {
+        assert!(approx(rmse(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]), 0.0));
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        // errors are 1 and -1 -> rmse = 1
+        assert!(approx(rmse(&[2.0, 1.0], &[1.0, 2.0]), 1.0));
+    }
+
+    #[test]
+    fn rmse_mismatched_lengths_is_infinite() {
+        assert!(rmse(&[1.0], &[1.0, 2.0]).is_infinite());
+        assert!(rmse(&[], &[]).is_infinite());
+    }
+
+    #[test]
+    fn mae_known_value() {
+        assert!(approx(mae(&[2.0, 4.0], &[1.0, 2.0]), 1.5));
+    }
+
+    #[test]
+    fn relative_error_basic() {
+        assert!(approx(relative_error(110.0, 100.0), 0.1));
+        assert!(approx(relative_error(90.0, 100.0), 0.1));
+        assert!(approx(relative_error(5.0, 0.0), 5.0));
+    }
+
+    #[test]
+    fn max_relative_error_picks_worst() {
+        let pred = [100.0, 120.0, 200.0];
+        let obs = [100.0, 100.0, 100.0];
+        assert!(approx(max_relative_error(&pred, &obs), 1.0));
+    }
+
+    #[test]
+    fn correlation_perfect_positive() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!(approx(pearson_correlation(&xs, &ys), 1.0));
+    }
+
+    #[test]
+    fn correlation_perfect_negative() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [8.0, 6.0, 4.0, 2.0];
+        assert!(approx(pearson_correlation(&xs, &ys), -1.0));
+    }
+
+    #[test]
+    fn correlation_constant_series_is_zero() {
+        let xs = [1.0, 1.0, 1.0];
+        let ys = [2.0, 4.0, 6.0];
+        assert!(approx(pearson_correlation(&xs, &ys), 0.0));
+    }
+
+    #[test]
+    fn correlation_affine_invariance() {
+        let xs = [1.0, 2.0, 5.0, 9.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 7.0).collect();
+        assert!(approx(pearson_correlation(&xs, &ys), 1.0));
+    }
+
+    #[test]
+    fn error_summary_matches_components() {
+        let errors = [0.1, 0.2, 0.3];
+        let s = ErrorSummary::from_errors(&errors);
+        assert!(approx(s.average, 0.2));
+        assert!(approx(s.max, 0.3));
+        assert!(approx(s.min, 0.1));
+        assert!(s.std_dev > 0.0);
+    }
+
+    #[test]
+    fn min_max_empty() {
+        assert!(min(&[]).is_infinite());
+        assert!(max(&[]).is_infinite());
+    }
+}

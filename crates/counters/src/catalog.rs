@@ -1,0 +1,231 @@
+//! Performance-counter event catalogs.
+//!
+//! ESTIMA uses the fine-grain *backend* stall events each processor family
+//! exposes. The paper lists the exact events for the two families it
+//! evaluates on:
+//!
+//! * **Table 2** — AMD family 10h (Opteron 6172): dispatch-stall events
+//!   `0D2h` (branch abort to retire), `0D5h` (reorder buffer full), `0D6h`
+//!   (reservation station full), `0D7h` (FPU full), `0D8h` (LS full).
+//! * **Table 3** — recent Intel big cores (Haswell / Ivy Bridge-EP): `0487h`
+//!   (IQ full), `01A2h` (resource-related allocation stalls), `04A2h` (no
+//!   eligible RS entry), `08A2h` (no store buffer available), `10A2h`
+//!   (re-order buffer full).
+//!
+//! Each catalog maps those event codes to the simulator's semantic
+//! [`StallEvent`] categories, plus the frontend events used only by the
+//! §5.2 ablation. Adding a new processor family is exactly what the paper
+//! describes: consult the manual, list the backend stall events, done.
+
+use estima_machine::{StallEvent, Vendor};
+use serde::Serialize;
+
+/// One hardware performance-counter event.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub struct CounterEvent {
+    /// Vendor-specific event selector, as printed in the manuals (e.g.
+    /// `0x0D6` or `0x04A2`).
+    pub code: u32,
+    /// Manual description of the event.
+    pub description: &'static str,
+    /// The semantic stall category the event measures.
+    pub event: StallEvent,
+}
+
+impl CounterEvent {
+    /// The stable category name ESTIMA records this event under.
+    pub fn category_name(&self) -> &'static str {
+        self.event.name()
+    }
+
+    /// Render the event code the way the manuals print it (e.g. `0D6h`).
+    pub fn code_label(&self) -> String {
+        format!("{:04X}h", self.code)
+    }
+}
+
+/// A processor family's counter catalog: which events ESTIMA collects.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CounterCatalog {
+    /// Vendor this catalog belongs to.
+    pub vendor: Vendor,
+    /// Human-readable family name.
+    pub family: &'static str,
+    /// Backend stall events (ESTIMA's default inputs).
+    pub backend: Vec<CounterEvent>,
+    /// Frontend stall events (only used by the frontend-stall ablation).
+    pub frontend: Vec<CounterEvent>,
+}
+
+impl CounterCatalog {
+    /// Catalog for AMD family 10h processors (Table 2 of the paper).
+    pub fn amd_family10h() -> Self {
+        CounterCatalog {
+            vendor: Vendor::Amd,
+            family: "AMD family 10h",
+            backend: vec![
+                CounterEvent {
+                    code: 0x0D2,
+                    description: "Dispatch Stall for Branch Abort to Retire",
+                    event: StallEvent::BranchAbort,
+                },
+                CounterEvent {
+                    code: 0x0D5,
+                    description: "Dispatch Stall for Reorder Buffer Full",
+                    event: StallEvent::ReorderBufferFull,
+                },
+                CounterEvent {
+                    code: 0x0D6,
+                    description: "Dispatch Stall for Reservation Station Full",
+                    event: StallEvent::ReservationStationFull,
+                },
+                CounterEvent {
+                    code: 0x0D7,
+                    description: "Dispatch Stall for FPU Full",
+                    event: StallEvent::FpuFull,
+                },
+                CounterEvent {
+                    code: 0x0D8,
+                    description: "Dispatch Stall for LS Full",
+                    event: StallEvent::LoadStoreFull,
+                },
+            ],
+            frontend: vec![CounterEvent {
+                code: 0x0D0,
+                description: "Decoder Empty (instruction fetch stall)",
+                event: StallEvent::InstructionFetchStall,
+            }],
+        }
+    }
+
+    /// Catalog for recent Intel big-core processors (Table 3 of the paper).
+    pub fn intel_bigcore() -> Self {
+        CounterCatalog {
+            vendor: Vendor::Intel,
+            family: "Intel big core (Ivy Bridge / Haswell)",
+            backend: vec![
+                CounterEvent {
+                    code: 0x0487,
+                    description: "Stalled cycles due to IQ full",
+                    event: StallEvent::InstructionQueueFull,
+                },
+                CounterEvent {
+                    code: 0x01A2,
+                    description: "Cycles allocation stalled due to resource-related reasons",
+                    event: StallEvent::ResourceStall,
+                },
+                CounterEvent {
+                    code: 0x04A2,
+                    description: "No eligible RS entry available",
+                    event: StallEvent::ReservationStationFull,
+                },
+                CounterEvent {
+                    code: 0x08A2,
+                    description: "No store buffers available",
+                    event: StallEvent::StoreBufferFull,
+                },
+                CounterEvent {
+                    code: 0x10A2,
+                    description: "Re-order buffer full",
+                    event: StallEvent::ReorderBufferFull,
+                },
+            ],
+            frontend: vec![CounterEvent {
+                code: 0x0E9C,
+                description: "IDQ uops not delivered (frontend starvation)",
+                event: StallEvent::InstructionFetchStall,
+            }],
+        }
+    }
+
+    /// Catalog for a vendor (the paper's two supported families).
+    pub fn for_vendor(vendor: Vendor) -> Self {
+        match vendor {
+            Vendor::Amd => Self::amd_family10h(),
+            Vendor::Intel => Self::intel_bigcore(),
+        }
+    }
+
+    /// Backend event measuring the given semantic category, if the family
+    /// exposes one.
+    pub fn backend_event_for(&self, event: StallEvent) -> Option<&CounterEvent> {
+        self.backend.iter().find(|e| e.event == event)
+    }
+
+    /// Render the catalog as the markdown table printed by the `reproduce`
+    /// binary for Tables 2 and 3.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {} backend stall events\n\n", self.family));
+        out.push_str("| Event Code | Event Description |\n|---|---|\n");
+        for e in &self.backend {
+            out.push_str(&format!("| {} | {} |\n", e.code_label(), e.description));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amd_catalog_matches_table2() {
+        let cat = CounterCatalog::amd_family10h();
+        let codes: Vec<u32> = cat.backend.iter().map(|e| e.code).collect();
+        assert_eq!(codes, vec![0x0D2, 0x0D5, 0x0D6, 0x0D7, 0x0D8]);
+        assert_eq!(cat.backend.len(), 5);
+        assert!(cat.backend.iter().all(|e| !e.event.is_frontend()));
+    }
+
+    #[test]
+    fn intel_catalog_matches_table3() {
+        let cat = CounterCatalog::intel_bigcore();
+        let codes: Vec<u32> = cat.backend.iter().map(|e| e.code).collect();
+        assert_eq!(codes, vec![0x0487, 0x01A2, 0x04A2, 0x08A2, 0x10A2]);
+        assert_eq!(cat.backend.len(), 5);
+    }
+
+    #[test]
+    fn vendor_dispatch() {
+        assert_eq!(CounterCatalog::for_vendor(Vendor::Amd).vendor, Vendor::Amd);
+        assert_eq!(
+            CounterCatalog::for_vendor(Vendor::Intel).vendor,
+            Vendor::Intel
+        );
+    }
+
+    #[test]
+    fn code_labels_render_like_the_manuals() {
+        let cat = CounterCatalog::amd_family10h();
+        assert_eq!(cat.backend[0].code_label(), "00D2h");
+        let intel = CounterCatalog::intel_bigcore();
+        assert_eq!(intel.backend[4].code_label(), "10A2h");
+    }
+
+    #[test]
+    fn lookup_by_semantic_event() {
+        let cat = CounterCatalog::amd_family10h();
+        assert!(cat.backend_event_for(StallEvent::FpuFull).is_some());
+        assert!(cat.backend_event_for(StallEvent::StoreBufferFull).is_none());
+    }
+
+    #[test]
+    fn markdown_contains_every_event() {
+        let cat = CounterCatalog::intel_bigcore();
+        let md = cat.to_markdown();
+        for e in &cat.backend {
+            assert!(md.contains(e.description));
+        }
+    }
+
+    #[test]
+    fn category_names_are_distinct_within_a_catalog() {
+        for cat in [CounterCatalog::amd_family10h(), CounterCatalog::intel_bigcore()] {
+            let mut names: Vec<&str> = cat.backend.iter().map(|e| e.category_name()).collect();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), cat.backend.len());
+        }
+    }
+}

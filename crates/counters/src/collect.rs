@@ -1,0 +1,129 @@
+//! Collection step (A in Figure 3): turning counter samples into an
+//! ESTIMA [`MeasurementSet`].
+
+use estima_core::{Measurement, MeasurementSet, StallCategory};
+
+use crate::source::CounterSource;
+
+/// The core counts to measure at, given the measurements machine size.
+///
+/// ESTIMA runs the application "for different core counts, up to the number
+/// of cores available on the measurements machine". The plan is simply every
+/// core count from 1 to `max_cores`; callers can thin it out for very large
+/// measurement machines.
+pub fn measurement_plan(max_cores: u32) -> Vec<u32> {
+    (1..=max_cores.max(1)).collect()
+}
+
+/// Run the source at each core count in `plan` and assemble a
+/// [`MeasurementSet`] ready for the predictor.
+///
+/// Hardware events are recorded as backend or frontend categories according
+/// to the catalog; software sites are recorded as software categories under
+/// their reported names.
+pub fn collect_measurements(
+    source: &mut dyn CounterSource,
+    app_name: &str,
+    plan: &[u32],
+) -> MeasurementSet {
+    let frequency = source.machine().frequency_ghz;
+    // Whether an event counts as backend is decided by the catalog's listing
+    // (Table 2 / Table 3), not by its micro-architectural stage: e.g. the
+    // Intel "IQ full" event is part of the paper's collected backend set.
+    let backend_events = source.catalog().backend.clone();
+    let mut set = MeasurementSet::new(app_name, frequency);
+    for &cores in plan {
+        let sample = source.sample(cores);
+        let mut m = Measurement::new(sample.cores, sample.exec_time);
+        if let Some(bytes) = sample.memory_footprint {
+            m = m.with_memory_footprint(bytes);
+        }
+        for (event, cycles) in &sample.hardware {
+            let category = if backend_events.contains(event) {
+                StallCategory::backend(event.category_name())
+            } else {
+                StallCategory::frontend(event.category_name())
+            };
+            m = m.with_stall(category, *cycles);
+        }
+        for (site, cycles) in &sample.software {
+            m = m.with_stall(StallCategory::software(site.clone()), *cycles);
+        }
+        set.push(m);
+    }
+    set
+}
+
+/// Collect measurements over the full measurement plan `1..=max_cores`.
+pub fn collect_up_to(
+    source: &mut dyn CounterSource,
+    app_name: &str,
+    max_cores: u32,
+) -> MeasurementSet {
+    collect_measurements(source, app_name, &measurement_plan(max_cores))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{SimulatedCounterSource, SimulatedSourceOptions};
+    use estima_core::StallSource;
+    use estima_machine::{MachineDescriptor, SyncKind, WorkloadProfile};
+
+    fn lock_profile() -> WorkloadProfile {
+        let mut p = WorkloadProfile::new("locky");
+        p.sync = SyncKind::Locks;
+        p.sync_rate = 0.01;
+        p.sync_section_cycles = 200.0;
+        p.conflict_probability = 0.2;
+        p
+    }
+
+    #[test]
+    fn plan_covers_one_to_max() {
+        assert_eq!(measurement_plan(4), vec![1, 2, 3, 4]);
+        assert_eq!(measurement_plan(0), vec![1]);
+    }
+
+    #[test]
+    fn collected_set_validates_and_has_categories() {
+        let mut source =
+            SimulatedCounterSource::new(MachineDescriptor::opteron48(), lock_profile());
+        let set = collect_up_to(&mut source, "locky", 12);
+        assert_eq!(set.len(), 12);
+        assert!(set.validate(4).is_ok());
+        let backend = set.categories(&[StallSource::HardwareBackend]);
+        assert_eq!(backend.len(), 5, "AMD Table 2 has five backend events");
+        let software = set.categories(&[StallSource::Software]);
+        assert!(!software.is_empty());
+        assert_eq!(set.frequency_ghz, 2.1);
+        assert!(set.memory_footprint().is_some());
+    }
+
+    #[test]
+    fn frontend_categories_only_present_when_collected() {
+        let machine = MachineDescriptor::xeon20();
+        let mut plain = SimulatedCounterSource::new(machine.clone(), lock_profile());
+        let set = collect_up_to(&mut plain, "locky", 6);
+        assert!(set.categories(&[StallSource::HardwareFrontend]).is_empty());
+
+        let mut with_frontend = SimulatedCounterSource::with_options(
+            machine,
+            lock_profile(),
+            SimulatedSourceOptions {
+                collect_frontend: true,
+                collect_software: true,
+            },
+        );
+        let set = collect_up_to(&mut with_frontend, "locky", 6);
+        assert!(!set.categories(&[StallSource::HardwareFrontend]).is_empty());
+    }
+
+    #[test]
+    fn custom_plan_is_respected() {
+        let mut source =
+            SimulatedCounterSource::new(MachineDescriptor::xeon20(), lock_profile());
+        let set = collect_measurements(&mut source, "locky", &[2, 4, 8]);
+        assert_eq!(set.core_counts(), vec![2, 4, 8]);
+    }
+}

@@ -1,0 +1,28 @@
+//! # estima-counters
+//!
+//! Performance-counter abstraction for ESTIMA: which events to collect on
+//! each processor family, how to collect them, and how to turn the collected
+//! samples into the [`estima_core::MeasurementSet`] the predictor consumes.
+//!
+//! * [`CounterCatalog`] — the backend stall events per vendor (Table 2 for
+//!   AMD family 10h, Table 3 for recent Intel cores) plus the frontend events
+//!   used only by the §5.2 ablation.
+//! * [`CounterSource`] — trait for anything that can run the application at a
+//!   given core count and report stalled cycles. The default implementation,
+//!   [`SimulatedCounterSource`], drives the `estima-machine` simulator (the
+//!   documented substitution for raw PMU access in this reproduction).
+//! * [`collect_measurements`] / [`collect_up_to`] — step A of the pipeline.
+//! * [`CpuTopology`] — the fill-same-socket-first placement policy of §4.1.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod catalog;
+pub mod collect;
+pub mod source;
+pub mod topology;
+
+pub use catalog::{CounterCatalog, CounterEvent};
+pub use collect::{collect_measurements, collect_up_to, measurement_plan};
+pub use source::{CounterSample, CounterSource, SimulatedCounterSource, SimulatedSourceOptions};
+pub use topology::{CorePlacement, CpuTopology};

@@ -1,0 +1,230 @@
+//! Counter sources: where stall-cycle samples come from.
+//!
+//! The prediction pipeline is agnostic to how samples are produced. A
+//! [`CounterSource`] runs the application under measurement at a given core
+//! count and returns one [`CounterSample`]: execution time, the per-event
+//! stalled cycles from the vendor catalog, optional software stalls, and the
+//! memory footprint.
+//!
+//! The default implementation, [`SimulatedCounterSource`], drives the
+//! `estima-machine` simulator — the substitution this reproduction uses for
+//! raw PMU access (see DESIGN.md). A perf-events-based source for real Linux
+//! hosts would implement the same trait and plug into the identical
+//! collection path.
+
+use std::collections::BTreeMap;
+
+use estima_machine::{MachineDescriptor, SimRun, Simulator, StallEvent, WorkloadProfile};
+use serde::Serialize;
+
+use crate::catalog::{CounterCatalog, CounterEvent};
+
+/// One measured run at a fixed core count.
+#[derive(Debug, Clone, Serialize)]
+pub struct CounterSample {
+    /// Core count used for the run.
+    pub cores: u32,
+    /// Execution time in seconds.
+    pub exec_time: f64,
+    /// Total stalled cycles per collected hardware event.
+    pub hardware: BTreeMap<CounterEvent, f64>,
+    /// Total software stall cycles per reported site.
+    pub software: BTreeMap<String, f64>,
+    /// Peak memory footprint in bytes, when known.
+    pub memory_footprint: Option<u64>,
+}
+
+/// Something that can run the application under measurement and report
+/// stall-cycle samples.
+pub trait CounterSource {
+    /// Description of the machine the measurements are taken on.
+    fn machine(&self) -> &MachineDescriptor;
+
+    /// The counter catalog in effect (decides which events are collected).
+    fn catalog(&self) -> &CounterCatalog;
+
+    /// Execute the application at `cores` cores and collect a sample.
+    fn sample(&mut self, cores: u32) -> CounterSample;
+}
+
+/// Options for the simulated counter source.
+#[derive(Debug, Clone, Copy)]
+pub struct SimulatedSourceOptions {
+    /// Also collect the frontend stall events (for the §5.2 ablation).
+    pub collect_frontend: bool,
+    /// Also collect software stall sites reported by the simulated runtime.
+    pub collect_software: bool,
+}
+
+impl Default for SimulatedSourceOptions {
+    fn default() -> Self {
+        SimulatedSourceOptions {
+            collect_frontend: false,
+            collect_software: true,
+        }
+    }
+}
+
+/// A counter source backed by the machine simulator.
+#[derive(Debug, Clone)]
+pub struct SimulatedCounterSource {
+    simulator: Simulator,
+    profile: WorkloadProfile,
+    catalog: CounterCatalog,
+    options: SimulatedSourceOptions,
+}
+
+impl SimulatedCounterSource {
+    /// Create a source simulating `profile` on `machine`.
+    pub fn new(machine: MachineDescriptor, profile: WorkloadProfile) -> Self {
+        let catalog = CounterCatalog::for_vendor(machine.vendor);
+        SimulatedCounterSource {
+            simulator: Simulator::new(machine),
+            profile,
+            catalog,
+            options: SimulatedSourceOptions::default(),
+        }
+    }
+
+    /// Create a source with explicit options.
+    pub fn with_options(
+        machine: MachineDescriptor,
+        profile: WorkloadProfile,
+        options: SimulatedSourceOptions,
+    ) -> Self {
+        let mut source = Self::new(machine, profile);
+        source.options = options;
+        source
+    }
+
+    /// Use a pre-configured simulator (custom noise, seed salt).
+    pub fn with_simulator(simulator: Simulator, profile: WorkloadProfile) -> Self {
+        let catalog = CounterCatalog::for_vendor(simulator.machine().vendor);
+        SimulatedCounterSource {
+            simulator,
+            profile,
+            catalog,
+            options: SimulatedSourceOptions::default(),
+        }
+    }
+
+    /// The workload profile being measured.
+    pub fn profile(&self) -> &WorkloadProfile {
+        &self.profile
+    }
+
+    fn value_for(run: &SimRun, event: StallEvent) -> f64 {
+        run.backend_stalls
+            .get(&event)
+            .or_else(|| run.frontend_stalls.get(&event))
+            .copied()
+            .unwrap_or(0.0)
+    }
+}
+
+impl CounterSource for SimulatedCounterSource {
+    fn machine(&self) -> &MachineDescriptor {
+        self.simulator.machine()
+    }
+
+    fn catalog(&self) -> &CounterCatalog {
+        &self.catalog
+    }
+
+    fn sample(&mut self, cores: u32) -> CounterSample {
+        let run = self.simulator.run(&self.profile, cores);
+        let mut hardware = BTreeMap::new();
+        for event in &self.catalog.backend {
+            hardware.insert(event.clone(), Self::value_for(&run, event.event));
+        }
+        if self.options.collect_frontend {
+            for event in &self.catalog.frontend {
+                hardware.insert(event.clone(), Self::value_for(&run, event.event));
+            }
+        }
+        let software = if self.options.collect_software {
+            run.software_stalls.clone()
+        } else {
+            BTreeMap::new()
+        };
+        CounterSample {
+            cores,
+            exec_time: run.exec_time_secs,
+            hardware,
+            software,
+            memory_footprint: Some(run.memory_footprint_bytes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use estima_machine::SyncKind;
+
+    fn stm_profile() -> WorkloadProfile {
+        let mut p = WorkloadProfile::new("stm-demo");
+        p.sync = SyncKind::Stm;
+        p.sync_rate = 0.01;
+        p.sync_section_cycles = 300.0;
+        p.conflict_probability = 0.05;
+        p
+    }
+
+    #[test]
+    fn simulated_source_reports_all_backend_events() {
+        let mut source = SimulatedCounterSource::new(
+            MachineDescriptor::opteron48(),
+            stm_profile(),
+        );
+        let sample = source.sample(8);
+        assert_eq!(sample.cores, 8);
+        assert_eq!(sample.hardware.len(), source.catalog().backend.len());
+        assert!(sample.exec_time > 0.0);
+        assert!(sample.memory_footprint.unwrap() > 0);
+        assert!(sample.software.keys().any(|k| k.starts_with("stm.abort.")));
+    }
+
+    #[test]
+    fn frontend_collection_is_opt_in() {
+        let machine = MachineDescriptor::xeon20();
+        let base = SimulatedCounterSource::new(machine.clone(), stm_profile())
+            .sample(4)
+            .hardware
+            .len();
+        let with_frontend = SimulatedCounterSource::with_options(
+            machine,
+            stm_profile(),
+            SimulatedSourceOptions {
+                collect_frontend: true,
+                collect_software: true,
+            },
+        )
+        .sample(4)
+        .hardware
+        .len();
+        assert!(with_frontend > base);
+    }
+
+    #[test]
+    fn software_collection_can_be_disabled() {
+        let sample = SimulatedCounterSource::with_options(
+            MachineDescriptor::opteron48(),
+            stm_profile(),
+            SimulatedSourceOptions {
+                collect_frontend: false,
+                collect_software: false,
+            },
+        )
+        .sample(4);
+        assert!(sample.software.is_empty());
+    }
+
+    #[test]
+    fn catalog_matches_machine_vendor() {
+        let amd = SimulatedCounterSource::new(MachineDescriptor::opteron48(), stm_profile());
+        assert_eq!(amd.catalog().vendor, estima_machine::Vendor::Amd);
+        let intel = SimulatedCounterSource::new(MachineDescriptor::xeon20(), stm_profile());
+        assert_eq!(intel.catalog().vendor, estima_machine::Vendor::Intel);
+    }
+}

@@ -1,0 +1,134 @@
+//! CPU topology discovery and core-selection policy.
+//!
+//! ESTIMA "discovers the topology of the cores and uses cores within the same
+//! socket first" (§4.1). This module provides that placement policy for both
+//! simulated machines and the host the tool actually runs on.
+
+use estima_machine::MachineDescriptor;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a logical core and its position in the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CorePlacement {
+    /// Global core index (0-based).
+    pub core: u32,
+    /// Socket the core belongs to.
+    pub socket: u32,
+    /// Chip (NUMA node) within the socket.
+    pub chip: u32,
+}
+
+/// A machine's core topology as ESTIMA sees it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuTopology {
+    /// Number of sockets.
+    pub sockets: u32,
+    /// Chips per socket.
+    pub chips_per_socket: u32,
+    /// Cores per chip.
+    pub cores_per_chip: u32,
+}
+
+impl CpuTopology {
+    /// Topology of a simulated machine.
+    pub fn of_machine(machine: &MachineDescriptor) -> Self {
+        CpuTopology {
+            sockets: machine.sockets,
+            chips_per_socket: machine.chips_per_socket,
+            cores_per_chip: machine.cores_per_chip,
+        }
+    }
+
+    /// Best-effort topology of the host this process runs on. Socket/chip
+    /// structure is not portable to discover without OS-specific interfaces,
+    /// so the host is modelled as a single socket with
+    /// `available_parallelism` cores — good enough for driving the
+    /// executable workloads in `estima-workloads`.
+    pub fn detect_host() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get() as u32)
+            .unwrap_or(1);
+        CpuTopology {
+            sockets: 1,
+            chips_per_socket: 1,
+            cores_per_chip: cores,
+        }
+    }
+
+    /// Total number of cores.
+    pub fn total_cores(&self) -> u32 {
+        self.sockets * self.chips_per_socket * self.cores_per_chip
+    }
+
+    /// The placement of the first `n` threads under the fill-same-socket
+    /// (and, within a socket, fill-same-chip) policy.
+    pub fn placement(&self, n: u32) -> Vec<CorePlacement> {
+        let n = n.min(self.total_cores());
+        (0..n)
+            .map(|core| {
+                let chip_global = core / self.cores_per_chip;
+                CorePlacement {
+                    core,
+                    socket: chip_global / self.chips_per_socket,
+                    chip: chip_global % self.chips_per_socket,
+                }
+            })
+            .collect()
+    }
+
+    /// Number of sockets used when running `n` threads under the placement
+    /// policy.
+    pub fn sockets_used(&self, n: u32) -> u32 {
+        self.placement(n)
+            .last()
+            .map(|p| p.socket + 1)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_of_opteron_matches_descriptor() {
+        let t = CpuTopology::of_machine(&MachineDescriptor::opteron48());
+        assert_eq!(t.total_cores(), 48);
+        assert_eq!(t.sockets, 4);
+        assert_eq!(t.chips_per_socket, 2);
+    }
+
+    #[test]
+    fn placement_fills_sockets_first() {
+        let t = CpuTopology::of_machine(&MachineDescriptor::opteron48());
+        let p = t.placement(13);
+        assert_eq!(p.len(), 13);
+        // First 12 cores on socket 0 (two chips of 6), the 13th on socket 1.
+        assert!(p[..12].iter().all(|c| c.socket == 0));
+        assert_eq!(p[12].socket, 1);
+        assert_eq!(p[5].chip, 0);
+        assert_eq!(p[6].chip, 1);
+    }
+
+    #[test]
+    fn sockets_used_grows_stepwise() {
+        let t = CpuTopology::of_machine(&MachineDescriptor::xeon20());
+        assert_eq!(t.sockets_used(1), 1);
+        assert_eq!(t.sockets_used(10), 1);
+        assert_eq!(t.sockets_used(11), 2);
+        assert_eq!(t.sockets_used(20), 2);
+    }
+
+    #[test]
+    fn placement_saturates_at_machine_size() {
+        let t = CpuTopology::of_machine(&MachineDescriptor::haswell_desktop());
+        assert_eq!(t.placement(100).len(), 4);
+    }
+
+    #[test]
+    fn host_detection_reports_at_least_one_core() {
+        let t = CpuTopology::detect_host();
+        assert!(t.total_cores() >= 1);
+        assert_eq!(t.sockets, 1);
+    }
+}

@@ -1,0 +1,515 @@
+//! The simulation engine: executing a workload profile on a machine model.
+//!
+//! The engine is an analytic multicore performance model in the tradition of
+//! queueing-based processor models: for a given machine, workload profile and
+//! core count it accounts, per core,
+//!
+//! * useful cycles (the work itself),
+//! * backend stall cycles broken into the pipeline-resource categories real
+//!   PMUs expose (memory back-pressure split across ROB / reservation-station
+//!   / load-store resources, coherence-induced store-buffer stalls, FPU
+//!   saturation, branch-abort stalls),
+//! * frontend stall cycles (instruction fetch, instruction-queue),
+//! * software stall cycles (lock waiting, barrier waiting, aborted STM
+//!   transaction cycles), and
+//! * execution time.
+//!
+//! Memory back-pressure uses an M/M/1-style bandwidth queueing term plus a
+//! NUMA latency penalty once threads span multiple chips; lock contention
+//! uses an M/M/1 waiting-time term on critical-section utilisation; STM
+//! conflicts scale with the number of concurrently running transactions.
+//! The absolute numbers are not meant to match any physical machine — what
+//! matters for reproducing the paper is that each category's *growth with the
+//! core count* behaves the way the corresponding real phenomenon does.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::events::StallEvent;
+use crate::machine::MachineDescriptor;
+use crate::noise::NoiseSource;
+use crate::profile::{SyncKind, WorkloadProfile};
+
+/// Cycles of useful work per work unit.
+const BASE_CPI: f64 = 1.0;
+/// Fraction of memory latency hidden by out-of-order overlap / MLP.
+const MEMORY_OVERLAP: f64 = 0.55;
+/// Cycles lost per branch misprediction that count as backend abort stalls.
+const BRANCH_ABORT_COST: f64 = 12.0;
+/// Cycles per FP operation beyond the pipelined throughput.
+const FPU_STALL_COST: f64 = 1.6;
+/// Cycles per instruction-cache pressure event (frontend).
+const IFETCH_COST: f64 = 9.0;
+/// Cap on queueing utilisation so the M/M/1 terms stay finite.
+const MAX_UTILISATION: f64 = 0.96;
+
+/// Result of simulating one run at a fixed core count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimRun {
+    /// Core count the run used.
+    pub cores: u32,
+    /// Execution time in seconds.
+    pub exec_time_secs: f64,
+    /// Total backend stall cycles per category, summed over all cores.
+    pub backend_stalls: BTreeMap<StallEvent, f64>,
+    /// Total frontend stall cycles per category, summed over all cores.
+    pub frontend_stalls: BTreeMap<StallEvent, f64>,
+    /// Total software stall cycles per site, summed over all cores.
+    pub software_stalls: BTreeMap<String, f64>,
+    /// Peak memory footprint in bytes.
+    pub memory_footprint_bytes: u64,
+}
+
+impl SimRun {
+    /// Sum of all backend stall cycles.
+    pub fn total_backend(&self) -> f64 {
+        self.backend_stalls.values().sum()
+    }
+
+    /// Sum of all software stall cycles.
+    pub fn total_software(&self) -> f64 {
+        self.software_stalls.values().sum()
+    }
+
+    /// Total stalled cycles per core (backend + software), the quantity
+    /// ESTIMA correlates with execution time.
+    pub fn stalls_per_core(&self) -> f64 {
+        (self.total_backend() + self.total_software()) / self.cores.max(1) as f64
+    }
+}
+
+/// Options controlling a simulation sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct SimOptions {
+    /// Relative amplitude of run-to-run measurement noise (0 disables it).
+    pub noise_amplitude: f64,
+    /// Extra seed salt so repeated experiments can draw different noise.
+    pub seed_salt: u64,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            noise_amplitude: 0.015,
+            seed_salt: 0,
+        }
+    }
+}
+
+/// The machine simulator.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    machine: MachineDescriptor,
+    options: SimOptions,
+}
+
+impl Simulator {
+    /// Create a simulator for a machine with default options.
+    pub fn new(machine: MachineDescriptor) -> Self {
+        Simulator {
+            machine,
+            options: SimOptions::default(),
+        }
+    }
+
+    /// Create a simulator with explicit options.
+    pub fn with_options(machine: MachineDescriptor, options: SimOptions) -> Self {
+        Simulator { machine, options }
+    }
+
+    /// The simulated machine.
+    pub fn machine(&self) -> &MachineDescriptor {
+        &self.machine
+    }
+
+    /// Simulate a run of `profile` using `cores` cores.
+    ///
+    /// # Panics
+    /// Panics if `cores` is zero, exceeds the machine size, or the profile is
+    /// invalid — these are programming errors in the caller, not runtime
+    /// conditions.
+    pub fn run(&self, profile: &WorkloadProfile, cores: u32) -> SimRun {
+        assert!(cores >= 1, "need at least one core");
+        assert!(
+            cores <= self.machine.total_cores(),
+            "requested {cores} cores on a {}-core machine",
+            self.machine.total_cores()
+        );
+        profile
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid workload profile `{}`: {e}", profile.name));
+
+        let m = &self.machine;
+        let n = cores as f64;
+        let label = format!("{}/{}", m.name, profile.name);
+        let mut noise = NoiseSource::new(
+            NoiseSource::seed_from(&label, cores as u64 ^ self.options.seed_salt),
+            self.options.noise_amplitude,
+        );
+
+        // ----- work partitioning -------------------------------------------------
+        let parallel_work = profile.total_work * (1.0 - profile.serial_fraction);
+        let serial_work = profile.total_work * profile.serial_fraction;
+        let work_per_core = parallel_work / n;
+        let useful_cycles_per_core = work_per_core * BASE_CPI;
+
+        // ----- memory subsystem --------------------------------------------------
+        let accesses_per_core = work_per_core * profile.memory_intensity;
+        let chips = m.chips_spanned(cores) as f64;
+        // Remote LLC slices and remote memory controllers are only partially
+        // useful to a workload whose data is not perfectly interleaved, so
+        // additional chips contribute at a discount.
+        let llc_total_mib = m.llc_mib_per_chip * (1.0 + 0.3 * (chips - 1.0));
+        let cache_pressure = profile.working_set_mib / llc_total_mib.max(1.0);
+        let miss_rate =
+            (profile.base_miss_rate * (0.4 + cache_pressure / (1.0 + cache_pressure))).min(1.0);
+
+        let remote_fraction = m.remote_access_fraction(cores);
+        let effective_latency =
+            m.dram_latency_cycles * (1.0 + remote_fraction * (m.numa_penalty - 1.0));
+
+        let demand_gibps = n * profile.bandwidth_demand_gibps_per_core;
+        let available_gibps = m.dram_bandwidth_gibps_per_chip * (1.0 + 0.5 * (chips - 1.0));
+        let utilisation = (demand_gibps / available_gibps).min(MAX_UTILISATION);
+        let queue_multiplier = 1.0 / (1.0 - utilisation);
+
+        let memory_stall_per_core = accesses_per_core
+            * miss_rate
+            * effective_latency
+            * queue_multiplier
+            * (1.0 - MEMORY_OVERLAP);
+
+        // ----- coherence traffic -------------------------------------------------
+        let shared_accesses = accesses_per_core * profile.sharing_fraction;
+        // Invalidation probability grows with the number of other cores
+        // writing the same lines; cross-chip transfers cost extra.
+        let contention_scale = ((n - 1.0) / n) * (1.0 + 0.8 * (m.chips_spanned(cores) as f64 - 1.0));
+        let coherence_stall_per_core = shared_accesses
+            * profile.write_fraction
+            * m.coherence_latency_cycles
+            * contention_scale;
+
+        // ----- other backend categories ------------------------------------------
+        let branch_stall_per_core = work_per_core * profile.branch_miss_rate * BRANCH_ABORT_COST;
+        let fpu_stall_per_core = work_per_core * profile.fp_intensity * FPU_STALL_COST;
+
+        // ----- frontend -----------------------------------------------------------
+        let ifetch_per_core = work_per_core * profile.icache_pressure * IFETCH_COST;
+        let iq_per_core = work_per_core * profile.branch_miss_rate * 3.0;
+
+        // ----- software stalls ----------------------------------------------------
+        let mut software: BTreeMap<String, f64> = BTreeMap::new();
+        let mut software_stall_per_core = 0.0;
+
+        let sync_entries_per_core = work_per_core * profile.sync_rate;
+        match profile.sync {
+            SyncKind::None => {}
+            SyncKind::Locks | SyncKind::LockFree => {
+                // Lock (or CAS retry) waiting. The probability that an
+                // acquisition finds the resource contended compounds with the
+                // number of other threads, and once the lock saturates every
+                // acquisition queues behind an expected `q/(1-q)` holders —
+                // this is what makes lock-bound applications slow down, not
+                // just flatten, at high core counts. Lock-free structures pay
+                // roughly a third of the cost (failed CAS retries instead of
+                // full spinning and convoying).
+                let section = profile.sync_section_cycles.max(1.0);
+                let p = profile.conflict_probability;
+                let contended = (1.0 - (1.0 - p).powf(n - 1.0)).min(MAX_UTILISATION);
+                let wait_per_entry = section * contended / (1.0 - contended);
+                let scale = if profile.sync == SyncKind::LockFree { 0.35 } else { 1.0 };
+                let lock_stall = sync_entries_per_core * wait_per_entry * scale;
+                software_stall_per_core += lock_stall;
+                let site = if profile.sync == SyncKind::LockFree {
+                    format!("cas.retry.{}", profile.sync_site)
+                } else {
+                    format!("lock.wait.{}", profile.sync_site)
+                };
+                software.insert(site, lock_stall * n);
+            }
+            SyncKind::Stm => {
+                // Probability a transaction conflicts with any of the other
+                // n-1 concurrent transactions.
+                let p = profile.conflict_probability;
+                let conflict = (1.0 - (1.0 - p).powf(n - 1.0)).min(0.95);
+                // Expected wasted attempts per committed transaction for a
+                // geometric retry process.
+                let wasted_attempts = conflict / (1.0 - conflict);
+                let abort_stall =
+                    sync_entries_per_core * wasted_attempts * profile.sync_section_cycles;
+                software_stall_per_core += abort_stall;
+                software.insert(
+                    format!("stm.abort.{}", profile.sync_site),
+                    abort_stall * n,
+                );
+            }
+        }
+
+        if profile.barrier_phases > 0 {
+            // At each barrier every thread waits for the slowest; the gap
+            // grows slowly with the thread count (max of n samples).
+            let per_phase_cycles =
+                (useful_cycles_per_core + memory_stall_per_core) / profile.barrier_phases as f64;
+            let imbalance = profile.barrier_imbalance * (1.0 + 0.35 * n.ln());
+            let barrier_stall = profile.barrier_phases as f64 * per_phase_cycles * imbalance;
+            software_stall_per_core += barrier_stall;
+            software.insert(
+                format!("barrier.wait.{}", profile.sync_site),
+                barrier_stall * n,
+            );
+        }
+
+        // ----- split memory/coherence pressure into PMU-style categories ----------
+        let mut backend: BTreeMap<StallEvent, f64> = BTreeMap::new();
+        let mut add = |map: &mut BTreeMap<StallEvent, f64>, ev: StallEvent, per_core: f64| {
+            map.insert(ev, noise.jitter(per_core.max(0.0) * n));
+        };
+        add(
+            &mut backend,
+            StallEvent::ReservationStationFull,
+            memory_stall_per_core * 0.40,
+        );
+        add(
+            &mut backend,
+            StallEvent::ReorderBufferFull,
+            memory_stall_per_core * 0.32,
+        );
+        add(
+            &mut backend,
+            StallEvent::ResourceStall,
+            memory_stall_per_core * 0.18 + coherence_stall_per_core * 0.25,
+        );
+        add(
+            &mut backend,
+            StallEvent::LoadStoreFull,
+            memory_stall_per_core * 0.10 + coherence_stall_per_core * 0.35,
+        );
+        add(
+            &mut backend,
+            StallEvent::StoreBufferFull,
+            coherence_stall_per_core * 0.40,
+        );
+        add(&mut backend, StallEvent::BranchAbort, branch_stall_per_core);
+        add(&mut backend, StallEvent::FpuFull, fpu_stall_per_core);
+
+        let mut frontend: BTreeMap<StallEvent, f64> = BTreeMap::new();
+        add(&mut frontend, StallEvent::InstructionFetchStall, ifetch_per_core);
+        add(&mut frontend, StallEvent::InstructionQueueFull, iq_per_core);
+
+        // Noise on the software categories too.
+        for v in software.values_mut() {
+            *v = noise.jitter(*v);
+        }
+
+        // ----- execution time ------------------------------------------------------
+        let backend_stall_per_core = memory_stall_per_core
+            + coherence_stall_per_core
+            + branch_stall_per_core
+            + fpu_stall_per_core;
+        let frontend_stall_per_core = ifetch_per_core + iq_per_core;
+        let per_core_cycles = useful_cycles_per_core
+            + backend_stall_per_core
+            + frontend_stall_per_core
+            + software_stall_per_core;
+        let serial_cycles = serial_work * BASE_CPI * (1.0 + profile.base_miss_rate * 0.5);
+        let total_cycles = serial_cycles + per_core_cycles;
+        let exec_time_secs = noise.jitter(total_cycles / (m.frequency_ghz * 1e9));
+
+        SimRun {
+            cores,
+            exec_time_secs,
+            backend_stalls: backend,
+            frontend_stalls: frontend,
+            software_stalls: software,
+            memory_footprint_bytes: profile.memory_footprint_bytes(),
+        }
+    }
+
+    /// Simulate the profile for every core count in `1..=max_cores`.
+    pub fn sweep(&self, profile: &WorkloadProfile, max_cores: u32) -> Vec<SimRun> {
+        (1..=max_cores.min(self.machine.total_cores()))
+            .map(|c| self.run(profile, c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cpu_bound() -> WorkloadProfile {
+        let mut p = WorkloadProfile::new("cpu-bound");
+        p.memory_intensity = 0.05;
+        p.sharing_fraction = 0.001;
+        p
+    }
+
+    fn contended_stm() -> WorkloadProfile {
+        let mut p = WorkloadProfile::new("stm-heavy");
+        p.sync = SyncKind::Stm;
+        p.sync_rate = 0.02;
+        p.sync_section_cycles = 400.0;
+        p.conflict_probability = 0.06;
+        p.sync_site = "decode".into();
+        p
+    }
+
+    fn barrier_heavy() -> WorkloadProfile {
+        let mut p = WorkloadProfile::new("barrier-heavy");
+        p.barrier_phases = 200;
+        p.barrier_imbalance = 0.08;
+        p.sync_site = "phase".into();
+        p
+    }
+
+    fn sim(machine: MachineDescriptor) -> Simulator {
+        Simulator::with_options(
+            machine,
+            SimOptions {
+                noise_amplitude: 0.0,
+                seed_salt: 0,
+            },
+        )
+    }
+
+    #[test]
+    fn cpu_bound_workload_scales_nearly_linearly() {
+        let s = sim(MachineDescriptor::opteron48());
+        let runs = s.sweep(&cpu_bound(), 48);
+        let t1 = runs[0].exec_time_secs;
+        let t24 = runs[23].exec_time_secs;
+        let speedup = t1 / t24;
+        assert!(speedup > 14.0, "speedup at 24 cores only {speedup}");
+    }
+
+    #[test]
+    fn stm_contention_eventually_stops_scaling() {
+        let s = sim(MachineDescriptor::opteron48());
+        let runs = s.sweep(&contended_stm(), 48);
+        let best = runs
+            .iter()
+            .min_by(|a, b| a.exec_time_secs.partial_cmp(&b.exec_time_secs).unwrap())
+            .unwrap();
+        assert!(
+            best.cores < 48,
+            "expected the STM workload to stop scaling before 48 cores"
+        );
+        // And the abort cycles grow monotonically in total.
+        let aborts: Vec<f64> = runs
+            .iter()
+            .map(|r| r.software_stalls.values().sum::<f64>())
+            .collect();
+        assert!(aborts[47] > aborts[5]);
+    }
+
+    #[test]
+    fn frontend_stalls_stay_roughly_flat() {
+        let s = sim(MachineDescriptor::xeon20());
+        let runs = s.sweep(&cpu_bound(), 20);
+        let f1: f64 = runs[0].frontend_stalls.values().sum();
+        let f20: f64 = runs[19].frontend_stalls.values().sum();
+        let ratio = f20 / f1;
+        assert!(
+            (0.7..=1.3).contains(&ratio),
+            "frontend stalls changed by {ratio}x across the sweep"
+        );
+    }
+
+    #[test]
+    fn stalls_per_core_correlate_with_time() {
+        // The core premise of the paper (Table 5): correlation close to 1.
+        let s = sim(MachineDescriptor::opteron48());
+        for profile in [cpu_bound(), contended_stm(), barrier_heavy()] {
+            let runs = s.sweep(&profile, 48);
+            let times: Vec<f64> = runs.iter().map(|r| r.exec_time_secs).collect();
+            let spc: Vec<f64> = runs.iter().map(|r| r.stalls_per_core()).collect();
+            let corr = pearson(&times, &spc);
+            assert!(
+                corr > 0.85,
+                "correlation for {} is only {corr}",
+                profile.name
+            );
+        }
+    }
+
+    fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+        let n = xs.len() as f64;
+        let mx = xs.iter().sum::<f64>() / n;
+        let my = ys.iter().sum::<f64>() / n;
+        let mut cov = 0.0;
+        let mut vx = 0.0;
+        let mut vy = 0.0;
+        for (x, y) in xs.iter().zip(ys) {
+            cov += (x - mx) * (y - my);
+            vx += (x - mx) * (x - mx);
+            vy += (y - my) * (y - my);
+        }
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+
+    #[test]
+    fn numa_and_bandwidth_saturation_grow_total_backend_stalls() {
+        let s = sim(MachineDescriptor::xeon20());
+        let mut memory_bound = WorkloadProfile::new("membound");
+        memory_bound.memory_intensity = 1.5;
+        memory_bound.base_miss_rate = 0.08;
+        memory_bound.bandwidth_demand_gibps_per_core = 2.0;
+        let runs = s.sweep(&memory_bound, 20);
+        // The total amount of memory work is constant, so without NUMA and
+        // bandwidth queueing the total backend stalls would stay flat. Using
+        // the second socket (cores 11..20) must increase them appreciably.
+        let total10 = runs[9].total_backend();
+        let total20 = runs[19].total_backend();
+        assert!(
+            total20 > total10 * 1.2,
+            "expected a NUMA/bandwidth jump: {total10} -> {total20}"
+        );
+    }
+
+    #[test]
+    fn weak_scaling_doubles_footprint_and_work() {
+        let s = sim(MachineDescriptor::xeon20());
+        let base = contended_stm();
+        let scaled = base.scaled_dataset(2.0);
+        let r1 = s.run(&base, 10);
+        let r2 = s.run(&scaled, 10);
+        assert_eq!(r2.memory_footprint_bytes, r1.memory_footprint_bytes * 2);
+        assert!(r2.exec_time_secs > 1.8 * r1.exec_time_secs);
+    }
+
+    #[test]
+    fn determinism_same_inputs_same_outputs() {
+        let s = Simulator::new(MachineDescriptor::opteron48());
+        let a = s.run(&contended_stm(), 12);
+        let b = s.run(&contended_stm(), 12);
+        assert_eq!(a.exec_time_secs.to_bits(), b.exec_time_secs.to_bits());
+        assert_eq!(a.backend_stalls, b.backend_stalls);
+    }
+
+    #[test]
+    fn barrier_workload_reports_barrier_site() {
+        let s = sim(MachineDescriptor::opteron48());
+        let run = s.run(&barrier_heavy(), 24);
+        assert!(run
+            .software_stalls
+            .keys()
+            .any(|k| k.starts_with("barrier.wait.")));
+    }
+
+    #[test]
+    #[should_panic]
+    fn more_cores_than_machine_panics() {
+        let s = sim(MachineDescriptor::xeon20());
+        s.run(&cpu_bound(), 21);
+    }
+
+    #[test]
+    fn sweep_covers_requested_range() {
+        let s = sim(MachineDescriptor::haswell_desktop());
+        let runs = s.sweep(&cpu_bound(), 4);
+        assert_eq!(runs.len(), 4);
+        assert_eq!(runs[0].cores, 1);
+        assert_eq!(runs[3].cores, 4);
+    }
+}

@@ -1,0 +1,120 @@
+//! Semantic stall-event categories produced by the simulator.
+//!
+//! Real machines expose these as vendor-specific performance-counter events
+//! (Table 2 for AMD family 10h, Table 3 for recent Intel cores); the
+//! `estima-counters` crate maps each vendor's event codes onto these semantic
+//! categories. The simulator accounts stalled cycles directly against the
+//! semantic categories.
+
+use serde::{Deserialize, Serialize};
+
+/// A pipeline stall category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum StallEvent {
+    /// Dispatch stalled because a mispredicted branch forced younger
+    /// instructions to be flushed before retirement (AMD 0D2h).
+    BranchAbort,
+    /// Dispatch stalled because the reorder buffer was full (AMD 0D5h,
+    /// Intel 10A2h).
+    ReorderBufferFull,
+    /// Dispatch stalled because no reservation-station entry was available
+    /// (AMD 0D6h, Intel 04A2h).
+    ReservationStationFull,
+    /// Dispatch stalled because the floating-point unit was saturated
+    /// (AMD 0D7h).
+    FpuFull,
+    /// Dispatch stalled because the load/store unit was full (AMD 0D8h).
+    LoadStoreFull,
+    /// Dispatch/allocation stalled because no store buffer was available
+    /// (Intel 08A2h); on AMD this pressure folds into the load/store event.
+    StoreBufferFull,
+    /// Allocation stalled for resource-related reasons (Intel 01A2h);
+    /// captures memory-subsystem back-pressure not covered by the above.
+    ResourceStall,
+    /// Frontend: instruction fetch stalled (instruction-cache miss or
+    /// decode starvation). Not used by ESTIMA by default (§5.2).
+    InstructionFetchStall,
+    /// Frontend: the instruction queue was full (Intel 0487h).
+    InstructionQueueFull,
+}
+
+impl StallEvent {
+    /// Every backend event, in a stable order.
+    pub const BACKEND: [StallEvent; 7] = [
+        StallEvent::BranchAbort,
+        StallEvent::ReorderBufferFull,
+        StallEvent::ReservationStationFull,
+        StallEvent::FpuFull,
+        StallEvent::LoadStoreFull,
+        StallEvent::StoreBufferFull,
+        StallEvent::ResourceStall,
+    ];
+
+    /// Every frontend event, in a stable order.
+    pub const FRONTEND: [StallEvent; 2] = [
+        StallEvent::InstructionFetchStall,
+        StallEvent::InstructionQueueFull,
+    ];
+
+    /// True for fetch/decode-stage stalls.
+    pub fn is_frontend(&self) -> bool {
+        matches!(
+            self,
+            StallEvent::InstructionFetchStall | StallEvent::InstructionQueueFull
+        )
+    }
+
+    /// Stable snake_case name used as the ESTIMA stall-category name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StallEvent::BranchAbort => "branch_abort",
+            StallEvent::ReorderBufferFull => "rob_full",
+            StallEvent::ReservationStationFull => "rs_full",
+            StallEvent::FpuFull => "fpu_full",
+            StallEvent::LoadStoreFull => "ls_full",
+            StallEvent::StoreBufferFull => "store_buffer_full",
+            StallEvent::ResourceStall => "resource_stall",
+            StallEvent::InstructionFetchStall => "ifetch_stall",
+            StallEvent::InstructionQueueFull => "iq_full",
+        }
+    }
+}
+
+impl std::fmt::Display for StallEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_and_frontend_partition_the_events() {
+        for e in StallEvent::BACKEND {
+            assert!(!e.is_frontend());
+        }
+        for e in StallEvent::FRONTEND {
+            assert!(e.is_frontend());
+        }
+        assert_eq!(StallEvent::BACKEND.len() + StallEvent::FRONTEND.len(), 9);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = StallEvent::BACKEND
+            .iter()
+            .chain(StallEvent::FRONTEND.iter())
+            .map(|e| e.name())
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 9);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(StallEvent::ReorderBufferFull.to_string(), "rob_full");
+    }
+}

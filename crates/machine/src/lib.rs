@@ -1,0 +1,41 @@
+//! # estima-machine
+//!
+//! A multicore machine simulator substrate for the ESTIMA reproduction.
+//!
+//! The paper measures real applications on real hardware with performance
+//! counters; this environment has neither the 48-core servers nor raw PMU
+//! access, so this crate provides the substitution documented in DESIGN.md:
+//! an analytic multicore performance model that, for a given
+//! [`MachineDescriptor`], [`WorkloadProfile`] and core count, produces
+//!
+//! * execution time,
+//! * backend stalled cycles broken into the PMU-style categories of
+//!   [`StallEvent`] (reorder buffer, reservation stations, load/store and
+//!   store-buffer pressure, FPU saturation, branch aborts, generic resource
+//!   stalls),
+//! * frontend stalled cycles (flat with core count, per §5.2 of the paper),
+//! * software stalled cycles (lock waiting, barrier waiting, aborted STM
+//!   transaction cycles), and
+//! * the memory footprint (for weak-scaling predictions).
+//!
+//! The model captures the phenomena that drive the paper's evaluation:
+//! bandwidth saturation (M/M/1 queueing on DRAM), NUMA latency once threads
+//! span sockets, coherence traffic on shared writes, lock convoying, STM
+//! conflict growth, and barrier imbalance. Absolute cycle counts are not
+//! calibrated to any physical machine; the *shapes* over core counts are what
+//! the experiments rely on.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod engine;
+pub mod events;
+pub mod machine;
+pub mod noise;
+pub mod profile;
+
+pub use engine::{SimOptions, SimRun, Simulator};
+pub use events::StallEvent;
+pub use machine::{MachineDescriptor, Vendor};
+pub use noise::NoiseSource;
+pub use profile::{SyncKind, WorkloadProfile};

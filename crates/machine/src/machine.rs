@@ -1,0 +1,228 @@
+//! Machine descriptions: topology, clocks, caches, memory system.
+//!
+//! The paper's evaluation uses four machines: a 4-core Haswell desktop, a
+//! 48-core four-socket AMD Opteron 6172, a 20-core two-socket Intel Xeon
+//! E5-2680 v2 ("Xeon20") and a 48-core four-socket Intel E7-4830 v3
+//! ("Xeon48"). ESTIMA only relies on their topology (how many cores share a
+//! socket and a memory controller), their clock frequency, and the broad
+//! memory-system parameters; [`MachineDescriptor`] captures exactly those and
+//! provides presets for all four machines.
+
+use serde::{Deserialize, Serialize};
+
+/// CPU vendor, which determines the performance-counter catalog used by
+/// `estima-counters`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Vendor {
+    /// AMD family 10h style counters (Table 2 of the paper).
+    Amd,
+    /// Intel big-core style counters (Table 3 of the paper).
+    Intel,
+}
+
+/// Description of a (simulated) multicore machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineDescriptor {
+    /// Human-readable machine name.
+    pub name: String,
+    /// CPU vendor.
+    pub vendor: Vendor,
+    /// Number of sockets (packages).
+    pub sockets: u32,
+    /// Number of chips (NUMA nodes) per socket. The Opteron 6172 has two
+    /// 6-core chips per package, which is why single-socket measurements on
+    /// it already contain NUMA effects (§5.5).
+    pub chips_per_socket: u32,
+    /// Cores per chip.
+    pub cores_per_chip: u32,
+    /// Core clock frequency in GHz.
+    pub frequency_ghz: f64,
+    /// Last-level cache capacity per chip, in MiB.
+    pub llc_mib_per_chip: f64,
+    /// Sustainable DRAM bandwidth per chip (one memory controller per chip),
+    /// in GiB/s.
+    pub dram_bandwidth_gibps_per_chip: f64,
+    /// Uncontended local DRAM access latency, in core cycles.
+    pub dram_latency_cycles: f64,
+    /// Additional latency multiplier for remote (cross-chip) accesses.
+    pub numa_penalty: f64,
+    /// Latency of a cache-to-cache transfer between cores on the same chip,
+    /// in cycles.
+    pub coherence_latency_cycles: f64,
+}
+
+impl MachineDescriptor {
+    /// Total number of cores on the machine.
+    pub fn total_cores(&self) -> u32 {
+        self.sockets * self.chips_per_socket * self.cores_per_chip
+    }
+
+    /// Total number of chips (NUMA nodes).
+    pub fn total_chips(&self) -> u32 {
+        self.sockets * self.chips_per_socket
+    }
+
+    /// Number of chips spanned when `cores` cores are used, under the
+    /// fill-one-chip-first placement policy ESTIMA uses ("uses cores within
+    /// the same socket first", §4.1).
+    pub fn chips_spanned(&self, cores: u32) -> u32 {
+        cores.div_ceil(self.cores_per_chip).clamp(1, self.total_chips())
+    }
+
+    /// Number of sockets spanned when `cores` cores are used.
+    pub fn sockets_spanned(&self, cores: u32) -> u32 {
+        let cores_per_socket = self.chips_per_socket * self.cores_per_chip;
+        cores.div_ceil(cores_per_socket).clamp(1, self.sockets)
+    }
+
+    /// Fraction of memory accesses expected to hit a remote chip's memory
+    /// when `cores` cores are used and data is spread uniformly across the
+    /// chips that host threads. With a single chip in use this is zero.
+    pub fn remote_access_fraction(&self, cores: u32) -> f64 {
+        let chips = self.chips_spanned(cores) as f64;
+        if chips <= 1.0 {
+            0.0
+        } else {
+            (chips - 1.0) / chips
+        }
+    }
+
+    /// Aggregate DRAM bandwidth available to `cores` cores, in GiB/s: one
+    /// memory controller per chip in use.
+    pub fn available_bandwidth_gibps(&self, cores: u32) -> f64 {
+        self.chips_spanned(cores) as f64 * self.dram_bandwidth_gibps_per_chip
+    }
+
+    /// The 4-core (8-thread) Intel Core i7 Haswell desktop used as the
+    /// measurements machine for the memcached and SQLite experiments (§4.3).
+    pub fn haswell_desktop() -> Self {
+        MachineDescriptor {
+            name: "haswell-i7".into(),
+            vendor: Vendor::Intel,
+            sockets: 1,
+            chips_per_socket: 1,
+            cores_per_chip: 4,
+            frequency_ghz: 3.4,
+            llc_mib_per_chip: 8.0,
+            dram_bandwidth_gibps_per_chip: 25.6,
+            dram_latency_cycles: 220.0,
+            numa_penalty: 1.0,
+            coherence_latency_cycles: 45.0,
+        }
+    }
+
+    /// The four-socket AMD Opteron 6172 (4 × 2 chips × 6 cores = 48 cores,
+    /// 2.1 GHz) — "Opteron" in the paper.
+    pub fn opteron48() -> Self {
+        MachineDescriptor {
+            name: "opteron-6172".into(),
+            vendor: Vendor::Amd,
+            sockets: 4,
+            chips_per_socket: 2,
+            cores_per_chip: 6,
+            frequency_ghz: 2.1,
+            llc_mib_per_chip: 6.0,
+            dram_bandwidth_gibps_per_chip: 12.8,
+            dram_latency_cycles: 190.0,
+            numa_penalty: 1.6,
+            coherence_latency_cycles: 70.0,
+        }
+    }
+
+    /// The two-socket Intel Xeon E5-2680 v2 (2 × 10 cores = 20 cores,
+    /// 2.8 GHz) — "Xeon20" in the paper.
+    pub fn xeon20() -> Self {
+        MachineDescriptor {
+            name: "xeon-e5-2680v2".into(),
+            vendor: Vendor::Intel,
+            sockets: 2,
+            chips_per_socket: 1,
+            cores_per_chip: 10,
+            frequency_ghz: 2.8,
+            llc_mib_per_chip: 25.0,
+            dram_bandwidth_gibps_per_chip: 51.2,
+            dram_latency_cycles: 230.0,
+            numa_penalty: 1.5,
+            coherence_latency_cycles: 50.0,
+        }
+    }
+
+    /// The four-socket Intel Xeon E7-4830 v3 (4 × 12 cores = 48 cores,
+    /// 2.1 GHz) — "Xeon48" in the paper (§5.1).
+    pub fn xeon48() -> Self {
+        MachineDescriptor {
+            name: "xeon-e7-4830v3".into(),
+            vendor: Vendor::Intel,
+            sockets: 4,
+            chips_per_socket: 1,
+            cores_per_chip: 12,
+            frequency_ghz: 2.1,
+            llc_mib_per_chip: 30.0,
+            dram_bandwidth_gibps_per_chip: 51.2,
+            dram_latency_cycles: 250.0,
+            numa_penalty: 1.7,
+            coherence_latency_cycles: 55.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_core_counts_match_the_paper() {
+        assert_eq!(MachineDescriptor::haswell_desktop().total_cores(), 4);
+        assert_eq!(MachineDescriptor::opteron48().total_cores(), 48);
+        assert_eq!(MachineDescriptor::xeon20().total_cores(), 20);
+        assert_eq!(MachineDescriptor::xeon48().total_cores(), 48);
+    }
+
+    #[test]
+    fn opteron_has_two_chips_per_socket() {
+        let m = MachineDescriptor::opteron48();
+        assert_eq!(m.total_chips(), 8);
+        // 12 cores (one socket) already span two chips -> NUMA in the
+        // measurements, as §5.5 points out.
+        assert_eq!(m.chips_spanned(12), 2);
+        assert!(m.remote_access_fraction(12) > 0.0);
+    }
+
+    #[test]
+    fn xeon20_single_socket_has_no_numa() {
+        let m = MachineDescriptor::xeon20();
+        assert_eq!(m.chips_spanned(10), 1);
+        assert_eq!(m.remote_access_fraction(10), 0.0);
+        assert!(m.remote_access_fraction(20) > 0.0);
+    }
+
+    #[test]
+    fn chips_and_sockets_spanned_saturate() {
+        let m = MachineDescriptor::opteron48();
+        assert_eq!(m.chips_spanned(1), 1);
+        assert_eq!(m.chips_spanned(48), 8);
+        assert_eq!(m.chips_spanned(480), 8);
+        assert_eq!(m.sockets_spanned(48), 4);
+        assert_eq!(m.sockets_spanned(7), 1);
+        assert_eq!(m.sockets_spanned(13), 2);
+    }
+
+    #[test]
+    fn bandwidth_scales_with_chips_in_use() {
+        let m = MachineDescriptor::xeon20();
+        assert!(m.available_bandwidth_gibps(20) > m.available_bandwidth_gibps(10));
+        assert_eq!(
+            m.available_bandwidth_gibps(10),
+            m.dram_bandwidth_gibps_per_chip
+        );
+    }
+
+    #[test]
+    fn remote_fraction_grows_with_chips() {
+        let m = MachineDescriptor::xeon48();
+        let f2 = m.remote_access_fraction(24);
+        let f4 = m.remote_access_fraction(48);
+        assert!(f4 > f2);
+        assert!(f4 < 1.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Deterministic measurement noise.
+//!
+//! Real counter measurements fluctuate from run to run; the paper explicitly
+//! discusses how small fluctuations (e.g. kmeans) inflate reported errors
+//! without changing the predicted behaviour. The simulator reproduces this
+//! with small, *deterministic* multiplicative noise derived from a seed, so
+//! experiments are repeatable bit-for-bit.
+
+/// A tiny splitmix64-based deterministic noise source.
+#[derive(Debug, Clone)]
+pub struct NoiseSource {
+    state: u64,
+    amplitude: f64,
+}
+
+impl NoiseSource {
+    /// Create a noise source with the given seed and relative amplitude
+    /// (e.g. 0.02 for ±2% jitter).
+    pub fn new(seed: u64, amplitude: f64) -> Self {
+        NoiseSource {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            amplitude: amplitude.max(0.0),
+        }
+    }
+
+    /// Derive a seed from a string label and a numeric salt, so that the same
+    /// (machine, workload, core count) triple always sees the same jitter.
+    pub fn seed_from(label: &str, salt: u64) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform sample in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Multiplicative jitter factor in `[1 - amplitude, 1 + amplitude]`.
+    pub fn factor(&mut self) -> f64 {
+        1.0 + self.amplitude * (2.0 * self.uniform() - 1.0)
+    }
+
+    /// Apply jitter to a value.
+    pub fn jitter(&mut self, value: f64) -> f64 {
+        value * self.factor()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = NoiseSource::new(42, 0.05);
+        let mut b = NoiseSource::new(42, 0.05);
+        for _ in 0..100 {
+            assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = NoiseSource::new(1, 0.05);
+        let mut b = NoiseSource::new(2, 0.05);
+        let same = (0..32).filter(|_| a.uniform() == b.uniform()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn factor_stays_within_amplitude() {
+        let mut n = NoiseSource::new(7, 0.03);
+        for _ in 0..1000 {
+            let f = n.factor();
+            assert!((0.97..=1.03).contains(&f), "factor {f} out of range");
+        }
+    }
+
+    #[test]
+    fn zero_amplitude_is_exact() {
+        let mut n = NoiseSource::new(7, 0.0);
+        for _ in 0..10 {
+            assert_eq!(n.jitter(123.0), 123.0);
+        }
+    }
+
+    #[test]
+    fn seed_from_is_stable_and_label_sensitive() {
+        let a = NoiseSource::seed_from("opteron/intruder", 12);
+        let b = NoiseSource::seed_from("opteron/intruder", 12);
+        let c = NoiseSource::seed_from("opteron/kmeans", 12);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_covers_the_unit_interval() {
+        let mut n = NoiseSource::new(99, 0.0);
+        let samples: Vec<f64> = (0..2000).map(|_| n.uniform()).collect();
+        assert!(samples.iter().all(|u| (0.0..1.0).contains(u)));
+        assert!(samples.iter().any(|u| *u < 0.1));
+        assert!(samples.iter().any(|u| *u > 0.9));
+    }
+}

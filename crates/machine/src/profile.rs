@@ -1,0 +1,189 @@
+//! Workload profiles: the parameters that drive the machine simulator.
+//!
+//! A [`WorkloadProfile`] characterises a parallel in-memory application the
+//! way a performance engineer would: how much work it does, how memory-bound
+//! it is, how much of its data is actively shared, how often it synchronises
+//! and with what mechanism. `estima-workloads` defines one calibrated profile
+//! per evaluation workload (intruder, streamcluster, memcached, ...), chosen
+//! so each exhibits the scalability shape reported in the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// The synchronisation mechanism a workload uses for its critical work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SyncKind {
+    /// No cross-thread synchronisation beyond startup/teardown.
+    None,
+    /// Lock-based critical sections (mutexes / spinlocks).
+    Locks,
+    /// Lock-free data-structure operations (CAS retry loops).
+    LockFree,
+    /// Software transactional memory.
+    Stm,
+}
+
+/// Parameters describing one workload for the simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// Workload name (matches the paper's benchmark name).
+    pub name: String,
+    /// Total work in abstract work units (≈ retired instructions × 1e-3).
+    pub total_work: f64,
+    /// Fraction of the work that is inherently serial (Amdahl).
+    pub serial_fraction: f64,
+    /// Memory accesses issued per work unit.
+    pub memory_intensity: f64,
+    /// Cache-miss probability for a memory access when the working set fits
+    /// comfortably in the last-level cache.
+    pub base_miss_rate: f64,
+    /// Working-set size in MiB (scaled by the dataset factor for weak
+    /// scaling).
+    pub working_set_mib: f64,
+    /// DRAM bandwidth demand per core at full speed, in GiB/s.
+    pub bandwidth_demand_gibps_per_core: f64,
+    /// Fraction of memory accesses that touch actively shared cache lines
+    /// (coherence traffic).
+    pub sharing_fraction: f64,
+    /// Fraction of shared accesses that are writes (drives store-buffer
+    /// pressure and invalidations).
+    pub write_fraction: f64,
+    /// Floating-point operations per work unit (FPU pressure).
+    pub fp_intensity: f64,
+    /// Branch mispredictions per work unit.
+    pub branch_miss_rate: f64,
+    /// Instruction-cache pressure per work unit (frontend stalls).
+    pub icache_pressure: f64,
+    /// Synchronisation mechanism.
+    pub sync: SyncKind,
+    /// Critical-section (or transaction) entries per work unit.
+    pub sync_rate: f64,
+    /// Cycles spent inside one critical section / transaction.
+    pub sync_section_cycles: f64,
+    /// Probability that two concurrent critical sections / transactions
+    /// conflict (drives lock queueing and STM aborts).
+    pub conflict_probability: f64,
+    /// Number of barrier phases per run (0 for barrier-free workloads).
+    pub barrier_phases: u32,
+    /// Load imbalance between threads at each barrier, as a fraction of the
+    /// per-phase work.
+    pub barrier_imbalance: f64,
+    /// Label used for the software stall site attribution, e.g.
+    /// `"intruder.decode"`.
+    pub sync_site: String,
+    /// Dataset scale factor (1.0 = the default dataset). Weak-scaling
+    /// experiments run with 2.0.
+    pub dataset_scale: f64,
+}
+
+impl WorkloadProfile {
+    /// A neutral starting profile: embarrassingly parallel, compute-bound.
+    pub fn new(name: impl Into<String>) -> Self {
+        WorkloadProfile {
+            name: name.into(),
+            total_work: 2.0e8,
+            serial_fraction: 0.005,
+            memory_intensity: 0.3,
+            base_miss_rate: 0.01,
+            working_set_mib: 32.0,
+            bandwidth_demand_gibps_per_core: 0.5,
+            sharing_fraction: 0.01,
+            write_fraction: 0.3,
+            fp_intensity: 0.1,
+            branch_miss_rate: 0.002,
+            icache_pressure: 0.002,
+            sync: SyncKind::None,
+            sync_rate: 0.0,
+            sync_section_cycles: 0.0,
+            conflict_probability: 0.0,
+            barrier_phases: 0,
+            barrier_imbalance: 0.0,
+            sync_site: "sync".into(),
+            dataset_scale: 1.0,
+        }
+    }
+
+    /// Return a copy with the dataset (work and working set) scaled by
+    /// `factor`, as in the weak-scaling experiments of §4.5.
+    pub fn scaled_dataset(&self, factor: f64) -> Self {
+        let mut p = self.clone();
+        p.total_work *= factor;
+        p.working_set_mib *= factor;
+        p.dataset_scale = self.dataset_scale * factor;
+        p
+    }
+
+    /// Peak memory footprint in bytes implied by the working set.
+    pub fn memory_footprint_bytes(&self) -> u64 {
+        (self.working_set_mib * 1024.0 * 1024.0) as u64
+    }
+
+    /// Sanity-check the profile parameters (fractions in range, positive
+    /// work). Returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        let frac = |v: f64, what: &str| {
+            if (0.0..=1.0).contains(&v) {
+                Ok(())
+            } else {
+                Err(format!("{what} must be within [0,1], got {v}"))
+            }
+        };
+        if self.total_work <= 0.0 {
+            return Err("total_work must be positive".into());
+        }
+        frac(self.serial_fraction, "serial_fraction")?;
+        frac(self.base_miss_rate, "base_miss_rate")?;
+        frac(self.sharing_fraction, "sharing_fraction")?;
+        frac(self.write_fraction, "write_fraction")?;
+        frac(self.conflict_probability, "conflict_probability")?;
+        frac(self.barrier_imbalance, "barrier_imbalance")?;
+        if self.memory_intensity < 0.0 || self.sync_rate < 0.0 || self.fp_intensity < 0.0 {
+            return Err("rates must be non-negative".into());
+        }
+        if self.dataset_scale <= 0.0 {
+            return Err("dataset_scale must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_profile_is_valid() {
+        assert!(WorkloadProfile::new("demo").validate().is_ok());
+    }
+
+    #[test]
+    fn scaled_dataset_scales_work_and_footprint() {
+        let base = WorkloadProfile::new("demo");
+        let scaled = base.scaled_dataset(2.0);
+        assert_eq!(scaled.total_work, base.total_work * 2.0);
+        assert_eq!(scaled.working_set_mib, base.working_set_mib * 2.0);
+        assert_eq!(scaled.dataset_scale, 2.0);
+        assert_eq!(
+            scaled.memory_footprint_bytes(),
+            base.memory_footprint_bytes() * 2
+        );
+    }
+
+    #[test]
+    fn validation_catches_bad_fractions() {
+        let mut p = WorkloadProfile::new("bad");
+        p.serial_fraction = 1.5;
+        assert!(p.validate().is_err());
+        let mut p = WorkloadProfile::new("bad2");
+        p.total_work = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = WorkloadProfile::new("bad3");
+        p.dataset_scale = 0.0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn sync_kinds_are_comparable() {
+        assert_ne!(SyncKind::Locks, SyncKind::Stm);
+        assert_eq!(SyncKind::None, SyncKind::None);
+    }
+}

@@ -1,0 +1,39 @@
+//! # estima-stm
+//!
+//! A SwissTM-style word-based software transactional memory with
+//! abort-cycle statistics.
+//!
+//! The ESTIMA paper uses the SwissTM runtime's detailed-statistics mode to
+//! obtain the cycles wasted in aborted transactions, and feeds those to the
+//! predictor as software stall cycles. This crate provides the same
+//! capability for the Rust ports of the STAMP workloads:
+//!
+//! * [`TVar<T>`] — a transactional variable (value + version + commit lock),
+//! * [`Stm::atomically`] — run an atomic block with automatic retry,
+//! * [`StmStats`] — commits, aborts, and aborted cycles, attributed per
+//!   atomic-block site (`stm.abort.<site>`), in the same stall-registry
+//!   format as the lock/barrier wrappers of `estima-sync`.
+//!
+//! The algorithm is the classic TL2 recipe (global version clock, snapshot
+//! reads, commit-time locking in address order, lazy write-back) with a timid
+//! exponential-backoff contention manager.
+//!
+//! ```
+//! use estima_stm::{Stm, TVar};
+//!
+//! let stm = Stm::new();
+//! let balance = TVar::new(100i64);
+//! stm.atomically("deposit", |txn| txn.modify(&balance, |b| b + 50));
+//! assert_eq!(balance.read_atomic(), 150);
+//! assert_eq!(stm.stats().snapshot().commits, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod stats;
+pub mod tvar;
+pub mod txn;
+
+pub use stats::{StmSnapshot, StmStats};
+pub use tvar::{StmAbort, TVar, TxResult};
+pub use txn::{Stm, Transaction};

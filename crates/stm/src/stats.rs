@@ -1,0 +1,162 @@
+//! Commit/abort statistics — the "detailed statistics" mode of SwissTM.
+//!
+//! The paper configures the SwissTM runtime to report the duration of
+//! committed and aborted transactions; the aborted-transaction cycles become
+//! a software stall category for ESTIMA. [`StmStats`] collects exactly those
+//! numbers, globally and per transaction site (so bottleneck analysis can
+//! point at the offending atomic block, e.g. `intruder`'s packet decoder).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use estima_sync::StallStats;
+
+/// Snapshot of the STM statistics at a point in time.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StmSnapshot {
+    /// Number of committed transactions.
+    pub commits: u64,
+    /// Number of aborted transaction attempts.
+    pub aborts: u64,
+    /// Cycles spent in transaction attempts that ended in an abort.
+    pub aborted_cycles: u64,
+    /// Cycles spent in transaction attempts that committed.
+    pub committed_cycles: u64,
+}
+
+impl StmSnapshot {
+    /// Abort ratio: aborts / (commits + aborts). Zero when nothing ran.
+    pub fn abort_ratio(&self) -> f64 {
+        let total = self.commits + self.aborts;
+        if total == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / total as f64
+        }
+    }
+}
+
+/// Shared statistics registry for one STM instance.
+#[derive(Debug, Clone, Default)]
+pub struct StmStats {
+    inner: Arc<Inner>,
+    /// Per-site aborted cycles, reported in the same registry format the
+    /// sync wrappers use so workload drivers can merge them.
+    sites: StallStats,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    commits: AtomicU64,
+    aborts: AtomicU64,
+    aborted_cycles: AtomicU64,
+    committed_cycles: AtomicU64,
+}
+
+impl StmStats {
+    /// Create an empty statistics registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a committed transaction attempt.
+    pub fn record_commit(&self, cycles: u64) {
+        self.inner.commits.fetch_add(1, Ordering::Relaxed);
+        self.inner.committed_cycles.fetch_add(cycles, Ordering::Relaxed);
+    }
+
+    /// Record an aborted transaction attempt at the given site.
+    pub fn record_abort(&self, site: &str, cycles: u64) {
+        self.record_abort_at(&self.abort_site(site), cycles);
+    }
+
+    /// Resolve the per-site counter handle for an atomic block. Hot retry
+    /// loops should resolve the handle once and use
+    /// [`StmStats::record_abort_at`] so aborts do not pay a registry lookup.
+    pub fn abort_site(&self, site: &str) -> estima_sync::SiteHandle {
+        self.sites.site(&format!("stm.abort.{site}"))
+    }
+
+    /// Record an aborted attempt against a pre-resolved site handle.
+    pub fn record_abort_at(&self, site: &estima_sync::SiteHandle, cycles: u64) {
+        self.inner.aborts.fetch_add(1, Ordering::Relaxed);
+        self.inner.aborted_cycles.fetch_add(cycles, Ordering::Relaxed);
+        site.add(cycles);
+    }
+
+    /// Current totals.
+    pub fn snapshot(&self) -> StmSnapshot {
+        StmSnapshot {
+            commits: self.inner.commits.load(Ordering::Relaxed),
+            aborts: self.inner.aborts.load(Ordering::Relaxed),
+            aborted_cycles: self.inner.aborted_cycles.load(Ordering::Relaxed),
+            committed_cycles: self.inner.committed_cycles.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Aborted cycles per transaction site, keyed `stm.abort.<site>`.
+    pub fn aborted_cycles_by_site(&self) -> BTreeMap<String, u64> {
+        self.sites.by_site()
+    }
+
+    /// The underlying stall registry (for merging with lock/barrier stalls).
+    pub fn stall_stats(&self) -> &StallStats {
+        &self.sites
+    }
+
+    /// Reset all counters.
+    pub fn reset(&self) {
+        self.inner.commits.store(0, Ordering::Relaxed);
+        self.inner.aborts.store(0, Ordering::Relaxed);
+        self.inner.aborted_cycles.store(0, Ordering::Relaxed);
+        self.inner.committed_cycles.store(0, Ordering::Relaxed);
+        self.sites.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_commits_and_aborts() {
+        let stats = StmStats::new();
+        stats.record_commit(100);
+        stats.record_commit(50);
+        stats.record_abort("decode", 30);
+        let snap = stats.snapshot();
+        assert_eq!(snap.commits, 2);
+        assert_eq!(snap.aborts, 1);
+        assert_eq!(snap.committed_cycles, 150);
+        assert_eq!(snap.aborted_cycles, 30);
+        assert!((snap.abort_ratio() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn abort_ratio_of_idle_stm_is_zero() {
+        assert_eq!(StmSnapshot::default().abort_ratio(), 0.0);
+    }
+
+    #[test]
+    fn per_site_attribution() {
+        let stats = StmStats::new();
+        stats.record_abort("decode", 10);
+        stats.record_abort("decode", 5);
+        stats.record_abort("insert", 7);
+        let by_site = stats.aborted_cycles_by_site();
+        assert_eq!(by_site["stm.abort.decode"], 15);
+        assert_eq!(by_site["stm.abort.insert"], 7);
+    }
+
+    #[test]
+    fn clones_share_state_and_reset_clears() {
+        let stats = StmStats::new();
+        let clone = stats.clone();
+        clone.record_commit(1);
+        assert_eq!(stats.snapshot().commits, 1);
+        stats.reset();
+        assert_eq!(clone.snapshot().commits, 0);
+        assert_eq!(clone.snapshot().aborted_cycles, 0);
+    }
+}

@@ -1,0 +1,445 @@
+//! Transactions and the STM runtime.
+//!
+//! The runtime follows the TL2 / SwissTM recipe:
+//!
+//! * a global version clock,
+//! * transactions read a snapshot `rv` of the clock at start,
+//! * reads are validated against `rv` (and re-validated at commit for
+//!   writing transactions),
+//! * writes are buffered and published at commit under per-variable commit
+//!   locks acquired in a global (address) order, so commits never deadlock,
+//! * aborted attempts are retried with bounded exponential backoff (a timid
+//!   contention manager), and every aborted attempt's cycles are reported to
+//!   [`StmStats`] as software stall cycles — exactly the statistic the paper
+//!   feeds to ESTIMA for the STAMP workloads.
+
+use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use estima_sync::CycleTimer;
+
+use crate::stats::StmStats;
+use crate::tvar::{StmAbort, TVar, TxResult, TxTarget};
+
+/// The software transactional memory runtime.
+#[derive(Default)]
+pub struct Stm {
+    clock: AtomicU64,
+    stats: StmStats,
+}
+
+impl std::fmt::Debug for Stm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Stm")
+            .field("clock", &self.clock.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Stm {
+    /// Create a new STM runtime with fresh statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The runtime's statistics (commits, aborts, aborted cycles per site).
+    pub fn stats(&self) -> &StmStats {
+        &self.stats
+    }
+
+    /// Run `body` atomically, retrying on conflicts until it commits, and
+    /// return its result. `site` names the atomic block for per-site abort
+    /// attribution (e.g. `"intruder.decode"`).
+    ///
+    /// The body receives a [`Transaction`] through which all shared reads and
+    /// writes must go. Returning `Err(StmAbort)` from the body forces a
+    /// retry (the STM equivalent of `retry`).
+    pub fn atomically<'env, R>(
+        &'env self,
+        site: &str,
+        mut body: impl FnMut(&mut Transaction<'env>) -> TxResult<R>,
+    ) -> R {
+        let mut attempt = 0u32;
+        let mut abort_site = None;
+        loop {
+            let timer = CycleTimer::start();
+            let rv = self.clock.load(Ordering::Acquire);
+            let mut txn = Transaction {
+                stm: self,
+                rv,
+                reads: Vec::new(),
+                writes: Vec::new(),
+            };
+            match body(&mut txn) {
+                Ok(result) => {
+                    if txn.try_commit() {
+                        self.stats.record_commit(timer.elapsed_cycles());
+                        return result;
+                    }
+                }
+                Err(StmAbort) => {}
+            }
+            // The attempt aborted: record its cycles and back off. The site
+            // handle is resolved lazily on the first abort and reused so hot
+            // retry loops do not hammer the stall registry.
+            let handle =
+                abort_site.get_or_insert_with(|| self.stats.abort_site(site));
+            self.stats.record_abort_at(handle, timer.elapsed_cycles());
+            attempt = attempt.saturating_add(1);
+            backoff(attempt);
+        }
+    }
+
+    /// Convenience wrapper for read-only atomic blocks.
+    pub fn read_only<'env, R>(
+        &'env self,
+        site: &str,
+        mut body: impl FnMut(&mut Transaction<'env>) -> TxResult<R>,
+    ) -> R {
+        self.atomically(site, move |txn| body(txn))
+    }
+}
+
+/// Bounded exponential backoff between transaction attempts (timid
+/// contention management).
+fn backoff(attempt: u32) {
+    if attempt > 6 {
+        std::thread::yield_now();
+        return;
+    }
+    let spins = 1u32 << attempt.min(10);
+    for _ in 0..spins {
+        std::hint::spin_loop();
+    }
+}
+
+struct WriteEntry<'env> {
+    target: &'env dyn TxTarget,
+    value: Box<dyn Any + Send>,
+}
+
+/// An in-flight transaction attempt.
+pub struct Transaction<'env> {
+    stm: &'env Stm,
+    rv: u64,
+    reads: Vec<(&'env dyn TxTarget, u64)>,
+    writes: Vec<WriteEntry<'env>>,
+}
+
+impl<'env> Transaction<'env> {
+    /// Transactionally read a variable.
+    pub fn read<T: Clone + Send + 'static>(&mut self, var: &'env TVar<T>) -> TxResult<T> {
+        // Read-after-write: return the buffered value.
+        let addr = TxTarget::addr(var);
+        if let Some(entry) = self.writes.iter().find(|w| w.target.addr() == addr) {
+            let value = entry
+                .value
+                .downcast_ref::<T>()
+                .expect("write-set value has the wrong type for its TVar");
+            return Ok(value.clone());
+        }
+        match var.read_consistent(self.rv) {
+            Ok((value, version)) => {
+                self.reads.push((var as &dyn TxTarget, version));
+                Ok(value)
+            }
+            Err(StmAbort) => {
+                // Self-healing: a non-transactional `write_atomic` can leave
+                // a variable's version ahead of the global clock, which would
+                // otherwise make every retry observe `version > rv` forever.
+                // Advancing the clock to at least the observed version lets
+                // the retry take a fresh, adequate snapshot.
+                self.stm
+                    .clock
+                    .fetch_max(TxTarget::version(var), Ordering::AcqRel);
+                Err(StmAbort)
+            }
+        }
+    }
+
+    /// Transactionally write a variable (buffered until commit).
+    pub fn write<T: Clone + Send + 'static>(&mut self, var: &'env TVar<T>, value: T) {
+        let addr = TxTarget::addr(var);
+        if let Some(entry) = self.writes.iter_mut().find(|w| w.target.addr() == addr) {
+            entry.value = Box::new(value);
+            return;
+        }
+        self.writes.push(WriteEntry {
+            target: var as &dyn TxTarget,
+            value: Box::new(value),
+        });
+    }
+
+    /// Read-modify-write convenience: read, apply `f`, write back.
+    pub fn modify<T: Clone + Send + 'static>(
+        &mut self,
+        var: &'env TVar<T>,
+        f: impl FnOnce(T) -> T,
+    ) -> TxResult<()> {
+        let value = self.read(var)?;
+        self.write(var, f(value));
+        Ok(())
+    }
+
+    /// Force this attempt to abort and retry.
+    pub fn retry<T>(&self) -> TxResult<T> {
+        Err(StmAbort)
+    }
+
+    /// Number of variables read so far in this attempt.
+    pub fn read_set_size(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Number of variables written so far in this attempt.
+    pub fn write_set_size(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Attempt to commit. Returns `true` on success. On failure all commit
+    /// locks are released and the attempt counts as an abort.
+    fn try_commit(&mut self) -> bool {
+        if self.writes.is_empty() {
+            // Read-only transactions are already consistent with `rv`.
+            return true;
+        }
+        // Acquire commit locks in address order to avoid deadlock.
+        self.writes.sort_by_key(|w| w.target.addr());
+        let mut locked = 0usize;
+        for entry in &self.writes {
+            if entry.target.try_commit_lock() {
+                locked += 1;
+            } else {
+                break;
+            }
+        }
+        if locked < self.writes.len() {
+            for entry in &self.writes[..locked] {
+                entry.target.release_commit_lock();
+            }
+            return false;
+        }
+
+        let wv = self.stm.clock.fetch_add(1, Ordering::AcqRel) + 1;
+
+        // Validate the read set (unless nothing else could have committed
+        // since our snapshot).
+        if wv != self.rv + 1 {
+            for (target, version) in &self.reads {
+                let in_write_set = self
+                    .writes
+                    .iter()
+                    .any(|w| w.target.addr() == target.addr());
+                if target.version() != *version || (!in_write_set && target.is_commit_locked()) {
+                    for entry in &self.writes {
+                        entry.target.release_commit_lock();
+                    }
+                    return false;
+                }
+            }
+        }
+
+        // Publish the write set and release the locks.
+        for entry in self.writes.drain(..) {
+            entry.target.store_boxed(entry.value, wv);
+            entry.target.release_commit_lock();
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn single_threaded_read_write() {
+        let stm = Stm::new();
+        let var = TVar::new(10);
+        let result = stm.atomically("test", |txn| {
+            let v = txn.read(&var)?;
+            txn.write(&var, v + 5);
+            txn.read(&var)
+        });
+        assert_eq!(result, 15);
+        assert_eq!(var.read_atomic(), 15);
+        assert_eq!(stm.stats().snapshot().commits, 1);
+    }
+
+    #[test]
+    fn read_only_transactions_commit() {
+        let stm = Stm::new();
+        let a = TVar::new(1);
+        let b = TVar::new(2);
+        let sum = stm.read_only("sum", |txn| Ok(txn.read(&a)? + txn.read(&b)?));
+        assert_eq!(sum, 3);
+    }
+
+    #[test]
+    fn modify_helper_applies_function() {
+        let stm = Stm::new();
+        let var = TVar::new(vec![1, 2, 3]);
+        stm.atomically("push", |txn| {
+            txn.modify(&var, |mut v| {
+                v.push(4);
+                v
+            })
+        });
+        assert_eq!(var.read_atomic(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn user_retry_records_aborts() {
+        let stm = Stm::new();
+        let var = TVar::new(0u32);
+        let mut tries = 0;
+        stm.atomically("flaky", |txn| {
+            tries += 1;
+            if tries < 3 {
+                return txn.retry();
+            }
+            txn.write(&var, tries);
+            Ok(())
+        });
+        assert_eq!(var.read_atomic(), 3);
+        let snap = stm.stats().snapshot();
+        assert_eq!(snap.commits, 1);
+        assert_eq!(snap.aborts, 2);
+        assert!(stm
+            .stats()
+            .aborted_cycles_by_site()
+            .contains_key("stm.abort.flaky"));
+    }
+
+    #[test]
+    fn concurrent_counter_increments_are_serializable() {
+        const THREADS: usize = 8;
+        const ITERS: usize = 2_000;
+        let stm = Arc::new(Stm::new());
+        let counter = Arc::new(TVar::new(0u64));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let stm = Arc::clone(&stm);
+                let counter = Arc::clone(&counter);
+                thread::spawn(move || {
+                    for _ in 0..ITERS {
+                        stm.atomically("inc", |txn| txn.modify(&counter, |v| v + 1));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.read_atomic(), (THREADS * ITERS) as u64);
+        let snap = stm.stats().snapshot();
+        assert_eq!(snap.commits, (THREADS * ITERS) as u64);
+    }
+
+    #[test]
+    fn concurrent_transfers_conserve_total() {
+        const THREADS: usize = 6;
+        const ACCOUNTS: usize = 16;
+        const ITERS: usize = 1_500;
+        let stm = Arc::new(Stm::new());
+        let accounts: Arc<Vec<TVar<i64>>> =
+            Arc::new((0..ACCOUNTS).map(|_| TVar::new(1_000)).collect());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let stm = Arc::clone(&stm);
+                let accounts = Arc::clone(&accounts);
+                thread::spawn(move || {
+                    // Simple deterministic PRNG per thread.
+                    let mut state = (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    let mut next = || {
+                        state ^= state << 13;
+                        state ^= state >> 7;
+                        state ^= state << 17;
+                        state
+                    };
+                    for _ in 0..ITERS {
+                        let from = (next() % ACCOUNTS as u64) as usize;
+                        let to = (next() % ACCOUNTS as u64) as usize;
+                        let amount = (next() % 50) as i64;
+                        stm.atomically("transfer", |txn| {
+                            let f = txn.read(&accounts[from])?;
+                            let t = txn.read(&accounts[to])?;
+                            if from != to {
+                                txn.write(&accounts[from], f - amount);
+                                txn.write(&accounts[to], t + amount);
+                            }
+                            Ok(())
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total: i64 = accounts.iter().map(|a| a.read_atomic()).sum();
+        assert_eq!(total, (ACCOUNTS as i64) * 1_000);
+    }
+
+    #[test]
+    fn transactions_recover_after_non_transactional_writes() {
+        // write_atomic bumps per-variable versions past the global clock;
+        // transactions must still make progress afterwards (regression test
+        // for a livelock found in the kmeans workload).
+        let stm = Stm::new();
+        let vars: Vec<TVar<u64>> = (0..4).map(|_| TVar::new(0)).collect();
+        for round in 0..3u64 {
+            for v in &vars {
+                v.write_atomic(0);
+            }
+            std::thread::scope(|scope| {
+                for _ in 0..3 {
+                    let stm = &stm;
+                    let vars = &vars;
+                    scope.spawn(move || {
+                        for i in 0..200u64 {
+                            let idx = (i % 4) as usize;
+                            stm.atomically("reset-heavy", |txn| {
+                                txn.modify(&vars[idx], |v| v + 1)
+                            });
+                        }
+                    });
+                }
+            });
+            let total: u64 = vars.iter().map(|v| v.read_atomic()).sum();
+            assert_eq!(total, 600, "round {round}");
+        }
+    }
+
+    #[test]
+    fn read_after_write_sees_buffered_value() {
+        let stm = Stm::new();
+        let var = TVar::new(1);
+        stm.atomically("raw", |txn| {
+            txn.write(&var, 99);
+            assert_eq!(txn.read(&var)?, 99);
+            // The globally visible value is still the old one until commit.
+            assert_eq!(var.read_atomic(), 1);
+            Ok(())
+        });
+        assert_eq!(var.read_atomic(), 99);
+    }
+
+    #[test]
+    fn write_set_sizes_tracked() {
+        let stm = Stm::new();
+        let a = TVar::new(1);
+        let b = TVar::new(2);
+        stm.atomically("sizes", |txn| {
+            txn.read(&a)?;
+            txn.write(&b, 5);
+            txn.write(&b, 6); // overwrites, does not grow the write set
+            assert_eq!(txn.read_set_size(), 1);
+            assert_eq!(txn.write_set_size(), 1);
+            Ok(())
+        });
+        assert_eq!(b.read_atomic(), 6);
+    }
+}

@@ -1,0 +1,168 @@
+//! Sense-reversing spin barrier with wait-cycle accounting.
+//!
+//! `streamcluster` — the paper's poster child for synchronisation-bound
+//! scaling — spends most of its stalled cycles in barriers. This barrier
+//! reports the cycles each arrival spends waiting, so the workload drivers
+//! can feed them to ESTIMA as a software stall category.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use crate::cycles::CycleTimer;
+use crate::stall::StallStats;
+
+/// A reusable sense-reversing barrier for a fixed number of participants.
+pub struct SenseBarrier {
+    participants: usize,
+    remaining: AtomicUsize,
+    sense: AtomicBool,
+    stats: Option<(StallStats, String)>,
+}
+
+impl std::fmt::Debug for SenseBarrier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SenseBarrier")
+            .field("participants", &self.participants)
+            .finish()
+    }
+}
+
+impl SenseBarrier {
+    /// Create a barrier for `participants` threads.
+    pub fn new(participants: usize) -> Self {
+        assert!(participants > 0, "a barrier needs at least one participant");
+        SenseBarrier {
+            participants,
+            remaining: AtomicUsize::new(participants),
+            sense: AtomicBool::new(false),
+            stats: None,
+        }
+    }
+
+    /// Create a barrier that records wait cycles against `site` in `stats`.
+    pub fn with_stats(participants: usize, stats: StallStats, site: impl Into<String>) -> Self {
+        let mut barrier = Self::new(participants);
+        barrier.stats = Some((stats, site.into()));
+        barrier
+    }
+
+    /// Number of participating threads.
+    pub fn participants(&self) -> usize {
+        self.participants
+    }
+
+    /// Wait until all participants have arrived. Returns `true` for exactly
+    /// one participant per phase (the "leader"), mirroring
+    /// `std::sync::Barrier`.
+    pub fn wait(&self) -> bool {
+        let timer = CycleTimer::start();
+        let my_sense = !self.sense.load(Ordering::Relaxed);
+        let arrived = self.remaining.fetch_sub(1, Ordering::AcqRel);
+        let leader = arrived == 1;
+        if leader {
+            // Last arrival: reset the count and flip the sense.
+            self.remaining.store(self.participants, Ordering::Relaxed);
+            self.sense.store(my_sense, Ordering::Release);
+        } else {
+            while self.sense.load(Ordering::Acquire) != my_sense {
+                std::hint::spin_loop();
+            }
+        }
+        if let Some((stats, site)) = &self.stats {
+            stats.add(site, timer.elapsed_cycles());
+        }
+        leader
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn single_participant_never_blocks() {
+        let b = SenseBarrier::new(1);
+        for _ in 0..10 {
+            assert!(b.wait());
+        }
+    }
+
+    #[test]
+    fn all_threads_pass_every_phase() {
+        const THREADS: usize = 6;
+        const PHASES: usize = 50;
+        let barrier = Arc::new(SenseBarrier::new(THREADS));
+        let counter = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                let counter = Arc::clone(&counter);
+                thread::spawn(move || {
+                    for phase in 0..PHASES {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        barrier.wait();
+                        // After the barrier, every thread must observe all
+                        // arrivals of this phase.
+                        let seen = counter.load(Ordering::SeqCst);
+                        assert!(seen >= ((phase + 1) * THREADS) as u64);
+                        barrier.wait();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), (THREADS * PHASES) as u64);
+    }
+
+    #[test]
+    fn exactly_one_leader_per_phase() {
+        const THREADS: usize = 4;
+        const PHASES: usize = 20;
+        let barrier = Arc::new(SenseBarrier::new(THREADS));
+        let leaders = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                let leaders = Arc::clone(&leaders);
+                thread::spawn(move || {
+                    for _ in 0..PHASES {
+                        if barrier.wait() {
+                            leaders.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(leaders.load(Ordering::SeqCst), PHASES as u64);
+    }
+
+    #[test]
+    fn records_wait_cycles() {
+        let stats = StallStats::new();
+        let barrier = Arc::new(SenseBarrier::with_stats(2, stats.clone(), "barrier.test"));
+        let b2 = Arc::clone(&barrier);
+        let t = thread::spawn(move || {
+            b2.wait();
+        });
+        // Make the main thread arrive a little late so the spawned thread
+        // accumulates some wait cycles.
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        barrier.wait();
+        t.join().unwrap();
+        assert!(stats.by_site().contains_key("barrier.test"));
+        assert!(stats.total() > 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_participants_rejected() {
+        SenseBarrier::new(0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Instrumented synchronisation wrappers — the "thin pthread wrapper".
+//!
+//! §4.1 and §5.3 of the paper collect software stall cycles by wrapping the
+//! pthread mutex and barrier calls and measuring the cycles each thread
+//! spends spinning or waiting. These wrappers play that role: they behave
+//! exactly like the underlying primitive but report acquisition/wait cycles
+//! to a [`StallStats`] registry under a per-site name, which the workload
+//! drivers then hand to ESTIMA as software stall categories.
+
+use crate::cycles::CycleTimer;
+use crate::spinlock::{RawLock, SpinMutex, SpinMutexGuard, TtasLock};
+use crate::stall::{SiteHandle, StallStats};
+
+/// A mutex that records the cycles spent acquiring it.
+pub struct InstrumentedMutex<T, L: RawLock = TtasLock> {
+    inner: SpinMutex<T, L>,
+    site: SiteHandle,
+}
+
+impl<T, L: RawLock> InstrumentedMutex<T, L> {
+    /// Create an instrumented mutex reporting to `stats` under `site`.
+    pub fn new(data: T, stats: &StallStats, site: &str) -> Self {
+        InstrumentedMutex {
+            inner: SpinMutex::new(data),
+            site: stats.site(site),
+        }
+    }
+
+    /// Acquire the lock, recording the cycles spent waiting for it.
+    pub fn lock(&self) -> SpinMutexGuard<'_, T, L> {
+        let timer = CycleTimer::start();
+        let guard = self.inner.lock();
+        self.site.add(timer.elapsed_cycles());
+        guard
+    }
+
+    /// Try to acquire the lock; a failed attempt still counts the (tiny)
+    /// cycles it burned, mirroring the paper's treatment of `trylock` loops.
+    pub fn try_lock(&self) -> Option<SpinMutexGuard<'_, T, L>> {
+        let timer = CycleTimer::start();
+        let guard = self.inner.try_lock();
+        if guard.is_none() {
+            self.site.add(timer.elapsed_cycles());
+        }
+        guard
+    }
+
+    /// Total cycles recorded against this mutex's site so far.
+    pub fn recorded_cycles(&self) -> u64 {
+        self.site.total()
+    }
+}
+
+impl<T: std::fmt::Debug, L: RawLock> std::fmt::Debug for InstrumentedMutex<T, L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InstrumentedMutex")
+            .field("algorithm", &L::algorithm())
+            .finish()
+    }
+}
+
+/// A barrier that records the cycles spent waiting at it.
+///
+/// This is a thin convenience over [`crate::barrier::SenseBarrier::with_stats`]
+/// that mirrors the [`InstrumentedMutex`] construction style.
+#[derive(Debug)]
+pub struct InstrumentedBarrier {
+    inner: crate::barrier::SenseBarrier,
+}
+
+impl InstrumentedBarrier {
+    /// Create an instrumented barrier for `participants` threads, reporting
+    /// to `stats` under `site`.
+    pub fn new(participants: usize, stats: &StallStats, site: &str) -> Self {
+        InstrumentedBarrier {
+            inner: crate::barrier::SenseBarrier::with_stats(participants, stats.clone(), site),
+        }
+    }
+
+    /// Wait at the barrier; returns `true` for the phase leader.
+    pub fn wait(&self) -> bool {
+        self.inner.wait()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn mutex_records_contention_cycles() {
+        let stats = StallStats::new();
+        let mutex = Arc::new(InstrumentedMutex::<u64>::new(0, &stats, "lock.counter"));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let mutex = Arc::clone(&mutex);
+                thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        *mutex.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*mutex.lock(), 40_000);
+        assert!(stats.by_site().contains_key("lock.counter"));
+        assert_eq!(mutex.recorded_cycles(), stats.by_site()["lock.counter"]);
+    }
+
+    #[test]
+    fn try_lock_failure_counts_cycles() {
+        let stats = StallStats::new();
+        let mutex = InstrumentedMutex::<u32>::new(0, &stats, "lock.try");
+        let guard = mutex.lock();
+        assert!(mutex.try_lock().is_none());
+        drop(guard);
+        // At least the failed attempt is recorded (plus the successful lock).
+        assert!(stats.by_site().contains_key("lock.try"));
+    }
+
+    #[test]
+    fn barrier_reports_to_named_site() {
+        let stats = StallStats::new();
+        let barrier = Arc::new(InstrumentedBarrier::new(2, &stats, "barrier.phase"));
+        let b = Arc::clone(&barrier);
+        let t = thread::spawn(move || {
+            b.wait();
+        });
+        thread::sleep(std::time::Duration::from_millis(1));
+        barrier.wait();
+        t.join().unwrap();
+        assert!(stats.by_site().contains_key("barrier.phase"));
+    }
+
+    #[test]
+    fn distinct_sites_are_tracked_separately() {
+        let stats = StallStats::new();
+        let a = InstrumentedMutex::<u32>::new(0, &stats, "lock.a");
+        let b = InstrumentedMutex::<u32>::new(0, &stats, "lock.b");
+        drop(a.lock());
+        drop(b.lock());
+        let sites = stats.by_site();
+        assert!(sites.contains_key("lock.a"));
+        assert!(sites.contains_key("lock.b"));
+    }
+}

@@ -1,0 +1,39 @@
+//! # estima-sync
+//!
+//! Synchronisation substrate with software stall-cycle accounting.
+//!
+//! The ESTIMA paper optionally augments its hardware stall counters with
+//! *software stalls*: cycles spent spinning on locks, waiting at barriers, or
+//! re-executing aborted transactions. The original tool collects these
+//! through a thin wrapper around the pthread library; this crate provides the
+//! equivalent building blocks for the Rust workloads in `estima-workloads`:
+//!
+//! * spinlock algorithms with different contention behaviour
+//!   ([`TasLock`], [`TtasLock`], [`TicketLock`], [`ArrayLock`]) and a
+//!   data-carrying [`SpinMutex`],
+//! * a reader-writer spinlock ([`RwSpinLock`]),
+//! * a sense-reversing barrier ([`SenseBarrier`]),
+//! * instrumented wrappers ([`InstrumentedMutex`], [`InstrumentedBarrier`])
+//!   that report wait cycles to a shared [`StallStats`] registry,
+//! * cycle accounting utilities ([`CycleTimer`]) and cache-line padding
+//!   ([`Padded`]).
+
+#![warn(missing_docs)]
+
+pub mod barrier;
+pub mod cycles;
+pub mod instrumented;
+pub mod padded;
+pub mod rwlock;
+pub mod spinlock;
+pub mod stall;
+
+pub use barrier::SenseBarrier;
+pub use cycles::{cycles_from_nanos, nominal_frequency_ghz, set_nominal_frequency_ghz, CycleTimer};
+pub use instrumented::{InstrumentedBarrier, InstrumentedMutex};
+pub use padded::Padded;
+pub use rwlock::{RwReadGuard, RwSpinLock, RwWriteGuard};
+pub use spinlock::{
+    ArrayLock, RawLock, SpinMutex, SpinMutexGuard, TasLock, TicketLock, TtasLock,
+};
+pub use stall::{SiteHandle, StallStats};

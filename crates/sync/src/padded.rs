@@ -1,0 +1,79 @@
+//! Cache-line padding to avoid false sharing.
+//!
+//! Per-core counters and lock words that sit on the same cache line bounce
+//! between cores and produce exactly the coherence stalls the benchmarks are
+//! trying to isolate elsewhere. `Padded<T>` aligns its contents to 128 bytes
+//! (two 64-byte lines, covering adjacent-line prefetchers on modern Intel
+//! parts).
+
+/// A value aligned and padded to 128 bytes.
+#[derive(Debug, Default, Clone, Copy)]
+#[repr(align(128))]
+pub struct Padded<T> {
+    value: T,
+}
+
+impl<T> Padded<T> {
+    /// Wrap a value.
+    pub const fn new(value: T) -> Self {
+        Padded { value }
+    }
+
+    /// Consume the wrapper and return the value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> std::ops::Deref for Padded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> std::ops::DerefMut for Padded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for Padded<T> {
+    fn from(value: T) -> Self {
+        Padded::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn padded_is_at_least_128_bytes_and_aligned() {
+        assert!(std::mem::size_of::<Padded<u8>>() >= 128);
+        assert_eq!(std::mem::align_of::<Padded<u8>>(), 128);
+        assert_eq!(std::mem::align_of::<Padded<AtomicU64>>(), 128);
+    }
+
+    #[test]
+    fn deref_and_into_inner() {
+        let mut p = Padded::new(41u32);
+        *p += 1;
+        assert_eq!(*p, 42);
+        assert_eq!(p.into_inner(), 42);
+    }
+
+    #[test]
+    fn works_with_atomics() {
+        let p = Padded::new(AtomicU64::new(0));
+        p.fetch_add(5, Ordering::Relaxed);
+        assert_eq!(p.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn from_impl() {
+        let p: Padded<i32> = 7.into();
+        assert_eq!(*p, 7);
+    }
+}

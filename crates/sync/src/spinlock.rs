@@ -1,0 +1,376 @@
+//! Spinlock implementations with different contention behaviour.
+//!
+//! The paper's §4.6 case study replaces the PARSEC barrier mutexes in
+//! `streamcluster` with test-and-set spinlocks; the microbenchmark workloads
+//! exercise lock-based hash tables and skip lists. This module provides the
+//! lock algorithms those workloads are built on:
+//!
+//! * [`TasLock`] — test-and-set: a single atomic exchanged in a loop. Cheap
+//!   uncontended, storms the interconnect under contention.
+//! * [`TtasLock`] — test-and-test-and-set with exponential backoff: spins on
+//!   a local read until the lock looks free.
+//! * [`TicketLock`] — FIFO ticket lock: fair, bounded waiting, but every
+//!   waiter spins on the same grant word.
+//! * [`ArrayLock`] — Anderson's array-based queue lock: each waiter spins on
+//!   its own padded slot, avoiding the coherence storm of global spinning.
+//!
+//! All locks implement [`RawLock`] and can be combined with data through
+//! [`SpinMutex`].
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use crate::padded::Padded;
+
+/// A raw mutual-exclusion lock: no data, just acquire/release.
+pub trait RawLock: Send + Sync + Default {
+    /// Acquire the lock, spinning until it is available.
+    fn lock(&self);
+    /// Try to acquire the lock without spinning. Returns `true` on success.
+    fn try_lock(&self) -> bool;
+    /// Release the lock. Must only be called by the current holder.
+    fn unlock(&self);
+    /// Short human-readable name of the algorithm.
+    fn algorithm() -> &'static str;
+}
+
+/// Test-and-set spinlock.
+#[derive(Debug, Default)]
+pub struct TasLock {
+    locked: AtomicBool,
+}
+
+impl RawLock for TasLock {
+    fn lock(&self) {
+        while self.locked.swap(true, Ordering::Acquire) {
+            std::hint::spin_loop();
+        }
+    }
+
+    fn try_lock(&self) -> bool {
+        !self.locked.swap(true, Ordering::Acquire)
+    }
+
+    fn unlock(&self) {
+        self.locked.store(false, Ordering::Release);
+    }
+
+    fn algorithm() -> &'static str {
+        "tas"
+    }
+}
+
+/// Test-and-test-and-set spinlock with exponential backoff.
+#[derive(Debug, Default)]
+pub struct TtasLock {
+    locked: AtomicBool,
+}
+
+impl RawLock for TtasLock {
+    fn lock(&self) {
+        let mut backoff = 1u32;
+        loop {
+            // Spin on a plain load first so waiters stay in their own cache.
+            while self.locked.load(Ordering::Relaxed) {
+                for _ in 0..backoff {
+                    std::hint::spin_loop();
+                }
+                backoff = (backoff * 2).min(1 << 10);
+            }
+            if !self.locked.swap(true, Ordering::Acquire) {
+                return;
+            }
+        }
+    }
+
+    fn try_lock(&self) -> bool {
+        !self.locked.load(Ordering::Relaxed) && !self.locked.swap(true, Ordering::Acquire)
+    }
+
+    fn unlock(&self) {
+        self.locked.store(false, Ordering::Release);
+    }
+
+    fn algorithm() -> &'static str {
+        "ttas"
+    }
+}
+
+/// FIFO ticket lock.
+#[derive(Debug, Default)]
+pub struct TicketLock {
+    next_ticket: AtomicUsize,
+    now_serving: AtomicUsize,
+}
+
+impl RawLock for TicketLock {
+    fn lock(&self) {
+        let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+        while self.now_serving.load(Ordering::Acquire) != ticket {
+            std::hint::spin_loop();
+        }
+    }
+
+    fn try_lock(&self) -> bool {
+        let serving = self.now_serving.load(Ordering::Acquire);
+        self.next_ticket
+            .compare_exchange(serving, serving + 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    fn unlock(&self) {
+        self.now_serving.fetch_add(1, Ordering::Release);
+    }
+
+    fn algorithm() -> &'static str {
+        "ticket"
+    }
+}
+
+/// Maximum number of simultaneous waiters an [`ArrayLock`] supports.
+pub const ARRAY_LOCK_SLOTS: usize = 256;
+
+/// Anderson's array-based queue lock: every waiter spins on a private,
+/// cache-padded slot, so a release invalidates exactly one waiter's line.
+pub struct ArrayLock {
+    slots: Box<[Padded<AtomicBool>]>,
+    tail: AtomicUsize,
+}
+
+impl std::fmt::Debug for ArrayLock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArrayLock")
+            .field("slots", &self.slots.len())
+            .finish()
+    }
+}
+
+impl Default for ArrayLock {
+    fn default() -> Self {
+        let mut slots = Vec::with_capacity(ARRAY_LOCK_SLOTS);
+        for i in 0..ARRAY_LOCK_SLOTS {
+            // Slot 0 starts "granted" so the first acquirer proceeds at once.
+            slots.push(Padded::new(AtomicBool::new(i == 0)));
+        }
+        ArrayLock {
+            slots: slots.into_boxed_slice(),
+            tail: AtomicUsize::new(0),
+        }
+    }
+}
+
+// The slot index of the current holder is communicated through a thread-local
+// because `RawLock::unlock` takes no token. A single thread can hold several
+// ArrayLocks only in LIFO order, which is how lock guards behave.
+thread_local! {
+    static ARRAY_LOCK_HELD: std::cell::RefCell<Vec<usize>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+impl RawLock for ArrayLock {
+    fn lock(&self) {
+        let slot = self.tail.fetch_add(1, Ordering::Relaxed) % ARRAY_LOCK_SLOTS;
+        while !self.slots[slot].load(Ordering::Acquire) {
+            std::hint::spin_loop();
+        }
+        ARRAY_LOCK_HELD.with(|held| held.borrow_mut().push(slot));
+    }
+
+    fn try_lock(&self) -> bool {
+        // A queue lock cannot give up its place without breaking the queue,
+        // so try_lock only succeeds when the lock is completely idle.
+        let tail = self.tail.load(Ordering::Relaxed);
+        let slot = tail % ARRAY_LOCK_SLOTS;
+        if !self.slots[slot].load(Ordering::Acquire) {
+            return false;
+        }
+        if self
+            .tail
+            .compare_exchange(tail, tail + 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return false;
+        }
+        ARRAY_LOCK_HELD.with(|held| held.borrow_mut().push(slot));
+        true
+    }
+
+    fn unlock(&self) {
+        let slot = ARRAY_LOCK_HELD
+            .with(|held| held.borrow_mut().pop())
+            .expect("ArrayLock::unlock called without a matching lock");
+        self.slots[slot].store(false, Ordering::Relaxed);
+        self.slots[(slot + 1) % ARRAY_LOCK_SLOTS].store(true, Ordering::Release);
+    }
+
+    fn algorithm() -> &'static str {
+        "anderson-array"
+    }
+}
+
+/// A mutex combining a [`RawLock`] with the data it protects.
+pub struct SpinMutex<T, L: RawLock = TtasLock> {
+    lock: L,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: access to `data` is serialised by `lock`.
+unsafe impl<T: Send, L: RawLock> Send for SpinMutex<T, L> {}
+unsafe impl<T: Send, L: RawLock> Sync for SpinMutex<T, L> {}
+
+impl<T, L: RawLock> SpinMutex<T, L> {
+    /// Create a mutex protecting `data`.
+    pub fn new(data: T) -> Self {
+        SpinMutex {
+            lock: L::default(),
+            data: UnsafeCell::new(data),
+        }
+    }
+
+    /// Acquire the lock, returning a guard that releases it on drop.
+    pub fn lock(&self) -> SpinMutexGuard<'_, T, L> {
+        self.lock.lock();
+        SpinMutexGuard { mutex: self }
+    }
+
+    /// Try to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<SpinMutexGuard<'_, T, L>> {
+        if self.lock.try_lock() {
+            Some(SpinMutexGuard { mutex: self })
+        } else {
+            None
+        }
+    }
+
+    /// Consume the mutex and return the protected data.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+
+    /// Get a mutable reference without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+impl<T: std::fmt::Debug, L: RawLock> std::fmt::Debug for SpinMutex<T, L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpinMutex").field("algorithm", &L::algorithm()).finish()
+    }
+}
+
+/// RAII guard for [`SpinMutex`].
+pub struct SpinMutexGuard<'a, T, L: RawLock> {
+    mutex: &'a SpinMutex<T, L>,
+}
+
+impl<T, L: RawLock> std::ops::Deref for SpinMutexGuard<'_, T, L> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard proves we hold the lock.
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T, L: RawLock> std::ops::DerefMut for SpinMutexGuard<'_, T, L> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: the guard proves we hold the lock exclusively.
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+impl<T, L: RawLock> Drop for SpinMutexGuard<'_, T, L> {
+    fn drop(&mut self) {
+        self.mutex.lock.unlock();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn exercise_mutual_exclusion<L: RawLock + 'static>() {
+        const THREADS: usize = 8;
+        const ITERS: usize = 20_000;
+        let mutex = Arc::new(SpinMutex::<u64, L>::new(0));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let mutex = Arc::clone(&mutex);
+                thread::spawn(move || {
+                    for _ in 0..ITERS {
+                        *mutex.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*mutex.lock(), (THREADS * ITERS) as u64);
+    }
+
+    #[test]
+    fn tas_mutual_exclusion() {
+        exercise_mutual_exclusion::<TasLock>();
+    }
+
+    #[test]
+    fn ttas_mutual_exclusion() {
+        exercise_mutual_exclusion::<TtasLock>();
+    }
+
+    #[test]
+    fn ticket_mutual_exclusion() {
+        exercise_mutual_exclusion::<TicketLock>();
+    }
+
+    #[test]
+    fn array_mutual_exclusion() {
+        exercise_mutual_exclusion::<ArrayLock>();
+    }
+
+    #[test]
+    fn try_lock_fails_when_held() {
+        fn check<L: RawLock>() {
+            let m = SpinMutex::<u32, L>::new(5);
+            let guard = m.lock();
+            assert!(m.try_lock().is_none());
+            drop(guard);
+            assert_eq!(*m.try_lock().unwrap(), 5);
+        }
+        check::<TasLock>();
+        check::<TtasLock>();
+        check::<TicketLock>();
+        check::<ArrayLock>();
+    }
+
+    #[test]
+    fn into_inner_and_get_mut() {
+        let mut m = SpinMutex::<u32, TasLock>::new(1);
+        *m.get_mut() = 2;
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn algorithm_names_are_distinct() {
+        let names = [
+            TasLock::algorithm(),
+            TtasLock::algorithm(),
+            TicketLock::algorithm(),
+            ArrayLock::algorithm(),
+        ];
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+
+    #[test]
+    fn ticket_lock_is_fifo_under_try_lock() {
+        let lock = TicketLock::default();
+        assert!(lock.try_lock());
+        assert!(!lock.try_lock());
+        lock.unlock();
+        assert!(lock.try_lock());
+        lock.unlock();
+    }
+}

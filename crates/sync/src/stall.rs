@@ -1,0 +1,154 @@
+//! Software stall-cycle accounting.
+//!
+//! This is the Rust analogue of the paper's "thin wrapper around the pthread
+//! library": every synchronisation site (a lock, a barrier, an STM abort
+//! path) reports the cycles threads spent producing no useful work, keyed by
+//! a site name. ESTIMA later extrapolates each site's cycles as its own
+//! software stall category.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Shared registry of software stall cycles, keyed by site name.
+///
+/// Cloning is cheap (the registry lives behind an [`Arc`]); all clones see
+/// the same counters. Recording on a hot path touches a single relaxed
+/// atomic per site after the first registration.
+#[derive(Debug, Clone, Default)]
+pub struct StallStats {
+    inner: Arc<StallStatsInner>,
+}
+
+#[derive(Debug, Default)]
+struct StallStatsInner {
+    sites: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+}
+
+/// A handle to one site's counter: cheap to record on repeatedly.
+#[derive(Debug, Clone)]
+pub struct SiteHandle {
+    counter: Arc<AtomicU64>,
+}
+
+impl SiteHandle {
+    /// Add stall cycles to the site.
+    pub fn add(&self, cycles: u64) {
+        self.counter.fetch_add(cycles, Ordering::Relaxed);
+    }
+
+    /// Current total for the site.
+    pub fn total(&self) -> u64 {
+        self.counter.load(Ordering::Relaxed)
+    }
+}
+
+impl StallStats {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get (or create) the handle for a site.
+    pub fn site(&self, name: &str) -> SiteHandle {
+        let mut sites = self.inner.sites.lock().expect("stall registry poisoned");
+        let counter = sites
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+            .clone();
+        SiteHandle { counter }
+    }
+
+    /// Record stall cycles against a site (registers the site if needed).
+    pub fn add(&self, name: &str, cycles: u64) {
+        self.site(name).add(cycles);
+    }
+
+    /// Total stall cycles across all sites.
+    pub fn total(&self) -> u64 {
+        let sites = self.inner.sites.lock().expect("stall registry poisoned");
+        sites.values().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Cycle totals per site, in deterministic (sorted) order.
+    pub fn by_site(&self) -> BTreeMap<String, u64> {
+        let sites = self.inner.sites.lock().expect("stall registry poisoned");
+        sites
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Reset every site counter to zero (the sites stay registered).
+    pub fn reset(&self) {
+        let sites = self.inner.sites.lock().expect("stall registry poisoned");
+        for counter in sites.values() {
+            counter.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn records_per_site() {
+        let stats = StallStats::new();
+        stats.add("lock.a", 100);
+        stats.add("lock.b", 50);
+        stats.add("lock.a", 25);
+        let by_site = stats.by_site();
+        assert_eq!(by_site["lock.a"], 125);
+        assert_eq!(by_site["lock.b"], 50);
+        assert_eq!(stats.total(), 175);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let stats = StallStats::new();
+        let clone = stats.clone();
+        clone.add("barrier", 10);
+        assert_eq!(stats.total(), 10);
+    }
+
+    #[test]
+    fn site_handle_avoids_registry_lock() {
+        let stats = StallStats::new();
+        let handle = stats.site("hot");
+        handle.add(1);
+        handle.add(2);
+        assert_eq!(handle.total(), 3);
+        assert_eq!(stats.by_site()["hot"], 3);
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_sites() {
+        let stats = StallStats::new();
+        stats.add("x", 7);
+        stats.reset();
+        assert_eq!(stats.total(), 0);
+        assert!(stats.by_site().contains_key("x"));
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let stats = StallStats::new();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let stats = stats.clone();
+                thread::spawn(move || {
+                    let site = stats.site("contended");
+                    for _ in 0..10_000 {
+                        site.add(1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(stats.total(), 80_000);
+    }
+}

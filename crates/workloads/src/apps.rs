@@ -1,0 +1,395 @@
+//! Executable production-application workloads: a memcached-style key-value
+//! server and a SQLite-style in-memory database running a TPC-C-like
+//! new-order mix.
+//!
+//! §4.3 of the paper predicts the scalability of memcached (cloudsuite
+//! client, 550-byte read-mostly objects) and SQLite (TPC-C over tmpfs) on a
+//! server from desktop measurements. These executable stand-ins reproduce
+//! the relevant access patterns — a sharded hash table with per-shard LRU
+//! under locks, and an order-processing transaction touching several tables
+//! behind latches — on the instrumented `estima-sync` substrate.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use estima_sync::{InstrumentedMutex, StallStats, TtasLock};
+
+use crate::driver::{timed_run, ExecutableWorkload, RunOutcome};
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+// ---------------------------------------------------------------------------
+// memcached-style key-value store
+// ---------------------------------------------------------------------------
+
+struct Shard {
+    map: HashMap<u64, Vec<u8>>,
+    lru: Vec<u64>,
+    capacity: usize,
+}
+
+impl Shard {
+    fn get(&mut self, key: u64) -> Option<usize> {
+        if self.map.contains_key(&key) {
+            // Move to the back of the LRU list (most recently used).
+            if let Some(pos) = self.lru.iter().position(|k| *k == key) {
+                let k = self.lru.remove(pos);
+                self.lru.push(k);
+            }
+            self.map.get(&key).map(|v| v.len())
+        } else {
+            None
+        }
+    }
+
+    fn set(&mut self, key: u64, value: Vec<u8>) {
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(victim) = self.lru.first().copied() {
+                self.lru.remove(0);
+                self.map.remove(&victim);
+            }
+        }
+        if !self.map.contains_key(&key) {
+            self.lru.push(key);
+        }
+        self.map.insert(key, value);
+    }
+}
+
+/// A sharded in-memory cache with per-shard locking and LRU eviction —
+/// the memcached server stand-in.
+pub struct KeyValueStore {
+    shards: Vec<InstrumentedMutex<Shard, TtasLock>>,
+}
+
+impl KeyValueStore {
+    /// Create a store with `shards` lock shards, each holding at most
+    /// `capacity_per_shard` objects.
+    pub fn new(shards: usize, capacity_per_shard: usize, stats: &StallStats) -> Self {
+        KeyValueStore {
+            shards: (0..shards.max(1))
+                .map(|_| {
+                    InstrumentedMutex::new(
+                        Shard {
+                            map: HashMap::new(),
+                            lru: Vec::new(),
+                            capacity: capacity_per_shard.max(1),
+                        },
+                        stats,
+                        "memcached.lru",
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    fn shard_for(&self, key: u64) -> &InstrumentedMutex<Shard, TtasLock> {
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    /// GET: returns the stored value size, if present.
+    pub fn get(&self, key: u64) -> Option<usize> {
+        self.shard_for(key).lock().get(key)
+    }
+
+    /// SET: store an object.
+    pub fn set(&self, key: u64, value: Vec<u8>) {
+        self.shard_for(key).lock().set(key, value);
+    }
+
+    /// Total number of cached objects.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// True when the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The memcached workload: a read-mostly GET/SET mix with 550-byte objects
+/// (the cloudsuite configuration the paper uses).
+pub struct MemcachedWorkload {
+    /// Requests issued per client thread.
+    pub requests_per_thread: usize,
+    /// Number of distinct keys.
+    pub key_space: u64,
+    /// Fraction of requests that are GETs.
+    pub get_ratio: f64,
+    /// Object size in bytes (550 in the paper's workload).
+    pub object_size: usize,
+    /// Number of cache shards.
+    pub shards: usize,
+}
+
+impl Default for MemcachedWorkload {
+    fn default() -> Self {
+        MemcachedWorkload {
+            requests_per_thread: 20_000,
+            key_space: 50_000,
+            get_ratio: 0.95,
+            object_size: 550,
+            shards: 16,
+        }
+    }
+}
+
+impl ExecutableWorkload for MemcachedWorkload {
+    fn name(&self) -> &str {
+        "memcached"
+    }
+
+    fn run(&self, threads: usize) -> RunOutcome {
+        let threads = threads.max(1);
+        let stats = StallStats::new();
+        let store = Arc::new(KeyValueStore::new(
+            self.shards,
+            (self.key_space as usize / self.shards.max(1)).max(16),
+            &stats,
+        ));
+        let requests = self.requests_per_thread;
+        let key_space = self.key_space.max(1);
+        let get_ratio = self.get_ratio;
+        let object_size = self.object_size;
+        let total = (requests * threads) as u64;
+
+        timed_run(threads, total, &stats, move || {
+            std::thread::scope(|scope| {
+                for t in 0..threads {
+                    let store = Arc::clone(&store);
+                    scope.spawn(move || {
+                        let mut state = (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                        for _ in 0..requests {
+                            let key = xorshift(&mut state) % key_space;
+                            let is_get = (xorshift(&mut state) % 1000) as f64 / 1000.0 < get_ratio;
+                            if is_get {
+                                if store.get(key).is_none() {
+                                    // Cache miss: fill, like a real client would.
+                                    store.set(key, vec![0u8; object_size]);
+                                }
+                            } else {
+                                store.set(key, vec![0u8; object_size]);
+                            }
+                        }
+                    });
+                }
+            });
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SQLite-style in-memory database with a TPC-C-like new-order mix
+// ---------------------------------------------------------------------------
+
+/// One warehouse district's state: a stock level per item and an order
+/// counter — the minimum needed to exercise the TPC-C new-order access
+/// pattern (read stock for a handful of items, decrement it, append an
+/// order) under per-district latches.
+struct District {
+    stock: Vec<i64>,
+    next_order_id: u64,
+    orders: Vec<(u64, u32)>,
+}
+
+/// The in-memory database: districts behind latches, like SQLite's page
+/// latches serialising writers on hot B-tree pages.
+pub struct MiniDatabase {
+    districts: Vec<InstrumentedMutex<District, TtasLock>>,
+    items_per_district: usize,
+}
+
+impl MiniDatabase {
+    /// Create a database with `districts` districts of `items` items each.
+    pub fn new(districts: usize, items: usize, stats: &StallStats) -> Self {
+        MiniDatabase {
+            districts: (0..districts.max(1))
+                .map(|_| {
+                    InstrumentedMutex::new(
+                        District {
+                            stock: vec![1_000_000; items.max(1)],
+                            next_order_id: 1,
+                            orders: Vec::new(),
+                        },
+                        stats,
+                        "sqlite.btree_latch",
+                    )
+                })
+                .collect(),
+            items_per_district: items.max(1),
+        }
+    }
+
+    /// Execute one new-order transaction: pick `lines` items in a district,
+    /// decrement their stock and record the order. Returns the order id.
+    pub fn new_order(&self, district: usize, lines: &[usize]) -> u64 {
+        let idx = district % self.districts.len();
+        let mut d = self.districts[idx].lock();
+        for &item in lines {
+            let slot = item % self.items_per_district;
+            d.stock[slot] -= 1;
+        }
+        let id = d.next_order_id;
+        d.next_order_id += 1;
+        d.orders.push((id, lines.len() as u32));
+        id
+    }
+
+    /// Number of orders committed across all districts.
+    pub fn total_orders(&self) -> u64 {
+        self.districts.iter().map(|d| d.lock().orders.len() as u64).sum()
+    }
+
+    /// Total stock decrements applied (for conservation checks).
+    pub fn total_stock_consumed(&self) -> i64 {
+        self.districts
+            .iter()
+            .map(|d| {
+                let d = d.lock();
+                d.stock.iter().map(|s| 1_000_000 - s).sum::<i64>()
+            })
+            .sum()
+    }
+}
+
+/// The SQLite/TPC-C workload: threads issue new-order transactions against a
+/// small number of hot districts.
+pub struct SqliteTpccWorkload {
+    /// Transactions per thread.
+    pub transactions_per_thread: usize,
+    /// Number of districts (few districts = hot latches, like the paper's
+    /// 10 GB TPC-C dataset on a single SQLite database).
+    pub districts: usize,
+    /// Items per district.
+    pub items: usize,
+    /// Order lines per transaction.
+    pub lines_per_order: usize,
+}
+
+impl Default for SqliteTpccWorkload {
+    fn default() -> Self {
+        SqliteTpccWorkload {
+            transactions_per_thread: 5_000,
+            districts: 8,
+            items: 4_096,
+            lines_per_order: 10,
+        }
+    }
+}
+
+impl ExecutableWorkload for SqliteTpccWorkload {
+    fn name(&self) -> &str {
+        "sqlite-tpcc"
+    }
+
+    fn run(&self, threads: usize) -> RunOutcome {
+        let threads = threads.max(1);
+        let stats = StallStats::new();
+        let db = Arc::new(MiniDatabase::new(self.districts, self.items, &stats));
+        let per_thread = self.transactions_per_thread;
+        let districts = self.districts.max(1) as u64;
+        let lines = self.lines_per_order;
+        let items = self.items as u64;
+        let total = (per_thread * threads) as u64;
+
+        timed_run(threads, total, &stats, move || {
+            std::thread::scope(|scope| {
+                for t in 0..threads {
+                    let db = Arc::clone(&db);
+                    scope.spawn(move || {
+                        let mut state = (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                        for _ in 0..per_thread {
+                            let district = (xorshift(&mut state) % districts) as usize;
+                            let order_lines: Vec<usize> = (0..lines)
+                                .map(|_| (xorshift(&mut state) % items) as usize)
+                                .collect();
+                            db.new_order(district, &order_lines);
+                        }
+                    });
+                }
+            });
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kv_store_get_set_and_lru_eviction() {
+        let stats = StallStats::new();
+        let store = KeyValueStore::new(1, 2, &stats);
+        store.set(1, vec![0; 10]);
+        store.set(2, vec![0; 20]);
+        assert_eq!(store.get(1), Some(10));
+        // Inserting a third object evicts the least recently used (key 2,
+        // because key 1 was just touched).
+        store.set(3, vec![0; 30]);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get(2), None);
+        assert_eq!(store.get(1), Some(10));
+        assert_eq!(store.get(3), Some(30));
+    }
+
+    #[test]
+    fn memcached_workload_runs_read_mostly() {
+        let wl = MemcachedWorkload {
+            requests_per_thread: 2_000,
+            key_space: 500,
+            get_ratio: 0.9,
+            object_size: 64,
+            shards: 4,
+        };
+        let outcome = wl.run(4);
+        assert_eq!(outcome.operations, 8_000);
+        assert!(outcome.software_stalls.contains_key("memcached.lru"));
+    }
+
+    #[test]
+    fn new_order_transactions_are_atomic_and_counted() {
+        let stats = StallStats::new();
+        let db = Arc::new(MiniDatabase::new(4, 128, &stats));
+        std::thread::scope(|scope| {
+            for t in 0..4usize {
+                let db = Arc::clone(&db);
+                scope.spawn(move || {
+                    for i in 0..500usize {
+                        db.new_order(t, &[i, i + 1, i + 2]);
+                    }
+                });
+            }
+        });
+        assert_eq!(db.total_orders(), 2_000);
+        assert_eq!(db.total_stock_consumed(), 2_000 * 3);
+    }
+
+    #[test]
+    fn order_ids_are_unique_within_a_district() {
+        let stats = StallStats::new();
+        let db = MiniDatabase::new(1, 64, &stats);
+        let a = db.new_order(0, &[1, 2]);
+        let b = db.new_order(0, &[3]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn tpcc_workload_reports_latch_contention() {
+        let wl = SqliteTpccWorkload {
+            transactions_per_thread: 1_000,
+            districts: 2,
+            items: 256,
+            lines_per_order: 5,
+        };
+        let outcome = wl.run(4);
+        assert_eq!(outcome.operations, 4_000);
+        assert!(outcome.software_stalls.contains_key("sqlite.btree_latch"));
+    }
+}

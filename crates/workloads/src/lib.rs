@@ -1,0 +1,40 @@
+//! # estima-workloads
+//!
+//! The evaluation workloads of the ESTIMA paper, in two complementary forms:
+//!
+//! 1. **Calibrated simulator profiles** ([`spec::WorkloadId`]) — one per
+//!    evaluation workload (4 data-structure microbenchmarks, 8 STAMP
+//!    benchmarks, 6 PARSEC benchmarks, K-NN, memcached, SQLite/TPC-C) plus
+//!    the two §4.6 optimised variants. These drive the `estima-machine`
+//!    simulator and are what the experiment harness in `estima-bench` uses to
+//!    regenerate every table and figure.
+//! 2. **Executable kernels** — real Rust implementations of the most
+//!    important workloads, built on the instrumented `estima-sync` and
+//!    `estima-stm` substrates so that lock, barrier and STM-abort cycles are
+//!    collected exactly the way the paper's pthread/SwissTM wrappers collect
+//!    them: concurrent hash tables and ordered sets ([`microbench`]),
+//!    STAMP-style transactional kernels ([`stamp`]), PARSEC-style
+//!    shared-memory kernels and K-NN ([`parsec`]), and the production-style
+//!    applications ([`apps`]).
+//!
+//! The [`driver`] module turns executable runs into ESTIMA measurement sets.
+
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod driver;
+pub mod microbench;
+pub mod parsec;
+pub mod spec;
+pub mod stamp;
+
+pub use apps::{KeyValueStore, MemcachedWorkload, MiniDatabase, SqliteTpccWorkload};
+pub use driver::{measure_executable, ExecutableWorkload, RunOutcome};
+pub use microbench::{
+    CoarseOrderedSet, LockFreeHashMap, MicrobenchKind, MicrobenchWorkload, StripedHashMap,
+};
+pub use parsec::{
+    BlackscholesWorkload, KnnWorkload, StreamclusterWorkload, SwaptionsWorkload,
+};
+pub use spec::{Suite, WorkloadId};
+pub use stamp::{GenomeWorkload, IntruderWorkload, KmeansWorkload, VacationWorkload};

@@ -1,0 +1,434 @@
+//! Concurrent data-structure microbenchmarks.
+//!
+//! The paper's microbenchmark workloads exercise lock-based and lock-free
+//! hash tables and skip lists under a configurable read/write mix (the same
+//! setup as in the "Why STM can be more than a research toy" study the paper
+//! cites). This module provides real, executable versions built on the
+//! `estima-sync` substrate:
+//!
+//! * [`StripedHashMap`] — a lock-based hash table with per-stripe
+//!   instrumented spinlocks (the `lock-based HT` workload),
+//! * [`LockFreeHashMap`] — an open-addressing, insert/update/lookup
+//!   lock-free hash table over 64-bit keys and values (the `lock-free HT`
+//!   workload),
+//! * [`CoarseOrderedSet`] — an ordered set behind a reader-writer spinlock
+//!   (the executable stand-in for the `lock-based SL` workload),
+//! * [`MicrobenchWorkload`] — the driver running a read-mostly key-value mix
+//!   at a given thread count and reporting software stall cycles.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use estima_sync::{InstrumentedMutex, RwSpinLock, StallStats, TtasLock};
+
+use crate::driver::{timed_run, ExecutableWorkload, RunOutcome};
+
+/// A lock-based hash map with striped locking.
+///
+/// Each stripe is an [`InstrumentedMutex`] so contention on hot stripes shows
+/// up as software stall cycles under `lock.wait.ht.stripe`.
+pub struct StripedHashMap {
+    stripes: Vec<InstrumentedMutex<Vec<(u64, u64)>, TtasLock>>,
+}
+
+impl StripedHashMap {
+    /// Create a map with `stripes` lock stripes.
+    pub fn new(stripes: usize, stats: &StallStats) -> Self {
+        let stripes = stripes.max(1);
+        StripedHashMap {
+            stripes: (0..stripes)
+                .map(|_| InstrumentedMutex::new(Vec::new(), stats, "ht.stripe"))
+                .collect(),
+        }
+    }
+
+    fn stripe_for(&self, key: u64) -> &InstrumentedMutex<Vec<(u64, u64)>, TtasLock> {
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.stripes[(h % self.stripes.len() as u64) as usize]
+    }
+
+    /// Insert or update a key.
+    pub fn insert(&self, key: u64, value: u64) {
+        let mut bucket = self.stripe_for(key).lock();
+        if let Some(entry) = bucket.iter_mut().find(|(k, _)| *k == key) {
+            entry.1 = value;
+        } else {
+            bucket.push((key, value));
+        }
+    }
+
+    /// Look a key up.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        let bucket = self.stripe_for(key).lock();
+        bucket.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+
+    /// Remove a key, returning its value if present.
+    pub fn remove(&self, key: u64) -> Option<u64> {
+        let mut bucket = self.stripe_for(key).lock();
+        let pos = bucket.iter().position(|(k, _)| *k == key)?;
+        Some(bucket.swap_remove(pos).1)
+    }
+
+    /// Number of entries (takes every stripe lock; intended for tests).
+    pub fn len(&self) -> usize {
+        self.stripes.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True when the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A lock-free open-addressing hash map over non-zero 64-bit keys.
+///
+/// Fixed capacity, linear probing, no resizing and no physical deletion —
+/// the standard design for CAS-only hash tables used in throughput
+/// microbenchmarks. Key slot 0 means "empty".
+pub struct LockFreeHashMap {
+    keys: Vec<AtomicU64>,
+    values: Vec<AtomicU64>,
+    mask: usize,
+}
+
+impl LockFreeHashMap {
+    /// Create a map with capacity for at least `capacity` entries (rounded up
+    /// to a power of two).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.next_power_of_two().max(16);
+        LockFreeHashMap {
+            keys: (0..cap).map(|_| AtomicU64::new(0)).collect(),
+            values: (0..cap).map(|_| AtomicU64::new(0)).collect(),
+            mask: cap - 1,
+        }
+    }
+
+    fn probe_start(&self, key: u64) -> usize {
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) as usize) & self.mask
+    }
+
+    /// Insert or update a key. Returns `false` when the table is full.
+    /// `key` must be non-zero.
+    pub fn insert(&self, key: u64, value: u64) -> bool {
+        assert_ne!(key, 0, "key 0 is reserved as the empty marker");
+        let mut index = self.probe_start(key);
+        for _ in 0..=self.mask {
+            let slot = &self.keys[index];
+            let current = slot.load(Ordering::Acquire);
+            if current == key {
+                self.values[index].store(value, Ordering::Release);
+                return true;
+            }
+            if current == 0 {
+                match slot.compare_exchange(0, key, Ordering::AcqRel, Ordering::Acquire) {
+                    Ok(_) => {
+                        self.values[index].store(value, Ordering::Release);
+                        return true;
+                    }
+                    Err(actual) if actual == key => {
+                        self.values[index].store(value, Ordering::Release);
+                        return true;
+                    }
+                    Err(_) => {}
+                }
+            }
+            index = (index + 1) & self.mask;
+        }
+        false
+    }
+
+    /// Look a key up.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        let mut index = self.probe_start(key);
+        for _ in 0..=self.mask {
+            let current = self.keys[index].load(Ordering::Acquire);
+            if current == key {
+                return Some(self.values[index].load(Ordering::Acquire));
+            }
+            if current == 0 {
+                return None;
+            }
+            index = (index + 1) & self.mask;
+        }
+        None
+    }
+
+    /// Number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.keys
+            .iter()
+            .filter(|k| k.load(Ordering::Relaxed) != 0)
+            .count()
+    }
+
+    /// True when no slot is occupied.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// An ordered set protected by a single reader-writer spinlock — the
+/// executable stand-in for the paper's lock-based skip list: reads share,
+/// writes serialise, so write-heavy mixes stop scaling quickly.
+pub struct CoarseOrderedSet {
+    inner: RwSpinLock<std::collections::BTreeSet<u64>>,
+    stats: StallStats,
+}
+
+impl CoarseOrderedSet {
+    /// Create an empty set reporting lock wait cycles to `stats`.
+    pub fn new(stats: &StallStats) -> Self {
+        CoarseOrderedSet {
+            inner: RwSpinLock::new(std::collections::BTreeSet::new()),
+            stats: stats.clone(),
+        }
+    }
+
+    /// Insert a key; returns true if it was newly inserted.
+    pub fn insert(&self, key: u64) -> bool {
+        let timer = estima_sync::CycleTimer::start();
+        let mut guard = self.inner.write();
+        self.stats.add("sl.write", timer.elapsed_cycles());
+        guard.insert(key)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, key: u64) -> bool {
+        self.inner.read().contains(&key)
+    }
+
+    /// Number of keys in the set.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+}
+
+/// Which executable data structure a microbenchmark run drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MicrobenchKind {
+    /// Striped lock-based hash map.
+    LockedHashMap,
+    /// Lock-free open-addressing hash map.
+    LockFreeHashMap,
+    /// Coarse reader-writer ordered set.
+    LockedOrderedSet,
+}
+
+/// The microbenchmark driver: a read-mostly key-value mix.
+pub struct MicrobenchWorkload {
+    kind: MicrobenchKind,
+    /// Operations performed by each thread.
+    pub ops_per_thread: u64,
+    /// Fraction of operations that are lookups (the rest are inserts).
+    pub read_ratio: f64,
+    /// Key range (smaller range = more contention).
+    pub key_range: u64,
+}
+
+impl MicrobenchWorkload {
+    /// Create a driver for the given structure with paper-like defaults
+    /// (read-mostly mix over a moderate key range).
+    pub fn new(kind: MicrobenchKind) -> Self {
+        MicrobenchWorkload {
+            kind,
+            ops_per_thread: 50_000,
+            read_ratio: 0.9,
+            key_range: 1 << 16,
+        }
+    }
+}
+
+impl ExecutableWorkload for MicrobenchWorkload {
+    fn name(&self) -> &str {
+        match self.kind {
+            MicrobenchKind::LockedHashMap => "lock-based HT",
+            MicrobenchKind::LockFreeHashMap => "lock-free HT",
+            MicrobenchKind::LockedOrderedSet => "lock-based SL",
+        }
+    }
+
+    fn run(&self, threads: usize) -> RunOutcome {
+        let threads = threads.max(1);
+        let stats = StallStats::new();
+        let total_ops = self.ops_per_thread * threads as u64;
+        let kind = self.kind;
+        let ops = self.ops_per_thread;
+        let read_ratio = self.read_ratio;
+        let key_range = self.key_range.max(2);
+
+        enum Structure {
+            Locked(Arc<StripedHashMap>),
+            LockFree(Arc<LockFreeHashMap>),
+            Ordered(Arc<CoarseOrderedSet>),
+        }
+        let structure = match kind {
+            MicrobenchKind::LockedHashMap => {
+                Structure::Locked(Arc::new(StripedHashMap::new(64, &stats)))
+            }
+            MicrobenchKind::LockFreeHashMap => {
+                Structure::LockFree(Arc::new(LockFreeHashMap::new((key_range * 2) as usize)))
+            }
+            MicrobenchKind::LockedOrderedSet => {
+                Structure::Ordered(Arc::new(CoarseOrderedSet::new(&stats)))
+            }
+        };
+
+        timed_run(threads, total_ops, &stats, || {
+            std::thread::scope(|scope| {
+                for t in 0..threads {
+                    let structure = &structure;
+                    scope.spawn(move || {
+                        let mut state = (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                        let mut next = move || {
+                            state ^= state << 13;
+                            state ^= state >> 7;
+                            state ^= state << 17;
+                            state
+                        };
+                        for _ in 0..ops {
+                            let key = (next() % key_range) + 1;
+                            let is_read = (next() % 1000) as f64 / 1000.0 < read_ratio;
+                            match structure {
+                                Structure::Locked(map) => {
+                                    if is_read {
+                                        std::hint::black_box(map.get(key));
+                                    } else {
+                                        map.insert(key, key * 2);
+                                    }
+                                }
+                                Structure::LockFree(map) => {
+                                    if is_read {
+                                        std::hint::black_box(map.get(key));
+                                    } else {
+                                        map.insert(key, key * 2);
+                                    }
+                                }
+                                Structure::Ordered(set) => {
+                                    if is_read {
+                                        std::hint::black_box(set.contains(key));
+                                    } else {
+                                        set.insert(key);
+                                    }
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn striped_map_concurrent_inserts_are_all_visible() {
+        let stats = StallStats::new();
+        let map = Arc::new(StripedHashMap::new(16, &stats));
+        thread::scope(|s| {
+            for t in 0..4u64 {
+                let map = Arc::clone(&map);
+                s.spawn(move || {
+                    for i in 0..1_000u64 {
+                        map.insert(t * 10_000 + i, i);
+                    }
+                });
+            }
+        });
+        assert_eq!(map.len(), 4_000);
+        assert_eq!(map.get(10_005), Some(5));
+        assert_eq!(map.remove(10_005), Some(5));
+        assert_eq!(map.get(10_005), None);
+        assert_eq!(map.len(), 3_999);
+    }
+
+    #[test]
+    fn lock_free_map_concurrent_inserts_are_all_visible() {
+        let map = Arc::new(LockFreeHashMap::new(1 << 14));
+        thread::scope(|s| {
+            for t in 0..4u64 {
+                let map = Arc::clone(&map);
+                s.spawn(move || {
+                    for i in 1..=1_000u64 {
+                        assert!(map.insert(t * 10_000 + i, i));
+                    }
+                });
+            }
+        });
+        assert_eq!(map.len(), 4_000);
+        assert_eq!(map.get(30_007), Some(7));
+        assert_eq!(map.get(99_999), None);
+    }
+
+    #[test]
+    fn lock_free_map_updates_existing_keys() {
+        let map = LockFreeHashMap::new(64);
+        assert!(map.insert(5, 1));
+        assert!(map.insert(5, 2));
+        assert_eq!(map.get(5), Some(2));
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn lock_free_map_reports_full() {
+        let map = LockFreeHashMap::new(16);
+        let mut inserted = 0;
+        for k in 1..=64u64 {
+            if map.insert(k, k) {
+                inserted += 1;
+            }
+        }
+        assert!(inserted <= 16);
+    }
+
+    #[test]
+    #[should_panic]
+    fn lock_free_map_rejects_zero_key() {
+        LockFreeHashMap::new(16).insert(0, 1);
+    }
+
+    #[test]
+    fn ordered_set_concurrent_inserts() {
+        let stats = StallStats::new();
+        let set = Arc::new(CoarseOrderedSet::new(&stats));
+        thread::scope(|s| {
+            for t in 0..4u64 {
+                let set = Arc::clone(&set);
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        set.insert(t * 1_000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(set.len(), 2_000);
+        assert!(set.contains(3_250));
+        assert!(!set.contains(999_999));
+        assert!(stats.by_site().contains_key("sl.write"));
+    }
+
+    #[test]
+    fn microbench_driver_runs_and_reports() {
+        for kind in [
+            MicrobenchKind::LockedHashMap,
+            MicrobenchKind::LockFreeHashMap,
+            MicrobenchKind::LockedOrderedSet,
+        ] {
+            let mut wl = MicrobenchWorkload::new(kind);
+            wl.ops_per_thread = 2_000;
+            let outcome = wl.run(2);
+            assert_eq!(outcome.threads, 2);
+            assert_eq!(outcome.operations, 4_000);
+            assert!(outcome.elapsed_secs > 0.0);
+        }
+    }
+}

@@ -1,0 +1,419 @@
+//! Executable PARSEC-style shared-memory kernels and the K-NN kernel.
+//!
+//! Compact Rust versions of the PARSEC workloads the paper highlights:
+//! `blackscholes` (embarrassingly parallel option pricing), `swaptions`
+//! (Monte-Carlo pricing), and `streamcluster` (barrier- and lock-bound
+//! streaming clustering, the poster child for synchronisation bottlenecks in
+//! §4.6). Also the k-nearest-neighbours kernel used as a recommender-system
+//! workload. All of them run on the instrumented `estima-sync` substrate so
+//! lock and barrier waiting is reported as software stall cycles.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use estima_sync::{InstrumentedBarrier, InstrumentedMutex, StallStats, TasLock, TtasLock};
+
+use crate::driver::{timed_run, ExecutableWorkload, RunOutcome};
+
+/// Cumulative normal distribution (Abramowitz–Stegun approximation), the
+/// core of the Black–Scholes formula.
+fn cnd(x: f64) -> f64 {
+    let l = x.abs();
+    let k = 1.0 / (1.0 + 0.2316419 * l);
+    let poly = k
+        * (0.319381530
+            + k * (-0.356563782 + k * (1.781477937 + k * (-1.821255978 + k * 1.330274429))));
+    let w = 1.0 - 1.0 / (2.0 * std::f64::consts::PI).sqrt() * (-l * l / 2.0).exp() * poly;
+    if x < 0.0 {
+        1.0 - w
+    } else {
+        w
+    }
+}
+
+/// Price one European call option.
+fn black_scholes_call(spot: f64, strike: f64, rate: f64, vol: f64, time: f64) -> f64 {
+    let d1 = ((spot / strike).ln() + (rate + vol * vol / 2.0) * time) / (vol * time.sqrt());
+    let d2 = d1 - vol * time.sqrt();
+    spot * cnd(d1) - strike * (-rate * time).exp() * cnd(d2)
+}
+
+/// blackscholes: price a portfolio of options, split statically across
+/// threads, with no sharing at all.
+pub struct BlackscholesWorkload {
+    /// Number of options in the portfolio.
+    pub options: usize,
+    /// Pricing iterations (PARSEC repeats the portfolio to lengthen the run).
+    pub iterations: usize,
+}
+
+impl Default for BlackscholesWorkload {
+    fn default() -> Self {
+        BlackscholesWorkload {
+            options: 50_000,
+            iterations: 4,
+        }
+    }
+}
+
+impl ExecutableWorkload for BlackscholesWorkload {
+    fn name(&self) -> &str {
+        "blackscholes"
+    }
+
+    fn run(&self, threads: usize) -> RunOutcome {
+        let threads = threads.max(1);
+        let stats = StallStats::new();
+        let options = self.options;
+        let iterations = self.iterations;
+        let checksum = Arc::new(AtomicU64::new(0));
+        let total = (options * iterations) as u64;
+        let checksum_ref = Arc::clone(&checksum);
+        timed_run(threads, total, &stats, move || {
+            std::thread::scope(|scope| {
+                for t in 0..threads {
+                    let checksum = Arc::clone(&checksum_ref);
+                    scope.spawn(move || {
+                        let chunk = options.div_ceil(threads);
+                        let lo = t * chunk;
+                        let hi = ((t + 1) * chunk).min(options);
+                        let mut local = 0.0f64;
+                        for _ in 0..iterations {
+                            for i in lo..hi {
+                                let spot = 20.0 + (i % 100) as f64;
+                                let strike = 25.0 + (i % 90) as f64;
+                                let vol = 0.1 + (i % 10) as f64 / 50.0;
+                                let time = 0.5 + (i % 4) as f64 / 4.0;
+                                local += black_scholes_call(spot, strike, 0.02, vol, time);
+                            }
+                        }
+                        checksum.fetch_add(local as u64, Ordering::Relaxed);
+                    });
+                }
+            });
+        })
+    }
+}
+
+/// swaptions: Monte-Carlo pricing of swaptions; pure floating-point work per
+/// item, no sharing.
+pub struct SwaptionsWorkload {
+    /// Number of swaptions to price.
+    pub swaptions: usize,
+    /// Monte-Carlo trials per swaption.
+    pub trials: usize,
+}
+
+impl Default for SwaptionsWorkload {
+    fn default() -> Self {
+        SwaptionsWorkload {
+            swaptions: 64,
+            trials: 5_000,
+        }
+    }
+}
+
+impl ExecutableWorkload for SwaptionsWorkload {
+    fn name(&self) -> &str {
+        "swaptions"
+    }
+
+    fn run(&self, threads: usize) -> RunOutcome {
+        let threads = threads.max(1);
+        let stats = StallStats::new();
+        let swaptions = self.swaptions;
+        let trials = self.trials;
+        let total = (swaptions * trials) as u64;
+        timed_run(threads, total, &stats, move || {
+            std::thread::scope(|scope| {
+                for t in 0..threads {
+                    scope.spawn(move || {
+                        let mut state = (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                        let chunk = swaptions.div_ceil(threads);
+                        let lo = t * chunk;
+                        let hi = ((t + 1) * chunk).min(swaptions);
+                        let mut acc = 0.0f64;
+                        for s in lo..hi {
+                            let strike = 0.01 + (s % 10) as f64 / 200.0;
+                            for _ in 0..trials {
+                                state ^= state << 13;
+                                state ^= state >> 7;
+                                state ^= state << 17;
+                                let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+                                // A crude lognormal path endpoint.
+                                let rate = 0.02 * (1.0 + 0.3 * (u - 0.5));
+                                acc += (rate - strike).max(0.0);
+                            }
+                        }
+                        std::hint::black_box(acc);
+                    });
+                }
+            });
+        })
+    }
+}
+
+/// streamcluster: streaming k-median clustering. Threads process blocks of
+/// points, synchronise at barriers between phases, and update shared cluster
+/// state under a mutex — reproducing the barrier/mutex bottleneck the paper
+/// diagnoses and then fixes with test-and-set spinlocks.
+pub struct StreamclusterWorkload {
+    /// Points per block.
+    pub points_per_block: usize,
+    /// Number of blocks (each block is a barrier-separated phase).
+    pub blocks: usize,
+    /// Dimensionality of the points.
+    pub dims: usize,
+    /// Use test-and-set spinlocks for the shared state (the §4.6 fix) rather
+    /// than the default TTAS mutex-style lock.
+    pub optimized_locks: bool,
+}
+
+impl Default for StreamclusterWorkload {
+    fn default() -> Self {
+        StreamclusterWorkload {
+            points_per_block: 2_000,
+            blocks: 12,
+            dims: 16,
+            optimized_locks: false,
+        }
+    }
+}
+
+impl ExecutableWorkload for StreamclusterWorkload {
+    fn name(&self) -> &str {
+        if self.optimized_locks {
+            "streamcluster-opt"
+        } else {
+            "streamcluster"
+        }
+    }
+
+    fn run(&self, threads: usize) -> RunOutcome {
+        let threads = threads.max(1);
+        let stats = StallStats::new();
+        let total = (self.points_per_block * self.blocks) as u64;
+        let barrier = Arc::new(InstrumentedBarrier::new(
+            threads,
+            &stats,
+            "barrier.wait.streamcluster",
+        ));
+        // Shared cluster cost accumulator guarded by a lock; the lock flavour
+        // is the §4.6 experiment.
+        enum SharedCost {
+            Ttas(InstrumentedMutex<f64, TtasLock>),
+            Tas(InstrumentedMutex<f64, TasLock>),
+        }
+        let cost = Arc::new(if self.optimized_locks {
+            SharedCost::Tas(InstrumentedMutex::new(0.0, &stats, "lock.wait.streamcluster"))
+        } else {
+            SharedCost::Ttas(InstrumentedMutex::new(0.0, &stats, "lock.wait.streamcluster"))
+        });
+        let points_per_block = self.points_per_block;
+        let blocks = self.blocks;
+        let dims = self.dims;
+
+        timed_run(threads, total, &stats, move || {
+            std::thread::scope(|scope| {
+                for t in 0..threads {
+                    let barrier = Arc::clone(&barrier);
+                    let cost = Arc::clone(&cost);
+                    scope.spawn(move || {
+                        let mut state = (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                        for _block in 0..blocks {
+                            let chunk = points_per_block.div_ceil(threads);
+                            let mut local_cost = 0.0f64;
+                            for _ in 0..chunk {
+                                // Distance of a synthetic point to a synthetic
+                                // centre.
+                                let mut dist = 0.0;
+                                for _ in 0..dims {
+                                    state ^= state << 13;
+                                    state ^= state >> 7;
+                                    state ^= state << 17;
+                                    let coord = (state >> 11) as f64 / (1u64 << 53) as f64;
+                                    dist += (coord - 0.5) * (coord - 0.5);
+                                }
+                                local_cost += dist;
+                            }
+                            // Update the shared cost under the lock.
+                            match &*cost {
+                                SharedCost::Ttas(lock) => *lock.lock() += local_cost,
+                                SharedCost::Tas(lock) => *lock.lock() += local_cost,
+                            }
+                            // Phase barrier.
+                            barrier.wait();
+                        }
+                    });
+                }
+            });
+        })
+    }
+}
+
+/// K-nearest-neighbours: distance computation of query points against a
+/// shared read-only model, with a small locked merge of the per-thread
+/// top-k results (the reduction the paper's K-NN kernel serialises on).
+pub struct KnnWorkload {
+    /// Number of reference points in the model.
+    pub model_points: usize,
+    /// Number of query points.
+    pub queries: usize,
+    /// Dimensionality.
+    pub dims: usize,
+    /// Neighbours to keep.
+    pub k: usize,
+}
+
+impl Default for KnnWorkload {
+    fn default() -> Self {
+        KnnWorkload {
+            model_points: 4_000,
+            queries: 256,
+            dims: 16,
+            k: 8,
+        }
+    }
+}
+
+impl ExecutableWorkload for KnnWorkload {
+    fn name(&self) -> &str {
+        "K-NN"
+    }
+
+    fn run(&self, threads: usize) -> RunOutcome {
+        let threads = threads.max(1);
+        let stats = StallStats::new();
+        // Build the shared model once, deterministically.
+        let mut state = 0xFEED_u64;
+        let model: Arc<Vec<Vec<f64>>> = Arc::new(
+            (0..self.model_points)
+                .map(|_| {
+                    (0..self.dims)
+                        .map(|_| {
+                            state ^= state << 13;
+                            state ^= state >> 7;
+                            state ^= state << 17;
+                            (state >> 11) as f64 / (1u64 << 53) as f64
+                        })
+                        .collect()
+                })
+                .collect(),
+        );
+        let results: Arc<InstrumentedMutex<Vec<(usize, f64)>, TtasLock>> =
+            Arc::new(InstrumentedMutex::new(Vec::new(), &stats, "knn.topk_merge"));
+        let queries = self.queries;
+        let dims = self.dims;
+        let k = self.k;
+        let total = (queries * self.model_points) as u64;
+
+        timed_run(threads, total, &stats, move || {
+            std::thread::scope(|scope| {
+                for t in 0..threads {
+                    let model = Arc::clone(&model);
+                    let results = Arc::clone(&results);
+                    scope.spawn(move || {
+                        let chunk = queries.div_ceil(threads);
+                        let lo = t * chunk;
+                        let hi = ((t + 1) * chunk).min(queries);
+                        for q in lo..hi {
+                            let query: Vec<f64> =
+                                (0..dims).map(|d| ((q + d) % 17) as f64 / 17.0).collect();
+                            let mut best: Vec<(usize, f64)> = Vec::with_capacity(k + 1);
+                            for (i, point) in model.iter().enumerate() {
+                                let dist: f64 = point
+                                    .iter()
+                                    .zip(&query)
+                                    .map(|(a, b)| (a - b) * (a - b))
+                                    .sum();
+                                best.push((i, dist));
+                                best.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+                                best.truncate(k);
+                            }
+                            // Merge into the shared result list under the lock.
+                            let mut merged = results.lock();
+                            merged.extend(best.iter().copied());
+                        }
+                    });
+                }
+            });
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blackscholes_call_price_is_sane() {
+        // At-the-money call with positive rate and volatility is worth
+        // something, but less than the spot.
+        let price = black_scholes_call(100.0, 100.0, 0.02, 0.2, 1.0);
+        assert!(price > 0.0 && price < 100.0, "price {price}");
+        // Deep in-the-money call approaches spot - discounted strike.
+        let deep = black_scholes_call(200.0, 100.0, 0.02, 0.2, 1.0);
+        assert!(deep > 90.0);
+    }
+
+    #[test]
+    fn blackscholes_runs_without_software_stalls() {
+        let wl = BlackscholesWorkload {
+            options: 2_000,
+            iterations: 1,
+        };
+        let outcome = wl.run(4);
+        assert_eq!(outcome.operations, 2_000);
+        assert!(outcome.software_stalls.values().all(|v| *v == 0));
+    }
+
+    #[test]
+    fn swaptions_runs() {
+        let wl = SwaptionsWorkload {
+            swaptions: 8,
+            trials: 500,
+        };
+        let outcome = wl.run(2);
+        assert!(outcome.elapsed_secs > 0.0);
+        assert_eq!(outcome.operations, 4_000);
+    }
+
+    #[test]
+    fn streamcluster_reports_barrier_and_lock_sites() {
+        let wl = StreamclusterWorkload {
+            points_per_block: 400,
+            blocks: 4,
+            dims: 8,
+            optimized_locks: false,
+        };
+        let outcome = wl.run(4);
+        assert!(outcome
+            .software_stalls
+            .contains_key("barrier.wait.streamcluster"));
+        assert!(outcome.software_stalls.contains_key("lock.wait.streamcluster"));
+    }
+
+    #[test]
+    fn streamcluster_optimized_uses_distinct_name() {
+        let base = StreamclusterWorkload::default();
+        let opt = StreamclusterWorkload {
+            optimized_locks: true,
+            ..StreamclusterWorkload::default()
+        };
+        assert_eq!(base.name(), "streamcluster");
+        assert_eq!(opt.name(), "streamcluster-opt");
+    }
+
+    #[test]
+    fn knn_merges_k_results_per_query() {
+        let wl = KnnWorkload {
+            model_points: 200,
+            queries: 16,
+            dims: 4,
+            k: 3,
+        };
+        let outcome = wl.run(3);
+        assert!(outcome.elapsed_secs > 0.0);
+        assert!(outcome.software_stalls.contains_key("knn.topk_merge"));
+    }
+}

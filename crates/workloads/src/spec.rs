@@ -1,0 +1,590 @@
+//! The evaluation workload registry: 21 workloads plus optimised variants.
+//!
+//! The paper evaluates ESTIMA on 21 workloads: four concurrent
+//! data-structure microbenchmarks, eight STAMP transactional benchmarks, six
+//! PARSEC benchmarks, a k-nearest-neighbours kernel, and two production
+//! applications (memcached with a cloudsuite-style client, SQLite running
+//! TPC-C). Each entry here couples
+//!
+//! * a [`WorkloadId`] naming the workload,
+//! * a calibrated [`WorkloadProfile`] for the machine simulator, chosen so
+//!   the workload exhibits the scalability *shape* reported in the paper
+//!   (which ones keep scaling, which collapse, and roughly where), and
+//! * metadata: the suite it belongs to and its synchronisation flavour.
+//!
+//! The calibrations are documented inline; they are the quantitative
+//! substitution for running the original binaries on the original machines
+//! (see DESIGN.md §2).
+
+use estima_machine::{SyncKind, WorkloadProfile};
+use serde::{Deserialize, Serialize};
+
+/// Benchmark suite a workload belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Suite {
+    /// Concurrent data-structure microbenchmarks.
+    Microbench,
+    /// STAMP transactional benchmarks.
+    Stamp,
+    /// PARSEC shared-memory benchmarks.
+    Parsec,
+    /// Standalone kernels (K-NN).
+    Kernel,
+    /// Production applications (memcached, SQLite/TPC-C).
+    Production,
+}
+
+/// Every workload in the evaluation, plus the two optimised variants of
+/// §4.6 (Figure 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum WorkloadId {
+    LockBasedHashTable,
+    LockBasedSkipList,
+    LockFreeHashTable,
+    LockFreeSkipList,
+    Genome,
+    Intruder,
+    Kmeans,
+    Labyrinth,
+    Ssca2,
+    VacationHigh,
+    VacationLow,
+    Yada,
+    Blackscholes,
+    Bodytrack,
+    Canneal,
+    Raytrace,
+    Streamcluster,
+    Swaptions,
+    Knn,
+    Memcached,
+    SqliteTpcc,
+    /// streamcluster with the PARSEC barrier mutexes replaced by
+    /// test-and-set spinlocks (the §4.6 fix).
+    StreamclusterOptimized,
+    /// intruder decoding more elements per transaction (the §4.6 fix).
+    IntruderOptimized,
+}
+
+impl WorkloadId {
+    /// The 19 benchmark workloads of Table 4 (everything except the two
+    /// production applications and the optimised variants).
+    pub const BENCHMARKS: [WorkloadId; 19] = [
+        WorkloadId::LockBasedHashTable,
+        WorkloadId::LockBasedSkipList,
+        WorkloadId::LockFreeHashTable,
+        WorkloadId::LockFreeSkipList,
+        WorkloadId::Genome,
+        WorkloadId::Intruder,
+        WorkloadId::Kmeans,
+        WorkloadId::Labyrinth,
+        WorkloadId::Ssca2,
+        WorkloadId::VacationHigh,
+        WorkloadId::VacationLow,
+        WorkloadId::Yada,
+        WorkloadId::Blackscholes,
+        WorkloadId::Bodytrack,
+        WorkloadId::Canneal,
+        WorkloadId::Raytrace,
+        WorkloadId::Streamcluster,
+        WorkloadId::Swaptions,
+        WorkloadId::Knn,
+    ];
+
+    /// All 21 evaluation workloads (benchmarks plus production applications).
+    pub const ALL: [WorkloadId; 21] = [
+        WorkloadId::LockBasedHashTable,
+        WorkloadId::LockBasedSkipList,
+        WorkloadId::LockFreeHashTable,
+        WorkloadId::LockFreeSkipList,
+        WorkloadId::Genome,
+        WorkloadId::Intruder,
+        WorkloadId::Kmeans,
+        WorkloadId::Labyrinth,
+        WorkloadId::Ssca2,
+        WorkloadId::VacationHigh,
+        WorkloadId::VacationLow,
+        WorkloadId::Yada,
+        WorkloadId::Blackscholes,
+        WorkloadId::Bodytrack,
+        WorkloadId::Canneal,
+        WorkloadId::Raytrace,
+        WorkloadId::Streamcluster,
+        WorkloadId::Swaptions,
+        WorkloadId::Knn,
+        WorkloadId::Memcached,
+        WorkloadId::SqliteTpcc,
+    ];
+
+    /// The workload's name as the paper prints it.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadId::LockBasedHashTable => "lock-based HT",
+            WorkloadId::LockBasedSkipList => "lock-based SL",
+            WorkloadId::LockFreeHashTable => "lock-free HT",
+            WorkloadId::LockFreeSkipList => "lock-free SL",
+            WorkloadId::Genome => "genome",
+            WorkloadId::Intruder => "intruder",
+            WorkloadId::Kmeans => "kmeans",
+            WorkloadId::Labyrinth => "labyrinth",
+            WorkloadId::Ssca2 => "ssca2",
+            WorkloadId::VacationHigh => "vacation-high",
+            WorkloadId::VacationLow => "vacation-low",
+            WorkloadId::Yada => "yada",
+            WorkloadId::Blackscholes => "blackscholes",
+            WorkloadId::Bodytrack => "bodytrack",
+            WorkloadId::Canneal => "canneal",
+            WorkloadId::Raytrace => "raytrace",
+            WorkloadId::Streamcluster => "streamcluster",
+            WorkloadId::Swaptions => "swaptions",
+            WorkloadId::Knn => "K-NN",
+            WorkloadId::Memcached => "memcached",
+            WorkloadId::SqliteTpcc => "sqlite-tpcc",
+            WorkloadId::StreamclusterOptimized => "streamcluster-opt",
+            WorkloadId::IntruderOptimized => "intruder-opt",
+        }
+    }
+
+    /// Which suite the workload belongs to.
+    pub fn suite(&self) -> Suite {
+        match self {
+            WorkloadId::LockBasedHashTable
+            | WorkloadId::LockBasedSkipList
+            | WorkloadId::LockFreeHashTable
+            | WorkloadId::LockFreeSkipList => Suite::Microbench,
+            WorkloadId::Genome
+            | WorkloadId::Intruder
+            | WorkloadId::IntruderOptimized
+            | WorkloadId::Kmeans
+            | WorkloadId::Labyrinth
+            | WorkloadId::Ssca2
+            | WorkloadId::VacationHigh
+            | WorkloadId::VacationLow
+            | WorkloadId::Yada => Suite::Stamp,
+            WorkloadId::Blackscholes
+            | WorkloadId::Bodytrack
+            | WorkloadId::Canneal
+            | WorkloadId::Raytrace
+            | WorkloadId::Streamcluster
+            | WorkloadId::StreamclusterOptimized
+            | WorkloadId::Swaptions => Suite::Parsec,
+            WorkloadId::Knn => Suite::Kernel,
+            WorkloadId::Memcached | WorkloadId::SqliteTpcc => Suite::Production,
+        }
+    }
+
+    /// True for the workloads that use software transactional memory.
+    pub fn uses_stm(&self) -> bool {
+        matches!(self.profile().sync, SyncKind::Stm)
+    }
+
+    /// The calibrated simulator profile for this workload.
+    ///
+    /// Calibration notes: `sync_*` and `conflict_probability` set where the
+    /// workload stops scaling; `memory_intensity`/`bandwidth_demand` set how
+    /// memory-bound it is; `barrier_*` model the PARSEC barrier phases.
+    pub fn profile(&self) -> WorkloadProfile {
+        let mut p = WorkloadProfile::new(self.name());
+        match self {
+            // ---- data-structure microbenchmarks --------------------------------
+            WorkloadId::LockBasedHashTable => {
+                // Striped locks: scales well but lock waiting grows slowly.
+                p.memory_intensity = 0.6;
+                p.base_miss_rate = 0.03;
+                p.working_set_mib = 64.0;
+                p.sharing_fraction = 0.04;
+                p.sync = SyncKind::Locks;
+                p.sync_rate = 0.02;
+                p.sync_section_cycles = 120.0;
+                p.conflict_probability = 0.05;
+                p.sync_site = "ht.bucket".into();
+            }
+            WorkloadId::LockBasedSkipList => {
+                // Coarser locking and longer traversals: contention bites
+                // earlier than for the hash table.
+                p.memory_intensity = 0.8;
+                p.base_miss_rate = 0.05;
+                p.working_set_mib = 96.0;
+                p.sharing_fraction = 0.06;
+                p.sync = SyncKind::Locks;
+                p.sync_rate = 0.015;
+                p.sync_section_cycles = 420.0;
+                p.conflict_probability = 0.06;
+                p.sync_site = "sl.range".into();
+            }
+            WorkloadId::LockFreeHashTable => {
+                // CAS retries only on the rare key collisions: near-linear.
+                p.memory_intensity = 0.6;
+                p.base_miss_rate = 0.03;
+                p.working_set_mib = 64.0;
+                p.sharing_fraction = 0.03;
+                p.sync = SyncKind::LockFree;
+                p.sync_rate = 0.02;
+                p.sync_section_cycles = 90.0;
+                p.conflict_probability = 0.04;
+                p.sync_site = "ht.cas".into();
+            }
+            WorkloadId::LockFreeSkipList => {
+                p.memory_intensity = 0.85;
+                p.base_miss_rate = 0.05;
+                p.working_set_mib = 96.0;
+                p.sharing_fraction = 0.05;
+                p.sync = SyncKind::LockFree;
+                p.sync_rate = 0.015;
+                p.sync_section_cycles = 200.0;
+                p.conflict_probability = 0.08;
+                p.sync_site = "sl.cas".into();
+            }
+            // ---- STAMP ----------------------------------------------------------
+            WorkloadId::Genome => {
+                // Large read-mostly transactions, few conflicts: scales well.
+                p.memory_intensity = 0.5;
+                p.base_miss_rate = 0.025;
+                p.working_set_mib = 160.0;
+                p.sharing_fraction = 0.02;
+                p.sync = SyncKind::Stm;
+                p.sync_rate = 0.008;
+                p.sync_section_cycles = 350.0;
+                p.conflict_probability = 0.012;
+                p.sync_site = "genome.segment_insert".into();
+            }
+            WorkloadId::Intruder | WorkloadId::IntruderOptimized => {
+                // Short transactions on a contended shared queue/decoder
+                // state: aborts explode with the core count and the
+                // application slows down beyond ~16 cores. The optimised
+                // variant decodes more elements per transaction, which
+                // reduces the conflict rate (§4.6).
+                p.memory_intensity = 0.45;
+                p.base_miss_rate = 0.03;
+                p.working_set_mib = 48.0;
+                p.sharing_fraction = 0.08;
+                p.sync = SyncKind::Stm;
+                p.sync_rate = 0.03;
+                p.sync_section_cycles = 260.0;
+                p.conflict_probability =
+                    if *self == WorkloadId::IntruderOptimized { 0.035 } else { 0.075 };
+                p.sync_site = "intruder.decode".into();
+            }
+            WorkloadId::Kmeans => {
+                // Short transactions updating shared cluster centres plus a
+                // memory-bandwidth-hungry assignment phase: stops scaling
+                // around two sockets, with noisy run-to-run times.
+                p.memory_intensity = 1.1;
+                p.base_miss_rate = 0.05;
+                p.working_set_mib = 256.0;
+                p.bandwidth_demand_gibps_per_core = 1.4;
+                p.sharing_fraction = 0.05;
+                p.sync = SyncKind::Stm;
+                p.sync_rate = 0.012;
+                p.sync_section_cycles = 160.0;
+                p.conflict_probability = 0.05;
+                p.sync_site = "kmeans.center_update".into();
+            }
+            WorkloadId::Labyrinth => {
+                // Very long transactions that rarely conflict (private grid
+                // copies): close to embarrassingly parallel.
+                p.memory_intensity = 0.7;
+                p.base_miss_rate = 0.04;
+                p.working_set_mib = 128.0;
+                p.sharing_fraction = 0.015;
+                p.sync = SyncKind::Stm;
+                p.sync_rate = 0.0015;
+                p.sync_section_cycles = 4000.0;
+                p.conflict_probability = 0.02;
+                p.sync_site = "labyrinth.route".into();
+            }
+            WorkloadId::Ssca2 => {
+                // Tiny transactions on a huge graph: memory-bound, few
+                // conflicts, scales until bandwidth saturates.
+                p.memory_intensity = 1.3;
+                p.base_miss_rate = 0.06;
+                p.working_set_mib = 512.0;
+                p.bandwidth_demand_gibps_per_core = 1.1;
+                p.sharing_fraction = 0.02;
+                p.sync = SyncKind::Stm;
+                p.sync_rate = 0.02;
+                p.sync_section_cycles = 60.0;
+                p.conflict_probability = 0.006;
+                p.sync_site = "ssca2.edge_insert".into();
+            }
+            WorkloadId::VacationHigh | WorkloadId::VacationLow => {
+                // OLTP-style reservations over STM tables; the "high"
+                // configuration touches more relations per transaction.
+                let high = *self == WorkloadId::VacationHigh;
+                p.memory_intensity = 0.7;
+                p.base_miss_rate = 0.035;
+                p.working_set_mib = 192.0;
+                p.sharing_fraction = 0.03;
+                p.sync = SyncKind::Stm;
+                p.sync_rate = 0.01;
+                p.sync_section_cycles = if high { 900.0 } else { 600.0 };
+                p.conflict_probability = if high { 0.03 } else { 0.018 };
+                p.sync_site = "vacation.reserve".into();
+            }
+            WorkloadId::Yada => {
+                // Delaunay refinement: medium transactions whose conflict
+                // probability grows with parallel cavity expansion; stops
+                // scaling in the mid-20s of cores.
+                p.memory_intensity = 0.75;
+                p.base_miss_rate = 0.045;
+                p.working_set_mib = 224.0;
+                p.sharing_fraction = 0.06;
+                p.sync = SyncKind::Stm;
+                p.sync_rate = 0.016;
+                p.sync_section_cycles = 500.0;
+                p.conflict_probability = 0.055;
+                p.sync_site = "yada.refine".into();
+            }
+            // ---- PARSEC ---------------------------------------------------------
+            WorkloadId::Blackscholes => {
+                // Embarrassingly parallel option pricing, FP heavy.
+                p.memory_intensity = 0.2;
+                p.base_miss_rate = 0.008;
+                p.working_set_mib = 24.0;
+                p.fp_intensity = 0.5;
+                p.sharing_fraction = 0.002;
+            }
+            WorkloadId::Bodytrack => {
+                // Parallel particle filter with per-frame barriers.
+                p.memory_intensity = 0.4;
+                p.base_miss_rate = 0.02;
+                p.working_set_mib = 64.0;
+                p.fp_intensity = 0.3;
+                p.sharing_fraction = 0.01;
+                p.barrier_phases = 120;
+                p.barrier_imbalance = 0.015;
+                p.sync_site = "bodytrack.frame".into();
+            }
+            WorkloadId::Canneal => {
+                // Cache-unfriendly pointer chasing with atomic swaps.
+                p.memory_intensity = 1.4;
+                p.base_miss_rate = 0.09;
+                p.working_set_mib = 768.0;
+                p.bandwidth_demand_gibps_per_core = 0.9;
+                p.sharing_fraction = 0.02;
+                p.sync = SyncKind::LockFree;
+                p.sync_rate = 0.004;
+                p.sync_section_cycles = 120.0;
+                p.conflict_probability = 0.02;
+                p.sync_site = "canneal.swap".into();
+            }
+            WorkloadId::Raytrace => {
+                // Real-time raytracer: read-only BVH, near-linear scaling.
+                p.memory_intensity = 0.5;
+                p.base_miss_rate = 0.018;
+                p.working_set_mib = 128.0;
+                p.fp_intensity = 0.45;
+                p.sharing_fraction = 0.004;
+            }
+            WorkloadId::Streamcluster | WorkloadId::StreamclusterOptimized => {
+                // Barrier-dominated clustering with contended mutexes inside
+                // the PARSEC barrier implementation; memory bandwidth adds to
+                // the collapse past ~30 cores. The optimised variant replaces
+                // the barrier mutexes with test-and-set spinlocks (§4.6).
+                let optimized = *self == WorkloadId::StreamclusterOptimized;
+                p.memory_intensity = 1.0;
+                p.base_miss_rate = 0.05;
+                p.working_set_mib = 256.0;
+                p.bandwidth_demand_gibps_per_core = 1.2;
+                p.sharing_fraction = 0.05;
+                p.fp_intensity = 0.25;
+                p.sync = SyncKind::Locks;
+                p.sync_rate = 0.02;
+                p.sync_section_cycles = if optimized { 110.0 } else { 240.0 };
+                p.conflict_probability = if optimized { 0.025 } else { 0.045 };
+                p.barrier_phases = 400;
+                p.barrier_imbalance = if optimized { 0.03 } else { 0.055 };
+                p.sync_site = "streamcluster.barrier".into();
+            }
+            WorkloadId::Swaptions => {
+                // Monte-Carlo pricing: FP heavy, independent work items.
+                p.memory_intensity = 0.25;
+                p.base_miss_rate = 0.01;
+                p.working_set_mib = 16.0;
+                p.fp_intensity = 0.6;
+                p.sharing_fraction = 0.003;
+            }
+            // ---- kernels and production apps -----------------------------------
+            WorkloadId::Knn => {
+                // Distance computations over a shared read-only model with a
+                // small reduction phase.
+                p.memory_intensity = 0.9;
+                p.base_miss_rate = 0.04;
+                p.working_set_mib = 384.0;
+                p.bandwidth_demand_gibps_per_core = 0.8;
+                p.fp_intensity = 0.4;
+                p.sharing_fraction = 0.02;
+                p.sync = SyncKind::Locks;
+                p.sync_rate = 0.004;
+                p.sync_section_cycles = 200.0;
+                p.conflict_probability = 0.06;
+                p.sync_site = "knn.topk_merge".into();
+            }
+            WorkloadId::Memcached => {
+                // Read-mostly key-value serving (cloudsuite client, 550-byte
+                // objects): scales until the shared LRU/hash locks and the
+                // memory system push back.
+                p.total_work = 3.0e8;
+                p.memory_intensity = 0.8;
+                p.base_miss_rate = 0.04;
+                p.working_set_mib = 1024.0;
+                p.bandwidth_demand_gibps_per_core = 0.9;
+                p.sharing_fraction = 0.05;
+                p.sync = SyncKind::Locks;
+                p.sync_rate = 0.012;
+                p.sync_section_cycles = 300.0;
+                p.conflict_probability = 0.09;
+                p.sync_site = "memcached.lru".into();
+            }
+            WorkloadId::SqliteTpcc => {
+                // In-memory TPC-C on SQLite (tmpfs logging): significant
+                // shared B-tree and latch contention; stops scaling around a
+                // dozen cores.
+                p.total_work = 3.5e8;
+                p.memory_intensity = 0.9;
+                p.base_miss_rate = 0.045;
+                p.working_set_mib = 2048.0;
+                p.bandwidth_demand_gibps_per_core = 0.7;
+                p.sharing_fraction = 0.07;
+                p.serial_fraction = 0.01;
+                p.sync = SyncKind::Locks;
+                p.sync_rate = 0.016;
+                p.sync_section_cycles = 650.0;
+                p.conflict_probability = 0.12;
+                p.sync_site = "sqlite.btree_latch".into();
+            }
+        }
+        p
+    }
+}
+
+impl std::fmt::Display for WorkloadId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use estima_machine::{MachineDescriptor, SimOptions, Simulator};
+
+    #[test]
+    fn registry_sizes_match_the_paper() {
+        assert_eq!(WorkloadId::ALL.len(), 21);
+        assert_eq!(WorkloadId::BENCHMARKS.len(), 19);
+        let stm_count = WorkloadId::ALL.iter().filter(|w| w.uses_stm()).count();
+        assert_eq!(stm_count, 8, "the paper uses 8 STM-based workloads");
+    }
+
+    #[test]
+    fn names_are_unique_and_profiles_valid() {
+        let mut names = std::collections::HashSet::new();
+        for w in WorkloadId::ALL
+            .iter()
+            .chain([WorkloadId::StreamclusterOptimized, WorkloadId::IntruderOptimized].iter())
+        {
+            assert!(names.insert(w.name()), "duplicate name {}", w.name());
+            w.profile().validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn suites_partition_correctly() {
+        assert_eq!(WorkloadId::Genome.suite(), Suite::Stamp);
+        assert_eq!(WorkloadId::Raytrace.suite(), Suite::Parsec);
+        assert_eq!(WorkloadId::LockFreeHashTable.suite(), Suite::Microbench);
+        assert_eq!(WorkloadId::Memcached.suite(), Suite::Production);
+        assert_eq!(WorkloadId::Knn.suite(), Suite::Kernel);
+        let stamp = WorkloadId::BENCHMARKS
+            .iter()
+            .filter(|w| w.suite() == Suite::Stamp)
+            .count();
+        assert_eq!(stamp, 8);
+        let parsec = WorkloadId::BENCHMARKS
+            .iter()
+            .filter(|w| w.suite() == Suite::Parsec)
+            .count();
+        assert_eq!(parsec, 6);
+    }
+
+    fn scaling_limit(id: WorkloadId) -> u32 {
+        let sim = Simulator::with_options(
+            MachineDescriptor::opteron48(),
+            SimOptions {
+                noise_amplitude: 0.0,
+                seed_salt: 0,
+            },
+        );
+        let runs = sim.sweep(&id.profile(), 48);
+        runs.iter()
+            .min_by(|a, b| a.exec_time_secs.partial_cmp(&b.exec_time_secs).unwrap())
+            .unwrap()
+            .cores
+    }
+
+    #[test]
+    fn scalable_workloads_keep_scaling_on_opteron() {
+        for id in [
+            WorkloadId::Blackscholes,
+            WorkloadId::Raytrace,
+            WorkloadId::Swaptions,
+            WorkloadId::Genome,
+        ] {
+            let limit = scaling_limit(id);
+            assert!(limit >= 40, "{id} stopped scaling at {limit} cores");
+        }
+    }
+
+    #[test]
+    fn collapsing_workloads_stop_scaling_on_opteron() {
+        for (id, max_limit) in [
+            (WorkloadId::Intruder, 36),
+            (WorkloadId::Yada, 40),
+            (WorkloadId::Streamcluster, 40),
+            (WorkloadId::SqliteTpcc, 36),
+        ] {
+            let limit = scaling_limit(id);
+            assert!(
+                limit <= max_limit,
+                "{id} kept scaling to {limit} cores, expected a collapse before {max_limit}"
+            );
+            assert!(limit >= 4, "{id} collapsed unrealistically early ({limit})");
+        }
+    }
+
+    #[test]
+    fn optimized_variants_outperform_originals() {
+        let sim = Simulator::with_options(
+            MachineDescriptor::opteron48(),
+            SimOptions {
+                noise_amplitude: 0.0,
+                seed_salt: 0,
+            },
+        );
+        for (orig, opt) in [
+            (WorkloadId::Streamcluster, WorkloadId::StreamclusterOptimized),
+            (WorkloadId::Intruder, WorkloadId::IntruderOptimized),
+        ] {
+            let t_orig = sim.run(&orig.profile(), 48).exec_time_secs;
+            let t_opt = sim.run(&opt.profile(), 48).exec_time_secs;
+            assert!(
+                t_opt < t_orig,
+                "{opt} ({t_opt}s) should beat {orig} ({t_orig}s) at 48 cores"
+            );
+        }
+    }
+
+    #[test]
+    fn stm_workloads_report_stm_sites() {
+        let sim = Simulator::new(MachineDescriptor::opteron48());
+        for id in WorkloadId::ALL.iter().filter(|w| w.uses_stm()) {
+            let run = sim.run(&id.profile(), 12);
+            assert!(
+                run.software_stalls.keys().any(|k| k.starts_with("stm.abort.")),
+                "{id} did not report STM abort cycles"
+            );
+        }
+    }
+}

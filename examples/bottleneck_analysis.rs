@@ -1,0 +1,57 @@
+//! Bottleneck identification (§4.6): use ESTIMA's per-category
+//! extrapolations to find the synchronisation site that will dominate at
+//! high core counts, then verify the fix by running the *executable*
+//! streamcluster workload with both lock flavours on the host.
+//!
+//! ```text
+//! cargo run --release --example bottleneck_analysis
+//! ```
+
+use estima::core::{BottleneckReport, Estima, EstimaConfig, TargetSpec};
+use estima::counters::{collect_up_to, SimulatedCounterSource};
+use estima::machine::MachineDescriptor;
+use estima::workloads::{ExecutableWorkload, StreamclusterWorkload, WorkloadId};
+
+fn main() {
+    // 1. Predict streamcluster's scalability on the 48-core Opteron from a
+    //    single-socket measurement, with software stalls enabled.
+    let machine = MachineDescriptor::opteron48();
+    let mut source =
+        SimulatedCounterSource::new(machine.clone(), WorkloadId::Streamcluster.profile());
+    let measurements = collect_up_to(&mut source, "streamcluster", 12);
+    let prediction = Estima::new(EstimaConfig::default())
+        .predict(&measurements, &TargetSpec::cores(48))
+        .expect("prediction");
+
+    // 2. Rank the predicted stall categories at 48 cores.
+    let report = BottleneckReport::from_prediction(&prediction, 48);
+    println!("{}", report.to_text());
+    if let Some(dominant) = report.dominant() {
+        println!(
+            "=> the dominant future bottleneck is `{}`; the paper traces it to the PARSEC barrier mutexes\n",
+            dominant.category
+        );
+    }
+
+    // 3. Apply the paper's fix on the executable kernel: replace the barrier
+    //    mutexes with test-and-set spinlocks and compare on the host.
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let baseline = StreamclusterWorkload::default();
+    let optimized = StreamclusterWorkload {
+        optimized_locks: true,
+        ..StreamclusterWorkload::default()
+    };
+    let base_run = baseline.run(threads);
+    let opt_run = optimized.run(threads);
+    println!(
+        "executable streamcluster at {threads} threads: {:.3}s with pthread-style locks, {:.3}s with test-and-set locks ({:.0}% change)",
+        base_run.elapsed_secs,
+        opt_run.elapsed_secs,
+        100.0 * (1.0 - opt_run.elapsed_secs / base_run.elapsed_secs)
+    );
+    println!(
+        "software stall cycles reported: {} (baseline) vs {} (optimised)",
+        base_run.software_stalls.values().sum::<u64>(),
+        opt_run.software_stalls.values().sum::<u64>()
+    );
+}

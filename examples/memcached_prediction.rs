@@ -1,0 +1,55 @@
+//! Cross-machine prediction (the paper's §4.3 scenario): measure memcached on
+//! a 4-core desktop and predict its scalability on a 20-core server, then
+//! compare against the "actual" server behaviour.
+//!
+//! ```text
+//! cargo run --release --example memcached_prediction
+//! ```
+
+use estima::core::{Estima, EstimaConfig, TargetSpec, TimeExtrapolation};
+use estima::counters::{collect_up_to, SimulatedCounterSource};
+use estima::machine::{MachineDescriptor, Simulator};
+use estima::workloads::WorkloadId;
+
+fn main() {
+    let desktop = MachineDescriptor::haswell_desktop();
+    let server = MachineDescriptor::xeon20();
+    let workload = WorkloadId::Memcached;
+
+    // Measure on the desktop (4 cores).
+    let mut source = SimulatedCounterSource::new(desktop.clone(), workload.profile());
+    let measurements = collect_up_to(&mut source, workload.name(), desktop.total_cores());
+
+    // Predict for the server: more cores AND a different clock frequency.
+    let target = TargetSpec::cores(server.total_cores()).with_frequency_ghz(server.frequency_ghz);
+    let estima = Estima::new(EstimaConfig::default());
+    let prediction = estima.predict(&measurements, &target).expect("prediction");
+    let baseline = TimeExtrapolation::new()
+        .predict(&measurements, &target)
+        .expect("baseline");
+
+    // "Run" memcached on the server to obtain the ground truth.
+    let actual: Vec<(u32, f64)> = Simulator::new(server.clone())
+        .sweep(&workload.profile(), server.total_cores())
+        .into_iter()
+        .map(|r| (r.cores, r.exec_time_secs))
+        .collect();
+
+    println!(
+        "{}",
+        estima::core::report::render_comparison(&prediction, &baseline, &actual)
+    );
+    println!(
+        "ESTIMA max error beyond the measured range: {:.1}% (paper: below 30%)",
+        prediction.max_error_against(&actual).unwrap_or(f64::NAN) * 100.0
+    );
+    println!(
+        "predicted scaling limit: {} cores; actual optimum: {} cores",
+        prediction.predicted_scaling_limit(),
+        actual
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .map(|(c, _)| *c)
+            .unwrap_or(0)
+    );
+}

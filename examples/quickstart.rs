@@ -1,0 +1,48 @@
+//! Quickstart: predict the scalability of a workload on a 48-core server
+//! from measurements taken on a single 12-core processor.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use estima::core::{BottleneckReport, Estima, EstimaConfig, TargetSpec};
+use estima::counters::{collect_up_to, SimulatedCounterSource};
+use estima::machine::MachineDescriptor;
+use estima::workloads::WorkloadId;
+
+fn main() {
+    // Step A — collection: run the application at 1..=12 cores on the
+    // measurements machine and collect backend stall counters, software
+    // stalls and execution time. Here the "application" is the intruder
+    // workload running on the simulated Opteron; on real hardware a
+    // perf-events-backed CounterSource would take this role.
+    let machine = MachineDescriptor::opteron48();
+    let workload = WorkloadId::Intruder;
+    let mut source = SimulatedCounterSource::new(machine.clone(), workload.profile());
+    let measurements = collect_up_to(&mut source, workload.name(), 12);
+    println!(
+        "collected {} measurements of `{}` on {} ({} stall categories)",
+        measurements.len(),
+        measurements.app_name,
+        machine.name,
+        measurements
+            .categories(&[
+                estima::core::StallSource::HardwareBackend,
+                estima::core::StallSource::Software
+            ])
+            .len()
+    );
+
+    // Steps B + C — extrapolate every stall category and translate stalled
+    // cycles per core into execution time for the full 48-core machine.
+    let estima = Estima::new(EstimaConfig::default());
+    let prediction = estima
+        .predict(&measurements, &TargetSpec::cores(48))
+        .expect("prediction failed");
+
+    println!("\n{}", estima::core::report::render_prediction(&prediction));
+
+    // Where will the bottleneck be once the application stops scaling?
+    let bottlenecks = BottleneckReport::from_prediction(&prediction, 48);
+    println!("{}", bottlenecks.to_text());
+}

@@ -1,0 +1,49 @@
+//! Weak scaling (§4.5): predict what happens when the target machine has
+//! twice the cores *and* the dataset doubles.
+//!
+//! ```text
+//! cargo run --release --example weak_scaling
+//! ```
+
+use estima::core::{Estima, EstimaConfig, TargetSpec};
+use estima::counters::{collect_up_to, SimulatedCounterSource};
+use estima::machine::{MachineDescriptor, Simulator};
+use estima::workloads::WorkloadId;
+
+fn main() {
+    let machine = MachineDescriptor::xeon20();
+    for workload in [WorkloadId::Genome, WorkloadId::Intruder] {
+        // Measure on one socket (10 cores) with the default dataset.
+        let mut source = SimulatedCounterSource::new(machine.clone(), workload.profile());
+        let measurements = collect_up_to(&mut source, workload.name(), 10);
+
+        // Predict the full machine with a 2x dataset.
+        let target = TargetSpec::cores(20)
+            .with_frequency_ghz(machine.frequency_ghz)
+            .with_dataset_scale(2.0);
+        let prediction = Estima::new(EstimaConfig::default())
+            .predict(&measurements, &target)
+            .expect("prediction");
+
+        // Ground truth: the scaled dataset on the full machine.
+        let scaled = workload.profile().scaled_dataset(2.0);
+        let actual: Vec<(u32, f64)> = Simulator::new(machine.clone())
+            .sweep(&scaled, 20)
+            .into_iter()
+            .map(|r| (r.cores, r.exec_time_secs))
+            .collect();
+
+        let max_err = prediction
+            .errors_against(&actual)
+            .into_iter()
+            .filter(|(c, _)| *c > 1)
+            .map(|(_, e)| e)
+            .fold(0.0f64, f64::max);
+        println!(
+            "{workload}: predicted 20-core time {:.3}s, actual {:.3}s, max error (excl. 1 core) {:.1}%",
+            prediction.predicted_time_at(20).unwrap_or(f64::NAN),
+            actual.last().map(|(_, t)| *t).unwrap_or(f64::NAN),
+            max_err * 100.0
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! # estima
+//!
+//! Facade crate for the ESTIMA reproduction: re-exports every workspace crate
+//! under one roof so examples and downstream users can depend on a single
+//! package.
+//!
+//! * [`core`] — the prediction pipeline (kernels, fitting, predictor,
+//!   time-extrapolation baseline, bottleneck analysis).
+//! * [`machine`] — the multicore machine simulator substrate.
+//! * [`counters`] — performance-counter catalogs and counter sources.
+//! * [`sync`] — synchronisation primitives with stall accounting.
+//! * [`stm`] — the SwissTM-style software transactional memory.
+//! * [`workloads`] — the 21 evaluation workloads and their drivers.
+//!
+//! See the repository README for a tour and `DESIGN.md` for how the pieces
+//! map onto the paper.
+
+#![warn(missing_docs)]
+
+pub use estima_core as core;
+pub use estima_counters as counters;
+pub use estima_machine as machine;
+pub use estima_stm as stm;
+pub use estima_sync as sync;
+pub use estima_workloads as workloads;
+
+/// Common imports for end-to-end use of the toolkit.
+pub mod prelude {
+    pub use estima_core::prelude::*;
+}

@@ -1,0 +1,83 @@
+//! Integration tests for the executable workloads: they must run on the host,
+//! produce software stall categories in the format ESTIMA consumes, and feed
+//! the measurement-set builder end to end.
+
+use estima::core::StallSource;
+use estima::workloads::{
+    measure_executable, BlackscholesWorkload, ExecutableWorkload, IntruderWorkload,
+    MemcachedWorkload, MicrobenchKind, MicrobenchWorkload, SqliteTpccWorkload,
+    StreamclusterWorkload,
+};
+
+#[test]
+fn executable_workloads_produce_measurement_sets() {
+    let mut streamcluster = StreamclusterWorkload::default();
+    streamcluster.points_per_block = 300;
+    streamcluster.blocks = 3;
+    let set = measure_executable(&streamcluster, 2.4, &[1, 2]);
+    assert_eq!(set.core_counts(), vec![1, 2]);
+    let software = set.categories(&[StallSource::Software]);
+    assert!(
+        software.iter().any(|c| c.name.starts_with("barrier.wait.")),
+        "expected a barrier category, got {software:?}"
+    );
+}
+
+#[test]
+fn stm_workload_reports_abort_sites_through_the_driver() {
+    let intruder = IntruderWorkload {
+        flows: 400,
+        fragments_per_flow: 3,
+        decode_batch: 1,
+    };
+    let outcome = intruder.run(4);
+    assert!(outcome.elapsed_secs > 0.0);
+    // Abort attribution uses the stm.abort.<site> convention.
+    for site in outcome.software_stalls.keys() {
+        assert!(site.starts_with("stm.abort."), "unexpected site {site}");
+    }
+}
+
+#[test]
+fn memcached_and_sqlite_stand_ins_run_multithreaded() {
+    let memcached = MemcachedWorkload {
+        requests_per_thread: 2_000,
+        key_space: 1_000,
+        get_ratio: 0.9,
+        object_size: 128,
+        shards: 8,
+    };
+    let outcome = memcached.run(4);
+    assert_eq!(outcome.operations, 8_000);
+
+    let sqlite = SqliteTpccWorkload {
+        transactions_per_thread: 1_000,
+        districts: 4,
+        items: 512,
+        lines_per_order: 6,
+    };
+    let outcome = sqlite.run(4);
+    assert_eq!(outcome.operations, 4_000);
+    assert!(outcome.software_stalls.contains_key("sqlite.btree_latch"));
+}
+
+#[test]
+fn compute_bound_workloads_report_negligible_software_stalls() {
+    let blackscholes = BlackscholesWorkload {
+        options: 5_000,
+        iterations: 1,
+    };
+    let outcome = blackscholes.run(2);
+    assert_eq!(outcome.software_stalls.values().sum::<u64>(), 0);
+}
+
+#[test]
+fn microbenchmarks_scale_up_operations_with_threads() {
+    let mut workload = MicrobenchWorkload::new(MicrobenchKind::LockedHashMap);
+    workload.ops_per_thread = 3_000;
+    let one = workload.run(1);
+    let four = workload.run(4);
+    assert_eq!(one.operations, 3_000);
+    assert_eq!(four.operations, 12_000);
+    assert!(four.throughput() > 0.0);
+}
