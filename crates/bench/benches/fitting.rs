@@ -9,7 +9,10 @@ use estima_core::{approximate_series, fit_kernel, FitOptions, KernelKind};
 
 fn series() -> (Vec<f64>, Vec<f64>) {
     let xs: Vec<f64> = (1..=12).map(|c| c as f64).collect();
-    let ys: Vec<f64> = xs.iter().map(|x| 1.0e9 + 2.0e7 * x + 5.0e5 * x * x).collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| 1.0e9 + 2.0e7 * x + 5.0e5 * x * x)
+        .collect();
     (xs, ys)
 }
 
@@ -18,9 +21,15 @@ fn bench_single_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("fit_kernel");
     group.sample_size(30);
     for kernel in KernelKind::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(kernel.name()), &kernel, |b, &k| {
-            b.iter(|| fit_kernel(k, std::hint::black_box(&xs), std::hint::black_box(&ys)).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kernel.name()),
+            &kernel,
+            |b, &k| {
+                b.iter(|| {
+                    fit_kernel(k, std::hint::black_box(&xs), std::hint::black_box(&ys)).unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }

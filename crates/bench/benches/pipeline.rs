@@ -12,7 +12,11 @@ use estima_workloads::WorkloadId;
 fn bench_prediction(c: &mut Criterion) {
     let mut group = c.benchmark_group("predict_12_to_48");
     group.sample_size(10);
-    for workload in [WorkloadId::Intruder, WorkloadId::Raytrace, WorkloadId::Memcached] {
+    for workload in [
+        WorkloadId::Intruder,
+        WorkloadId::Raytrace,
+        WorkloadId::Memcached,
+    ] {
         let mut source =
             SimulatedCounterSource::new(MachineDescriptor::opteron48(), workload.profile());
         let set = collect_up_to(&mut source, workload.name(), 12);

@@ -8,7 +8,11 @@ fn bench_single_run(c: &mut Criterion) {
     let simulator = Simulator::new(MachineDescriptor::opteron48());
     let mut group = c.benchmark_group("simulator_run");
     group.sample_size(50);
-    for workload in [WorkloadId::Intruder, WorkloadId::Streamcluster, WorkloadId::Memcached] {
+    for workload in [
+        WorkloadId::Intruder,
+        WorkloadId::Streamcluster,
+        WorkloadId::Memcached,
+    ] {
         let profile = workload.profile();
         group.bench_with_input(
             BenchmarkId::from_parameter(workload.name()),

@@ -32,24 +32,30 @@ fn bench_contended_counter(c: &mut Criterion) {
     let mut group = c.benchmark_group("stm_contended_counter");
     group.sample_size(10);
     for threads in [2usize, 4, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
-            b.iter(|| {
-                let stm = Arc::new(Stm::new());
-                let counter = Arc::new(TVar::new(0u64));
-                std::thread::scope(|scope| {
-                    for _ in 0..threads {
-                        let stm = Arc::clone(&stm);
-                        let counter = Arc::clone(&counter);
-                        scope.spawn(move || {
-                            for _ in 0..500 {
-                                stm.atomically("bench_inc", |txn| txn.modify(&counter, |v| v + 1));
-                            }
-                        });
-                    }
-                });
-                counter.read_atomic()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let stm = Arc::new(Stm::new());
+                    let counter = Arc::new(TVar::new(0u64));
+                    std::thread::scope(|scope| {
+                        for _ in 0..threads {
+                            let stm = Arc::clone(&stm);
+                            let counter = Arc::clone(&counter);
+                            scope.spawn(move || {
+                                for _ in 0..500 {
+                                    stm.atomically("bench_inc", |txn| {
+                                        txn.modify(&counter, |v| v + 1)
+                                    });
+                                }
+                            });
+                        }
+                    });
+                    counter.read_atomic()
+                })
+            },
+        );
     }
     group.finish();
 }

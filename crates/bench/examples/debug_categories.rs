@@ -1,13 +1,20 @@
 //! Diagnostic: compare extrapolated vs true category totals for intruder.
 use estima_bench::Scenario;
 use estima_core::EstimaConfig;
-use estima_machine::{MachineDescriptor, Simulator, SimOptions};
+use estima_machine::{MachineDescriptor, SimOptions, Simulator};
 use estima_workloads::WorkloadId;
 
 fn main() {
-    let scenario = Scenario::one_socket_to_full(WorkloadId::Intruder, MachineDescriptor::opteron48());
+    let scenario =
+        Scenario::one_socket_to_full(WorkloadId::Intruder, MachineDescriptor::opteron48());
     let prediction = scenario.predict(&EstimaConfig::default()).unwrap();
-    let sim = Simulator::with_options(MachineDescriptor::opteron48(), SimOptions{noise_amplitude:0.015, seed_salt:0});
+    let sim = Simulator::with_options(
+        MachineDescriptor::opteron48(),
+        SimOptions {
+            noise_amplitude: 0.015,
+            seed_salt: 0,
+        },
+    );
     let run48 = sim.run(&WorkloadId::Intruder.profile(), 48);
     let run24 = sim.run(&WorkloadId::Intruder.profile(), 24);
     println!("category, extrap24, true24, extrap48, true48");
@@ -16,15 +23,36 @@ fn main() {
         let e48 = cat.at(48).unwrap();
         let name = &cat.category.name;
         let t = |run: &estima_machine::SimRun, name: &str| -> f64 {
-            run.backend_stalls.iter().find(|(k,_)| k.name()==name).map(|(_,v)|*v)
-              .or_else(|| run.software_stalls.get(name).copied())
-              .or_else(|| run.software_stalls.iter().find(|(k,_)| k.as_str()==name).map(|(_,v)|*v))
-              .unwrap_or(f64::NAN)
+            run.backend_stalls
+                .iter()
+                .find(|(k, _)| k.name() == name)
+                .map(|(_, v)| *v)
+                .or_else(|| run.software_stalls.get(name).copied())
+                .or_else(|| {
+                    run.software_stalls
+                        .iter()
+                        .find(|(k, _)| k.as_str() == name)
+                        .map(|(_, v)| *v)
+                })
+                .unwrap_or(f64::NAN)
         };
-        println!("{name}: {:.3e} {:.3e} | {:.3e} {:.3e}  kernel={}", e24, t(&run24,name), e48, t(&run48,name), cat.curve.kernel);
+        println!(
+            "{name}: {:.3e} {:.3e} | {:.3e} {:.3e}  kernel={}",
+            e24,
+            t(&run24, name),
+            e48,
+            t(&run48, name),
+            cat.curve.kernel
+        );
     }
-    println!("factor kernel {} corr {:.3}", prediction.scaling_factor.kernel, prediction.factor_correlation);
-    for c in [12,24,36,48] {
-        println!("time pred {c}: {:.4} ", prediction.predicted_time_at(c).unwrap());
+    println!(
+        "factor kernel {} corr {:.3}",
+        prediction.scaling_factor.kernel, prediction.factor_correlation
+    );
+    for c in [12, 24, 36, 48] {
+        println!(
+            "time pred {c}: {:.4} ",
+            prediction.predicted_time_at(c).unwrap()
+        );
     }
 }

@@ -27,7 +27,10 @@ fn main() {
     }
 
     let ids: Vec<String> = if args.iter().any(|a| a == "all") {
-        estima_bench::all_ids().iter().map(|s| s.to_string()).collect()
+        estima_bench::all_ids()
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
     } else {
         args
     };

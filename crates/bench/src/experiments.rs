@@ -65,7 +65,10 @@ fn xeon48() -> MachineDescriptor {
 
 /// Table 2: the AMD family 10h backend stall events.
 pub fn table2_amd_counters() -> Report {
-    let mut report = Report::new("table2", "Hardware performance counters used for the Opteron machine");
+    let mut report = Report::new(
+        "table2",
+        "Hardware performance counters used for the Opteron machine",
+    );
     let catalog = CounterCatalog::amd_family10h();
     report.table(
         catalog.family.to_string(),
@@ -81,7 +84,10 @@ pub fn table2_amd_counters() -> Report {
 
 /// Table 3: the Intel backend stall events.
 pub fn table3_intel_counters() -> Report {
-    let mut report = Report::new("table3", "Hardware performance counters used for the latest Intel processors");
+    let mut report = Report::new(
+        "table3",
+        "Hardware performance counters used for the latest Intel processors",
+    );
     let catalog = CounterCatalog::intel_bigcore();
     report.table(
         catalog.family.to_string(),
@@ -129,14 +135,23 @@ pub fn fig02_stall_time_correlation() -> Report {
         let machine = opteron();
         let profile = workload.profile();
         let actual = actual_times(&machine, &profile, machine.total_cores());
-        let set = measurements_for(&machine, &profile, workload.name(), machine.total_cores(), false, true);
+        let set = measurements_for(
+            &machine,
+            &profile,
+            workload.name(),
+            machine.total_cores(),
+            false,
+            true,
+        );
         let spc = set.stalls_per_core(&[
             estima_core::StallSource::HardwareBackend,
             estima_core::StallSource::Software,
         ]);
         let corr = stall_time_correlation(&machine, &profile, false, true);
         report.series(
-            format!("{workload}: execution time and stalled cycles per core (correlation {corr:.2})"),
+            format!(
+                "{workload}: execution time and stalled cycles per core (correlation {corr:.2})"
+            ),
             vec![
                 ("exec_time_s".into(), actual),
                 ("stalls_per_core".into(), spc),
@@ -148,13 +163,21 @@ pub fn fig02_stall_time_correlation() -> Report {
 
 /// Figure 5: the step-by-step intruder prediction example.
 pub fn fig05_intruder_walkthrough() -> Report {
-    let mut report = Report::new("fig5", "intruder prediction example (Opteron, 12 -> 48 cores)");
+    let mut report = Report::new(
+        "fig5",
+        "intruder prediction example (Opteron, 12 -> 48 cores)",
+    );
     let scenario = Scenario::one_socket_to_full(WorkloadId::Intruder, opteron());
-    let prediction = scenario.predict(&EstimaConfig::default()).expect("prediction");
+    let prediction = scenario
+        .predict(&EstimaConfig::default())
+        .expect("prediction");
     // (a)-(f): per-category extrapolations.
     for category in &prediction.categories {
         report.series(
-            format!("category {} ({} kernel)", category.category, category.curve.kernel),
+            format!(
+                "category {} ({} kernel)",
+                category.category, category.curve.kernel
+            ),
             vec![
                 ("measured".into(), category.measured.clone()),
                 ("extrapolated".into(), category.extrapolated.clone()),
@@ -197,7 +220,10 @@ pub fn fig05_intruder_walkthrough() -> Report {
 
 /// Figure 6: memcached and SQLite predicted from a desktop onto Xeon20.
 pub fn fig06_production_apps() -> Report {
-    let mut report = Report::new("fig6", "Predictions for memcached and SQLite (desktop -> Xeon20)");
+    let mut report = Report::new(
+        "fig6",
+        "Predictions for memcached and SQLite (desktop -> Xeon20)",
+    );
     // The paper measures memcached on three desktop cores; our fitting layer
     // needs one more point to hold out a checkpoint, so both applications are
     // measured on the desktop's four cores (documented in EXPERIMENTS.md).
@@ -211,7 +237,9 @@ pub fn fig06_production_apps() -> Report {
             measured_cores,
             xeon20(),
         );
-        let prediction = scenario.predict(&EstimaConfig::default()).expect("prediction");
+        let prediction = scenario
+            .predict(&EstimaConfig::default())
+            .expect("prediction");
         let actual = scenario.actual();
         let err = prediction.max_error_against(&actual).unwrap_or(f64::NAN);
         report.series(
@@ -304,7 +332,10 @@ pub fn table04_strong_scaling_errors() -> Report {
 
 /// Figure 7: error comparison between ESTIMA and time extrapolation.
 pub fn fig07_estima_vs_time_extrapolation() -> Report {
-    let mut report = Report::new("fig7", "Comparison of errors between ESTIMA and time extrapolation");
+    let mut report = Report::new(
+        "fig7",
+        "Comparison of errors between ESTIMA and time extrapolation",
+    );
     let workloads = [
         WorkloadId::Intruder,
         WorkloadId::Yada,
@@ -316,7 +347,9 @@ pub fn fig07_estima_vs_time_extrapolation() -> Report {
     let mut rows = Vec::new();
     for workload in workloads {
         let scenario = Scenario::one_socket_to_full(workload, opteron());
-        let estima_err = scenario.estima_max_error(&EstimaConfig::default()).unwrap_or(f64::NAN);
+        let estima_err = scenario
+            .estima_max_error(&EstimaConfig::default())
+            .unwrap_or(f64::NAN);
         let baseline_err = scenario.baseline_max_error().unwrap_or(f64::NAN);
         rows.push(vec![
             workload.name().to_string(),
@@ -326,7 +359,11 @@ pub fn fig07_estima_vs_time_extrapolation() -> Report {
     }
     report.table(
         "Maximum prediction errors on Opteron, 12 measured cores -> 48 cores (%)",
-        vec!["Benchmark".into(), "ESTIMA".into(), "Time extrapolation".into()],
+        vec![
+            "Benchmark".into(),
+            "ESTIMA".into(),
+            "Time extrapolation".into(),
+        ],
         rows,
     );
     report
@@ -342,7 +379,9 @@ pub fn fig08_prediction_curves() -> Report {
         WorkloadId::Kmeans,
     ] {
         let scenario = Scenario::one_socket_to_full(workload, opteron());
-        let prediction = scenario.predict(&EstimaConfig::default()).expect("prediction");
+        let prediction = scenario
+            .predict(&EstimaConfig::default())
+            .expect("prediction");
         let baseline = scenario.predict_baseline().expect("baseline");
         let actual = scenario.actual();
         report.series(
@@ -359,11 +398,16 @@ pub fn fig08_prediction_curves() -> Report {
 
 /// Figure 9: weak scaling — twice the cores and twice the dataset.
 pub fn fig09_weak_scaling() -> Report {
-    let mut report = Report::new("fig9", "Predictions with changing workload sizes (Xeon20, 2x dataset)");
+    let mut report = Report::new(
+        "fig9",
+        "Predictions with changing workload sizes (Xeon20, 2x dataset)",
+    );
     for workload in [WorkloadId::Genome, WorkloadId::Intruder] {
         let mut scenario = Scenario::one_socket_to_full(workload, xeon20());
         scenario.dataset_scale = 2.0;
-        let prediction = scenario.predict(&EstimaConfig::default()).expect("prediction");
+        let prediction = scenario
+            .predict(&EstimaConfig::default())
+            .expect("prediction");
         let actual = scenario.actual();
         let errors: Vec<f64> = prediction
             .errors_against(&actual)
@@ -389,10 +433,15 @@ pub fn fig09_weak_scaling() -> Report {
 
 /// Figure 10: streamcluster and intruder predictions with software stalls.
 pub fn fig10_bottleneck_predictions() -> Report {
-    let mut report = Report::new("fig10", "Predictions for streamcluster and intruder (software stalls enabled)");
+    let mut report = Report::new(
+        "fig10",
+        "Predictions for streamcluster and intruder (software stalls enabled)",
+    );
     for workload in [WorkloadId::Streamcluster, WorkloadId::Intruder] {
         let scenario = Scenario::one_socket_to_full(workload, opteron());
-        let prediction = scenario.predict(&EstimaConfig::default()).expect("prediction");
+        let prediction = scenario
+            .predict(&EstimaConfig::default())
+            .expect("prediction");
         let actual = scenario.actual();
         report.series(
             format!("{workload}"),
@@ -416,9 +465,15 @@ pub fn fig10_bottleneck_predictions() -> Report {
 
 /// Figure 11: measured improvement of the §4.6 optimised variants.
 pub fn fig11_optimized_variants() -> Report {
-    let mut report = Report::new("fig11", "Improving streamcluster and intruder using ESTIMA's predictions");
+    let mut report = Report::new(
+        "fig11",
+        "Improving streamcluster and intruder using ESTIMA's predictions",
+    );
     for (original, optimized) in [
-        (WorkloadId::Streamcluster, WorkloadId::StreamclusterOptimized),
+        (
+            WorkloadId::Streamcluster,
+            WorkloadId::StreamclusterOptimized,
+        ),
         (WorkloadId::Intruder, WorkloadId::IntruderOptimized),
     ] {
         let machine = opteron();
@@ -443,7 +498,10 @@ pub fn fig11_optimized_variants() -> Report {
 
 /// Table 5: correlation of stalled cycles per core with execution time.
 pub fn table05_correlations() -> Report {
-    let mut report = Report::new("table5", "Correlation of stalled cycles per core with execution time");
+    let mut report = Report::new(
+        "table5",
+        "Correlation of stalled cycles per core with execution time",
+    );
     let machines = [opteron(), xeon20(), xeon48()];
     let mut rows = Vec::new();
     let mut columns: Vec<Vec<f64>> = vec![Vec::new(); machines.len()];
@@ -470,7 +528,12 @@ pub fn table05_correlations() -> Report {
     }
     report.table(
         "Correlation (full machines)",
-        vec!["Benchmark".into(), "Opteron".into(), "Xeon20".into(), "Xeon48".into()],
+        vec![
+            "Benchmark".into(),
+            "Opteron".into(),
+            "Xeon20".into(),
+            "Xeon48".into(),
+        ],
         rows,
     );
     report
@@ -478,7 +541,10 @@ pub fn table05_correlations() -> Report {
 
 /// Table 6: does adding frontend stalls improve the correlation?
 pub fn table06_frontend_ablation() -> Report {
-    let mut report = Report::new("table6", "Frontend+backend stalled cycles improvement over backend-only stalls (%)");
+    let mut report = Report::new(
+        "table6",
+        "Frontend+backend stalled cycles improvement over backend-only stalls (%)",
+    );
     let machines = [opteron(), xeon20(), xeon48()];
     let mut rows = Vec::new();
     let mut columns: Vec<Vec<f64>> = vec![Vec::new(); machines.len()];
@@ -493,7 +559,12 @@ pub fn table06_frontend_ablation() -> Report {
         }
         rows.push(row);
     }
-    for (label, pick) in [("Average", 0usize), ("Std. Dev.", 1), ("Max.", 2), ("Min.", 3)] {
+    for (label, pick) in [
+        ("Average", 0usize),
+        ("Std. Dev.", 1),
+        ("Max.", 2),
+        ("Min.", 3),
+    ] {
         let mut row = vec![format!("**{label}**")];
         for column in &columns {
             let value = match pick {
@@ -508,7 +579,12 @@ pub fn table06_frontend_ablation() -> Report {
     }
     report.table(
         "Correlation delta when adding frontend stalls (percentage points)",
-        vec!["Benchmark".into(), "Opteron".into(), "Xeon20".into(), "Xeon48".into()],
+        vec![
+            "Benchmark".into(),
+            "Opteron".into(),
+            "Xeon20".into(),
+            "Xeon48".into(),
+        ],
         rows,
     );
     report.text(
@@ -521,14 +597,24 @@ pub fn table06_frontend_ablation() -> Report {
 /// Figure 12: execution time and stalled cycles for two microbenchmarks with
 /// lower correlation.
 pub fn fig12_microbenchmark_curves() -> Report {
-    let mut report = Report::new("fig12", "Execution time and stalled cycles for two data structure microbenchmarks");
+    let mut report = Report::new(
+        "fig12",
+        "Execution time and stalled cycles for two data structure microbenchmarks",
+    );
     for (workload, machine) in [
         (WorkloadId::LockBasedHashTable, xeon20()),
         (WorkloadId::LockFreeSkipList, xeon48()),
     ] {
         let profile = workload.profile();
         let actual = actual_times(&machine, &profile, machine.total_cores());
-        let set = measurements_for(&machine, &profile, workload.name(), machine.total_cores(), false, true);
+        let set = measurements_for(
+            &machine,
+            &profile,
+            workload.name(),
+            machine.total_cores(),
+            false,
+            true,
+        );
         let spc = set.stalls_per_core(&[
             estima_core::StallSource::HardwareBackend,
             estima_core::StallSource::Software,
@@ -536,7 +622,10 @@ pub fn fig12_microbenchmark_curves() -> Report {
         let corr = stall_time_correlation(&machine, &profile, false, true);
         report.series(
             format!("{workload} on {} (correlation {corr:.2})", machine.name),
-            vec![("exec_time_s".into(), actual), ("stalls_per_core".into(), spc)],
+            vec![
+                ("exec_time_s".into(), actual),
+                ("stalls_per_core".into(), spc),
+            ],
         );
     }
     report
@@ -544,7 +633,10 @@ pub fn fig12_microbenchmark_curves() -> Report {
 
 /// Figure 13: prediction errors with and without software stalls.
 pub fn fig13_software_stall_errors() -> Report {
-    let mut report = Report::new("fig13", "Comparison of prediction errors with and without software stalled cycles");
+    let mut report = Report::new(
+        "fig13",
+        "Comparison of prediction errors with and without software stalled cycles",
+    );
     let workloads = [
         WorkloadId::Genome,
         WorkloadId::Intruder,
@@ -562,7 +654,9 @@ pub fn fig13_software_stall_errors() -> Report {
         let with_sw = Scenario::one_socket_to_full(workload, opteron());
         let mut without_sw = Scenario::one_socket_to_full(workload, opteron());
         without_sw.software_stalls = false;
-        let err_with = with_sw.estima_max_error(&EstimaConfig::default()).unwrap_or(f64::NAN);
+        let err_with = with_sw
+            .estima_max_error(&EstimaConfig::default())
+            .unwrap_or(f64::NAN);
         let err_without = without_sw
             .estima_max_error(&EstimaConfig::hardware_only())
             .unwrap_or(f64::NAN);
@@ -593,7 +687,10 @@ pub fn fig13_software_stall_errors() -> Report {
 
 /// Figure 14: the effect of software stalls on streamcluster's stall curve.
 pub fn fig14_streamcluster_software_stalls() -> Report {
-    let mut report = Report::new("fig14", "Effect of software stalled cycles for streamcluster");
+    let mut report = Report::new(
+        "fig14",
+        "Effect of software stalled cycles for streamcluster",
+    );
     let machine = opteron();
     let profile = WorkloadId::Streamcluster.profile();
     let actual = actual_times(&machine, &profile, 48);
@@ -619,15 +716,23 @@ pub fn fig14_streamcluster_software_stalls() -> Report {
 
 /// Figure 15: streamcluster predicted from 12 vs 24 measured cores.
 pub fn fig15_limitations() -> Report {
-    let mut report = Report::new("fig15", "Predictions for streamcluster from 12 and 24 measured cores");
+    let mut report = Report::new(
+        "fig15",
+        "Predictions for streamcluster from 12 and 24 measured cores",
+    );
     for measured in [12u32, 24u32] {
         let mut scenario = Scenario::one_socket_to_full(WorkloadId::Streamcluster, opteron());
         scenario.measured_cores = measured;
-        let prediction = scenario.predict(&EstimaConfig::default()).expect("prediction");
+        let prediction = scenario
+            .predict(&EstimaConfig::default())
+            .expect("prediction");
         let actual = scenario.actual();
         let err = prediction.max_error_against(&actual).unwrap_or(f64::NAN);
         report.series(
-            format!("measurements up to {measured} cores (max error {}%)", pct(err)),
+            format!(
+                "measurements up to {measured} cores (max error {}%)",
+                pct(err)
+            ),
             vec![
                 ("predicted".into(), prediction.predicted_time.clone()),
                 ("measured".into(), actual),
@@ -644,13 +749,18 @@ pub fn fig15_limitations() -> Report {
 /// Figure 16: including cross-socket cores in the measurements improves
 /// Xeon20 predictions.
 pub fn fig16_numa_measurements() -> Report {
-    let mut report = Report::new("fig16", "Predictions with NUMA effects captured in the measurements (Xeon20)");
+    let mut report = Report::new(
+        "fig16",
+        "Predictions with NUMA effects captured in the measurements (Xeon20)",
+    );
     for workload in [WorkloadId::LockBasedHashTable, WorkloadId::Kmeans] {
         let mut rows = Vec::new();
         for measured in [10u32, 13u32] {
             let mut scenario = Scenario::one_socket_to_full(workload, xeon20());
             scenario.measured_cores = measured;
-            let err = scenario.estima_max_error(&EstimaConfig::default()).unwrap_or(f64::NAN);
+            let err = scenario
+                .estima_max_error(&EstimaConfig::default())
+                .unwrap_or(f64::NAN);
             rows.push(vec![format!("{measured} measured cores"), pct(err)]);
         }
         report.table(
@@ -717,11 +827,24 @@ pub fn table07_xeon48_errors() -> Report {
 /// refitting).
 pub fn ablation_design_choices() -> Report {
     let mut report = Report::new("ablation", "Ablations of ESTIMA's design choices");
-    let workloads = [WorkloadId::Intruder, WorkloadId::Kmeans, WorkloadId::Raytrace];
+    let workloads = [
+        WorkloadId::Intruder,
+        WorkloadId::Kmeans,
+        WorkloadId::Raytrace,
+    ];
     let configs: Vec<(&str, EstimaConfig)> = vec![
-        ("default (c in {2,4}, all kernels, prefix refit)", EstimaConfig::default()),
-        ("checkpoints = 2 only", EstimaConfig::default().with_checkpoints(vec![2])),
-        ("checkpoints = 4 only", EstimaConfig::default().with_checkpoints(vec![4])),
+        (
+            "default (c in {2,4}, all kernels, prefix refit)",
+            EstimaConfig::default(),
+        ),
+        (
+            "checkpoints = 2 only",
+            EstimaConfig::default().with_checkpoints(vec![2]),
+        ),
+        (
+            "checkpoints = 4 only",
+            EstimaConfig::default().with_checkpoints(vec![4]),
+        ),
         (
             "no rational kernels",
             EstimaConfig::default().with_kernels(vec![

@@ -11,8 +11,7 @@
 //! 4. report prediction curves and/or maximum relative errors.
 
 use estima_core::{
-    Estima, EstimaConfig, MeasurementSet, Prediction, TargetSpec, TimeExtrapolation,
-    TimePrediction,
+    Estima, EstimaConfig, MeasurementSet, Prediction, TargetSpec, TimeExtrapolation, TimePrediction,
 };
 use estima_counters::{collect_up_to, SimulatedCounterSource, SimulatedSourceOptions};
 use estima_machine::{MachineDescriptor, SimOptions, Simulator, WorkloadProfile};
@@ -173,13 +172,17 @@ impl Scenario {
     /// truth, for core counts above the measured range (the Table 4 metric).
     pub fn estima_max_error(&self, config: &EstimaConfig) -> estima_core::Result<f64> {
         let prediction = self.predict(config)?;
-        Ok(prediction.max_error_against(&self.actual()).unwrap_or(f64::NAN))
+        Ok(prediction
+            .max_error_against(&self.actual())
+            .unwrap_or(f64::NAN))
     }
 
     /// The baseline's maximum relative error against the ground truth.
     pub fn baseline_max_error(&self) -> estima_core::Result<f64> {
         let prediction = self.predict_baseline()?;
-        Ok(prediction.max_error_against(&self.actual()).unwrap_or(f64::NAN))
+        Ok(prediction
+            .max_error_against(&self.actual())
+            .unwrap_or(f64::NAN))
     }
 }
 

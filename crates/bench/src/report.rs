@@ -90,7 +90,11 @@ impl Report {
                 Section::Text(text) => {
                     let _ = writeln!(out, "{text}\n");
                 }
-                Section::Table { title, header, rows } => {
+                Section::Table {
+                    title,
+                    header,
+                    rows,
+                } => {
                     let _ = writeln!(out, "### {title}\n");
                     let _ = writeln!(out, "| {} |", header.join(" | "));
                     let _ = writeln!(

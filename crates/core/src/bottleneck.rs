@@ -66,7 +66,11 @@ impl BottleneckReport {
                 })
             })
             .collect();
-        entries.sort_by(|a, b| b.share.partial_cmp(&a.share).unwrap_or(std::cmp::Ordering::Equal));
+        entries.sort_by(|a, b| {
+            b.share
+                .partial_cmp(&a.share)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         BottleneckReport {
             app_name: prediction.app_name.clone(),
             at_cores,
@@ -93,7 +97,11 @@ impl BottleneckReport {
     /// factor exceeds `growth_threshold` — the "future bottlenecks" the paper
     /// talks about: not dominant yet on the measurements machine, dominant on
     /// the target.
-    pub fn future_bottlenecks(&self, threshold: f64, growth_threshold: f64) -> Vec<&BottleneckEntry> {
+    pub fn future_bottlenecks(
+        &self,
+        threshold: f64,
+        growth_threshold: f64,
+    ) -> Vec<&BottleneckEntry> {
         self.entries
             .iter()
             .filter(|e| e.share >= threshold && e.growth_factor >= growth_threshold)
@@ -185,7 +193,9 @@ mod tests {
         let p = prediction_with_growing_lock_stalls();
         let report = BottleneckReport::from_prediction(&p, 48);
         let future = report.future_bottlenecks(0.3, 2.0);
-        assert!(future.iter().any(|e| e.category.name == "lock.barrier_wait"));
+        assert!(future
+            .iter()
+            .any(|e| e.category.name == "lock.barrier_wait"));
         // An absurd threshold returns nothing.
         assert!(report.future_bottlenecks(1.1, 1.0).is_empty());
     }

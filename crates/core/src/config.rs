@@ -134,8 +134,10 @@ mod tests {
 
     #[test]
     fn frontend_ablation_adds_source() {
-        let mut cfg = EstimaConfig::default();
-        cfg.use_frontend_stalls = true;
+        let cfg = EstimaConfig {
+            use_frontend_stalls: true,
+            ..EstimaConfig::default()
+        };
         assert!(cfg.sources().contains(&StallSource::HardwareFrontend));
     }
 

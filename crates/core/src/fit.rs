@@ -192,7 +192,12 @@ pub struct FitCandidate {
 /// `xs` are core counts, `ys` the measured values, both sorted by core count.
 /// Returns the winning [`FittedCurve`]; the error carries the offending
 /// category name supplied in `label`.
-pub fn approximate_series(xs: &[f64], ys: &[f64], label: &str, options: &FitOptions) -> Result<FittedCurve> {
+pub fn approximate_series(
+    xs: &[f64],
+    ys: &[f64],
+    label: &str,
+    options: &FitOptions,
+) -> Result<FittedCurve> {
     let candidates = candidate_fits(xs, ys, options)?;
     candidates
         .into_iter()
@@ -225,11 +230,11 @@ pub fn candidate_fits(xs: &[f64], ys: &[f64], options: &FitOptions) -> Result<Ve
         .checkpoint_counts
         .iter()
         .copied()
-        .filter(|c| *c >= 1 && m > c + options.min_training_points.max(2) - 1)
+        .filter(|c| *c >= 1 && m >= c + options.min_training_points.max(2))
         .collect();
     if viable_checkpoint_counts.is_empty() {
         // Degrade gracefully to a single checkpoint when the series is short.
-        if m >= options.min_training_points + 1 {
+        if m > options.min_training_points {
             viable_checkpoint_counts.push(1);
         } else {
             return Err(EstimaError::InsufficientMeasurements {
@@ -283,7 +288,10 @@ pub fn candidate_fits(xs: &[f64], ys: &[f64], options: &FitOptions) -> Result<Ve
                 if !curve.is_realistic(options.realism_horizon, magnitude_cap) {
                     continue;
                 }
-                candidates.push(FitCandidate { curve, checkpoints: c });
+                candidates.push(FitCandidate {
+                    curve,
+                    checkpoints: c,
+                });
             }
         }
     }
@@ -383,7 +391,9 @@ mod tests {
         let candidates = candidate_fits(&xs, &ys, &opts).unwrap();
         assert!(!candidates.is_empty());
         for c in &candidates {
-            assert!(c.curve.is_realistic(opts.realism_horizon, opts.max_magnitude));
+            assert!(c
+                .curve
+                .is_realistic(opts.realism_horizon, opts.max_magnitude));
             assert!(c.curve.checkpoint_rmse.is_finite());
         }
     }
@@ -392,7 +402,9 @@ mod tests {
     fn prefix_refitting_produces_more_candidates() {
         let xs: Vec<f64> = (1..=12).map(|c| c as f64).collect();
         let ys: Vec<f64> = xs.iter().map(|x| 10.0 + x * x).collect();
-        let with = candidate_fits(&xs, &ys, &FitOptions::default()).unwrap().len();
+        let with = candidate_fits(&xs, &ys, &FitOptions::default())
+            .unwrap()
+            .len();
         let without = candidate_fits(
             &xs,
             &ys,

@@ -100,8 +100,7 @@ impl KernelKind {
                 num / den
             }
             KernelKind::Rat33 => {
-                let num =
-                    params[0] + params[1] * n + params[2] * n * n + params[3] * n * n * n;
+                let num = params[0] + params[1] * n + params[2] * n * n + params[3] * n * n * n;
                 let den = 1.0 + params[4] * n + params[5] * n * n + params[6] * n * n * n;
                 num / den
             }

@@ -145,8 +145,7 @@ where
                     continue;
                 }
             };
-            let candidate: Vec<f64> =
-                params.iter().zip(&delta).map(|(p, d)| p + d).collect();
+            let candidate: Vec<f64> = params.iter().zip(&delta).map(|(p, d)| p + d).collect();
             let cand_res = residuals(&candidate);
             let cand_cost = norm2(&cand_res);
             if cand_cost.is_finite() && cand_cost < cost {
@@ -214,10 +213,12 @@ mod tests {
         // y = (1 + 2x) / (1 + 0.1 x)
         let model = |p: &[f64], x: f64| (p[0] + p[1] * x) / (1.0 + p[2] * x);
         let xs: Vec<f64> = (1..=12).map(|i| i as f64).collect();
-        let ys: Vec<f64> = xs.iter().map(|x| (1.0 + 2.0 * x) / (1.0 + 0.1 * x)).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| (1.0 + 2.0 * x) / (1.0 + 0.1 * x))
+            .collect();
         let result =
-            levenberg_marquardt(model, &xs, &ys, &[0.5, 1.0, 0.05], &LmOptions::default())
-                .unwrap();
+            levenberg_marquardt(model, &xs, &ys, &[0.5, 1.0, 0.05], &LmOptions::default()).unwrap();
         let check: f64 = xs
             .iter()
             .zip(&ys)
@@ -233,7 +234,14 @@ mod tests {
         // Deterministic "noise".
         let ys: Vec<f64> = xs
             .iter()
-            .map(|x| 3.0 + 2.0 * x + if (*x as u32) % 2 == 0 { 0.05 } else { -0.05 })
+            .map(|x| {
+                3.0 + 2.0 * x
+                    + if (*x as u32).is_multiple_of(2) {
+                        0.05
+                    } else {
+                        -0.05
+                    }
+            })
             .collect();
         let result =
             levenberg_marquardt(model, &xs, &ys, &[0.0, 0.0], &LmOptions::default()).unwrap();
@@ -244,8 +252,9 @@ mod tests {
     #[test]
     fn rejects_mismatched_input() {
         let model = |p: &[f64], x: f64| p[0] * x;
-        assert!(levenberg_marquardt(model, &[1.0], &[1.0, 2.0], &[1.0], &LmOptions::default())
-            .is_err());
+        assert!(
+            levenberg_marquardt(model, &[1.0], &[1.0, 2.0], &[1.0], &LmOptions::default()).is_err()
+        );
         assert!(levenberg_marquardt(model, &[], &[], &[1.0], &LmOptions::default()).is_err());
     }
 
@@ -257,8 +266,7 @@ mod tests {
         let model = |p: &[f64], x: f64| 1.0 / (1.0 - p[0] * x);
         let xs = vec![1.0, 2.0, 3.0, 4.0];
         let ys = vec![1.1, 1.25, 1.4, 1.6];
-        let result =
-            levenberg_marquardt(model, &xs, &ys, &[0.26, 0.0][..1].to_vec().as_slice(), &LmOptions::default());
+        let result = levenberg_marquardt(model, &xs, &ys, &[0.26], &LmOptions::default());
         assert!(result.is_ok());
         assert!(result.unwrap().params[0].is_finite());
     }

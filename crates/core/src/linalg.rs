@@ -83,21 +83,25 @@ impl Matrix {
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(self.cols, x.len(), "dimension mismatch in mul_vec");
         let mut out = vec![0.0; self.rows];
-        for i in 0..self.rows {
+        for (i, out_i) in out.iter_mut().enumerate() {
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            out[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+            *out_i = row.iter().zip(x).map(|(a, b)| a * b).sum();
         }
         out
     }
 
     /// Transposed matrix-vector product `A^T * y`.
     pub fn mul_transpose_vec(&self, y: &[f64]) -> Vec<f64> {
-        assert_eq!(self.rows, y.len(), "dimension mismatch in mul_transpose_vec");
+        assert_eq!(
+            self.rows,
+            y.len(),
+            "dimension mismatch in mul_transpose_vec"
+        );
         let mut out = vec![0.0; self.cols];
-        for i in 0..self.rows {
+        for (i, y_i) in y.iter().enumerate() {
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
             for j in 0..self.cols {
-                out[j] += row[j] * y[i];
+                out[j] += row[j] * y_i;
             }
         }
         out
@@ -210,7 +214,9 @@ pub fn solve_cholesky(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
         x[i] = sum / l[(i, i)];
     }
     if x.iter().any(|v| !v.is_finite()) {
-        return Err(EstimaError::Numerical("cholesky: non-finite solution".into()));
+        return Err(EstimaError::Numerical(
+            "cholesky: non-finite solution".into(),
+        ));
     }
     Ok(x)
 }
@@ -227,10 +233,14 @@ pub fn solve_least_squares_qr(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
         ));
     }
     if b.len() != m {
-        return Err(EstimaError::Numerical("least squares: rhs length mismatch".into()));
+        return Err(EstimaError::Numerical(
+            "least squares: rhs length mismatch".into(),
+        ));
     }
     if !a.is_finite() || b.iter().any(|v| !v.is_finite()) {
-        return Err(EstimaError::Numerical("least squares: non-finite input".into()));
+        return Err(EstimaError::Numerical(
+            "least squares: non-finite input".into(),
+        ));
     }
 
     // Work on copies: R starts as A, and we apply Householder reflections to
@@ -297,7 +307,9 @@ pub fn solve_least_squares_qr(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
         x[i] = sum / diag;
     }
     if x.iter().any(|v| !v.is_finite()) {
-        return Err(EstimaError::Numerical("least squares: non-finite solution".into()));
+        return Err(EstimaError::Numerical(
+            "least squares: non-finite solution".into(),
+        ));
     }
     Ok(x)
 }
@@ -355,7 +367,9 @@ pub fn solve_gaussian(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
         x[i] = sum / aug[(i, i)];
     }
     if x.iter().any(|v| !v.is_finite()) {
-        return Err(EstimaError::Numerical("gaussian: non-finite solution".into()));
+        return Err(EstimaError::Numerical(
+            "gaussian: non-finite solution".into(),
+        ));
     }
     Ok(x)
 }

@@ -189,12 +189,18 @@ impl MeasurementSet {
 
     /// Execution-time series as `(cores, seconds)` pairs.
     pub fn exec_times(&self) -> Vec<(u32, f64)> {
-        self.measurements.iter().map(|m| (m.cores, m.exec_time)).collect()
+        self.measurements
+            .iter()
+            .map(|m| (m.cores, m.exec_time))
+            .collect()
     }
 
     /// Peak memory footprint over all measurements, if any were recorded.
     pub fn memory_footprint(&self) -> Option<u64> {
-        self.measurements.iter().filter_map(|m| m.memory_footprint).max()
+        self.measurements
+            .iter()
+            .filter_map(|m| m.memory_footprint)
+            .max()
     }
 
     /// All stall categories present in any measurement, restricted to the
@@ -262,10 +268,9 @@ impl MeasurementSet {
                 }
             }
         }
-        let has_usable = self
+        let has_usable = !self
             .categories(&[StallSource::HardwareBackend, StallSource::Software])
-            .len()
-            > 0;
+            .is_empty();
         if !has_usable {
             return Err(EstimaError::NoStallCategories);
         }
@@ -308,7 +313,10 @@ mod tests {
         for cores in 1..=8u32 {
             let m = Measurement::new(cores, 10.0 / cores as f64)
                 .with_stall(StallCategory::backend("rob_full"), 1000.0 * cores as f64)
-                .with_stall(StallCategory::backend("ls_full"), 500.0 * (cores * cores) as f64)
+                .with_stall(
+                    StallCategory::backend("ls_full"),
+                    500.0 * (cores * cores) as f64,
+                )
                 .with_stall(StallCategory::software("lock_spin"), 10.0 * cores as f64)
                 .with_memory_footprint(1 << 20);
             set.push(m);
@@ -397,7 +405,10 @@ mod tests {
         for cores in 1..=5u32 {
             set.push(Measurement::new(cores, 1.0));
         }
-        assert!(matches!(set.validate(3), Err(EstimaError::NoStallCategories)));
+        assert!(matches!(
+            set.validate(3),
+            Err(EstimaError::NoStallCategories)
+        ));
     }
 
     #[test]

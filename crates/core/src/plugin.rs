@@ -119,7 +119,12 @@ mod tests {
 
     #[test]
     fn empty_reports_aggregate_to_zero() {
-        for agg in [Aggregate::Min, Aggregate::Max, Aggregate::Sum, Aggregate::Average] {
+        for agg in [
+            Aggregate::Min,
+            Aggregate::Max,
+            Aggregate::Sum,
+            Aggregate::Average,
+        ] {
             assert_eq!(agg.apply(&[]), 0.0);
         }
     }

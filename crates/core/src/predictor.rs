@@ -184,7 +184,11 @@ impl Estima {
     }
 
     /// Run the full prediction pipeline (steps B and C of Figure 3).
-    pub fn predict(&self, measurements: &MeasurementSet, target: &TargetSpec) -> Result<Prediction> {
+    pub fn predict(
+        &self,
+        measurements: &MeasurementSet,
+        target: &TargetSpec,
+    ) -> Result<Prediction> {
         measurements.validate(self.config.min_measurements)?;
         let measured_cores = measurements.max_cores();
         if target.cores < measured_cores {
@@ -243,10 +247,7 @@ impl Estima {
         // Total stalled cycles per core over the full range.
         let stalls_per_core: Vec<(u32, f64)> = (1..=target.cores)
             .map(|c| {
-                let total: f64 = extrapolations
-                    .iter()
-                    .filter_map(|e| e.at(c))
-                    .sum();
+                let total: f64 = extrapolations.iter().filter_map(|e| e.at(c)).sum();
                 (c, total / c as f64)
             })
             .collect();
@@ -534,9 +535,6 @@ mod tests {
         set = set2;
         let estima = Estima::new(EstimaConfig::default());
         let p = estima.predict(&set, &TargetSpec::cores(48)).unwrap();
-        assert!(p
-            .categories
-            .iter()
-            .all(|c| c.category.name != "fpu_full"));
+        assert!(p.categories.iter().all(|c| c.category.name != "fpu_full"));
     }
 }

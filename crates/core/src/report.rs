@@ -31,7 +31,10 @@ pub fn render_prediction(prediction: &Prediction) -> String {
         ));
     }
     out.push_str("predicted execution time:\n");
-    out.push_str(&format!("{:>8} {:>14} {:>12}\n", "cores", "time (s)", "speedup"));
+    out.push_str(&format!(
+        "{:>8} {:>14} {:>12}\n",
+        "cores", "time (s)", "speedup"
+    ));
     for (cores, time) in sample_points(&prediction.predicted_time) {
         let speedup = prediction.predicted_speedup(cores).unwrap_or(0.0);
         out.push_str(&format!("{cores:>8} {time:>14.4} {speedup:>11.2}x\n"));
@@ -51,7 +54,9 @@ pub fn render_comparison(
     actual: &[(u32, f64)],
 ) -> String {
     let mut out = String::new();
-    out.push_str("| cores | actual (s) | estima (s) | estima err | time-extr (s) | time-extr err |\n");
+    out.push_str(
+        "| cores | actual (s) | estima (s) | estima err | time-extr (s) | time-extr err |\n",
+    );
     out.push_str("|---|---|---|---|---|---|\n");
     for (cores, time) in actual {
         let e = estima.predicted_time_at(*cores);
@@ -78,7 +83,11 @@ pub fn render_comparison(
 /// Render a per-workload error table with the Average / Std. Dev. / Max
 /// summary rows of Tables 4 and 7. Errors are fractions; they are printed as
 /// percentages.
-pub fn render_error_table(title: &str, column_names: &[&str], rows: &[(String, Vec<f64>)]) -> String {
+pub fn render_error_table(
+    title: &str,
+    column_names: &[&str],
+    rows: &[(String, Vec<f64>)],
+) -> String {
     let mut out = String::new();
     out.push_str(&format!("### {title}\n\n"));
     out.push_str("| Benchmark |");
@@ -102,14 +111,13 @@ pub fn render_error_table(title: &str, column_names: &[&str], rows: &[(String, V
     let n_cols = column_names.len();
     let mut summaries = Vec::with_capacity(n_cols);
     for col in 0..n_cols {
-        let column: Vec<f64> = rows.iter().filter_map(|(_, e)| e.get(col).copied()).collect();
+        let column: Vec<f64> = rows
+            .iter()
+            .filter_map(|(_, e)| e.get(col).copied())
+            .collect();
         summaries.push(ErrorSummary::from_errors(&column));
     }
-    for (label, pick) in [
-        ("Average", 0usize),
-        ("Std. Dev.", 1),
-        ("Max.", 2),
-    ] {
+    for (label, pick) in [("Average", 0usize), ("Std. Dev.", 1), ("Max.", 2)] {
         out.push_str(&format!("| **{label}** |"));
         for s in &summaries {
             let v = match pick {
@@ -176,7 +184,9 @@ mod tests {
     fn comparison_table_has_row_per_actual_point() {
         let set = demo_set();
         let target = TargetSpec::cores(48);
-        let p = Estima::new(EstimaConfig::default()).predict(&set, &target).unwrap();
+        let p = Estima::new(EstimaConfig::default())
+            .predict(&set, &target)
+            .unwrap();
         let b = TimeExtrapolation::new().predict(&set, &target).unwrap();
         let actual = vec![(12, 1.3), (24, 0.9), (48, 0.8)];
         let table = render_comparison(&p, &b, &actual);

@@ -55,7 +55,10 @@ impl TimePrediction {
     pub fn errors_against(&self, actual: &[(u32, f64)]) -> Vec<(u32, f64)> {
         actual
             .iter()
-            .filter_map(|(c, t)| self.predicted_time_at(*c).map(|p| (*c, relative_error(p, *t))))
+            .filter_map(|(c, t)| {
+                self.predicted_time_at(*c)
+                    .map(|p| (*c, relative_error(p, *t)))
+            })
             .collect()
     }
 
@@ -174,7 +177,10 @@ mod tests {
             .predict(&set, &TargetSpec::cores(48))
             .unwrap();
         let err = p.max_error_against(&truth).unwrap();
-        assert!(err < 0.15, "baseline error {err} too high on a visible trend");
+        assert!(
+            err < 0.15,
+            "baseline error {err} too high on a visible trend"
+        );
     }
 
     #[test]

@@ -221,7 +221,10 @@ mod tests {
 
     #[test]
     fn category_names_are_distinct_within_a_catalog() {
-        for cat in [CounterCatalog::amd_family10h(), CounterCatalog::intel_bigcore()] {
+        for cat in [
+            CounterCatalog::amd_family10h(),
+            CounterCatalog::intel_bigcore(),
+        ] {
             let mut names: Vec<&str> = cat.backend.iter().map(|e| e.category_name()).collect();
             names.sort_unstable();
             names.dedup();

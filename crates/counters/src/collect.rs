@@ -121,8 +121,7 @@ mod tests {
 
     #[test]
     fn custom_plan_is_respected() {
-        let mut source =
-            SimulatedCounterSource::new(MachineDescriptor::xeon20(), lock_profile());
+        let mut source = SimulatedCounterSource::new(MachineDescriptor::xeon20(), lock_profile());
         let set = collect_measurements(&mut source, "locky", &[2, 4, 8]);
         assert_eq!(set.core_counts(), vec![2, 4, 8]);
     }

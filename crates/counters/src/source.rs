@@ -173,10 +173,7 @@ mod tests {
 
     #[test]
     fn simulated_source_reports_all_backend_events() {
-        let mut source = SimulatedCounterSource::new(
-            MachineDescriptor::opteron48(),
-            stm_profile(),
-        );
+        let mut source = SimulatedCounterSource::new(MachineDescriptor::opteron48(), stm_profile());
         let sample = source.sample(8);
         assert_eq!(sample.cores, 8);
         assert_eq!(sample.hardware.len(), source.catalog().backend.len());

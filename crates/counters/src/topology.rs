@@ -79,10 +79,7 @@ impl CpuTopology {
     /// Number of sockets used when running `n` threads under the placement
     /// policy.
     pub fn sockets_used(&self, n: u32) -> u32 {
-        self.placement(n)
-            .last()
-            .map(|p| p.socket + 1)
-            .unwrap_or(0)
+        self.placement(n).last().map(|p| p.socket + 1).unwrap_or(0)
     }
 }
 

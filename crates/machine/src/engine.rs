@@ -184,7 +184,8 @@ impl Simulator {
         let shared_accesses = accesses_per_core * profile.sharing_fraction;
         // Invalidation probability grows with the number of other cores
         // writing the same lines; cross-chip transfers cost extra.
-        let contention_scale = ((n - 1.0) / n) * (1.0 + 0.8 * (m.chips_spanned(cores) as f64 - 1.0));
+        let contention_scale =
+            ((n - 1.0) / n) * (1.0 + 0.8 * (m.chips_spanned(cores) as f64 - 1.0));
         let coherence_stall_per_core = shared_accesses
             * profile.write_fraction
             * m.coherence_latency_cycles
@@ -218,7 +219,11 @@ impl Simulator {
                 let p = profile.conflict_probability;
                 let contended = (1.0 - (1.0 - p).powf(n - 1.0)).min(MAX_UTILISATION);
                 let wait_per_entry = section * contended / (1.0 - contended);
-                let scale = if profile.sync == SyncKind::LockFree { 0.35 } else { 1.0 };
+                let scale = if profile.sync == SyncKind::LockFree {
+                    0.35
+                } else {
+                    1.0
+                };
                 let lock_stall = sync_entries_per_core * wait_per_entry * scale;
                 software_stall_per_core += lock_stall;
                 let site = if profile.sync == SyncKind::LockFree {
@@ -239,10 +244,7 @@ impl Simulator {
                 let abort_stall =
                     sync_entries_per_core * wasted_attempts * profile.sync_section_cycles;
                 software_stall_per_core += abort_stall;
-                software.insert(
-                    format!("stm.abort.{}", profile.sync_site),
-                    abort_stall * n,
-                );
+                software.insert(format!("stm.abort.{}", profile.sync_site), abort_stall * n);
             }
         }
 
@@ -294,7 +296,11 @@ impl Simulator {
         add(&mut backend, StallEvent::FpuFull, fpu_stall_per_core);
 
         let mut frontend: BTreeMap<StallEvent, f64> = BTreeMap::new();
-        add(&mut frontend, StallEvent::InstructionFetchStall, ifetch_per_core);
+        add(
+            &mut frontend,
+            StallEvent::InstructionFetchStall,
+            ifetch_per_core,
+        );
         add(&mut frontend, StallEvent::InstructionQueueFull, iq_per_core);
 
         // Noise on the software categories too.

@@ -66,7 +66,9 @@ impl MachineDescriptor {
     /// fill-one-chip-first placement policy ESTIMA uses ("uses cores within
     /// the same socket first", §4.1).
     pub fn chips_spanned(&self, cores: u32) -> u32 {
-        cores.div_ceil(self.cores_per_chip).clamp(1, self.total_chips())
+        cores
+            .div_ceil(self.cores_per_chip)
+            .clamp(1, self.total_chips())
     }
 
     /// Number of sockets spanned when `cores` cores are used.

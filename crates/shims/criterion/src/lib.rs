@@ -1,0 +1,230 @@
+//! Offline shim for the real `criterion` crate.
+//!
+//! Implements just the API surface the workspace benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Bencher::iter`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`] macros —
+//! backed by a simple wall-clock timing loop instead of criterion's
+//! statistical machinery. Each benchmark warms up briefly, then runs batches
+//! until a small time budget is spent and reports the best observed ns/iter.
+//!
+//! Swap in real criterion by pointing the `criterion` dev-dependency at
+//! crates.io; the bench sources need no edits.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration time budget the shim spends measuring one benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(60);
+/// Warm-up budget before measurement starts.
+const WARMUP_BUDGET: Duration = Duration::from_millis(10);
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Mirror of `Criterion::configure_from_args` — the shim takes no
+    /// command-line configuration, so this is the identity.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{id}"), f);
+        self
+    }
+}
+
+/// A named collection of benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's fixed time budget ignores
+    /// the requested sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim keeps its fixed budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a closure under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    /// Benchmark a closure that receives a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), |b| f(b, input));
+        self
+    }
+
+    /// Finish the group. (The shim reports per-benchmark, so this is a no-op.)
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter, rendered `name/parameter`.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// A parameter-only identifier.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    best_per_iter: f64,
+}
+
+impl Bencher {
+    /// Call `routine` repeatedly, timing batches, until the measurement
+    /// budget is exhausted.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and size the batch so one batch is neither a single
+        // ultra-short call nor longer than the whole budget.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP_BUDGET {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = WARMUP_BUDGET.as_secs_f64() / warm_iters.max(1) as f64;
+        let batch = ((0.005 / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        let start = Instant::now();
+        while start.elapsed() < MEASURE_BUDGET {
+            let batch_start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let batch_time = batch_start.elapsed();
+            self.iters_done += batch;
+            let ns = batch_time.as_secs_f64() * 1e9 / batch as f64;
+            if ns < self.best_per_iter {
+                self.best_per_iter = ns;
+            }
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
+    let mut bencher = Bencher {
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+        best_per_iter: f64::INFINITY,
+    };
+    f(&mut bencher);
+    if bencher.iters_done == 0 {
+        println!("bench {label:<50} (no iterations run)");
+    } else {
+        println!(
+            "bench {label:<50} {:>12.1} ns/iter ({} iters)",
+            bencher.best_per_iter, bencher.iters_done
+        );
+    }
+}
+
+/// Mirror of `criterion::criterion_group!`: bundles benchmark functions into
+/// one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirror of `criterion::criterion_main!`: generates `main` invoking each
+/// group runner.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_closure_and_counts_iters() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(10);
+        let mut ran = false;
+        group.bench_function(BenchmarkId::from_parameter("noop"), |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_id_renders_like_criterion() {
+        assert_eq!(BenchmarkId::new("fit", 12).to_string(), "fit/12");
+        assert_eq!(BenchmarkId::from_parameter("poly25").to_string(), "poly25");
+    }
+}

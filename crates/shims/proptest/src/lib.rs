@@ -1,0 +1,245 @@
+//! Offline shim for the real `proptest` crate.
+//!
+//! Provides the subset of the proptest API the workspace tests use — the
+//! [`proptest!`] macro with an optional `#![proptest_config(...)]` header,
+//! `ident in strategy` parameter bindings, [`prop_assert!`] /
+//! [`prop_assert_eq!`], numeric [`std::ops::Range`] strategies and
+//! [`collection::vec`] — driven by a small deterministic xorshift generator
+//! instead of proptest's shrinking engine. Failures therefore reproduce
+//! exactly across runs, but are not minimised.
+//!
+//! Swap in real proptest by pointing the dev-dependency at crates.io; the
+//! test sources need no edits.
+
+use std::ops::Range;
+
+/// Run-time configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic xorshift64* generator; seeded per test from the test name
+/// so every run of a given property sees the same case sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from a test name (FNV-1a hash of the bytes).
+    pub fn for_test(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            state: hash | 1, // xorshift state must be non-zero
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A generator of random values, mirroring `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+    /// Draw one value from the generator.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($ty:ty),*) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    // Work in i128 so ranges spanning more than the target
+                    // type's positive range (e.g. i32::MIN..i32::MAX) neither
+                    // truncate nor overflow.
+                    let span = (self.end as i128 - self.start as i128).max(1);
+                    let offset = (rng.next_u64() as i128) % span;
+                    (self.start as i128 + offset) as $ty
+                }
+            }
+        )*
+    };
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy producing `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generate vectors whose elements come from `element` and whose length
+    /// is drawn uniformly from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = Strategy::sample(&self.size, rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property test needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestRng};
+}
+
+/// Assert inside a property; mirrors `proptest::prop_assert!` (without the
+/// error-propagation machinery — a failure panics like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property; mirrors `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Define property tests, mirroring `proptest::proptest!`. Each function body
+/// runs once per case with its `ident in strategy` parameters freshly drawn
+/// from a deterministic generator.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::TestRng::for_test(stringify!($name));
+                for _case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name( $($arg in $strategy),* ) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_test("bounds");
+        for _ in 0..1000 {
+            let f = Strategy::sample(&(-2.0f64..3.0), &mut rng);
+            assert!((-2.0..3.0).contains(&f));
+            let n = Strategy::sample(&(1u32..48), &mut rng);
+            assert!((1..48).contains(&n));
+        }
+    }
+
+    #[test]
+    fn full_width_integer_ranges_do_not_overflow() {
+        let mut rng = TestRng::for_test("wide");
+        for _ in 0..1000 {
+            let i = Strategy::sample(&(i32::MIN..i32::MAX), &mut rng);
+            assert!((i32::MIN..i32::MAX).contains(&i));
+            let u = Strategy::sample(&(0u64..u64::MAX), &mut rng);
+            assert!((0..u64::MAX).contains(&u));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size_range() {
+        let mut rng = TestRng::for_test("vec");
+        for _ in 0..100 {
+            let v = Strategy::sample(&collection::vec(0.1f64..1.0, 3..40), &mut rng);
+            assert!((3..40).contains(&v.len()));
+            assert!(v.iter().all(|x| (0.1..1.0).contains(x)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_draws_each_parameter(a in 0.0f64..1.0, n in 1u32..10) {
+            prop_assert!((0.0..1.0).contains(&a));
+            prop_assert!((1..10).contains(&n));
+        }
+    }
+}

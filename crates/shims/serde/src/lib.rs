@@ -1,0 +1,9 @@
+//! Offline shim for the real `serde` crate.
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derive macros from the
+//! sibling `serde_derive` shim so that `use serde::{Serialize, Deserialize}`
+//! and `#[derive(Serialize, Deserialize)]` compile unchanged. When network
+//! access to crates.io is available, point the workspace at real serde and
+//! delete `crates/shims/` — no source edits required.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! Offline shim for the real `serde_derive` crate.
+//!
+//! The container this repository builds in has no access to crates.io, so
+//! the workspace vendors a minimal stand-in: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` expand to nothing. Source files keep their
+//! derives so swapping in real serde later is a manifest-only change.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for serde's `Serialize` derive. Registers the `serde`
+/// helper attribute so `#[serde(...)]` field/container attributes compile
+/// exactly as they would with real serde.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for serde's `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

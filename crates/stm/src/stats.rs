@@ -63,7 +63,9 @@ impl StmStats {
     /// Record a committed transaction attempt.
     pub fn record_commit(&self, cycles: u64) {
         self.inner.commits.fetch_add(1, Ordering::Relaxed);
-        self.inner.committed_cycles.fetch_add(cycles, Ordering::Relaxed);
+        self.inner
+            .committed_cycles
+            .fetch_add(cycles, Ordering::Relaxed);
     }
 
     /// Record an aborted transaction attempt at the given site.
@@ -81,7 +83,9 @@ impl StmStats {
     /// Record an aborted attempt against a pre-resolved site handle.
     pub fn record_abort_at(&self, site: &estima_sync::SiteHandle, cycles: u64) {
         self.inner.aborts.fetch_add(1, Ordering::Relaxed);
-        self.inner.aborted_cycles.fetch_add(cycles, Ordering::Relaxed);
+        self.inner
+            .aborted_cycles
+            .fetch_add(cycles, Ordering::Relaxed);
         site.add(cycles);
     }
 

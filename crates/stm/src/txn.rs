@@ -70,20 +70,16 @@ impl Stm {
                 reads: Vec::new(),
                 writes: Vec::new(),
             };
-            match body(&mut txn) {
-                Ok(result) => {
-                    if txn.try_commit() {
-                        self.stats.record_commit(timer.elapsed_cycles());
-                        return result;
-                    }
+            if let Ok(result) = body(&mut txn) {
+                if txn.try_commit() {
+                    self.stats.record_commit(timer.elapsed_cycles());
+                    return result;
                 }
-                Err(StmAbort) => {}
             }
             // The attempt aborted: record its cycles and back off. The site
             // handle is resolved lazily on the first abort and reused so hot
             // retry loops do not hammer the stall registry.
-            let handle =
-                abort_site.get_or_insert_with(|| self.stats.abort_site(site));
+            let handle = abort_site.get_or_insert_with(|| self.stats.abort_site(site));
             self.stats.record_abort_at(handle, timer.elapsed_cycles());
             attempt = attempt.saturating_add(1);
             backoff(attempt);
@@ -226,10 +222,7 @@ impl<'env> Transaction<'env> {
         // since our snapshot).
         if wv != self.rv + 1 {
             for (target, version) in &self.reads {
-                let in_write_set = self
-                    .writes
-                    .iter()
-                    .any(|w| w.target.addr() == target.addr());
+                let in_write_set = self.writes.iter().any(|w| w.target.addr() == target.addr());
                 if target.version() != *version || (!in_write_set && target.is_commit_locked()) {
                     for entry in &self.writes {
                         entry.target.release_commit_lock();
@@ -401,9 +394,7 @@ mod tests {
                     scope.spawn(move || {
                         for i in 0..200u64 {
                             let idx = (i % 4) as usize;
-                            stm.atomically("reset-heavy", |txn| {
-                                txn.modify(&vars[idx], |v| v + 1)
-                            });
+                            stm.atomically("reset-heavy", |txn| txn.modify(&vars[idx], |v| v + 1));
                         }
                     });
                 }

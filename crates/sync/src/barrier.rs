@@ -63,8 +63,9 @@ impl SenseBarrier {
             self.remaining.store(self.participants, Ordering::Relaxed);
             self.sense.store(my_sense, Ordering::Release);
         } else {
+            let mut backoff = crate::backoff::Backoff::new();
             while self.sense.load(Ordering::Acquire) != my_sense {
-                std::hint::spin_loop();
+                backoff.snooze();
             }
         }
         if let Some((stats, site)) = &self.stats {

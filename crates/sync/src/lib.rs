@@ -20,6 +20,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod barrier;
 pub mod cycles;
 pub mod instrumented;
@@ -28,12 +29,11 @@ pub mod rwlock;
 pub mod spinlock;
 pub mod stall;
 
+pub use backoff::Backoff;
 pub use barrier::SenseBarrier;
 pub use cycles::{cycles_from_nanos, nominal_frequency_ghz, set_nominal_frequency_ghz, CycleTimer};
 pub use instrumented::{InstrumentedBarrier, InstrumentedMutex};
 pub use padded::Padded;
 pub use rwlock::{RwReadGuard, RwSpinLock, RwWriteGuard};
-pub use spinlock::{
-    ArrayLock, RawLock, SpinMutex, SpinMutexGuard, TasLock, TicketLock, TtasLock,
-};
+pub use spinlock::{ArrayLock, RawLock, SpinMutex, SpinMutexGuard, TasLock, TicketLock, TtasLock};
 pub use stall::{SiteHandle, StallStats};

@@ -31,18 +31,18 @@ impl<T> RwSpinLock<T> {
 
     /// Acquire a shared (read) lock.
     pub fn read(&self) -> RwReadGuard<'_, T> {
+        let mut backoff = crate::backoff::Backoff::new();
         loop {
             let state = self.state.load(Ordering::Relaxed);
-            if state & WRITER == 0 {
-                if self
+            if state & WRITER == 0
+                && self
                     .state
                     .compare_exchange_weak(state, state + 1, Ordering::Acquire, Ordering::Relaxed)
                     .is_ok()
-                {
-                    return RwReadGuard { lock: self };
-                }
+            {
+                return RwReadGuard { lock: self };
             }
-            std::hint::spin_loop();
+            backoff.snooze();
         }
     }
 
@@ -64,6 +64,7 @@ impl<T> RwSpinLock<T> {
     /// Acquire an exclusive (write) lock.
     pub fn write(&self) -> RwWriteGuard<'_, T> {
         // Announce the writer, then wait for readers to drain.
+        let mut backoff = crate::backoff::Backoff::new();
         loop {
             let state = self.state.load(Ordering::Relaxed);
             if state & WRITER == 0
@@ -79,10 +80,11 @@ impl<T> RwSpinLock<T> {
             {
                 break;
             }
-            std::hint::spin_loop();
+            backoff.snooze();
         }
+        backoff.reset();
         while self.state.load(Ordering::Acquire) != WRITER {
-            std::hint::spin_loop();
+            backoff.snooze();
         }
         RwWriteGuard { lock: self }
     }

@@ -20,6 +20,7 @@
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
+use crate::backoff::Backoff;
 use crate::padded::Padded;
 
 /// A raw mutual-exclusion lock: no data, just acquire/release.
@@ -42,8 +43,9 @@ pub struct TasLock {
 
 impl RawLock for TasLock {
     fn lock(&self) {
+        let mut backoff = Backoff::new();
         while self.locked.swap(true, Ordering::Acquire) {
-            std::hint::spin_loop();
+            backoff.snooze();
         }
     }
 
@@ -68,14 +70,11 @@ pub struct TtasLock {
 
 impl RawLock for TtasLock {
     fn lock(&self) {
-        let mut backoff = 1u32;
+        let mut backoff = Backoff::new();
         loop {
             // Spin on a plain load first so waiters stay in their own cache.
             while self.locked.load(Ordering::Relaxed) {
-                for _ in 0..backoff {
-                    std::hint::spin_loop();
-                }
-                backoff = (backoff * 2).min(1 << 10);
+                backoff.snooze();
             }
             if !self.locked.swap(true, Ordering::Acquire) {
                 return;
@@ -106,8 +105,9 @@ pub struct TicketLock {
 impl RawLock for TicketLock {
     fn lock(&self) {
         let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+        let mut backoff = Backoff::new();
         while self.now_serving.load(Ordering::Acquire) != ticket {
-            std::hint::spin_loop();
+            backoff.snooze();
         }
     }
 
@@ -169,8 +169,9 @@ thread_local! {
 impl RawLock for ArrayLock {
     fn lock(&self) {
         let slot = self.tail.fetch_add(1, Ordering::Relaxed) % ARRAY_LOCK_SLOTS;
+        let mut backoff = Backoff::new();
         while !self.slots[slot].load(Ordering::Acquire) {
-            std::hint::spin_loop();
+            backoff.snooze();
         }
         ARRAY_LOCK_HELD.with(|held| held.borrow_mut().push(slot));
     }
@@ -254,7 +255,9 @@ impl<T, L: RawLock> SpinMutex<T, L> {
 
 impl<T: std::fmt::Debug, L: RawLock> std::fmt::Debug for SpinMutex<T, L> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SpinMutex").field("algorithm", &L::algorithm()).finish()
+        f.debug_struct("SpinMutex")
+            .field("algorithm", &L::algorithm())
+            .finish()
     }
 }
 

@@ -244,7 +244,10 @@ impl MiniDatabase {
 
     /// Number of orders committed across all districts.
     pub fn total_orders(&self) -> u64 {
-        self.districts.iter().map(|d| d.lock().orders.len() as u64).sum()
+        self.districts
+            .iter()
+            .map(|d| d.lock().orders.len() as u64)
+            .sum()
     }
 
     /// Total stock decrements applied (for conservation checks).

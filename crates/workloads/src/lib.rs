@@ -33,8 +33,6 @@ pub use driver::{measure_executable, ExecutableWorkload, RunOutcome};
 pub use microbench::{
     CoarseOrderedSet, LockFreeHashMap, MicrobenchKind, MicrobenchWorkload, StripedHashMap,
 };
-pub use parsec::{
-    BlackscholesWorkload, KnnWorkload, StreamclusterWorkload, SwaptionsWorkload,
-};
+pub use parsec::{BlackscholesWorkload, KnnWorkload, StreamclusterWorkload, SwaptionsWorkload};
 pub use spec::{Suite, WorkloadId};
 pub use stamp::{GenomeWorkload, IntruderWorkload, KmeansWorkload, VacationWorkload};

@@ -205,9 +205,17 @@ impl ExecutableWorkload for StreamclusterWorkload {
             Tas(InstrumentedMutex<f64, TasLock>),
         }
         let cost = Arc::new(if self.optimized_locks {
-            SharedCost::Tas(InstrumentedMutex::new(0.0, &stats, "lock.wait.streamcluster"))
+            SharedCost::Tas(InstrumentedMutex::new(
+                0.0,
+                &stats,
+                "lock.wait.streamcluster",
+            ))
         } else {
-            SharedCost::Ttas(InstrumentedMutex::new(0.0, &stats, "lock.wait.streamcluster"))
+            SharedCost::Ttas(InstrumentedMutex::new(
+                0.0,
+                &stats,
+                "lock.wait.streamcluster",
+            ))
         });
         let points_per_block = self.points_per_block;
         let blocks = self.blocks;
@@ -390,7 +398,9 @@ mod tests {
         assert!(outcome
             .software_stalls
             .contains_key("barrier.wait.streamcluster"));
-        assert!(outcome.software_stalls.contains_key("lock.wait.streamcluster"));
+        assert!(outcome
+            .software_stalls
+            .contains_key("lock.wait.streamcluster"));
     }
 
     #[test]

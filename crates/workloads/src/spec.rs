@@ -262,8 +262,11 @@ impl WorkloadId {
                 p.sync = SyncKind::Stm;
                 p.sync_rate = 0.03;
                 p.sync_section_cycles = 260.0;
-                p.conflict_probability =
-                    if *self == WorkloadId::IntruderOptimized { 0.035 } else { 0.075 };
+                p.conflict_probability = if *self == WorkloadId::IntruderOptimized {
+                    0.035
+                } else {
+                    0.075
+                };
                 p.sync_site = "intruder.decode".into();
             }
             WorkloadId::Kmeans => {
@@ -481,10 +484,13 @@ mod tests {
     #[test]
     fn names_are_unique_and_profiles_valid() {
         let mut names = std::collections::HashSet::new();
-        for w in WorkloadId::ALL
-            .iter()
-            .chain([WorkloadId::StreamclusterOptimized, WorkloadId::IntruderOptimized].iter())
-        {
+        for w in WorkloadId::ALL.iter().chain(
+            [
+                WorkloadId::StreamclusterOptimized,
+                WorkloadId::IntruderOptimized,
+            ]
+            .iter(),
+        ) {
             assert!(names.insert(w.name()), "duplicate name {}", w.name());
             w.profile().validate().unwrap();
         }
@@ -564,7 +570,10 @@ mod tests {
             },
         );
         for (orig, opt) in [
-            (WorkloadId::Streamcluster, WorkloadId::StreamclusterOptimized),
+            (
+                WorkloadId::Streamcluster,
+                WorkloadId::StreamclusterOptimized,
+            ),
             (WorkloadId::Intruder, WorkloadId::IntruderOptimized),
         ] {
             let t_orig = sim.run(&orig.profile(), 48).exec_time_secs;
@@ -582,7 +591,9 @@ mod tests {
         for id in WorkloadId::ALL.iter().filter(|w| w.uses_stm()) {
             let run = sim.run(&id.profile(), 12);
             assert!(
-                run.software_stalls.keys().any(|k| k.starts_with("stm.abort.")),
+                run.software_stalls
+                    .keys()
+                    .any(|k| k.starts_with("stm.abort.")),
                 "{id} did not report STM abort cycles"
             );
         }

@@ -145,11 +145,7 @@ impl ExecutableWorkload for KmeansWorkload {
         RunOutcome {
             threads,
             elapsed_secs,
-            software_stalls: stm
-                .stats()
-                .aborted_cycles_by_site()
-                .into_iter()
-                .collect(),
+            software_stalls: stm.stats().aborted_cycles_by_site().into_iter().collect(),
             operations: ops,
         }
     }
@@ -246,11 +242,7 @@ impl ExecutableWorkload for IntruderWorkload {
         RunOutcome {
             threads,
             elapsed_secs,
-            software_stalls: stm
-                .stats()
-                .aborted_cycles_by_site()
-                .into_iter()
-                .collect(),
+            software_stalls: stm.stats().aborted_cycles_by_site().into_iter().collect(),
             operations: total_packets,
         }
     }
@@ -334,11 +326,7 @@ impl ExecutableWorkload for VacationWorkload {
         RunOutcome {
             threads,
             elapsed_secs,
-            software_stalls: stm
-                .stats()
-                .aborted_cycles_by_site()
-                .into_iter()
-                .collect(),
+            software_stalls: stm.stats().aborted_cycles_by_site().into_iter().collect(),
             operations: total,
         }
     }
@@ -411,11 +399,7 @@ impl ExecutableWorkload for GenomeWorkload {
         RunOutcome {
             threads,
             elapsed_secs,
-            software_stalls: stm
-                .stats()
-                .aborted_cycles_by_site()
-                .into_iter()
-                .collect(),
+            software_stalls: stm.stats().aborted_cycles_by_site().into_iter().collect(),
             operations: unique_count,
         }
     }
@@ -439,7 +423,10 @@ mod tests {
         // Aborts may or may not occur at this scale, but if they do they must
         // be attributed to the kmeans site.
         for site in outcome.software_stalls.keys() {
-            assert!(site.starts_with("stm.abort.kmeans."), "unexpected site {site}");
+            assert!(
+                site.starts_with("stm.abort.kmeans."),
+                "unexpected site {site}"
+            );
         }
     }
 
@@ -523,6 +510,10 @@ mod tests {
         // Every distinct segment is inserted at most once; with 4000 draws
         // over 512 values essentially all of them appear.
         assert!(outcome.operations <= 512);
-        assert!(outcome.operations >= 400, "only {} unique", outcome.operations);
+        assert!(
+            outcome.operations >= 400,
+            "only {} unique",
+            outcome.operations
+        );
     }
 }

@@ -35,7 +35,9 @@ fn main() {
 
     // 3. Apply the paper's fix on the executable kernel: replace the barrier
     //    mutexes with test-and-set spinlocks and compare on the host.
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let baseline = StreamclusterWorkload::default();
     let optimized = StreamclusterWorkload {
         optimized_locks: true,

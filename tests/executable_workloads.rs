@@ -11,9 +11,11 @@ use estima::workloads::{
 
 #[test]
 fn executable_workloads_produce_measurement_sets() {
-    let mut streamcluster = StreamclusterWorkload::default();
-    streamcluster.points_per_block = 300;
-    streamcluster.blocks = 3;
+    let streamcluster = StreamclusterWorkload {
+        points_per_block: 300,
+        blocks: 3,
+        ..StreamclusterWorkload::default()
+    };
     let set = measure_executable(&streamcluster, 2.4, &[1, 2]);
     assert_eq!(set.core_counts(), vec![1, 2]);
     let software = set.categories(&[StallSource::Software]);

@@ -1,0 +1,64 @@
+//! Workspace-wiring smoke test.
+//!
+//! Imports every re-export of the `estima` facade and drives one tiny
+//! end-to-end prediction through all six substrate crates, so that a broken
+//! manifest (missing member, dropped dependency edge, renamed re-export)
+//! fails this fast test rather than surfacing deep inside an experiment.
+
+use estima::core::prelude::*;
+use estima::counters::{collect_up_to, SimulatedCounterSource};
+use estima::machine::{MachineDescriptor, WorkloadProfile};
+use estima::stm::{Stm, TVar};
+use estima::sync::{Backoff, SenseBarrier, SpinMutex, StallStats};
+use estima::workloads::{Suite, WorkloadId};
+
+#[test]
+fn facade_reexports_every_substrate_crate() {
+    // estima::sync — a lock, a barrier, a stall registry, and the backoff.
+    let mutex: SpinMutex<u32> = SpinMutex::new(1);
+    *mutex.lock() += 1;
+    assert_eq!(*mutex.lock(), 2);
+    assert!(SenseBarrier::new(1).wait());
+    let stats = StallStats::new();
+    stats.add("smoke.site", 10);
+    assert_eq!(stats.total(), 10);
+    let mut backoff = Backoff::new();
+    backoff.snooze();
+
+    // estima::stm — one committed transaction.
+    let stm = Stm::new();
+    let var = TVar::new(5i64);
+    stm.atomically("smoke", |txn| txn.modify(&var, |v| v + 1));
+    assert_eq!(var.read_atomic(), 6);
+    assert_eq!(stm.stats().snapshot().commits, 1);
+
+    // estima::workloads — the catalog knows its suites.
+    assert!(!WorkloadId::ALL.is_empty());
+    assert!(WorkloadId::ALL
+        .iter()
+        .any(|w| w.suite() == Suite::Microbench));
+}
+
+#[test]
+fn facade_end_to_end_prediction() {
+    // estima::machine + estima::counters — collect a small measurement set
+    // from the simulator substrate...
+    let machine = MachineDescriptor::opteron48();
+    let frequency_ghz = machine.frequency_ghz;
+    let profile = WorkloadProfile::new("facade-smoke");
+    let mut source = SimulatedCounterSource::new(machine, profile);
+    let set = collect_up_to(&mut source, "facade-smoke", 8);
+    assert_eq!(set.core_counts(), (1..=8).collect::<Vec<u32>>());
+
+    // ...and estima::core — predict execution time at 32 cores from it.
+    let estima = Estima::new(EstimaConfig::default());
+    let target = TargetSpec::cores(32).with_frequency_ghz(frequency_ghz);
+    let prediction = estima.predict(&set, &target).expect("prediction failed");
+    let predicted = prediction
+        .predicted_time_at(32)
+        .expect("no prediction at the target core count");
+    assert!(
+        predicted.is_finite() && predicted > 0.0,
+        "implausible predicted time {predicted}"
+    );
+}

@@ -62,13 +62,19 @@ fn estima_never_predicts_the_wrong_scaling_direction() {
             .unwrap();
         let predicted_best = prediction.predicted_scaling_limit();
         if scales_to_full_machine {
-            assert!(actual_best >= 40, "{workload}: premise violated ({actual_best})");
+            assert!(
+                actual_best >= 40,
+                "{workload}: premise violated ({actual_best})"
+            );
             assert!(
                 predicted_best >= 36,
                 "{workload}: ESTIMA predicted scaling stops at {predicted_best} cores"
             );
         } else {
-            assert!(actual_best <= 36, "{workload}: premise violated ({actual_best})");
+            assert!(
+                actual_best <= 36,
+                "{workload}: premise violated ({actual_best})"
+            );
             assert!(
                 predicted_best <= 40,
                 "{workload}: ESTIMA missed the scalability collapse (predicted {predicted_best})"
@@ -90,7 +96,9 @@ fn estima_beats_time_extrapolation_on_hidden_collapses() {
     let estima = Estima::new(EstimaConfig::default())
         .predict(&measurements, &target)
         .unwrap();
-    let baseline = TimeExtrapolation::new().predict(&measurements, &target).unwrap();
+    let baseline = TimeExtrapolation::new()
+        .predict(&measurements, &target)
+        .unwrap();
     let actual = actual_times(&machine, workload);
     let actual_best = actual
         .iter()
@@ -104,9 +112,14 @@ fn estima_beats_time_extrapolation_on_hidden_collapses() {
     assert!(baseline.predicted_scaling_limit() > estima.predicted_scaling_limit());
     // And ESTIMA predicts an actual slowdown between its optimum and the full
     // machine, which is the qualitative call a capacity planner needs.
-    let at_limit = estima.predicted_time_at(estima.predicted_scaling_limit()).unwrap();
+    let at_limit = estima
+        .predicted_time_at(estima.predicted_scaling_limit())
+        .unwrap();
     let at_full = estima.predicted_time_at(48).unwrap();
-    assert!(at_full > at_limit, "no slowdown predicted: {at_limit} -> {at_full}");
+    assert!(
+        at_full > at_limit,
+        "no slowdown predicted: {at_limit} -> {at_full}"
+    );
 }
 
 #[test]
@@ -156,7 +169,10 @@ fn weak_scaling_prediction_accounts_for_dataset_growth() {
         .predict(&measurements, &TargetSpec::cores(20))
         .unwrap();
     let weak = Estima::new(EstimaConfig::default())
-        .predict(&measurements, &TargetSpec::cores(20).with_dataset_scale(2.0))
+        .predict(
+            &measurements,
+            &TargetSpec::cores(20).with_dataset_scale(2.0),
+        )
         .unwrap();
     let strong_20 = strong.predicted_time_at(20).unwrap();
     let weak_20 = weak.predicted_time_at(20).unwrap();
