@@ -5,7 +5,9 @@
 //! cost of the full model-selection loop (`approximate_series`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use estima_core::{approximate_series, fit_kernel, FitOptions, KernelKind};
+use estima_core::{
+    approximate_series, candidate_fits_with, fit_kernel, Engine, FitOptions, KernelKind,
+};
 
 fn series() -> (Vec<f64>, Vec<f64>) {
     let xs: Vec<f64> = (1..=12).map(|c| c as f64).collect();
@@ -53,5 +55,36 @@ fn bench_model_selection(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_single_kernels, bench_model_selection);
+fn bench_parallel_candidate_grid(c: &mut Criterion) {
+    let (xs, ys) = series();
+    let options = FitOptions::default();
+    let mut group = c.benchmark_group("candidate_fits");
+    group.sample_size(20);
+    for workers in [1usize, 2, 4] {
+        let engine = Engine::new(workers);
+        group.bench_with_input(
+            BenchmarkId::new("grid_fanout_workers", workers),
+            &engine,
+            |b, engine| {
+                b.iter(|| {
+                    candidate_fits_with(
+                        std::hint::black_box(&xs),
+                        std::hint::black_box(&ys),
+                        &options,
+                        engine,
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_kernels,
+    bench_model_selection,
+    bench_parallel_candidate_grid
+);
 criterion_main!(benches);

@@ -4,7 +4,7 @@
 //! 48-core prediction? This is the latency a user of the tool experiences.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use estima_core::{Estima, EstimaConfig, TargetSpec};
+use estima_core::{BatchPredictor, Estima, EstimaConfig, MeasurementSet, TargetSpec};
 use estima_counters::{collect_up_to, SimulatedCounterSource};
 use estima_machine::MachineDescriptor;
 use estima_workloads::WorkloadId;
@@ -51,5 +51,46 @@ fn bench_collection(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_prediction, bench_collection);
+fn bench_batch_prediction(c: &mut Criterion) {
+    let workloads = [
+        WorkloadId::Intruder,
+        WorkloadId::Raytrace,
+        WorkloadId::Kmeans,
+        WorkloadId::Genome,
+    ];
+    let jobs: Vec<(MeasurementSet, TargetSpec)> = workloads
+        .iter()
+        .map(|w| {
+            let mut source =
+                SimulatedCounterSource::new(MachineDescriptor::opteron48(), w.profile());
+            (
+                collect_up_to(&mut source, w.name(), 12),
+                TargetSpec::cores(48),
+            )
+        })
+        .collect();
+    let mut group = c.benchmark_group("batch_predict_4_workloads");
+    group.sample_size(10);
+    for workers in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let batch =
+                        BatchPredictor::new(EstimaConfig::default().with_parallelism(workers));
+                    batch.predict_all(std::hint::black_box(jobs.clone()))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_prediction,
+    bench_collection,
+    bench_batch_prediction
+);
 criterion_main!(benches);

@@ -11,7 +11,10 @@ use estima_counters::CounterCatalog;
 use estima_machine::{MachineDescriptor, Vendor};
 use estima_workloads::WorkloadId;
 
-use crate::harness::{actual_times, measurements_for, stall_time_correlation, Scenario};
+use crate::harness::{
+    actual_times, batch_max_errors, batch_predictions, default_config, measurements_for,
+    stall_time_correlation, Scenario,
+};
 use crate::report::{pct, Report};
 
 /// Identifiers of every experiment, in paper order.
@@ -168,9 +171,7 @@ pub fn fig05_intruder_walkthrough() -> Report {
         "intruder prediction example (Opteron, 12 -> 48 cores)",
     );
     let scenario = Scenario::one_socket_to_full(WorkloadId::Intruder, opteron());
-    let prediction = scenario
-        .predict(&EstimaConfig::default())
-        .expect("prediction");
+    let prediction = scenario.predict(&default_config()).expect("prediction");
     // (a)-(f): per-category extrapolations.
     for category in &prediction.categories {
         report.series(
@@ -210,6 +211,7 @@ pub fn fig05_intruder_walkthrough() -> Report {
         ],
     );
     let err = prediction.max_error_against(&actual).unwrap_or(f64::NAN);
+    report.metric("intruder/max_rel_error", err);
     report.text(format!(
         "Predicted scaling limit: {} cores; maximum relative error beyond the measured range: {}%.",
         prediction.predicted_scaling_limit(),
@@ -237,9 +239,7 @@ pub fn fig06_production_apps() -> Report {
             measured_cores,
             xeon20(),
         );
-        let prediction = scenario
-            .predict(&EstimaConfig::default())
-            .expect("prediction");
+        let prediction = scenario.predict(&default_config()).expect("prediction");
         let actual = scenario.actual();
         let err = prediction.max_error_against(&actual).unwrap_or(f64::NAN);
         report.series(
@@ -249,6 +249,7 @@ pub fn fig06_production_apps() -> Report {
                 ("measured".into(), actual),
             ],
         );
+        report.metric(format!("{}/max_rel_error", workload.name()), err);
         report.text(format!(
             "{workload}: maximum prediction error {}% (paper reports errors below {}%).",
             pct(err),
@@ -258,43 +259,67 @@ pub fn fig06_production_apps() -> Report {
     report
 }
 
-/// Compute ESTIMA's maximum error for a one-socket-to-N-cores prediction.
-fn error_to_target(workload: WorkloadId, machine: &MachineDescriptor, target_cores: u32) -> f64 {
-    let mut scenario = Scenario::one_socket_to_full(workload, machine.clone());
-    // Restrict the evaluation range by truncating the ground truth.
-    let config = EstimaConfig::default();
-    match scenario.predict(&config) {
+/// One prediction's maximum error against the ground truth truncated to
+/// `target_cores` (the Table 4 / Table 7 column convention).
+fn truncated_error(
+    prediction: &estima_core::Result<estima_core::Prediction>,
+    actual: &[(u32, f64)],
+    target_cores: u32,
+) -> f64 {
+    match prediction {
         Ok(prediction) => {
-            scenario.target_machine = machine.clone();
-            let actual: Vec<(u32, f64)> = scenario
-                .actual()
-                .into_iter()
+            let truncated: Vec<(u32, f64)> = actual
+                .iter()
+                .copied()
                 .filter(|(c, _)| *c <= target_cores)
                 .collect();
-            prediction.max_error_against(&actual).unwrap_or(f64::NAN)
+            prediction.max_error_against(&truncated).unwrap_or(f64::NAN)
         }
         Err(_) => f64::NAN,
     }
 }
 
 /// Table 4: maximum prediction errors with measurements on one processor.
+///
+/// All one-socket predictions for both machines run as one
+/// [`batch_predictions`] fan-out; the 2/3/4-CPU columns reuse each workload's
+/// single Opteron prediction against differently truncated ground truth.
 pub fn table04_strong_scaling_errors() -> Report {
     let mut report = Report::new(
         "table4",
         "Maximum prediction errors with measurements on one processor (Opteron 2/3/4 CPUs, Xeon20 2 CPUs)",
     );
+    let config = default_config();
+    let opteron_scenarios: Vec<Scenario> = WorkloadId::BENCHMARKS
+        .iter()
+        .map(|w| Scenario::one_socket_to_full(*w, opteron()))
+        .collect();
+    let xeon_scenarios: Vec<Scenario> = WorkloadId::BENCHMARKS
+        .iter()
+        .map(|w| Scenario::one_socket_to_full(*w, xeon20()))
+        .collect();
+    let opteron_predictions = batch_predictions(&config, &opteron_scenarios);
+    let xeon_predictions = batch_predictions(&config, &xeon_scenarios);
+
     let mut rows = Vec::new();
     let mut columns: Vec<Vec<f64>> = vec![Vec::new(); 4];
-    for workload in WorkloadId::BENCHMARKS {
-        let o2 = error_to_target(workload, &opteron(), 24);
-        let o3 = error_to_target(workload, &opteron(), 36);
-        let o4 = error_to_target(workload, &opteron(), 48);
-        let x2 = error_to_target(workload, &xeon20(), 20);
+    for (index, workload) in WorkloadId::BENCHMARKS.iter().enumerate() {
+        let opteron_actual = opteron_scenarios[index].actual();
+        let xeon_actual = xeon_scenarios[index].actual();
+        let o2 = truncated_error(&opteron_predictions[index], &opteron_actual, 24);
+        let o3 = truncated_error(&opteron_predictions[index], &opteron_actual, 36);
+        let o4 = truncated_error(&opteron_predictions[index], &opteron_actual, 48);
+        let x2 = truncated_error(&xeon_predictions[index], &xeon_actual, 20);
         for (column, value) in columns.iter_mut().zip([o2, o3, o4, x2]) {
             if value.is_finite() {
                 column.push(value);
             }
         }
+        report.metric(
+            format!("{}/opteron_4cpu_max_rel_error", workload.name()),
+            o4,
+        );
+        report.metric(format!("{}/xeon20_2cpu_max_rel_error", workload.name()), x2);
         rows.push(vec![
             workload.name().to_string(),
             pct(o2),
@@ -344,13 +369,22 @@ pub fn fig07_estima_vs_time_extrapolation() -> Report {
         WorkloadId::Raytrace,
         WorkloadId::VacationHigh,
     ];
+    let scenarios: Vec<Scenario> = workloads
+        .iter()
+        .map(|w| Scenario::one_socket_to_full(*w, opteron()))
+        .collect();
+    let estima_errors = batch_max_errors(&default_config(), &scenarios);
     let mut rows = Vec::new();
-    for workload in workloads {
-        let scenario = Scenario::one_socket_to_full(workload, opteron());
-        let estima_err = scenario
-            .estima_max_error(&EstimaConfig::default())
-            .unwrap_or(f64::NAN);
+    for ((workload, scenario), estima_err) in workloads.iter().zip(&scenarios).zip(estima_errors) {
         let baseline_err = scenario.baseline_max_error().unwrap_or(f64::NAN);
+        report.metric(
+            format!("{}/estima_max_rel_error", workload.name()),
+            estima_err,
+        );
+        report.metric(
+            format!("{}/time_extrapolation_max_rel_error", workload.name()),
+            baseline_err,
+        );
         rows.push(vec![
             workload.name().to_string(),
             pct(estima_err),
@@ -372,18 +406,25 @@ pub fn fig07_estima_vs_time_extrapolation() -> Report {
 /// Figure 8: prediction curves for raytrace, intruder, yada and kmeans.
 pub fn fig08_prediction_curves() -> Report {
     let mut report = Report::new("fig8", "Predictions using ESTIMA (Opteron)");
-    for workload in [
+    let workloads = [
         WorkloadId::Raytrace,
         WorkloadId::Intruder,
         WorkloadId::Yada,
         WorkloadId::Kmeans,
-    ] {
-        let scenario = Scenario::one_socket_to_full(workload, opteron());
-        let prediction = scenario
-            .predict(&EstimaConfig::default())
-            .expect("prediction");
+    ];
+    let scenarios: Vec<Scenario> = workloads
+        .iter()
+        .map(|w| Scenario::one_socket_to_full(*w, opteron()))
+        .collect();
+    let predictions = batch_predictions(&default_config(), &scenarios);
+    for ((workload, scenario), prediction) in workloads.iter().zip(&scenarios).zip(predictions) {
+        let prediction = prediction.expect("prediction");
         let baseline = scenario.predict_baseline().expect("baseline");
         let actual = scenario.actual();
+        report.metric(
+            format!("{}/max_rel_error", workload.name()),
+            prediction.max_error_against(&actual).unwrap_or(f64::NAN),
+        );
         report.series(
             format!("{workload}"),
             vec![
@@ -405,9 +446,7 @@ pub fn fig09_weak_scaling() -> Report {
     for workload in [WorkloadId::Genome, WorkloadId::Intruder] {
         let mut scenario = Scenario::one_socket_to_full(workload, xeon20());
         scenario.dataset_scale = 2.0;
-        let prediction = scenario
-            .predict(&EstimaConfig::default())
-            .expect("prediction");
+        let prediction = scenario.predict(&default_config()).expect("prediction");
         let actual = scenario.actual();
         let errors: Vec<f64> = prediction
             .errors_against(&actual)
@@ -422,6 +461,10 @@ pub fn fig09_weak_scaling() -> Report {
                 ("predicted".into(), prediction.predicted_time.clone()),
                 ("measured".into(), actual),
             ],
+        );
+        report.metric(
+            format!("{}/weak_scaling_max_rel_error", workload.name()),
+            max_err,
         );
         report.text(format!(
             "{workload}: maximum error excluding single-core performance {}%.",
@@ -439,9 +482,7 @@ pub fn fig10_bottleneck_predictions() -> Report {
     );
     for workload in [WorkloadId::Streamcluster, WorkloadId::Intruder] {
         let scenario = Scenario::one_socket_to_full(workload, opteron());
-        let prediction = scenario
-            .predict(&EstimaConfig::default())
-            .expect("prediction");
+        let prediction = scenario.predict(&default_config()).expect("prediction");
         let actual = scenario.actual();
         report.series(
             format!("{workload}"),
@@ -648,21 +689,39 @@ pub fn fig13_software_stall_errors() -> Report {
         WorkloadId::Yada,
         WorkloadId::Streamcluster,
     ];
+    let with_sw: Vec<Scenario> = workloads
+        .iter()
+        .map(|w| Scenario::one_socket_to_full(*w, opteron()))
+        .collect();
+    let without_sw: Vec<Scenario> = workloads
+        .iter()
+        .map(|w| {
+            let mut scenario = Scenario::one_socket_to_full(*w, opteron());
+            scenario.software_stalls = false;
+            scenario
+        })
+        .collect();
+    let hardware_only = EstimaConfig {
+        use_software_stalls: false,
+        ..default_config()
+    };
+    let errors_with = batch_max_errors(&default_config(), &with_sw);
+    let errors_without = batch_max_errors(&hardware_only, &without_sw);
     let mut rows = Vec::new();
     let mut improvements = Vec::new();
-    for workload in workloads {
-        let with_sw = Scenario::one_socket_to_full(workload, opteron());
-        let mut without_sw = Scenario::one_socket_to_full(workload, opteron());
-        without_sw.software_stalls = false;
-        let err_with = with_sw
-            .estima_max_error(&EstimaConfig::default())
-            .unwrap_or(f64::NAN);
-        let err_without = without_sw
-            .estima_max_error(&EstimaConfig::hardware_only())
-            .unwrap_or(f64::NAN);
+    for ((workload, err_with), err_without) in workloads.iter().zip(errors_with).zip(errors_without)
+    {
         if err_with.is_finite() && err_without.is_finite() && err_without > 0.0 {
             improvements.push(1.0 - err_with / err_without);
         }
+        report.metric(
+            format!("{}/with_sw_max_rel_error", workload.name()),
+            err_with,
+        );
+        report.metric(
+            format!("{}/hw_only_max_rel_error", workload.name()),
+            err_without,
+        );
         rows.push(vec![
             workload.name().to_string(),
             pct(err_without),
@@ -723,11 +782,13 @@ pub fn fig15_limitations() -> Report {
     for measured in [12u32, 24u32] {
         let mut scenario = Scenario::one_socket_to_full(WorkloadId::Streamcluster, opteron());
         scenario.measured_cores = measured;
-        let prediction = scenario
-            .predict(&EstimaConfig::default())
-            .expect("prediction");
+        let prediction = scenario.predict(&default_config()).expect("prediction");
         let actual = scenario.actual();
         let err = prediction.max_error_against(&actual).unwrap_or(f64::NAN);
+        report.metric(
+            format!("streamcluster/measured_{measured}_max_rel_error"),
+            err,
+        );
         report.series(
             format!(
                 "measurements up to {measured} cores (max error {}%)",
@@ -759,8 +820,12 @@ pub fn fig16_numa_measurements() -> Report {
             let mut scenario = Scenario::one_socket_to_full(workload, xeon20());
             scenario.measured_cores = measured;
             let err = scenario
-                .estima_max_error(&EstimaConfig::default())
+                .estima_max_error(&default_config())
                 .unwrap_or(f64::NAN);
+            report.metric(
+                format!("{}/measured_{measured}_max_rel_error", workload.name()),
+                err,
+            );
             rows.push(vec![format!("{measured} measured cores"), pct(err)]);
         }
         report.table(
@@ -778,23 +843,37 @@ pub fn table07_xeon48_errors() -> Report {
         "table7",
         "Maximum prediction errors for predictions targeting Xeon48 (from the full Xeon20)",
     );
+    let config = default_config();
+    // Column 1: one socket of Xeon20 -> full Xeon20 (same as Table 4).
+    let within_scenarios: Vec<Scenario> = WorkloadId::BENCHMARKS
+        .iter()
+        .map(|w| Scenario::one_socket_to_full(*w, xeon20()))
+        .collect();
+    // Column 2: full Xeon20 (20 cores measured) -> Xeon48.
+    let cross_scenarios: Vec<Scenario> = WorkloadId::BENCHMARKS
+        .iter()
+        .map(|w| Scenario::cross_machine(*w, xeon20(), 20, xeon48()))
+        .collect();
+    let within_errors = batch_max_errors(&config, &within_scenarios);
+    let cross_errors = batch_max_errors(&config, &cross_scenarios);
     let mut rows = Vec::new();
     let mut within = Vec::new();
     let mut cross = Vec::new();
-    for workload in WorkloadId::BENCHMARKS {
-        // Column 1: one socket of Xeon20 -> full Xeon20 (same as Table 4).
-        let x2 = error_to_target(workload, &xeon20(), 20);
-        // Column 2: full Xeon20 (20 cores measured) -> Xeon48.
-        let scenario = Scenario::cross_machine(workload, xeon20(), 20, xeon48());
-        let x48 = scenario
-            .estima_max_error(&EstimaConfig::default())
-            .unwrap_or(f64::NAN);
+    for ((workload, x2), x48) in WorkloadId::BENCHMARKS
+        .iter()
+        .zip(within_errors)
+        .zip(cross_errors)
+    {
         if x2.is_finite() {
             within.push(x2);
         }
         if x48.is_finite() {
             cross.push(x48);
         }
+        report.metric(
+            format!("{}/xeon20_to_xeon48_max_rel_error", workload.name()),
+            x48,
+        );
         rows.push(vec![workload.name().to_string(), pct(x2), pct(x48)]);
     }
     for (label, pick) in [("Average", 0usize), ("Std. Dev.", 1), ("Max.", 2)] {
@@ -858,12 +937,14 @@ pub fn ablation_design_choices() -> Report {
             EstimaConfig::default().with_prefix_refitting(false),
         ),
     ];
+    let scenarios: Vec<Scenario> = workloads
+        .iter()
+        .map(|w| Scenario::one_socket_to_full(*w, opteron()))
+        .collect();
     let mut rows = Vec::new();
     for (label, config) in &configs {
         let mut row = vec![label.to_string()];
-        for workload in workloads {
-            let scenario = Scenario::one_socket_to_full(workload, opteron());
-            let err = scenario.estima_max_error(config).unwrap_or(f64::NAN);
+        for err in batch_max_errors(config, &scenarios) {
             row.push(pct(err));
         }
         rows.push(row);

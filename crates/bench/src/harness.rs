@@ -10,12 +10,42 @@
 //!    "actual" execution times,
 //! 4. report prediction curves and/or maximum relative errors.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use estima_core::{
-    Estima, EstimaConfig, MeasurementSet, Prediction, TargetSpec, TimeExtrapolation, TimePrediction,
+    BatchPredictor, Estima, EstimaConfig, MeasurementSet, Prediction, TargetSpec,
+    TimeExtrapolation, TimePrediction,
 };
 use estima_counters::{collect_up_to, SimulatedCounterSource, SimulatedSourceOptions};
 use estima_machine::{MachineDescriptor, SimOptions, Simulator, WorkloadProfile};
 use estima_workloads::WorkloadId;
+
+/// Global smoke-mode flag set by `reproduce --quick`: experiments keep their
+/// structure but use a cheaper fitting configuration (no prefix refitting,
+/// one checkpoint count), so CI can exercise every parallel path quickly.
+static QUICK_MODE: AtomicBool = AtomicBool::new(false);
+
+/// Enable or disable smoke mode for subsequent experiments.
+pub fn set_quick_mode(enabled: bool) {
+    QUICK_MODE.store(enabled, Ordering::Relaxed);
+}
+
+/// True when `reproduce --quick` smoke mode is active.
+pub fn quick_mode() -> bool {
+    QUICK_MODE.load(Ordering::Relaxed)
+}
+
+/// The ESTIMA configuration experiments use: the paper defaults, downgraded
+/// to a cheaper grid in [`quick_mode`].
+pub fn default_config() -> EstimaConfig {
+    if quick_mode() {
+        EstimaConfig::default()
+            .with_prefix_refitting(false)
+            .with_checkpoints(vec![2])
+    } else {
+        EstimaConfig::default()
+    }
+}
 
 /// Simulator options used for every experiment: a small amount of
 /// deterministic measurement noise, like real counter runs.
@@ -186,6 +216,38 @@ impl Scenario {
     }
 }
 
+/// Run ESTIMA for every scenario through a shared [`BatchPredictor`]: the
+/// predictions execute in parallel (up to `config.parallelism`) and reuse
+/// fitted candidates through the shared fit cache. Results are bit-identical
+/// to calling [`Scenario::predict`] per scenario, in scenario order.
+pub fn batch_predictions(
+    config: &EstimaConfig,
+    scenarios: &[Scenario],
+) -> Vec<estima_core::Result<Prediction>> {
+    let jobs: Vec<(MeasurementSet, TargetSpec)> = scenarios
+        .iter()
+        .map(|s| (s.measurements(), s.target_spec()))
+        .collect();
+    BatchPredictor::new(config.clone()).predict_all(jobs)
+}
+
+/// Maximum relative error of every scenario against its own target-machine
+/// ground truth, predicted in one batch. Scenarios whose prediction fails (or
+/// has no ground-truth overlap) yield `NaN`, matching
+/// [`Scenario::estima_max_error`]'s error convention.
+pub fn batch_max_errors(config: &EstimaConfig, scenarios: &[Scenario]) -> Vec<f64> {
+    batch_predictions(config, scenarios)
+        .into_iter()
+        .zip(scenarios)
+        .map(|(result, scenario)| match result {
+            Ok(prediction) => prediction
+                .max_error_against(&scenario.actual())
+                .unwrap_or(f64::NAN),
+            Err(_) => f64::NAN,
+        })
+        .collect()
+}
+
 /// Pearson correlation between stalled cycles per core and execution time
 /// over a full sweep of `machine` (the Table 5 / Table 6 statistic).
 pub fn stall_time_correlation(
@@ -233,6 +295,38 @@ mod tests {
         assert_eq!(prediction.target_cores, 20);
         let err = s.estima_max_error(&EstimaConfig::default()).unwrap();
         assert!(err.is_finite());
+    }
+
+    #[test]
+    fn batch_matches_serial_scenario_predictions() {
+        let scenarios: Vec<Scenario> = [WorkloadId::Genome, WorkloadId::Raytrace]
+            .into_iter()
+            .map(|w| Scenario::one_socket_to_full(w, MachineDescriptor::xeon20()))
+            .collect();
+        let config = EstimaConfig::default();
+        let batch = batch_predictions(&config, &scenarios);
+        for (result, scenario) in batch.iter().zip(&scenarios) {
+            let serial = scenario.predict(&config).unwrap();
+            let parallel = result.as_ref().unwrap();
+            for ((c1, t1), (c2, t2)) in serial.predicted_time.iter().zip(&parallel.predicted_time) {
+                assert_eq!(c1, c2);
+                assert_eq!(t1.to_bits(), t2.to_bits());
+            }
+        }
+        let errors = batch_max_errors(&config, &scenarios);
+        assert_eq!(errors.len(), 2);
+        assert!(errors.iter().all(|e| e.is_finite()));
+    }
+
+    #[test]
+    fn quick_mode_downgrades_fit_config() {
+        set_quick_mode(true);
+        let quick = default_config();
+        set_quick_mode(false);
+        let full = default_config();
+        assert!(!quick.fit.prefix_refitting);
+        assert_eq!(quick.fit.checkpoint_counts, vec![2]);
+        assert!(full.fit.prefix_refitting);
     }
 
     #[test]

@@ -12,6 +12,10 @@ pub struct Report {
     pub title: String,
     /// Content sections in presentation order.
     pub sections: Vec<Section>,
+    /// Machine-readable scalar metrics (e.g. per-workload max relative
+    /// error), in insertion order. Rendered by [`Report::to_json`] so the
+    /// accuracy trajectory can be tracked across commits.
+    pub metrics: Vec<(String, f64)>,
 }
 
 /// A section of a report.
@@ -44,7 +48,14 @@ impl Report {
             id: id.into(),
             title: title.into(),
             sections: Vec::new(),
+            metrics: Vec::new(),
         }
+    }
+
+    /// Record a machine-readable scalar metric (e.g. a max relative error).
+    pub fn metric(&mut self, name: impl Into<String>, value: f64) -> &mut Self {
+        self.metrics.push((name.into(), value));
+        self
     }
 
     /// Append a text section.
@@ -131,6 +142,52 @@ impl Report {
     }
 }
 
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Report {
+    /// Render the report's identity and metrics as one JSON object:
+    /// `{"id": ..., "title": ..., "metrics": {...}}`. Non-finite metric
+    /// values become `null` (JSON has no NaN).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"id\":\"{}\",\"title\":\"{}\",\"metrics\":{{",
+            json_escape(&self.id),
+            json_escape(&self.title)
+        );
+        for (index, (name, value)) in self.metrics.iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            if value.is_finite() {
+                let _ = write!(out, "\"{}\":{value:.6}", json_escape(name));
+            } else {
+                let _ = write!(out, "\"{}\":null", json_escape(name));
+            }
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
 /// Format a fraction as a percentage with one decimal, or `-` for NaN.
 pub fn pct(value: f64) -> String {
     if value.is_finite() {
@@ -166,5 +223,17 @@ mod tests {
     fn pct_formats_fractions() {
         assert_eq!(pct(0.315), "31.5");
         assert_eq!(pct(f64::NAN), "-");
+    }
+
+    #[test]
+    fn json_includes_metrics_and_nulls_nan() {
+        let mut r = Report::new("table4", "errors \"quoted\"");
+        r.metric("genome/max_rel_error", 0.044);
+        r.metric("broken", f64::NAN);
+        let json = r.to_json();
+        assert_eq!(
+            json,
+            "{\"id\":\"table4\",\"title\":\"errors \\\"quoted\\\"\",\"metrics\":{\"genome/max_rel_error\":0.044000,\"broken\":null}}"
+        );
     }
 }

@@ -60,6 +60,12 @@ pub struct EstimaConfig {
     pub fit: FitOptions,
     /// Minimum number of measurements required before predicting.
     pub min_measurements: usize,
+    /// Worker-thread budget for the prediction engine: the candidate-grid
+    /// fan-out, the per-category fan-out, and
+    /// [`crate::engine::BatchPredictor`] job fan-out all share this knob.
+    /// `0` means "auto" (one worker per available CPU); `1` reproduces the
+    /// sequential path exactly. Results are bit-identical for every setting.
+    pub parallelism: usize,
 }
 
 impl Default for EstimaConfig {
@@ -69,6 +75,7 @@ impl Default for EstimaConfig {
             use_frontend_stalls: false,
             fit: FitOptions::default(),
             min_measurements: 4,
+            parallelism: 0,
         }
     }
 }
@@ -98,6 +105,12 @@ impl EstimaConfig {
     /// Enable or disable prefix refitting (the `i in 3..n` loop of §3.1.2).
     pub fn with_prefix_refitting(mut self, enabled: bool) -> Self {
         self.fit.prefix_refitting = enabled;
+        self
+    }
+
+    /// Set the engine's worker-thread budget (`0` = auto, `1` = sequential).
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism;
         self
     }
 
@@ -161,5 +174,11 @@ mod tests {
     fn checkpoint_override_applies() {
         let cfg = EstimaConfig::default().with_checkpoints(vec![2]);
         assert_eq!(cfg.fit.checkpoint_counts, vec![2]);
+    }
+
+    #[test]
+    fn parallelism_defaults_to_auto_and_overrides() {
+        assert_eq!(EstimaConfig::default().parallelism, 0);
+        assert_eq!(EstimaConfig::default().with_parallelism(4).parallelism, 4);
     }
 }

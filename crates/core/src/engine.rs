@@ -1,0 +1,376 @@
+//! The parallel prediction engine: a scoped-thread work pool, a shared fit
+//! cache, and the [`BatchPredictor`] batch API.
+//!
+//! ESTIMA's core loop — fit every Table 1 kernel over every training prefix
+//! and checkpoint count for every stall category, for every workload — is
+//! embarrassingly parallel. This module supplies the three fan-out stages:
+//!
+//! 1. **Grid fan-out** — [`crate::fit::candidate_fits_with`] evaluates the
+//!    (kernel × prefix × checkpoint-count) candidate grid on the pool.
+//! 2. **Category fan-out** — [`crate::predictor::Estima::predict`] fits all
+//!    stall categories of a [`MeasurementSet`] concurrently.
+//! 3. **Workload fan-out** — [`BatchPredictor::predict_all`] runs many
+//!    workloads' predictions in parallel, sharing fitted candidates through a
+//!    [`FitCache`] keyed structurally by (series, [`FitOptions`]).
+//!
+//! # Determinism
+//!
+//! The pool guarantees *bit-identical* results versus the sequential path:
+//! tasks are enumerated in a fixed order, each task's computation is
+//! independent of every other task, and results are reassembled by task index
+//! before any reduction runs. Candidate curves are therefore always compared
+//! in the same order regardless of thread completion order, so
+//! `parallelism = 1` and `parallelism = N` produce byte-identical
+//! [`Prediction`]s.
+//!
+//! Nested fan-outs (a category fit inside a batch job, a grid fit inside a
+//! category fit) run inline on the worker thread that reached them, so the
+//! pool never multiplies threads beyond its configured width.
+
+use std::cell::Cell;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::config::{EstimaConfig, TargetSpec};
+use crate::error::Result;
+use crate::fit::{FitCandidate, FitOptions};
+use crate::measurement::MeasurementSet;
+use crate::predictor::{Estima, Prediction};
+
+thread_local! {
+    /// True while the current thread is a pool worker: nested [`Engine::run`]
+    /// calls detect this and execute inline instead of spawning more threads.
+    static IN_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// A scoped-thread work pool with deterministic result ordering.
+///
+/// The pool is stateless between calls: every [`Engine::run`] opens a
+/// [`std::thread::scope`], drains a shared queue of indexed tasks, and joins
+/// before returning, so borrowed inputs need no `'static` lifetimes and no
+/// threads outlive the call.
+#[derive(Debug, Clone, Copy)]
+pub struct Engine {
+    workers: usize,
+}
+
+impl Engine {
+    /// Create an engine with the given parallelism. `0` means "auto": use
+    /// [`std::thread::available_parallelism`]. `1` reproduces the sequential
+    /// path exactly (no threads are spawned at all).
+    pub fn new(parallelism: usize) -> Self {
+        let workers = if parallelism == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            parallelism
+        };
+        Engine { workers }
+    }
+
+    /// An engine that always runs inline on the calling thread.
+    pub fn sequential() -> Self {
+        Engine { workers: 1 }
+    }
+
+    /// Number of worker threads a fan-out may use.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Apply `f` to every item, returning results in item order.
+    ///
+    /// With one worker (or one item, or when already running on a pool worker
+    /// thread) this is exactly `items.into_iter().map(f).collect()`. Otherwise
+    /// the items are processed by up to [`Engine::workers`] scoped threads
+    /// pulling from a shared queue; the results are reassembled by item index,
+    /// so the output is independent of scheduling.
+    pub fn run<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let n = items.len();
+        if self.workers <= 1 || n <= 1 || IN_POOL_WORKER.with(Cell::get) {
+            return items.into_iter().map(f).collect();
+        }
+        let queue: Mutex<VecDeque<(usize, T)>> =
+            Mutex::new(items.into_iter().enumerate().collect());
+        let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+        let workers = self.workers.min(n);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    IN_POOL_WORKER.with(|flag| flag.set(true));
+                    loop {
+                        let task = queue.lock().unwrap().pop_front();
+                        match task {
+                            Some((index, item)) => {
+                                let result = f(item);
+                                results.lock().unwrap().push((index, result));
+                            }
+                            None => break,
+                        }
+                    }
+                });
+            }
+        });
+        let mut indexed = results.into_inner().unwrap();
+        indexed.sort_unstable_by_key(|(index, _)| *index);
+        indexed.into_iter().map(|(_, result)| result).collect()
+    }
+}
+
+/// Cache key for one fitted series: the full series (as `f64` bit patterns,
+/// so `-0.0` and `0.0` differ and NaNs are stable) plus the full
+/// [`FitOptions`] (rendered through `Debug`, which covers every field). The
+/// key is structural — two keys are equal only if the series and options are
+/// exactly equal — so cache hits can never substitute another series' fits.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FitKey {
+    xs_bits: Vec<u64>,
+    ys_bits: Vec<u64>,
+    options: String,
+}
+
+impl FitKey {
+    /// Build the key for a `(series, options)` pair.
+    pub fn new(xs: &[f64], ys: &[f64], options: &FitOptions) -> Self {
+        FitKey {
+            xs_bits: xs.iter().map(|x| x.to_bits()).collect(),
+            ys_bits: ys.iter().map(|y| y.to_bits()).collect(),
+            options: format!("{options:?}"),
+        }
+    }
+}
+
+/// A concurrency-safe cache of candidate-fit lists keyed by [`FitKey`].
+/// Shared by every job of a [`BatchPredictor`] so that workloads measured on
+/// the same machine reuse each other's fits (identical series — e.g. a
+/// zero-noise category or a repeated workload — are fitted once).
+#[derive(Debug, Default)]
+pub struct FitCache {
+    entries: Mutex<HashMap<FitKey, Arc<Vec<FitCandidate>>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl FitCache {
+    /// Create an empty cache.
+    pub fn new() -> Self {
+        FitCache::default()
+    }
+
+    /// Look up `key`, computing and inserting the candidate list on a miss.
+    ///
+    /// The computation runs outside the cache lock, so concurrent misses on
+    /// the same key may compute twice — both produce identical results (the
+    /// fit is deterministic) and the first insert wins, so callers always
+    /// observe one consistent value.
+    pub fn get_or_compute<F>(&self, key: FitKey, compute: F) -> Result<Arc<Vec<FitCandidate>>>
+    where
+        F: FnOnce() -> Result<Vec<FitCandidate>>,
+    {
+        if let Some(found) = self.entries.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(found));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let computed = Arc::new(compute()?);
+        let mut entries = self.entries.lock().unwrap();
+        Ok(Arc::clone(
+            entries.entry(key).or_insert_with(|| Arc::clone(&computed)),
+        ))
+    }
+
+    /// Number of cached series.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().unwrap().is_empty()
+    }
+
+    /// `(hits, misses)` counters since construction.
+    pub fn stats(&self) -> (usize, usize) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Batch prediction API: run many workloads' predictions in parallel with a
+/// shared fit cache.
+///
+/// ```
+/// use estima_core::engine::BatchPredictor;
+/// use estima_core::prelude::*;
+///
+/// let mut jobs = Vec::new();
+/// for app in ["alpha", "beta"] {
+///     let mut set = MeasurementSet::new(app, 2.1);
+///     for cores in 1..=8u32 {
+///         let n = cores as f64;
+///         set.push(
+///             Measurement::new(cores, 20.0 / n + 0.5)
+///                 .with_stall(StallCategory::backend("rob_full"), 1.0e9 * (1.0 + 0.1 * n * n)),
+///         );
+///     }
+///     jobs.push((set, TargetSpec::cores(32)));
+/// }
+/// let batch = BatchPredictor::new(EstimaConfig::default());
+/// let predictions = batch.predict_all(jobs);
+/// assert_eq!(predictions.len(), 2);
+/// assert!(predictions.iter().all(|p| p.is_ok()));
+/// ```
+#[derive(Debug, Default)]
+pub struct BatchPredictor {
+    estima: Estima,
+    cache: FitCache,
+}
+
+impl BatchPredictor {
+    /// Create a batch predictor. The `parallelism` knob of the configuration
+    /// controls both the job fan-out and the per-job stage fan-outs.
+    pub fn new(config: EstimaConfig) -> Self {
+        BatchPredictor {
+            estima: Estima::new(config),
+            cache: FitCache::new(),
+        }
+    }
+
+    /// Borrow the underlying predictor.
+    pub fn estima(&self) -> &Estima {
+        &self.estima
+    }
+
+    /// Borrow the shared fit cache (for statistics).
+    pub fn cache(&self) -> &FitCache {
+        &self.cache
+    }
+
+    /// Predict one measurement set, sharing the fit cache with every other
+    /// call on this predictor.
+    pub fn predict(&self, set: &MeasurementSet, target: &TargetSpec) -> Result<Prediction> {
+        self.estima.predict_cached(set, target, &self.cache)
+    }
+
+    /// Run every `(measurements, target)` job, in parallel up to the
+    /// configured parallelism, and return one result per job in job order.
+    /// Results are bit-identical to calling [`Estima::predict`] per job.
+    pub fn predict_all(&self, jobs: Vec<(MeasurementSet, TargetSpec)>) -> Vec<Result<Prediction>> {
+        let engine = Engine::new(self.estima.config().parallelism);
+        engine.run(jobs, |(set, target)| self.predict(&set, &target))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measurement::{Measurement, StallCategory};
+
+    #[test]
+    fn run_preserves_item_order() {
+        let engine = Engine::new(4);
+        let items: Vec<u64> = (0..100).collect();
+        let doubled = engine.run(items.clone(), |x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_engine_spawns_nothing_and_matches_parallel() {
+        let items: Vec<u64> = (0..57).collect();
+        let seq = Engine::sequential().run(items.clone(), |x| x.wrapping_mul(0x9e37));
+        let par = Engine::new(8).run(items, |x| x.wrapping_mul(0x9e37));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn auto_parallelism_resolves_to_at_least_one_worker() {
+        assert!(Engine::new(0).workers() >= 1);
+        assert_eq!(Engine::new(3).workers(), 3);
+    }
+
+    #[test]
+    fn nested_runs_execute_inline() {
+        let engine = Engine::new(4);
+        let outer = engine.run(vec![10u64, 20, 30], |base| {
+            // A nested fan-out from a worker thread must run inline (and
+            // still produce ordered results).
+            let inner = engine.run((0..5u64).collect(), move |i| base + i);
+            inner.iter().sum::<u64>()
+        });
+        assert_eq!(outer, vec![60, 110, 160]);
+    }
+
+    #[test]
+    fn cache_key_distinguishes_series_and_options() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [1.0, 4.0, 9.0];
+        let options = FitOptions::default();
+        let base = FitKey::new(&xs, &ys, &options);
+        assert_eq!(base, FitKey::new(&xs, &ys, &options));
+        assert_ne!(base, FitKey::new(&ys, &xs, &options));
+        let narrowed = FitOptions {
+            realism_horizon: 128,
+            ..FitOptions::default()
+        };
+        assert_ne!(base, FitKey::new(&xs, &ys, &narrowed));
+    }
+
+    #[test]
+    fn fit_cache_counts_hits_and_misses() {
+        let cache = FitCache::new();
+        let options = FitOptions::default();
+        let key_a = FitKey::new(&[1.0, 2.0], &[1.0, 4.0], &options);
+        let key_b = FitKey::new(&[1.0, 2.0], &[2.0, 8.0], &options);
+        let make = || Ok(Vec::new());
+        cache.get_or_compute(key_a.clone(), make).unwrap();
+        cache.get_or_compute(key_a, make).unwrap();
+        cache.get_or_compute(key_b, make).unwrap();
+        assert_eq!(cache.stats(), (1, 2));
+        assert_eq!(cache.len(), 2);
+        assert!(!cache.is_empty());
+    }
+
+    fn demo_set(name: &str) -> MeasurementSet {
+        let mut set = MeasurementSet::new(name, 2.1);
+        for cores in 1..=10u32 {
+            let n = cores as f64;
+            set.push(Measurement::new(cores, 30.0 / n + 1.0).with_stall(
+                StallCategory::backend("rob_full"),
+                2.0e9 * (1.0 + 0.08 * n * n),
+            ));
+        }
+        set
+    }
+
+    #[test]
+    fn batch_matches_individual_predictions_bit_for_bit() {
+        // Parallelism 1 keeps the cache-hit counter deterministic: jobs run
+        // in order, so the repeated series must hit (concurrent jobs may
+        // both miss and compute identical results instead).
+        let config = EstimaConfig::default().with_parallelism(1);
+        let solo = Estima::new(config.clone())
+            .predict(&demo_set("app"), &TargetSpec::cores(40))
+            .unwrap();
+        let batch = BatchPredictor::new(config);
+        let results = batch.predict_all(vec![(demo_set("app"), TargetSpec::cores(40)); 3]);
+        for result in results {
+            let prediction = result.unwrap();
+            for ((c1, t1), (c2, t2)) in solo.predicted_time.iter().zip(&prediction.predicted_time) {
+                assert_eq!(c1, c2);
+                assert_eq!(t1.to_bits(), t2.to_bits());
+            }
+        }
+        // Identical series: the repeated jobs must hit the shared cache.
+        let (hits, _) = batch.cache().stats();
+        assert!(hits > 0, "repeated identical jobs produced no cache hits");
+    }
+}

@@ -14,6 +14,9 @@
 //! solve; the rational kernels and `ExpRat` are seeded with a linearised
 //! least-squares estimate and refined with Levenberg–Marquardt.
 
+use std::sync::Arc;
+
+use crate::engine::{Engine, FitCache, FitKey};
 use crate::error::{EstimaError, Result};
 use crate::kernels::{FittedCurve, KernelKind};
 use crate::levenberg::{levenberg_marquardt, LmOptions};
@@ -198,15 +201,50 @@ pub fn approximate_series(
     label: &str,
     options: &FitOptions,
 ) -> Result<FittedCurve> {
-    let candidates = candidate_fits(xs, ys, options)?;
-    candidates
-        .into_iter()
-        .map(|c| c.curve)
+    approximate_series_with(xs, ys, label, options, &Engine::sequential())
+}
+
+/// [`approximate_series`] with the candidate grid fanned out on `engine`.
+/// Candidates are compared in a fixed enumeration order regardless of thread
+/// completion order, so the winner is identical to the sequential path.
+pub fn approximate_series_with(
+    xs: &[f64],
+    ys: &[f64],
+    label: &str,
+    options: &FitOptions,
+    engine: &Engine,
+) -> Result<FittedCurve> {
+    let candidates = candidate_fits_with(xs, ys, options, engine)?;
+    select_best(candidates.iter().map(|c| &c.curve), label)
+}
+
+/// [`approximate_series_with`] drawing candidates from (and populating) a
+/// shared [`FitCache`].
+pub fn approximate_series_cached(
+    xs: &[f64],
+    ys: &[f64],
+    label: &str,
+    options: &FitOptions,
+    engine: &Engine,
+    cache: &FitCache,
+) -> Result<FittedCurve> {
+    let candidates = candidate_fits_cached(xs, ys, options, engine, cache)?;
+    select_best(candidates.iter().map(|c| &c.curve), label)
+}
+
+/// The model-selection rule of §3.1.2: lowest checkpoint RMSE wins, ties
+/// resolved to the earliest candidate in enumeration order.
+fn select_best<'a>(
+    curves: impl Iterator<Item = &'a FittedCurve>,
+    label: &str,
+) -> Result<FittedCurve> {
+    curves
         .min_by(|a, b| {
             a.checkpoint_rmse
                 .partial_cmp(&b.checkpoint_rmse)
                 .unwrap_or(std::cmp::Ordering::Equal)
         })
+        .cloned()
         .ok_or_else(|| EstimaError::NoViableFit {
             category: label.to_string(),
         })
@@ -217,6 +255,29 @@ pub fn approximate_series(
 /// scaling-factor step needs the full candidate list because it selects by
 /// correlation rather than checkpoint RMSE.
 pub fn candidate_fits(xs: &[f64], ys: &[f64], options: &FitOptions) -> Result<Vec<FitCandidate>> {
+    candidate_fits_with(xs, ys, options, &Engine::sequential())
+}
+
+/// One cell of the candidate grid: a (checkpoint count, prefix length,
+/// kernel) triple. Cells are enumerated in the same nested-loop order the
+/// sequential implementation used, which fixes the candidate list order.
+#[derive(Debug, Clone, Copy)]
+struct GridCell {
+    checkpoints: usize,
+    n_train: usize,
+    prefix: usize,
+    kernel: KernelKind,
+}
+
+/// [`candidate_fits`] with the grid fanned out on `engine`. Every cell is an
+/// independent fit; results are reassembled in grid-enumeration order, so the
+/// returned list is identical to the sequential one.
+pub fn candidate_fits_with(
+    xs: &[f64],
+    ys: &[f64],
+    options: &FitOptions,
+    engine: &Engine,
+) -> Result<Vec<FitCandidate>> {
     if xs.len() != ys.len() {
         return Err(EstimaError::Numerical(
             "candidate_fits: xs/ys length mismatch".into(),
@@ -244,58 +305,77 @@ pub fn candidate_fits(xs: &[f64], ys: &[f64], options: &FitOptions) -> Result<Ve
         }
     }
 
-    let mut candidates = Vec::new();
+    let mut grid = Vec::new();
     for &c in &viable_checkpoint_counts {
         let n_train = m - c;
-        let train_x = &xs[..n_train];
-        let train_y = &ys[..n_train];
-        let check_x = &xs[n_train..];
-        let check_y = &ys[n_train..];
-
         let prefix_lengths: Vec<usize> = if options.prefix_refitting {
             (options.min_training_points..=n_train).collect()
         } else {
             vec![n_train]
         };
-
         for &len in &prefix_lengths {
-            let px = &train_x[..len];
-            let py = &train_y[..len];
             for &kernel in &options.kernels {
-                let params = match fit_kernel_with(kernel, px, py, &options.lm) {
-                    Ok(p) => p,
-                    Err(_) => continue,
-                };
-                let train_pred: Vec<f64> = px.iter().map(|x| kernel.eval(&params, *x)).collect();
-                let check_pred: Vec<f64> =
-                    check_x.iter().map(|x| kernel.eval(&params, *x)).collect();
-                let curve = FittedCurve {
-                    kernel,
-                    params,
-                    checkpoint_rmse: rmse(&check_pred, check_y),
-                    training_rmse: rmse(&train_pred, py),
-                    training_points: len,
-                };
-                if !curve.checkpoint_rmse.is_finite() {
-                    continue;
-                }
-                let data_max = ys.iter().copied().fold(0.0f64, f64::max);
-                let magnitude_cap = if data_max > 0.0 {
-                    (data_max * options.max_growth_factor).min(options.max_magnitude)
-                } else {
-                    options.max_magnitude
-                };
-                if !curve.is_realistic(options.realism_horizon, magnitude_cap) {
-                    continue;
-                }
-                candidates.push(FitCandidate {
-                    curve,
+                grid.push(GridCell {
                     checkpoints: c,
+                    n_train,
+                    prefix: len,
+                    kernel,
                 });
             }
         }
     }
-    Ok(candidates)
+
+    let data_max = ys.iter().copied().fold(0.0f64, f64::max);
+    let magnitude_cap = if data_max > 0.0 {
+        (data_max * options.max_growth_factor).min(options.max_magnitude)
+    } else {
+        options.max_magnitude
+    };
+
+    let fits: Vec<Option<FitCandidate>> = engine.run(grid, |cell| {
+        let px = &xs[..cell.prefix];
+        let py = &ys[..cell.prefix];
+        let check_x = &xs[cell.n_train..];
+        let check_y = &ys[cell.n_train..];
+        let params = fit_kernel_with(cell.kernel, px, py, &options.lm).ok()?;
+        let train_pred: Vec<f64> = px.iter().map(|x| cell.kernel.eval(&params, *x)).collect();
+        let check_pred: Vec<f64> = check_x
+            .iter()
+            .map(|x| cell.kernel.eval(&params, *x))
+            .collect();
+        let curve = FittedCurve {
+            kernel: cell.kernel,
+            params,
+            checkpoint_rmse: rmse(&check_pred, check_y),
+            training_rmse: rmse(&train_pred, py),
+            training_points: cell.prefix,
+        };
+        if !curve.checkpoint_rmse.is_finite() {
+            return None;
+        }
+        if !curve.is_realistic(options.realism_horizon, magnitude_cap) {
+            return None;
+        }
+        Some(FitCandidate {
+            curve,
+            checkpoints: cell.checkpoints,
+        })
+    });
+    Ok(fits.into_iter().flatten().collect())
+}
+
+/// [`candidate_fits_with`] backed by a shared [`FitCache`]: the candidate
+/// list for a given (series, options) pair is computed once and reused by
+/// every subsequent caller with an identical series.
+pub fn candidate_fits_cached(
+    xs: &[f64],
+    ys: &[f64],
+    options: &FitOptions,
+    engine: &Engine,
+    cache: &FitCache,
+) -> Result<Arc<Vec<FitCandidate>>> {
+    let key = FitKey::new(xs, ys, options);
+    cache.get_or_compute(key, || candidate_fits_with(xs, ys, options, engine))
 }
 
 #[cfg(test)]

@@ -57,6 +57,7 @@
 
 pub mod bottleneck;
 pub mod config;
+pub mod engine;
 pub mod error;
 pub mod fit;
 pub mod kernels;
@@ -71,8 +72,12 @@ pub mod time_extrapolation;
 
 pub use bottleneck::{BottleneckEntry, BottleneckReport};
 pub use config::{EstimaConfig, TargetSpec};
+pub use engine::{BatchPredictor, Engine, FitCache};
 pub use error::{EstimaError, Result};
-pub use fit::{approximate_series, candidate_fits, fit_kernel, FitOptions};
+pub use fit::{
+    approximate_series, approximate_series_with, candidate_fits, candidate_fits_with, fit_kernel,
+    FitOptions,
+};
 pub use kernels::{FittedCurve, KernelKind};
 pub use measurement::{Measurement, MeasurementSet, StallCategory, StallSource};
 pub use predictor::{CategoryExtrapolation, Estima, Prediction};
@@ -82,6 +87,7 @@ pub use time_extrapolation::{TimeExtrapolation, TimePrediction};
 pub mod prelude {
     pub use crate::bottleneck::BottleneckReport;
     pub use crate::config::{EstimaConfig, TargetSpec};
+    pub use crate::engine::{BatchPredictor, Engine, FitCache};
     pub use crate::error::{EstimaError, Result};
     pub use crate::kernels::{FittedCurve, KernelKind};
     pub use crate::measurement::{Measurement, MeasurementSet, StallCategory, StallSource};

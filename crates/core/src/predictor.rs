@@ -15,11 +15,26 @@
 use serde::{Deserialize, Serialize};
 
 use crate::config::{EstimaConfig, TargetSpec};
+use crate::engine::{Engine, FitCache};
 use crate::error::{EstimaError, Result};
-use crate::fit::{approximate_series, candidate_fits, FitOptions};
+use crate::fit::{
+    approximate_series_cached, approximate_series_with, candidate_fits_cached, candidate_fits_with,
+    FitOptions,
+};
 use crate::kernels::FittedCurve;
 use crate::measurement::{MeasurementSet, StallCategory};
 use crate::stats::{max_relative_error, pearson_correlation, relative_error};
+
+/// O(1) lookup in a `(cores, value)` series that is dense over
+/// `1..=target` (the layout every extrapolated series uses), with a linear
+/// fallback for series that arrived sparse (e.g. deserialized or hand-built).
+fn dense_lookup(points: &[(u32, f64)], cores: u32) -> Option<f64> {
+    let index = cores.checked_sub(1)? as usize;
+    match points.get(index) {
+        Some((c, v)) if *c == cores => Some(*v),
+        _ => points.iter().find(|(c, _)| *c == cores).map(|(_, v)| *v),
+    }
+}
 
 /// Extrapolation of a single stall-cycle category.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -36,11 +51,9 @@ pub struct CategoryExtrapolation {
 
 impl CategoryExtrapolation {
     /// Extrapolated total cycles at a given core count, if within range.
+    /// The extrapolated series is dense over `1..=target`, so this is O(1).
     pub fn at(&self, cores: u32) -> Option<f64> {
-        self.extrapolated
-            .iter()
-            .find(|(c, _)| *c == cores)
-            .map(|(_, v)| *v)
+        dense_lookup(&self.extrapolated, cores)
     }
 }
 
@@ -72,19 +85,14 @@ pub struct Prediction {
 
 impl Prediction {
     /// Predicted execution time at a given core count, if within range.
+    /// The predicted series is dense over `1..=target`, so this is O(1).
     pub fn predicted_time_at(&self, cores: u32) -> Option<f64> {
-        self.predicted_time
-            .iter()
-            .find(|(c, _)| *c == cores)
-            .map(|(_, t)| *t)
+        dense_lookup(&self.predicted_time, cores)
     }
 
-    /// Total stalled cycles per core at a given core count.
+    /// Total stalled cycles per core at a given core count, in O(1).
     pub fn stalls_per_core_at(&self, cores: u32) -> Option<f64> {
-        self.stalls_per_core
-            .iter()
-            .find(|(c, _)| *c == cores)
-            .map(|(_, v)| *v)
+        dense_lookup(&self.stalls_per_core, cores)
     }
 
     /// The core count at which predicted execution time is minimal — the
@@ -184,10 +192,37 @@ impl Estima {
     }
 
     /// Run the full prediction pipeline (steps B and C of Figure 3).
+    ///
+    /// Stall categories are fitted concurrently, and each category's
+    /// candidate grid is fanned out on the engine, up to the configured
+    /// [`EstimaConfig::parallelism`]. The result is bit-identical for every
+    /// parallelism setting (see [`crate::engine`] for the determinism
+    /// argument).
     pub fn predict(
         &self,
         measurements: &MeasurementSet,
         target: &TargetSpec,
+    ) -> Result<Prediction> {
+        self.predict_inner(measurements, target, None)
+    }
+
+    /// [`Estima::predict`] drawing candidate fits from (and populating) a
+    /// shared [`FitCache`]. Used by [`crate::engine::BatchPredictor`] so
+    /// identical series across workloads are fitted once.
+    pub fn predict_cached(
+        &self,
+        measurements: &MeasurementSet,
+        target: &TargetSpec,
+        cache: &FitCache,
+    ) -> Result<Prediction> {
+        self.predict_inner(measurements, target, Some(cache))
+    }
+
+    fn predict_inner(
+        &self,
+        measurements: &MeasurementSet,
+        target: &TargetSpec,
+        cache: Option<&FitCache>,
     ) -> Result<Prediction> {
         measurements.validate(self.config.min_measurements)?;
         let measured_cores = measurements.max_cores();
@@ -214,32 +249,48 @@ impl Estima {
             realism_horizon: target.cores,
             ..self.config.fit.clone()
         };
+        let engine = Engine::new(self.config.parallelism);
 
-        // Step B: extrapolate every category individually.
-        let mut extrapolations = Vec::with_capacity(categories.len());
-        for category in categories {
-            let series = measurements.category_series(&category);
+        // Step B: extrapolate every category individually, all categories
+        // concurrently. Categories that are identically zero carry no
+        // information and a constant-zero extrapolation is exact, so they are
+        // dropped before the fan-out.
+        let jobs: Vec<(StallCategory, Vec<(u32, f64)>)> = categories
+            .into_iter()
+            .map(|category| {
+                let series = measurements.category_series(&category);
+                (category, series)
+            })
+            .filter(|(_, series)| series.iter().any(|(_, v)| *v != 0.0))
+            .collect();
+        let fitted: Vec<Result<CategoryExtrapolation>> = engine.run(jobs, |(category, series)| {
             let xs: Vec<f64> = series.iter().map(|(c, _)| *c as f64).collect();
             let ys: Vec<f64> = series.iter().map(|(_, v)| *v).collect();
-            // Categories that are identically zero carry no information and a
-            // constant-zero extrapolation is exact.
-            if ys.iter().all(|v| *v == 0.0) {
-                continue;
-            }
-            let curve = approximate_series(&xs, &ys, &category.name, &fit_options)?;
+            let curve = match cache {
+                Some(cache) => approximate_series_cached(
+                    &xs,
+                    &ys,
+                    &category.name,
+                    &fit_options,
+                    &engine,
+                    cache,
+                )?,
+                None => approximate_series_with(&xs, &ys, &category.name, &fit_options, &engine)?,
+            };
             let extrapolated: Vec<(u32, f64)> = (1..=target.cores)
                 .map(|c| {
                     let raw = curve.eval(c as f64).max(0.0);
                     (c, raw * target.dataset_scale)
                 })
                 .collect();
-            extrapolations.push(CategoryExtrapolation {
+            Ok(CategoryExtrapolation {
                 category,
                 curve,
                 measured: series,
                 extrapolated,
-            });
-        }
+            })
+        });
+        let extrapolations = fitted.into_iter().collect::<Result<Vec<_>>>()?;
         if extrapolations.is_empty() {
             return Err(EstimaError::NoStallCategories);
         }
@@ -281,14 +332,24 @@ impl Estima {
         // measured trend of the factor (e.g. a factor that was converging
         // towards 1/frequency suddenly curling upwards) are discarded as
         // unrealistic, in the same spirit as the per-category realism check.
-        let candidates = candidate_fits(&factor_xs, &factor_ys, &fit_options)?;
+        let candidates = match cache {
+            Some(cache) => {
+                candidate_fits_cached(&factor_xs, &factor_ys, &fit_options, &engine, cache)?
+            }
+            None => std::sync::Arc::new(candidate_fits_with(
+                &factor_xs,
+                &factor_ys,
+                &fit_options,
+                &engine,
+            )?),
+        };
         let spc_values: Vec<f64> = stalls_per_core.iter().map(|(_, v)| *v).collect();
         let factor_at_max_measured = *factor_ys.last().unwrap_or(&0.0);
         let factor_trend_decreasing =
             factor_ys.first().copied().unwrap_or(0.0) >= factor_at_max_measured;
-        let mut best: Option<(FittedCurve, f64, Vec<f64>)> = None;
-        for candidate in candidates {
-            let curve = candidate.curve;
+        let mut best: Option<(&FittedCurve, f64, Vec<f64>)> = None;
+        for candidate in candidates.iter() {
+            let curve = &candidate.curve;
             let extrapolated_factors: Vec<f64> = ((measured_cores + 1)..=target.cores)
                 .map(|c| curve.eval(c as f64))
                 .collect();
@@ -325,8 +386,9 @@ impl Estima {
                 best = Some((curve, corr, times));
             }
         }
-        let (scaling_factor, factor_correlation, predicted_times) =
-            best.ok_or_else(|| EstimaError::NoViableFit {
+        let (scaling_factor, factor_correlation, predicted_times) = best
+            .map(|(curve, corr, times)| (curve.clone(), corr, times))
+            .ok_or_else(|| EstimaError::NoViableFit {
                 category: "scaling_factor".into(),
             })?;
 

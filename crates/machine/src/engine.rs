@@ -24,6 +24,7 @@
 
 use std::collections::BTreeMap;
 
+use estima_core::engine::Engine;
 use serde::{Deserialize, Serialize};
 
 use crate::events::StallEvent;
@@ -102,6 +103,7 @@ impl Default for SimOptions {
 pub struct Simulator {
     machine: MachineDescriptor,
     options: SimOptions,
+    parallelism: usize,
 }
 
 impl Simulator {
@@ -110,12 +112,25 @@ impl Simulator {
         Simulator {
             machine,
             options: SimOptions::default(),
+            parallelism: 0,
         }
     }
 
     /// Create a simulator with explicit options.
     pub fn with_options(machine: MachineDescriptor, options: SimOptions) -> Self {
-        Simulator { machine, options }
+        Simulator {
+            machine,
+            options,
+            parallelism: 0,
+        }
+    }
+
+    /// Set the worker-thread budget [`Simulator::sweep`] uses to evaluate
+    /// core counts (`0` = auto, `1` = sequential). Every run of a sweep is
+    /// independently seeded, so the results are identical for every setting.
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// The simulated machine.
@@ -333,10 +348,14 @@ impl Simulator {
     }
 
     /// Simulate the profile for every core count in `1..=max_cores`.
+    ///
+    /// Core counts are evaluated in parallel on a scoped-thread pool (see
+    /// [`Simulator::with_parallelism`]); each run draws its noise from a seed
+    /// derived only from the machine, profile and core count, so the sweep is
+    /// bit-identical to the sequential one.
     pub fn sweep(&self, profile: &WorkloadProfile, max_cores: u32) -> Vec<SimRun> {
-        (1..=max_cores.min(self.machine.total_cores()))
-            .map(|c| self.run(profile, c))
-            .collect()
+        let cores: Vec<u32> = (1..=max_cores.min(self.machine.total_cores())).collect();
+        Engine::new(self.parallelism).run(cores, |c| self.run(profile, c))
     }
 }
 
@@ -508,6 +527,22 @@ mod tests {
     fn more_cores_than_machine_panics() {
         let s = sim(MachineDescriptor::xeon20());
         s.run(&cpu_bound(), 21);
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_sequential() {
+        let machine = MachineDescriptor::opteron48();
+        let sequential = Simulator::new(machine.clone()).with_parallelism(1);
+        let parallel = Simulator::new(machine).with_parallelism(4);
+        let a = sequential.sweep(&contended_stm(), 48);
+        let b = parallel.sweep(&contended_stm(), 48);
+        assert_eq!(a.len(), b.len());
+        for (ra, rb) in a.iter().zip(&b) {
+            assert_eq!(ra.cores, rb.cores);
+            assert_eq!(ra.exec_time_secs.to_bits(), rb.exec_time_secs.to_bits());
+            assert_eq!(ra.backend_stalls, rb.backend_stalls);
+            assert_eq!(ra.software_stalls, rb.software_stalls);
+        }
     }
 
     #[test]

@@ -6,20 +6,50 @@
 //! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`] macros —
 //! backed by a simple wall-clock timing loop instead of criterion's
 //! statistical machinery. Each benchmark warms up briefly, then runs batches
-//! until a small time budget is spent and reports the best observed ns/iter.
+//! until a small time budget is spent and reports the minimum, median and
+//! standard deviation of the per-batch ns/iter samples, so numbers are
+//! comparable run-to-run (the minimum alone is a lower bound, not a summary).
+//!
+//! Passing `--quick` on the bench command line (`cargo bench -- --quick`) or
+//! setting `ESTIMA_BENCH_QUICK=1` shrinks the time budgets ~4x for CI smoke
+//! runs.
 //!
 //! Swap in real criterion by pointing the `criterion` dev-dependency at
 //! crates.io; the bench sources need no edits.
 
 use std::fmt;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
-/// Per-iteration time budget the shim spends measuring one benchmark.
-const MEASURE_BUDGET: Duration = Duration::from_millis(60);
+/// True when the process was started in smoke mode (`--quick` argument or
+/// `ESTIMA_BENCH_QUICK` in the environment).
+fn quick_mode() -> bool {
+    static QUICK: OnceLock<bool> = OnceLock::new();
+    *QUICK.get_or_init(|| {
+        std::env::args().any(|a| a == "--quick")
+            || std::env::var_os("ESTIMA_BENCH_QUICK").is_some_and(|v| v != "0")
+    })
+}
+
+/// Per-benchmark measurement budget (shrunk in `--quick` mode).
+fn measure_budget() -> Duration {
+    if quick_mode() {
+        Duration::from_millis(15)
+    } else {
+        Duration::from_millis(60)
+    }
+}
+
 /// Warm-up budget before measurement starts.
-const WARMUP_BUDGET: Duration = Duration::from_millis(10);
+fn warmup_budget() -> Duration {
+    if quick_mode() {
+        Duration::from_millis(3)
+    } else {
+        Duration::from_millis(10)
+    }
+}
 
 /// Entry point mirroring `criterion::Criterion`.
 #[derive(Debug, Default)]
@@ -129,7 +159,9 @@ impl fmt::Display for BenchmarkId {
 pub struct Bencher {
     iters_done: u64,
     elapsed: Duration,
-    best_per_iter: f64,
+    /// Per-batch ns/iter samples; the printed min/median/stddev summarize
+    /// this distribution.
+    samples: Vec<f64>,
 }
 
 impl Bencher {
@@ -138,45 +170,78 @@ impl Bencher {
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // Warm up and size the batch so one batch is neither a single
         // ultra-short call nor longer than the whole budget.
+        let warmup = warmup_budget();
         let warm_start = Instant::now();
         let mut warm_iters: u64 = 0;
-        while warm_start.elapsed() < WARMUP_BUDGET {
+        while warm_start.elapsed() < warmup {
             black_box(routine());
             warm_iters += 1;
         }
-        let per_iter = WARMUP_BUDGET.as_secs_f64() / warm_iters.max(1) as f64;
+        let per_iter = warmup.as_secs_f64() / warm_iters.max(1) as f64;
         let batch = ((0.005 / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
 
+        let budget = measure_budget();
         let start = Instant::now();
-        while start.elapsed() < MEASURE_BUDGET {
+        while start.elapsed() < budget {
             let batch_start = Instant::now();
             for _ in 0..batch {
                 black_box(routine());
             }
             let batch_time = batch_start.elapsed();
             self.iters_done += batch;
-            let ns = batch_time.as_secs_f64() * 1e9 / batch as f64;
-            if ns < self.best_per_iter {
-                self.best_per_iter = ns;
-            }
+            self.samples
+                .push(batch_time.as_secs_f64() * 1e9 / batch as f64);
         }
         self.elapsed = start.elapsed();
     }
+}
+
+/// Median of a sample set (mean of the middle pair for even counts).
+fn median(samples: &[f64]) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = sorted.len();
+    if n == 0 {
+        f64::NAN
+    } else if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Population standard deviation of a sample set.
+fn std_dev(samples: &[f64]) -> f64 {
+    let n = samples.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let variance = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+    variance.sqrt()
 }
 
 fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
     let mut bencher = Bencher {
         iters_done: 0,
         elapsed: Duration::ZERO,
-        best_per_iter: f64::INFINITY,
+        samples: Vec::new(),
     };
     f(&mut bencher);
-    if bencher.iters_done == 0 {
+    if bencher.iters_done == 0 || bencher.samples.is_empty() {
         println!("bench {label:<50} (no iterations run)");
     } else {
+        let min = bencher
+            .samples
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
         println!(
-            "bench {label:<50} {:>12.1} ns/iter ({} iters)",
-            bencher.best_per_iter, bencher.iters_done
+            "bench {label:<50} min {min:>12.1} ns/iter, median {:>12.1}, stddev {:>10.1} ({} iters, {} batches)",
+            median(&bencher.samples),
+            std_dev(&bencher.samples),
+            bencher.iters_done,
+            bencher.samples.len(),
         );
     }
 }
@@ -226,5 +291,20 @@ mod tests {
     fn benchmark_id_renders_like_criterion() {
         assert_eq!(BenchmarkId::new("fit", 12).to_string(), "fit/12");
         assert_eq!(BenchmarkId::from_parameter("poly25").to_string(), "poly25");
+    }
+
+    #[test]
+    fn median_handles_odd_even_and_empty() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert!(median(&[]).is_nan());
+    }
+
+    #[test]
+    fn std_dev_of_constant_samples_is_zero() {
+        assert_eq!(std_dev(&[5.0, 5.0, 5.0]), 0.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+        let sd = std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((sd - 2.0).abs() < 1e-12);
     }
 }
