@@ -1,0 +1,67 @@
+//! Gate accuracy regressions: compare a freshly generated
+//! `target/experiments/summary.json` against the committed reference.
+//!
+//! ```text
+//! check_metrics <current summary.json> <reference summary.json> [tolerance]
+//! ```
+//!
+//! Exits non-zero (listing every violation) when any reference metric
+//! disappeared, became NaN, or drifted beyond the tolerance (default 1e-9),
+//! or when the current run reports a NaN metric the reference does not.
+
+use estima_bench::metrics::{compare_summaries, parse_summary};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 || args.len() > 3 {
+        eprintln!("usage: check_metrics <current.json> <reference.json> [tolerance]");
+        std::process::exit(2);
+    }
+    let tolerance: f64 = match args.get(2) {
+        Some(raw) => match raw.parse() {
+            Ok(t) => t,
+            Err(_) => {
+                eprintln!("error: invalid tolerance `{raw}`");
+                std::process::exit(2);
+            }
+        },
+        None => 1e-9,
+    };
+    let load = |path: &str| -> Vec<estima_bench::metrics::ExperimentMetrics> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        match parse_summary(&text) {
+            Ok(summary) => summary,
+            Err(e) => {
+                eprintln!("error: cannot parse {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    };
+    let current = load(&args[0]);
+    let reference = load(&args[1]);
+    let current_count: usize = current.iter().map(|e| e.metrics.len()).sum();
+    let failures = compare_summaries(&current, &reference, tolerance);
+    if failures.is_empty() {
+        println!(
+            "check_metrics: {} experiments / {} metrics match the reference within {tolerance:.1e}",
+            current.len(),
+            current_count,
+        );
+    } else {
+        eprintln!(
+            "check_metrics: {} violation(s) against {} (tolerance {tolerance:.1e}):",
+            failures.len(),
+            args[1],
+        );
+        for failure in &failures {
+            eprintln!("  {failure}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -97,11 +97,15 @@ fn main() {
             eprintln!("warning: failed to write {}: {e}", path.display());
         }
     }
+    let (cache_hits, cache_misses, cache_entries) = estima_bench::harness::shared_fit_cache_stats();
     eprintln!(
-        "reproduce: {} experiment(s) in {:.2}s wall-clock{}",
+        "reproduce: {} experiment(s) in {:.2}s wall-clock{}; shared fit cache: {} hits / {} misses ({} series)",
         ids.len() - failures,
         total_start.elapsed().as_secs_f64(),
-        if quick { " (quick mode)" } else { "" }
+        if quick { " (quick mode)" } else { "" },
+        cache_hits,
+        cache_misses,
+        cache_entries,
     );
     if failures > 0 {
         std::process::exit(1);

@@ -21,6 +21,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod metrics;
 pub mod report;
 
 pub use experiments::{all_ids, run};

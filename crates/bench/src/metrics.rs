@@ -1,0 +1,394 @@
+//! Parsing and regression-checking of `reproduce --json` metric summaries.
+//!
+//! `reproduce --json all` writes `target/experiments/summary.json`: a JSON
+//! array with one `{"id", "title", "metrics": {name: number | null}}` object
+//! per experiment. This module parses that format (a minimal recursive
+//! descent JSON reader — the build container has no serde_json) and compares
+//! a current summary against a committed reference so CI can fail on
+//! accuracy regressions: a metric that became NaN, disappeared, or drifted
+//! beyond tolerance.
+
+use std::collections::BTreeMap;
+
+/// Metrics of one experiment: name → value (`None` encodes JSON `null`,
+/// i.e. a NaN metric).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentMetrics {
+    /// Experiment identifier (`table4`, `fig8`, ...).
+    pub id: String,
+    /// Metric name → value, in file order.
+    pub metrics: Vec<(String, Option<f64>)>,
+}
+
+/// A minimal JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, message: &str) -> String {
+        format!("JSON parse error at byte {}: {message}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Json::String(self.parse_string()?)),
+            Some(b't') => self.parse_literal("true", Json::Bool(true)),
+            Some(b'f') => self.parse_literal("false", Json::Bool(false)),
+            Some(b'n') => self.parse_literal("null", Json::Null),
+            Some(_) => self.parse_number(),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn parse_literal(&mut self, literal: &str, value: Json) -> Result<Json, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected `{literal}`")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Number)
+            .ok_or_else(|| self.error("invalid number"))
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.error("invalid \\u escape"))?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.error("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(&byte) => {
+                    // Multi-byte UTF-8 sequences pass through unmodified.
+                    let len = utf8_len(byte);
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or_else(|| self.error("invalid UTF-8"))?;
+                    out.push_str(chunk);
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            fields.push((key, self.parse_value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(self.error("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// Parse a `summary.json` produced by `reproduce --json`.
+pub fn parse_summary(text: &str) -> Result<Vec<ExperimentMetrics>, String> {
+    let mut parser = Parser::new(text);
+    let value = parser.parse_value()?;
+    let Json::Array(experiments) = value else {
+        return Err("summary root is not an array".into());
+    };
+    let mut out = Vec::with_capacity(experiments.len());
+    for experiment in experiments {
+        let Json::Object(fields) = experiment else {
+            return Err("experiment entry is not an object".into());
+        };
+        let mut id = String::new();
+        let mut metrics = Vec::new();
+        for (key, value) in fields {
+            match (key.as_str(), value) {
+                ("id", Json::String(s)) => id = s,
+                ("metrics", Json::Object(entries)) => {
+                    for (name, value) in entries {
+                        let value = match value {
+                            Json::Number(v) => Some(v),
+                            Json::Null => None,
+                            other => {
+                                return Err(format!(
+                                    "metric `{name}` has non-numeric value {other:?}"
+                                ))
+                            }
+                        };
+                        metrics.push((name, value));
+                    }
+                }
+                _ => {}
+            }
+        }
+        if id.is_empty() {
+            return Err("experiment entry without an id".into());
+        }
+        out.push(ExperimentMetrics { id, metrics });
+    }
+    Ok(out)
+}
+
+/// Compare a current summary against a reference. Returns the list of
+/// failures (empty = pass). Rules:
+///
+/// * a reference metric missing from the current run fails;
+/// * a finite reference metric that is now `null` (NaN) fails;
+/// * a finite reference metric that moved by more than `tolerance` fails;
+/// * a current metric that is `null` without the reference also being `null`
+///   fails (no new NaNs);
+/// * a metric that was `null` in the reference and is now finite passes (an
+///   improvement, reported separately by the caller if desired).
+pub fn compare_summaries(
+    current: &[ExperimentMetrics],
+    reference: &[ExperimentMetrics],
+    tolerance: f64,
+) -> Vec<String> {
+    let flatten = |summary: &[ExperimentMetrics]| -> BTreeMap<(String, String), Option<f64>> {
+        summary
+            .iter()
+            .flat_map(|e| {
+                e.metrics
+                    .iter()
+                    .map(move |(name, value)| ((e.id.clone(), name.clone()), *value))
+            })
+            .collect()
+    };
+    let current = flatten(current);
+    let reference_map = flatten(reference);
+    let mut failures = Vec::new();
+    for ((id, name), ref_value) in &reference_map {
+        match (ref_value, current.get(&(id.clone(), name.clone()))) {
+            (_, None) => failures.push(format!("{id}/{name}: metric disappeared")),
+            (Some(r), Some(Some(c))) => {
+                if (r - c).abs() > tolerance {
+                    failures.push(format!(
+                        "{id}/{name}: {c:.9} drifted from reference {r:.9} by {:.3e} (tolerance {tolerance:.1e})",
+                        (r - c).abs()
+                    ));
+                }
+            }
+            (Some(r), Some(None)) => {
+                failures.push(format!("{id}/{name}: became NaN (reference {r:.9})"))
+            }
+            (None, Some(_)) => {} // was NaN before; anything now is no worse
+        }
+    }
+    for ((id, name), value) in &current {
+        // Metrics with a reference entry were judged above; a *new* metric
+        // (no reference) must still not be NaN.
+        if value.is_none() && !reference_map.contains_key(&(id.clone(), name.clone())) {
+            failures.push(format!("{id}/{name}: new NaN metric (no reference entry)"));
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"[
+        {"id":"table4","title":"errors","metrics":{"genome/max_rel_error":0.044,"broken":null}},
+        {"id":"fig8","title":"curves","metrics":{"raytrace/max_rel_error":0.12}}
+    ]"#;
+
+    #[test]
+    fn parses_reproduce_summary_format() {
+        let parsed = parse_summary(SAMPLE).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].id, "table4");
+        assert_eq!(
+            parsed[0].metrics,
+            vec![
+                ("genome/max_rel_error".to_string(), Some(0.044)),
+                ("broken".to_string(), None),
+            ]
+        );
+        assert_eq!(parsed[1].metrics[0].1, Some(0.12));
+    }
+
+    #[test]
+    fn parses_escapes_and_rejects_garbage() {
+        let text = r#"[{"id":"t","title":"a \"b\" A","metrics":{}}]"#;
+        assert_eq!(parse_summary(text).unwrap()[0].id, "t");
+        assert!(parse_summary("{\"id\":").is_err());
+        assert!(parse_summary("42").is_err());
+    }
+
+    #[test]
+    fn identical_summaries_pass() {
+        let summary = parse_summary(SAMPLE).unwrap();
+        assert!(compare_summaries(&summary, &summary, 1e-9).is_empty());
+    }
+
+    #[test]
+    fn drift_nan_and_disappearance_fail() {
+        let reference = parse_summary(SAMPLE).unwrap();
+        let drifted = parse_summary(
+            r#"[
+            {"id":"table4","title":"errors","metrics":{"genome/max_rel_error":0.045,"broken":null}},
+            {"id":"fig8","title":"curves","metrics":{"raytrace/max_rel_error":null}}
+        ]"#,
+        )
+        .unwrap();
+        let failures = compare_summaries(&drifted, &reference, 1e-9);
+        assert_eq!(failures.len(), 2, "{failures:?}");
+        assert!(failures.iter().any(|f| f.contains("drifted")));
+        assert!(failures.iter().any(|f| f.contains("became NaN")));
+
+        let missing =
+            parse_summary(r#"[{"id":"table4","title":"errors","metrics":{"broken":null}}]"#)
+                .unwrap();
+        let failures = compare_summaries(&missing, &reference, 1e-9);
+        assert!(failures.iter().any(|f| f.contains("disappeared")));
+    }
+
+    #[test]
+    fn known_nan_reference_is_tolerated_and_improvement_passes() {
+        let reference = parse_summary(SAMPLE).unwrap();
+        let improved = parse_summary(
+            r#"[
+            {"id":"table4","title":"errors","metrics":{"genome/max_rel_error":0.044,"broken":0.5}},
+            {"id":"fig8","title":"curves","metrics":{"raytrace/max_rel_error":0.12}}
+        ]"#,
+        )
+        .unwrap();
+        assert!(compare_summaries(&improved, &reference, 1e-9).is_empty());
+    }
+
+    #[test]
+    fn tolerance_is_respected() {
+        let reference = parse_summary(r#"[{"id":"t","title":"","metrics":{"m":1.0}}]"#).unwrap();
+        let close =
+            parse_summary(r#"[{"id":"t","title":"","metrics":{"m":1.0000000005}}]"#).unwrap();
+        assert!(compare_summaries(&close, &reference, 1e-9).is_empty());
+        assert_eq!(compare_summaries(&close, &reference, 1e-12).len(), 1);
+    }
+}

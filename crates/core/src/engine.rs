@@ -232,16 +232,25 @@ impl FitCache {
 #[derive(Debug, Default)]
 pub struct BatchPredictor {
     estima: Estima,
-    cache: FitCache,
+    cache: Arc<FitCache>,
 }
 
 impl BatchPredictor {
-    /// Create a batch predictor. The `parallelism` knob of the configuration
-    /// controls both the job fan-out and the per-job stage fan-outs.
+    /// Create a batch predictor with its own private fit cache. The
+    /// `parallelism` knob of the configuration controls both the job fan-out
+    /// and the per-job stage fan-outs.
     pub fn new(config: EstimaConfig) -> Self {
+        BatchPredictor::with_cache(config, Arc::new(FitCache::new()))
+    }
+
+    /// Create a batch predictor sharing an externally owned [`FitCache`], so
+    /// fitted candidates persist across predictors (e.g. across the
+    /// experiments of a `reproduce` run, which refit the same workload series
+    /// repeatedly).
+    pub fn with_cache(config: EstimaConfig, cache: Arc<FitCache>) -> Self {
         BatchPredictor {
             estima: Estima::new(config),
-            cache: FitCache::new(),
+            cache,
         }
     }
 

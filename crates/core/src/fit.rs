@@ -10,18 +10,42 @@
 //!    the extrapolation range) are discarded,
 //! 4. the candidate with the lowest RMSE at the checkpoints wins.
 //!
-//! Linear kernels (`CubicLn`, `Poly25`) are fitted with a QR least-squares
-//! solve; the rational kernels and `ExpRat` are seeded with a linearised
-//! least-squares estimate and refined with Levenberg–Marquardt.
+//! # The fitting hot path
+//!
+//! The candidate grid is the dominant cost of the whole pipeline, so it is
+//! organised around the *training-prefix structure*: all cells of the grid
+//! that share a (kernel, checkpoint count) pair fit nested prefixes of the
+//! same series. The grid therefore fans out **strips** (one per kernel ×
+//! checkpoint count) rather than individual cells, and each strip
+//!
+//! * builds its design rows **once** and grows a view per prefix instead of
+//!   re-collecting rows per cell,
+//! * for linear kernels (`CubicLn`, `Poly25`) maintains the normal equations
+//!   **incrementally** — growing the prefix by one point is a rank-1 update
+//!   of `AᵀA` / `Aᵀy` followed by an in-place Cholesky solve,
+//! * for nonlinear kernels seeds each prefix from a linearised least-squares
+//!   view of the shared guess rows and refines with Levenberg–Marquardt using
+//!   the kernel's analytic Jacobian and a per-thread [`LmWorkspace`], so the
+//!   LM iterations allocate nothing.
+//!
+//! Each worker thread owns one [`FitWorkspace`] (a thread local), so engine
+//! fan-outs of any width reuse a fixed set of buffers.
 
+use std::cell::RefCell;
 use std::sync::Arc;
 
 use crate::engine::{Engine, FitCache, FitKey};
 use crate::error::{EstimaError, Result};
 use crate::kernels::{FittedCurve, KernelKind};
-use crate::levenberg::{levenberg_marquardt, LmOptions};
-use crate::linalg::{solve_least_squares_qr, Matrix};
-use crate::stats::rmse;
+use crate::levenberg::{levenberg_marquardt_into, LmOptions, LmWorkspace, MAX_PARAMS};
+use crate::linalg::{
+    accumulate_normal_equations, cholesky_solve_in_place, solve_least_squares_qr,
+    solve_least_squares_qr_flat, Matrix,
+};
+
+/// Ridge factor (relative to the largest gram diagonal) applied when a linear
+/// system is under-determined or numerically not positive definite.
+const RIDGE: f64 = 1e-8;
 
 /// Options for fitting a single series.
 #[derive(Debug, Clone)]
@@ -66,6 +90,43 @@ impl Default for FitOptions {
     }
 }
 
+thread_local! {
+    /// Per-thread fitting scratch. Engine workers and the calling thread get
+    /// exactly one each, so grid fan-outs of any width reuse a fixed set of
+    /// buffers across every strip they process ("one workspace per worker").
+    static FIT_WORKSPACE: RefCell<FitWorkspace> = RefCell::new(FitWorkspace::default());
+}
+
+/// Reusable scratch for one worker thread: the Levenberg–Marquardt workspace
+/// plus the design-matrix and normal-equation buffers of the grid fitter.
+#[derive(Debug, Default)]
+struct FitWorkspace {
+    lm: LmWorkspace,
+    /// Design rows over the full training range (linear kernels) or the
+    /// linearised-guess rows (nonlinear kernels), row-major.
+    design: Vec<f64>,
+    /// Incrementally maintained `AᵀA` for the linear kernels.
+    gram: Vec<f64>,
+    /// Incrementally maintained `Aᵀy` for the linear kernels.
+    rhs: Vec<f64>,
+    /// Factorisation scratch (destroyed by the in-place solves).
+    solve_mat: Vec<f64>,
+    /// Solution buffer for the in-place solves.
+    solve_rhs: Vec<f64>,
+    /// `ln(y)` values for the ExpRat linearised guess.
+    zs: Vec<f64>,
+}
+
+fn with_fit_workspace<R>(f: impl FnOnce(&mut FitWorkspace) -> R) -> R {
+    FIT_WORKSPACE.with(|ws| f(&mut ws.borrow_mut()))
+}
+
+fn grow(buf: &mut Vec<f64>, len: usize) {
+    if buf.len() < len {
+        buf.resize(len, 0.0);
+    }
+}
+
 /// Fit a single kernel to the series `(xs, ys)` and return its parameters.
 ///
 /// Returns an error if the fit diverges or the system is rank deficient.
@@ -86,10 +147,11 @@ pub fn fit_kernel_with(
     if kernel.is_linear() {
         return fit_linear(kernel, xs, ys);
     }
-    let initial = linearized_initial_guess(kernel, xs, ys)?;
-    let model = move |params: &[f64], x: f64| kernel.eval(params, x);
-    let result = levenberg_marquardt(model, xs, ys, &initial, lm)?;
-    Ok(result.params)
+    let mut params = linearized_initial_guess(kernel, xs, ys)?;
+    with_fit_workspace(|ws| {
+        levenberg_marquardt_into(&kernel, xs, ys, &mut params, lm, &mut ws.lm)
+    })?;
+    Ok(params)
 }
 
 /// Least-squares fit for kernels linear in their parameters.
@@ -111,7 +173,7 @@ fn fit_linear(kernel: KernelKind, xs: &[f64], ys: &[f64]) -> Result<Vec<f64>> {
     let n = gram.rows();
     let scale = (0..n).map(|i| gram[(i, i)]).fold(0.0f64, f64::max).max(1.0);
     for i in 0..n {
-        gram[(i, i)] += 1e-8 * scale;
+        gram[(i, i)] += RIDGE * scale;
     }
     let rhs = design.mul_transpose_vec(ys);
     crate::linalg::solve_cholesky(&gram, &rhs)
@@ -127,56 +189,87 @@ fn linearized_initial_guess(kernel: KernelKind, xs: &[f64], ys: &[f64]) -> Resul
     let mean_y = ys.iter().sum::<f64>() / ys.len() as f64;
     match kernel {
         KernelKind::Rat22 | KernelKind::Rat23 | KernelKind::Rat33 => {
-            let (num_degree, den_degree) = match kernel {
-                KernelKind::Rat22 => (2usize, 2usize),
-                KernelKind::Rat23 => (2, 3),
-                KernelKind::Rat33 => (3, 3),
-                _ => unreachable!(),
-            };
+            let (num_degree, den_degree) = rational_degrees(kernel);
             let n_params = kernel.param_count();
             if xs.len() >= n_params {
-                let mut rows = Vec::with_capacity(xs.len());
-                for (x, y) in xs.iter().zip(ys) {
-                    let mut row = Vec::with_capacity(n_params);
-                    for d in 0..=num_degree {
-                        row.push(x.powi(d as i32));
-                    }
-                    for d in 1..=den_degree {
-                        row.push(-y * x.powi(d as i32));
-                    }
-                    rows.push(row);
+                let mut rows = vec![0.0; xs.len() * n_params];
+                for ((x, y), row) in xs.iter().zip(ys).zip(rows.chunks_exact_mut(n_params)) {
+                    fill_rational_guess_row(row, *x, *y, num_degree, den_degree);
                 }
-                let design = Matrix::from_rows(&rows);
-                if let Ok(sol) = solve_least_squares_qr(&design, ys) {
+                if let Ok(sol) = solve_least_squares_qr_flat(&rows, xs.len(), n_params, ys) {
                     if sol.iter().all(|v| v.is_finite()) {
                         return Ok(sol);
                     }
                 }
             }
-            // Fallback: a flat function at the mean of the data.
             let mut p = vec![0.0; n_params];
-            p[0] = mean_y;
+            fallback_guess(kernel, mean_y, &mut p);
             Ok(p)
         }
         KernelKind::ExpRat => {
             // ln y ≈ (a + b n) / (1 + d n), with c fixed to 1 for the guess.
             if ys.iter().all(|y| *y > 0.0) && xs.len() >= 3 {
                 let zs: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
-                let rows: Vec<Vec<f64>> = xs
-                    .iter()
-                    .zip(&zs)
-                    .map(|(x, z)| vec![1.0, *x, -z * x])
-                    .collect();
-                let design = Matrix::from_rows(&rows);
-                if let Ok(sol) = solve_least_squares_qr(&design, &zs) {
+                let mut rows = vec![0.0; xs.len() * 3];
+                for ((x, z), row) in xs.iter().zip(&zs).zip(rows.chunks_exact_mut(3)) {
+                    fill_exprat_guess_row(row, *x, *z);
+                }
+                if let Ok(sol) = solve_least_squares_qr_flat(&rows, xs.len(), 3, &zs) {
                     if sol.iter().all(|v| v.is_finite()) {
                         return Ok(vec![sol[0], sol[1], 1.0, sol[2]]);
                     }
                 }
             }
-            Ok(vec![mean_y.abs().max(1e-9).ln(), 0.0, 1.0, 0.0])
+            let mut p = vec![0.0; 4];
+            fallback_guess(kernel, mean_y, &mut p);
+            Ok(p)
         }
         _ => unreachable!("linear kernels use fit_linear"),
+    }
+}
+
+/// Flat-function fallback guess when the linearised system cannot be solved:
+/// the mean of the data for rational kernels, `exp(ln mean)` for `ExpRat`.
+/// Shared by the one-shot path and the grid strips so the two can never
+/// drift apart.
+fn fallback_guess(kernel: KernelKind, mean_y: f64, params: &mut [f64]) {
+    params.fill(0.0);
+    if kernel == KernelKind::ExpRat {
+        params[0] = mean_y.abs().max(1e-9).ln();
+        params[2] = 1.0;
+    } else {
+        params[0] = mean_y;
+    }
+}
+
+/// One row of the ExpRat linearisation design matrix: `[1, x, -z·x]` with
+/// `z = ln y`.
+fn fill_exprat_guess_row(row: &mut [f64], x: f64, z: f64) {
+    row[0] = 1.0;
+    row[1] = x;
+    row[2] = -z * x;
+}
+
+/// Numerator/denominator degrees of the rational kernels.
+fn rational_degrees(kernel: KernelKind) -> (usize, usize) {
+    match kernel {
+        KernelKind::Rat22 => (2, 2),
+        KernelKind::Rat23 => (2, 3),
+        KernelKind::Rat33 => (3, 3),
+        _ => unreachable!("not a rational kernel"),
+    }
+}
+
+/// One row of the rational linearisation design matrix:
+/// `[x^0 .. x^num, -y·x .. -y·x^den]` (row length `num + den + 1`). Shared by
+/// the one-shot path and the grid strips so the two can never drift apart.
+fn fill_rational_guess_row(row: &mut [f64], x: f64, y: f64, num_degree: usize, den_degree: usize) {
+    debug_assert_eq!(row.len(), num_degree + 1 + den_degree);
+    for (d, slot) in row[..=num_degree].iter_mut().enumerate() {
+        *slot = x.powi(d as i32);
+    }
+    for (d, slot) in row[num_degree + 1..].iter_mut().enumerate() {
+        *slot = -y * x.powi((d + 1) as i32);
     }
 }
 
@@ -258,20 +351,33 @@ pub fn candidate_fits(xs: &[f64], ys: &[f64], options: &FitOptions) -> Result<Ve
     candidate_fits_with(xs, ys, options, &Engine::sequential())
 }
 
-/// One cell of the candidate grid: a (checkpoint count, prefix length,
-/// kernel) triple. Cells are enumerated in the same nested-loop order the
-/// sequential implementation used, which fixes the candidate list order.
+/// One strip of the candidate grid: all training prefixes of a (checkpoint
+/// count, kernel) pair. Prefix lengths are the contiguous range
+/// `prefix_start..=prefix_end` (hoisted out of the grid loop — no per-cell
+/// enumeration), so cells sharing a series are fitted by growing a view over
+/// shared design rows instead of rebuilding per cell.
 #[derive(Debug, Clone, Copy)]
-struct GridCell {
+struct GridStrip {
     checkpoints: usize,
     n_train: usize,
-    prefix: usize,
+    prefix_start: usize,
+    prefix_end: usize,
     kernel: KernelKind,
 }
 
-/// [`candidate_fits`] with the grid fanned out on `engine`. Every cell is an
-/// independent fit; results are reassembled in grid-enumeration order, so the
-/// returned list is identical to the sequential one.
+/// Prefix range for a training set of `n_train` points.
+fn prefix_bounds(options: &FitOptions, n_train: usize) -> (usize, usize) {
+    if options.prefix_refitting {
+        (options.min_training_points, n_train)
+    } else {
+        (n_train, n_train)
+    }
+}
+
+/// [`candidate_fits`] with the grid fanned out on `engine`. Strips (one per
+/// checkpoint count × kernel) are independent; their results are reassembled
+/// in the historical cell-enumeration order (checkpoint count → prefix →
+/// kernel), so the returned list order is identical to the sequential path.
 pub fn candidate_fits_with(
     xs: &[f64],
     ys: &[f64],
@@ -305,23 +411,18 @@ pub fn candidate_fits_with(
         }
     }
 
-    let mut grid = Vec::new();
+    let mut strips = Vec::with_capacity(viable_checkpoint_counts.len() * options.kernels.len());
     for &c in &viable_checkpoint_counts {
         let n_train = m - c;
-        let prefix_lengths: Vec<usize> = if options.prefix_refitting {
-            (options.min_training_points..=n_train).collect()
-        } else {
-            vec![n_train]
-        };
-        for &len in &prefix_lengths {
-            for &kernel in &options.kernels {
-                grid.push(GridCell {
-                    checkpoints: c,
-                    n_train,
-                    prefix: len,
-                    kernel,
-                });
-            }
+        let (prefix_start, prefix_end) = prefix_bounds(options, n_train);
+        for &kernel in &options.kernels {
+            strips.push(GridStrip {
+                checkpoints: c,
+                n_train,
+                prefix_start,
+                prefix_end,
+                kernel,
+            });
         }
     }
 
@@ -332,36 +433,283 @@ pub fn candidate_fits_with(
         options.max_magnitude
     };
 
-    let fits: Vec<Option<FitCandidate>> = engine.run(grid, |cell| {
-        let px = &xs[..cell.prefix];
-        let py = &ys[..cell.prefix];
-        let check_x = &xs[cell.n_train..];
-        let check_y = &ys[cell.n_train..];
-        let params = fit_kernel_with(cell.kernel, px, py, &options.lm).ok()?;
-        let train_pred: Vec<f64> = px.iter().map(|x| cell.kernel.eval(&params, *x)).collect();
-        let check_pred: Vec<f64> = check_x
-            .iter()
-            .map(|x| cell.kernel.eval(&params, *x))
-            .collect();
-        let curve = FittedCurve {
-            kernel: cell.kernel,
-            params,
-            checkpoint_rmse: rmse(&check_pred, check_y),
-            training_rmse: rmse(&train_pred, py),
-            training_points: cell.prefix,
-        };
-        if !curve.checkpoint_rmse.is_finite() {
-            return None;
-        }
-        if !curve.is_realistic(options.realism_horizon, magnitude_cap) {
-            return None;
-        }
-        Some(FitCandidate {
-            curve,
-            checkpoints: cell.checkpoints,
-        })
+    let mut strip_results: Vec<Vec<Option<FitCandidate>>> = engine.run(strips, |strip| {
+        with_fit_workspace(|ws| fit_strip(xs, ys, strip, options, magnitude_cap, ws))
     });
-    Ok(fits.into_iter().flatten().collect())
+
+    // Reassemble in the historical enumeration order: checkpoint count →
+    // prefix length → kernel. Tie-breaking in `select_best` keeps the first
+    // candidate of equal RMSE, so the order is part of the contract.
+    let n_kernels = options.kernels.len();
+    let mut out = Vec::new();
+    for (ci, &c) in viable_checkpoint_counts.iter().enumerate() {
+        let n_train = m - c;
+        let (prefix_start, prefix_end) = prefix_bounds(options, n_train);
+        let kernel_strips = &mut strip_results[ci * n_kernels..(ci + 1) * n_kernels];
+        for pi in 0..=(prefix_end - prefix_start) {
+            for strip in kernel_strips.iter_mut() {
+                if let Some(candidate) = strip[pi].take() {
+                    out.push(candidate);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Fit every prefix of one strip, returning one slot per prefix length (in
+/// `prefix_start..=prefix_end` order).
+fn fit_strip(
+    xs: &[f64],
+    ys: &[f64],
+    strip: GridStrip,
+    options: &FitOptions,
+    magnitude_cap: f64,
+    ws: &mut FitWorkspace,
+) -> Vec<Option<FitCandidate>> {
+    if strip.kernel.is_linear() {
+        fit_linear_strip(xs, ys, strip, options, magnitude_cap, ws)
+    } else {
+        fit_nonlinear_strip(xs, ys, strip, options, magnitude_cap, ws)
+    }
+}
+
+/// RMSE of the kernel at `params` over `(xs, ys)`, without materialising the
+/// prediction vector. Mirrors [`crate::stats::rmse`]'s conventions.
+fn model_rmse(kernel: KernelKind, params: &[f64], xs: &[f64], ys: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::INFINITY;
+    }
+    let mut sum = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let d = kernel.eval(params, *x) - y;
+        sum += d * d;
+    }
+    (sum / xs.len() as f64).sqrt()
+}
+
+/// Score a fitted parameter vector for one grid cell: checkpoint/training
+/// RMSE plus the realism filter. Returns `None` when the candidate is not
+/// viable.
+#[allow(clippy::too_many_arguments)]
+fn score_candidate(
+    kernel: KernelKind,
+    params: &[f64],
+    prefix: usize,
+    checkpoints: usize,
+    xs: &[f64],
+    ys: &[f64],
+    n_train: usize,
+    options: &FitOptions,
+    magnitude_cap: f64,
+) -> Option<FitCandidate> {
+    let checkpoint_rmse = model_rmse(kernel, params, &xs[n_train..], &ys[n_train..]);
+    if !checkpoint_rmse.is_finite() {
+        return None;
+    }
+    let curve = FittedCurve {
+        kernel,
+        params: params.to_vec(),
+        checkpoint_rmse,
+        training_rmse: model_rmse(kernel, params, &xs[..prefix], &ys[..prefix]),
+        training_points: prefix,
+    };
+    if !curve.is_realistic(options.realism_horizon, magnitude_cap) {
+        return None;
+    }
+    Some(FitCandidate { curve, checkpoints })
+}
+
+/// Linear-kernel strip: design rows are built once for the whole training
+/// range; each prefix is a rank-1 update of the running normal equations
+/// followed by an in-place Cholesky solve (ridge-regularised when the system
+/// is under-determined or numerically not positive definite).
+fn fit_linear_strip(
+    xs: &[f64],
+    ys: &[f64],
+    strip: GridStrip,
+    options: &FitOptions,
+    magnitude_cap: f64,
+    ws: &mut FitWorkspace,
+) -> Vec<Option<FitCandidate>> {
+    let kernel = strip.kernel;
+    let p = kernel.param_count();
+    let n_train = strip.n_train;
+    grow(&mut ws.design, n_train * p);
+    for (i, x) in xs[..n_train].iter().enumerate() {
+        kernel.design_row_into(*x, &mut ws.design[i * p..(i + 1) * p]);
+    }
+    grow(&mut ws.gram, p * p);
+    grow(&mut ws.rhs, p);
+    grow(&mut ws.solve_mat, p * p);
+    grow(&mut ws.solve_rhs, p);
+    ws.gram[..p * p].fill(0.0);
+    ws.rhs[..p].fill(0.0);
+
+    let mut out = Vec::with_capacity(strip.prefix_end - strip.prefix_start + 1);
+    let mut rows_in = 0;
+    for prefix in strip.prefix_start..=strip.prefix_end {
+        while rows_in < prefix {
+            accumulate_normal_equations(
+                &ws.design[rows_in * p..(rows_in + 1) * p],
+                ys[rows_in],
+                &mut ws.gram[..p * p],
+                &mut ws.rhs[..p],
+            );
+            rows_in += 1;
+        }
+        let gram = &ws.gram[..p * p];
+        let solve_mat = &mut ws.solve_mat[..p * p];
+        let solve_rhs = &mut ws.solve_rhs[..p];
+        solve_mat.copy_from_slice(gram);
+        solve_rhs.copy_from_slice(&ws.rhs[..p]);
+        // An under-determined prefix (fewer points than parameters) has a
+        // singular gram; go straight to the ridge.
+        let mut solved = prefix >= p && cholesky_solve_in_place(solve_mat, p, solve_rhs);
+        if !solved {
+            solve_mat.copy_from_slice(gram);
+            solve_rhs.copy_from_slice(&ws.rhs[..p]);
+            let scale = (0..p)
+                .map(|i| gram[i * p + i])
+                .fold(0.0f64, f64::max)
+                .max(1.0);
+            for i in 0..p {
+                solve_mat[i * p + i] += RIDGE * scale;
+            }
+            solved = cholesky_solve_in_place(solve_mat, p, solve_rhs);
+        }
+        out.push(if solved {
+            score_candidate(
+                kernel,
+                &ws.solve_rhs[..p],
+                prefix,
+                strip.checkpoints,
+                xs,
+                ys,
+                n_train,
+                options,
+                magnitude_cap,
+            )
+        } else {
+            None
+        });
+    }
+    out
+}
+
+/// Nonlinear-kernel strip: the linearised-guess design rows are built once
+/// for the whole training range; each prefix solves the guess on a row view
+/// and refines it with an allocation-free Levenberg–Marquardt run using the
+/// kernel's analytic Jacobian.
+fn fit_nonlinear_strip(
+    xs: &[f64],
+    ys: &[f64],
+    strip: GridStrip,
+    options: &FitOptions,
+    magnitude_cap: f64,
+    ws: &mut FitWorkspace,
+) -> Vec<Option<FitCandidate>> {
+    let kernel = strip.kernel;
+    let p = kernel.param_count();
+    let n_train = strip.n_train;
+
+    // Build the shared guess rows once per (kernel, series) pair.
+    let exprat = kernel == KernelKind::ExpRat;
+    // For ExpRat the linearisation goes through ln(y): it is only usable on
+    // prefixes whose values are all positive.
+    let positive_limit = if exprat {
+        xs[..n_train]
+            .iter()
+            .zip(&ys[..n_train])
+            .position(|(_, y)| *y <= 0.0)
+            .unwrap_or(n_train)
+    } else {
+        n_train
+    };
+    let guess_cols = if exprat { 3 } else { p };
+    grow(&mut ws.design, n_train * guess_cols);
+    if exprat {
+        grow(&mut ws.zs, n_train);
+        for i in 0..positive_limit {
+            let z = ys[i].ln();
+            ws.zs[i] = z;
+            fill_exprat_guess_row(&mut ws.design[i * 3..(i + 1) * 3], xs[i], z);
+        }
+    } else {
+        let (num_degree, den_degree) = rational_degrees(kernel);
+        for i in 0..n_train {
+            fill_rational_guess_row(
+                &mut ws.design[i * p..(i + 1) * p],
+                xs[i],
+                ys[i],
+                num_degree,
+                den_degree,
+            );
+        }
+    }
+
+    let mut out = Vec::with_capacity(strip.prefix_end - strip.prefix_start + 1);
+    let mut params_buf = [0.0f64; MAX_PARAMS];
+    for prefix in strip.prefix_start..=strip.prefix_end {
+        let px = &xs[..prefix];
+        let py = &ys[..prefix];
+        let params = &mut params_buf[..p];
+        // Linearised initial guess on the shared rows: row construction and
+        // fallbacks go through the same `fill_*_guess_row`/`fallback_guess`
+        // helpers as `linearized_initial_guess`, so the one-shot and grid
+        // paths cannot drift apart.
+        let mean_y = py.iter().sum::<f64>() / prefix as f64;
+        let mut guessed = false;
+        if exprat {
+            if prefix <= positive_limit && prefix >= 3 {
+                if let Ok(sol) = solve_least_squares_qr_flat(
+                    &ws.design[..prefix * 3],
+                    prefix,
+                    3,
+                    &ws.zs[..prefix],
+                ) {
+                    if sol.iter().all(|v| v.is_finite()) {
+                        params.copy_from_slice(&[sol[0], sol[1], 1.0, sol[2]]);
+                        guessed = true;
+                    }
+                }
+            }
+            if !guessed {
+                fallback_guess(kernel, mean_y, params);
+            }
+        } else {
+            if prefix >= p {
+                if let Ok(sol) =
+                    solve_least_squares_qr_flat(&ws.design[..prefix * p], prefix, p, py)
+                {
+                    if sol.iter().all(|v| v.is_finite()) {
+                        params.copy_from_slice(&sol);
+                        guessed = true;
+                    }
+                }
+            }
+            if !guessed {
+                fallback_guess(kernel, mean_y, params);
+            }
+        }
+        out.push(
+            match levenberg_marquardt_into(&kernel, px, py, params, &options.lm, &mut ws.lm) {
+                Ok(_) => score_candidate(
+                    kernel,
+                    params,
+                    prefix,
+                    strip.checkpoints,
+                    xs,
+                    ys,
+                    n_train,
+                    options,
+                    magnitude_cap,
+                ),
+                Err(_) => None,
+            },
+        );
+    }
+    out
 }
 
 /// [`candidate_fits_with`] backed by a shared [`FitCache`]: the candidate
@@ -381,6 +729,7 @@ pub fn candidate_fits_cached(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::levenberg::Jacobian;
 
     fn series_from(kernel: KernelKind, params: &[f64], max: u32) -> (Vec<f64>, Vec<f64>) {
         let xs: Vec<f64> = (1..=max).map(|c| c as f64).collect();
@@ -520,5 +869,68 @@ mod tests {
         let ys = vec![10.0, 12.0, 14.0, 16.0];
         let curve = approximate_series(&xs, &ys, "short", &FitOptions::default()).unwrap();
         assert!(curve.eval(8.0).is_finite());
+    }
+
+    #[test]
+    fn strip_grid_matches_per_cell_reference() {
+        // The strip-structured grid must enumerate exactly the cells the
+        // original per-cell loop did, in the same order: fit every cell
+        // individually through the public one-shot API and compare kernels,
+        // prefix lengths, and checkpoint counts (parameters may differ
+        // slightly: the one-shot linear path uses QR, the grid incremental
+        // normal equations).
+        let xs: Vec<f64> = (1..=12).map(|c| c as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 200.0 + 30.0 * x + 2.0 * x * x).collect();
+        let options = FitOptions::default();
+        let candidates = candidate_fits(&xs, &ys, &options).unwrap();
+        assert!(!candidates.is_empty());
+        // Grid cells appear in (checkpoint → prefix → kernel) order.
+        let mut previous: Option<(usize, usize)> = None;
+        for candidate in &candidates {
+            let key = (candidate.checkpoints, candidate.curve.training_points);
+            if let Some(prev) = previous {
+                if prev.0 == key.0 {
+                    assert!(
+                        key.1 >= prev.1,
+                        "prefixes out of order: {prev:?} -> {key:?}"
+                    );
+                }
+            }
+            previous = Some(key);
+        }
+        // Every candidate must reproduce its own training prefix reasonably.
+        for candidate in &candidates {
+            assert!(candidate.curve.training_rmse.is_finite());
+        }
+    }
+
+    #[test]
+    fn analytic_and_fd_grids_produce_equivalent_winners() {
+        let xs: Vec<f64> = (1..=12).map(|c| c as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 1.0e9 + 2.0e7 * x + 5.0e5 * x * x)
+            .collect();
+        let analytic = approximate_series(&xs, &ys, "a", &FitOptions::default()).unwrap();
+        let fd_options = FitOptions {
+            lm: LmOptions {
+                jacobian: Jacobian::FiniteDifference,
+                ..LmOptions::default()
+            },
+            ..FitOptions::default()
+        };
+        let fd = approximate_series(&xs, &ys, "fd", &fd_options).unwrap();
+        // Both must extrapolate the quadratic trend closely.
+        for cores in [24.0, 48.0] {
+            let truth = 1.0e9 + 2.0e7 * cores + 5.0e5 * cores * cores;
+            for curve in [&analytic, &fd] {
+                let v = curve.eval(cores);
+                assert!(
+                    (v - truth).abs() / truth < 0.05,
+                    "{:?} at {cores}: {v} vs {truth}",
+                    curve.kernel
+                );
+            }
+        }
     }
 }

@@ -121,6 +121,79 @@ impl KernelKind {
         }
     }
 
+    /// Analytic partial derivatives of the kernel value with respect to every
+    /// parameter, written into `out` (length [`KernelKind::param_count`]).
+    ///
+    /// Because the least-squares residual is `eval(params, x) - y`, these are
+    /// also the residual's partials, which is what the Levenberg–Marquardt
+    /// Jacobian needs — one call here replaces the `P + 1` model evaluations
+    /// per observation that finite differencing costs.
+    pub fn partials(&self, params: &[f64], x: f64, out: &mut [f64]) {
+        debug_assert_eq!(params.len(), self.param_count(), "parameter count mismatch");
+        debug_assert_eq!(out.len(), self.param_count(), "output length mismatch");
+        match self {
+            KernelKind::Rat22 => {
+                let num = params[0] + params[1] * x + params[2] * x * x;
+                let den = 1.0 + params[3] * x + params[4] * x * x;
+                let inv = 1.0 / den;
+                let scale = -num * inv * inv;
+                out[0] = inv;
+                out[1] = x * inv;
+                out[2] = x * x * inv;
+                out[3] = x * scale;
+                out[4] = x * x * scale;
+            }
+            KernelKind::Rat23 => {
+                let num = params[0] + params[1] * x + params[2] * x * x;
+                let den = 1.0 + params[3] * x + params[4] * x * x + params[5] * x * x * x;
+                let inv = 1.0 / den;
+                let scale = -num * inv * inv;
+                out[0] = inv;
+                out[1] = x * inv;
+                out[2] = x * x * inv;
+                out[3] = x * scale;
+                out[4] = x * x * scale;
+                out[5] = x * x * x * scale;
+            }
+            KernelKind::Rat33 => {
+                let num = params[0] + params[1] * x + params[2] * x * x + params[3] * x * x * x;
+                let den = 1.0 + params[4] * x + params[5] * x * x + params[6] * x * x * x;
+                let inv = 1.0 / den;
+                let scale = -num * inv * inv;
+                out[0] = inv;
+                out[1] = x * inv;
+                out[2] = x * x * inv;
+                out[3] = x * x * x * inv;
+                out[4] = x * scale;
+                out[5] = x * x * scale;
+                out[6] = x * x * x * scale;
+            }
+            KernelKind::CubicLn => {
+                let l = x.max(f64::MIN_POSITIVE).ln();
+                out[0] = 1.0;
+                out[1] = l;
+                out[2] = l * l;
+                out[3] = l * l * l;
+            }
+            KernelKind::ExpRat => {
+                let den = params[2] + params[3] * x;
+                let inv = 1.0 / den;
+                let u = (params[0] + params[1] * x) * inv;
+                let f = u.exp();
+                out[0] = f * inv;
+                out[1] = f * x * inv;
+                out[2] = -f * u * inv;
+                out[3] = -f * u * x * inv;
+            }
+            KernelKind::Poly25 => {
+                out[0] = 1.0;
+                out[1] = x;
+                out[2] = x * x;
+                out[3] = x.powf(2.5);
+            }
+        }
+    }
+
     /// Value of the denominator at `n`, for kernels that have one. Used by the
     /// realism check to reject fits whose denominator crosses zero inside the
     /// extrapolation range (a pole would produce an absurd prediction).
@@ -140,12 +213,29 @@ impl KernelKind {
 
     /// Design-matrix row for the linear kernels. Panics for nonlinear kernels.
     pub fn design_row(&self, n: f64) -> Vec<f64> {
+        let mut row = vec![0.0; self.param_count()];
+        self.design_row_into(n, &mut row);
+        row
+    }
+
+    /// [`KernelKind::design_row`] writing into a caller buffer (length
+    /// [`KernelKind::param_count`]), so the grid fitter can build design
+    /// matrices without per-row allocation. Panics for nonlinear kernels.
+    pub fn design_row_into(&self, n: f64, out: &mut [f64]) {
         match self {
             KernelKind::CubicLn => {
                 let l = n.max(f64::MIN_POSITIVE).ln();
-                vec![1.0, l, l * l, l * l * l]
+                out[0] = 1.0;
+                out[1] = l;
+                out[2] = l * l;
+                out[3] = l * l * l;
             }
-            KernelKind::Poly25 => vec![1.0, n, n * n, n.powf(2.5)],
+            KernelKind::Poly25 => {
+                out[0] = 1.0;
+                out[1] = n;
+                out[2] = n * n;
+                out[3] = n.powf(2.5);
+            }
             _ => panic!("design_row called on nonlinear kernel {self:?}"),
         }
     }
@@ -314,6 +404,100 @@ mod tests {
     #[should_panic]
     fn design_row_panics_for_rational() {
         KernelKind::Rat22.design_row(2.0);
+    }
+
+    /// Pole-free parameter grid per kernel for derivative checks.
+    fn jacobian_check_cases() -> Vec<(KernelKind, Vec<Vec<f64>>)> {
+        vec![
+            (
+                KernelKind::Rat22,
+                vec![
+                    vec![50.0, 10.0, 2.0, 0.05, 0.001],
+                    vec![7.0, -0.5, 0.3, 0.2, 0.01],
+                    vec![1.0, 0.0, 0.0, 0.0, 0.0],
+                ],
+            ),
+            (
+                KernelKind::Rat23,
+                vec![
+                    vec![40.0, 5.0, 1.0, 0.1, 0.01, 0.001],
+                    vec![3.0, 1.5, -0.2, 0.02, 0.004, 0.0002],
+                ],
+            ),
+            (
+                KernelKind::Rat33,
+                vec![
+                    vec![30.0, 8.0, 1.0, 0.05, 0.1, 0.01, 0.001],
+                    vec![5.0, -1.0, 0.4, 0.01, 0.03, 0.002, 0.0001],
+                ],
+            ),
+            (
+                KernelKind::CubicLn,
+                vec![vec![5.0, 3.0, -1.0, 0.5], vec![-2.0, 0.0, 4.0, 0.1]],
+            ),
+            (
+                KernelKind::ExpRat,
+                vec![vec![2.0, 0.3, 1.0, 0.05], vec![-1.0, 0.1, 2.0, 0.2]],
+            ),
+            (
+                KernelKind::Poly25,
+                vec![vec![1.0, 2.0, 3.0, 4.0], vec![100.0, -5.0, 0.2, 0.01]],
+            ),
+        ]
+    }
+
+    #[test]
+    fn analytic_partials_match_central_differences() {
+        for (kernel, param_sets) in jacobian_check_cases() {
+            for params in param_sets {
+                for x in [1.0, 2.0, 3.5, 6.0, 9.0, 12.0, 24.0, 48.0] {
+                    let mut analytic = vec![0.0; kernel.param_count()];
+                    kernel.partials(&params, x, &mut analytic);
+                    for j in 0..kernel.param_count() {
+                        let h = 1e-6 * params[j].abs().max(1.0);
+                        let mut hi = params.clone();
+                        hi[j] += h;
+                        let mut lo = params.clone();
+                        lo[j] -= h;
+                        let numeric = (kernel.eval(&hi, x) - kernel.eval(&lo, x)) / (2.0 * h);
+                        // Tolerance bounded by the central-difference
+                        // truncation error, which grows with x on the
+                        // rational kernels.
+                        let scale = numeric.abs().max(analytic[j].abs()).max(1.0);
+                        assert!(
+                            (analytic[j] - numeric).abs() <= 1e-4 * scale,
+                            "{kernel:?} d/dp[{j}] at x={x}: analytic {} vs central {numeric}",
+                            analytic[j]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn design_row_into_matches_design_row() {
+        for kernel in [KernelKind::CubicLn, KernelKind::Poly25] {
+            for n in [1.0, 4.0, 17.0] {
+                let mut buf = [0.0; 4];
+                kernel.design_row_into(n, &mut buf);
+                assert_eq!(buf.to_vec(), kernel.design_row(n));
+            }
+        }
+    }
+
+    #[test]
+    fn linear_kernel_partials_equal_design_rows() {
+        // For kernels linear in their parameters the Jacobian row is the
+        // design row, independent of the parameter values.
+        for kernel in [KernelKind::CubicLn, KernelKind::Poly25] {
+            let params = [2.0, -0.3, 0.7, 0.01];
+            for n in [1.0, 6.0, 48.0] {
+                let mut row = [0.0; 4];
+                kernel.partials(&params, n, &mut row);
+                assert_eq!(row.to_vec(), kernel.design_row(n));
+            }
+        }
     }
 
     #[test]

@@ -3,12 +3,90 @@
 //! The rational kernels (`Rat22`, `Rat23`, `Rat33`) and `ExpRat` of Table 1
 //! are nonlinear in their parameters. ESTIMA's reference implementation used
 //! the `pythonequation`/ZunZun fitting library; here we implement a compact
-//! damped Gauss–Newton (Levenberg–Marquardt) optimiser with numerical
-//! Jacobians, which is ample for systems with at most seven parameters and a
-//! dozen observations.
+//! damped Gauss–Newton (Levenberg–Marquardt) optimiser.
+//!
+//! This is the hottest loop of the whole pipeline (every candidate-grid cell
+//! of [`crate::fit`] runs it), so the core is written to do **zero heap
+//! allocation per iteration**:
+//!
+//! * models implement [`LmModel`] and can supply an **analytic Jacobian**
+//!   ([`LmModel::partials`]), replacing the finite-difference loop that costs
+//!   `P + 1` model evaluations per observation per iteration
+//!   ([`KernelKind`](crate::kernels::KernelKind) does, for all six Table 1
+//!   kernels);
+//! * every buffer the iteration needs (residuals, Jacobian, normal
+//!   equations, trial step) lives in a reusable [`LmWorkspace`] that callers
+//!   create once per batch of fits and thread through;
+//! * the damped normal equations are solved by in-place Cholesky with an
+//!   in-place Gaussian-elimination fallback
+//!   ([`crate::linalg::cholesky_solve_in_place`] /
+//!   [`crate::linalg::gaussian_solve_in_place`]).
+//!
+//! Finite differencing stays available as a verification oracle via
+//! [`LmOptions::jacobian`] = [`Jacobian::FiniteDifference`] (and is always
+//! used for closure models that have no analytic partials).
 
 use crate::error::{EstimaError, Result};
-use crate::linalg::{norm2, solve_gaussian, Matrix};
+use crate::linalg::{
+    cholesky_solve_in_place, gaussian_solve_in_place, gram_in_place, mul_transpose_vec_in_place,
+    norm2,
+};
+
+/// Largest parameter count of any Table 1 kernel (rounded up), so callers can
+/// keep parameter vectors in fixed-size stack buffers.
+pub const MAX_PARAMS: usize = 8;
+
+/// Residual value substituted when the model evaluates to a non-finite value
+/// (a pole or overflow): huge but finite, so the algebra stays well defined
+/// while the step is made unattractive. Shared with the pole-handling test.
+pub const POLE_PENALTY: f64 = 1e150;
+
+/// How the Jacobian of the residual vector is obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Jacobian {
+    /// Use the model's analytic partial derivatives ([`LmModel::partials`]).
+    /// Models that do not provide them (e.g. plain closures) silently fall
+    /// back to finite differencing.
+    Analytic,
+    /// Force forward finite differencing even when analytic partials are
+    /// available. Kept as a verification oracle for the analytic path.
+    FiniteDifference,
+}
+
+/// A model fitted by [`levenberg_marquardt_into`]: a scalar function of
+/// (parameters, abscissa), optionally with analytic partial derivatives.
+pub trait LmModel {
+    /// Evaluate the model at a single abscissa.
+    fn value(&self, params: &[f64], x: f64) -> f64;
+
+    /// Write the partial derivatives `∂ value / ∂ params[j]` into `out` and
+    /// return `true`. Return `false` (the default) when no analytic form is
+    /// available; the optimiser then falls back to finite differencing.
+    fn partials(&self, params: &[f64], x: f64, out: &mut [f64]) -> bool {
+        let _ = (params, x, out);
+        false
+    }
+}
+
+impl LmModel for crate::kernels::KernelKind {
+    fn value(&self, params: &[f64], x: f64) -> f64 {
+        self.eval(params, x)
+    }
+
+    fn partials(&self, params: &[f64], x: f64, out: &mut [f64]) -> bool {
+        crate::kernels::KernelKind::partials(self, params, x, out);
+        true
+    }
+}
+
+/// Adapter fitting a plain closure (no analytic partials).
+struct ClosureModel<F>(F);
+
+impl<F: Fn(&[f64], f64) -> f64> LmModel for ClosureModel<F> {
+    fn value(&self, params: &[f64], x: f64) -> f64 {
+        (self.0)(params, x)
+    }
+}
 
 /// Options controlling the Levenberg–Marquardt iteration.
 #[derive(Debug, Clone, Copy)]
@@ -23,8 +101,17 @@ pub struct LmOptions {
     pub lambda_down: f64,
     /// Convergence threshold on the relative reduction of the residual norm.
     pub tolerance: f64,
+    /// Step-size convergence threshold: a **rejected** trial step with
+    /// `‖δ‖ ≤ step_tolerance · (‖params‖ + step_tolerance)` terminates the
+    /// damping escalation — larger λ only shrinks the step further, so no
+    /// downhill move is reachable. This prunes the final iteration's
+    /// pointless solve/evaluate ladder without affecting accepted steps.
+    pub step_tolerance: f64,
     /// Relative step used for numerical differentiation.
     pub finite_difference_step: f64,
+    /// Jacobian source: analytic partials (default) or the finite-difference
+    /// verification oracle.
+    pub jacobian: Jacobian,
 }
 
 impl Default for LmOptions {
@@ -35,17 +122,71 @@ impl Default for LmOptions {
             lambda_up: 10.0,
             lambda_down: 0.3,
             tolerance: 1e-12,
+            step_tolerance: 1e-14,
             finite_difference_step: 1e-6,
+            jacobian: Jacobian::Analytic,
         }
     }
 }
 
-/// Result of a Levenberg–Marquardt run.
-#[derive(Debug, Clone)]
-pub struct LmResult {
-    /// Fitted parameter vector.
-    pub params: Vec<f64>,
-    /// Final sum of squared residuals.
+/// Preallocated buffers for the Levenberg–Marquardt iteration. Create one per
+/// batch of fits (one per worker thread in the prediction engine) and reuse
+/// it: once the buffers have grown to the problem size, iterations perform no
+/// heap allocation at all (pinned by the `lm_alloc` integration test).
+#[derive(Debug, Clone, Default)]
+pub struct LmWorkspace {
+    residuals: Vec<f64>,
+    trial_residuals: Vec<f64>,
+    jacobian: Vec<f64>,
+    jtj: Vec<f64>,
+    damped: Vec<f64>,
+    jtr: Vec<f64>,
+    step: Vec<f64>,
+    trial_params: Vec<f64>,
+    bumped: Vec<f64>,
+}
+
+impl LmWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        LmWorkspace::default()
+    }
+
+    /// A workspace pre-sized for problems of up to `n_obs` observations and
+    /// `n_params` parameters, so even the first fit allocates nothing.
+    pub fn with_capacity(n_obs: usize, n_params: usize) -> Self {
+        let mut ws = LmWorkspace::default();
+        ws.reserve(n_obs, n_params);
+        ws
+    }
+
+    /// Grow every buffer to the given problem size. `Vec::resize` within
+    /// capacity does not allocate, so repeat calls at or below the high-water
+    /// mark are free.
+    fn reserve(&mut self, n_obs: usize, n_params: usize) {
+        grow(&mut self.residuals, n_obs);
+        grow(&mut self.trial_residuals, n_obs);
+        grow(&mut self.jacobian, n_obs * n_params);
+        grow(&mut self.jtj, n_params * n_params);
+        grow(&mut self.damped, n_params * n_params);
+        grow(&mut self.jtr, n_params);
+        grow(&mut self.step, n_params);
+        grow(&mut self.trial_params, n_params);
+        grow(&mut self.bumped, n_params);
+    }
+}
+
+fn grow(buf: &mut Vec<f64>, len: usize) {
+    if buf.len() < len {
+        buf.resize(len, 0.0);
+    }
+}
+
+/// Statistics of an allocation-free Levenberg–Marquardt run (the fitted
+/// parameters are written into the caller's buffer).
+#[derive(Debug, Clone, Copy)]
+pub struct LmStats {
+    /// Final residual norm `sqrt(sum_i r_i^2)`.
     pub residual_norm: f64,
     /// Number of iterations performed.
     pub iterations: usize,
@@ -54,21 +195,60 @@ pub struct LmResult {
     pub converged: bool,
 }
 
-/// Minimise `sum_i (model(params, x_i) - y_i)^2` over `params`.
-///
-/// `model` evaluates the kernel at a single abscissa. Non-finite model values
-/// are treated as enormous residuals so the optimiser steers away from poles
-/// rather than aborting.
-pub fn levenberg_marquardt<F>(
-    model: F,
+/// Result of a Levenberg–Marquardt run (allocating convenience wrapper).
+#[derive(Debug, Clone)]
+pub struct LmResult {
+    /// Fitted parameter vector.
+    pub params: Vec<f64>,
+    /// Final residual norm `sqrt(sum_i r_i^2)`.
+    pub residual_norm: f64,
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Whether the convergence tolerance was reached (as opposed to running
+    /// out of iterations).
+    pub converged: bool,
+}
+
+/// Residual at one observation, with the pole penalty substituted for
+/// non-finite model values.
+#[inline]
+fn residual_at<M: LmModel + ?Sized>(model: &M, params: &[f64], x: f64, y: f64) -> f64 {
+    let v = model.value(params, x);
+    if v.is_finite() {
+        v - y
+    } else {
+        POLE_PENALTY
+    }
+}
+
+fn fill_residuals<M: LmModel + ?Sized>(
+    model: &M,
+    params: &[f64],
     xs: &[f64],
     ys: &[f64],
-    initial: &[f64],
+    out: &mut [f64],
+) {
+    for ((x, y), r) in xs.iter().zip(ys).zip(out.iter_mut()) {
+        *r = residual_at(model, params, *x, *y);
+    }
+}
+
+/// Minimise `sum_i (model(params, x_i) - y_i)^2` over `params`, in place.
+///
+/// `params` carries the initial guess in and the fitted parameters out. All
+/// scratch lives in `workspace`; once its buffers have grown to the problem
+/// size, the call performs **zero heap allocation** (error paths excepted).
+/// Non-finite model values are treated as enormous residuals
+/// ([`POLE_PENALTY`]) so the optimiser steers away from poles rather than
+/// aborting.
+pub fn levenberg_marquardt_into<M: LmModel + ?Sized>(
+    model: &M,
+    xs: &[f64],
+    ys: &[f64],
+    params: &mut [f64],
     options: &LmOptions,
-) -> Result<LmResult>
-where
-    F: Fn(&[f64], f64) -> f64,
-{
+    workspace: &mut LmWorkspace,
+) -> Result<LmStats> {
     if xs.len() != ys.len() {
         return Err(EstimaError::Numerical(
             "levenberg_marquardt: xs and ys length mismatch".into(),
@@ -79,34 +259,38 @@ where
             "levenberg_marquardt: no observations".into(),
         ));
     }
-    if initial.is_empty() {
+    if params.is_empty() {
         return Err(EstimaError::Numerical(
             "levenberg_marquardt: empty initial parameter vector".into(),
         ));
     }
 
-    let n_params = initial.len();
+    let n_params = params.len();
     let n_obs = xs.len();
+    workspace.reserve(n_obs, n_params);
+    let LmWorkspace {
+        residuals,
+        trial_residuals,
+        jacobian,
+        jtj,
+        damped,
+        jtr,
+        step,
+        trial_params,
+        bumped,
+    } = workspace;
+    let residuals = &mut residuals[..n_obs];
+    let trial_residuals = &mut trial_residuals[..n_obs];
+    let jacobian = &mut jacobian[..n_obs * n_params];
+    let jtj = &mut jtj[..n_params * n_params];
+    let damped = &mut damped[..n_params * n_params];
+    let jtr = &mut jtr[..n_params];
+    let step = &mut step[..n_params];
+    let trial_params = &mut trial_params[..n_params];
+    let bumped = &mut bumped[..n_params];
 
-    let residuals = |params: &[f64]| -> Vec<f64> {
-        xs.iter()
-            .zip(ys)
-            .map(|(x, y)| {
-                let v = model(params, *x);
-                if v.is_finite() {
-                    v - y
-                } else {
-                    // A pole or overflow: huge but finite penalty keeps the
-                    // algebra well defined while making the step unattractive.
-                    1e150
-                }
-            })
-            .collect()
-    };
-
-    let mut params = initial.to_vec();
-    let mut res = residuals(&params);
-    let mut cost = norm2(&res);
+    fill_residuals(model, params, xs, ys, residuals);
+    let mut cost = norm2(residuals);
     let mut lambda = options.initial_lambda;
     let mut converged = false;
     let mut iterations = 0;
@@ -114,50 +298,90 @@ where
     for iter in 0..options.max_iterations {
         iterations = iter + 1;
 
-        // Numerical Jacobian: J[i][j] = d residual_i / d param_j.
-        let mut jac = Matrix::zeros(n_obs, n_params);
-        for j in 0..n_params {
-            let step = options.finite_difference_step * params[j].abs().max(1e-4);
-            let mut bumped = params.clone();
-            bumped[j] += step;
-            let res_bumped = residuals(&bumped);
-            for i in 0..n_obs {
-                jac[(i, j)] = (res_bumped[i] - res[i]) / step;
+        // Jacobian of the residual vector: J[i][j] = ∂ r_i / ∂ params[j].
+        let analytic = options.jacobian == Jacobian::Analytic;
+        let mut filled_analytically = analytic;
+        if analytic {
+            for (i, (x, r)) in xs.iter().zip(residuals.iter()).enumerate() {
+                let row = &mut jacobian[i * n_params..(i + 1) * n_params];
+                if *r == POLE_PENALTY {
+                    // The penalty is constant, so the residual is locally flat
+                    // in every parameter direction.
+                    row.fill(0.0);
+                } else if !model.partials(params, *x, row) {
+                    filled_analytically = false;
+                    break;
+                }
+            }
+        }
+        if !filled_analytically {
+            // Forward finite differences (the pre-analytic behaviour, and the
+            // only option for closure models).
+            for j in 0..n_params {
+                let h = options.finite_difference_step * params[j].abs().max(1e-4);
+                bumped.copy_from_slice(params);
+                bumped[j] += h;
+                for (i, (x, y)) in xs.iter().zip(ys).enumerate() {
+                    let r_bumped = residual_at(model, bumped, *x, *y);
+                    jacobian[i * n_params + j] = (r_bumped - residuals[i]) / h;
+                }
             }
         }
 
         // Normal equations with damping: (J^T J + λ diag(J^T J)) δ = -J^T r.
-        let jtj = jac.gram();
-        let jtr = jac.mul_transpose_vec(&res);
+        gram_in_place(jacobian, n_obs, n_params, jtj);
+        mul_transpose_vec_in_place(jacobian, n_obs, n_params, residuals, jtr);
         let mut accepted = false;
 
         for _attempt in 0..12 {
-            let mut damped = jtj.clone();
-            for d in 0..n_params {
-                let diag = jtj[(d, d)];
-                damped[(d, d)] = diag + lambda * diag.max(1e-12);
-            }
-            let neg_jtr: Vec<f64> = jtr.iter().map(|v| -v).collect();
-            let delta = match solve_gaussian(&damped, &neg_jtr) {
-                Ok(d) => d,
-                Err(_) => {
-                    lambda *= options.lambda_up;
-                    continue;
+            let mut solved = false;
+            // In-place Cholesky first (the damped matrix is SPD in the
+            // well-behaved case), in-place Gaussian elimination as fallback.
+            for use_gaussian in [false, true] {
+                damped.copy_from_slice(jtj);
+                for d in 0..n_params {
+                    let diag = jtj[d * n_params + d];
+                    damped[d * n_params + d] = diag + lambda * diag.max(1e-12);
                 }
-            };
-            let candidate: Vec<f64> = params.iter().zip(&delta).map(|(p, d)| p + d).collect();
-            let cand_res = residuals(&candidate);
-            let cand_cost = norm2(&cand_res);
-            if cand_cost.is_finite() && cand_cost < cost {
-                let improvement = (cost - cand_cost) / cost.max(1e-300);
-                params = candidate;
-                res = cand_res;
-                cost = cand_cost;
+                for (s, g) in step.iter_mut().zip(jtr.iter()) {
+                    *s = -g;
+                }
+                solved = if use_gaussian {
+                    gaussian_solve_in_place(damped, n_params, step)
+                } else {
+                    cholesky_solve_in_place(damped, n_params, step)
+                };
+                if solved {
+                    break;
+                }
+            }
+            if !solved {
+                lambda *= options.lambda_up;
+                continue;
+            }
+            for ((t, p), d) in trial_params.iter_mut().zip(params.iter()).zip(step.iter()) {
+                *t = p + d;
+            }
+            fill_residuals(model, trial_params, xs, ys, trial_residuals);
+            let trial_cost = norm2(trial_residuals);
+            if trial_cost.is_finite() && trial_cost < cost {
+                let improvement = (cost - trial_cost) / cost.max(1e-300);
+                params.copy_from_slice(trial_params);
+                residuals.copy_from_slice(trial_residuals);
+                cost = trial_cost;
                 lambda = (lambda * options.lambda_down).max(1e-15);
                 accepted = true;
                 if improvement < options.tolerance {
                     converged = true;
                 }
+                break;
+            }
+            // The step was rejected. If it was already numerically nil
+            // relative to the parameters, escalating λ can only produce even
+            // smaller steps — stop the ladder and settle here.
+            let step_norm = norm2(step);
+            let param_norm = norm2(params);
+            if step_norm <= options.step_tolerance * (param_norm + options.step_tolerance) {
                 break;
             }
             lambda *= options.lambda_up;
@@ -179,17 +403,52 @@ where
         ));
     }
 
-    Ok(LmResult {
-        params,
+    Ok(LmStats {
         residual_norm: cost,
         iterations,
         converged,
     })
 }
 
+/// Minimise `sum_i (model(params, x_i) - y_i)^2` over `params`.
+///
+/// `model` evaluates the kernel at a single abscissa; having no analytic
+/// partials, it is differentiated by forward finite differences. This is the
+/// allocating convenience wrapper around [`levenberg_marquardt_into`]; batch
+/// callers (the candidate grid) use the in-place form with a shared
+/// [`LmWorkspace`] and a model implementing [`LmModel::partials`].
+pub fn levenberg_marquardt<F>(
+    model: F,
+    xs: &[f64],
+    ys: &[f64],
+    initial: &[f64],
+    options: &LmOptions,
+) -> Result<LmResult>
+where
+    F: Fn(&[f64], f64) -> f64,
+{
+    let mut params = initial.to_vec();
+    let mut workspace = LmWorkspace::new();
+    let stats = levenberg_marquardt_into(
+        &ClosureModel(model),
+        xs,
+        ys,
+        &mut params,
+        options,
+        &mut workspace,
+    )?;
+    Ok(LmResult {
+        params,
+        residual_norm: stats.residual_norm,
+        iterations: stats.iterations,
+        converged: stats.converged,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernels::KernelKind;
 
     fn approx(a: f64, b: f64, tol: f64) -> bool {
         (a - b).abs() < tol
@@ -272,6 +531,24 @@ mod tests {
     }
 
     #[test]
+    fn pole_penalty_bounds_the_residual_norm() {
+        // A model that is non-finite everywhere: every residual becomes
+        // exactly POLE_PENALTY, no downhill step exists, and the final cost
+        // is sqrt(n) * POLE_PENALTY.
+        let model = |_p: &[f64], _x: f64| f64::INFINITY;
+        let xs = vec![1.0, 2.0, 3.0, 4.0];
+        let ys = vec![1.0, 2.0, 3.0, 4.0];
+        let result = levenberg_marquardt(model, &xs, &ys, &[1.0], &LmOptions::default()).unwrap();
+        let expected = 2.0 * POLE_PENALTY;
+        assert!(
+            ((result.residual_norm - expected) / expected).abs() < 1e-12,
+            "residual_norm {}",
+            result.residual_norm
+        );
+        assert_eq!(result.params, vec![1.0]);
+    }
+
+    #[test]
     fn iteration_count_bounded() {
         let model = |p: &[f64], x: f64| p[0] * x;
         let xs = vec![1.0, 2.0];
@@ -282,5 +559,100 @@ mod tests {
         };
         let result = levenberg_marquardt(model, &xs, &ys, &[0.0], &opts).unwrap();
         assert!(result.iterations <= 3);
+    }
+
+    #[test]
+    fn analytic_jacobian_fits_table1_kernels() {
+        // Fit each nonlinear kernel to its own exact series with analytic
+        // partials and confirm the fit reproduces the data.
+        let cases: Vec<(KernelKind, Vec<f64>, Vec<f64>)> = vec![
+            (
+                KernelKind::Rat22,
+                vec![50.0, 10.0, 2.0, 0.05, 0.001],
+                vec![40.0, 8.0, 1.5, 0.04, 0.002],
+            ),
+            (
+                KernelKind::ExpRat,
+                vec![2.0, 0.3, 1.0, 0.05],
+                vec![1.5, 0.25, 1.0, 0.04],
+            ),
+        ];
+        for (kernel, truth, initial) in cases {
+            let xs: Vec<f64> = (1..=12).map(|i| i as f64).collect();
+            let ys: Vec<f64> = xs.iter().map(|x| kernel.eval(&truth, *x)).collect();
+            let mut params = initial.clone();
+            let mut ws = LmWorkspace::new();
+            let stats = levenberg_marquardt_into(
+                &kernel,
+                &xs,
+                &ys,
+                &mut params,
+                &LmOptions::default(),
+                &mut ws,
+            )
+            .unwrap();
+            for (x, y) in xs.iter().zip(&ys) {
+                let v = kernel.eval(&params, *x);
+                assert!(
+                    (v - y).abs() <= 1e-4 * y.abs().max(1.0),
+                    "{kernel:?} at {x}: {v} vs {y} (stats {stats:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn finite_difference_oracle_agrees_with_analytic() {
+        // Both Jacobian modes, same model, same start: the fitted curves must
+        // reproduce the data equally well (parameters of rational fits are
+        // not unique, so compare values).
+        let kernel = KernelKind::Rat22;
+        let truth = [30.0, 6.0, 1.2, 0.08, 0.004];
+        let xs: Vec<f64> = (1..=12).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| kernel.eval(&truth, *x)).collect();
+        let initial = [20.0, 5.0, 1.0, 0.05, 0.003];
+        let mut ws = LmWorkspace::with_capacity(xs.len(), initial.len());
+        let mut fitted = [[0.0; 5]; 2];
+        for (buf, jacobian) in fitted
+            .iter_mut()
+            .zip([Jacobian::Analytic, Jacobian::FiniteDifference])
+        {
+            buf.copy_from_slice(&initial);
+            let options = LmOptions {
+                jacobian,
+                ..LmOptions::default()
+            };
+            levenberg_marquardt_into(&kernel, &xs, &ys, buf, &options, &mut ws).unwrap();
+        }
+        for (x, y) in xs.iter().zip(&ys) {
+            let analytic = kernel.eval(&fitted[0], *x);
+            let numeric = kernel.eval(&fitted[1], *x);
+            assert!((analytic - y).abs() <= 1e-4 * y.abs());
+            assert!((numeric - y).abs() <= 1e-4 * y.abs());
+        }
+    }
+
+    #[test]
+    fn workspace_is_reusable_across_problem_sizes() {
+        let mut ws = LmWorkspace::with_capacity(4, 2);
+        let model = |p: &[f64], x: f64| p[0] * x + p[1];
+        // Small problem first, then a larger one that forces buffer growth.
+        for n in [4usize, 30] {
+            let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+            let mut params = [0.0, 0.0];
+            let stats = levenberg_marquardt_into(
+                &ClosureModel(model),
+                &xs,
+                &ys,
+                &mut params,
+                &LmOptions::default(),
+                &mut ws,
+            )
+            .unwrap();
+            assert!(stats.residual_norm < 1e-6, "n={n}: {stats:?}");
+            assert!(approx(params[0], 2.0, 1e-6));
+            assert!(approx(params[1], 1.0, 1e-6));
+        }
     }
 }

@@ -75,10 +75,11 @@ pub use config::{EstimaConfig, TargetSpec};
 pub use engine::{BatchPredictor, Engine, FitCache};
 pub use error::{EstimaError, Result};
 pub use fit::{
-    approximate_series, approximate_series_with, candidate_fits, candidate_fits_with, fit_kernel,
-    FitOptions,
+    approximate_series, approximate_series_cached, approximate_series_with, candidate_fits,
+    candidate_fits_cached, candidate_fits_with, fit_kernel, fit_kernel_with, FitOptions,
 };
 pub use kernels::{FittedCurve, KernelKind};
+pub use levenberg::{Jacobian, LmModel, LmOptions, LmStats, LmWorkspace};
 pub use measurement::{Measurement, MeasurementSet, StallCategory, StallSource};
 pub use predictor::{CategoryExtrapolation, Estima, Prediction};
 pub use time_extrapolation::{TimeExtrapolation, TimePrediction};

@@ -81,50 +81,53 @@ impl Matrix {
 
     /// Matrix-vector product `A * x`.
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(self.cols, x.len(), "dimension mismatch in mul_vec");
         let mut out = vec![0.0; self.rows];
+        self.mul_vec_into(x, &mut out);
+        out
+    }
+
+    /// [`Matrix::mul_vec`] writing into a caller buffer of length
+    /// [`Matrix::rows`].
+    pub fn mul_vec_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(self.cols, x.len(), "dimension mismatch in mul_vec");
+        assert_eq!(self.rows, out.len(), "output length mismatch in mul_vec");
         for (i, out_i) in out.iter_mut().enumerate() {
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
             *out_i = row.iter().zip(x).map(|(a, b)| a * b).sum();
         }
-        out
     }
 
     /// Transposed matrix-vector product `A^T * y`.
     pub fn mul_transpose_vec(&self, y: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.cols];
+        self.mul_transpose_vec_into(y, &mut out);
+        out
+    }
+
+    /// [`Matrix::mul_transpose_vec`] writing into a caller buffer of length
+    /// [`Matrix::cols`].
+    pub fn mul_transpose_vec_into(&self, y: &[f64], out: &mut [f64]) {
         assert_eq!(
             self.rows,
             y.len(),
             "dimension mismatch in mul_transpose_vec"
         );
-        let mut out = vec![0.0; self.cols];
-        for (i, y_i) in y.iter().enumerate() {
-            let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            for j in 0..self.cols {
-                out[j] += row[j] * y_i;
-            }
-        }
-        out
+        mul_transpose_vec_in_place(&self.data, self.rows, self.cols, y, out);
     }
 
     /// Gram matrix `A^T * A`.
     pub fn gram(&self) -> Matrix {
         let mut g = Matrix::zeros(self.cols, self.cols);
-        for i in 0..self.rows {
-            let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            for j in 0..self.cols {
-                for k in j..self.cols {
-                    g[(j, k)] += row[j] * row[k];
-                }
-            }
-        }
-        // mirror the upper triangle
-        for j in 0..self.cols {
-            for k in 0..j {
-                g[(j, k)] = g[(k, j)];
-            }
-        }
+        self.gram_into(&mut g);
         g
+    }
+
+    /// [`Matrix::gram`] writing into a caller-provided square matrix of size
+    /// [`Matrix::cols`].
+    pub fn gram_into(&self, out: &mut Matrix) {
+        assert_eq!(out.rows, self.cols, "gram output shape mismatch");
+        assert_eq!(out.cols, self.cols, "gram output shape mismatch");
+        gram_in_place(&self.data, self.rows, self.cols, &mut out.data);
     }
 
     /// Matrix-matrix product.
@@ -164,6 +167,161 @@ impl std::ops::IndexMut<(usize, usize)> for Matrix {
     }
 }
 
+/// Transposed matrix-vector product `A^T * y` on flat row-major storage,
+/// writing into `out[..cols]`. The allocation-free primitive behind
+/// [`Matrix::mul_transpose_vec`] and the Levenberg–Marquardt workspace.
+pub fn mul_transpose_vec_in_place(a: &[f64], rows: usize, cols: usize, y: &[f64], out: &mut [f64]) {
+    debug_assert!(a.len() >= rows * cols);
+    debug_assert!(y.len() >= rows);
+    let out = &mut out[..cols];
+    out.fill(0.0);
+    for (i, y_i) in y.iter().take(rows).enumerate() {
+        let row = &a[i * cols..(i + 1) * cols];
+        for j in 0..cols {
+            out[j] += row[j] * y_i;
+        }
+    }
+}
+
+/// Gram matrix `A^T * A` on flat row-major storage, writing into
+/// `out[..cols * cols]`. The allocation-free primitive behind
+/// [`Matrix::gram`] and the Levenberg–Marquardt workspace.
+pub fn gram_in_place(a: &[f64], rows: usize, cols: usize, out: &mut [f64]) {
+    debug_assert!(a.len() >= rows * cols);
+    let out = &mut out[..cols * cols];
+    out.fill(0.0);
+    for i in 0..rows {
+        let row = &a[i * cols..(i + 1) * cols];
+        for j in 0..cols {
+            for k in j..cols {
+                out[j * cols + k] += row[j] * row[k];
+            }
+        }
+    }
+    // mirror the upper triangle
+    for j in 0..cols {
+        for k in 0..j {
+            out[j * cols + k] = out[k * cols + j];
+        }
+    }
+}
+
+/// Accumulate one design row into a gram matrix / right-hand side pair:
+/// `gram += row rowᵀ`, `rhs += y · row`. This is the incremental
+/// normal-equation update the prefix-refitting grid uses for the linear
+/// kernels: growing the training prefix by one point is one rank-1 update
+/// instead of a fresh factorisation input.
+pub fn accumulate_normal_equations(row: &[f64], y: f64, gram: &mut [f64], rhs: &mut [f64]) {
+    let p = row.len();
+    debug_assert!(gram.len() >= p * p);
+    debug_assert!(rhs.len() >= p);
+    for j in 0..p {
+        for k in j..p {
+            gram[j * p + k] += row[j] * row[k];
+        }
+        rhs[j] += y * row[j];
+    }
+    for j in 0..p {
+        for k in 0..j {
+            gram[j * p + k] = gram[k * p + j];
+        }
+    }
+}
+
+/// In-place Cholesky solve of the symmetric positive-definite system
+/// `A x = b` on flat row-major storage: the factor overwrites `a[..n * n]`
+/// and the solution overwrites `rhs[..n]`. Returns `false` (leaving the
+/// buffers in an unspecified state) when the matrix is not positive definite
+/// within tolerance or the solve goes non-finite. Never allocates.
+pub fn cholesky_solve_in_place(a: &mut [f64], n: usize, rhs: &mut [f64]) -> bool {
+    debug_assert!(a.len() >= n * n);
+    debug_assert!(rhs.len() >= n);
+    // Lower-triangular factor L with A = L L^T, stored in the lower triangle.
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i * n + j];
+            for k in 0..j {
+                sum -= a[i * n + k] * a[j * n + k];
+            }
+            if i == j {
+                if sum.is_nan() || sum <= 1e-14 {
+                    return false;
+                }
+                a[i * n + i] = sum.sqrt();
+            } else {
+                a[i * n + j] = sum / a[j * n + j];
+            }
+        }
+    }
+    // Forward solve L y = b.
+    for i in 0..n {
+        let mut sum = rhs[i];
+        for k in 0..i {
+            sum -= a[i * n + k] * rhs[k];
+        }
+        rhs[i] = sum / a[i * n + i];
+    }
+    // Backward solve L^T x = y.
+    for i in (0..n).rev() {
+        let mut sum = rhs[i];
+        for k in (i + 1)..n {
+            sum -= a[k * n + i] * rhs[k];
+        }
+        rhs[i] = sum / a[i * n + i];
+    }
+    rhs.iter().take(n).all(|v| v.is_finite())
+}
+
+/// In-place partial-pivoting Gaussian elimination on flat row-major storage:
+/// `a[..n * n]` is destroyed and the solution overwrites `rhs[..n]`. Returns
+/// `false` on a (numerically) singular matrix or non-finite solution. Never
+/// allocates. This is the fallback when the damped normal matrix of a
+/// Levenberg–Marquardt step is not positive definite.
+pub fn gaussian_solve_in_place(a: &mut [f64], n: usize, rhs: &mut [f64]) -> bool {
+    debug_assert!(a.len() >= n * n);
+    debug_assert!(rhs.len() >= n);
+    for col in 0..n {
+        // Partial pivoting.
+        let mut pivot = col;
+        let mut best = a[col * n + col].abs();
+        for row in (col + 1)..n {
+            let v = a[row * n + col].abs();
+            if v > best {
+                best = v;
+                pivot = row;
+            }
+        }
+        if best.is_nan() || best < 1e-300 {
+            return false;
+        }
+        if pivot != col {
+            for j in 0..n {
+                a.swap(col * n + j, pivot * n + j);
+            }
+            rhs.swap(col, pivot);
+        }
+        for row in (col + 1)..n {
+            let factor = a[row * n + col] / a[col * n + col];
+            if factor == 0.0 {
+                continue;
+            }
+            for j in col..n {
+                let v = a[col * n + j];
+                a[row * n + j] -= factor * v;
+            }
+            rhs[row] -= factor * rhs[col];
+        }
+    }
+    for i in (0..n).rev() {
+        let mut sum = rhs[i];
+        for j in (i + 1)..n {
+            sum -= a[i * n + j] * rhs[j];
+        }
+        rhs[i] = sum / a[i * n + i];
+    }
+    rhs.iter().take(n).all(|v| v.is_finite())
+}
+
 /// Solve the symmetric positive-definite system `A x = b` via Cholesky
 /// factorisation. Returns an error when the matrix is not SPD (within a small
 /// tolerance) or contains non-finite values.
@@ -175,47 +333,11 @@ pub fn solve_cholesky(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
     if !a.is_finite() || b.iter().any(|v| !v.is_finite()) {
         return Err(EstimaError::Numerical("cholesky: non-finite input".into()));
     }
-    // Lower-triangular factor L with A = L L^T.
-    let mut l = Matrix::zeros(n, n);
-    for i in 0..n {
-        for j in 0..=i {
-            let mut sum = a[(i, j)];
-            for k in 0..j {
-                sum -= l[(i, k)] * l[(j, k)];
-            }
-            if i == j {
-                if sum <= 1e-14 {
-                    return Err(EstimaError::Numerical(
-                        "cholesky: matrix not positive definite".into(),
-                    ));
-                }
-                l[(i, j)] = sum.sqrt();
-            } else {
-                l[(i, j)] = sum / l[(j, j)];
-            }
-        }
-    }
-    // Forward solve L y = b.
-    let mut y = vec![0.0; n];
-    for i in 0..n {
-        let mut sum = b[i];
-        for k in 0..i {
-            sum -= l[(i, k)] * y[k];
-        }
-        y[i] = sum / l[(i, i)];
-    }
-    // Backward solve L^T x = y.
-    let mut x = vec![0.0; n];
-    for i in (0..n).rev() {
-        let mut sum = y[i];
-        for k in (i + 1)..n {
-            sum -= l[(k, i)] * x[k];
-        }
-        x[i] = sum / l[(i, i)];
-    }
-    if x.iter().any(|v| !v.is_finite()) {
+    let mut factor = a.data.clone();
+    let mut x = b.to_vec();
+    if !cholesky_solve_in_place(&mut factor, n, &mut x) {
         return Err(EstimaError::Numerical(
-            "cholesky: non-finite solution".into(),
+            "cholesky: matrix not positive definite".into(),
         ));
     }
     Ok(x)
@@ -225,8 +347,13 @@ pub fn solve_cholesky(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
 /// Householder QR with column-free pivoting. `A` must have at least as many
 /// rows as columns.
 pub fn solve_least_squares_qr(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
-    let m = a.rows();
-    let n = a.cols();
+    solve_least_squares_qr_flat(&a.data, a.rows, a.cols, b)
+}
+
+/// [`solve_least_squares_qr`] on flat row-major storage, so callers that keep
+/// a prefix-growable design matrix (the grid fitter) can solve on a row view
+/// `&rows[..prefix * cols]` without rebuilding a [`Matrix`].
+pub fn solve_least_squares_qr_flat(a: &[f64], m: usize, n: usize, b: &[f64]) -> Result<Vec<f64>> {
     if m < n {
         return Err(EstimaError::Numerical(
             "least squares: fewer rows than columns".into(),
@@ -237,7 +364,9 @@ pub fn solve_least_squares_qr(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
             "least squares: rhs length mismatch".into(),
         ));
     }
-    if !a.is_finite() || b.iter().any(|v| !v.is_finite()) {
+    debug_assert!(a.len() >= m * n);
+    let a = &a[..m * n];
+    if a.iter().any(|v| !v.is_finite()) || b.iter().any(|v| !v.is_finite()) {
         return Err(EstimaError::Numerical(
             "least squares: non-finite input".into(),
         ));
@@ -245,14 +374,14 @@ pub fn solve_least_squares_qr(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
 
     // Work on copies: R starts as A, and we apply Householder reflections to
     // both R and the right-hand side.
-    let mut r = a.clone();
+    let mut r = a.to_vec();
     let mut rhs = b.to_vec();
 
     for k in 0..n {
         // Compute the Householder vector for column k.
         let mut norm = 0.0;
         for i in k..m {
-            norm += r[(i, k)] * r[(i, k)];
+            norm += r[i * n + k] * r[i * n + k];
         }
         let norm = norm.sqrt();
         if norm < 1e-300 {
@@ -260,10 +389,10 @@ pub fn solve_least_squares_qr(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
                 "least squares: rank deficient design matrix".into(),
             ));
         }
-        let alpha = if r[(k, k)] >= 0.0 { -norm } else { norm };
+        let alpha = if r[k * n + k] >= 0.0 { -norm } else { norm };
         let mut v = vec![0.0; m];
         for i in k..m {
-            v[i] = r[(i, k)];
+            v[i] = r[i * n + k];
         }
         v[k] -= alpha;
         let vtv: f64 = v[k..].iter().map(|x| x * x).sum();
@@ -274,11 +403,11 @@ pub fn solve_least_squares_qr(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
         for j in k..n {
             let mut dot = 0.0;
             for i in k..m {
-                dot += v[i] * r[(i, j)];
+                dot += v[i] * r[i * n + j];
             }
             let scale = 2.0 * dot / vtv;
             for i in k..m {
-                r[(i, j)] -= scale * v[i];
+                r[i * n + j] -= scale * v[i];
             }
         }
         let mut dot = 0.0;
@@ -296,9 +425,9 @@ pub fn solve_least_squares_qr(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
     for i in (0..n).rev() {
         let mut sum = rhs[i];
         for j in (i + 1)..n {
-            sum -= r[(i, j)] * x[j];
+            sum -= r[i * n + j] * x[j];
         }
-        let diag = r[(i, i)];
+        let diag = r[i * n + i];
         if diag.abs() < 1e-300 {
             return Err(EstimaError::Numerical(
                 "least squares: singular triangular factor".into(),
@@ -322,54 +451,10 @@ pub fn solve_gaussian(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
     if a.cols() != n || b.len() != n {
         return Err(EstimaError::Numerical("gaussian: shape mismatch".into()));
     }
-    let mut aug = a.clone();
-    let mut rhs = b.to_vec();
-    for col in 0..n {
-        // Partial pivoting.
-        let mut pivot = col;
-        let mut best = aug[(col, col)].abs();
-        for row in (col + 1)..n {
-            let v = aug[(row, col)].abs();
-            if v > best {
-                best = v;
-                pivot = row;
-            }
-        }
-        if best < 1e-300 {
-            return Err(EstimaError::Numerical("gaussian: singular matrix".into()));
-        }
-        if pivot != col {
-            for j in 0..n {
-                let tmp = aug[(col, j)];
-                aug[(col, j)] = aug[(pivot, j)];
-                aug[(pivot, j)] = tmp;
-            }
-            rhs.swap(col, pivot);
-        }
-        for row in (col + 1)..n {
-            let factor = aug[(row, col)] / aug[(col, col)];
-            if factor == 0.0 {
-                continue;
-            }
-            for j in col..n {
-                let v = aug[(col, j)];
-                aug[(row, j)] -= factor * v;
-            }
-            rhs[row] -= factor * rhs[col];
-        }
-    }
-    let mut x = vec![0.0; n];
-    for i in (0..n).rev() {
-        let mut sum = rhs[i];
-        for j in (i + 1)..n {
-            sum -= aug[(i, j)] * x[j];
-        }
-        x[i] = sum / aug[(i, i)];
-    }
-    if x.iter().any(|v| !v.is_finite()) {
-        return Err(EstimaError::Numerical(
-            "gaussian: non-finite solution".into(),
-        ));
+    let mut aug = a.data.clone();
+    let mut x = b.to_vec();
+    if !gaussian_solve_in_place(&mut aug, n, &mut x) {
+        return Err(EstimaError::Numerical("gaussian: singular matrix".into()));
     }
     Ok(x)
 }
@@ -482,5 +567,88 @@ mod tests {
     fn norm_and_dot() {
         assert!(approx(norm2(&[3.0, 4.0]), 5.0, 1e-12));
         assert!(approx(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0, 1e-12));
+    }
+
+    #[test]
+    fn into_variants_match_allocating_versions() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let x = vec![0.5, -1.5];
+        let y = vec![1.0, 2.0, 3.0];
+        let mut mv = vec![0.0; 3];
+        a.mul_vec_into(&x, &mut mv);
+        assert_eq!(mv, a.mul_vec(&x));
+        let mut mtv = vec![0.0; 2];
+        a.mul_transpose_vec_into(&y, &mut mtv);
+        assert_eq!(mtv, a.mul_transpose_vec(&y));
+        let mut g = Matrix::zeros(2, 2);
+        a.gram_into(&mut g);
+        assert_eq!(g, a.gram());
+    }
+
+    #[test]
+    fn in_place_cholesky_matches_matrix_api() {
+        let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]);
+        let mut buf = a.as_slice().to_vec();
+        let mut rhs = vec![10.0, 9.0];
+        assert!(cholesky_solve_in_place(&mut buf, 2, &mut rhs));
+        let reference = solve_cholesky(&a, &[10.0, 9.0]).unwrap();
+        assert_eq!(rhs, reference);
+        // Indefinite matrix is rejected without panicking.
+        let mut bad = vec![0.0, 1.0, 1.0, 0.0];
+        let mut b = vec![1.0, 1.0];
+        assert!(!cholesky_solve_in_place(&mut bad, 2, &mut b));
+    }
+
+    #[test]
+    fn in_place_gaussian_matches_matrix_api() {
+        let a = Matrix::from_rows(&[vec![0.0, 2.0], vec![1.0, 1.0]]);
+        let mut buf = a.as_slice().to_vec();
+        let mut rhs = vec![4.0, 3.0];
+        assert!(gaussian_solve_in_place(&mut buf, 2, &mut rhs));
+        assert_eq!(rhs, solve_gaussian(&a, &[4.0, 3.0]).unwrap());
+        let mut singular = vec![1.0, 2.0, 2.0, 4.0];
+        let mut b = vec![1.0, 2.0];
+        assert!(!gaussian_solve_in_place(&mut singular, 2, &mut b));
+    }
+
+    #[test]
+    fn incremental_normal_equations_match_gram() {
+        let rows = [
+            vec![1.0, 1.0, 1.0],
+            vec![1.0, 2.0, 4.0],
+            vec![1.0, 3.0, 9.0],
+            vec![1.0, 4.0, 16.0],
+        ];
+        let ys = [2.0, 5.0, 10.0, 17.0];
+        let mut gram = vec![0.0; 9];
+        let mut rhs = vec![0.0; 3];
+        for (row, y) in rows.iter().zip(ys) {
+            accumulate_normal_equations(row, y, &mut gram, &mut rhs);
+        }
+        let design = Matrix::from_rows(&rows);
+        let full_gram = design.gram();
+        let full_rhs = design.mul_transpose_vec(&ys);
+        for i in 0..3 {
+            assert!(approx(rhs[i], full_rhs[i], 1e-12));
+            for j in 0..3 {
+                assert!(approx(gram[i * 3 + j], full_gram[(i, j)], 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn qr_flat_matches_matrix_qr_on_prefix_views() {
+        let rows: Vec<Vec<f64>> = (1..=6)
+            .map(|i| vec![1.0, i as f64, (i * i) as f64])
+            .collect();
+        let b: Vec<f64> = (1..=6).map(|i| 3.0 + 2.0 * i as f64).collect();
+        let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+        for prefix in 3..=6usize {
+            let via_matrix =
+                solve_least_squares_qr(&Matrix::from_rows(&rows[..prefix]), &b[..prefix]).unwrap();
+            let via_flat =
+                solve_least_squares_qr_flat(&flat[..prefix * 3], prefix, 3, &b[..prefix]).unwrap();
+            assert_eq!(via_matrix, via_flat);
+        }
     }
 }

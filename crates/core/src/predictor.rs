@@ -347,18 +347,21 @@ impl Estima {
         let factor_at_max_measured = *factor_ys.last().unwrap_or(&0.0);
         let factor_trend_decreasing =
             factor_ys.first().copied().unwrap_or(0.0) >= factor_at_max_measured;
-        let mut best: Option<(&FittedCurve, f64, Vec<f64>)> = None;
+        // Two time buffers (trial and incumbent) are reused across the whole
+        // candidate loop instead of collecting fresh vectors per candidate.
+        let mut trial_times: Vec<f64> = Vec::with_capacity(stalls_per_core.len());
+        let mut best_times: Vec<f64> = Vec::with_capacity(stalls_per_core.len());
+        let mut best: Option<(&FittedCurve, f64)> = None;
         for candidate in candidates.iter() {
             let curve = &candidate.curve;
-            let extrapolated_factors: Vec<f64> = ((measured_cores + 1)..=target.cores)
-                .map(|c| curve.eval(c as f64))
-                .collect();
-            if factor_at_max_measured > 0.0 && !extrapolated_factors.is_empty() {
-                let max_extrapolated = extrapolated_factors.iter().copied().fold(0.0, f64::max);
-                let min_extrapolated = extrapolated_factors
-                    .iter()
-                    .copied()
-                    .fold(f64::INFINITY, f64::min);
+            if factor_at_max_measured > 0.0 && measured_cores < target.cores {
+                let mut max_extrapolated = 0.0f64;
+                let mut min_extrapolated = f64::INFINITY;
+                for c in (measured_cores + 1)..=target.cores {
+                    let factor = curve.eval(c as f64);
+                    max_extrapolated = max_extrapolated.max(factor);
+                    min_extrapolated = min_extrapolated.min(factor);
+                }
                 if factor_trend_decreasing && max_extrapolated > factor_at_max_measured * 1.5 {
                     continue;
                 }
@@ -366,31 +369,35 @@ impl Estima {
                     continue;
                 }
             }
-            let times: Vec<f64> = stalls_per_core
-                .iter()
-                .map(|(c, spc)| spc * curve.eval(*c as f64))
-                .collect();
-            if times.iter().any(|t| !t.is_finite() || *t < 0.0) {
+            trial_times.clear();
+            trial_times.extend(
+                stalls_per_core
+                    .iter()
+                    .map(|(c, spc)| spc * curve.eval(*c as f64)),
+            );
+            if trial_times.iter().any(|t| !t.is_finite() || *t < 0.0) {
                 continue;
             }
-            let corr = pearson_correlation(&times, &spc_values);
+            let corr = pearson_correlation(&trial_times, &spc_values);
             let better = match &best {
                 None => true,
-                Some((best_curve, best_corr, _)) => {
+                Some((best_curve, best_corr)) => {
                     corr > *best_corr + 1e-9
                         || ((corr - best_corr).abs() <= 1e-9
                             && curve.checkpoint_rmse < best_curve.checkpoint_rmse)
                 }
             };
             if better {
-                best = Some((curve, corr, times));
+                best = Some((curve, corr));
+                std::mem::swap(&mut best_times, &mut trial_times);
             }
         }
-        let (scaling_factor, factor_correlation, predicted_times) = best
-            .map(|(curve, corr, times)| (curve.clone(), corr, times))
+        let (scaling_factor, factor_correlation) = best
+            .map(|(curve, corr)| (curve.clone(), corr))
             .ok_or_else(|| EstimaError::NoViableFit {
                 category: "scaling_factor".into(),
             })?;
+        let predicted_times = best_times;
 
         let predicted_time: Vec<(u32, f64)> = stalls_per_core
             .iter()

@@ -14,14 +14,43 @@
 //! setting `ESTIMA_BENCH_QUICK=1` shrinks the time budgets ~4x for CI smoke
 //! runs.
 //!
+//! Besides the console lines, every bench binary merges its results into a
+//! machine-readable `target/criterion/summary.json` (one record per
+//! benchmark with min/median/stddev ns-per-iter), keyed by benchmark name so
+//! the workspace's several bench binaries accumulate into one file and perf
+//! trajectories can be tracked across commits. Set `ESTIMA_CRITERION_DIR` to
+//! redirect the output directory.
+//!
 //! Swap in real criterion by pointing the `criterion` dev-dependency at
 //! crates.io; the bench sources need no edits.
 
 use std::fmt;
-use std::sync::OnceLock;
+use std::path::PathBuf;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// One benchmark's summary statistics, as written to
+/// `target/criterion/summary.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Full benchmark label (`group/id`).
+    pub name: String,
+    /// Minimum ns/iter across batches.
+    pub min_ns: f64,
+    /// Median ns/iter across batches.
+    pub median_ns: f64,
+    /// Population standard deviation of the per-batch ns/iter samples.
+    pub stddev_ns: f64,
+    /// Total iterations run.
+    pub iters: u64,
+    /// Number of timed batches.
+    pub batches: u64,
+}
+
+/// Results of every benchmark this process has run so far.
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
 
 /// True when the process was started in smoke mode (`--quick` argument or
 /// `ESTIMA_BENCH_QUICK` in the environment).
@@ -236,13 +265,162 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
             .iter()
             .copied()
             .fold(f64::INFINITY, f64::min);
+        let median = median(&bencher.samples);
+        let stddev = std_dev(&bencher.samples);
         println!(
-            "bench {label:<50} min {min:>12.1} ns/iter, median {:>12.1}, stddev {:>10.1} ({} iters, {} batches)",
-            median(&bencher.samples),
-            std_dev(&bencher.samples),
+            "bench {label:<50} min {min:>12.1} ns/iter, median {median:>12.1}, stddev {stddev:>10.1} ({} iters, {} batches)",
             bencher.iters_done,
             bencher.samples.len(),
         );
+        RESULTS.lock().unwrap().push(BenchRecord {
+            name: label.to_string(),
+            min_ns: min,
+            median_ns: median,
+            stddev_ns: stddev,
+            iters: bencher.iters_done,
+            batches: bencher.samples.len() as u64,
+        });
+    }
+}
+
+/// Directory the machine-readable summary is written to: the
+/// `ESTIMA_CRITERION_DIR` override, or `<workspace>/target/criterion` found
+/// by walking up from the current directory (cargo runs bench binaries from
+/// the package root, which is below the workspace target dir).
+fn summary_dir() -> PathBuf {
+    if let Some(dir) = std::env::var_os("ESTIMA_CRITERION_DIR") {
+        return PathBuf::from(dir);
+    }
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let target = dir.join("target");
+        if target.is_dir() {
+            return target.join("criterion");
+        }
+        if !dir.pop() {
+            return PathBuf::from("target/criterion");
+        }
+    }
+}
+
+/// Render records as a JSON array (one object per benchmark).
+fn render_summary(records: &[BenchRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (index, r) in records.iter().enumerate() {
+        if index > 0 {
+            out.push_str(",\n");
+        }
+        let name = r.name.replace('\\', "\\\\").replace('"', "\\\"");
+        out.push_str(&format!(
+            "{{\"name\":\"{name}\",\"min_ns\":{:.1},\"median_ns\":{:.1},\"stddev_ns\":{:.1},\"iters\":{},\"batches\":{}}}",
+            r.min_ns, r.median_ns, r.stddev_ns, r.iters, r.batches
+        ));
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Parse a summary previously written by [`render_summary`]. Tolerant: a
+/// malformed file yields an empty list (the summary is regenerated).
+fn parse_summary(text: &str) -> Vec<BenchRecord> {
+    let mut records = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with('{') || !line.ends_with('}') {
+            continue;
+        }
+        let body = &line[1..line.len() - 1];
+        let mut record = BenchRecord {
+            name: String::new(),
+            min_ns: f64::NAN,
+            median_ns: f64::NAN,
+            stddev_ns: f64::NAN,
+            iters: 0,
+            batches: 0,
+        };
+        // Fields are comma-separated `"key":value` pairs; the only string
+        // value is the name (first field), which our writer escapes.
+        for field in split_top_level_fields(body) {
+            let Some((key, value)) = field.split_once(':') else {
+                continue;
+            };
+            let key = key.trim().trim_matches('"');
+            let value = value.trim();
+            match key {
+                "name" => {
+                    let unquoted = value
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .unwrap_or(value);
+                    record.name = unquoted.replace("\\\"", "\"").replace("\\\\", "\\");
+                }
+                "min_ns" => record.min_ns = value.parse().unwrap_or(f64::NAN),
+                "median_ns" => record.median_ns = value.parse().unwrap_or(f64::NAN),
+                "stddev_ns" => record.stddev_ns = value.parse().unwrap_or(f64::NAN),
+                "iters" => record.iters = value.parse().unwrap_or(0),
+                "batches" => record.batches = value.parse().unwrap_or(0),
+                _ => {}
+            }
+        }
+        if !record.name.is_empty() {
+            records.push(record);
+        }
+    }
+    records
+}
+
+/// Split `"key":value` fields on commas that are not inside a quoted string.
+fn split_top_level_fields(body: &str) -> Vec<&str> {
+    let mut fields = Vec::new();
+    let mut start = 0;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in body.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            ',' if !in_string => {
+                fields.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    fields.push(&body[start..]);
+    fields
+}
+
+/// Merge this process's benchmark results into
+/// `target/criterion/summary.json` (keyed by benchmark name, so the several
+/// bench binaries of a `cargo bench` run accumulate into one file). Called by
+/// the [`criterion_main!`]-generated `main` after all groups have run.
+pub fn write_summary() {
+    let records = RESULTS.lock().unwrap();
+    if records.is_empty() {
+        return;
+    }
+    let dir = summary_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("criterion shim: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join("summary.json");
+    let mut merged = std::fs::read_to_string(&path)
+        .map(|text| parse_summary(&text))
+        .unwrap_or_default();
+    for record in records.iter() {
+        match merged.iter_mut().find(|r| r.name == record.name) {
+            Some(existing) => *existing = record.clone(),
+            None => merged.push(record.clone()),
+        }
+    }
+    merged.sort_by(|a, b| a.name.cmp(&b.name));
+    if let Err(e) = std::fs::write(&path, render_summary(&merged)) {
+        eprintln!("criterion shim: cannot write {}: {e}", path.display());
     }
 }
 
@@ -265,6 +443,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_summary();
         }
     };
 }
@@ -298,6 +477,36 @@ mod tests {
         assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
         assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
         assert!(median(&[]).is_nan());
+    }
+
+    #[test]
+    fn summary_round_trips_through_render_and_parse() {
+        let records = vec![
+            BenchRecord {
+                name: "fit_kernel/Rat22".into(),
+                min_ns: 1234.5,
+                median_ns: 1300.0,
+                stddev_ns: 42.1,
+                iters: 10_000,
+                batches: 12,
+            },
+            BenchRecord {
+                name: "group/quoted \"name\"".into(),
+                min_ns: 7.0,
+                median_ns: 8.5,
+                stddev_ns: 0.5,
+                iters: 3,
+                batches: 2,
+            },
+        ];
+        let parsed = parse_summary(&render_summary(&records));
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn parse_summary_tolerates_garbage() {
+        assert!(parse_summary("not json at all").is_empty());
+        assert!(parse_summary("[{\"name\":\"\"}]").is_empty());
     }
 
     #[test]
