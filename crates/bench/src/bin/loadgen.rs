@@ -1,0 +1,297 @@
+//! Load generator for `estima-serve`: drive the prediction service over
+//! loopback and report throughput, latency percentiles and cache hit-rate.
+//!
+//! ```text
+//! loadgen [--quick] [--duration-ms N] [--connections N] [--min-rps N]
+//!         [--addr HOST:PORT]
+//! ```
+//!
+//! By default an in-process server is spawned on a free loopback port and
+//! torn down afterwards; `--addr` points the clients at an externally
+//! started server instead. Each connection repeatedly POSTs the same
+//! quickstart-sized `/v1/predict` request (12 measurements, three stall
+//! categories, 48-core target) over keep-alive and times every
+//! request/response round trip client-side.
+//!
+//! Before the timed run, the first response is checked **byte-for-byte**
+//! against the in-process [`BatchPredictor`] prediction for the same job —
+//! the served bytes must decode to the exact `f64` bit patterns the library
+//! produces. The run fails (exit 1) on a mismatch, or when throughput falls
+//! below `--min-rps` (default 1000; `0` disables the gate).
+//!
+//! Results are merged into `target/criterion/summary.json` through the
+//! criterion shim (`serve/loadgen/latency` carries min/p50/stddev ns;
+//! `p99`, `throughput_rps` and `cache_hit_rate` carry their value in the
+//! `median_ns` column — the summary schema has one value slot per record).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::BenchRecord;
+use estima_core::json::Json;
+use estima_core::prelude::*;
+use estima_serve::{wire, Client, Server, ServerConfig};
+
+struct Options {
+    duration: Duration,
+    connections: usize,
+    min_rps: f64,
+    addr: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--quick] [--duration-ms N] [--connections N] [--min-rps N] \
+         [--addr HOST:PORT]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_options() -> Options {
+    let mut options = Options {
+        duration: Duration::from_millis(2000),
+        connections: 2,
+        min_rps: 1000.0,
+        addr: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--quick" => options.duration = Duration::from_millis(400),
+            "--duration-ms" => match value().parse::<u64>() {
+                Ok(ms) => options.duration = Duration::from_millis(ms),
+                Err(_) => usage(),
+            },
+            "--connections" => match value().parse() {
+                Ok(n) if n > 0 => options.connections = n,
+                _ => usage(),
+            },
+            "--min-rps" => match value().parse() {
+                Ok(rps) => options.min_rps = rps,
+                Err(_) => usage(),
+            },
+            "--addr" => options.addr = Some(value()),
+            _ => usage(),
+        }
+    }
+    options
+}
+
+/// The canonical load-generation job: the quickstart shape shared with the
+/// `serve` bench through the harness, so both measure the same series.
+fn job() -> (MeasurementSet, TargetSpec) {
+    estima_bench::harness::quickstart_sized_job("loadgen")
+}
+
+/// Check the served response decodes to the exact bits the library
+/// produces in-process.
+fn verify_byte_identity(response_body: &str) -> std::result::Result<(), String> {
+    let (set, target) = job();
+    let reference = BatchPredictor::new(EstimaConfig::default().with_parallelism(1))
+        .predict(&set, &target)
+        .map_err(|e| format!("in-process reference prediction failed: {e}"))?;
+    let decoded =
+        Json::parse(response_body).map_err(|e| format!("served body is not JSON: {e}"))?;
+    let served = decoded
+        .get("predicted_time")
+        .ok_or("served body has no predicted_time")
+        .and_then(|series| wire::series_from_json(series).map_err(|_| "bad series"))
+        .map_err(|e| e.to_string())?;
+    if served.len() != reference.predicted_time.len() {
+        return Err(format!(
+            "series length {} != in-process {}",
+            served.len(),
+            reference.predicted_time.len()
+        ));
+    }
+    for ((c1, t1), (c2, t2)) in reference.predicted_time.iter().zip(&served) {
+        if c1 != c2 || t1.to_bits() != t2.to_bits() {
+            return Err(format!(
+                "served prediction differs at {c1} cores: {t1:?} vs {t2:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn percentile(sorted_ns: &[u64], q: f64) -> u64 {
+    if sorted_ns.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted_ns.len() as f64).ceil() as usize).max(1);
+    sorted_ns[rank.min(sorted_ns.len()) - 1]
+}
+
+fn main() {
+    let options = parse_options();
+
+    // Spawn the in-process server unless an external one was named.
+    let (addr, handle) = match &options.addr {
+        Some(addr) => {
+            let addr = addr.parse().unwrap_or_else(|_| {
+                eprintln!("error: bad --addr {addr}");
+                std::process::exit(2);
+            });
+            (addr, None)
+        }
+        None => {
+            let server = Server::bind(ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                // One worker per load connection plus one for the probe
+                // connection, which stays open across the timed run (each
+                // worker owns its connection end-to-end, so a pool sized
+                // to the load connections alone would starve one of them).
+                workers: options.connections + 1,
+                ..ServerConfig::default()
+            })
+            .unwrap_or_else(|e| {
+                eprintln!("error: cannot bind loopback server: {e}");
+                std::process::exit(1);
+            });
+            let handle = server.spawn().unwrap_or_else(|e| {
+                eprintln!("error: cannot start server workers: {e}");
+                std::process::exit(1);
+            });
+            (handle.addr(), Some(handle))
+        }
+    };
+
+    let (set, target) = job();
+    let body = Arc::new(wire::predict_request_to_json(&set, &target).render());
+
+    // Warm-up + correctness gate: one request, checked bit-for-bit.
+    let mut probe = Client::connect(addr).unwrap_or_else(|e| {
+        eprintln!("error: cannot connect to {addr}: {e}");
+        std::process::exit(1);
+    });
+    let first = probe
+        .request("POST", "/v1/predict", &body)
+        .unwrap_or_else(|e| {
+            eprintln!("error: probe request failed: {e}");
+            std::process::exit(1);
+        });
+    if first.status != 200 {
+        eprintln!("error: probe got status {}: {}", first.status, first.body);
+        std::process::exit(1);
+    }
+    if let Err(e) = verify_byte_identity(&first.body) {
+        eprintln!("error: HTTP prediction is not byte-identical to in-process: {e}");
+        std::process::exit(1);
+    }
+
+    // Timed run: every connection loops the same request until the deadline.
+    let started = Instant::now();
+    let deadline = started + options.duration;
+    let mut threads = Vec::new();
+    for _ in 0..options.connections {
+        let body = Arc::clone(&body);
+        threads.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect load connection");
+            let mut latencies_ns: Vec<u64> = Vec::new();
+            while Instant::now() < deadline {
+                let sent = Instant::now();
+                let response = client
+                    .request("POST", "/v1/predict", &body)
+                    .expect("request during load");
+                assert_eq!(response.status, 200, "{}", response.body);
+                latencies_ns.push(u64::try_from(sent.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            }
+            latencies_ns
+        }));
+    }
+    let mut latencies: Vec<u64> = threads
+        .into_iter()
+        .flat_map(|t| t.join().expect("load thread panicked"))
+        .collect();
+    let elapsed = started.elapsed();
+    latencies.sort_unstable();
+
+    // Cache statistics straight from the server.
+    let stats = probe
+        .request("GET", "/v1/stats", "")
+        .ok()
+        .and_then(|r| Json::parse(&r.body).ok());
+    let hit_rate = stats
+        .as_ref()
+        .and_then(|s| s.get("cache"))
+        .and_then(|c| c.get("hit_rate"))
+        .and_then(Json::as_f64)
+        .unwrap_or(f64::NAN);
+    if let Some(handle) = handle {
+        handle.shutdown();
+    }
+
+    let total = latencies.len() as u64;
+    let rps = total as f64 / elapsed.as_secs_f64();
+    let min = latencies.first().copied().unwrap_or(0);
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+    let max = latencies.last().copied().unwrap_or(0);
+    let mean = latencies.iter().sum::<u64>() as f64 / total.max(1) as f64;
+    let stddev = (latencies
+        .iter()
+        .map(|&ns| (ns as f64 - mean).powi(2))
+        .sum::<f64>()
+        / total.max(1) as f64)
+        .sqrt();
+
+    println!(
+        "loadgen: {total} requests over {} connection(s) in {:.2}s = {rps:.0} req/s",
+        options.connections,
+        elapsed.as_secs_f64(),
+    );
+    println!(
+        "loadgen: latency min {:.1}µs p50 {:.1}µs p99 {:.1}µs max {:.1}µs",
+        min as f64 / 1e3,
+        p50 as f64 / 1e3,
+        p99 as f64 / 1e3,
+        max as f64 / 1e3,
+    );
+    println!("loadgen: fit-cache hit rate {hit_rate:.4}; predictions byte-identical to in-process");
+
+    // Merge into target/criterion/summary.json alongside the benches.
+    criterion::record(BenchRecord {
+        name: "serve/loadgen/latency".into(),
+        min_ns: min as f64,
+        median_ns: p50 as f64,
+        stddev_ns: stddev,
+        iters: total,
+        batches: options.connections as u64,
+    });
+    criterion::record(BenchRecord {
+        name: "serve/loadgen/p99".into(),
+        min_ns: p99 as f64,
+        median_ns: p99 as f64,
+        stddev_ns: 0.0,
+        iters: total,
+        batches: options.connections as u64,
+    });
+    criterion::record(BenchRecord {
+        name: "serve/loadgen/throughput_rps".into(),
+        min_ns: rps,
+        median_ns: rps,
+        stddev_ns: 0.0,
+        iters: total,
+        batches: options.connections as u64,
+    });
+    // As a percentage: the summary renders values with one decimal, and
+    // 0.1% resolution is meaningful where 0.1-of-a-fraction is not.
+    criterion::record(BenchRecord {
+        name: "serve/loadgen/cache_hit_rate_pct".into(),
+        min_ns: hit_rate * 100.0,
+        median_ns: hit_rate * 100.0,
+        stddev_ns: 0.0,
+        iters: total,
+        batches: options.connections as u64,
+    });
+    criterion::write_summary();
+
+    if options.min_rps > 0.0 && rps < options.min_rps {
+        eprintln!(
+            "error: throughput {rps:.0} req/s is below the --min-rps gate ({:.0})",
+            options.min_rps
+        );
+        std::process::exit(1);
+    }
+}

@@ -56,6 +56,28 @@ pub fn shared_fit_cache_stats() -> (usize, usize, usize) {
     (hits, misses, cache.len())
 }
 
+/// The canonical quickstart-sized serving job shared by the `loadgen`
+/// binary and the `serve` bench: 12 core counts, two backend stall
+/// categories plus a software one, targeting 48 cores — the same shape as
+/// the repository quickstart example. One definition so the load gate, the
+/// bench, and their in-process byte-identity references all measure the
+/// exact same series.
+pub fn quickstart_sized_job(app_name: &str) -> (MeasurementSet, TargetSpec) {
+    use estima_core::{Measurement, StallCategory};
+    let mut set = MeasurementSet::new(app_name, 2.1);
+    for cores in 1..=12u32 {
+        let n = f64::from(cores);
+        let time = 50.0 / n + 1.0;
+        set.push(
+            Measurement::new(cores, time)
+                .with_stall(StallCategory::backend("rob_full"), 4.0e8 * n * time * 0.7)
+                .with_stall(StallCategory::backend("ls_full"), 4.0e8 * n * time * 0.3)
+                .with_stall(StallCategory::software("lock_spin"), 1.0e7 * n * n),
+        );
+    }
+    (set, TargetSpec::cores(48))
+}
+
 /// The ESTIMA configuration experiments use: the paper defaults, downgraded
 /// to a cheaper grid in [`quick_mode`].
 pub fn default_config() -> EstimaConfig {

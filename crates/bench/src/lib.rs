@@ -15,7 +15,10 @@
 //! Reports are printed to stdout and written under `target/experiments/`.
 //! The Criterion benches in `benches/` cover the performance of the tool
 //! itself and of every substrate (fitting throughput, prediction latency,
-//! STM, locks, concurrent data structures, the simulator engine).
+//! HTTP serving, STM, locks, concurrent data structures, the simulator
+//! engine), and the `loadgen` binary load-tests the `estima-serve` HTTP
+//! service over loopback. See DESIGN.md § *Experiments* and § *Serving
+//! layer*.
 
 #![warn(missing_docs)]
 

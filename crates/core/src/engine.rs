@@ -145,55 +145,218 @@ impl FitKey {
             options: format!("{options:?}"),
         }
     }
+
+    /// FNV-1a hash of the key, used to pick a [`FitCache`] shard. This is
+    /// the same hash family the workspace already uses for deterministic
+    /// seeding (see the proptest shim); it is independent of the std
+    /// `Hash` randomness, so a key always lands on the same shard across
+    /// processes and runs.
+    fn shard_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        let mut eat = |byte: u8| {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        };
+        for bits in self.xs_bits.iter().chain(&self.ys_bits) {
+            for byte in bits.to_le_bytes() {
+                eat(byte);
+            }
+        }
+        for byte in self.options.as_bytes() {
+            eat(*byte);
+        }
+        hash
+    }
 }
 
-/// A concurrency-safe cache of candidate-fit lists keyed by [`FitKey`].
-/// Shared by every job of a [`BatchPredictor`] so that workloads measured on
-/// the same machine reuse each other's fits (identical series — e.g. a
-/// zero-noise category or a repeated workload — are fitted once).
+/// One cached candidate list plus its recency stamp (the shard's logical
+/// clock value at the last hit or insert; smallest = least recently used).
+#[derive(Debug)]
+struct ShardEntry {
+    value: Arc<Vec<FitCandidate>>,
+    last_used: u64,
+}
+
+/// One cache shard: its own map and logical clock behind its own lock, so
+/// lookups on different shards never contend.
 #[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<FitKey, ShardEntry>,
+    clock: u64,
+}
+
+impl Shard {
+    /// Evict least-recently-used entries until the shard is within
+    /// `capacity`. Returns how many entries were evicted.
+    fn enforce_capacity(&mut self, capacity: usize) -> usize {
+        let mut evicted = 0;
+        while self.map.len() > capacity {
+            let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(key, _)| key.clone())
+            else {
+                break;
+            };
+            self.map.remove(&oldest);
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
+/// Default number of shards (a power of two; the shard index is the low bits
+/// of the key's FNV hash).
+const DEFAULT_SHARDS: usize = 16;
+
+/// Default total capacity. A full `reproduce all` run caches a few hundred
+/// series, so the default never evicts there; it exists to bound memory for
+/// long-running servers seeing unbounded distinct series.
+const DEFAULT_CAPACITY: usize = 4096;
+
+/// A sharded, capacity-bounded, concurrency-safe cache of candidate-fit
+/// lists keyed by [`FitKey`]. Shared by every job of a [`BatchPredictor`] so
+/// that workloads measured on the same machine reuse each other's fits
+/// (identical series — e.g. a zero-noise category or a repeated workload —
+/// are fitted once), and by `estima-serve` so concurrent HTTP requests share
+/// fitted candidates without serializing on a single lock.
+///
+/// # Sharding and eviction
+///
+/// Keys are distributed over N independent shards by an FNV-1a hash of the
+/// series bits and options, each shard behind its own mutex, so concurrent
+/// lookups of different series proceed in parallel. Every shard holds at
+/// most `capacity / shards` entries and evicts its least-recently-used entry
+/// on overflow (a hit refreshes recency). Eviction only ever costs a refit:
+/// fits are deterministic, so a re-computed entry is bit-identical to the
+/// evicted one and predictions are unaffected — pinned by
+/// `crates/core/tests/fit_cache.rs`.
+#[derive(Debug)]
 pub struct FitCache {
-    entries: Mutex<HashMap<FitKey, Arc<Vec<FitCandidate>>>>,
+    shards: Vec<Mutex<Shard>>,
+    /// Maximum entries per shard.
+    shard_capacity: usize,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    evictions: AtomicUsize,
+}
+
+impl Default for FitCache {
+    fn default() -> Self {
+        FitCache::new()
+    }
 }
 
 impl FitCache {
-    /// Create an empty cache.
+    /// Create a cache with the default shard count and capacity.
     pub fn new() -> Self {
-        FitCache::default()
+        FitCache::with_shards_and_capacity(DEFAULT_SHARDS, DEFAULT_CAPACITY)
+    }
+
+    /// Create a cache bounded to roughly `capacity` entries in total, with
+    /// the default shard count.
+    pub fn with_capacity(capacity: usize) -> Self {
+        FitCache::with_shards_and_capacity(DEFAULT_SHARDS, capacity)
+    }
+
+    /// Create a cache with an explicit shard count and total capacity. The
+    /// capacity is split evenly across shards (rounded up, minimum one entry
+    /// per shard); a shard count of 0 is treated as 1.
+    pub fn with_shards_and_capacity(shards: usize, capacity: usize) -> Self {
+        let shards = shards.max(1);
+        let shard_capacity = capacity.div_ceil(shards).max(1);
+        FitCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_capacity,
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
+        }
+    }
+
+    /// The shard holding `key`.
+    fn shard_for(&self, key: &FitKey) -> &Mutex<Shard> {
+        let index = (key.shard_hash() as usize) % self.shards.len();
+        &self.shards[index]
     }
 
     /// Look up `key`, computing and inserting the candidate list on a miss.
     ///
-    /// The computation runs outside the cache lock, so concurrent misses on
-    /// the same key may compute twice — both produce identical results (the
-    /// fit is deterministic) and the first insert wins, so callers always
-    /// observe one consistent value.
+    /// The computation runs outside every cache lock, so concurrent misses
+    /// on the same key may compute twice — both produce identical results
+    /// (the fit is deterministic) and the first insert wins, so callers
+    /// always observe one consistent value. A hit refreshes the entry's LRU
+    /// recency; an insert that overflows the shard evicts its
+    /// least-recently-used entries.
     pub fn get_or_compute<F>(&self, key: FitKey, compute: F) -> Result<Arc<Vec<FitCandidate>>>
     where
         F: FnOnce() -> Result<Vec<FitCandidate>>,
     {
-        if let Some(found) = self.entries.lock().unwrap().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(found));
+        let shard = self.shard_for(&key);
+        {
+            let mut guard = shard.lock().unwrap();
+            guard.clock += 1;
+            let clock = guard.clock;
+            if let Some(entry) = guard.map.get_mut(&key) {
+                entry.last_used = clock;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(&entry.value));
+            }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let computed = Arc::new(compute()?);
-        let mut entries = self.entries.lock().unwrap();
-        Ok(Arc::clone(
-            entries.entry(key).or_insert_with(|| Arc::clone(&computed)),
-        ))
+        let mut guard = shard.lock().unwrap();
+        guard.clock += 1;
+        let clock = guard.clock;
+        let value = match guard.map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut occupied) => {
+                // A concurrent miss inserted first; its (identical) value
+                // wins, refreshed as just used.
+                occupied.get_mut().last_used = clock;
+                Arc::clone(&occupied.get().value)
+            }
+            std::collections::hash_map::Entry::Vacant(vacant) => Arc::clone(
+                &vacant
+                    .insert(ShardEntry {
+                        value: computed,
+                        last_used: clock,
+                    })
+                    .value,
+            ),
+        };
+        let evicted = guard.enforce_capacity(self.shard_capacity);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+        Ok(value)
     }
 
-    /// Number of cached series.
+    /// Number of cached series across all shards.
     pub fn len(&self) -> usize {
-        self.entries.lock().unwrap().len()
+        self.shards
+            .iter()
+            .map(|shard| shard.lock().unwrap().map.len())
+            .sum()
     }
 
     /// True when nothing has been cached yet.
     pub fn is_empty(&self) -> bool {
-        self.entries.lock().unwrap().is_empty()
+        self.shards
+            .iter()
+            .all(|shard| shard.lock().unwrap().map.is_empty())
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total capacity (entries) the cache is bounded to.
+    pub fn capacity(&self) -> usize {
+        self.shard_capacity * self.shards.len()
     }
 
     /// `(hits, misses)` counters since construction.
@@ -203,31 +366,66 @@ impl FitCache {
             self.misses.load(Ordering::Relaxed),
         )
     }
+
+    /// Number of entries evicted by the capacity bound since construction.
+    pub fn evictions(&self) -> usize {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Hit rate since construction: `hits / (hits + misses)`, or 0.0 before
+    /// the first lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let (hits, misses) = self.stats();
+        let total = hits + misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
 }
 
 /// Batch prediction API: run many workloads' predictions in parallel with a
 /// shared fit cache.
 ///
+/// This is the README's "many workloads, one call" example, as a runnable
+/// doc-test:
+///
 /// ```
-/// use estima_core::engine::BatchPredictor;
 /// use estima_core::prelude::*;
 ///
-/// let mut jobs = Vec::new();
-/// for app in ["alpha", "beta"] {
-///     let mut set = MeasurementSet::new(app, 2.1);
-///     for cores in 1..=8u32 {
-///         let n = cores as f64;
-///         set.push(
-///             Measurement::new(cores, 20.0 / n + 0.5)
-///                 .with_stall(StallCategory::backend("rob_full"), 1.0e9 * (1.0 + 0.1 * n * n)),
-///         );
-///     }
-///     jobs.push((set, TargetSpec::cores(32)));
+/// # fn measurement_sets() -> Vec<MeasurementSet> {
+/// #     ["alpha", "beta"].iter().map(|app| {
+/// #         let mut set = MeasurementSet::new(*app, 2.1);
+/// #         for cores in 1..=8u32 {
+/// #             let n = cores as f64;
+/// #             set.push(Measurement::new(cores, 20.0 / n + 0.5).with_stall(
+/// #                 StallCategory::backend("rob_full"), 1.0e9 * (1.0 + 0.1 * n * n)));
+/// #         }
+/// #         set
+/// #     }).collect()
+/// # }
+/// # fn main() -> estima_core::Result<()> {
+/// let sets: Vec<MeasurementSet> = measurement_sets();
+///
+/// // Many workloads, one call: parallel jobs + a shared fit cache, so
+/// // repeated series are fitted once.
+/// let config = EstimaConfig::default().with_parallelism(4);
+/// let batch = BatchPredictor::new(config);
+/// let jobs: Vec<(MeasurementSet, TargetSpec)> = sets
+///     .into_iter()
+///     .map(|set| (set, TargetSpec::cores(48)))
+///     .collect();
+/// for result in batch.predict_all(jobs) {
+///     let prediction = result?;
+///     println!(
+///         "{}: limit {} cores",
+///         prediction.app_name,
+///         prediction.predicted_scaling_limit()
+///     );
 /// }
-/// let batch = BatchPredictor::new(EstimaConfig::default());
-/// let predictions = batch.predict_all(jobs);
-/// assert_eq!(predictions.len(), 2);
-/// assert!(predictions.iter().all(|p| p.is_ok()));
+/// # Ok(())
+/// # }
 /// ```
 #[derive(Debug, Default)]
 pub struct BatchPredictor {

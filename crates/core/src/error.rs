@@ -1,29 +1,45 @@
 //! Error types for the ESTIMA prediction pipeline.
 
-#![allow(missing_docs)] // enum variant fields are described on the variants
-
 use std::fmt;
 
 /// Errors produced by the ESTIMA prediction pipeline.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EstimaError {
     /// Not enough measurements to run the regression step.
-    ///
-    /// The pipeline needs at least `required` measurements (training points
-    /// plus checkpoints) but only `available` were provided.
-    InsufficientMeasurements { required: usize, available: usize },
+    InsufficientMeasurements {
+        /// Measurements the pipeline needs (training points + checkpoints).
+        required: usize,
+        /// Measurements actually provided.
+        available: usize,
+    },
     /// The measurement set contains no stall categories at all.
     NoStallCategories,
     /// A stall category had measurements for a different set of core counts
     /// than the execution-time measurements.
-    InconsistentCoreCounts { category: String },
+    InconsistentCoreCounts {
+        /// The offending category (rendered `source:name`).
+        category: String,
+    },
     /// A measurement contained a non-finite or negative value.
-    InvalidMeasurement { cores: u32, detail: String },
+    InvalidMeasurement {
+        /// Core count of the offending measurement.
+        cores: u32,
+        /// What was wrong with it.
+        detail: String,
+    },
     /// Every candidate kernel was rejected for a category (all fits diverged
     /// or produced unrealistic extrapolations).
-    NoViableFit { category: String },
+    NoViableFit {
+        /// The category no kernel could fit (rendered `source:name`).
+        category: String,
+    },
     /// The target machine has fewer cores than the largest measurement.
-    TargetSmallerThanMeasurements { target: u32, measured: u32 },
+    TargetSmallerThanMeasurements {
+        /// Requested target core count.
+        target: u32,
+        /// Largest measured core count.
+        measured: u32,
+    },
     /// The linear-algebra layer failed (singular system, non-finite values).
     Numerical(String),
     /// Configuration was internally inconsistent (e.g. empty kernel set).

@@ -28,7 +28,7 @@
 //!   the kernel's analytic Jacobian and a per-thread [`LmWorkspace`], so the
 //!   LM iterations allocate nothing.
 //!
-//! Each worker thread owns one [`FitWorkspace`] (a thread local), so engine
+//! Each worker thread owns one `FitWorkspace` (a thread local), so engine
 //! fan-outs of any width reuse a fixed set of buffers.
 
 use std::cell::RefCell;

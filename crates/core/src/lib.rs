@@ -29,6 +29,11 @@
 //! extrapolated categories ([`BottleneckReport`]), and the plugin mechanism
 //! for user-supplied software stall categories ([`plugin`]).
 //!
+//! The module-to-paper mapping is documented in DESIGN.md § *Pipeline*; the
+//! parallel [`engine`] (work pool, sharded [`FitCache`]), the
+//! allocation-free fitting hot path, and the [`json`] machinery behind the
+//! `estima-serve` wire format each have their own DESIGN.md sections.
+//!
 //! ## Quick example
 //!
 //! ```
@@ -52,7 +57,7 @@
 //! assert!(prediction.predicted_time_at(32).is_some());
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod bottleneck;
@@ -60,6 +65,7 @@ pub mod config;
 pub mod engine;
 pub mod error;
 pub mod fit;
+pub mod json;
 pub mod kernels;
 pub mod levenberg;
 pub mod linalg;
@@ -78,6 +84,7 @@ pub use fit::{
     approximate_series, approximate_series_cached, approximate_series_with, candidate_fits,
     candidate_fits_cached, candidate_fits_with, fit_kernel, fit_kernel_with, FitOptions,
 };
+pub use json::Json;
 pub use kernels::{FittedCurve, KernelKind};
 pub use levenberg::{Jacobian, LmModel, LmOptions, LmStats, LmWorkspace};
 pub use measurement::{Measurement, MeasurementSet, StallCategory, StallSource};

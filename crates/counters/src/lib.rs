@@ -13,6 +13,9 @@
 //!   documented substitution for raw PMU access in this reproduction).
 //! * [`collect_measurements`] / [`collect_up_to`] — step A of the pipeline.
 //! * [`CpuTopology`] — the fill-same-socket-first placement policy of §4.1.
+//!
+//! How this substitution maps onto the paper is documented in DESIGN.md
+//! § *Measurement substrate*.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]

@@ -1,0 +1,93 @@
+//! A minimal blocking HTTP/1.1 client for driving the service over
+//! loopback: one keep-alive connection, one request/response at a time.
+//!
+//! This exists for the in-repo tooling — the `loadgen` binary and the
+//! `serve` criterion bench in `estima-bench` — and for embedding smoke
+//! checks. It is intentionally not a general HTTP client (no redirects, no
+//! chunked bodies, no TLS).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// One keep-alive client connection.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// A decoded response: status code and body bytes (as text — every endpoint
+/// of this service speaks JSON).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body.
+    pub body: String,
+}
+
+impl Client {
+    /// Open a connection to the server.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        // Request head + body go out as separate small writes; disable
+        // Nagle so the tail write is not delayed behind the peer's ACK.
+        stream.set_nodelay(true)?;
+        // A server whose fixed worker pool never services this connection
+        // (accepted into the kernel backlog, all workers busy) must fail a
+        // request cleanly instead of blocking forever.
+        stream.set_read_timeout(Some(std::time::Duration::from_secs(30)))?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Send one request and read the response. `body` may be empty (GET).
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> std::io::Result<ClientResponse> {
+        write!(
+            self.writer,
+            "{method} {path} HTTP/1.1\r\nhost: loopback\r\ncontent-type: application/json\r\n\
+             content-length: {}\r\n\r\n{body}",
+            body.len()
+        )?;
+        self.writer.flush()?;
+
+        let bad = |detail: String| std::io::Error::new(std::io::ErrorKind::InvalidData, detail);
+        let mut line = String::new();
+        self.reader.read_line(&mut line)?;
+        let status: u16 = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad(format!("bad status line {line:?}")))?;
+        let mut content_length = 0usize;
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(bad("eof inside response headers".into()));
+            }
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = trimmed.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| bad(format!("bad content-length {value:?}")))?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        let body = String::from_utf8(body).map_err(|_| bad("non-UTF-8 body".into()))?;
+        Ok(ClientResponse { status, body })
+    }
+}

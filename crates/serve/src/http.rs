@@ -1,0 +1,418 @@
+//! A deliberately small HTTP/1.1 implementation on `std::io`.
+//!
+//! Only what the prediction service needs: request-line + header parsing,
+//! `Content-Length` bodies, keep-alive connections, and fixed-status
+//! responses. No chunked transfer encoding, no TLS, no HTTP/2 — clients that
+//! need those sit behind a reverse proxy, which is how this service is meant
+//! to be deployed anyway (see DESIGN.md § *Serving layer*).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Largest accepted header block (request line + headers), in bytes.
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// Largest accepted request body, in bytes. Requests beyond this are
+/// answered with `413 Payload Too Large`.
+pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method, upper-case as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target path, e.g. `/v1/predict` (any query string is kept).
+    pub path: String,
+    /// Headers as `(lower-cased name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+    /// True when the client asked to close the connection after this
+    /// exchange (`Connection: close`).
+    pub close: bool,
+}
+
+impl Request {
+    /// First header value under `name` (lower-case), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why reading a request failed.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed the connection cleanly before sending a request
+    /// (normal end of a keep-alive session).
+    Closed,
+    /// The read timed out before the first byte of a request arrived (the
+    /// stream has a read timeout set). The connection is still healthy; the
+    /// caller decides whether to keep waiting — the server uses this to
+    /// notice shutdown while parked on idle keep-alive connections.
+    Idle,
+    /// The request was malformed (bad request line, header overflow, bad
+    /// `Content-Length`). The server answers 400 and closes.
+    Malformed(String),
+    /// The declared body exceeds [`MAX_BODY_BYTES`]. Answer 413 and close.
+    BodyTooLarge(usize),
+    /// Transport-level I/O failure.
+    Io(std::io::Error),
+}
+
+impl From<std::io::Error> for ReadError {
+    fn from(e: std::io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+/// Total time a started request may take to arrive. The stream's short
+/// read timeout exists so *idle* connections poll for shutdown; once the
+/// first byte of a request has arrived, a slow client gets this much time
+/// before the connection is declared dead.
+pub const REQUEST_READ_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(10);
+
+/// True for the error kinds a read timeout produces.
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Read one `\n`-terminated line as raw bytes, with a byte cap and
+/// poll-timeout tolerance.
+///
+/// Reads via `read_until` into a byte buffer — **not** `read_line` into a
+/// `String`, which on any error discards bytes it already consumed from
+/// the socket when they end mid-way through a multi-byte UTF-8 character
+/// (a poll timeout splitting a non-ASCII header would silently corrupt the
+/// request). At most `limit` bytes are appended (counted across retries);
+/// a line that reaches the cap without a newline is `Malformed`, so a
+/// newline-less byte stream cannot grow memory without bound. A poll
+/// timeout with nothing read *and* no deadline started yet reports `Idle`
+/// (the connection is between requests); otherwise the read retries until
+/// `deadline` — set from [`REQUEST_READ_TIMEOUT`] at the first sign of an
+/// in-flight request — and then fails, so a stalled client can never wedge
+/// a worker. Returns the bytes appended (0 = immediate EOF).
+fn read_line_capped(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    limit: usize,
+    deadline: &mut Option<std::time::Instant>,
+) -> Result<usize, ReadError> {
+    let start_len = buf.len();
+    loop {
+        let consumed = buf.len() - start_len;
+        if consumed >= limit {
+            return Err(ReadError::Malformed("line too large".into()));
+        }
+        match (&mut *reader)
+            .take((limit - consumed) as u64)
+            .read_until(b'\n', buf)
+        {
+            Ok(0) => return Ok(buf.len() - start_len), // EOF (maybe mid-line)
+            Ok(_) => {
+                if buf.ends_with(b"\n") {
+                    return Ok(buf.len() - start_len);
+                }
+                // Hit the cap without a newline; next iteration rejects.
+            }
+            Err(e) if is_timeout(&e) => {
+                if buf.len() == start_len && deadline.is_none() {
+                    return Err(ReadError::Idle);
+                }
+                let by = *deadline
+                    .get_or_insert_with(|| std::time::Instant::now() + REQUEST_READ_TIMEOUT);
+                if std::time::Instant::now() >= by {
+                    return Err(ReadError::Malformed("request read timed out".into()));
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+/// Decode one header/request line as UTF-8, or fail `Malformed`.
+fn line_as_str(buf: &[u8]) -> Result<&str, ReadError> {
+    std::str::from_utf8(buf).map_err(|_| ReadError::Malformed("line is not valid UTF-8".into()))
+}
+
+/// Read one request from a buffered stream. Blocks until a full request (or
+/// EOF / error) arrives.
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadError> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut header_bytes = 0;
+    let mut deadline: Option<std::time::Instant> = None;
+
+    // Request line. EOF before any byte means a clean keep-alive close; a
+    // read timeout before any byte means the connection is merely idle.
+    let n = read_line_capped(reader, &mut buf, MAX_HEADER_BYTES, &mut deadline)?;
+    if n == 0 {
+        return Err(ReadError::Closed);
+    }
+    // The request is in flight: every further read races the deadline.
+    deadline.get_or_insert_with(|| std::time::Instant::now() + REQUEST_READ_TIMEOUT);
+    header_bytes += buf.len();
+    let line = line_as_str(&buf)?;
+    let mut parts = line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) => (m.to_string(), p.to_string(), v),
+        _ => return Err(ReadError::Malformed(format!("bad request line: {line:?}"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Malformed(format!("unsupported {version}")));
+    }
+
+    // Headers until the blank line.
+    let mut headers = Vec::new();
+    loop {
+        buf.clear();
+        let remaining = MAX_HEADER_BYTES.saturating_sub(header_bytes).max(1);
+        let n = read_line_capped(reader, &mut buf, remaining, &mut deadline)?;
+        if n == 0 {
+            return Err(ReadError::Malformed("eof inside headers".into()));
+        }
+        header_bytes += n;
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(ReadError::Malformed("header block too large".into()));
+        }
+        let line = line_as_str(&buf)?;
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        let Some((name, value)) = trimmed.split_once(':') else {
+            return Err(ReadError::Malformed(format!("bad header: {trimmed:?}")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let close = headers
+        .iter()
+        .find(|(n, _)| n == "connection")
+        .is_some_and(|(_, v)| v.eq_ignore_ascii_case("close"));
+
+    // Only `Content-Length` bodies are implemented. A chunked body must be
+    // rejected outright (the caller answers 400 and closes): ignoring it
+    // would leave the chunk frames unread on the connection, to be parsed
+    // as the next request line — a silent keep-alive desync.
+    if headers.iter().any(|(n, _)| n == "transfer-encoding") {
+        return Err(ReadError::Malformed(
+            "transfer-encoding is not supported; send a content-length body".into(),
+        ));
+    }
+
+    // Body, when a Content-Length was declared.
+    let mut body = Vec::new();
+    if let Some(len) = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| v.as_str())
+    {
+        let len: usize = len
+            .parse()
+            .map_err(|_| ReadError::Malformed(format!("bad content-length: {len:?}")))?;
+        if len > MAX_BODY_BYTES {
+            return Err(ReadError::BodyTooLarge(len));
+        }
+        body.resize(len, 0);
+        // Fill manually rather than `read_exact`: a poll timeout mid-body
+        // must not lose the bytes already read (read_exact leaves the
+        // buffer unspecified on error), only exceed the request deadline.
+        let by = deadline.unwrap_or_else(|| std::time::Instant::now() + REQUEST_READ_TIMEOUT);
+        let mut filled = 0;
+        while filled < len {
+            match reader.read(&mut body[filled..]) {
+                Ok(0) => return Err(ReadError::Malformed("eof inside body".into())),
+                Ok(n) => filled += n,
+                Err(e) if is_timeout(&e) => {
+                    if std::time::Instant::now() >= by {
+                        return Err(ReadError::Malformed("request read timed out".into()));
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+        close,
+    })
+}
+
+/// One HTTP response about to be written.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body.
+    pub body: Vec<u8>,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            body: body.into(),
+            content_type: "application/json",
+        }
+    }
+}
+
+/// Reason phrase for the status codes the service emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Write `response`, with keep-alive unless `close` is set.
+pub fn write_response(
+    stream: &mut TcpStream,
+    response: &Response,
+    close: bool,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len(),
+        if close { "close" } else { "keep-alive" },
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&response.body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Run `client` against a socket pair and parse one request server-side.
+    fn round_trip(raw: &[u8]) -> Result<Request, ReadError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(&raw).unwrap();
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let request = read_request(&mut BufReader::new(stream));
+        writer.join().unwrap();
+        request
+    }
+
+    #[test]
+    fn parses_post_with_body_and_headers() {
+        let request = round_trip(
+            b"POST /v1/predict HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\
+              Content-Type: application/json\r\n\r\nabcd",
+        )
+        .unwrap();
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.path, "/v1/predict");
+        assert_eq!(request.body, b"abcd");
+        assert_eq!(request.header("content-type"), Some("application/json"));
+        assert!(!request.close);
+    }
+
+    #[test]
+    fn parses_get_and_connection_close() {
+        let request = round_trip(b"GET /v1/healthz HTTP/1.1\r\nConnection: Close\r\n\r\n").unwrap();
+        assert_eq!(request.method, "GET");
+        assert!(request.body.is_empty());
+        assert!(request.close);
+    }
+
+    #[test]
+    fn tolerates_slow_trickled_requests_under_poll_timeouts() {
+        use std::time::Duration;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            // Each pause is longer than the poll timeout below, so the
+            // server-side reads time out repeatedly mid-request — including
+            // between the two bytes of the multi-byte é in the header,
+            // which a String-based read_line would silently drop.
+            for chunk in [
+                b"POST /p HT".as_ref(),
+                b"TP/1.1\r\nX-Tag: caf\xc3",
+                b"\xa9\r\nContent-Le",
+                b"ngth: 4\r\n\r\nab",
+                b"cd",
+            ] {
+                stream.write_all(chunk).unwrap();
+                stream.flush().unwrap();
+                std::thread::sleep(Duration::from_millis(120));
+            }
+        });
+        let (stream, _) = listener.accept().unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_millis(40)))
+            .unwrap();
+        let mut reader = BufReader::new(stream);
+        let request = loop {
+            match read_request(&mut reader) {
+                Ok(request) => break request,
+                Err(ReadError::Idle) => continue, // nothing arrived yet
+                Err(other) => panic!("slow request was rejected: {other:?}"),
+            }
+        };
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.header("x-tag"), Some("café"));
+        assert_eq!(request.body, b"abcd");
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn caps_newline_less_request_lines() {
+        // A byte stream with no newline must be rejected once it exceeds
+        // the header cap instead of growing memory without bound.
+        let raw = vec![b'A'; MAX_HEADER_BYTES + 10];
+        assert!(matches!(round_trip(&raw), Err(ReadError::Malformed(_))));
+    }
+
+    #[test]
+    fn rejects_garbage_and_oversized_bodies() {
+        assert!(matches!(
+            round_trip(b"NOT A REQUEST\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(round_trip(b""), Err(ReadError::Closed)));
+        let huge = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            round_trip(huge.as_bytes()),
+            Err(ReadError::BodyTooLarge(_))
+        ));
+        // Chunked bodies are not implemented and must be rejected, not
+        // silently skipped (that would desync the keep-alive stream).
+        assert!(matches!(
+            round_trip(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+    }
+}

@@ -1,0 +1,45 @@
+//! # estima-serve
+//!
+//! A zero-dependency HTTP/1.1 prediction service over the ESTIMA pipeline:
+//! `POST` a [`MeasurementSet`](estima_core::MeasurementSet) and a
+//! [`TargetSpec`](estima_core::TargetSpec) as JSON, get the
+//! [`Prediction`](estima_core::Prediction) back — byte-identical to calling
+//! [`BatchPredictor`](estima_core::BatchPredictor) in-process.
+//!
+//! Built entirely on `std::net` (no async runtime, no HTTP crate): a fixed
+//! worker-thread accept pool ([`server`]) shares a sharded
+//! [`FitCache`](estima_core::FitCache), so repeated or concurrent requests
+//! for the same series are fitted once and served from cache. The wire
+//! format ([`wire`]) rides on the shared [`estima_core::json`] machinery
+//! with exact `f64` round-tripping.
+//!
+//! Endpoints: `POST /v1/predict`, `POST /v1/batch`, `GET /v1/healthz`,
+//! `GET /v1/stats`. The full wire-format specification, architecture
+//! diagram and error-code semantics are in DESIGN.md § *Serving layer*;
+//! README § *Run as a service* has `curl`-able examples.
+//!
+//! ```no_run
+//! use estima_serve::{Server, ServerConfig};
+//!
+//! let server = Server::bind(ServerConfig::default()).unwrap();
+//! println!("listening on {}", server.local_addr().unwrap());
+//! server.run().unwrap(); // blocks; drive it with curl or `loadgen`
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod client;
+pub mod http;
+pub mod server;
+pub mod stats;
+pub mod wire;
+
+pub use client::{Client, ClientResponse};
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use stats::ServerStats;
+
+/// Convenience re-exports for embedding the server.
+pub mod prelude {
+    pub use crate::server::{Server, ServerConfig, ServerHandle};
+}

@@ -1,0 +1,75 @@
+//! The `estima-serve` binary: run the prediction service from the command
+//! line.
+//!
+//! ```text
+//! estima-serve [--addr 127.0.0.1:7117] [--workers N] [--parallelism N]
+//!              [--cache-capacity N]
+//! ```
+//!
+//! Binds, prints the listening address, and serves until killed. See
+//! README § *Run as a service* for `curl` examples and DESIGN.md
+//! § *Serving layer* for the wire format.
+
+use estima_serve::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: estima-serve [--addr HOST:PORT] [--workers N] [--parallelism N] \
+         [--cache-capacity N]\n\
+         \n\
+         --addr            bind address (default 127.0.0.1:7117; port 0 = auto)\n\
+         --workers         accept-pool threads, 0 = one per CPU (default 4)\n\
+         --parallelism     per-prediction engine workers (default 1)\n\
+         --cache-capacity  fit-cache size in cached series (default 4096)"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {flag} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--workers" => match value("--workers").parse() {
+                Ok(n) => config.workers = n,
+                Err(_) => usage(),
+            },
+            "--parallelism" => match value("--parallelism").parse() {
+                Ok(n) => config.parallelism = n,
+                Err(_) => usage(),
+            },
+            "--cache-capacity" => match value("--cache-capacity").parse() {
+                Ok(n) => config.cache_capacity = n,
+                Err(_) => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+
+    let server = match Server::bind(config.clone()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", config.addr);
+            std::process::exit(1);
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => println!("estima-serve listening on http://{addr}/"),
+        Err(_) => println!("estima-serve listening on http://{}/", config.addr),
+    }
+    if let Err(e) = server.run() {
+        eprintln!("error: server failed: {e}");
+        std::process::exit(1);
+    }
+}

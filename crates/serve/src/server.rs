@@ -1,0 +1,433 @@
+//! The HTTP server: a fixed worker-thread accept pool over
+//! `std::net::TcpListener`, routing to the prediction pipeline.
+//!
+//! Each worker owns its accepted connection end-to-end (parse → predict →
+//! respond, keep-alive until the client closes), so the pool size is the
+//! concurrent-connection limit — there is no per-connection thread spawn and
+//! no async runtime. All workers share one application state: a
+//! [`BatchPredictor`] over the sharded [`FitCache`] (concurrent requests for
+//! different series take different shard locks) and the lock-free
+//! [`ServerStats`]. See DESIGN.md § *Serving layer* for the architecture
+//! diagram and wire contract.
+
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use estima_core::json::Json;
+use estima_core::{BatchPredictor, EstimaConfig, FitCache};
+
+use crate::http::{read_request, write_response, ReadError, Request, Response};
+use crate::stats::ServerStats;
+use crate::wire;
+
+/// Configuration of a prediction server.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind, e.g. `127.0.0.1:7117`. Port 0 picks a free port
+    /// (query it with [`Server::local_addr`]).
+    pub addr: String,
+    /// Number of accept-pool worker threads (also the concurrent-connection
+    /// limit). `0` means one worker per available CPU.
+    pub workers: usize,
+    /// [`EstimaConfig::parallelism`] used per prediction. The default (`1`)
+    /// keeps each request on its worker thread — request throughput comes
+    /// from the pool, not from fanning out a single request.
+    pub parallelism: usize,
+    /// Total [`FitCache`] capacity in cached series.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7117".to_string(),
+            workers: 4,
+            parallelism: 1,
+            cache_capacity: 4096,
+        }
+    }
+}
+
+/// Shared state of a running server.
+#[derive(Debug)]
+struct AppState {
+    batch: BatchPredictor,
+    stats: ServerStats,
+    workers: usize,
+    shutting_down: AtomicBool,
+}
+
+/// A bound (but not yet running) prediction server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<AppState>,
+}
+
+/// Handle to a running server: query its address, then shut it down.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    state: Arc<AppState>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind the listener and build the shared state. The server does not
+    /// accept connections until [`Server::run`] or [`Server::spawn`].
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            config.workers
+        };
+        let cache = Arc::new(FitCache::with_capacity(config.cache_capacity));
+        let estima_config = EstimaConfig::default().with_parallelism(config.parallelism.max(1));
+        let state = Arc::new(AppState {
+            batch: BatchPredictor::with_cache(estima_config, cache),
+            stats: ServerStats::default(),
+            workers,
+            shutting_down: AtomicBool::new(false),
+        });
+        Ok(Server { listener, state })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Run the accept pool on the calling thread plus `workers - 1` spawned
+    /// threads. Blocks until the process exits (the binary's mode).
+    pub fn run(self) -> std::io::Result<()> {
+        let workers = self.state.workers;
+        let mut threads = Vec::new();
+        for _ in 1..workers {
+            let listener = self.listener.try_clone()?;
+            let state = Arc::clone(&self.state);
+            threads.push(std::thread::spawn(move || accept_loop(listener, state)));
+        }
+        accept_loop(self.listener, Arc::clone(&self.state));
+        for thread in threads {
+            let _ = thread.join();
+        }
+        Ok(())
+    }
+
+    /// Start the accept pool on background threads and return a handle for
+    /// tests and the load generator.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let workers = self.state.workers;
+        let mut threads = Vec::new();
+        for _ in 0..workers {
+            let listener = self.listener.try_clone()?;
+            let state = Arc::clone(&self.state);
+            threads.push(std::thread::spawn(move || accept_loop(listener, state)));
+        }
+        Ok(ServerHandle {
+            addr,
+            state: self.state,
+            threads,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// Address the server is listening on.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, wake the workers, and join them. In-flight requests
+    /// complete; idle keep-alive connections are closed after their next
+    /// request.
+    pub fn shutdown(self) {
+        self.state.shutting_down.store(true, Ordering::SeqCst);
+        // One wake-up connection per worker unblocks every accept() call.
+        for _ in 0..self.threads.len() {
+            let _ = TcpStream::connect(self.addr);
+        }
+        for thread in self.threads {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// One worker: accept connections until shutdown, handling each end-to-end.
+fn accept_loop(listener: TcpListener, state: Arc<AppState>) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            // Accept errors (EMFILE, aborted handshakes) should not kill
+            // the worker; bail out only on shutdown. Back off briefly so a
+            // *persistent* error (fd exhaustion under overload) does not
+            // turn every worker into a busy-spin at the worst moment.
+            if state.shutting_down.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            continue;
+        };
+        if state.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        handle_connection(stream, &state);
+    }
+}
+
+/// How long a worker waits on an idle keep-alive connection before checking
+/// for shutdown again (also the upper bound a shutdown waits per worker).
+const IDLE_POLL: std::time::Duration = std::time::Duration::from_millis(250);
+
+/// Serve one connection: a keep-alive loop of request → route → response.
+fn handle_connection(stream: TcpStream, state: &AppState) {
+    // A read timeout turns blocked idle reads into `ReadError::Idle` polls,
+    // so a worker parked on a silent connection still notices shutdown. The
+    // write timeout frees a worker whose client stopped reading its
+    // response (a large `/v1/batch` reply can exceed the socket send
+    // buffer); a timed-out write leaves the response half-sent, so the
+    // connection is simply dropped.
+    let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    let _ = stream.set_write_timeout(Some(crate::http::REQUEST_READ_TIMEOUT));
+    // Responses are written as two small writes (head, body); without
+    // TCP_NODELAY the second write can sit behind Nagle + delayed ACK for
+    // tens of milliseconds per request.
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut stream = stream;
+    loop {
+        let (response, close) = match read_request(&mut reader) {
+            Ok(request) => {
+                let close = request.close || state.shutting_down.load(Ordering::SeqCst);
+                (route(&request, state), close)
+            }
+            Err(ReadError::Idle) => {
+                if state.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(ReadError::Closed) | Err(ReadError::Io(_)) => return,
+            Err(ReadError::BodyTooLarge(len)) => (
+                Response::json(
+                    413,
+                    wire::error_to_json(
+                        "payload_too_large",
+                        &format!("declared body of {len} bytes exceeds the limit"),
+                    )
+                    .render(),
+                ),
+                true,
+            ),
+            Err(ReadError::Malformed(detail)) => (
+                Response::json(400, wire::error_to_json("bad_request", &detail).render()),
+                true,
+            ),
+        };
+        if response.status >= 500 {
+            state.stats.server_errors.fetch_add(1, Ordering::Relaxed);
+        } else if response.status >= 400 {
+            state.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        if write_response(&mut stream, &response, close).is_err() || close {
+            return;
+        }
+    }
+}
+
+/// Dispatch one request to its endpoint handler. Routing ignores any query
+/// string (no endpoint takes parameters, but `GET /v1/healthz?probe=1`
+/// from a health checker must still be served).
+fn route(request: &Request, state: &AppState) -> Response {
+    let path = request.path.split('?').next().unwrap_or("");
+    match (request.method.as_str(), path) {
+        ("GET", "/v1/healthz") => {
+            state.stats.healthz_requests.fetch_add(1, Ordering::Relaxed);
+            healthz(state)
+        }
+        ("GET", "/v1/stats") => {
+            state.stats.stats_requests.fetch_add(1, Ordering::Relaxed);
+            stats(state)
+        }
+        ("POST", "/v1/predict") => {
+            state.stats.predict_requests.fetch_add(1, Ordering::Relaxed);
+            predict(request, state)
+        }
+        ("POST", "/v1/batch") => {
+            state.stats.batch_requests.fetch_add(1, Ordering::Relaxed);
+            batch(request, state)
+        }
+        (_, "/v1/healthz" | "/v1/stats" | "/v1/predict" | "/v1/batch") => Response::json(
+            405,
+            wire::error_to_json(
+                "method_not_allowed",
+                &format!("{} is not supported on {}", request.method, request.path),
+            )
+            .render(),
+        ),
+        (_, path) => Response::json(
+            404,
+            wire::error_to_json("not_found", &format!("no route for {path}")).render(),
+        ),
+    }
+}
+
+/// Parse a request body as JSON, mapping failures to `400 bad_request`.
+fn parse_body(request: &Request) -> Result<Json, Response> {
+    let text = std::str::from_utf8(&request.body).map_err(|_| {
+        Response::json(
+            400,
+            wire::error_to_json("bad_request", "body is not valid UTF-8").render(),
+        )
+    })?;
+    Json::parse(text)
+        .map_err(|e| Response::json(400, wire::error_to_json("bad_request", &e).render()))
+}
+
+/// `GET /v1/healthz`.
+fn healthz(state: &AppState) -> Response {
+    let body = Json::Object(vec![
+        ("status".to_string(), Json::String("ok".to_string())),
+        ("workers".to_string(), Json::Number(state.workers as f64)),
+    ]);
+    Response::json(200, body.render())
+}
+
+/// `GET /v1/stats`.
+fn stats(state: &AppState) -> Response {
+    let cache = state.batch.cache();
+    let (hits, misses) = cache.stats();
+    let stats = &state.stats;
+    let load = |counter: &std::sync::atomic::AtomicU64| counter.load(Ordering::Relaxed) as f64;
+    let quantile = |q: f64| match stats.latency_quantile_ns(q) {
+        Some(ns) => Json::Number(ns as f64 / 1_000.0),
+        None => Json::Null,
+    };
+    let body = Json::Object(vec![
+        (
+            "requests".to_string(),
+            Json::Object(vec![
+                (
+                    "predict".to_string(),
+                    Json::Number(load(&stats.predict_requests)),
+                ),
+                (
+                    "batch".to_string(),
+                    Json::Number(load(&stats.batch_requests)),
+                ),
+                (
+                    "healthz".to_string(),
+                    Json::Number(load(&stats.healthz_requests)),
+                ),
+                (
+                    "stats".to_string(),
+                    Json::Number(load(&stats.stats_requests)),
+                ),
+                (
+                    "client_errors".to_string(),
+                    Json::Number(load(&stats.client_errors)),
+                ),
+                (
+                    "server_errors".to_string(),
+                    Json::Number(load(&stats.server_errors)),
+                ),
+            ]),
+        ),
+        (
+            "predictions".to_string(),
+            Json::Number(load(&stats.predictions)),
+        ),
+        (
+            "cache".to_string(),
+            Json::Object(vec![
+                ("hits".to_string(), Json::Number(hits as f64)),
+                ("misses".to_string(), Json::Number(misses as f64)),
+                ("hit_rate".to_string(), Json::Number(cache.hit_rate())),
+                ("entries".to_string(), Json::Number(cache.len() as f64)),
+                (
+                    "capacity".to_string(),
+                    Json::Number(cache.capacity() as f64),
+                ),
+                ("shards".to_string(), Json::Number(cache.shards() as f64)),
+                (
+                    "evictions".to_string(),
+                    Json::Number(cache.evictions() as f64),
+                ),
+            ]),
+        ),
+        (
+            "latency_us".to_string(),
+            Json::Object(vec![
+                (
+                    "count".to_string(),
+                    Json::Number(stats.latency_count() as f64),
+                ),
+                ("p50".to_string(), quantile(0.50)),
+                ("p90".to_string(), quantile(0.90)),
+                ("p99".to_string(), quantile(0.99)),
+            ]),
+        ),
+    ]);
+    Response::json(200, body.render())
+}
+
+/// `POST /v1/predict`.
+fn predict(request: &Request, state: &AppState) -> Response {
+    let body = match parse_body(request) {
+        Ok(body) => body,
+        Err(response) => return response,
+    };
+    let (set, target) = match wire::predict_request_from_json(&body) {
+        Ok(decoded) => decoded,
+        Err(e) => return Response::json(400, wire::error_to_json("bad_request", &e.0).render()),
+    };
+    let started = Instant::now();
+    let result = state.batch.predict(&set, &target);
+    state.stats.record_latency(started.elapsed());
+    match result {
+        Ok(prediction) => {
+            state.stats.predictions.fetch_add(1, Ordering::Relaxed);
+            Response::json(200, wire::prediction_to_json(&prediction).render())
+        }
+        Err(e) => Response::json(422, wire::estima_error_to_json(&e).render()),
+    }
+}
+
+/// `POST /v1/batch`.
+fn batch(request: &Request, state: &AppState) -> Response {
+    let body = match parse_body(request) {
+        Ok(body) => body,
+        Err(response) => return response,
+    };
+    let jobs = match wire::batch_request_from_json(&body) {
+        Ok(jobs) => jobs,
+        Err(e) => return Response::json(400, wire::error_to_json("bad_request", &e.0).render()),
+    };
+    let started = Instant::now();
+    let results = state.batch.predict_all(jobs);
+    state.stats.record_latency(started.elapsed());
+    let encoded: Vec<Json> = results
+        .into_iter()
+        .map(|result| match result {
+            Ok(prediction) => {
+                state.stats.predictions.fetch_add(1, Ordering::Relaxed);
+                Json::Object(vec![(
+                    "prediction".to_string(),
+                    wire::prediction_to_json(&prediction),
+                )])
+            }
+            Err(e) => wire::estima_error_to_json(&e),
+        })
+        .collect();
+    let body = Json::Object(vec![("results".to_string(), Json::Array(encoded))]);
+    Response::json(200, body.render())
+}

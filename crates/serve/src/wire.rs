@@ -1,0 +1,475 @@
+//! The JSON wire format of the prediction service.
+//!
+//! This module is the single authority for encoding and decoding the
+//! request/response bodies of every endpoint, built on
+//! [`estima_core::json`]. The full field-by-field specification — with
+//! tables, examples and error-code semantics — lives in DESIGN.md
+//! § *Serving layer*; the encoders here are the normative implementation.
+//!
+//! # Fidelity
+//!
+//! Numbers are rendered with shortest-round-trip formatting
+//! ([`Json::render`]), so every `f64` in a response parses back to the exact
+//! bit pattern the predictor produced: predictions served over HTTP are
+//! byte-identical to in-process [`estima_core::BatchPredictor`] results
+//! (pinned by `tests/server_roundtrip.rs` and the `loadgen` harness).
+
+use estima_core::json::Json;
+use estima_core::{
+    EstimaError, Measurement, MeasurementSet, Prediction, StallCategory, StallSource, TargetSpec,
+};
+
+/// A wire-level decoding failure: the body was valid-ish JSON but not a
+/// valid request. Maps to `400 bad_request`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn err(message: impl Into<String>) -> WireError {
+    WireError(message.into())
+}
+
+/// Wire name of a stall source.
+fn source_name(source: StallSource) -> &'static str {
+    match source {
+        StallSource::HardwareBackend => "hw_backend",
+        StallSource::HardwareFrontend => "hw_frontend",
+        StallSource::Software => "software",
+    }
+}
+
+/// Parse a wire stall-source name.
+fn parse_source(name: &str) -> Result<StallSource, WireError> {
+    match name {
+        "hw_backend" => Ok(StallSource::HardwareBackend),
+        "hw_frontend" => Ok(StallSource::HardwareFrontend),
+        "software" => Ok(StallSource::Software),
+        other => Err(err(format!(
+            "unknown stall source `{other}` (expected hw_backend, hw_frontend or software)"
+        ))),
+    }
+}
+
+fn require<'a>(value: &'a Json, key: &str, context: &str) -> Result<&'a Json, WireError> {
+    value
+        .get(key)
+        .ok_or_else(|| err(format!("{context}: missing field `{key}`")))
+}
+
+fn require_f64(value: &Json, key: &str, context: &str) -> Result<f64, WireError> {
+    require(value, key, context)?
+        .as_f64()
+        .ok_or_else(|| err(format!("{context}: field `{key}` must be a number")))
+}
+
+fn require_u32(value: &Json, key: &str, context: &str) -> Result<u32, WireError> {
+    require(value, key, context)?
+        .as_u64()
+        .and_then(|n| u32::try_from(n).ok())
+        .ok_or_else(|| {
+            err(format!(
+                "{context}: field `{key}` must be a non-negative integer"
+            ))
+        })
+}
+
+fn require_str<'a>(value: &'a Json, key: &str, context: &str) -> Result<&'a str, WireError> {
+    require(value, key, context)?
+        .as_str()
+        .ok_or_else(|| err(format!("{context}: field `{key}` must be a string")))
+}
+
+/// Decode a `MeasurementSet` from its wire object (see DESIGN.md for the
+/// field table).
+pub fn measurement_set_from_json(value: &Json) -> Result<MeasurementSet, WireError> {
+    let context = "measurements";
+    let app_name = require_str(value, "app_name", context)?;
+    let frequency_ghz = require_f64(value, "frequency_ghz", context)?;
+    let mut set = MeasurementSet::new(app_name, frequency_ghz);
+    let points = require(value, "points", context)?
+        .as_array()
+        .ok_or_else(|| err("measurements: field `points` must be an array"))?;
+    for (index, point) in points.iter().enumerate() {
+        let context = format!("measurements.points[{index}]");
+        let cores = require_u32(point, "cores", &context)?;
+        let exec_time = require_f64(point, "exec_time", &context)?;
+        let mut measurement = Measurement::new(cores, exec_time);
+        if let Some(footprint) = point.get("memory_footprint") {
+            let bytes = footprint.as_u64().ok_or_else(|| {
+                err(format!(
+                    "{context}: field `memory_footprint` must be a non-negative integer"
+                ))
+            })?;
+            measurement = measurement.with_memory_footprint(bytes);
+        }
+        if let Some(stalls) = point.get("stalls") {
+            let stalls = stalls
+                .as_array()
+                .ok_or_else(|| err(format!("{context}: field `stalls` must be an array")))?;
+            for (sindex, stall) in stalls.iter().enumerate() {
+                let context = format!("{context}.stalls[{sindex}]");
+                let source = parse_source(require_str(stall, "source", &context)?)?;
+                let name = require_str(stall, "name", &context)?;
+                let cycles = require_f64(stall, "cycles", &context)?;
+                let category = StallCategory {
+                    name: name.to_string(),
+                    source,
+                };
+                measurement = measurement.with_stall(category, cycles);
+            }
+        }
+        set.push(measurement);
+    }
+    Ok(set)
+}
+
+/// Encode a `MeasurementSet` as its wire object. Inverse of
+/// [`measurement_set_from_json`]; used by clients (`loadgen`, tests) to
+/// build request bodies.
+pub fn measurement_set_to_json(set: &MeasurementSet) -> Json {
+    let points = set
+        .measurements()
+        .iter()
+        .map(|m| {
+            let mut fields = vec![
+                ("cores".to_string(), Json::Number(f64::from(m.cores))),
+                ("exec_time".to_string(), Json::Number(m.exec_time)),
+            ];
+            if let Some(bytes) = m.memory_footprint {
+                fields.push(("memory_footprint".to_string(), Json::Number(bytes as f64)));
+            }
+            let stalls = m
+                .stalls
+                .iter()
+                .map(|(category, cycles)| {
+                    Json::Object(vec![
+                        (
+                            "source".to_string(),
+                            Json::String(source_name(category.source).to_string()),
+                        ),
+                        ("name".to_string(), Json::String(category.name.clone())),
+                        ("cycles".to_string(), Json::Number(*cycles)),
+                    ])
+                })
+                .collect();
+            fields.push(("stalls".to_string(), Json::Array(stalls)));
+            Json::Object(fields)
+        })
+        .collect();
+    Json::Object(vec![
+        ("app_name".to_string(), Json::String(set.app_name.clone())),
+        ("frequency_ghz".to_string(), Json::Number(set.frequency_ghz)),
+        ("points".to_string(), Json::Array(points)),
+    ])
+}
+
+/// Decode a `TargetSpec` from its wire object.
+pub fn target_spec_from_json(value: &Json) -> Result<TargetSpec, WireError> {
+    let context = "target";
+    let mut spec = TargetSpec::cores(require_u32(value, "cores", context)?);
+    if let Some(freq) = value.get("frequency_ghz") {
+        let ghz = freq
+            .as_f64()
+            .ok_or_else(|| err("target: field `frequency_ghz` must be a number"))?;
+        spec = spec.with_frequency_ghz(ghz);
+    }
+    if let Some(scale) = value.get("dataset_scale") {
+        let scale = scale
+            .as_f64()
+            .ok_or_else(|| err("target: field `dataset_scale` must be a number"))?;
+        spec = spec.with_dataset_scale(scale);
+    }
+    Ok(spec)
+}
+
+/// Encode a `TargetSpec` as its wire object.
+pub fn target_spec_to_json(spec: &TargetSpec) -> Json {
+    let mut fields = vec![("cores".to_string(), Json::Number(f64::from(spec.cores)))];
+    if let Some(ghz) = spec.frequency_ghz {
+        fields.push(("frequency_ghz".to_string(), Json::Number(ghz)));
+    }
+    fields.push((
+        "dataset_scale".to_string(),
+        Json::Number(spec.dataset_scale),
+    ));
+    Json::Object(fields)
+}
+
+/// Decode one `/v1/predict` request body: a `measurements` object and a
+/// `target` object.
+pub fn predict_request_from_json(value: &Json) -> Result<(MeasurementSet, TargetSpec), WireError> {
+    let set = measurement_set_from_json(require(value, "measurements", "request")?)?;
+    let target = target_spec_from_json(require(value, "target", "request")?)?;
+    Ok((set, target))
+}
+
+/// Encode a `/v1/predict` request body. Inverse of
+/// [`predict_request_from_json`].
+pub fn predict_request_to_json(set: &MeasurementSet, target: &TargetSpec) -> Json {
+    Json::Object(vec![
+        ("measurements".to_string(), measurement_set_to_json(set)),
+        ("target".to_string(), target_spec_to_json(target)),
+    ])
+}
+
+/// Decode a `/v1/batch` request body: a `jobs` array of predict requests.
+pub fn batch_request_from_json(
+    value: &Json,
+) -> Result<Vec<(MeasurementSet, TargetSpec)>, WireError> {
+    let jobs = require(value, "jobs", "request")?
+        .as_array()
+        .ok_or_else(|| err("request: field `jobs` must be an array"))?;
+    jobs.iter()
+        .enumerate()
+        .map(|(index, job)| {
+            predict_request_from_json(job).map_err(|e| err(format!("jobs[{index}]: {e}")))
+        })
+        .collect()
+}
+
+/// Encode a `(cores, value)` series as an array of `[cores, value]` pairs.
+fn series_to_json(series: &[(u32, f64)]) -> Json {
+    Json::Array(
+        series
+            .iter()
+            .map(|(cores, value)| {
+                Json::Array(vec![Json::Number(f64::from(*cores)), Json::Number(*value)])
+            })
+            .collect(),
+    )
+}
+
+/// Decode a series of `[cores, value]` pairs (the encoding of
+/// `predicted_time`, `stalls_per_core` and `measured_time`).
+pub fn series_from_json(value: &Json) -> Result<Vec<(u32, f64)>, WireError> {
+    value
+        .as_array()
+        .ok_or_else(|| err("series must be an array"))?
+        .iter()
+        .map(|pair| {
+            let pair = pair
+                .as_array()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| err("series entries must be [cores, value] pairs"))?;
+            let cores = pair[0]
+                .as_u64()
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| err("series cores must be an integer"))?;
+            let value = pair[1]
+                .as_f64()
+                .ok_or_else(|| err("series value must be a number"))?;
+            Ok((cores, value))
+        })
+        .collect()
+}
+
+/// Encode a `Prediction` as its wire object (the `/v1/predict` response
+/// body; also the per-job payload of `/v1/batch` responses).
+pub fn prediction_to_json(prediction: &Prediction) -> Json {
+    let categories = prediction
+        .categories
+        .iter()
+        .map(|extrapolation| {
+            Json::Object(vec![
+                (
+                    "source".to_string(),
+                    Json::String(source_name(extrapolation.category.source).to_string()),
+                ),
+                (
+                    "name".to_string(),
+                    Json::String(extrapolation.category.name.clone()),
+                ),
+                (
+                    "kernel".to_string(),
+                    Json::String(extrapolation.curve.kernel.name().to_string()),
+                ),
+                (
+                    "params".to_string(),
+                    Json::Array(
+                        extrapolation
+                            .curve
+                            .params
+                            .iter()
+                            .map(|p| Json::Number(*p))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "extrapolated_at_target".to_string(),
+                    Json::Number(
+                        extrapolation
+                            .at(prediction.target_cores)
+                            .unwrap_or(f64::NAN),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    Json::Object(vec![
+        (
+            "app_name".to_string(),
+            Json::String(prediction.app_name.clone()),
+        ),
+        (
+            "measured_cores".to_string(),
+            Json::Number(f64::from(prediction.measured_cores)),
+        ),
+        (
+            "target_cores".to_string(),
+            Json::Number(f64::from(prediction.target_cores)),
+        ),
+        (
+            "predicted_scaling_limit".to_string(),
+            Json::Number(f64::from(prediction.predicted_scaling_limit())),
+        ),
+        (
+            "factor_correlation".to_string(),
+            Json::Number(prediction.factor_correlation),
+        ),
+        (
+            "scaling_factor_kernel".to_string(),
+            Json::String(prediction.scaling_factor.kernel.name().to_string()),
+        ),
+        (
+            "predicted_time".to_string(),
+            series_to_json(&prediction.predicted_time),
+        ),
+        (
+            "stalls_per_core".to_string(),
+            series_to_json(&prediction.stalls_per_core),
+        ),
+        (
+            "measured_time".to_string(),
+            series_to_json(&prediction.measured_time),
+        ),
+        ("categories".to_string(), Json::Array(categories)),
+    ])
+}
+
+/// Encode a wire error body: `{"error": {"code": ..., "message": ...}}`.
+pub fn error_to_json(code: &str, message: &str) -> Json {
+    Json::Object(vec![(
+        "error".to_string(),
+        Json::Object(vec![
+            ("code".to_string(), Json::String(code.to_string())),
+            ("message".to_string(), Json::String(message.to_string())),
+        ]),
+    )])
+}
+
+/// Wire error code for a prediction-pipeline failure (`422
+/// prediction_failed`); the variant name is carried in the message.
+pub fn estima_error_to_json(error: &EstimaError) -> Json {
+    error_to_json("prediction_failed", &error.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use estima_core::{Estima, EstimaConfig};
+
+    fn demo_set() -> MeasurementSet {
+        let mut set = MeasurementSet::new("wire-demo", 2.1);
+        for cores in 1..=8u32 {
+            let n = f64::from(cores);
+            set.push(
+                Measurement::new(cores, 20.0 / n + 0.5)
+                    .with_stall(
+                        StallCategory::backend("rob_full"),
+                        1.0e9 * (1.0 + 0.1 * n * n),
+                    )
+                    .with_stall(StallCategory::software("lock_spin"), 1.0e7 * n)
+                    .with_memory_footprint(1 << 20),
+            );
+        }
+        set
+    }
+
+    #[test]
+    fn measurement_set_round_trips_exactly() {
+        let set = demo_set();
+        let encoded = measurement_set_to_json(&set).render();
+        let decoded = measurement_set_from_json(&Json::parse(&encoded).unwrap()).unwrap();
+        assert_eq!(decoded, set);
+    }
+
+    #[test]
+    fn target_spec_round_trips_with_and_without_options() {
+        for spec in [
+            TargetSpec::cores(48),
+            TargetSpec::cores(32)
+                .with_frequency_ghz(2.8)
+                .with_dataset_scale(2.0),
+        ] {
+            let encoded = target_spec_to_json(&spec).render();
+            let decoded = target_spec_from_json(&Json::parse(&encoded).unwrap()).unwrap();
+            assert_eq!(decoded, spec);
+        }
+    }
+
+    #[test]
+    fn predict_request_round_trips() {
+        let set = demo_set();
+        let target = TargetSpec::cores(48);
+        let body = predict_request_to_json(&set, &target).render();
+        let (set2, target2) = predict_request_from_json(&Json::parse(&body).unwrap()).unwrap();
+        assert_eq!(set2, set);
+        assert_eq!(target2, target);
+    }
+
+    #[test]
+    fn prediction_series_survive_encoding_bit_for_bit() {
+        let prediction = Estima::new(EstimaConfig::default().with_parallelism(1))
+            .predict(&demo_set(), &TargetSpec::cores(48))
+            .unwrap();
+        let encoded = prediction_to_json(&prediction).render();
+        let decoded = Json::parse(&encoded).unwrap();
+        let times = series_from_json(decoded.get("predicted_time").unwrap()).unwrap();
+        assert_eq!(times.len(), prediction.predicted_time.len());
+        for ((c1, t1), (c2, t2)) in prediction.predicted_time.iter().zip(&times) {
+            assert_eq!(c1, c2);
+            assert_eq!(t1.to_bits(), t2.to_bits(), "exact f64 round trip");
+        }
+    }
+
+    #[test]
+    fn decode_errors_name_the_offending_field() {
+        let missing = Json::parse(r#"{"app_name":"x","frequency_ghz":2.0}"#).unwrap();
+        let error = measurement_set_from_json(&missing).unwrap_err();
+        assert!(error.0.contains("points"), "{error}");
+
+        let bad_source = Json::parse(
+            r#"{"app_name":"x","frequency_ghz":2.0,"points":[
+                {"cores":1,"exec_time":1.0,"stalls":[{"source":"gpu","name":"x","cycles":1}]}]}"#,
+        )
+        .unwrap();
+        let error = measurement_set_from_json(&bad_source).unwrap_err();
+        assert!(error.0.contains("unknown stall source"), "{error}");
+
+        let bad_jobs = Json::parse(r#"{"jobs":{}}"#).unwrap();
+        assert!(batch_request_from_json(&bad_jobs).is_err());
+    }
+
+    #[test]
+    fn error_bodies_have_code_and_message() {
+        let body = estima_error_to_json(&EstimaError::NoStallCategories).render();
+        let decoded = Json::parse(&body).unwrap();
+        let error = decoded.get("error").unwrap();
+        assert_eq!(
+            error.get("code").and_then(Json::as_str),
+            Some("prediction_failed")
+        );
+        assert!(error
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("stall categories"));
+    }
+}

@@ -1,0 +1,281 @@
+//! End-to-end tests: a real server on a loopback socket, driven by a real
+//! TCP client, including the headline guarantee — predictions served over
+//! HTTP are byte-identical to in-process [`BatchPredictor`] output.
+
+use estima_core::json::Json;
+use estima_core::prelude::*;
+use estima_serve::wire;
+use estima_serve::{Server, ServerConfig};
+
+/// The shared blocking client (`estima_serve::Client` — the one `loadgen`
+/// and the serve bench use), wrapped to panic on transport errors and
+/// return `(status, body)` tuples. Independent-client coverage of the HTTP
+/// framing comes from the CI curl smoke step.
+struct Client(estima_serve::Client);
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        Client(estima_serve::Client::connect(addr).expect("connect to test server"))
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: &str) -> (u16, String) {
+        let response = self.0.request(method, path, body).expect("request failed");
+        (response.status, response.body)
+    }
+}
+
+fn spawn_server() -> estima_serve::ServerHandle {
+    Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback server")
+    .spawn()
+    .expect("spawn server workers")
+}
+
+/// A quickstart-sized measurement set: 12 core counts, two backend stall
+/// categories and a software one, like the repository quickstart example.
+fn quickstart_sized_set(app: &str) -> MeasurementSet {
+    let mut set = MeasurementSet::new(app, 2.1);
+    for cores in 1..=12u32 {
+        let n = f64::from(cores);
+        let time = 50.0 / n + 1.0;
+        set.push(
+            Measurement::new(cores, time)
+                .with_stall(StallCategory::backend("rob_full"), 4.0e8 * n * time * 0.7)
+                .with_stall(StallCategory::backend("ls_full"), 4.0e8 * n * time * 0.3)
+                .with_stall(StallCategory::software("lock_spin"), 1.0e7 * n * n),
+        );
+    }
+    set
+}
+
+#[test]
+fn predict_over_http_is_byte_identical_to_in_process() {
+    let handle = spawn_server();
+    let mut client = Client::connect(handle.addr());
+
+    let set = quickstart_sized_set("quickstart");
+    let target = TargetSpec::cores(48);
+    let body = wire::predict_request_to_json(&set, &target).render();
+    let (status, response) = client.request("POST", "/v1/predict", &body);
+    assert_eq!(status, 200, "{response}");
+
+    // The reference: the same prediction computed in-process, through the
+    // same API the server uses.
+    let reference = BatchPredictor::new(EstimaConfig::default().with_parallelism(1))
+        .predict(&set, &target)
+        .unwrap();
+
+    let decoded = Json::parse(&response).unwrap();
+    assert_eq!(
+        decoded.get("app_name").and_then(Json::as_str),
+        Some("quickstart")
+    );
+    assert_eq!(decoded.get("target_cores").and_then(Json::as_u64), Some(48));
+    let served = wire::series_from_json(decoded.get("predicted_time").unwrap()).unwrap();
+    assert_eq!(served.len(), reference.predicted_time.len());
+    for ((c1, t1), (c2, t2)) in reference.predicted_time.iter().zip(&served) {
+        assert_eq!(c1, c2);
+        assert_eq!(
+            t1.to_bits(),
+            t2.to_bits(),
+            "served prediction differs at {c1} cores: {t1} vs {t2}"
+        );
+    }
+    let spc = wire::series_from_json(decoded.get("stalls_per_core").unwrap()).unwrap();
+    for ((c1, s1), (c2, s2)) in reference.stalls_per_core.iter().zip(&spc) {
+        assert_eq!(c1, c2);
+        assert_eq!(s1.to_bits(), s2.to_bits());
+    }
+
+    handle.shutdown();
+}
+
+#[test]
+fn keep_alive_repeat_requests_hit_the_fit_cache() {
+    let handle = spawn_server();
+    let mut client = Client::connect(handle.addr());
+
+    let body =
+        wire::predict_request_to_json(&quickstart_sized_set("repeat"), &TargetSpec::cores(24))
+            .render();
+    let (_, first) = client.request("POST", "/v1/predict", &body);
+    let (_, second) = client.request("POST", "/v1/predict", &body);
+    assert_eq!(
+        first, second,
+        "identical requests must serve identical bytes"
+    );
+
+    let (status, stats) = client.request("GET", "/v1/stats", "");
+    assert_eq!(status, 200);
+    let stats = Json::parse(&stats).unwrap();
+    let cache = stats.get("cache").unwrap();
+    let hits = cache.get("hits").and_then(Json::as_u64).unwrap();
+    assert!(hits > 0, "second request should hit the cache: {cache:?}");
+    assert_eq!(
+        stats
+            .get("requests")
+            .unwrap()
+            .get("predict")
+            .and_then(Json::as_u64),
+        Some(2)
+    );
+    assert_eq!(
+        stats
+            .get("latency_us")
+            .unwrap()
+            .get("count")
+            .and_then(Json::as_u64),
+        Some(2)
+    );
+
+    handle.shutdown();
+}
+
+#[test]
+fn batch_endpoint_preserves_job_order_and_reports_per_job_errors() {
+    let handle = spawn_server();
+    let mut client = Client::connect(handle.addr());
+
+    // Job 2 is invalid: too few measurements for a prediction.
+    let good_a =
+        wire::predict_request_to_json(&quickstart_sized_set("alpha"), &TargetSpec::cores(32));
+    let mut tiny = MeasurementSet::new("tiny", 2.0);
+    tiny.push(Measurement::new(1, 1.0).with_stall(StallCategory::backend("x"), 1.0));
+    let bad = wire::predict_request_to_json(&tiny, &TargetSpec::cores(32));
+    let good_b =
+        wire::predict_request_to_json(&quickstart_sized_set("beta"), &TargetSpec::cores(32));
+    let body = Json::Object(vec![(
+        "jobs".to_string(),
+        Json::Array(vec![good_a, bad, good_b]),
+    )])
+    .render();
+
+    let (status, response) = client.request("POST", "/v1/batch", &body);
+    assert_eq!(status, 200, "{response}");
+    let results = Json::parse(&response)
+        .unwrap()
+        .get("results")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .to_vec();
+    assert_eq!(results.len(), 3);
+    assert_eq!(
+        results[0]
+            .get("prediction")
+            .unwrap()
+            .get("app_name")
+            .and_then(Json::as_str),
+        Some("alpha")
+    );
+    assert_eq!(
+        results[1]
+            .get("error")
+            .unwrap()
+            .get("code")
+            .and_then(Json::as_str),
+        Some("prediction_failed")
+    );
+    assert_eq!(
+        results[2]
+            .get("prediction")
+            .unwrap()
+            .get("app_name")
+            .and_then(Json::as_str),
+        Some("beta")
+    );
+
+    handle.shutdown();
+}
+
+#[test]
+fn error_codes_match_the_documented_semantics() {
+    let handle = spawn_server();
+    let mut client = Client::connect(handle.addr());
+
+    let (status, body) = client.request("GET", "/v1/healthz", "");
+    assert_eq!(status, 200);
+    assert_eq!(
+        Json::parse(&body)
+            .unwrap()
+            .get("status")
+            .and_then(Json::as_str),
+        Some("ok")
+    );
+
+    // A query string must not break routing (health checkers append them).
+    let (status, _) = client.request("GET", "/v1/healthz?probe=1", "");
+    assert_eq!(status, 200);
+
+    let (status, body) = client.request("GET", "/nope", "");
+    assert_eq!(status, 404);
+    let code = |body: &str| {
+        Json::parse(body)
+            .unwrap()
+            .get("error")
+            .unwrap()
+            .get("code")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+    };
+    assert_eq!(code(&body).as_deref(), Some("not_found"));
+
+    let (status, body) = client.request("GET", "/v1/predict", "");
+    assert_eq!(status, 405);
+    assert_eq!(code(&body).as_deref(), Some("method_not_allowed"));
+
+    let (status, body) = client.request("POST", "/v1/predict", "{not json");
+    assert_eq!(status, 400);
+    assert_eq!(code(&body).as_deref(), Some("bad_request"));
+
+    let (status, body) = client.request("POST", "/v1/predict", r#"{"target":{"cores":8}}"#);
+    assert_eq!(status, 400);
+    assert_eq!(code(&body).as_deref(), Some("bad_request"));
+
+    // Valid wire format, but the pipeline rejects it: 422.
+    let mut tiny = MeasurementSet::new("tiny", 2.0);
+    tiny.push(Measurement::new(1, 1.0).with_stall(StallCategory::backend("x"), 1.0));
+    let body_text = wire::predict_request_to_json(&tiny, &TargetSpec::cores(8)).render();
+    let (status, body) = client.request("POST", "/v1/predict", &body_text);
+    assert_eq!(status, 422);
+    assert_eq!(code(&body).as_deref(), Some("prediction_failed"));
+
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_clients_are_served_in_parallel_workers() {
+    let handle = spawn_server();
+    let addr = handle.addr();
+    let body = std::sync::Arc::new(
+        wire::predict_request_to_json(&quickstart_sized_set("par"), &TargetSpec::cores(24))
+            .render(),
+    );
+    let mut threads = Vec::new();
+    for _ in 0..2 {
+        let body = std::sync::Arc::clone(&body);
+        threads.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr);
+            let mut bodies = Vec::new();
+            for _ in 0..3 {
+                let (status, response) = client.request("POST", "/v1/predict", &body);
+                assert_eq!(status, 200);
+                bodies.push(response);
+            }
+            bodies
+        }));
+    }
+    let all: Vec<Vec<String>> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+    // Every response across both connections is the same bytes.
+    let reference = &all[0][0];
+    for bodies in &all {
+        for body in bodies {
+            assert_eq!(body, reference);
+        }
+    }
+    handle.shutdown();
+}

@@ -12,7 +12,12 @@
 //!
 //! Passing `--quick` on the bench command line (`cargo bench -- --quick`) or
 //! setting `ESTIMA_BENCH_QUICK=1` shrinks the time budgets ~4x for CI smoke
-//! runs.
+//! runs. When `ESTIMA_BENCH_QUICK` is set at all it takes precedence over
+//! the command line: `1` (or any value other than `0`) forces quick mode,
+//! `0` forces full budgets even if `--quick` was passed. The env var exists
+//! because `cargo bench --workspace` cannot forward `--quick` (library
+//! targets' libtest harnesses reject unknown flags), so CI flips the whole
+//! workspace through the environment.
 //!
 //! Besides the console lines, every bench binary merges its results into a
 //! machine-readable `target/criterion/summary.json` (one record per
@@ -52,13 +57,14 @@ pub struct BenchRecord {
 /// Results of every benchmark this process has run so far.
 static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
 
-/// True when the process was started in smoke mode (`--quick` argument or
-/// `ESTIMA_BENCH_QUICK` in the environment).
+/// True when the process was started in smoke mode. `ESTIMA_BENCH_QUICK`
+/// takes precedence when set (`0` = full budgets, anything else = quick);
+/// otherwise `--quick` on the command line enables quick mode.
 fn quick_mode() -> bool {
     static QUICK: OnceLock<bool> = OnceLock::new();
-    *QUICK.get_or_init(|| {
-        std::env::args().any(|a| a == "--quick")
-            || std::env::var_os("ESTIMA_BENCH_QUICK").is_some_and(|v| v != "0")
+    *QUICK.get_or_init(|| match std::env::var_os("ESTIMA_BENCH_QUICK") {
+        Some(value) => value != "0",
+        None => std::env::args().any(|a| a == "--quick"),
     })
 }
 
@@ -392,6 +398,17 @@ fn split_top_level_fields(body: &str) -> Vec<&str> {
     }
     fields.push(&body[start..]);
     fields
+}
+
+/// Record an externally measured result so [`write_summary`] merges it into
+/// `target/criterion/summary.json` alongside the timing-loop benchmarks.
+///
+/// This is a shim extension (real criterion has no equivalent): the
+/// `loadgen` binary in `estima-bench` measures request latencies itself —
+/// per-request, client-side — and reports throughput/percentiles through
+/// this entry point so perf trajectories live in one file.
+pub fn record(record: BenchRecord) {
+    RESULTS.lock().unwrap().push(record);
 }
 
 /// Merge this process's benchmark results into

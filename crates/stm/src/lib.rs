@@ -27,6 +27,9 @@
 //! assert_eq!(balance.read_atomic(), 150);
 //! assert_eq!(stm.stats().snapshot().commits, 1);
 //! ```
+//!
+//! How this stands in for SwissTM's statistics mode is documented in
+//! DESIGN.md § *Software stalls*.
 
 #![warn(missing_docs)]
 

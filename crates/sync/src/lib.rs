@@ -17,6 +17,9 @@
 //!   that report wait cycles to a shared [`StallStats`] registry,
 //! * cycle accounting utilities ([`CycleTimer`]) and cache-line padding
 //!   ([`Padded`]).
+//!
+//! How these stand in for the paper's pthread wrappers is documented in
+//! DESIGN.md § *Software stalls*.
 
 #![warn(missing_docs)]
 

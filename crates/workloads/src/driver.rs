@@ -71,7 +71,7 @@ pub fn timed_run(
 /// Run an executable workload at every thread count in `plan` and build an
 /// ESTIMA [`MeasurementSet`] containing execution time and the software
 /// stall categories. (Hardware categories come from a
-/// [`estima_counters::CounterSource`]; host runs only provide the software
+/// `estima_counters::CounterSource`; host runs only provide the software
 /// side, which is what the paper's pthread/STM wrappers provide too.)
 pub fn measure_executable(
     workload: &dyn ExecutableWorkload,

@@ -17,7 +17,9 @@
 //!    shared-memory kernels and K-NN ([`parsec`]), and the production-style
 //!    applications ([`apps`]).
 //!
-//! The [`driver`] module turns executable runs into ESTIMA measurement sets.
+//! The [`driver`] module turns executable runs into ESTIMA measurement
+//! sets. The workload roster and calibration approach are documented in
+//! DESIGN.md § *Workloads*.
 
 #![warn(missing_docs)]
 

@@ -11,6 +11,7 @@
 //! * [`sync`] — synchronisation primitives with stall accounting.
 //! * [`stm`] — the SwissTM-style software transactional memory.
 //! * [`workloads`] — the 21 evaluation workloads and their drivers.
+//! * [`serve`] — the HTTP prediction service (DESIGN.md § *Serving layer*).
 //!
 //! See the repository README for a tour and `DESIGN.md` for how the pieces
 //! map onto the paper.
@@ -20,6 +21,7 @@
 pub use estima_core as core;
 pub use estima_counters as counters;
 pub use estima_machine as machine;
+pub use estima_serve as serve;
 pub use estima_stm as stm;
 pub use estima_sync as sync;
 pub use estima_workloads as workloads;
@@ -27,4 +29,5 @@ pub use estima_workloads as workloads;
 /// Common imports for end-to-end use of the toolkit.
 pub mod prelude {
     pub use estima_core::prelude::*;
+    pub use estima_serve::prelude::*;
 }
