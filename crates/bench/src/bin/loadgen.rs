@@ -2,27 +2,39 @@
 //! loopback and report throughput, latency percentiles and cache hit-rate.
 //!
 //! ```text
-//! loadgen [--quick] [--duration-ms N] [--connections N] [--min-rps N]
-//!         [--addr HOST:PORT]
+//! loadgen [--quick] [--scenario quickstart|ingest] [--duration-ms N]
+//!         [--connections N] [--min-rps N] [--addr HOST:PORT]
 //! ```
 //!
 //! By default an in-process server is spawned on a free loopback port and
 //! torn down afterwards; `--addr` points the clients at an externally
-//! started server instead. Each connection repeatedly POSTs the same
-//! quickstart-sized `/v1/predict` request (12 measurements, three stall
-//! categories, 48-core target) over keep-alive and times every
-//! request/response round trip client-side.
+//! started server instead. Request generation is pluggable through the
+//! [`Scenario`] trait, so every workload shares the connection pool, the
+//! timing loop and the summary plumbing:
 //!
-//! Before the timed run, the first response is checked **byte-for-byte**
-//! against the in-process [`BatchPredictor`] prediction for the same job —
-//! the served bytes must decode to the exact `f64` bit patterns the library
-//! produces. The run fails (exit 1) on a mismatch, or when throughput falls
-//! below `--min-rps` (default 1000; `0` disables the gate).
+//! * **`quickstart`** (default) — every connection repeatedly POSTs the
+//!   same quickstart-sized `/v1/predict` request (12 measurements, three
+//!   stall categories, 48-core target) over keep-alive.
+//! * **`ingest`** — the stateful mix: each connection owns a named series
+//!   (seeded point-by-point through `POST /v1/measurements` before the
+//!   timed run) and issues 80% `POST /v1/series/{id}/predict` / 20%
+//!   `POST /v1/measurements` traffic. Every ingest bumps the series
+//!   version and invalidates its cached fits, so the mix continuously
+//!   exercises the refit path — and every predict response is checked
+//!   byte-for-byte against the in-process reference for that series.
+//!
+//! Before the timed run, each scenario verifies one response
+//! **byte-for-byte** against the in-process [`BatchPredictor`] prediction
+//! for the same job — the served bytes must decode to the exact `f64` bit
+//! patterns the library produces. The run fails (exit 1) on a mismatch, or
+//! when throughput falls below `--min-rps` (default 1000; `0` disables the
+//! gate).
 //!
 //! Results are merged into `target/criterion/summary.json` through the
-//! criterion shim (`serve/loadgen/latency` carries min/p50/stddev ns;
-//! `p99`, `throughput_rps` and `cache_hit_rate` carry their value in the
-//! `median_ns` column — the summary schema has one value slot per record).
+//! criterion shim (`serve/loadgen[-ingest]/latency` carries
+//! min/p50/stddev ns; `p99`, `throughput_rps` and `cache_hit_rate` carry
+//! their value in the `median_ns` column — the summary schema has one value
+//! slot per record).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -30,19 +42,20 @@ use std::time::{Duration, Instant};
 use criterion::BenchRecord;
 use estima_core::json::Json;
 use estima_core::prelude::*;
-use estima_serve::{wire, Client, Server, ServerConfig};
+use estima_serve::{wire, Client, ClientResponse, Server, ServerConfig};
 
 struct Options {
     duration: Duration,
     connections: usize,
     min_rps: f64,
     addr: Option<String>,
+    scenario: String,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: loadgen [--quick] [--duration-ms N] [--connections N] [--min-rps N] \
-         [--addr HOST:PORT]"
+        "usage: loadgen [--quick] [--scenario quickstart|ingest] [--duration-ms N] \
+         [--connections N] [--min-rps N] [--addr HOST:PORT]"
     );
     std::process::exit(2);
 }
@@ -53,6 +66,7 @@ fn parse_options() -> Options {
         connections: 2,
         min_rps: 1000.0,
         addr: None,
+        scenario: "quickstart".to_string(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -72,47 +86,261 @@ fn parse_options() -> Options {
                 Err(_) => usage(),
             },
             "--addr" => options.addr = Some(value()),
+            "--scenario" => options.scenario = value(),
             _ => usage(),
         }
     }
     options
 }
 
-/// The canonical load-generation job: the quickstart shape shared with the
-/// `serve` bench through the harness, so both measure the same series.
-fn job() -> (MeasurementSet, TargetSpec) {
-    estima_bench::harness::quickstart_sized_job("loadgen")
+/// One request a load connection is about to send, borrowed from the
+/// scenario's precomputed storage (the hot loop allocates nothing).
+struct RequestSpec<'a> {
+    method: &'a str,
+    path: &'a str,
+    body: &'a str,
 }
 
-/// Check the served response decodes to the exact bits the library
-/// produces in-process.
-fn verify_byte_identity(response_body: &str) -> std::result::Result<(), String> {
-    let (set, target) = job();
-    let reference = BatchPredictor::new(EstimaConfig::default().with_parallelism(1))
-        .predict(&set, &target)
+/// A load-generation workload: what each connection sends, and what a
+/// correct response looks like. Implementations precompute their request
+/// bodies so the timed loop is pure I/O; they share the connection pool,
+/// timing and summary code in [`main`].
+trait Scenario: Sync {
+    /// Short name, used for the summary record prefix (`serve/{name}/...`).
+    fn name(&self) -> &'static str;
+
+    /// One-time setup over the probe connection before the timed run:
+    /// seed server-side state and verify byte-identity against the
+    /// in-process reference. Errors abort the run.
+    fn prepare(&self, probe: &mut Client) -> std::result::Result<(), String>;
+
+    /// The request connection `connection` sends as its `iteration`-th
+    /// call.
+    fn request(&self, connection: usize, iteration: u64) -> RequestSpec<'_>;
+
+    /// Validate one response from the timed loop (called on every
+    /// response; must be cheap).
+    fn check(
+        &self,
+        connection: usize,
+        iteration: u64,
+        response: &ClientResponse,
+    ) -> std::result::Result<(), String>;
+}
+
+/// The canonical load-generation job: the quickstart shape shared with the
+/// `serve` bench through the harness, so both measure the same series.
+fn quickstart_job(app: &str) -> (MeasurementSet, TargetSpec) {
+    estima_bench::harness::quickstart_sized_job(app)
+}
+
+/// The in-process reference prediction for a job, rendered exactly as the
+/// server renders it.
+fn reference_response(
+    set: &MeasurementSet,
+    target: &TargetSpec,
+) -> std::result::Result<String, String> {
+    let prediction = BatchPredictor::new(EstimaConfig::default().with_parallelism(1))
+        .predict(set, target)
         .map_err(|e| format!("in-process reference prediction failed: {e}"))?;
-    let decoded =
-        Json::parse(response_body).map_err(|e| format!("served body is not JSON: {e}"))?;
-    let served = decoded
-        .get("predicted_time")
-        .ok_or("served body has no predicted_time")
-        .and_then(|series| wire::series_from_json(series).map_err(|_| "bad series"))
-        .map_err(|e| e.to_string())?;
-    if served.len() != reference.predicted_time.len() {
-        return Err(format!(
-            "series length {} != in-process {}",
-            served.len(),
-            reference.predicted_time.len()
-        ));
+    Ok(wire::prediction_to_json(&prediction).render())
+}
+
+/// The stateless scenario: every connection re-POSTs the same complete
+/// measurement set to `/v1/predict`.
+struct QuickstartScenario {
+    body: String,
+    expected: String,
+}
+
+impl QuickstartScenario {
+    fn new() -> std::result::Result<Self, String> {
+        let (set, target) = quickstart_job("loadgen");
+        Ok(QuickstartScenario {
+            body: wire::predict_request_to_json(&set, &target).render(),
+            expected: reference_response(&set, &target)?,
+        })
     }
-    for ((c1, t1), (c2, t2)) in reference.predicted_time.iter().zip(&served) {
-        if c1 != c2 || t1.to_bits() != t2.to_bits() {
-            return Err(format!(
-                "served prediction differs at {c1} cores: {t1:?} vs {t2:?}"
-            ));
+}
+
+impl Scenario for QuickstartScenario {
+    fn name(&self) -> &'static str {
+        "loadgen"
+    }
+
+    fn prepare(&self, probe: &mut Client) -> std::result::Result<(), String> {
+        let first = probe
+            .request("POST", "/v1/predict", &self.body)
+            .map_err(|e| format!("probe request failed: {e}"))?;
+        if first.status != 200 {
+            return Err(format!("probe got status {}: {}", first.status, first.body));
+        }
+        if first.body != self.expected {
+            return Err("HTTP prediction is not byte-identical to in-process".into());
+        }
+        Ok(())
+    }
+
+    fn request(&self, _connection: usize, _iteration: u64) -> RequestSpec<'_> {
+        RequestSpec {
+            method: "POST",
+            path: "/v1/predict",
+            body: &self.body,
         }
     }
-    Ok(())
+
+    fn check(
+        &self,
+        _connection: usize,
+        _iteration: u64,
+        response: &ClientResponse,
+    ) -> std::result::Result<(), String> {
+        if response.status != 200 {
+            return Err(format!("status {}: {}", response.status, response.body));
+        }
+        if response.body != self.expected {
+            return Err("served prediction drifted from the in-process bits".into());
+        }
+        Ok(())
+    }
+}
+
+/// How many requests of every [`IngestScenario`] connection's cycle are
+/// ingests (1 in 5 = the 80/20 predict/ingest mix).
+const INGEST_EVERY: u64 = 5;
+
+/// The stateful scenario: per-connection named series, mixed
+/// predict/ingest traffic. Every ingest re-pushes one of the series' own
+/// points (cycling through the core counts), which bumps the version and
+/// invalidates that series' cached fits without changing its content — so
+/// the refit path runs continuously while every predict response stays
+/// byte-identical to the reference.
+struct IngestScenario {
+    /// Per-connection series predict path (`/v1/series/{id}/predict`).
+    predict_paths: Vec<String>,
+    /// The bare-`TargetSpec` predict body (shared by every connection).
+    target_body: String,
+    /// Per-connection expected predict response (app_name = series id).
+    expected: Vec<String>,
+    /// Per-connection, per-point single-point ingest bodies — used both to
+    /// seed the series in [`IngestScenario::prepare`] and, cycled, as the
+    /// timed loop's ingest traffic (a re-pushed point is still a version
+    /// bump).
+    ingest_bodies: Vec<Vec<String>>,
+}
+
+impl IngestScenario {
+    fn new(connections: usize) -> std::result::Result<Self, String> {
+        // The target is connection-independent; render it once.
+        let (_, target) = quickstart_job("load-0");
+        let mut scenario = IngestScenario {
+            predict_paths: Vec::new(),
+            target_body: wire::target_spec_to_json(&target).render(),
+            expected: Vec::new(),
+            ingest_bodies: Vec::new(),
+        };
+        for connection in 0..connections {
+            let name = format!("load-{connection}");
+            let series = SeriesId::new(&name).map_err(|e| e.to_string())?;
+            let (set, target) = quickstart_job(&name);
+            scenario
+                .predict_paths
+                .push(format!("/v1/series/{name}/predict"));
+            scenario.expected.push(reference_response(&set, &target)?);
+            let point_bodies: Vec<String> = set
+                .measurements()
+                .iter()
+                .map(|point| {
+                    wire::ingest_request_to_json(
+                        &series,
+                        Some(set.frequency_ghz),
+                        std::slice::from_ref(point),
+                    )
+                    .render()
+                })
+                .collect();
+            scenario.ingest_bodies.push(point_bodies);
+        }
+        Ok(scenario)
+    }
+}
+
+impl Scenario for IngestScenario {
+    fn name(&self) -> &'static str {
+        "loadgen-ingest"
+    }
+
+    fn prepare(&self, probe: &mut Client) -> std::result::Result<(), String> {
+        // Seed every connection's series point-by-point — the incremental
+        // collection flow — then pin the served prediction to the
+        // in-process bits for the equivalent full set.
+        for (connection, seeds) in self.ingest_bodies.iter().enumerate() {
+            for body in seeds {
+                let response = probe
+                    .request("POST", "/v1/measurements", body)
+                    .map_err(|e| format!("seeding ingest failed: {e}"))?;
+                if response.status != 200 {
+                    return Err(format!(
+                        "seeding ingest got status {}: {}",
+                        response.status, response.body
+                    ));
+                }
+            }
+            let first = probe
+                .request("POST", &self.predict_paths[connection], &self.target_body)
+                .map_err(|e| format!("probe series predict failed: {e}"))?;
+            if first.status != 200 {
+                return Err(format!(
+                    "probe series predict got status {}: {}",
+                    first.status, first.body
+                ));
+            }
+            if first.body != self.expected[connection] {
+                return Err(format!(
+                    "series predict after incremental ingestion is not byte-identical \
+                     to in-process for connection {connection}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn request(&self, connection: usize, iteration: u64) -> RequestSpec<'_> {
+        if iteration % INGEST_EVERY == INGEST_EVERY - 1 {
+            let bodies = &self.ingest_bodies[connection];
+            let body = &bodies[(iteration / INGEST_EVERY) as usize % bodies.len()];
+            RequestSpec {
+                method: "POST",
+                path: "/v1/measurements",
+                body,
+            }
+        } else {
+            RequestSpec {
+                method: "POST",
+                path: &self.predict_paths[connection],
+                body: &self.target_body,
+            }
+        }
+    }
+
+    fn check(
+        &self,
+        connection: usize,
+        iteration: u64,
+        response: &ClientResponse,
+    ) -> std::result::Result<(), String> {
+        if response.status != 200 {
+            return Err(format!("status {}: {}", response.status, response.body));
+        }
+        let is_ingest = iteration % INGEST_EVERY == INGEST_EVERY - 1;
+        if !is_ingest && response.body != self.expected[connection] {
+            return Err(format!(
+                "served series prediction drifted from the in-process bits \
+                 (connection {connection}, iteration {iteration})"
+            ));
+        }
+        Ok(())
+    }
 }
 
 fn percentile(sorted_ns: &[u64], q: f64) -> u64 {
@@ -125,6 +353,22 @@ fn percentile(sorted_ns: &[u64], q: f64) -> u64 {
 
 fn main() {
     let options = parse_options();
+    let scenario: Arc<dyn Scenario + Send + Sync> = match options.scenario.as_str() {
+        "quickstart" => Arc::new(QuickstartScenario::new().unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        })),
+        "ingest" => Arc::new(
+            IngestScenario::new(options.connections).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }),
+        ),
+        other => {
+            eprintln!("error: unknown scenario `{other}` (quickstart, ingest)");
+            usage();
+        }
+    };
 
     // Spawn the in-process server unless an external one was named.
     let (addr, handle) = match &options.addr {
@@ -157,45 +401,38 @@ fn main() {
         }
     };
 
-    let (set, target) = job();
-    let body = Arc::new(wire::predict_request_to_json(&set, &target).render());
-
-    // Warm-up + correctness gate: one request, checked bit-for-bit.
+    // Warm-up + correctness gate, scenario-defined (always includes one
+    // byte-for-byte check against the in-process prediction).
     let mut probe = Client::connect(addr).unwrap_or_else(|e| {
         eprintln!("error: cannot connect to {addr}: {e}");
         std::process::exit(1);
     });
-    let first = probe
-        .request("POST", "/v1/predict", &body)
-        .unwrap_or_else(|e| {
-            eprintln!("error: probe request failed: {e}");
-            std::process::exit(1);
-        });
-    if first.status != 200 {
-        eprintln!("error: probe got status {}: {}", first.status, first.body);
-        std::process::exit(1);
-    }
-    if let Err(e) = verify_byte_identity(&first.body) {
-        eprintln!("error: HTTP prediction is not byte-identical to in-process: {e}");
+    if let Err(e) = scenario.prepare(&mut probe) {
+        eprintln!("error: {e}");
         std::process::exit(1);
     }
 
-    // Timed run: every connection loops the same request until the deadline.
+    // Timed run: every connection loops its scenario until the deadline.
     let started = Instant::now();
     let deadline = started + options.duration;
     let mut threads = Vec::new();
-    for _ in 0..options.connections {
-        let body = Arc::clone(&body);
+    for connection in 0..options.connections {
+        let scenario = Arc::clone(&scenario);
         threads.push(std::thread::spawn(move || {
             let mut client = Client::connect(addr).expect("connect load connection");
             let mut latencies_ns: Vec<u64> = Vec::new();
+            let mut iteration = 0u64;
             while Instant::now() < deadline {
+                let spec = scenario.request(connection, iteration);
                 let sent = Instant::now();
                 let response = client
-                    .request("POST", "/v1/predict", &body)
+                    .request(spec.method, spec.path, spec.body)
                     .expect("request during load");
-                assert_eq!(response.status, 200, "{}", response.body);
                 latencies_ns.push(u64::try_from(sent.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                if let Err(e) = scenario.check(connection, iteration, &response) {
+                    panic!("response check failed: {e}");
+                }
+                iteration += 1;
             }
             latencies_ns
         }));
@@ -236,23 +473,24 @@ fn main() {
         / total.max(1) as f64)
         .sqrt();
 
+    let name = scenario.name();
     println!(
-        "loadgen: {total} requests over {} connection(s) in {:.2}s = {rps:.0} req/s",
+        "{name}: {total} requests over {} connection(s) in {:.2}s = {rps:.0} req/s",
         options.connections,
         elapsed.as_secs_f64(),
     );
     println!(
-        "loadgen: latency min {:.1}µs p50 {:.1}µs p99 {:.1}µs max {:.1}µs",
+        "{name}: latency min {:.1}µs p50 {:.1}µs p99 {:.1}µs max {:.1}µs",
         min as f64 / 1e3,
         p50 as f64 / 1e3,
         p99 as f64 / 1e3,
         max as f64 / 1e3,
     );
-    println!("loadgen: fit-cache hit rate {hit_rate:.4}; predictions byte-identical to in-process");
+    println!("{name}: fit-cache hit rate {hit_rate:.4}; predictions byte-identical to in-process");
 
     // Merge into target/criterion/summary.json alongside the benches.
     criterion::record(BenchRecord {
-        name: "serve/loadgen/latency".into(),
+        name: format!("serve/{name}/latency"),
         min_ns: min as f64,
         median_ns: p50 as f64,
         stddev_ns: stddev,
@@ -260,7 +498,7 @@ fn main() {
         batches: options.connections as u64,
     });
     criterion::record(BenchRecord {
-        name: "serve/loadgen/p99".into(),
+        name: format!("serve/{name}/p99"),
         min_ns: p99 as f64,
         median_ns: p99 as f64,
         stddev_ns: 0.0,
@@ -268,7 +506,7 @@ fn main() {
         batches: options.connections as u64,
     });
     criterion::record(BenchRecord {
-        name: "serve/loadgen/throughput_rps".into(),
+        name: format!("serve/{name}/throughput_rps"),
         min_ns: rps,
         median_ns: rps,
         stddev_ns: 0.0,
@@ -278,7 +516,7 @@ fn main() {
     // As a percentage: the summary renders values with one decimal, and
     // 0.1% resolution is meaningful where 0.1-of-a-fraction is not.
     criterion::record(BenchRecord {
-        name: "serve/loadgen/cache_hit_rate_pct".into(),
+        name: format!("serve/{name}/cache_hit_rate_pct"),
         min_ns: hit_rate * 100.0,
         median_ns: hit_rate * 100.0,
         stddev_ns: 0.0,

@@ -37,6 +37,7 @@ use crate::error::Result;
 use crate::fit::{FitCandidate, FitOptions};
 use crate::measurement::MeasurementSet;
 use crate::predictor::{Estima, Prediction};
+use crate::store::EstimaSession;
 
 thread_local! {
     /// True while the current thread is a pool worker: nested [`Engine::run`]
@@ -129,11 +130,22 @@ impl Engine {
 /// [`FitOptions`] (rendered through `Debug`, which covers every field). The
 /// key is structural — two keys are equal only if the series and options are
 /// exactly equal — so cache hits can never substitute another series' fits.
+///
+/// Keys built through [`FitKey::scoped`] additionally carry a
+/// `(series id, version)` component from the
+/// [`MeasurementStore`](crate::store::MeasurementStore): entries cached on
+/// behalf of a named series are tagged with the store version they were
+/// fitted from, so an ingest can invalidate exactly that series' stale fits
+/// ([`FitCache::invalidate_series`]) and nothing else. Scoped and unscoped
+/// keys never collide (the scope participates in equality), and the
+/// structural series bits stay in the key either way, so a hit can never
+/// substitute another series' — or another version's — fits.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct FitKey {
     xs_bits: Vec<u64>,
     ys_bits: Vec<u64>,
     options: String,
+    scope: Option<(String, u64)>,
 }
 
 impl FitKey {
@@ -143,7 +155,27 @@ impl FitKey {
             xs_bits: xs.iter().map(|x| x.to_bits()).collect(),
             ys_bits: ys.iter().map(|y| y.to_bits()).collect(),
             options: format!("{options:?}"),
+            scope: None,
         }
+    }
+
+    /// Build a key tagged with the owning store series and its version.
+    pub fn scoped(
+        xs: &[f64],
+        ys: &[f64],
+        options: &FitOptions,
+        series: &str,
+        version: u64,
+    ) -> Self {
+        FitKey {
+            scope: Some((series.to_string(), version)),
+            ..FitKey::new(xs, ys, options)
+        }
+    }
+
+    /// The `(series id, version)` tag of a scoped key, if any.
+    pub fn scope(&self) -> Option<(&str, u64)> {
+        self.scope.as_ref().map(|(id, v)| (id.as_str(), *v))
     }
 
     /// FNV-1a hash of the key, used to pick a [`FitCache`] shard. This is
@@ -167,8 +199,28 @@ impl FitKey {
         for byte in self.options.as_bytes() {
             eat(*byte);
         }
+        if let Some((series, version)) = &self.scope {
+            for byte in series.as_bytes() {
+                eat(*byte);
+            }
+            for byte in version.to_le_bytes() {
+                eat(byte);
+            }
+        }
         hash
     }
+}
+
+/// A borrowed `(series id, version)` tag identifying which
+/// [`MeasurementStore`](crate::store::MeasurementStore) state a fit was
+/// computed from. Threaded through the cached fitting entry points
+/// ([`crate::fit::candidate_fits_scoped`]) to build [`FitKey::scoped`] keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheScope<'a> {
+    /// The owning store series.
+    pub series: &'a str,
+    /// The series version the fitted data was snapshotted at.
+    pub version: u64,
 }
 
 /// One cached candidate list plus its recency stamp (the shard's logical
@@ -242,6 +294,7 @@ pub struct FitCache {
     hits: AtomicUsize,
     misses: AtomicUsize,
     evictions: AtomicUsize,
+    invalidations: AtomicUsize,
 }
 
 impl Default for FitCache {
@@ -274,6 +327,7 @@ impl FitCache {
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
             evictions: AtomicUsize::new(0),
+            invalidations: AtomicUsize::new(0),
         }
     }
 
@@ -372,6 +426,37 @@ impl FitCache {
         self.evictions.load(Ordering::Relaxed)
     }
 
+    /// Drop every cached entry whose [`FitKey::scoped`] tag names `series`,
+    /// regardless of version. Returns how many entries were removed.
+    ///
+    /// Called by [`EstimaSession`] whenever a
+    /// series is mutated or evicted: the version bump already guarantees the
+    /// next prediction cannot *hit* a stale entry (the version is part of the
+    /// key), so this sweep exists to reclaim the now-unreachable entries
+    /// immediately instead of waiting for LRU pressure. Unscoped entries and
+    /// entries scoped to other series are untouched.
+    pub fn invalidate_series(&self, series: &str) -> usize {
+        let mut removed = 0;
+        for shard in &self.shards {
+            let mut guard = shard.lock().unwrap();
+            let before = guard.map.len();
+            guard
+                .map
+                .retain(|key, _| key.scope().is_none_or(|(id, _)| id != series));
+            removed += before - guard.map.len();
+        }
+        if removed > 0 {
+            self.invalidations.fetch_add(removed, Ordering::Relaxed);
+        }
+        removed
+    }
+
+    /// Number of entries removed by [`FitCache::invalidate_series`] since
+    /// construction.
+    pub fn invalidations(&self) -> usize {
+        self.invalidations.load(Ordering::Relaxed)
+    }
+
     /// Hit rate since construction: `hits / (hits + misses)`, or 0.0 before
     /// the first lookup.
     pub fn hit_rate(&self) -> f64 {
@@ -429,8 +514,7 @@ impl FitCache {
 /// ```
 #[derive(Debug, Default)]
 pub struct BatchPredictor {
-    estima: Estima,
-    cache: Arc<FitCache>,
+    session: EstimaSession,
 }
 
 impl BatchPredictor {
@@ -447,32 +531,39 @@ impl BatchPredictor {
     /// repeatedly).
     pub fn with_cache(config: EstimaConfig, cache: Arc<FitCache>) -> Self {
         BatchPredictor {
-            estima: Estima::new(config),
-            cache,
+            session: EstimaSession::with_cache(config, cache),
         }
+    }
+
+    /// Borrow the underlying [`EstimaSession`]: the batch predictor is a
+    /// thin fan-out wrapper over an (anonymous) session, and the session is
+    /// where stateful series live. `estima-serve` routes its `/v1/series`
+    /// endpoints through this accessor.
+    pub fn session(&self) -> &EstimaSession {
+        &self.session
     }
 
     /// Borrow the underlying predictor.
     pub fn estima(&self) -> &Estima {
-        &self.estima
+        self.session.estima()
     }
 
     /// Borrow the shared fit cache (for statistics).
     pub fn cache(&self) -> &FitCache {
-        &self.cache
+        self.session.cache()
     }
 
     /// Predict one measurement set, sharing the fit cache with every other
     /// call on this predictor.
     pub fn predict(&self, set: &MeasurementSet, target: &TargetSpec) -> Result<Prediction> {
-        self.estima.predict_cached(set, target, &self.cache)
+        self.session.predict_set(set, target)
     }
 
     /// Run every `(measurements, target)` job, in parallel up to the
     /// configured parallelism, and return one result per job in job order.
     /// Results are bit-identical to calling [`Estima::predict`] per job.
     pub fn predict_all(&self, jobs: Vec<(MeasurementSet, TargetSpec)>) -> Vec<Result<Prediction>> {
-        let engine = Engine::new(self.estima.config().parallelism);
+        let engine = Engine::new(self.session.config().parallelism);
         engine.run(jobs, |(set, target)| self.predict(&set, &target))
     }
 }

@@ -44,6 +44,25 @@ pub enum EstimaError {
     Numerical(String),
     /// Configuration was internally inconsistent (e.g. empty kernel set).
     InvalidConfig(String),
+    /// A series name was rejected by [`crate::store::SeriesId`] validation
+    /// (empty, too long, or containing characters outside `[A-Za-z0-9_.-]`).
+    InvalidSeriesId {
+        /// What was wrong with the name.
+        detail: String,
+    },
+    /// A store operation referenced a series that does not exist.
+    SeriesNotFound {
+        /// The missing series id.
+        series: String,
+    },
+    /// An ingest would contradict what the store already holds for the
+    /// series (e.g. a different measurement-machine clock frequency).
+    SeriesConflict {
+        /// The conflicting series id.
+        series: String,
+        /// What the ingest disagreed about.
+        detail: String,
+    },
 }
 
 impl fmt::Display for EstimaError {
@@ -76,6 +95,15 @@ impl fmt::Display for EstimaError {
             ),
             EstimaError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
             EstimaError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            EstimaError::InvalidSeriesId { detail } => {
+                write!(f, "invalid series id: {detail}")
+            }
+            EstimaError::SeriesNotFound { series } => {
+                write!(f, "series `{series}` does not exist")
+            }
+            EstimaError::SeriesConflict { series, detail } => {
+                write!(f, "series `{series}` conflict: {detail}")
+            }
         }
     }
 }
@@ -123,6 +151,16 @@ mod tests {
             },
             EstimaError::Numerical("singular".into()),
             EstimaError::InvalidConfig("no kernels".into()),
+            EstimaError::InvalidSeriesId {
+                detail: "empty".into(),
+            },
+            EstimaError::SeriesNotFound {
+                series: "app".into(),
+            },
+            EstimaError::SeriesConflict {
+                series: "app".into(),
+                detail: "frequency".into(),
+            },
         ];
         for v in variants {
             assert!(!v.to_string().is_empty());

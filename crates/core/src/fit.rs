@@ -34,7 +34,7 @@
 use std::cell::RefCell;
 use std::sync::Arc;
 
-use crate::engine::{Engine, FitCache, FitKey};
+use crate::engine::{CacheScope, Engine, FitCache, FitKey};
 use crate::error::{EstimaError, Result};
 use crate::kernels::{FittedCurve, KernelKind};
 use crate::levenberg::{levenberg_marquardt_into, LmOptions, LmWorkspace, MAX_PARAMS};
@@ -322,6 +322,24 @@ pub fn approximate_series_cached(
     cache: &FitCache,
 ) -> Result<FittedCurve> {
     let candidates = candidate_fits_cached(xs, ys, options, engine, cache)?;
+    select_best(candidates.iter().map(|c| &c.curve), label)
+}
+
+/// [`approximate_series_cached`] with the cache key tagged by a store
+/// [`CacheScope`], so a later
+/// [`FitCache::invalidate_series`](crate::engine::FitCache::invalidate_series)
+/// can drop exactly this series' entries. `scope = None` is identical to
+/// [`approximate_series_cached`].
+pub fn approximate_series_scoped(
+    xs: &[f64],
+    ys: &[f64],
+    label: &str,
+    options: &FitOptions,
+    engine: &Engine,
+    cache: &FitCache,
+    scope: Option<CacheScope<'_>>,
+) -> Result<FittedCurve> {
+    let candidates = candidate_fits_scoped(xs, ys, options, engine, cache, scope)?;
     select_best(candidates.iter().map(|c| &c.curve), label)
 }
 
@@ -722,7 +740,26 @@ pub fn candidate_fits_cached(
     engine: &Engine,
     cache: &FitCache,
 ) -> Result<Arc<Vec<FitCandidate>>> {
-    let key = FitKey::new(xs, ys, options);
+    candidate_fits_scoped(xs, ys, options, engine, cache, None)
+}
+
+/// [`candidate_fits_cached`] with the cache key optionally tagged by a store
+/// [`CacheScope`]. The candidate list itself is identical either way (the
+/// scope only participates in cache keying, never in the fit), so scoped and
+/// unscoped lookups of the same series produce bit-identical candidates —
+/// they just occupy distinct cache entries.
+pub fn candidate_fits_scoped(
+    xs: &[f64],
+    ys: &[f64],
+    options: &FitOptions,
+    engine: &Engine,
+    cache: &FitCache,
+    scope: Option<CacheScope<'_>>,
+) -> Result<Arc<Vec<FitCandidate>>> {
+    let key = match scope {
+        Some(scope) => FitKey::scoped(xs, ys, options, scope.series, scope.version),
+        None => FitKey::new(xs, ys, options),
+    };
     cache.get_or_compute(key, || candidate_fits_with(xs, ys, options, engine))
 }
 

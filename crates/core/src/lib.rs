@@ -13,10 +13,14 @@
 //!
 //! The pipeline has three steps (Figure 3 of the paper):
 //!
-//! 1. **Collection** — the caller provides a [`MeasurementSet`]: one
-//!    [`Measurement`] per core count with the stall categories broken out.
-//!    The companion crates `estima-counters` and `estima-workloads` produce
-//!    these.
+//! 1. **Collection** — measurements accumulate in a [`store`]: an
+//!    [`EstimaSession`] holds named, versioned series that are
+//!    [`ingest`](store::EstimaSession::ingest)ed incrementally (one
+//!    [`Measurement`] per core count, stall categories broken out) and
+//!    predicted on demand. The companion crates `estima-counters` and
+//!    `estima-workloads` produce the measurements; callers that already
+//!    hold a complete [`MeasurementSet`] can skip the store and call
+//!    [`Estima::predict`] directly.
 //! 2. **Extrapolation** — each stall category is approximated with the best
 //!    of six analytic kernels ([`KernelKind`], Table 1) selected by RMSE at
 //!    held-out checkpoint measurements, then extrapolated to the target core
@@ -74,11 +78,12 @@ pub mod plugin;
 pub mod predictor;
 pub mod report;
 pub mod stats;
+pub mod store;
 pub mod time_extrapolation;
 
 pub use bottleneck::{BottleneckEntry, BottleneckReport};
 pub use config::{EstimaConfig, TargetSpec};
-pub use engine::{BatchPredictor, Engine, FitCache};
+pub use engine::{BatchPredictor, CacheScope, Engine, FitCache};
 pub use error::{EstimaError, Result};
 pub use fit::{
     approximate_series, approximate_series_cached, approximate_series_with, candidate_fits,
@@ -89,6 +94,7 @@ pub use kernels::{FittedCurve, KernelKind};
 pub use levenberg::{Jacobian, LmModel, LmOptions, LmStats, LmWorkspace};
 pub use measurement::{Measurement, MeasurementSet, StallCategory, StallSource};
 pub use predictor::{CategoryExtrapolation, Estima, Prediction};
+pub use store::{EstimaSession, MeasurementStore, SeriesId, SeriesInfo, SeriesSnapshot};
 pub use time_extrapolation::{TimeExtrapolation, TimePrediction};
 
 /// Convenience re-exports covering the common use of the crate.
@@ -100,5 +106,6 @@ pub mod prelude {
     pub use crate::kernels::{FittedCurve, KernelKind};
     pub use crate::measurement::{Measurement, MeasurementSet, StallCategory, StallSource};
     pub use crate::predictor::{Estima, Prediction};
+    pub use crate::store::{EstimaSession, MeasurementStore, SeriesId};
     pub use crate::time_extrapolation::{TimeExtrapolation, TimePrediction};
 }

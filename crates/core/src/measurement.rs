@@ -148,12 +148,42 @@ impl MeasurementSet {
         }
     }
 
-    /// Add a measurement, keeping the set sorted by core count. Replaces any
-    /// existing measurement at the same core count.
-    pub fn push(&mut self, measurement: Measurement) {
-        self.measurements.retain(|m| m.cores != measurement.cores);
-        self.measurements.push(measurement);
-        self.measurements.sort_by_key(|m| m.cores);
+    /// Add a measurement under the set's explicit ordering/dedup policy:
+    ///
+    /// * **Sort on insert** — the set is always ordered by ascending core
+    ///   count, whatever order measurements arrive in (a binary-search
+    ///   insert, so out-of-order ingestion costs one `Vec` shift, not a
+    ///   re-sort).
+    /// * **Replace on duplicate** — a measurement at an already-present core
+    ///   count replaces the old one (latest run wins) and the replaced
+    ///   measurement is returned; debug builds log the replacement to
+    ///   stderr, since a duplicate usually means a collector re-ran a core
+    ///   count.
+    ///
+    /// Together these make insertion order irrelevant to fit results: any
+    /// permutation of the same runs yields an identical set, so store
+    /// ingestion order can never change a prediction.
+    pub fn push(&mut self, measurement: Measurement) -> Option<Measurement> {
+        match self
+            .measurements
+            .binary_search_by_key(&measurement.cores, |m| m.cores)
+        {
+            Ok(index) => {
+                #[cfg(debug_assertions)]
+                eprintln!(
+                    "estima-core: measurement set `{}`: replacing existing measurement at {} cores",
+                    self.app_name, measurement.cores
+                );
+                Some(std::mem::replace(
+                    &mut self.measurements[index],
+                    measurement,
+                ))
+            }
+            Err(index) => {
+                self.measurements.insert(index, measurement);
+                None
+            }
+        }
     }
 
     /// Builder-style [`MeasurementSet::push`].
@@ -327,12 +357,28 @@ mod tests {
     #[test]
     fn push_keeps_sorted_and_dedupes() {
         let mut set = MeasurementSet::new("x", 3.4);
-        set.push(Measurement::new(4, 1.0));
-        set.push(Measurement::new(1, 4.0));
-        set.push(Measurement::new(2, 2.0));
-        set.push(Measurement::new(4, 0.9)); // replaces the first 4-core run
+        assert!(set.push(Measurement::new(4, 1.0)).is_none());
+        assert!(set.push(Measurement::new(1, 4.0)).is_none());
+        assert!(set.push(Measurement::new(2, 2.0)).is_none());
+        // Replaces the first 4-core run; the replaced run is handed back.
+        let replaced = set.push(Measurement::new(4, 0.9));
+        assert_eq!(replaced.map(|m| m.exec_time), Some(1.0));
         assert_eq!(set.core_counts(), vec![1, 2, 4]);
         assert_eq!(set.measurements()[2].exec_time, 0.9);
+    }
+
+    #[test]
+    fn push_order_is_irrelevant_to_the_resulting_set() {
+        let runs: Vec<Measurement> = (1..=6u32).map(|c| Measurement::new(c, 1.0)).collect();
+        let mut forward = MeasurementSet::new("x", 2.0);
+        let mut reverse = MeasurementSet::new("x", 2.0);
+        for m in &runs {
+            forward.push(m.clone());
+        }
+        for m in runs.iter().rev() {
+            reverse.push(m.clone());
+        }
+        assert_eq!(forward, reverse);
     }
 
     #[test]

@@ -15,10 +15,10 @@
 use serde::{Deserialize, Serialize};
 
 use crate::config::{EstimaConfig, TargetSpec};
-use crate::engine::{Engine, FitCache};
+use crate::engine::{CacheScope, Engine, FitCache};
 use crate::error::{EstimaError, Result};
 use crate::fit::{
-    approximate_series_cached, approximate_series_with, candidate_fits_cached, candidate_fits_with,
+    approximate_series_scoped, approximate_series_with, candidate_fits_scoped, candidate_fits_with,
     FitOptions,
 };
 use crate::kernels::FittedCurve;
@@ -203,7 +203,7 @@ impl Estima {
         measurements: &MeasurementSet,
         target: &TargetSpec,
     ) -> Result<Prediction> {
-        self.predict_inner(measurements, target, None)
+        self.predict_inner(measurements, target, None, None)
     }
 
     /// [`Estima::predict`] drawing candidate fits from (and populating) a
@@ -215,7 +215,22 @@ impl Estima {
         target: &TargetSpec,
         cache: &FitCache,
     ) -> Result<Prediction> {
-        self.predict_inner(measurements, target, Some(cache))
+        self.predict_inner(measurements, target, Some(cache), None)
+    }
+
+    /// [`Estima::predict_cached`] with every cache key tagged by a store
+    /// [`CacheScope`]. This is the entry point
+    /// [`EstimaSession::predict`](crate::store::EstimaSession::predict) uses;
+    /// the resulting prediction is bit-identical to the unscoped paths (the
+    /// scope only affects cache keying).
+    pub(crate) fn predict_scoped(
+        &self,
+        measurements: &MeasurementSet,
+        target: &TargetSpec,
+        cache: &FitCache,
+        scope: CacheScope<'_>,
+    ) -> Result<Prediction> {
+        self.predict_inner(measurements, target, Some(cache), Some(scope))
     }
 
     fn predict_inner(
@@ -223,6 +238,7 @@ impl Estima {
         measurements: &MeasurementSet,
         target: &TargetSpec,
         cache: Option<&FitCache>,
+        scope: Option<CacheScope<'_>>,
     ) -> Result<Prediction> {
         measurements.validate(self.config.min_measurements)?;
         let measured_cores = measurements.max_cores();
@@ -267,13 +283,14 @@ impl Estima {
             let xs: Vec<f64> = series.iter().map(|(c, _)| *c as f64).collect();
             let ys: Vec<f64> = series.iter().map(|(_, v)| *v).collect();
             let curve = match cache {
-                Some(cache) => approximate_series_cached(
+                Some(cache) => approximate_series_scoped(
                     &xs,
                     &ys,
                     &category.name,
                     &fit_options,
                     &engine,
                     cache,
+                    scope,
                 )?,
                 None => approximate_series_with(&xs, &ys, &category.name, &fit_options, &engine)?,
             };
@@ -334,7 +351,7 @@ impl Estima {
         // unrealistic, in the same spirit as the per-category realism check.
         let candidates = match cache {
             Some(cache) => {
-                candidate_fits_cached(&factor_xs, &factor_ys, &fit_options, &engine, cache)?
+                candidate_fits_scoped(&factor_xs, &factor_ys, &fit_options, &engine, cache, scope)?
             }
             None => std::sync::Arc::new(candidate_fits_with(
                 &factor_xs,

@@ -1,0 +1,742 @@
+//! The stateful measurement-store API: named series, incremental ingestion,
+//! and the [`EstimaSession`] handle that unifies in-process and served
+//! prediction.
+//!
+//! ESTIMA's pipeline (Figure 3 of the paper) is *collection →
+//! extrapolation → time translation*, but the one-shot
+//! [`Estima::predict`] API only models the last two steps: the caller must
+//! hand over a complete [`MeasurementSet`] every time. This module makes
+//! collection a first-class, long-lived concern — measurements arrive
+//! incrementally over time, and predictions are queries against named,
+//! versioned state:
+//!
+//! * [`MeasurementStore`] — a concurrent map of [`SeriesId`] → measurement
+//!   set, where every mutation monotonically bumps the series *version*.
+//! * [`EstimaSession`] — owns a store, an [`Estima`] predictor and a sharded
+//!   [`FitCache`]; [`EstimaSession::ingest`] appends points and
+//!   [`EstimaSession::predict`] answers from the current snapshot, with fit
+//!   reuse keyed by `(series, version)` so incremental ingestion invalidates
+//!   exactly the stale fits and nothing else.
+//!
+//! `estima-serve` routes its `/v1/series` endpoints through the same session
+//! type, so a prediction served over HTTP after incremental ingestion is
+//! byte-identical to the one-shot in-process prediction of the equivalent
+//! full set (pinned by `crates/serve/tests/server_roundtrip.rs`).
+//!
+//! # Version semantics
+//!
+//! A series is created at version 1. Every content mutation — an ingested
+//! point (including a replace-on-duplicate), a merged set with at least one
+//! point — bumps the version by exactly 1. Reads never bump. The version
+//! therefore uniquely identifies series content *within one store*, which is
+//! what makes it safe as a fit-cache key component: a stale fit can never be
+//! served because its key names a version that no longer matches the
+//! snapshot being predicted.
+//!
+//! # Quick example
+//!
+//! ```
+//! use estima_core::prelude::*;
+//!
+//! let session = EstimaSession::new(EstimaConfig::default());
+//! let series = SeriesId::new("my-app")?;
+//!
+//! // Collection: points arrive one at a time (e.g. one run per core count).
+//! session.ensure(&series, 3.4)?;
+//! for cores in 1..=8u32 {
+//!     let n = cores as f64;
+//!     session.ingest(
+//!         &series,
+//!         Measurement::new(cores, 12.0 / n + 0.4)
+//!             .with_stall(StallCategory::backend("rob_full"), 5.0e8 * (1.0 + 0.1 * n * n)),
+//!     )?;
+//! }
+//!
+//! // Query: predict the named series on a 32-core machine.
+//! let prediction = session.predict(&series, &TargetSpec::cores(32))?;
+//! assert!(prediction.predicted_time_at(32).is_some());
+//!
+//! // Re-predicting the unchanged series is answered from the fit cache.
+//! session.predict(&series, &TargetSpec::cores(32))?;
+//! assert!(session.cache().stats().0 > 0);
+//! # estima_core::Result::Ok(())
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::config::{EstimaConfig, TargetSpec};
+use crate::engine::{CacheScope, FitCache};
+use crate::error::{EstimaError, Result};
+use crate::measurement::{Measurement, MeasurementSet};
+use crate::predictor::{Estima, Prediction};
+
+/// A validated series name: the identity of one measurement series in a
+/// [`MeasurementStore`], and the `{id}` path segment of the
+/// `/v1/series/{id}` HTTP endpoints.
+///
+/// Valid names are non-empty, at most [`SeriesId::MAX_LEN`] bytes, and use
+/// only `[A-Za-z0-9_.-]` — the URL-safe subset, so ids never need
+/// percent-encoding on the wire.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SeriesId(String);
+
+impl SeriesId {
+    /// Longest accepted series name, in bytes.
+    pub const MAX_LEN: usize = 128;
+
+    /// Validate and wrap a series name.
+    pub fn new(name: impl Into<String>) -> Result<SeriesId> {
+        let name = name.into();
+        if name.is_empty() {
+            return Err(EstimaError::InvalidSeriesId {
+                detail: "name is empty".into(),
+            });
+        }
+        if name.len() > SeriesId::MAX_LEN {
+            return Err(EstimaError::InvalidSeriesId {
+                detail: format!(
+                    "name is {} bytes, longer than the {}-byte limit",
+                    name.len(),
+                    SeriesId::MAX_LEN
+                ),
+            });
+        }
+        if let Some(bad) = name
+            .chars()
+            .find(|c| !(c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '-')))
+        {
+            return Err(EstimaError::InvalidSeriesId {
+                detail: format!("character {bad:?} is outside [A-Za-z0-9_.-]"),
+            });
+        }
+        Ok(SeriesId(name))
+    }
+
+    /// The series name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for SeriesId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::str::FromStr for SeriesId {
+    type Err = EstimaError;
+    fn from_str(s: &str) -> Result<SeriesId> {
+        SeriesId::new(s)
+    }
+}
+
+/// What the store holds for one series.
+#[derive(Debug)]
+struct SeriesRecord {
+    /// The accumulated measurements. Copy-on-write: mutations go through
+    /// [`Arc::make_mut`], so snapshots handed out earlier stay valid and
+    /// immutable while the store moves on.
+    set: Arc<MeasurementSet>,
+    /// Monotonically increasing content version (1 = freshly created).
+    version: u64,
+}
+
+/// A consistent point-in-time view of one series: the measurement set as it
+/// was at `version`. Cheap to take (an [`Arc`] clone under a read lock) and
+/// immune to later mutations.
+#[derive(Debug, Clone)]
+pub struct SeriesSnapshot {
+    /// The series this snapshot was taken from.
+    pub id: SeriesId,
+    /// Version of the content in `set`.
+    pub version: u64,
+    /// The measurements at that version.
+    pub set: Arc<MeasurementSet>,
+}
+
+/// Summary of one stored series, as reported by [`MeasurementStore::list`]
+/// and the `GET /v1/series` endpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesInfo {
+    /// The series id.
+    pub id: SeriesId,
+    /// Current content version.
+    pub version: u64,
+    /// Number of measurement points (distinct core counts).
+    pub points: usize,
+    /// Largest measured core count (0 while empty).
+    pub max_cores: u32,
+    /// Clock frequency of the measurements machine, in GHz.
+    pub frequency_ghz: f64,
+}
+
+/// A concurrent store of named, versioned measurement series.
+///
+/// The store is the collection half of the pipeline: `estima-counters`-style
+/// producers [`ingest`](MeasurementStore::ingest) points as runs complete,
+/// and predictions are taken from [`snapshot`](MeasurementStore::snapshot)s.
+/// All methods take `&self` and are safe to call from any number of threads;
+/// a single `RwLock` over a `BTreeMap` keeps reads concurrent and listing
+/// order deterministic. (Mutations clone-on-write the series' [`Arc`], so
+/// the lock is never held across anything slower than a `Vec` insert.)
+///
+/// The store never touches the fit cache — pairing the two is
+/// [`EstimaSession`]'s job.
+#[derive(Debug, Default)]
+pub struct MeasurementStore {
+    series: RwLock<BTreeMap<SeriesId, SeriesRecord>>,
+    /// Total successful content mutations across all series, ever (ingest
+    /// calls that changed nothing do not count). Reported by `/v1/stats`.
+    ingests: AtomicU64,
+}
+
+impl MeasurementStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        MeasurementStore::default()
+    }
+
+    /// Create `id` as an empty series measured at `frequency_ghz`, or verify
+    /// an existing series against it. Returns the series' current version.
+    ///
+    /// Creating bumps nothing (the new series starts at version 1); calling
+    /// `ensure` on an existing series is a read — but a `frequency_ghz` that
+    /// differs from the stored one (exact `f64` comparison) is a
+    /// [`EstimaError::SeriesConflict`], because mixing clock frequencies in
+    /// one series would silently corrupt the time-translation step.
+    pub fn ensure(&self, id: &SeriesId, frequency_ghz: f64) -> Result<u64> {
+        if !frequency_ghz.is_finite() || frequency_ghz <= 0.0 {
+            return Err(EstimaError::InvalidConfig(format!(
+                "frequency_ghz {frequency_ghz} must be positive and finite"
+            )));
+        }
+        let mut series = self.series.write().unwrap();
+        match series.get(id) {
+            Some(record) => {
+                if record.set.frequency_ghz != frequency_ghz {
+                    return Err(EstimaError::SeriesConflict {
+                        series: id.to_string(),
+                        detail: format!(
+                            "stored frequency_ghz {} != ingested {}",
+                            record.set.frequency_ghz, frequency_ghz
+                        ),
+                    });
+                }
+                Ok(record.version)
+            }
+            None => {
+                series.insert(
+                    id.clone(),
+                    SeriesRecord {
+                        set: Arc::new(MeasurementSet::new(id.as_str(), frequency_ghz)),
+                        version: 1,
+                    },
+                );
+                self.ingests.fetch_add(1, Ordering::Relaxed);
+                Ok(1)
+            }
+        }
+    }
+
+    /// Append one measurement to an existing series (create with
+    /// [`MeasurementStore::ensure`] or [`MeasurementStore::ingest_set`]
+    /// first). A point at an already-measured core count replaces the old
+    /// one, per the [`MeasurementSet::push`] policy. Returns the new
+    /// version.
+    pub fn ingest(&self, id: &SeriesId, measurement: Measurement) -> Result<u64> {
+        let mut series = self.series.write().unwrap();
+        let record = series
+            .get_mut(id)
+            .ok_or_else(|| EstimaError::SeriesNotFound {
+                series: id.to_string(),
+            })?;
+        Arc::make_mut(&mut record.set).push(measurement);
+        record.version += 1;
+        self.ingests.fetch_add(1, Ordering::Relaxed);
+        Ok(record.version)
+    }
+
+    /// Merge a whole measurement set into `id`, creating the series when
+    /// absent. Returns the post-merge [`SeriesSnapshot`], taken while the
+    /// write lock is still held — the reported `(version, points)` pair is
+    /// always consistent, whatever concurrent mutations follow.
+    ///
+    /// The series id is the identity: the stored set's `app_name` is always
+    /// the id (an incoming `app_name` is not kept). On an existing series the
+    /// frequencies must match ([`EstimaError::SeriesConflict`] otherwise) and
+    /// the incoming points are pushed in order — one version bump for the
+    /// whole merge, none if `set` is empty. The frequency check, the
+    /// create-if-absent, and the merge all happen under one lock
+    /// acquisition, so a concurrent evict-and-recreate can never slip
+    /// between the conflict check and the merge.
+    pub fn ingest_set(&self, id: &SeriesId, set: &MeasurementSet) -> Result<SeriesSnapshot> {
+        let frequency_ghz = set.frequency_ghz;
+        if !frequency_ghz.is_finite() || frequency_ghz <= 0.0 {
+            return Err(EstimaError::InvalidConfig(format!(
+                "frequency_ghz {frequency_ghz} must be positive and finite"
+            )));
+        }
+        let mut series = self.series.write().unwrap();
+        let record = match series.entry(id.clone()) {
+            std::collections::btree_map::Entry::Occupied(occupied) => {
+                let record = occupied.into_mut();
+                if record.set.frequency_ghz != frequency_ghz {
+                    return Err(EstimaError::SeriesConflict {
+                        series: id.to_string(),
+                        detail: format!(
+                            "stored frequency_ghz {} != ingested {}",
+                            record.set.frequency_ghz, frequency_ghz
+                        ),
+                    });
+                }
+                record
+            }
+            std::collections::btree_map::Entry::Vacant(vacant) => {
+                self.ingests.fetch_add(1, Ordering::Relaxed);
+                vacant.insert(SeriesRecord {
+                    set: Arc::new(MeasurementSet::new(id.as_str(), frequency_ghz)),
+                    version: 1,
+                })
+            }
+        };
+        if !set.is_empty() {
+            let stored = Arc::make_mut(&mut record.set);
+            for measurement in set.measurements() {
+                stored.push(measurement.clone());
+            }
+            record.version += 1;
+            self.ingests.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(SeriesSnapshot {
+            id: id.clone(),
+            version: record.version,
+            set: Arc::clone(&record.set),
+        })
+    }
+
+    /// A consistent snapshot of one series, or `None` when it does not
+    /// exist.
+    pub fn snapshot(&self, id: &SeriesId) -> Option<SeriesSnapshot> {
+        let series = self.series.read().unwrap();
+        series.get(id).map(|record| SeriesSnapshot {
+            id: id.clone(),
+            version: record.version,
+            set: Arc::clone(&record.set),
+        })
+    }
+
+    /// Summaries of every stored series, ordered by id.
+    pub fn list(&self) -> Vec<SeriesInfo> {
+        let series = self.series.read().unwrap();
+        series
+            .iter()
+            .map(|(id, record)| SeriesInfo {
+                id: id.clone(),
+                version: record.version,
+                points: record.set.len(),
+                max_cores: record.set.max_cores(),
+                frequency_ghz: record.set.frequency_ghz,
+            })
+            .collect()
+    }
+
+    /// Remove a series, returning its final snapshot (or `None` when it did
+    /// not exist).
+    pub fn evict(&self, id: &SeriesId) -> Option<SeriesSnapshot> {
+        let mut series = self.series.write().unwrap();
+        series.remove(id).map(|record| SeriesSnapshot {
+            id: id.clone(),
+            version: record.version,
+            set: record.set,
+        })
+    }
+
+    /// Number of stored series.
+    pub fn len(&self) -> usize {
+        self.series.read().unwrap().len()
+    }
+
+    /// True when no series are stored.
+    pub fn is_empty(&self) -> bool {
+        self.series.read().unwrap().is_empty()
+    }
+
+    /// Total measurement points across all series.
+    pub fn total_points(&self) -> usize {
+        let series = self.series.read().unwrap();
+        series.values().map(|record| record.set.len()).sum()
+    }
+
+    /// Total content mutations (series created + ingests that changed
+    /// content) since construction.
+    pub fn ingests(&self) -> u64 {
+        self.ingests.load(Ordering::Relaxed)
+    }
+}
+
+/// One prediction surface over collection *and* extrapolation: a
+/// [`MeasurementStore`], an [`Estima`] predictor and a sharded [`FitCache`]
+/// bound together.
+///
+/// The session is the primary API of the crate; [`Estima::predict`] and
+/// [`BatchPredictor`](crate::engine::BatchPredictor) are the convenience
+/// layer over the same pipeline for callers who hold a complete
+/// [`MeasurementSet`] (an anonymous single-series session, in effect).
+/// `estima-serve` exposes a session's operations 1:1 as its `/v1/series`
+/// endpoints, so in-process and HTTP callers see identical semantics — and
+/// identical bytes.
+///
+/// # Cache discipline
+///
+/// [`EstimaSession::predict`] tags every fit-cache key with the snapshot's
+/// `(series, version)` [`CacheScope`]: re-predicting an unchanged series is
+/// a pure cache hit, while any ingest bumps the version (a guaranteed miss
+/// for that series — and only that series) and immediately sweeps the
+/// now-stale entries out of the cache
+/// ([`FitCache::invalidate_series`]). See the module docs for the version
+/// semantics; see the [module example](crate::store) for usage.
+#[derive(Debug, Default)]
+pub struct EstimaSession {
+    estima: Estima,
+    store: MeasurementStore,
+    cache: Arc<FitCache>,
+}
+
+impl EstimaSession {
+    /// Create a session with an empty store and its own fit cache.
+    pub fn new(config: EstimaConfig) -> Self {
+        EstimaSession::with_cache(config, Arc::new(FitCache::new()))
+    }
+
+    /// Create a session sharing an externally owned [`FitCache`] (e.g. the
+    /// server's capacity-bounded cache).
+    pub fn with_cache(config: EstimaConfig, cache: Arc<FitCache>) -> Self {
+        EstimaSession {
+            estima: Estima::new(config),
+            store: MeasurementStore::new(),
+            cache,
+        }
+    }
+
+    /// Borrow the underlying predictor.
+    pub fn estima(&self) -> &Estima {
+        &self.estima
+    }
+
+    /// Borrow the predictor configuration.
+    pub fn config(&self) -> &EstimaConfig {
+        self.estima.config()
+    }
+
+    /// Borrow the measurement store.
+    pub fn store(&self) -> &MeasurementStore {
+        &self.store
+    }
+
+    /// Borrow the shared fit cache (for statistics).
+    pub fn cache(&self) -> &FitCache {
+        &self.cache
+    }
+
+    /// Create or verify a series; see [`MeasurementStore::ensure`].
+    pub fn ensure(&self, id: &SeriesId, frequency_ghz: f64) -> Result<u64> {
+        self.store.ensure(id, frequency_ghz)
+    }
+
+    /// Append one measurement to a series and invalidate its cached fits.
+    /// Returns the new version; the next [`EstimaSession::predict`] of this
+    /// series refits, every other series' cached fits are untouched.
+    pub fn ingest(&self, id: &SeriesId, measurement: Measurement) -> Result<u64> {
+        let version = self.store.ingest(id, measurement)?;
+        self.cache.invalidate_series(id.as_str());
+        Ok(version)
+    }
+
+    /// Merge a whole measurement set into a series (creating it when
+    /// absent) and invalidate its cached fits when the content changed; see
+    /// [`MeasurementStore::ingest_set`]. Returns the post-merge snapshot.
+    pub fn ingest_set(&self, id: &SeriesId, set: &MeasurementSet) -> Result<SeriesSnapshot> {
+        let snapshot = self.store.ingest_set(id, set)?;
+        if !set.is_empty() {
+            self.cache.invalidate_series(id.as_str());
+        }
+        Ok(snapshot)
+    }
+
+    /// Predict a named series at its current version.
+    ///
+    /// The snapshot is taken atomically (concurrent ingests never produce a
+    /// torn read), and the result is bit-identical to
+    /// [`Estima::predict`] on the snapshot's full set — incremental
+    /// collection changes *when* measurements arrive, never what a
+    /// prediction says.
+    pub fn predict(&self, id: &SeriesId, target: &TargetSpec) -> Result<Prediction> {
+        let snapshot = self
+            .store
+            .snapshot(id)
+            .ok_or_else(|| EstimaError::SeriesNotFound {
+                series: id.to_string(),
+            })?;
+        self.estima.predict_scoped(
+            &snapshot.set,
+            target,
+            &self.cache,
+            CacheScope {
+                series: snapshot.id.as_str(),
+                version: snapshot.version,
+            },
+        )
+    }
+
+    /// Predict an anonymous, caller-held measurement set through the
+    /// session's cache (structural keys, no series scope). This is the
+    /// convenience path [`BatchPredictor`](crate::engine::BatchPredictor)
+    /// and the server's stateless `/v1/predict` endpoint run on.
+    pub fn predict_set(&self, set: &MeasurementSet, target: &TargetSpec) -> Result<Prediction> {
+        self.estima.predict_cached(set, target, &self.cache)
+    }
+
+    /// Summaries of every stored series, ordered by id.
+    pub fn list(&self) -> Vec<SeriesInfo> {
+        self.store.list()
+    }
+
+    /// A consistent snapshot of one series, or `None` when it does not
+    /// exist.
+    pub fn snapshot(&self, id: &SeriesId) -> Option<SeriesSnapshot> {
+        self.store.snapshot(id)
+    }
+
+    /// Remove a series and drop its cached fits. Returns the final snapshot,
+    /// or `None` when the series did not exist.
+    pub fn evict(&self, id: &SeriesId) -> Option<SeriesSnapshot> {
+        let snapshot = self.store.evict(id)?;
+        self.cache.invalidate_series(id.as_str());
+        Some(snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measurement::StallCategory;
+
+    fn point(cores: u32) -> Measurement {
+        let n = cores as f64;
+        Measurement::new(cores, 50.0 / n + 1.0).with_stall(
+            StallCategory::backend("rob_full"),
+            2.0e9 * (1.0 + 0.08 * n * n),
+        )
+    }
+
+    fn id(name: &str) -> SeriesId {
+        SeriesId::new(name).unwrap()
+    }
+
+    #[test]
+    fn series_id_validation() {
+        assert!(SeriesId::new("my-app_1.2").is_ok());
+        assert!(matches!(
+            SeriesId::new(""),
+            Err(EstimaError::InvalidSeriesId { .. })
+        ));
+        assert!(matches!(
+            SeriesId::new("has space"),
+            Err(EstimaError::InvalidSeriesId { .. })
+        ));
+        assert!(matches!(
+            SeriesId::new("a/b"),
+            Err(EstimaError::InvalidSeriesId { .. })
+        ));
+        assert!(matches!(
+            SeriesId::new("x".repeat(SeriesId::MAX_LEN + 1)),
+            Err(EstimaError::InvalidSeriesId { .. })
+        ));
+        assert_eq!("ok-1".parse::<SeriesId>().unwrap().as_str(), "ok-1");
+    }
+
+    #[test]
+    fn ensure_creates_once_and_detects_frequency_conflicts() {
+        let store = MeasurementStore::new();
+        let app = id("app");
+        assert_eq!(store.ensure(&app, 2.1).unwrap(), 1);
+        assert_eq!(store.ensure(&app, 2.1).unwrap(), 1);
+        assert!(matches!(
+            store.ensure(&app, 3.0),
+            Err(EstimaError::SeriesConflict { .. })
+        ));
+        assert!(matches!(
+            store.ensure(&id("bad"), 0.0),
+            Err(EstimaError::InvalidConfig(_))
+        ));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn ingest_requires_existing_series_and_bumps_versions() {
+        let store = MeasurementStore::new();
+        let app = id("app");
+        assert!(matches!(
+            store.ingest(&app, point(1)),
+            Err(EstimaError::SeriesNotFound { .. })
+        ));
+        store.ensure(&app, 2.1).unwrap();
+        assert_eq!(store.ingest(&app, point(1)).unwrap(), 2);
+        assert_eq!(store.ingest(&app, point(2)).unwrap(), 3);
+        // Replacing an existing core count is still a content mutation.
+        assert_eq!(store.ingest(&app, point(2)).unwrap(), 4);
+        let snapshot = store.snapshot(&app).unwrap();
+        assert_eq!(snapshot.version, 4);
+        assert_eq!(snapshot.set.core_counts(), vec![1, 2]);
+        assert_eq!(store.total_points(), 2);
+        assert_eq!(store.ingests(), 4);
+    }
+
+    #[test]
+    fn snapshots_are_immune_to_later_ingests() {
+        let store = MeasurementStore::new();
+        let app = id("app");
+        store.ensure(&app, 2.1).unwrap();
+        store.ingest(&app, point(1)).unwrap();
+        let before = store.snapshot(&app).unwrap();
+        store.ingest(&app, point(2)).unwrap();
+        assert_eq!(before.set.len(), 1, "snapshot changed under a later ingest");
+        assert_eq!(store.snapshot(&app).unwrap().set.len(), 2);
+    }
+
+    #[test]
+    fn ingest_set_merges_and_renames_to_the_series_id() {
+        let store = MeasurementStore::new();
+        let app = id("app");
+        let mut set = MeasurementSet::new("other-name", 2.1);
+        for cores in 1..=4 {
+            set.push(point(cores));
+        }
+        let merged = store.ingest_set(&app, &set).unwrap();
+        // The returned snapshot is the post-merge state, taken atomically.
+        assert_eq!(merged.version, 2);
+        assert_eq!(merged.set.app_name, "app");
+        assert_eq!(merged.set.len(), 4);
+        // Merging an empty set is a no-op: same version, no invalidation.
+        let empty = MeasurementSet::new("x", 2.1);
+        assert_eq!(store.ingest_set(&app, &empty).unwrap().version, 2);
+        // Frequency mismatch on merge is a conflict; a bad frequency is
+        // rejected before it can create anything.
+        let wrong = MeasurementSet::new("x", 9.9).with(point(5));
+        assert!(matches!(
+            store.ingest_set(&app, &wrong),
+            Err(EstimaError::SeriesConflict { .. })
+        ));
+        assert!(matches!(
+            store.ingest_set(&id("fresh"), &MeasurementSet::new("x", f64::NAN)),
+            Err(EstimaError::InvalidConfig(_))
+        ));
+        assert!(store.snapshot(&id("fresh")).is_none());
+    }
+
+    #[test]
+    fn list_is_ordered_and_evict_removes() {
+        let store = MeasurementStore::new();
+        for name in ["zeta", "alpha", "mid"] {
+            store.ensure(&id(name), 2.1).unwrap();
+        }
+        let listed: Vec<String> = store.list().iter().map(|i| i.id.to_string()).collect();
+        assert_eq!(listed, vec!["alpha", "mid", "zeta"]);
+        assert!(store.evict(&id("mid")).is_some());
+        assert!(store.evict(&id("mid")).is_none());
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn session_incremental_ingestion_matches_one_shot_predict() {
+        let config = EstimaConfig::default().with_parallelism(1);
+        let session = EstimaSession::new(config.clone());
+        let app = id("demo");
+        let mut full = MeasurementSet::new("demo", 2.1);
+        session.ensure(&app, 2.1).unwrap();
+        for cores in 1..=10 {
+            full.push(point(cores));
+            session.ingest(&app, point(cores)).unwrap();
+        }
+        let target = TargetSpec::cores(40);
+        let incremental = session.predict(&app, &target).unwrap();
+        let one_shot = Estima::new(config).predict(&full, &target).unwrap();
+        assert_eq!(incremental.app_name, one_shot.app_name);
+        for ((c1, t1), (c2, t2)) in one_shot
+            .predicted_time
+            .iter()
+            .zip(&incremental.predicted_time)
+        {
+            assert_eq!(c1, c2);
+            assert_eq!(t1.to_bits(), t2.to_bits());
+        }
+    }
+
+    #[test]
+    fn cache_versioning_hits_unchanged_and_misses_exactly_the_mutated_series() {
+        let session = EstimaSession::new(EstimaConfig::default().with_parallelism(1));
+        let (a, b) = (id("a"), id("b"));
+        for series in [&a, &b] {
+            session.ensure(series, 2.1).unwrap();
+            for cores in 1..=10 {
+                session.ingest(series, point(cores)).unwrap();
+            }
+        }
+        let target = TargetSpec::cores(40);
+        session.predict(&a, &target).unwrap();
+        session.predict(&b, &target).unwrap();
+        let misses_cold = session.cache().stats().1;
+
+        // Unchanged series: pure hits, no new misses.
+        session.predict(&a, &target).unwrap();
+        session.predict(&b, &target).unwrap();
+        let (hits_warm, misses_warm) = session.cache().stats();
+        assert_eq!(misses_warm, misses_cold, "unchanged series must not refit");
+        assert!(hits_warm > 0);
+
+        // Ingest into `a` only: next predict of `a` misses, `b` still hits.
+        session.ingest(&a, point(11)).unwrap();
+        assert!(session.cache().invalidations() > 0);
+        session.predict(&b, &target).unwrap();
+        assert_eq!(
+            session.cache().stats().1,
+            misses_warm,
+            "series b was invalidated by an ingest into series a"
+        );
+        session.predict(&a, &target).unwrap();
+        assert!(
+            session.cache().stats().1 > misses_warm,
+            "series a served stale fits after an ingest"
+        );
+    }
+
+    #[test]
+    fn predict_missing_series_is_series_not_found() {
+        let session = EstimaSession::new(EstimaConfig::default());
+        assert!(matches!(
+            session.predict(&id("ghost"), &TargetSpec::cores(8)),
+            Err(EstimaError::SeriesNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn evict_drops_cached_fits() {
+        let session = EstimaSession::new(EstimaConfig::default().with_parallelism(1));
+        let app = id("app");
+        session.ensure(&app, 2.1).unwrap();
+        for cores in 1..=10 {
+            session.ingest(&app, point(cores)).unwrap();
+        }
+        session.predict(&app, &TargetSpec::cores(40)).unwrap();
+        assert!(!session.cache().is_empty());
+        let snapshot = session.evict(&app).unwrap();
+        assert_eq!(snapshot.set.len(), 10);
+        assert!(
+            session.cache().is_empty(),
+            "evicting the only series must drop its cached fits"
+        );
+    }
+}

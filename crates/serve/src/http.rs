@@ -256,6 +256,9 @@ pub struct Response {
     pub body: Vec<u8>,
     /// `Content-Type` header value.
     pub content_type: &'static str,
+    /// Value of the `Allow` header, emitted on `405 Method Not Allowed`
+    /// responses (RFC 9110 §10.2.1 requires it), e.g. `"GET, DELETE"`.
+    pub allow: Option<&'static str>,
 }
 
 impl Response {
@@ -265,6 +268,16 @@ impl Response {
             status,
             body: body.into(),
             content_type: "application/json",
+            allow: None,
+        }
+    }
+
+    /// A `405 Method Not Allowed` JSON response carrying the mandatory
+    /// `Allow` header listing the methods the resource supports.
+    pub fn method_not_allowed(allow: &'static str, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            allow: Some(allow),
+            ..Response::json(405, body)
         }
     }
 }
@@ -276,6 +289,7 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
         500 => "Internal Server Error",
@@ -289,12 +303,17 @@ pub fn write_response(
     response: &Response,
     close: bool,
 ) -> std::io::Result<()> {
+    let allow = match response.allow {
+        Some(methods) => format!("allow: {methods}\r\n"),
+        None => String::new(),
+    };
     let head = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n{}connection: {}\r\n\r\n",
         response.status,
         reason(response.status),
         response.content_type,
         response.body.len(),
+        allow,
         if close { "close" } else { "keep-alive" },
     );
     stream.write_all(head.as_bytes())?;
@@ -391,6 +410,30 @@ mod tests {
         // the header cap instead of growing memory without bound.
         let raw = vec![b'A'; MAX_HEADER_BYTES + 10];
         assert!(matches!(round_trip(&raw), Err(ReadError::Malformed(_))));
+    }
+
+    #[test]
+    fn method_not_allowed_carries_the_allow_header() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let reader = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let mut raw = String::new();
+            Read::read_to_string(&mut stream, &mut raw).unwrap();
+            raw
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let response = Response::method_not_allowed("GET, DELETE", "{}");
+        write_response(&mut stream, &response, true).unwrap();
+        drop(stream);
+        let raw = reader.join().unwrap();
+        assert!(
+            raw.starts_with("HTTP/1.1 405 Method Not Allowed\r\n"),
+            "{raw}"
+        );
+        assert!(raw.contains("\r\nallow: GET, DELETE\r\n"), "{raw}");
+        // Plain responses must not grow an allow header.
+        assert_eq!(Response::json(200, "{}").allow, None);
     }
 
     #[test]

@@ -13,10 +13,21 @@
 //! format ([`wire`]) rides on the shared [`estima_core::json`] machinery
 //! with exact `f64` round-tripping.
 //!
-//! Endpoints: `POST /v1/predict`, `POST /v1/batch`, `GET /v1/healthz`,
-//! `GET /v1/stats`. The full wire-format specification, architecture
-//! diagram and error-code semantics are in DESIGN.md § *Serving layer*;
-//! README § *Run as a service* has `curl`-able examples.
+//! The service is stateful: every worker routes through one shared
+//! [`EstimaSession`](estima_core::EstimaSession), so measurements can be
+//! ingested incrementally into named, versioned series
+//! (`POST /v1/measurements`) and predictions queried against them
+//! (`POST /v1/series/{id}/predict`, body = just the target) without
+//! reshipping the measurement set per request. Fit-cache entries are keyed
+//! by `(series, version)`, so an ingest invalidates exactly that series'
+//! fits.
+//!
+//! Endpoints: `POST /v1/predict`, `POST /v1/batch`,
+//! `POST /v1/measurements`, `GET /v1/series`, `GET /v1/series/{id}`,
+//! `DELETE /v1/series/{id}`, `POST /v1/series/{id}/predict`,
+//! `GET /v1/healthz`, `GET /v1/stats`. The full wire-format specification,
+//! architecture diagram and error-code semantics are in DESIGN.md
+//! § *Serving layer*; README § *Run as a service* has `curl`-able examples.
 //!
 //! ```no_run
 //! use estima_serve::{Server, ServerConfig};

@@ -5,10 +5,11 @@
 //! respond, keep-alive until the client closes), so the pool size is the
 //! concurrent-connection limit — there is no per-connection thread spawn and
 //! no async runtime. All workers share one application state: a
-//! [`BatchPredictor`] over the sharded [`FitCache`] (concurrent requests for
-//! different series take different shard locks) and the lock-free
-//! [`ServerStats`]. See DESIGN.md § *Serving layer* for the architecture
-//! diagram and wire contract.
+//! [`BatchPredictor`] whose [`EstimaSession`] holds the measurement store
+//! (the `/v1/series` endpoints) and the sharded [`FitCache`] (concurrent
+//! requests for different series take different shard locks), plus the
+//! lock-free [`ServerStats`]. See DESIGN.md § *Serving layer* for the
+//! architecture diagram and wire contract.
 
 use std::io::BufReader;
 use std::net::{TcpListener, TcpStream};
@@ -17,7 +18,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use estima_core::json::Json;
-use estima_core::{BatchPredictor, EstimaConfig, FitCache};
+use estima_core::store::EstimaSession;
+use estima_core::{BatchPredictor, EstimaConfig, EstimaError, FitCache, MeasurementSet, SeriesId};
 
 use crate::http::{read_request, write_response, ReadError, Request, Response};
 use crate::stats::ServerStats;
@@ -247,38 +249,106 @@ fn handle_connection(stream: TcpStream, state: &AppState) {
 /// Dispatch one request to its endpoint handler. Routing ignores any query
 /// string (no endpoint takes parameters, but `GET /v1/healthz?probe=1`
 /// from a health checker must still be served).
+///
+/// Known paths with the wrong method answer `405` with an `Allow` header
+/// naming the supported methods; only unknown paths fall through to `404`.
 fn route(request: &Request, state: &AppState) -> Response {
     let path = request.path.split('?').next().unwrap_or("");
+    let stats = &state.stats;
+    if let Some(rest) = path.strip_prefix("/v1/series/") {
+        return match rest.split_once('/') {
+            None => match request.method.as_str() {
+                "GET" => {
+                    stats.series_requests.fetch_add(1, Ordering::Relaxed);
+                    series_get(rest, state)
+                }
+                "DELETE" => {
+                    stats.series_delete_requests.fetch_add(1, Ordering::Relaxed);
+                    series_delete(rest, state)
+                }
+                _ => method_not_allowed(request, "GET, DELETE"),
+            },
+            Some((id, "predict")) => match request.method.as_str() {
+                "POST" => {
+                    stats
+                        .series_predict_requests
+                        .fetch_add(1, Ordering::Relaxed);
+                    series_predict(id, request, state)
+                }
+                _ => method_not_allowed(request, "POST"),
+            },
+            Some(_) => not_found(path),
+        };
+    }
     match (request.method.as_str(), path) {
         ("GET", "/v1/healthz") => {
-            state.stats.healthz_requests.fetch_add(1, Ordering::Relaxed);
+            stats.healthz_requests.fetch_add(1, Ordering::Relaxed);
             healthz(state)
         }
         ("GET", "/v1/stats") => {
-            state.stats.stats_requests.fetch_add(1, Ordering::Relaxed);
-            stats(state)
+            stats.stats_requests.fetch_add(1, Ordering::Relaxed);
+            server_stats(state)
         }
         ("POST", "/v1/predict") => {
-            state.stats.predict_requests.fetch_add(1, Ordering::Relaxed);
+            stats.predict_requests.fetch_add(1, Ordering::Relaxed);
             predict(request, state)
         }
         ("POST", "/v1/batch") => {
-            state.stats.batch_requests.fetch_add(1, Ordering::Relaxed);
+            stats.batch_requests.fetch_add(1, Ordering::Relaxed);
             batch(request, state)
         }
-        (_, "/v1/healthz" | "/v1/stats" | "/v1/predict" | "/v1/batch") => Response::json(
-            405,
-            wire::error_to_json(
-                "method_not_allowed",
-                &format!("{} is not supported on {}", request.method, request.path),
-            )
-            .render(),
-        ),
-        (_, path) => Response::json(
-            404,
-            wire::error_to_json("not_found", &format!("no route for {path}")).render(),
-        ),
+        ("POST", "/v1/measurements") => {
+            stats.measurements_requests.fetch_add(1, Ordering::Relaxed);
+            ingest_measurements(request, state)
+        }
+        ("GET", "/v1/series") => {
+            stats.series_requests.fetch_add(1, Ordering::Relaxed);
+            series_list(state)
+        }
+        (_, "/v1/healthz" | "/v1/stats" | "/v1/series") => method_not_allowed(request, "GET"),
+        (_, "/v1/predict" | "/v1/batch" | "/v1/measurements") => {
+            method_not_allowed(request, "POST")
+        }
+        (_, path) => not_found(path),
     }
+}
+
+/// `405 Method Not Allowed` with the mandatory `Allow` header.
+fn method_not_allowed(request: &Request, allow: &'static str) -> Response {
+    Response::method_not_allowed(
+        allow,
+        wire::error_to_json(
+            "method_not_allowed",
+            &format!(
+                "{} is not supported on {} (allowed: {allow})",
+                request.method, request.path
+            ),
+        )
+        .render(),
+    )
+}
+
+/// `404 Not Found` for an unknown path.
+fn not_found(path: &str) -> Response {
+    Response::json(
+        404,
+        wire::error_to_json("not_found", &format!("no route for {path}")).render(),
+    )
+}
+
+/// Map a store/pipeline error to its wire response (see
+/// [`wire::estima_error_status`]).
+fn store_error(error: &EstimaError) -> Response {
+    let (status, code) = wire::estima_error_status(error);
+    Response::json(
+        status,
+        wire::error_to_json(code, &error.to_string()).render(),
+    )
+}
+
+/// Parse and validate a `{id}` path segment.
+fn parse_series_id(raw: &str) -> Result<SeriesId, Response> {
+    SeriesId::new(raw).map_err(|e| store_error(&e))
 }
 
 /// Parse a request body as JSON, mapping failures to `400 bad_request`.
@@ -303,8 +373,9 @@ fn healthz(state: &AppState) -> Response {
 }
 
 /// `GET /v1/stats`.
-fn stats(state: &AppState) -> Response {
+fn server_stats(state: &AppState) -> Response {
     let cache = state.batch.cache();
+    let store = state.batch.session().store();
     let (hits, misses) = cache.stats();
     let stats = &state.stats;
     let load = |counter: &std::sync::atomic::AtomicU64| counter.load(Ordering::Relaxed) as f64;
@@ -331,6 +402,22 @@ fn stats(state: &AppState) -> Response {
                 (
                     "stats".to_string(),
                     Json::Number(load(&stats.stats_requests)),
+                ),
+                (
+                    "measurements".to_string(),
+                    Json::Number(load(&stats.measurements_requests)),
+                ),
+                (
+                    "series".to_string(),
+                    Json::Number(load(&stats.series_requests)),
+                ),
+                (
+                    "series_predict".to_string(),
+                    Json::Number(load(&stats.series_predict_requests)),
+                ),
+                (
+                    "series_delete".to_string(),
+                    Json::Number(load(&stats.series_delete_requests)),
                 ),
                 (
                     "client_errors".to_string(),
@@ -362,6 +449,21 @@ fn stats(state: &AppState) -> Response {
                     "evictions".to_string(),
                     Json::Number(cache.evictions() as f64),
                 ),
+                (
+                    "invalidations".to_string(),
+                    Json::Number(cache.invalidations() as f64),
+                ),
+            ]),
+        ),
+        (
+            "store".to_string(),
+            Json::Object(vec![
+                ("series".to_string(), Json::Number(store.len() as f64)),
+                (
+                    "points".to_string(),
+                    Json::Number(store.total_points() as f64),
+                ),
+                ("ingests".to_string(), Json::Number(store.ingests() as f64)),
             ]),
         ),
         (
@@ -430,4 +532,146 @@ fn batch(request: &Request, state: &AppState) -> Response {
         .collect();
     let body = Json::Object(vec![("results".to_string(), Json::Array(encoded))]);
     Response::json(200, body.render())
+}
+
+/// The session behind every stateful endpoint.
+fn session(state: &AppState) -> &EstimaSession {
+    state.batch.session()
+}
+
+/// `POST /v1/measurements`: append points to a named series, creating it on
+/// first contact (which requires `frequency_ghz`). One request is one store
+/// mutation: the version bumps once however many points arrive.
+fn ingest_measurements(request: &Request, state: &AppState) -> Response {
+    let body = match parse_body(request) {
+        Ok(body) => body,
+        Err(response) => return response,
+    };
+    let ingest = match wire::ingest_request_from_json(&body) {
+        Ok(decoded) => decoded,
+        Err(e) => return Response::json(400, wire::error_to_json("bad_request", &e.0).render()),
+    };
+    let session = session(state);
+    // Resolve the frequency: supplied, or stored (appending), or neither —
+    // in which case the series cannot be created.
+    let frequency_ghz = match ingest.frequency_ghz {
+        Some(ghz) => ghz,
+        None => match session.snapshot(&ingest.series) {
+            Some(snapshot) => snapshot.set.frequency_ghz,
+            None => {
+                return Response::json(
+                    404,
+                    wire::error_to_json(
+                        "series_not_found",
+                        &format!(
+                            "series `{}` does not exist; supply `frequency_ghz` to create it",
+                            ingest.series.as_str()
+                        ),
+                    )
+                    .render(),
+                )
+            }
+        },
+    };
+    let mut incoming = MeasurementSet::new(ingest.series.as_str(), frequency_ghz);
+    for point in ingest.points {
+        incoming.push(point);
+    }
+    match session.ingest_set(&ingest.series, &incoming) {
+        // The snapshot was taken under the store's write lock, so version
+        // and points are consistent however the series moves on afterwards.
+        Ok(snapshot) => {
+            let body = Json::Object(vec![
+                (
+                    "series".to_string(),
+                    Json::String(ingest.series.as_str().to_string()),
+                ),
+                ("version".to_string(), Json::Number(snapshot.version as f64)),
+                (
+                    "points".to_string(),
+                    Json::Number(snapshot.set.len() as f64),
+                ),
+            ]);
+            Response::json(200, body.render())
+        }
+        Err(e) => store_error(&e),
+    }
+}
+
+/// `GET /v1/series`.
+fn series_list(state: &AppState) -> Response {
+    Response::json(
+        200,
+        wire::series_list_to_json(&session(state).list()).render(),
+    )
+}
+
+/// `GET /v1/series/{id}`.
+fn series_get(raw_id: &str, state: &AppState) -> Response {
+    let id = match parse_series_id(raw_id) {
+        Ok(id) => id,
+        Err(response) => return response,
+    };
+    match session(state).snapshot(&id) {
+        Some(snapshot) => Response::json(200, wire::series_detail_to_json(&snapshot).render()),
+        None => store_error(&EstimaError::SeriesNotFound {
+            series: id.to_string(),
+        }),
+    }
+}
+
+/// `DELETE /v1/series/{id}`: evict the series and its cached fits.
+fn series_delete(raw_id: &str, state: &AppState) -> Response {
+    let id = match parse_series_id(raw_id) {
+        Ok(id) => id,
+        Err(response) => return response,
+    };
+    match session(state).evict(&id) {
+        Some(snapshot) => {
+            let body = Json::Object(vec![
+                (
+                    "deleted".to_string(),
+                    Json::String(snapshot.id.as_str().to_string()),
+                ),
+                ("version".to_string(), Json::Number(snapshot.version as f64)),
+                (
+                    "points".to_string(),
+                    Json::Number(snapshot.set.len() as f64),
+                ),
+            ]);
+            Response::json(200, body.render())
+        }
+        None => store_error(&EstimaError::SeriesNotFound {
+            series: id.to_string(),
+        }),
+    }
+}
+
+/// `POST /v1/series/{id}/predict`: the body is a bare `TargetSpec` object —
+/// the measurements live server-side, so nothing is reshipped per request.
+/// The response body is identical to `POST /v1/predict` with the series'
+/// full set.
+fn series_predict(raw_id: &str, request: &Request, state: &AppState) -> Response {
+    let id = match parse_series_id(raw_id) {
+        Ok(id) => id,
+        Err(response) => return response,
+    };
+    let body = match parse_body(request) {
+        Ok(body) => body,
+        Err(response) => return response,
+    };
+    let target = match wire::target_spec_from_json(&body) {
+        Ok(target) => target,
+        Err(e) => return Response::json(400, wire::error_to_json("bad_request", &e.0).render()),
+    };
+    let started = Instant::now();
+    let result = session(state).predict(&id, &target);
+    state.stats.record_latency(started.elapsed());
+    match result {
+        Ok(prediction) => {
+            state.stats.predictions.fetch_add(1, Ordering::Relaxed);
+            Response::json(200, wire::prediction_to_json(&prediction).render())
+        }
+        Err(e) => store_error(&e),
+    }
 }

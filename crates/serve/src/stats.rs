@@ -26,6 +26,14 @@ pub struct ServerStats {
     pub healthz_requests: AtomicU64,
     /// `GET /v1/stats` requests answered.
     pub stats_requests: AtomicU64,
+    /// `POST /v1/measurements` ingest requests answered (any status).
+    pub measurements_requests: AtomicU64,
+    /// `GET /v1/series` and `GET /v1/series/{id}` requests answered.
+    pub series_requests: AtomicU64,
+    /// `POST /v1/series/{id}/predict` requests answered (any status).
+    pub series_predict_requests: AtomicU64,
+    /// `DELETE /v1/series/{id}` requests answered (any status).
+    pub series_delete_requests: AtomicU64,
     /// Requests answered with a 4xx status.
     pub client_errors: AtomicU64,
     /// Requests answered with a 5xx status.
@@ -43,6 +51,10 @@ impl Default for ServerStats {
             batch_requests: AtomicU64::new(0),
             healthz_requests: AtomicU64::new(0),
             stats_requests: AtomicU64::new(0),
+            measurements_requests: AtomicU64::new(0),
+            series_requests: AtomicU64::new(0),
+            series_predict_requests: AtomicU64::new(0),
+            series_delete_requests: AtomicU64::new(0),
             client_errors: AtomicU64::new(0),
             server_errors: AtomicU64::new(0),
             predictions: AtomicU64::new(0),

@@ -15,8 +15,10 @@
 //! (pinned by `tests/server_roundtrip.rs` and the `loadgen` harness).
 
 use estima_core::json::Json;
+use estima_core::store::{SeriesInfo, SeriesSnapshot};
 use estima_core::{
-    EstimaError, Measurement, MeasurementSet, Prediction, StallCategory, StallSource, TargetSpec,
+    EstimaError, Measurement, MeasurementSet, Prediction, SeriesId, StallCategory, StallSource,
+    TargetSpec,
 };
 
 /// A wire-level decoding failure: the body was valid-ish JSON but not a
@@ -98,76 +100,83 @@ pub fn measurement_set_from_json(value: &Json) -> Result<MeasurementSet, WireErr
         .ok_or_else(|| err("measurements: field `points` must be an array"))?;
     for (index, point) in points.iter().enumerate() {
         let context = format!("measurements.points[{index}]");
-        let cores = require_u32(point, "cores", &context)?;
-        let exec_time = require_f64(point, "exec_time", &context)?;
-        let mut measurement = Measurement::new(cores, exec_time);
-        if let Some(footprint) = point.get("memory_footprint") {
-            let bytes = footprint.as_u64().ok_or_else(|| {
-                err(format!(
-                    "{context}: field `memory_footprint` must be a non-negative integer"
-                ))
-            })?;
-            measurement = measurement.with_memory_footprint(bytes);
-        }
-        if let Some(stalls) = point.get("stalls") {
-            let stalls = stalls
-                .as_array()
-                .ok_or_else(|| err(format!("{context}: field `stalls` must be an array")))?;
-            for (sindex, stall) in stalls.iter().enumerate() {
-                let context = format!("{context}.stalls[{sindex}]");
-                let source = parse_source(require_str(stall, "source", &context)?)?;
-                let name = require_str(stall, "name", &context)?;
-                let cycles = require_f64(stall, "cycles", &context)?;
-                let category = StallCategory {
-                    name: name.to_string(),
-                    source,
-                };
-                measurement = measurement.with_stall(category, cycles);
-            }
-        }
-        set.push(measurement);
+        set.push(measurement_from_json(point, &context)?);
     }
     Ok(set)
+}
+
+/// Decode one measurement object (an entry of a `points` array).
+pub fn measurement_from_json(point: &Json, context: &str) -> Result<Measurement, WireError> {
+    let cores = require_u32(point, "cores", context)?;
+    let exec_time = require_f64(point, "exec_time", context)?;
+    let mut measurement = Measurement::new(cores, exec_time);
+    if let Some(footprint) = point.get("memory_footprint") {
+        let bytes = footprint.as_u64().ok_or_else(|| {
+            err(format!(
+                "{context}: field `memory_footprint` must be a non-negative integer"
+            ))
+        })?;
+        measurement = measurement.with_memory_footprint(bytes);
+    }
+    if let Some(stalls) = point.get("stalls") {
+        let stalls = stalls
+            .as_array()
+            .ok_or_else(|| err(format!("{context}: field `stalls` must be an array")))?;
+        for (sindex, stall) in stalls.iter().enumerate() {
+            let context = format!("{context}.stalls[{sindex}]");
+            let source = parse_source(require_str(stall, "source", &context)?)?;
+            let name = require_str(stall, "name", &context)?;
+            let cycles = require_f64(stall, "cycles", &context)?;
+            let category = StallCategory {
+                name: name.to_string(),
+                source,
+            };
+            measurement = measurement.with_stall(category, cycles);
+        }
+    }
+    Ok(measurement)
 }
 
 /// Encode a `MeasurementSet` as its wire object. Inverse of
 /// [`measurement_set_from_json`]; used by clients (`loadgen`, tests) to
 /// build request bodies.
 pub fn measurement_set_to_json(set: &MeasurementSet) -> Json {
-    let points = set
-        .measurements()
-        .iter()
-        .map(|m| {
-            let mut fields = vec![
-                ("cores".to_string(), Json::Number(f64::from(m.cores))),
-                ("exec_time".to_string(), Json::Number(m.exec_time)),
-            ];
-            if let Some(bytes) = m.memory_footprint {
-                fields.push(("memory_footprint".to_string(), Json::Number(bytes as f64)));
-            }
-            let stalls = m
-                .stalls
-                .iter()
-                .map(|(category, cycles)| {
-                    Json::Object(vec![
-                        (
-                            "source".to_string(),
-                            Json::String(source_name(category.source).to_string()),
-                        ),
-                        ("name".to_string(), Json::String(category.name.clone())),
-                        ("cycles".to_string(), Json::Number(*cycles)),
-                    ])
-                })
-                .collect();
-            fields.push(("stalls".to_string(), Json::Array(stalls)));
-            Json::Object(fields)
-        })
-        .collect();
     Json::Object(vec![
         ("app_name".to_string(), Json::String(set.app_name.clone())),
         ("frequency_ghz".to_string(), Json::Number(set.frequency_ghz)),
-        ("points".to_string(), Json::Array(points)),
+        (
+            "points".to_string(),
+            Json::Array(set.measurements().iter().map(measurement_to_json).collect()),
+        ),
     ])
+}
+
+/// Encode one measurement as its wire object (an entry of a `points`
+/// array). Inverse of [`measurement_from_json`].
+pub fn measurement_to_json(m: &Measurement) -> Json {
+    let mut fields = vec![
+        ("cores".to_string(), Json::Number(f64::from(m.cores))),
+        ("exec_time".to_string(), Json::Number(m.exec_time)),
+    ];
+    if let Some(bytes) = m.memory_footprint {
+        fields.push(("memory_footprint".to_string(), Json::Number(bytes as f64)));
+    }
+    let stalls = m
+        .stalls
+        .iter()
+        .map(|(category, cycles)| {
+            Json::Object(vec![
+                (
+                    "source".to_string(),
+                    Json::String(source_name(category.source).to_string()),
+                ),
+                ("name".to_string(), Json::String(category.name.clone())),
+                ("cycles".to_string(), Json::Number(*cycles)),
+            ])
+        })
+        .collect();
+    fields.push(("stalls".to_string(), Json::Array(stalls)));
+    Json::Object(fields)
 }
 
 /// Decode a `TargetSpec` from its wire object.
@@ -353,6 +362,138 @@ pub fn prediction_to_json(prediction: &Prediction) -> Json {
     ])
 }
 
+/// A decoded `POST /v1/measurements` request: which series to append to,
+/// the measurement-machine frequency (required to create a series, verified
+/// against the stored one otherwise), and the points to append.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestRequest {
+    /// Target series id.
+    pub series: SeriesId,
+    /// Clock frequency of the measurements machine in GHz, when supplied.
+    pub frequency_ghz: Option<f64>,
+    /// Measurements to append, in arrival order.
+    pub points: Vec<Measurement>,
+}
+
+/// Decode a `POST /v1/measurements` body.
+pub fn ingest_request_from_json(value: &Json) -> Result<IngestRequest, WireError> {
+    let context = "request";
+    let series = SeriesId::new(require_str(value, "series", context)?)
+        .map_err(|e| err(format!("{context}: {e}")))?;
+    let frequency_ghz = match value.get("frequency_ghz") {
+        Some(freq) => {
+            let ghz = freq
+                .as_f64()
+                .ok_or_else(|| err("request: field `frequency_ghz` must be a number"))?;
+            // Rejected here (400 bad_request) rather than by the store
+            // (which would read as a pipeline failure): a non-positive
+            // clock is malformed input, not an unpredictable series.
+            if !ghz.is_finite() || ghz <= 0.0 {
+                return Err(err(
+                    "request: field `frequency_ghz` must be positive and finite",
+                ));
+            }
+            Some(ghz)
+        }
+        None => None,
+    };
+    let points = require(value, "points", context)?
+        .as_array()
+        .ok_or_else(|| err("request: field `points` must be an array"))?
+        .iter()
+        .enumerate()
+        .map(|(index, point)| measurement_from_json(point, &format!("points[{index}]")))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(IngestRequest {
+        series,
+        frequency_ghz,
+        points,
+    })
+}
+
+/// Encode a `POST /v1/measurements` body. Inverse of
+/// [`ingest_request_from_json`]; used by clients (`loadgen`, tests).
+pub fn ingest_request_to_json(
+    series: &SeriesId,
+    frequency_ghz: Option<f64>,
+    points: &[Measurement],
+) -> Json {
+    let mut fields = vec![(
+        "series".to_string(),
+        Json::String(series.as_str().to_string()),
+    )];
+    if let Some(ghz) = frequency_ghz {
+        fields.push(("frequency_ghz".to_string(), Json::Number(ghz)));
+    }
+    fields.push((
+        "points".to_string(),
+        Json::Array(points.iter().map(measurement_to_json).collect()),
+    ));
+    Json::Object(fields)
+}
+
+/// Encode one series summary (an entry of the `GET /v1/series` response and
+/// the header fields of `GET /v1/series/{id}`).
+pub fn series_info_to_json(info: &SeriesInfo) -> Json {
+    Json::Object(vec![
+        (
+            "series".to_string(),
+            Json::String(info.id.as_str().to_string()),
+        ),
+        ("version".to_string(), Json::Number(info.version as f64)),
+        ("points".to_string(), Json::Number(info.points as f64)),
+        (
+            "max_cores".to_string(),
+            Json::Number(f64::from(info.max_cores)),
+        ),
+        (
+            "frequency_ghz".to_string(),
+            Json::Number(info.frequency_ghz),
+        ),
+    ])
+}
+
+/// Encode the `GET /v1/series` response body.
+pub fn series_list_to_json(infos: &[SeriesInfo]) -> Json {
+    Json::Object(vec![
+        (
+            "series".to_string(),
+            Json::Array(infos.iter().map(series_info_to_json).collect()),
+        ),
+        ("count".to_string(), Json::Number(infos.len() as f64)),
+    ])
+}
+
+/// Encode the `GET /v1/series/{id}` response body: the summary fields plus
+/// the full measurement set at the snapshot's version.
+pub fn series_detail_to_json(snapshot: &SeriesSnapshot) -> Json {
+    Json::Object(vec![
+        (
+            "series".to_string(),
+            Json::String(snapshot.id.as_str().to_string()),
+        ),
+        ("version".to_string(), Json::Number(snapshot.version as f64)),
+        (
+            "measurements".to_string(),
+            measurement_set_to_json(&snapshot.set),
+        ),
+    ])
+}
+
+/// HTTP status and wire error code for a store/pipeline error on the series
+/// endpoints: missing series are `404 series_not_found`, contradictory
+/// ingests are `409 series_conflict`, invalid ids are `400 bad_request`, and
+/// everything else keeps the prediction-pipeline semantics
+/// (`422 prediction_failed`).
+pub fn estima_error_status(error: &EstimaError) -> (u16, &'static str) {
+    match error {
+        EstimaError::SeriesNotFound { .. } => (404, "series_not_found"),
+        EstimaError::SeriesConflict { .. } => (409, "series_conflict"),
+        EstimaError::InvalidSeriesId { .. } => (400, "bad_request"),
+        _ => (422, "prediction_failed"),
+    }
+}
+
 /// Encode a wire error body: `{"error": {"code": ..., "message": ...}}`.
 pub fn error_to_json(code: &str, message: &str) -> Json {
     Json::Object(vec![(
@@ -437,6 +578,67 @@ mod tests {
             assert_eq!(c1, c2);
             assert_eq!(t1.to_bits(), t2.to_bits(), "exact f64 round trip");
         }
+    }
+
+    #[test]
+    fn ingest_request_round_trips() {
+        let series = SeriesId::new("demo-1").unwrap();
+        let points: Vec<Measurement> = demo_set().measurements().to_vec();
+        for frequency in [Some(2.1), None] {
+            let encoded = ingest_request_to_json(&series, frequency, &points).render();
+            let decoded = ingest_request_from_json(&Json::parse(&encoded).unwrap()).unwrap();
+            assert_eq!(decoded.series, series);
+            assert_eq!(decoded.frequency_ghz, frequency);
+            assert_eq!(decoded.points, points);
+        }
+    }
+
+    #[test]
+    fn ingest_request_rejects_bad_series_ids() {
+        let bad = Json::parse(r#"{"series":"a b","points":[]}"#).unwrap();
+        let error = ingest_request_from_json(&bad).unwrap_err();
+        assert!(error.0.contains("invalid series id"), "{error}");
+        let missing = Json::parse(r#"{"series":"ok"}"#).unwrap();
+        assert!(ingest_request_from_json(&missing).is_err());
+        let bad_freq = Json::parse(r#"{"series":"ok","frequency_ghz":-1,"points":[]}"#).unwrap();
+        let error = ingest_request_from_json(&bad_freq).unwrap_err();
+        assert!(error.0.contains("positive and finite"), "{error}");
+    }
+
+    #[test]
+    fn series_wire_objects_carry_version_and_points() {
+        use estima_core::store::MeasurementStore;
+        let store = MeasurementStore::new();
+        let id = SeriesId::new("app").unwrap();
+        store.ingest_set(&id, &demo_set()).unwrap();
+        let listed = series_list_to_json(&store.list());
+        assert_eq!(listed.get("count").and_then(Json::as_u64), Some(1));
+        let entry = &listed.get("series").unwrap().as_array().unwrap()[0];
+        assert_eq!(entry.get("series").and_then(Json::as_str), Some("app"));
+        assert_eq!(entry.get("version").and_then(Json::as_u64), Some(2));
+        assert_eq!(entry.get("points").and_then(Json::as_u64), Some(8));
+
+        let detail = series_detail_to_json(&store.snapshot(&id).unwrap());
+        let decoded = measurement_set_from_json(detail.get("measurements").unwrap()).unwrap();
+        assert_eq!(decoded.len(), 8);
+        assert_eq!(decoded.app_name, "app");
+    }
+
+    #[test]
+    fn error_statuses_follow_the_documented_mapping() {
+        let not_found = EstimaError::SeriesNotFound { series: "x".into() };
+        assert_eq!(estima_error_status(&not_found), (404, "series_not_found"));
+        let conflict = EstimaError::SeriesConflict {
+            series: "x".into(),
+            detail: "freq".into(),
+        };
+        assert_eq!(estima_error_status(&conflict), (409, "series_conflict"));
+        let invalid = EstimaError::InvalidSeriesId { detail: "x".into() };
+        assert_eq!(estima_error_status(&invalid), (400, "bad_request"));
+        assert_eq!(
+            estima_error_status(&EstimaError::NoStallCategories),
+            (422, "prediction_failed")
+        );
     }
 
     #[test]

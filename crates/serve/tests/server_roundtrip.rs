@@ -248,6 +248,294 @@ fn error_codes_match_the_documented_semantics() {
 }
 
 #[test]
+fn series_predict_after_incremental_ingest_is_byte_identical_to_one_shot() {
+    let handle = spawn_server();
+    let mut client = Client::connect(handle.addr());
+
+    // Collection: the quickstart set arrives one point per request, the way
+    // a collector streaming runs would deliver it. The series id doubles as
+    // the app name, so the stateless request below is the equivalent job.
+    let set = quickstart_sized_set("stream");
+    for (index, point) in set.measurements().iter().enumerate() {
+        let body = wire::ingest_request_to_json(
+            &SeriesId::new("stream").unwrap(),
+            Some(set.frequency_ghz),
+            std::slice::from_ref(point),
+        )
+        .render();
+        let (status, response) = client.request("POST", "/v1/measurements", &body);
+        assert_eq!(status, 200, "{response}");
+        let decoded = Json::parse(&response).unwrap();
+        // Version semantics: create bumps to 1, every ingest call bumps 1.
+        assert_eq!(
+            decoded.get("version").and_then(Json::as_u64),
+            Some(index as u64 + 2)
+        );
+        assert_eq!(
+            decoded.get("points").and_then(Json::as_u64),
+            Some(index as u64 + 1)
+        );
+    }
+
+    // Query the named series: body is the bare TargetSpec, nothing else.
+    let target = TargetSpec::cores(48);
+    let (status, incremental) = client.request(
+        "POST",
+        "/v1/series/stream/predict",
+        &wire::target_spec_to_json(&target).render(),
+    );
+    assert_eq!(status, 200, "{incremental}");
+
+    // The acceptance pin: byte-for-byte the same JSON as the stateless
+    // endpoint fed the equivalent full set...
+    let body = wire::predict_request_to_json(&set, &target).render();
+    let (status, one_shot) = client.request("POST", "/v1/predict", &body);
+    assert_eq!(status, 200, "{one_shot}");
+    assert_eq!(
+        incremental, one_shot,
+        "series predict differs from the stateless predict of the same set"
+    );
+
+    // ...and identical bits to the in-process convenience API.
+    let reference = Estima::new(EstimaConfig::default().with_parallelism(1))
+        .predict(&set, &target)
+        .unwrap();
+    let decoded = Json::parse(&incremental).unwrap();
+    let served = wire::series_from_json(decoded.get("predicted_time").unwrap()).unwrap();
+    for ((c1, t1), (c2, t2)) in reference.predicted_time.iter().zip(&served) {
+        assert_eq!(c1, c2);
+        assert_eq!(t1.to_bits(), t2.to_bits());
+    }
+
+    handle.shutdown();
+}
+
+#[test]
+fn series_lifecycle_list_get_delete() {
+    let handle = spawn_server();
+    let mut client = Client::connect(handle.addr());
+
+    let set = quickstart_sized_set("lifecycle");
+    let ingest = wire::ingest_request_to_json(
+        &SeriesId::new("lifecycle").unwrap(),
+        Some(set.frequency_ghz),
+        set.measurements(),
+    )
+    .render();
+    let (status, response) = client.request("POST", "/v1/measurements", &ingest);
+    assert_eq!(status, 200, "{response}");
+
+    // List: one series, version 2 (create + one batched ingest).
+    let (status, listed) = client.request("GET", "/v1/series", "");
+    assert_eq!(status, 200);
+    let listed = Json::parse(&listed).unwrap();
+    assert_eq!(listed.get("count").and_then(Json::as_u64), Some(1));
+    let entry = &listed.get("series").unwrap().as_array().unwrap()[0];
+    assert_eq!(
+        entry.get("series").and_then(Json::as_str),
+        Some("lifecycle")
+    );
+    assert_eq!(entry.get("version").and_then(Json::as_u64), Some(2));
+    assert_eq!(entry.get("points").and_then(Json::as_u64), Some(12));
+    assert_eq!(entry.get("max_cores").and_then(Json::as_u64), Some(12));
+
+    // Get: the stored measurements round-trip to exactly what was sent
+    // (modulo the app name, which is the series id).
+    let (status, detail) = client.request("GET", "/v1/series/lifecycle", "");
+    assert_eq!(status, 200);
+    let detail = Json::parse(&detail).unwrap();
+    let stored = wire::measurement_set_from_json(detail.get("measurements").unwrap()).unwrap();
+    assert_eq!(stored.measurements(), set.measurements());
+
+    // Delete: reports what was dropped; the series is gone afterwards.
+    let (status, deleted) = client.request("DELETE", "/v1/series/lifecycle", "");
+    assert_eq!(status, 200);
+    let deleted = Json::parse(&deleted).unwrap();
+    assert_eq!(
+        deleted.get("deleted").and_then(Json::as_str),
+        Some("lifecycle")
+    );
+    assert_eq!(deleted.get("points").and_then(Json::as_u64), Some(12));
+    let (status, _) = client.request("GET", "/v1/series/lifecycle", "");
+    assert_eq!(status, 404);
+    let (status, _) = client.request("DELETE", "/v1/series/lifecycle", "");
+    assert_eq!(status, 404);
+
+    handle.shutdown();
+}
+
+#[test]
+fn fit_cache_versioning_over_http() {
+    let handle = spawn_server();
+    let mut client = Client::connect(handle.addr());
+
+    let cache_counters = |client: &mut Client| -> (u64, u64) {
+        let (status, stats) = client.request("GET", "/v1/stats", "");
+        assert_eq!(status, 200);
+        let stats = Json::parse(&stats).unwrap();
+        let cache = stats.get("cache").unwrap();
+        (
+            cache.get("hits").and_then(Json::as_u64).unwrap(),
+            cache.get("misses").and_then(Json::as_u64).unwrap(),
+        )
+    };
+
+    // Two independent series.
+    for name in ["va", "vb"] {
+        let set = quickstart_sized_set(name);
+        let body = wire::ingest_request_to_json(
+            &SeriesId::new(name).unwrap(),
+            Some(set.frequency_ghz),
+            set.measurements(),
+        )
+        .render();
+        let (status, _) = client.request("POST", "/v1/measurements", &body);
+        assert_eq!(status, 200);
+    }
+    let target = wire::target_spec_to_json(&TargetSpec::cores(48)).render();
+    for name in ["va", "vb"] {
+        let (status, _) = client.request("POST", &format!("/v1/series/{name}/predict"), &target);
+        assert_eq!(status, 200);
+    }
+    let (_, misses_cold) = cache_counters(&mut client);
+
+    // Re-predicting unchanged series: hits only, not one new miss.
+    for name in ["va", "vb"] {
+        let (status, _) = client.request("POST", &format!("/v1/series/{name}/predict"), &target);
+        assert_eq!(status, 200);
+    }
+    let (hits_warm, misses_warm) = cache_counters(&mut client);
+    assert_eq!(misses_warm, misses_cold, "unchanged series refitted");
+    assert!(hits_warm > 0);
+
+    // One appended measurement into `va` only, following the same analytic
+    // laws as the rest of the series (a 13th run arriving later).
+    let n = 13.0f64;
+    let time = 50.0 / n + 1.0;
+    let extra = Measurement::new(13, time)
+        .with_stall(StallCategory::backend("rob_full"), 4.0e8 * n * time * 0.7)
+        .with_stall(StallCategory::backend("ls_full"), 4.0e8 * n * time * 0.3)
+        .with_stall(StallCategory::software("lock_spin"), 1.0e7 * n * n);
+    let body = wire::ingest_request_to_json(
+        &SeriesId::new("va").unwrap(),
+        None, // frequency comes from the stored series
+        std::slice::from_ref(&extra),
+    )
+    .render();
+    let (status, response) = client.request("POST", "/v1/measurements", &body);
+    assert_eq!(status, 200, "{response}");
+
+    // `vb` is untouched: still pure hits.
+    let (status, _) = client.request("POST", "/v1/series/vb/predict", &target);
+    assert_eq!(status, 200);
+    let (_, misses_after_vb) = cache_counters(&mut client);
+    assert_eq!(
+        misses_after_vb, misses_warm,
+        "an ingest into va invalidated vb's fits"
+    );
+
+    // `va` must refit: misses move for that series only.
+    let (status, _) = client.request("POST", "/v1/series/va/predict", &target);
+    assert_eq!(status, 200);
+    let (_, misses_after_va) = cache_counters(&mut client);
+    assert!(
+        misses_after_va > misses_warm,
+        "va served fits from a stale version"
+    );
+
+    // The stats store section tracks the two series.
+    let (_, stats) = client.request("GET", "/v1/stats", "");
+    let stats = Json::parse(&stats).unwrap();
+    let store = stats.get("store").unwrap();
+    assert_eq!(store.get("series").and_then(Json::as_u64), Some(2));
+    assert_eq!(store.get("points").and_then(Json::as_u64), Some(25));
+    assert!(
+        stats
+            .get("cache")
+            .unwrap()
+            .get("invalidations")
+            .and_then(Json::as_u64)
+            .unwrap()
+            > 0
+    );
+
+    handle.shutdown();
+}
+
+#[test]
+fn series_error_codes_match_the_documented_semantics() {
+    let handle = spawn_server();
+    let mut client = Client::connect(handle.addr());
+    let code = |body: &str| {
+        Json::parse(body)
+            .unwrap()
+            .get("error")
+            .unwrap()
+            .get("code")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+    };
+
+    // Unknown series: 404 series_not_found (predict and get).
+    let target = wire::target_spec_to_json(&TargetSpec::cores(8)).render();
+    let (status, body) = client.request("POST", "/v1/series/ghost/predict", &target);
+    assert_eq!(status, 404);
+    assert_eq!(code(&body).as_deref(), Some("series_not_found"));
+
+    // Ingest without frequency into a missing series: cannot create.
+    let (status, body) = client.request(
+        "POST",
+        "/v1/measurements",
+        r#"{"series":"ghost","points":[]}"#,
+    );
+    assert_eq!(status, 404);
+    assert_eq!(code(&body).as_deref(), Some("series_not_found"));
+
+    // Frequency conflict on an existing series: 409 series_conflict.
+    let (status, _) = client.request(
+        "POST",
+        "/v1/measurements",
+        r#"{"series":"clash","frequency_ghz":2.1,"points":[]}"#,
+    );
+    assert_eq!(status, 200);
+    let (status, body) = client.request(
+        "POST",
+        "/v1/measurements",
+        r#"{"series":"clash","frequency_ghz":3.0,"points":[]}"#,
+    );
+    assert_eq!(status, 409);
+    assert_eq!(code(&body).as_deref(), Some("series_conflict"));
+
+    // Invalid series id in the path: 400 bad_request.
+    let (status, body) = client.request("GET", "/v1/series/bad%20id", "");
+    assert_eq!(status, 400);
+    assert_eq!(code(&body).as_deref(), Some("bad_request"));
+
+    // Wrong method on a series resource: 405 with the route's method set.
+    let (status, body) = client.request("PUT", "/v1/series/clash", "");
+    assert_eq!(status, 405);
+    assert_eq!(code(&body).as_deref(), Some("method_not_allowed"));
+    let (status, _) = client.request("GET", "/v1/series/clash/predict", "");
+    assert_eq!(status, 405);
+    let (status, _) = client.request("DELETE", "/v1/predict", "");
+    assert_eq!(status, 405);
+
+    // A series whose data cannot be predicted: 422 prediction_failed.
+    let (status, _) = client.request(
+        "POST",
+        "/v1/measurements",
+        r#"{"series":"thin","frequency_ghz":2.1,"points":[
+            {"cores":1,"exec_time":1.0,"stalls":[{"source":"hw_backend","name":"x","cycles":1.0}]}]}"#,
+    );
+    assert_eq!(status, 200);
+    let (status, body) = client.request("POST", "/v1/series/thin/predict", &target);
+    assert_eq!(status, 422);
+    assert_eq!(code(&body).as_deref(), Some("prediction_failed"));
+
+    handle.shutdown();
+}
+
+#[test]
 fn concurrent_clients_are_served_in_parallel_workers() {
     let handle = spawn_server();
     let addr = handle.addr();
