@@ -1,0 +1,66 @@
+//! Gate performance regressions: assert a minimum speedup ratio between two
+//! records of a criterion `summary.json` produced by the same run.
+//!
+//! ```text
+//! check_speedup <summary.json> <baseline-name> <candidate-name> <min-ratio>
+//! ```
+//!
+//! The gate passes when `median(baseline) / median(candidate) >= min-ratio`.
+//! Because both medians come from the same run on the same machine, the
+//! ratio is machine-independent — CI uses it to pin the candidate-grid
+//! fitting core at ≥1.8x over the faithful pre-PR per-cell emulation
+//! (`candidate_grid/pre_pr_per_cell` vs `candidate_grid/fast`).
+
+use estima_core::json::Json;
+
+fn fail(message: &str) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(2);
+}
+
+/// Find the `median_ns` of the named record in a summary (a JSON array of
+/// `{"name", "median_ns", ...}` records).
+fn median_ns(summary: &Json, name: &str) -> Option<f64> {
+    let Json::Array(records) = summary else {
+        return None;
+    };
+    records
+        .iter()
+        .find(|record| record.get("name").and_then(Json::as_str) == Some(name))
+        .and_then(|record| record.get("median_ns"))
+        .and_then(Json::as_f64)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [path, baseline, candidate, min_ratio] = args.as_slice() else {
+        fail("usage: check_speedup <summary.json> <baseline-name> <candidate-name> <min-ratio>");
+    };
+    let min_ratio: f64 = min_ratio
+        .parse()
+        .unwrap_or_else(|_| fail(&format!("invalid min-ratio `{min_ratio}`")));
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let summary = Json::parse(&text).unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")));
+    let baseline_ns = median_ns(&summary, baseline)
+        .unwrap_or_else(|| fail(&format!("no record named `{baseline}` in {path}")));
+    let candidate_ns = median_ns(&summary, candidate)
+        .unwrap_or_else(|| fail(&format!("no record named `{candidate}` in {path}")));
+    if !(baseline_ns > 0.0 && candidate_ns > 0.0) {
+        fail(&format!(
+            "non-positive medians: {baseline} = {baseline_ns} ns, {candidate} = {candidate_ns} ns"
+        ));
+    }
+    let ratio = baseline_ns / candidate_ns;
+    println!(
+        "check_speedup: {candidate} median {candidate_ns:.0} ns vs {baseline} median \
+         {baseline_ns:.0} ns = {ratio:.2}x (gate {min_ratio:.2}x)"
+    );
+    if ratio < min_ratio {
+        eprintln!(
+            "error: speedup {ratio:.2}x is below the {min_ratio:.2}x gate \
+             ({candidate} must stay at least {min_ratio:.2}x faster than {baseline})"
+        );
+        std::process::exit(1);
+    }
+}

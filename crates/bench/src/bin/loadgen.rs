@@ -2,13 +2,24 @@
 //! loopback and report throughput, latency percentiles and cache hit-rate.
 //!
 //! ```text
-//! loadgen [--quick] [--scenario quickstart|ingest] [--duration-ms N]
-//!         [--connections N] [--min-rps N] [--addr HOST:PORT]
+//! loadgen [--quick] [--scenario quickstart|ingest] [--duration N]
+//!         [--duration-ms N] [--warmup-ms N] [--connections N]
+//!         [--min-rps N] [--addr HOST:PORT]
 //! ```
+//!
+//! Each load connection runs an untimed **warmup phase** first (default
+//! 200 ms, `--warmup-ms`): the keep-alive buffers on both ends reach steady
+//! state and the fit cache fills before the first latency sample is taken.
+//! `--duration` takes the timed-phase length in whole seconds,
+//! `--duration-ms` in milliseconds (last flag wins).
 //!
 //! By default an in-process server is spawned on a free loopback port and
 //! torn down afterwards; `--addr` points the clients at an externally
-//! started server instead. Request generation is pluggable through the
+//! started server instead. When the server is in-process (its counters
+//! start at zero), the run ends with a **coverage cross-check** against
+//! `GET /v1/stats`: the server's per-route request counters and
+//! `bytes_in`/`bytes_out` totals must equal what the clients themselves
+//! counted, exactly. Request generation is pluggable through the
 //! [`Scenario`] trait, so every workload shares the connection pool, the
 //! timing loop and the summary plumbing:
 //!
@@ -46,6 +57,7 @@ use estima_serve::{wire, Client, ClientResponse, Server, ServerConfig};
 
 struct Options {
     duration: Duration,
+    warmup: Duration,
     connections: usize,
     min_rps: f64,
     addr: Option<String>,
@@ -54,8 +66,8 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: loadgen [--quick] [--scenario quickstart|ingest] [--duration-ms N] \
-         [--connections N] [--min-rps N] [--addr HOST:PORT]"
+        "usage: loadgen [--quick] [--scenario quickstart|ingest] [--duration N] \
+         [--duration-ms N] [--warmup-ms N] [--connections N] [--min-rps N] [--addr HOST:PORT]"
     );
     std::process::exit(2);
 }
@@ -63,6 +75,7 @@ fn usage() -> ! {
 fn parse_options() -> Options {
     let mut options = Options {
         duration: Duration::from_millis(2000),
+        warmup: Duration::from_millis(200),
         connections: 2,
         min_rps: 1000.0,
         addr: None,
@@ -72,9 +85,20 @@ fn parse_options() -> Options {
     while let Some(flag) = args.next() {
         let mut value = || args.next().unwrap_or_else(|| usage());
         match flag.as_str() {
-            "--quick" => options.duration = Duration::from_millis(400),
+            "--quick" => {
+                options.duration = Duration::from_millis(400);
+                options.warmup = Duration::from_millis(100);
+            }
+            "--duration" => match value().parse::<u64>() {
+                Ok(secs) => options.duration = Duration::from_secs(secs),
+                Err(_) => usage(),
+            },
             "--duration-ms" => match value().parse::<u64>() {
                 Ok(ms) => options.duration = Duration::from_millis(ms),
+                Err(_) => usage(),
+            },
+            "--warmup-ms" => match value().parse::<u64>() {
+                Ok(ms) => options.warmup = Duration::from_millis(ms),
                 Err(_) => usage(),
             },
             "--connections" => match value().parse() {
@@ -101,6 +125,103 @@ struct RequestSpec<'a> {
     body: &'a str,
 }
 
+/// Client-side tally of issued requests by route, mirrored against the
+/// server's `/v1/stats` counters at the end of an in-process run.
+#[derive(Debug, Default, Clone, Copy)]
+struct RouteCounts {
+    predict: u64,
+    series_predict: u64,
+    measurements: u64,
+    stats: u64,
+}
+
+impl RouteCounts {
+    /// Classify one request the way the server's router counts it.
+    fn note(&mut self, path: &str) {
+        if path == "/v1/predict" {
+            self.predict += 1;
+        } else if path == "/v1/measurements" {
+            self.measurements += 1;
+        } else if path == "/v1/stats" {
+            self.stats += 1;
+        } else if path.starts_with("/v1/series/") && path.ends_with("/predict") {
+            self.series_predict += 1;
+        } else {
+            panic!("loadgen issued a request to unclassified path {path}");
+        }
+    }
+
+    fn merge(&mut self, other: &RouteCounts) {
+        self.predict += other.predict;
+        self.series_predict += other.series_predict;
+        self.measurements += other.measurements;
+        self.stats += other.stats;
+    }
+}
+
+/// Verify the server's own `/v1/stats` accounting against what the clients
+/// counted: per-route request totals, zero error counters, and exact
+/// `bytes_in`/`bytes_out` wire totals. Only meaningful against the
+/// in-process server, whose counters started at zero.
+fn cross_check_stats(
+    stats: Option<&Json>,
+    counts: &RouteCounts,
+    bytes_in: u64,
+    bytes_out: u64,
+) -> std::result::Result<(), String> {
+    let stats = stats.ok_or("no parseable /v1/stats response")?;
+    let field = |path: [&str; 2]| -> std::result::Result<u64, String> {
+        stats
+            .get(path[0])
+            .and_then(|node| node.get(path[1]))
+            .and_then(Json::as_f64)
+            .map(|v| v as u64)
+            .ok_or_else(|| format!("missing or non-numeric {}.{}", path[0], path[1]))
+    };
+    let checks = [
+        (
+            "requests.predict",
+            field(["requests", "predict"])?,
+            counts.predict,
+        ),
+        (
+            "requests.series_predict",
+            field(["requests", "series_predict"])?,
+            counts.series_predict,
+        ),
+        (
+            "requests.measurements",
+            field(["requests", "measurements"])?,
+            counts.measurements,
+        ),
+        (
+            "requests.stats",
+            field(["requests", "stats"])?,
+            counts.stats,
+        ),
+        (
+            "requests.client_errors",
+            field(["requests", "client_errors"])?,
+            0,
+        ),
+        (
+            "requests.server_errors",
+            field(["requests", "server_errors"])?,
+            0,
+        ),
+        ("bytes.in", field(["bytes", "in"])?, bytes_in),
+        ("bytes.out", field(["bytes", "out"])?, bytes_out),
+    ];
+    for (name, server, client) in checks {
+        if server != client {
+            return Err(format!(
+                "{name}: server counted {server}, clients counted {client}"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// A load-generation workload: what each connection sends, and what a
 /// correct response looks like. Implementations precompute their request
 /// bodies so the timed loop is pure I/O; they share the connection pool,
@@ -111,8 +232,14 @@ trait Scenario: Sync {
 
     /// One-time setup over the probe connection before the timed run:
     /// seed server-side state and verify byte-identity against the
-    /// in-process reference. Errors abort the run.
-    fn prepare(&self, probe: &mut Client) -> std::result::Result<(), String>;
+    /// in-process reference. Every request issued must be tallied in
+    /// `counts` for the end-of-run coverage cross-check. Errors abort the
+    /// run.
+    fn prepare(
+        &self,
+        probe: &mut Client,
+        counts: &mut RouteCounts,
+    ) -> std::result::Result<(), String>;
 
     /// The request connection `connection` sends as its `iteration`-th
     /// call.
@@ -168,7 +295,12 @@ impl Scenario for QuickstartScenario {
         "loadgen"
     }
 
-    fn prepare(&self, probe: &mut Client) -> std::result::Result<(), String> {
+    fn prepare(
+        &self,
+        probe: &mut Client,
+        counts: &mut RouteCounts,
+    ) -> std::result::Result<(), String> {
+        counts.note("/v1/predict");
         let first = probe
             .request("POST", "/v1/predict", &self.body)
             .map_err(|e| format!("probe request failed: {e}"))?;
@@ -270,12 +402,17 @@ impl Scenario for IngestScenario {
         "loadgen-ingest"
     }
 
-    fn prepare(&self, probe: &mut Client) -> std::result::Result<(), String> {
+    fn prepare(
+        &self,
+        probe: &mut Client,
+        counts: &mut RouteCounts,
+    ) -> std::result::Result<(), String> {
         // Seed every connection's series point-by-point — the incremental
         // collection flow — then pin the served prediction to the
         // in-process bits for the equivalent full set.
         for (connection, seeds) in self.ingest_bodies.iter().enumerate() {
             for body in seeds {
+                counts.note("/v1/measurements");
                 let response = probe
                     .request("POST", "/v1/measurements", body)
                     .map_err(|e| format!("seeding ingest failed: {e}"))?;
@@ -286,6 +423,7 @@ impl Scenario for IngestScenario {
                     ));
                 }
             }
+            counts.note(&self.predict_paths[connection]);
             let first = probe
                 .request("POST", &self.predict_paths[connection], &self.target_body)
                 .map_err(|e| format!("probe series predict failed: {e}"))?;
@@ -401,54 +539,116 @@ fn main() {
         }
     };
 
-    // Warm-up + correctness gate, scenario-defined (always includes one
-    // byte-for-byte check against the in-process prediction).
+    // Correctness gate, scenario-defined (always includes one byte-for-byte
+    // check against the in-process prediction).
     let mut probe = Client::connect(addr).unwrap_or_else(|e| {
         eprintln!("error: cannot connect to {addr}: {e}");
         std::process::exit(1);
     });
-    if let Err(e) = scenario.prepare(&mut probe) {
+    let mut counts = RouteCounts::default();
+    if let Err(e) = scenario.prepare(&mut probe, &mut counts) {
         eprintln!("error: {e}");
         std::process::exit(1);
     }
 
-    // Timed run: every connection loops its scenario until the deadline.
+    // Every connection loops its scenario: first the untimed warmup phase
+    // (buffers and caches reach steady state), then the timed run. Warmup
+    // requests are tallied for the coverage cross-check but contribute no
+    // latency samples.
     let started = Instant::now();
-    let deadline = started + options.duration;
+    let warmup_deadline = started + options.warmup;
+    let deadline = warmup_deadline + options.duration;
     let mut threads = Vec::new();
     for connection in 0..options.connections {
         let scenario = Arc::clone(&scenario);
         threads.push(std::thread::spawn(move || {
             let mut client = Client::connect(addr).expect("connect load connection");
             let mut latencies_ns: Vec<u64> = Vec::new();
+            let mut counts = RouteCounts::default();
             let mut iteration = 0u64;
-            while Instant::now() < deadline {
+            loop {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let in_warmup = now < warmup_deadline;
                 let spec = scenario.request(connection, iteration);
+                counts.note(spec.path);
                 let sent = Instant::now();
                 let response = client
                     .request(spec.method, spec.path, spec.body)
                     .expect("request during load");
-                latencies_ns.push(u64::try_from(sent.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                if !in_warmup {
+                    latencies_ns.push(u64::try_from(sent.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                }
                 if let Err(e) = scenario.check(connection, iteration, &response) {
                     panic!("response check failed: {e}");
                 }
                 iteration += 1;
             }
-            latencies_ns
+            (
+                latencies_ns,
+                counts,
+                client.bytes_sent(),
+                client.bytes_received(),
+            )
         }));
     }
-    let mut latencies: Vec<u64> = threads
-        .into_iter()
-        .flat_map(|t| t.join().expect("load thread panicked"))
-        .collect();
-    let elapsed = started.elapsed();
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut client_sent = 0u64;
+    let mut client_received = 0u64;
+    for thread in threads {
+        let (thread_latencies, thread_counts, sent, received) =
+            thread.join().expect("load thread panicked");
+        latencies.extend(thread_latencies);
+        counts.merge(&thread_counts);
+        client_sent += sent;
+        client_received += received;
+    }
+    let elapsed = warmup_deadline.elapsed();
     latencies.sort_unstable();
 
-    // Cache statistics straight from the server.
-    let stats = probe
-        .request("GET", "/v1/stats", "")
-        .ok()
-        .and_then(|r| Json::parse(&r.body).ok());
+    // Coverage cross-check + cache statistics straight from the server.
+    // Per stats fetch, `bytes_out` is snapshotted before the request (the
+    // server renders the stats body before its own response bytes are
+    // counted) and `bytes_in` after (the stats request itself is counted on
+    // read). The server adds a response's bytes *after* flushing it, so a
+    // just-drained load connection's last response can still be uncounted
+    // for a moment — the counters are monotonic, so retry until they
+    // converge on the client tallies.
+    //
+    // Only the in-process server has counters that started at zero; an
+    // external `--addr` server may carry traffic from before this run, so
+    // the cross-check is skipped and the first fetch is final.
+    let fresh_server = handle.is_some();
+    let mut stats = None;
+    let mut expected_bytes_in = 0u64;
+    let mut expected_bytes_out = 0u64;
+    let mut cross_check = Ok(());
+    for attempt in 0..50 {
+        if attempt > 0 {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        expected_bytes_out = client_received + probe.bytes_received();
+        counts.note("/v1/stats");
+        stats = probe
+            .request("GET", "/v1/stats", "")
+            .ok()
+            .and_then(|r| Json::parse(&r.body).ok());
+        expected_bytes_in = client_sent + probe.bytes_sent();
+        if !fresh_server {
+            break;
+        }
+        cross_check = cross_check_stats(
+            stats.as_ref(),
+            &counts,
+            expected_bytes_in,
+            expected_bytes_out,
+        );
+        if cross_check.is_ok() {
+            break;
+        }
+    }
     let hit_rate = stats
         .as_ref()
         .and_then(|s| s.get("cache"))
@@ -457,6 +657,18 @@ fn main() {
         .unwrap_or(f64::NAN);
     if let Some(handle) = handle {
         handle.shutdown();
+    }
+    if fresh_server {
+        if let Err(e) = cross_check {
+            eprintln!("error: stats coverage cross-check failed: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "{}: stats cross-check passed ({} bytes in, {} bytes out)",
+            scenario.name(),
+            expected_bytes_in,
+            expected_bytes_out,
+        );
     }
 
     let total = latencies.len() as u64;

@@ -13,23 +13,31 @@
 //! # The fitting hot path
 //!
 //! The candidate grid is the dominant cost of the whole pipeline, so it is
-//! organised around the *training-prefix structure*: all cells of the grid
-//! that share a (kernel, checkpoint count) pair fit nested prefixes of the
-//! same series. The grid therefore fans out **strips** (one per kernel ×
-//! checkpoint count) rather than individual cells, and each strip
+//! organised around the *training-prefix structure*: the fitted parameters of
+//! a grid cell depend only on the training prefix `(kernel, prefix)` — never
+//! on the checkpoint count, which only picks the held-out points the fit is
+//! scored against. The grid therefore fans out **one work item per kernel**,
+//! and each item
 //!
-//! * builds its design rows **once** and grows a view per prefix instead of
-//!   re-collecting rows per cell,
+//! * builds one **columnar design slab** (column-major, stride = the longest
+//!   training range) over the union of all checkpoint counts' training
+//!   ranges, so every prefix of every checkpoint span reads the same
+//!   transformed columns instead of rebuilding rows per cell,
+//! * solves each distinct prefix **once** and scores the resulting curve
+//!   against every checkpoint span covering that prefix,
 //! * for linear kernels (`CubicLn`, `Poly25`) maintains the normal equations
 //!   **incrementally** — growing the prefix by one point is a rank-1 update
 //!   of `AᵀA` / `Aᵀy` followed by an in-place Cholesky solve,
 //! * for nonlinear kernels seeds each prefix from a linearised least-squares
-//!   view of the shared guess rows and refines with Levenberg–Marquardt using
-//!   the kernel's analytic Jacobian and a per-thread [`LmWorkspace`], so the
-//!   LM iterations allocate nothing.
+//!   solve over prefix views of the shared slab columns and refines with
+//!   Levenberg–Marquardt using the kernel's analytic Jacobian and a
+//!   per-thread [`LmWorkspace`], so the LM iterations allocate nothing.
 //!
 //! Each worker thread owns one `FitWorkspace` (a thread local), so engine
-//! fan-outs of any width reuse a fixed set of buffers.
+//! fan-outs of any width reuse a fixed set of buffers. The columnar layout
+//! matches the LM Jacobian slab (see [`crate::levenberg`]) and the summation
+//! order of every reduction is fixed, so grid results are bit-identical
+//! regardless of engine parallelism.
 
 use std::cell::RefCell;
 use std::sync::Arc;
@@ -40,7 +48,7 @@ use crate::kernels::{FittedCurve, KernelKind};
 use crate::levenberg::{levenberg_marquardt_into, LmOptions, LmWorkspace, MAX_PARAMS};
 use crate::linalg::{
     accumulate_normal_equations, cholesky_solve_in_place, solve_least_squares_qr,
-    solve_least_squares_qr_flat, Matrix,
+    solve_least_squares_qr_columns, solve_least_squares_qr_flat, Matrix,
 };
 
 /// Ridge factor (relative to the largest gram diagonal) applied when a linear
@@ -102,8 +110,11 @@ thread_local! {
 #[derive(Debug, Default)]
 struct FitWorkspace {
     lm: LmWorkspace,
-    /// Design rows over the full training range (linear kernels) or the
-    /// linearised-guess rows (nonlinear kernels), row-major.
+    /// Columnar design slab (linear kernels) or linearised-guess slab
+    /// (nonlinear kernels): column `j` occupies
+    /// `design[j * n_build..(j + 1) * n_build]` where `n_build` is the
+    /// longest training range of the grid, so every prefix of every
+    /// checkpoint span is a contiguous leading view of each column.
     design: Vec<f64>,
     /// Incrementally maintained `AᵀA` for the linear kernels.
     gram: Vec<f64>,
@@ -369,18 +380,29 @@ pub fn candidate_fits(xs: &[f64], ys: &[f64], options: &FitOptions) -> Result<Ve
     candidate_fits_with(xs, ys, options, &Engine::sequential())
 }
 
-/// One strip of the candidate grid: all training prefixes of a (checkpoint
-/// count, kernel) pair. Prefix lengths are the contiguous range
-/// `prefix_start..=prefix_end` (hoisted out of the grid loop — no per-cell
-/// enumeration), so cells sharing a series are fitted by growing a view over
-/// shared design rows instead of rebuilding per cell.
+/// One checkpoint count's slice of the candidate grid: `checkpoints` points
+/// are held out, leaving `n_train` training points whose prefixes span the
+/// contiguous range `prefix_start..=prefix_end`. A fitted prefix is scored
+/// once against every span that covers it — the parameters of a grid cell
+/// depend only on the prefix, never on the checkpoint count.
 #[derive(Debug, Clone, Copy)]
-struct GridStrip {
+struct CheckpointSpan {
     checkpoints: usize,
     n_train: usize,
     prefix_start: usize,
     prefix_end: usize,
-    kernel: KernelKind,
+}
+
+impl CheckpointSpan {
+    /// Number of grid cells (prefix lengths) in this span.
+    fn width(&self) -> usize {
+        self.prefix_end - self.prefix_start + 1
+    }
+
+    /// Whether `prefix` is one of this span's cells.
+    fn covers(&self, prefix: usize) -> bool {
+        prefix >= self.prefix_start && prefix <= self.prefix_end
+    }
 }
 
 /// Prefix range for a training set of `n_train` points.
@@ -392,10 +414,12 @@ fn prefix_bounds(options: &FitOptions, n_train: usize) -> (usize, usize) {
     }
 }
 
-/// [`candidate_fits`] with the grid fanned out on `engine`. Strips (one per
-/// checkpoint count × kernel) are independent; their results are reassembled
-/// in the historical cell-enumeration order (checkpoint count → prefix →
-/// kernel), so the returned list order is identical to the sequential path.
+/// [`candidate_fits`] with the grid fanned out on `engine`. Work items (one
+/// per kernel, each covering every checkpoint count × prefix cell from a
+/// shared columnar design slab) are independent; their results are
+/// reassembled in the historical cell-enumeration order (checkpoint count →
+/// prefix → kernel), so the returned list order is identical to the
+/// sequential path.
 pub fn candidate_fits_with(
     xs: &[f64],
     ys: &[f64],
@@ -429,20 +453,19 @@ pub fn candidate_fits_with(
         }
     }
 
-    let mut strips = Vec::with_capacity(viable_checkpoint_counts.len() * options.kernels.len());
-    for &c in &viable_checkpoint_counts {
-        let n_train = m - c;
-        let (prefix_start, prefix_end) = prefix_bounds(options, n_train);
-        for &kernel in &options.kernels {
-            strips.push(GridStrip {
+    let spans: Vec<CheckpointSpan> = viable_checkpoint_counts
+        .iter()
+        .map(|&c| {
+            let n_train = m - c;
+            let (prefix_start, prefix_end) = prefix_bounds(options, n_train);
+            CheckpointSpan {
                 checkpoints: c,
                 n_train,
                 prefix_start,
                 prefix_end,
-                kernel,
-            });
-        }
-    }
+            }
+        })
+        .collect();
 
     let data_max = ys.iter().copied().fold(0.0f64, f64::max);
     let magnitude_cap = if data_max > 0.0 {
@@ -451,44 +474,84 @@ pub fn candidate_fits_with(
         options.max_magnitude
     };
 
-    let mut strip_results: Vec<Vec<Option<FitCandidate>>> = engine.run(strips, |strip| {
-        with_fit_workspace(|ws| fit_strip(xs, ys, strip, options, magnitude_cap, ws))
-    });
+    let mut kernel_grids: Vec<Vec<Option<FitCandidate>>> =
+        engine.run(options.kernels.clone(), |kernel| {
+            with_fit_workspace(|ws| {
+                fit_kernel_grid(xs, ys, kernel, &spans, options, magnitude_cap, ws)
+            })
+        });
 
     // Reassemble in the historical enumeration order: checkpoint count →
     // prefix length → kernel. Tie-breaking in `select_best` keeps the first
     // candidate of equal RMSE, so the order is part of the contract.
-    let n_kernels = options.kernels.len();
     let mut out = Vec::new();
-    for (ci, &c) in viable_checkpoint_counts.iter().enumerate() {
-        let n_train = m - c;
-        let (prefix_start, prefix_end) = prefix_bounds(options, n_train);
-        let kernel_strips = &mut strip_results[ci * n_kernels..(ci + 1) * n_kernels];
-        for pi in 0..=(prefix_end - prefix_start) {
-            for strip in kernel_strips.iter_mut() {
-                if let Some(candidate) = strip[pi].take() {
+    let mut base = 0;
+    for span in &spans {
+        for pi in 0..span.width() {
+            for grid in kernel_grids.iter_mut() {
+                if let Some(candidate) = grid[base + pi].take() {
                     out.push(candidate);
                 }
             }
         }
+        base += span.width();
     }
     Ok(out)
 }
 
-/// Fit every prefix of one strip, returning one slot per prefix length (in
-/// `prefix_start..=prefix_end` order).
-fn fit_strip(
+/// Fit every (checkpoint count × prefix) cell of one kernel from a shared
+/// columnar design slab. Returns one slot per cell, flattened in (checkpoint
+/// span → prefix) order — the same layout [`candidate_fits_with`] reassembles
+/// from.
+fn fit_kernel_grid(
     xs: &[f64],
     ys: &[f64],
-    strip: GridStrip,
+    kernel: KernelKind,
+    spans: &[CheckpointSpan],
     options: &FitOptions,
     magnitude_cap: f64,
     ws: &mut FitWorkspace,
 ) -> Vec<Option<FitCandidate>> {
-    if strip.kernel.is_linear() {
-        fit_linear_strip(xs, ys, strip, options, magnitude_cap, ws)
+    let total: usize = spans.iter().map(CheckpointSpan::width).sum();
+    let mut out = vec![None; total];
+    if kernel.is_linear() {
+        fit_linear_grid(xs, ys, kernel, spans, options, magnitude_cap, ws, &mut out);
     } else {
-        fit_nonlinear_strip(xs, ys, strip, options, magnitude_cap, ws)
+        fit_nonlinear_grid(xs, ys, kernel, spans, options, magnitude_cap, ws, &mut out);
+    }
+    out
+}
+
+/// Score one solved prefix against every checkpoint span covering it, writing
+/// the candidates into the flattened (span → prefix) output slots.
+#[allow(clippy::too_many_arguments)]
+fn score_prefix_into(
+    kernel: KernelKind,
+    params: &[f64],
+    prefix: usize,
+    spans: &[CheckpointSpan],
+    xs: &[f64],
+    ys: &[f64],
+    options: &FitOptions,
+    magnitude_cap: f64,
+    out: &mut [Option<FitCandidate>],
+) {
+    let mut base = 0;
+    for span in spans {
+        if span.covers(prefix) {
+            out[base + prefix - span.prefix_start] = score_candidate(
+                kernel,
+                params,
+                prefix,
+                span.checkpoints,
+                xs,
+                ys,
+                span.n_train,
+                options,
+                magnitude_cap,
+            );
+        }
+        base += span.width();
     }
 }
 
@@ -538,24 +601,36 @@ fn score_candidate(
     Some(FitCandidate { curve, checkpoints })
 }
 
-/// Linear-kernel strip: design rows are built once for the whole training
-/// range; each prefix is a rank-1 update of the running normal equations
-/// followed by an in-place Cholesky solve (ridge-regularised when the system
-/// is under-determined or numerically not positive definite).
-fn fit_linear_strip(
+/// Linear-kernel grid: the columnar design slab is built once over the
+/// longest training range; each distinct prefix is a rank-1 update of the
+/// running normal equations followed by an in-place Cholesky solve
+/// (ridge-regularised when the system is under-determined or numerically not
+/// positive definite), then scored against every covering checkpoint span.
+#[allow(clippy::too_many_arguments)]
+fn fit_linear_grid(
     xs: &[f64],
     ys: &[f64],
-    strip: GridStrip,
+    kernel: KernelKind,
+    spans: &[CheckpointSpan],
     options: &FitOptions,
     magnitude_cap: f64,
     ws: &mut FitWorkspace,
-) -> Vec<Option<FitCandidate>> {
-    let kernel = strip.kernel;
+    out: &mut [Option<FitCandidate>],
+) {
     let p = kernel.param_count();
-    let n_train = strip.n_train;
-    grow(&mut ws.design, n_train * p);
-    for (i, x) in xs[..n_train].iter().enumerate() {
-        kernel.design_row_into(*x, &mut ws.design[i * p..(i + 1) * p]);
+    let n_build = spans.iter().map(|s| s.n_train).max().unwrap_or(0);
+    let lo = spans.iter().map(|s| s.prefix_start).min().unwrap_or(0);
+    let hi = spans.iter().map(|s| s.prefix_end).max().unwrap_or(0);
+    // Columnar slab over the longest training range: column `j` holds design
+    // component `j` at every training point. Design rows depend only on the
+    // point, so one slab serves every checkpoint span.
+    grow(&mut ws.design, p * n_build);
+    let mut row = [0.0f64; MAX_PARAMS];
+    for (i, x) in xs[..n_build].iter().enumerate() {
+        kernel.design_row_into(*x, &mut row[..p]);
+        for (j, v) in row[..p].iter().enumerate() {
+            ws.design[j * n_build + i] = *v;
+        }
     }
     grow(&mut ws.gram, p * p);
     grow(&mut ws.rhs, p);
@@ -564,12 +639,19 @@ fn fit_linear_strip(
     ws.gram[..p * p].fill(0.0);
     ws.rhs[..p].fill(0.0);
 
-    let mut out = Vec::with_capacity(strip.prefix_end - strip.prefix_start + 1);
     let mut rows_in = 0;
-    for prefix in strip.prefix_start..=strip.prefix_end {
+    for prefix in lo..=hi {
+        // Without prefix refitting the spans are single points; skipped
+        // prefixes are caught up by the incremental accumulation below.
+        if !spans.iter().any(|s| s.covers(prefix)) {
+            continue;
+        }
         while rows_in < prefix {
+            for (j, slot) in row[..p].iter_mut().enumerate() {
+                *slot = ws.design[j * n_build + rows_in];
+            }
             accumulate_normal_equations(
-                &ws.design[rows_in * p..(rows_in + 1) * p],
+                &row[..p],
                 ys[rows_in],
                 &mut ws.gram[..p * p],
                 &mut ws.rhs[..p],
@@ -596,138 +678,129 @@ fn fit_linear_strip(
             }
             solved = cholesky_solve_in_place(solve_mat, p, solve_rhs);
         }
-        out.push(if solved {
-            score_candidate(
+        if solved {
+            score_prefix_into(
                 kernel,
                 &ws.solve_rhs[..p],
                 prefix,
-                strip.checkpoints,
+                spans,
                 xs,
                 ys,
-                n_train,
                 options,
                 magnitude_cap,
-            )
-        } else {
-            None
-        });
+                out,
+            );
+        }
     }
-    out
 }
 
-/// Nonlinear-kernel strip: the linearised-guess design rows are built once
-/// for the whole training range; each prefix solves the guess on a row view
-/// and refines it with an allocation-free Levenberg–Marquardt run using the
-/// kernel's analytic Jacobian.
-fn fit_nonlinear_strip(
+/// Nonlinear-kernel grid: the columnar linearised-guess slab is built once
+/// over the longest training range; each distinct prefix solves the guess on
+/// prefix views of the slab columns, refines it with an allocation-free
+/// Levenberg–Marquardt run using the kernel's analytic Jacobian, and scores
+/// the result against every covering checkpoint span.
+#[allow(clippy::too_many_arguments)]
+fn fit_nonlinear_grid(
     xs: &[f64],
     ys: &[f64],
-    strip: GridStrip,
+    kernel: KernelKind,
+    spans: &[CheckpointSpan],
     options: &FitOptions,
     magnitude_cap: f64,
     ws: &mut FitWorkspace,
-) -> Vec<Option<FitCandidate>> {
-    let kernel = strip.kernel;
+    out: &mut [Option<FitCandidate>],
+) {
     let p = kernel.param_count();
-    let n_train = strip.n_train;
+    let n_build = spans.iter().map(|s| s.n_train).max().unwrap_or(0);
+    let lo = spans.iter().map(|s| s.prefix_start).min().unwrap_or(0);
+    let hi = spans.iter().map(|s| s.prefix_end).max().unwrap_or(0);
 
-    // Build the shared guess rows once per (kernel, series) pair.
+    // Build the shared columnar guess slab once per (kernel, series) pair.
     let exprat = kernel == KernelKind::ExpRat;
     // For ExpRat the linearisation goes through ln(y): it is only usable on
     // prefixes whose values are all positive.
     let positive_limit = if exprat {
-        xs[..n_train]
+        ys[..n_build]
             .iter()
-            .zip(&ys[..n_train])
-            .position(|(_, y)| *y <= 0.0)
-            .unwrap_or(n_train)
+            .position(|y| *y <= 0.0)
+            .unwrap_or(n_build)
     } else {
-        n_train
+        n_build
     };
     let guess_cols = if exprat { 3 } else { p };
-    grow(&mut ws.design, n_train * guess_cols);
+    grow(&mut ws.design, guess_cols * n_build);
+    let mut row = [0.0f64; MAX_PARAMS];
     if exprat {
-        grow(&mut ws.zs, n_train);
+        grow(&mut ws.zs, n_build);
         for i in 0..positive_limit {
             let z = ys[i].ln();
             ws.zs[i] = z;
-            fill_exprat_guess_row(&mut ws.design[i * 3..(i + 1) * 3], xs[i], z);
+            fill_exprat_guess_row(&mut row[..3], xs[i], z);
+            for (j, v) in row[..3].iter().enumerate() {
+                ws.design[j * n_build + i] = *v;
+            }
         }
     } else {
         let (num_degree, den_degree) = rational_degrees(kernel);
-        for i in 0..n_train {
-            fill_rational_guess_row(
-                &mut ws.design[i * p..(i + 1) * p],
-                xs[i],
-                ys[i],
-                num_degree,
-                den_degree,
-            );
+        for i in 0..n_build {
+            fill_rational_guess_row(&mut row[..p], xs[i], ys[i], num_degree, den_degree);
+            for (j, v) in row[..p].iter().enumerate() {
+                ws.design[j * n_build + i] = *v;
+            }
         }
     }
 
-    let mut out = Vec::with_capacity(strip.prefix_end - strip.prefix_start + 1);
     let mut params_buf = [0.0f64; MAX_PARAMS];
-    for prefix in strip.prefix_start..=strip.prefix_end {
+    for prefix in lo..=hi {
+        if !spans.iter().any(|s| s.covers(prefix)) {
+            continue;
+        }
         let px = &xs[..prefix];
         let py = &ys[..prefix];
         let params = &mut params_buf[..p];
-        // Linearised initial guess on the shared rows: row construction and
-        // fallbacks go through the same `fill_*_guess_row`/`fallback_guess`
-        // helpers as `linearized_initial_guess`, so the one-shot and grid
-        // paths cannot drift apart.
+        // Linearised initial guess on the shared slab: column construction
+        // and fallbacks go through the same `fill_*_guess_row` /
+        // `fallback_guess` helpers as `linearized_initial_guess`, and the
+        // columnar QR transposes into the exact row-major work buffer the
+        // one-shot path factorises, so the two paths cannot drift apart.
         let mean_y = py.iter().sum::<f64>() / prefix as f64;
         let mut guessed = false;
         if exprat {
             if prefix <= positive_limit && prefix >= 3 {
-                if let Ok(sol) = solve_least_squares_qr_flat(
-                    &ws.design[..prefix * 3],
-                    prefix,
-                    3,
-                    &ws.zs[..prefix],
-                ) {
+                if let Ok(sol) =
+                    solve_least_squares_qr_columns(&ws.design, n_build, prefix, 3, &ws.zs[..prefix])
+                {
                     if sol.iter().all(|v| v.is_finite()) {
                         params.copy_from_slice(&[sol[0], sol[1], 1.0, sol[2]]);
                         guessed = true;
                     }
                 }
             }
-            if !guessed {
-                fallback_guess(kernel, mean_y, params);
-            }
-        } else {
-            if prefix >= p {
-                if let Ok(sol) =
-                    solve_least_squares_qr_flat(&ws.design[..prefix * p], prefix, p, py)
-                {
-                    if sol.iter().all(|v| v.is_finite()) {
-                        params.copy_from_slice(&sol);
-                        guessed = true;
-                    }
+        } else if prefix >= p {
+            if let Ok(sol) = solve_least_squares_qr_columns(&ws.design, n_build, prefix, p, py) {
+                if sol.iter().all(|v| v.is_finite()) {
+                    params.copy_from_slice(&sol);
+                    guessed = true;
                 }
             }
-            if !guessed {
-                fallback_guess(kernel, mean_y, params);
-            }
         }
-        out.push(
-            match levenberg_marquardt_into(&kernel, px, py, params, &options.lm, &mut ws.lm) {
-                Ok(_) => score_candidate(
-                    kernel,
-                    params,
-                    prefix,
-                    strip.checkpoints,
-                    xs,
-                    ys,
-                    n_train,
-                    options,
-                    magnitude_cap,
-                ),
-                Err(_) => None,
-            },
-        );
+        if !guessed {
+            fallback_guess(kernel, mean_y, params);
+        }
+        if levenberg_marquardt_into(&kernel, px, py, params, &options.lm, &mut ws.lm).is_ok() {
+            score_prefix_into(
+                kernel,
+                params,
+                prefix,
+                spans,
+                xs,
+                ys,
+                options,
+                magnitude_cap,
+                out,
+            );
+        }
     }
-    out
 }
 
 /// [`candidate_fits_with`] backed by a shared [`FitCache`]: the candidate

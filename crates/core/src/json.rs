@@ -68,7 +68,10 @@ impl Json {
         out
     }
 
-    fn render_into(&self, out: &mut String) {
+    /// [`Json::render`] into a caller-provided buffer — the allocation-free
+    /// serve hot path appends into a reusable per-connection `String`
+    /// instead of materialising a fresh one per response.
+    pub fn render_into(&self, out: &mut String) {
         match self {
             Json::Null => out.push_str("null"),
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
@@ -178,6 +181,25 @@ impl Json {
 
 /// Render a string with the escapes required by RFC 8259 (quote, backslash,
 /// and control characters; multi-byte UTF-8 passes through unescaped).
+/// Append `s` as a JSON string literal (quoted, escaped) to `out`. Public
+/// so hand-rolled serializers (the serve wire format's allocation-free
+/// writers) emit strings byte-identical to [`Json::render`].
+pub fn write_json_string(s: &str, out: &mut String) {
+    render_string(s, out);
+}
+
+/// Append `n` as a JSON number to `out`: shortest-round-trip formatting for
+/// finite values, `null` otherwise — byte-identical to how [`Json::render`]
+/// emits `Json::Number(n)`.
+pub fn write_json_number(n: f64, out: &mut String) {
+    use std::fmt::Write as _;
+    if n.is_finite() {
+        let _ = write!(out, "{n}");
+    } else {
+        out.push_str("null");
+    }
+}
+
 fn render_string(s: &str, out: &mut String) {
     use std::fmt::Write as _;
     out.push('"');

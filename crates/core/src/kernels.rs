@@ -19,6 +19,209 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Fixed lane width of the chunked evaluation paths
+/// ([`KernelKind::residuals_into`] / [`KernelKind::partials_into`]).
+///
+/// Observations are processed in blocks of `LANES` values held in
+/// `[f64; LANES]` stack arrays — a layout the compiler autovectorizes —
+/// followed by a scalar tail in ascending index order. The width is a
+/// compile-time constant (two 128-bit SSE2 vectors, one AVX2 vector) so the
+/// block/tail split, and therefore the exact sequence of floating-point
+/// operations, is identical on every machine and at every parallelism.
+pub const LANES: usize = 4;
+
+/// Residual value substituted when a model evaluates to a non-finite value
+/// (e.g. a rational kernel at a pole). Chosen enormous so any such parameter
+/// vector loses to every pole-free candidate, while staying finite so the
+/// cost comparison itself never produces NaN.
+pub const POLE_PENALTY: f64 = 1e150;
+
+// Per-kernel evaluation primitives. `KernelKind::eval`/`partials` and the
+// lane-chunked `residuals_into`/`partials_into` all call these same
+// functions, so the scalar and chunked paths are bit-identical by
+// construction (one source of truth for every floating-point expression).
+
+#[inline(always)]
+fn rat22_value(p: &[f64], n: f64) -> f64 {
+    let num = p[0] + p[1] * n + p[2] * n * n;
+    let den = 1.0 + p[3] * n + p[4] * n * n;
+    num / den
+}
+
+#[inline(always)]
+fn rat23_value(p: &[f64], n: f64) -> f64 {
+    let num = p[0] + p[1] * n + p[2] * n * n;
+    let den = 1.0 + p[3] * n + p[4] * n * n + p[5] * n * n * n;
+    num / den
+}
+
+#[inline(always)]
+fn rat33_value(p: &[f64], n: f64) -> f64 {
+    let num = p[0] + p[1] * n + p[2] * n * n + p[3] * n * n * n;
+    let den = 1.0 + p[4] * n + p[5] * n * n + p[6] * n * n * n;
+    num / den
+}
+
+#[inline(always)]
+fn cubic_ln_value(p: &[f64], n: f64) -> f64 {
+    let l = n.max(f64::MIN_POSITIVE).ln();
+    p[0] + p[1] * l + p[2] * l * l + p[3] * l * l * l
+}
+
+#[inline(always)]
+fn exp_rat_value(p: &[f64], n: f64) -> f64 {
+    let den = p[2] + p[3] * n;
+    if den.abs() < 1e-12 {
+        return f64::INFINITY;
+    }
+    ((p[0] + p[1] * n) / den).exp()
+}
+
+#[inline(always)]
+fn poly25_value(p: &[f64], n: f64) -> f64 {
+    p[0] + p[1] * n + p[2] * n * n + p[3] * n.powf(2.5)
+}
+
+#[inline(always)]
+fn rat22_partials(p: &[f64], x: f64, out: &mut [f64]) {
+    let num = p[0] + p[1] * x + p[2] * x * x;
+    let den = 1.0 + p[3] * x + p[4] * x * x;
+    let inv = 1.0 / den;
+    let scale = -num * inv * inv;
+    out[0] = inv;
+    out[1] = x * inv;
+    out[2] = x * x * inv;
+    out[3] = x * scale;
+    out[4] = x * x * scale;
+}
+
+#[inline(always)]
+fn rat23_partials(p: &[f64], x: f64, out: &mut [f64]) {
+    let num = p[0] + p[1] * x + p[2] * x * x;
+    let den = 1.0 + p[3] * x + p[4] * x * x + p[5] * x * x * x;
+    let inv = 1.0 / den;
+    let scale = -num * inv * inv;
+    out[0] = inv;
+    out[1] = x * inv;
+    out[2] = x * x * inv;
+    out[3] = x * scale;
+    out[4] = x * x * scale;
+    out[5] = x * x * x * scale;
+}
+
+#[inline(always)]
+fn rat33_partials(p: &[f64], x: f64, out: &mut [f64]) {
+    let num = p[0] + p[1] * x + p[2] * x * x + p[3] * x * x * x;
+    let den = 1.0 + p[4] * x + p[5] * x * x + p[6] * x * x * x;
+    let inv = 1.0 / den;
+    let scale = -num * inv * inv;
+    out[0] = inv;
+    out[1] = x * inv;
+    out[2] = x * x * inv;
+    out[3] = x * x * x * inv;
+    out[4] = x * scale;
+    out[5] = x * x * scale;
+    out[6] = x * x * x * scale;
+}
+
+#[inline(always)]
+fn cubic_ln_partials(_p: &[f64], x: f64, out: &mut [f64]) {
+    let l = x.max(f64::MIN_POSITIVE).ln();
+    out[0] = 1.0;
+    out[1] = l;
+    out[2] = l * l;
+    out[3] = l * l * l;
+}
+
+#[inline(always)]
+fn exp_rat_partials(p: &[f64], x: f64, out: &mut [f64]) {
+    let den = p[2] + p[3] * x;
+    let inv = 1.0 / den;
+    let u = (p[0] + p[1] * x) * inv;
+    let f = u.exp();
+    out[0] = f * inv;
+    out[1] = f * x * inv;
+    out[2] = -f * u * inv;
+    out[3] = -f * u * x * inv;
+}
+
+#[inline(always)]
+fn poly25_partials(_p: &[f64], x: f64, out: &mut [f64]) {
+    out[0] = 1.0;
+    out[1] = x;
+    out[2] = x * x;
+    out[3] = x.powf(2.5);
+}
+
+/// Map one model value and observation to a least-squares residual,
+/// substituting [`POLE_PENALTY`] for non-finite model values.
+#[inline(always)]
+fn residual_of(value: f64, y: f64) -> f64 {
+    if value.is_finite() {
+        value - y
+    } else {
+        POLE_PENALTY
+    }
+}
+
+/// Lane-chunked residual fill: full `[f64; LANES]` blocks first (in ascending
+/// block order), then the scalar tail in ascending index order. The chunking
+/// only batches *independent per-element* work — there is no cross-lane
+/// reduction — so results are bit-identical to a plain scalar loop.
+#[inline(always)]
+fn residuals_chunked<F: Fn(f64) -> f64>(model: F, xs: &[f64], ys: &[f64], out: &mut [f64]) {
+    let split = xs.len() - xs.len() % LANES;
+    let (x_blocks, x_tail) = xs.split_at(split);
+    let (y_blocks, y_tail) = ys.split_at(split);
+    let (o_blocks, o_tail) = out.split_at_mut(split);
+    for ((xb, yb), ob) in x_blocks
+        .chunks_exact(LANES)
+        .zip(y_blocks.chunks_exact(LANES))
+        .zip(o_blocks.chunks_exact_mut(LANES))
+    {
+        let mut values = [0.0; LANES];
+        for lane in 0..LANES {
+            values[lane] = model(xb[lane]);
+        }
+        for lane in 0..LANES {
+            ob[lane] = residual_of(values[lane], yb[lane]);
+        }
+    }
+    for ((x, y), o) in x_tail.iter().zip(y_tail).zip(o_tail) {
+        *o = residual_of(model(*x), *y);
+    }
+}
+
+/// Lane-chunked columnar partials fill: `out` is a column-major slab of `P`
+/// parameter columns × `xs.len()` rows (`out[j * n + i] = ∂f/∂p_j at x_i`).
+/// Blocks of `LANES` observations are evaluated into stack rows, then
+/// transposed into the columns; the tail runs scalar in ascending order.
+#[inline(always)]
+fn partials_chunked<const P: usize, F: Fn(f64, &mut [f64])>(model: F, xs: &[f64], out: &mut [f64]) {
+    let n = xs.len();
+    debug_assert_eq!(out.len(), P * n, "columnar partials slab length mismatch");
+    let split = n - n % LANES;
+    for (block, xb) in xs[..split].chunks_exact(LANES).enumerate() {
+        let base = block * LANES;
+        let mut rows = [[0.0; P]; LANES];
+        for lane in 0..LANES {
+            model(xb[lane], &mut rows[lane]);
+        }
+        for (j, column) in out.chunks_exact_mut(n).enumerate() {
+            for lane in 0..LANES {
+                column[base + lane] = rows[lane][j];
+            }
+        }
+    }
+    for (offset, x) in xs[split..].iter().enumerate() {
+        let mut row = [0.0; P];
+        model(*x, &mut row);
+        for (j, column) in out.chunks_exact_mut(n).enumerate() {
+            column[split + offset] = row[j];
+        }
+    }
+}
+
 /// Identifier for one of the six extrapolation kernels of Table 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum KernelKind {
@@ -89,34 +292,65 @@ impl KernelKind {
     pub fn eval(&self, params: &[f64], n: f64) -> f64 {
         debug_assert_eq!(params.len(), self.param_count(), "parameter count mismatch");
         match self {
+            KernelKind::Rat22 => rat22_value(params, n),
+            KernelKind::Rat23 => rat23_value(params, n),
+            KernelKind::Rat33 => rat33_value(params, n),
+            KernelKind::CubicLn => cubic_ln_value(params, n),
+            KernelKind::ExpRat => exp_rat_value(params, n),
+            KernelKind::Poly25 => poly25_value(params, n),
+        }
+    }
+
+    /// Fill `out[i]` with the least-squares residual `eval(params, xs[i]) -
+    /// ys[i]` for every observation, substituting [`POLE_PENALTY`] where the
+    /// model value is non-finite.
+    ///
+    /// The fill is lane-chunked ([`LANES`]-wide blocks plus a fixed-order
+    /// scalar tail) but every element goes through the same per-point
+    /// expressions as [`KernelKind::eval`], so the output is **bit-identical**
+    /// to a scalar loop — pinned by `crates/core/tests/lane_chunks.rs`.
+    pub fn residuals_into(&self, params: &[f64], xs: &[f64], ys: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(params.len(), self.param_count(), "parameter count mismatch");
+        debug_assert_eq!(xs.len(), ys.len(), "observation length mismatch");
+        debug_assert_eq!(xs.len(), out.len(), "output length mismatch");
+        match self {
+            KernelKind::Rat22 => residuals_chunked(|x| rat22_value(params, x), xs, ys, out),
+            KernelKind::Rat23 => residuals_chunked(|x| rat23_value(params, x), xs, ys, out),
+            KernelKind::Rat33 => residuals_chunked(|x| rat33_value(params, x), xs, ys, out),
+            KernelKind::CubicLn => residuals_chunked(|x| cubic_ln_value(params, x), xs, ys, out),
+            KernelKind::ExpRat => residuals_chunked(|x| exp_rat_value(params, x), xs, ys, out),
+            KernelKind::Poly25 => residuals_chunked(|x| poly25_value(params, x), xs, ys, out),
+        }
+    }
+
+    /// Fill a column-major Jacobian slab: `out[j * xs.len() + i]` receives
+    /// `∂ eval / ∂ params[j]` at `xs[i]`, for all [`KernelKind::param_count`]
+    /// parameters (so `out` must be `param_count * xs.len()` long).
+    ///
+    /// Like [`KernelKind::residuals_into`], the fill is lane-chunked but
+    /// routes through the same per-point expressions as
+    /// [`KernelKind::partials`], so each entry is bit-identical to the scalar
+    /// path.
+    pub fn partials_into(&self, params: &[f64], xs: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(params.len(), self.param_count(), "parameter count mismatch");
+        match self {
             KernelKind::Rat22 => {
-                let num = params[0] + params[1] * n + params[2] * n * n;
-                let den = 1.0 + params[3] * n + params[4] * n * n;
-                num / den
+                partials_chunked::<5, _>(|x, row| rat22_partials(params, x, row), xs, out)
             }
             KernelKind::Rat23 => {
-                let num = params[0] + params[1] * n + params[2] * n * n;
-                let den = 1.0 + params[3] * n + params[4] * n * n + params[5] * n * n * n;
-                num / den
+                partials_chunked::<6, _>(|x, row| rat23_partials(params, x, row), xs, out)
             }
             KernelKind::Rat33 => {
-                let num = params[0] + params[1] * n + params[2] * n * n + params[3] * n * n * n;
-                let den = 1.0 + params[4] * n + params[5] * n * n + params[6] * n * n * n;
-                num / den
+                partials_chunked::<7, _>(|x, row| rat33_partials(params, x, row), xs, out)
             }
             KernelKind::CubicLn => {
-                let l = n.max(f64::MIN_POSITIVE).ln();
-                params[0] + params[1] * l + params[2] * l * l + params[3] * l * l * l
+                partials_chunked::<4, _>(|x, row| cubic_ln_partials(params, x, row), xs, out)
             }
             KernelKind::ExpRat => {
-                let den = params[2] + params[3] * n;
-                if den.abs() < 1e-12 {
-                    return f64::INFINITY;
-                }
-                ((params[0] + params[1] * n) / den).exp()
+                partials_chunked::<4, _>(|x, row| exp_rat_partials(params, x, row), xs, out)
             }
             KernelKind::Poly25 => {
-                params[0] + params[1] * n + params[2] * n * n + params[3] * n.powf(2.5)
+                partials_chunked::<4, _>(|x, row| poly25_partials(params, x, row), xs, out)
             }
         }
     }
@@ -132,65 +366,12 @@ impl KernelKind {
         debug_assert_eq!(params.len(), self.param_count(), "parameter count mismatch");
         debug_assert_eq!(out.len(), self.param_count(), "output length mismatch");
         match self {
-            KernelKind::Rat22 => {
-                let num = params[0] + params[1] * x + params[2] * x * x;
-                let den = 1.0 + params[3] * x + params[4] * x * x;
-                let inv = 1.0 / den;
-                let scale = -num * inv * inv;
-                out[0] = inv;
-                out[1] = x * inv;
-                out[2] = x * x * inv;
-                out[3] = x * scale;
-                out[4] = x * x * scale;
-            }
-            KernelKind::Rat23 => {
-                let num = params[0] + params[1] * x + params[2] * x * x;
-                let den = 1.0 + params[3] * x + params[4] * x * x + params[5] * x * x * x;
-                let inv = 1.0 / den;
-                let scale = -num * inv * inv;
-                out[0] = inv;
-                out[1] = x * inv;
-                out[2] = x * x * inv;
-                out[3] = x * scale;
-                out[4] = x * x * scale;
-                out[5] = x * x * x * scale;
-            }
-            KernelKind::Rat33 => {
-                let num = params[0] + params[1] * x + params[2] * x * x + params[3] * x * x * x;
-                let den = 1.0 + params[4] * x + params[5] * x * x + params[6] * x * x * x;
-                let inv = 1.0 / den;
-                let scale = -num * inv * inv;
-                out[0] = inv;
-                out[1] = x * inv;
-                out[2] = x * x * inv;
-                out[3] = x * x * x * inv;
-                out[4] = x * scale;
-                out[5] = x * x * scale;
-                out[6] = x * x * x * scale;
-            }
-            KernelKind::CubicLn => {
-                let l = x.max(f64::MIN_POSITIVE).ln();
-                out[0] = 1.0;
-                out[1] = l;
-                out[2] = l * l;
-                out[3] = l * l * l;
-            }
-            KernelKind::ExpRat => {
-                let den = params[2] + params[3] * x;
-                let inv = 1.0 / den;
-                let u = (params[0] + params[1] * x) * inv;
-                let f = u.exp();
-                out[0] = f * inv;
-                out[1] = f * x * inv;
-                out[2] = -f * u * inv;
-                out[3] = -f * u * x * inv;
-            }
-            KernelKind::Poly25 => {
-                out[0] = 1.0;
-                out[1] = x;
-                out[2] = x * x;
-                out[3] = x.powf(2.5);
-            }
+            KernelKind::Rat22 => rat22_partials(params, x, out),
+            KernelKind::Rat23 => rat23_partials(params, x, out),
+            KernelKind::Rat33 => rat33_partials(params, x, out),
+            KernelKind::CubicLn => cubic_ln_partials(params, x, out),
+            KernelKind::ExpRat => exp_rat_partials(params, x, out),
+            KernelKind::Poly25 => poly25_partials(params, x, out),
         }
     }
 
@@ -556,5 +737,69 @@ mod tests {
     #[test]
     fn display_matches_name() {
         assert_eq!(format!("{}", KernelKind::Rat23), "Rat23");
+    }
+
+    #[test]
+    fn residuals_into_matches_scalar_loop_bitwise() {
+        for (kernel, param_sets) in jacobian_check_cases() {
+            for params in &param_sets {
+                // Lengths straddling the lane boundary exercise block + tail.
+                for len in [0, 1, LANES - 1, LANES, LANES + 1, 3 * LANES + 2] {
+                    let xs: Vec<f64> = (0..len).map(|i| 1.0 + 0.7 * i as f64).collect();
+                    let ys: Vec<f64> = xs.iter().map(|x| 10.0 + x * x).collect();
+                    let mut chunked = vec![f64::NAN; len];
+                    kernel.residuals_into(params, &xs, &ys, &mut chunked);
+                    for i in 0..len {
+                        let v = kernel.eval(params, xs[i]);
+                        let scalar = if v.is_finite() {
+                            v - ys[i]
+                        } else {
+                            POLE_PENALTY
+                        };
+                        assert_eq!(
+                            chunked[i].to_bits(),
+                            scalar.to_bits(),
+                            "{kernel:?} residual[{i}] of {len} diverged"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partials_into_matches_scalar_partials_bitwise() {
+        for (kernel, param_sets) in jacobian_check_cases() {
+            for params in &param_sets {
+                let p = kernel.param_count();
+                for len in [0, 1, LANES - 1, LANES, LANES + 1, 2 * LANES + 3] {
+                    let xs: Vec<f64> = (0..len).map(|i| 1.0 + 0.9 * i as f64).collect();
+                    let mut slab = vec![f64::NAN; p * len];
+                    kernel.partials_into(params, &xs, &mut slab);
+                    let mut row = vec![0.0; p];
+                    for (i, x) in xs.iter().enumerate() {
+                        kernel.partials(params, *x, &mut row);
+                        for j in 0..p {
+                            assert_eq!(
+                                slab[j * len + i].to_bits(),
+                                row[j].to_bits(),
+                                "{kernel:?} ∂/∂p[{j}] at point {i} of {len} diverged"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn residuals_into_substitutes_pole_penalty() {
+        // ExpRat with a degenerate denominator is non-finite everywhere.
+        let params = [1.0, 0.5, 0.0, 0.0];
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [1.0; 5];
+        let mut out = [0.0; 5];
+        KernelKind::ExpRat.residuals_into(&params, &xs, &ys, &mut out);
+        assert!(out.iter().all(|r| *r == POLE_PENALTY));
     }
 }

@@ -13,7 +13,10 @@
 //!   ([`LmModel::partials`]), replacing the finite-difference loop that costs
 //!   `P + 1` model evaluations per observation per iteration
 //!   ([`KernelKind`](crate::kernels::KernelKind) does, for all six Table 1
-//!   kernels);
+//!   kernels); residuals and the Jacobian are filled through the
+//!   lane-chunked slab entry points ([`LmModel::residuals_into`] /
+//!   [`LmModel::partials_into`]) into a **column-major** Jacobian slab that
+//!   the normal-equation reductions consume column-wise;
 //! * every buffer the iteration needs (residuals, Jacobian, normal
 //!   equations, trial step) lives in a reusable [`LmWorkspace`] that callers
 //!   create once per batch of fits and thread through;
@@ -28,18 +31,20 @@
 
 use crate::error::{EstimaError, Result};
 use crate::linalg::{
-    cholesky_solve_in_place, gaussian_solve_in_place, gram_in_place, mul_transpose_vec_in_place,
-    norm2,
+    cholesky_solve_in_place, gaussian_solve_in_place, gram_columns_in_place,
+    mul_transpose_vec_columns_in_place, norm2,
 };
+
+/// Residual value substituted when the model evaluates to a non-finite value
+/// (a pole or overflow): huge but finite, so the algebra stays well defined
+/// while the step is made unattractive. Defined next to the chunked
+/// evaluation paths in [`crate::kernels`]; re-exported here because the LM
+/// loop is where the substitution matters.
+pub use crate::kernels::POLE_PENALTY;
 
 /// Largest parameter count of any Table 1 kernel (rounded up), so callers can
 /// keep parameter vectors in fixed-size stack buffers.
 pub const MAX_PARAMS: usize = 8;
-
-/// Residual value substituted when the model evaluates to a non-finite value
-/// (a pole or overflow): huge but finite, so the algebra stays well defined
-/// while the step is made unattractive. Shared with the pole-handling test.
-pub const POLE_PENALTY: f64 = 1e150;
 
 /// How the Jacobian of the residual vector is obtained.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,6 +71,26 @@ pub trait LmModel {
         let _ = (params, x, out);
         false
     }
+
+    /// Fill `out[i]` with the residual at every observation (model value
+    /// minus `ys[i]`, with [`POLE_PENALTY`] substituted for non-finite
+    /// values). The default is a scalar loop over [`LmModel::value`];
+    /// [`KernelKind`](crate::kernels::KernelKind) overrides it with the
+    /// lane-chunked columnar path, which is bit-identical by construction.
+    fn residuals_into(&self, params: &[f64], xs: &[f64], ys: &[f64], out: &mut [f64]) {
+        for ((x, y), r) in xs.iter().zip(ys).zip(out.iter_mut()) {
+            *r = residual_of(self.value(params, *x), *y);
+        }
+    }
+
+    /// Fill a **column-major** Jacobian slab — `out[j * xs.len() + i] =
+    /// ∂ value / ∂ params[j]` at `xs[i]` — and return `true`. Return `false`
+    /// (the default) when no slab fill is available; the optimiser then falls
+    /// back to per-point [`LmModel::partials`] or finite differencing.
+    fn partials_into(&self, params: &[f64], xs: &[f64], out: &mut [f64]) -> bool {
+        let _ = (params, xs, out);
+        false
+    }
 }
 
 impl LmModel for crate::kernels::KernelKind {
@@ -75,6 +100,15 @@ impl LmModel for crate::kernels::KernelKind {
 
     fn partials(&self, params: &[f64], x: f64, out: &mut [f64]) -> bool {
         crate::kernels::KernelKind::partials(self, params, x, out);
+        true
+    }
+
+    fn residuals_into(&self, params: &[f64], xs: &[f64], ys: &[f64], out: &mut [f64]) {
+        crate::kernels::KernelKind::residuals_into(self, params, xs, ys, out);
+    }
+
+    fn partials_into(&self, params: &[f64], xs: &[f64], out: &mut [f64]) -> bool {
+        crate::kernels::KernelKind::partials_into(self, params, xs, out);
         true
     }
 }
@@ -209,16 +243,22 @@ pub struct LmResult {
     pub converged: bool,
 }
 
+/// Map one model value and observation to a residual, substituting the pole
+/// penalty for non-finite values.
+#[inline]
+fn residual_of(value: f64, y: f64) -> f64 {
+    if value.is_finite() {
+        value - y
+    } else {
+        POLE_PENALTY
+    }
+}
+
 /// Residual at one observation, with the pole penalty substituted for
 /// non-finite model values.
 #[inline]
 fn residual_at<M: LmModel + ?Sized>(model: &M, params: &[f64], x: f64, y: f64) -> f64 {
-    let v = model.value(params, x);
-    if v.is_finite() {
-        v - y
-    } else {
-        POLE_PENALTY
-    }
+    residual_of(model.value(params, x), y)
 }
 
 fn fill_residuals<M: LmModel + ?Sized>(
@@ -228,9 +268,7 @@ fn fill_residuals<M: LmModel + ?Sized>(
     ys: &[f64],
     out: &mut [f64],
 ) {
-    for ((x, y), r) in xs.iter().zip(ys).zip(out.iter_mut()) {
-        *r = residual_at(model, params, *x, *y);
-    }
+    model.residuals_into(params, xs, ys, out);
 }
 
 /// Minimise `sum_i (model(params, x_i) - y_i)^2` over `params`, in place.
@@ -298,39 +336,67 @@ pub fn levenberg_marquardt_into<M: LmModel + ?Sized>(
     for iter in 0..options.max_iterations {
         iterations = iter + 1;
 
-        // Jacobian of the residual vector: J[i][j] = ∂ r_i / ∂ params[j].
+        // Jacobian of the residual vector, stored as a column-major slab:
+        // jacobian[j * n_obs + i] = ∂ r_i / ∂ params[j]. Columns are what
+        // both producers fill contiguously (the chunked analytic slab per
+        // parameter, the finite-difference path per parameter bump) and what
+        // the normal-equation reductions consume.
         let analytic = options.jacobian == Jacobian::Analytic;
-        let mut filled_analytically = analytic;
+        let mut filled_analytically = false;
         if analytic {
-            for (i, (x, r)) in xs.iter().zip(residuals.iter()).enumerate() {
-                let row = &mut jacobian[i * n_params..(i + 1) * n_params];
-                if *r == POLE_PENALTY {
-                    // The penalty is constant, so the residual is locally flat
-                    // in every parameter direction.
-                    row.fill(0.0);
-                } else if !model.partials(params, *x, row) {
-                    filled_analytically = false;
-                    break;
+            filled_analytically = model.partials_into(params, xs, jacobian);
+            if !filled_analytically {
+                // Per-point analytic partials scattered into the columns, for
+                // models with `partials` but no slab fill.
+                filled_analytically = true;
+                for (i, (x, r)) in xs.iter().zip(residuals.iter()).enumerate() {
+                    if *r == POLE_PENALTY {
+                        // Left stale here; the pole sweep below zeroes it.
+                        continue;
+                    }
+                    if !model.partials(params, *x, bumped) {
+                        filled_analytically = false;
+                        break;
+                    }
+                    for j in 0..n_params {
+                        jacobian[j * n_obs + i] = bumped[j];
+                    }
+                }
+            }
+            if filled_analytically {
+                // A pole-penalty residual is constant, so it is locally flat
+                // in every parameter direction.
+                for (i, r) in residuals.iter().enumerate() {
+                    if *r == POLE_PENALTY {
+                        for j in 0..n_params {
+                            jacobian[j * n_obs + i] = 0.0;
+                        }
+                    }
                 }
             }
         }
         if !filled_analytically {
             // Forward finite differences (the pre-analytic behaviour, and the
-            // only option for closure models).
+            // only option for closure models). Each parameter bump fills one
+            // contiguous column.
             for j in 0..n_params {
                 let h = options.finite_difference_step * params[j].abs().max(1e-4);
                 bumped.copy_from_slice(params);
                 bumped[j] += h;
+                let column = &mut jacobian[j * n_obs..(j + 1) * n_obs];
                 for (i, (x, y)) in xs.iter().zip(ys).enumerate() {
                     let r_bumped = residual_at(model, bumped, *x, *y);
-                    jacobian[i * n_params + j] = (r_bumped - residuals[i]) / h;
+                    column[i] = (r_bumped - residuals[i]) / h;
                 }
             }
         }
 
         // Normal equations with damping: (J^T J + λ diag(J^T J)) δ = -J^T r.
-        gram_in_place(jacobian, n_obs, n_params, jtj);
-        mul_transpose_vec_in_place(jacobian, n_obs, n_params, residuals, jtr);
+        // The columnar reductions accumulate over observations in ascending
+        // index order — the same summation order as the row-major code they
+        // replaced — so every entry is bit-identical.
+        gram_columns_in_place(jacobian, n_obs, n_params, jtj);
+        mul_transpose_vec_columns_in_place(jacobian, n_obs, n_params, residuals, jtr);
         let mut accepted = false;
 
         for _attempt in 0..12 {

@@ -206,6 +206,60 @@ pub fn gram_in_place(a: &[f64], rows: usize, cols: usize, out: &mut [f64]) {
     }
 }
 
+/// Transposed matrix-vector product `A^T * y` where `A` is stored as a flat
+/// **column-major** slab (`a[j * rows + i]` is row `i` of column `j`) — the
+/// layout of the lane-chunked Jacobian and design slabs. Each output entry is
+/// one contiguous column dot, accumulated over ascending observation index:
+/// exactly the per-entry summation order of [`mul_transpose_vec_in_place`] on
+/// the row-major equivalent, so results are **bit-identical** to the code
+/// this replaced.
+pub fn mul_transpose_vec_columns_in_place(
+    a: &[f64],
+    rows: usize,
+    cols: usize,
+    y: &[f64],
+    out: &mut [f64],
+) {
+    debug_assert!(a.len() >= rows * cols);
+    debug_assert!(y.len() >= rows);
+    let y = &y[..rows];
+    for (j, out_j) in out.iter_mut().take(cols).enumerate() {
+        let column = &a[j * rows..(j + 1) * rows];
+        let mut sum = 0.0;
+        for (c, y_i) in column.iter().zip(y) {
+            sum += c * y_i;
+        }
+        *out_j = sum;
+    }
+}
+
+/// Gram matrix `A^T * A` where `A` is stored as a flat **column-major** slab
+/// (`a[j * rows + i]`), writing into `out[..cols * cols]`. Every entry is a
+/// pairwise column dot accumulated over ascending observation index — the
+/// same per-entry summation order as [`gram_in_place`] on the row-major
+/// equivalent, so results are **bit-identical**.
+pub fn gram_columns_in_place(a: &[f64], rows: usize, cols: usize, out: &mut [f64]) {
+    debug_assert!(a.len() >= rows * cols);
+    let out = &mut out[..cols * cols];
+    for j in 0..cols {
+        let col_j = &a[j * rows..(j + 1) * rows];
+        for k in j..cols {
+            let col_k = &a[k * rows..(k + 1) * rows];
+            let mut sum = 0.0;
+            for (x, y) in col_j.iter().zip(col_k) {
+                sum += x * y;
+            }
+            out[j * cols + k] = sum;
+        }
+    }
+    // mirror the upper triangle
+    for j in 0..cols {
+        for k in 0..j {
+            out[j * cols + k] = out[k * cols + j];
+        }
+    }
+}
+
 /// Accumulate one design row into a gram matrix / right-hand side pair:
 /// `gram += row rowᵀ`, `rhs += y · row`. This is the incremental
 /// normal-equation update the prefix-refitting grid uses for the linear
@@ -354,6 +408,39 @@ pub fn solve_least_squares_qr(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
 /// a prefix-growable design matrix (the grid fitter) can solve on a row view
 /// `&rows[..prefix * cols]` without rebuilding a [`Matrix`].
 pub fn solve_least_squares_qr_flat(a: &[f64], m: usize, n: usize, b: &[f64]) -> Result<Vec<f64>> {
+    debug_assert!(a.len() >= m * n);
+    householder_least_squares(a[..m * n].to_vec(), m, n, b)
+}
+
+/// [`solve_least_squares_qr_flat`] on flat **column-major** storage: column
+/// `j` occupies `a[j * stride..j * stride + m]` (so `stride >= m`; a slab
+/// built over a longer range than the `m`-row prefix being solved passes its
+/// allocation stride). This is the layout of the grid fitter's shared design
+/// slabs. The column prefixes are transposed into the row-major Householder
+/// work buffer, after which the factorisation is the exact same code (and
+/// therefore the exact same result bits) as the row-major entry point.
+pub fn solve_least_squares_qr_columns(
+    a: &[f64],
+    stride: usize,
+    m: usize,
+    n: usize,
+    b: &[f64],
+) -> Result<Vec<f64>> {
+    debug_assert!(stride >= m, "column stride shorter than row count");
+    debug_assert!(a.len() >= n * stride);
+    let mut r = vec![0.0; m * n];
+    for j in 0..n {
+        let column = &a[j * stride..j * stride + m];
+        for (i, v) in column.iter().enumerate() {
+            r[i * n + j] = *v;
+        }
+    }
+    householder_least_squares(r, m, n, b)
+}
+
+/// Shared Householder-QR least-squares core on a row-major work buffer `r`
+/// (consumed; starts as a copy of the design matrix).
+fn householder_least_squares(mut r: Vec<f64>, m: usize, n: usize, b: &[f64]) -> Result<Vec<f64>> {
     if m < n {
         return Err(EstimaError::Numerical(
             "least squares: fewer rows than columns".into(),
@@ -364,17 +451,13 @@ pub fn solve_least_squares_qr_flat(a: &[f64], m: usize, n: usize, b: &[f64]) -> 
             "least squares: rhs length mismatch".into(),
         ));
     }
-    debug_assert!(a.len() >= m * n);
-    let a = &a[..m * n];
-    if a.iter().any(|v| !v.is_finite()) || b.iter().any(|v| !v.is_finite()) {
+    if r.iter().any(|v| !v.is_finite()) || b.iter().any(|v| !v.is_finite()) {
         return Err(EstimaError::Numerical(
             "least squares: non-finite input".into(),
         ));
     }
 
-    // Work on copies: R starts as A, and we apply Householder reflections to
-    // both R and the right-hand side.
-    let mut r = a.to_vec();
+    // Apply Householder reflections to both R and the right-hand side.
     let mut rhs = b.to_vec();
 
     for k in 0..n {
@@ -632,6 +715,70 @@ mod tests {
             assert!(approx(rhs[i], full_rhs[i], 1e-12));
             for j in 0..3 {
                 assert!(approx(gram[i * 3 + j], full_gram[(i, j)], 1e-12));
+            }
+        }
+    }
+
+    /// Transpose a row-major flat matrix into column-major storage.
+    fn to_columns(a: &[f64], rows: usize, cols: usize) -> Vec<f64> {
+        let mut out = vec![0.0; rows * cols];
+        for i in 0..rows {
+            for j in 0..cols {
+                out[j * rows + i] = a[i * cols + j];
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn columnar_reductions_match_row_major_bitwise() {
+        // Awkward magnitudes so any change in summation order would show up
+        // in the low bits.
+        let rows = 7;
+        let cols = 3;
+        let a: Vec<f64> = (0..rows * cols)
+            .map(|i| (i as f64 + 0.1).sin() * 10f64.powi((i % 5) as i32 - 2))
+            .collect();
+        let y: Vec<f64> = (0..rows).map(|i| (i as f64 - 2.5) * 1.7).collect();
+        let a_cols = to_columns(&a, rows, cols);
+
+        let mut gram_rows = vec![0.0; cols * cols];
+        let mut gram_cols = vec![0.0; cols * cols];
+        gram_in_place(&a, rows, cols, &mut gram_rows);
+        gram_columns_in_place(&a_cols, rows, cols, &mut gram_cols);
+        for (r, c) in gram_rows.iter().zip(&gram_cols) {
+            assert_eq!(r.to_bits(), c.to_bits());
+        }
+
+        let mut jtr_rows = vec![0.0; cols];
+        let mut jtr_cols = vec![0.0; cols];
+        mul_transpose_vec_in_place(&a, rows, cols, &y, &mut jtr_rows);
+        mul_transpose_vec_columns_in_place(&a_cols, rows, cols, &y, &mut jtr_cols);
+        for (r, c) in jtr_rows.iter().zip(&jtr_cols) {
+            assert_eq!(r.to_bits(), c.to_bits());
+        }
+    }
+
+    #[test]
+    fn qr_columns_matches_qr_flat_bitwise() {
+        let rows: Vec<Vec<f64>> = (1..=6)
+            .map(|i| vec![1.0, i as f64, (i as f64).sqrt()])
+            .collect();
+        let b: Vec<f64> = (1..=6)
+            .map(|i| 3.0 + 2.0 * i as f64 + 0.01 * i as f64)
+            .collect();
+        let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+        // One slab built over all six rows (stride 6); every prefix view is
+        // solved from the same storage, exactly like the grid's design slab.
+        let slab = to_columns(&flat, 6, 3);
+        for m in 3..=6usize {
+            let cols = to_columns(&flat[..m * 3], m, 3);
+            let via_flat = solve_least_squares_qr_flat(&flat[..m * 3], m, 3, &b[..m]).unwrap();
+            let via_cols = solve_least_squares_qr_columns(&cols, m, m, 3, &b[..m]).unwrap();
+            let via_slab = solve_least_squares_qr_columns(&slab, 6, m, 3, &b[..m]).unwrap();
+            for ((f, c), s) in via_flat.iter().zip(&via_cols).zip(&via_slab) {
+                assert_eq!(f.to_bits(), c.to_bits());
+                assert_eq!(f.to_bits(), s.to_bits());
             }
         }
     }

@@ -1,0 +1,103 @@
+//! Property tests pinning the bit-identity contract of the lane-chunked
+//! kernel paths: for every Table 1 kernel, `residuals_into` and
+//! `partials_into` must match a plain scalar loop over `eval`/`partials`
+//! **bit-for-bit**, at every length around the block/tail split — 0, 1,
+//! `LANES - 1`, `LANES`, and `LANES + 1`.
+//!
+//! This is the invariant that makes the chunked fitting core safe to swap in
+//! without regenerating the committed reference predictions: chunking batches
+//! independent per-element work and never introduces a cross-lane reduction,
+//! so the floating-point result of every element is the scalar result.
+
+use estima_core::kernels::{LANES, POLE_PENALTY};
+use estima_core::KernelKind;
+use proptest::prelude::*;
+
+/// The exact lengths the chunked code splits differently: empty, pure tail,
+/// almost one block, exactly one block, one block plus tail.
+const EDGE_LENGTHS: [usize; 5] = [0, 1, LANES - 1, LANES, LANES + 1];
+
+/// Scalar reference for `residuals_into`: a plain per-point loop over
+/// `KernelKind::eval` with the same pole substitution.
+fn scalar_residuals(kernel: KernelKind, params: &[f64], xs: &[f64], ys: &[f64]) -> Vec<f64> {
+    xs.iter()
+        .zip(ys)
+        .map(|(x, y)| {
+            let value = kernel.eval(params, *x);
+            if value.is_finite() {
+                value - y
+            } else {
+                POLE_PENALTY
+            }
+        })
+        .collect()
+}
+
+/// Scalar reference for `partials_into`: per-point `KernelKind::partials`
+/// scattered into the same column-major layout (`out[j * n + i]`).
+fn scalar_partials(kernel: KernelKind, params: &[f64], xs: &[f64]) -> Vec<f64> {
+    let p = kernel.param_count();
+    let n = xs.len();
+    let mut out = vec![0.0; p * n];
+    let mut row = vec![0.0; p];
+    for (i, x) in xs.iter().enumerate() {
+        kernel.partials(params, *x, &mut row);
+        for j in 0..p {
+            out[j * n + i] = row[j];
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn chunked_residuals_match_scalar_bitwise(
+        raw_params in proptest::collection::vec(-2.0f64..2.0, 7..8),
+        xs in proptest::collection::vec(0.5f64..96.0, (LANES + 1)..(LANES + 2)),
+        ys in proptest::collection::vec(0.1f64..50.0, (LANES + 1)..(LANES + 2)),
+    ) {
+        for kernel in KernelKind::ALL {
+            let params = &raw_params[..kernel.param_count()];
+            for len in EDGE_LENGTHS {
+                let (xs, ys) = (&xs[..len], &ys[..len]);
+                let expected = scalar_residuals(kernel, params, xs, ys);
+                let mut chunked = vec![f64::NAN; len];
+                kernel.residuals_into(params, xs, ys, &mut chunked);
+                for (i, (c, e)) in chunked.iter().zip(&expected).enumerate() {
+                    prop_assert_eq!(
+                        c.to_bits(),
+                        e.to_bits(),
+                        "{} residual {i} of {len} diverged: chunked {c:e} vs scalar {e:e}",
+                        kernel.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_partials_match_scalar_bitwise(
+        raw_params in proptest::collection::vec(-2.0f64..2.0, 7..8),
+        xs in proptest::collection::vec(0.5f64..96.0, (LANES + 1)..(LANES + 2)),
+    ) {
+        for kernel in KernelKind::ALL {
+            let params = &raw_params[..kernel.param_count()];
+            for len in EDGE_LENGTHS {
+                let xs = &xs[..len];
+                let expected = scalar_partials(kernel, params, xs);
+                let mut chunked = vec![f64::NAN; kernel.param_count() * len];
+                kernel.partials_into(params, xs, &mut chunked);
+                for (i, (c, e)) in chunked.iter().zip(&expected).enumerate() {
+                    prop_assert_eq!(
+                        c.to_bits(),
+                        e.to_bits(),
+                        "{} partial slab entry {i} at n={len} diverged: chunked {c:e} vs scalar {e:e}",
+                        kernel.name()
+                    );
+                }
+            }
+        }
+    }
+}

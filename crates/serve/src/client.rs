@@ -6,14 +6,30 @@
 //! checks. It is intentionally not a general HTTP client (no redirects, no
 //! chunked bodies, no TLS).
 
+use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 
 /// One keep-alive client connection.
+///
+/// The connection owns reusable request/response buffers: after the first
+/// exchange warms them, [`Client::request_into`] issues requests without
+/// allocating — the client half of the zero-allocation keep-alive loop
+/// pinned by `tests/serve_alloc.rs`.
 #[derive(Debug)]
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// Reused request-head scratch.
+    head: String,
+    /// Reused response status/header line scratch.
+    line: String,
+    /// Reused response body buffer.
+    body: Vec<u8>,
+    /// Total request wire bytes written (heads + bodies).
+    sent: u64,
+    /// Total response wire bytes read (status lines + headers + bodies).
+    received: u64,
 }
 
 /// A decoded response: status code and body bytes (as text — every endpoint
@@ -40,7 +56,24 @@ impl Client {
         Ok(Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: stream,
+            head: String::new(),
+            line: String::new(),
+            body: Vec::new(),
+            sent: 0,
+            received: 0,
         })
+    }
+
+    /// Total request wire bytes this connection has written (request lines +
+    /// headers + bodies) — the mirror of the server's `bytes_in` counter.
+    pub fn bytes_sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Total response wire bytes this connection has read (status lines +
+    /// headers + bodies) — the mirror of the server's `bytes_out` counter.
+    pub fn bytes_received(&self) -> u64 {
+        self.received
     }
 
     /// Send one request and read the response. `body` may be empty (GET).
@@ -50,29 +83,52 @@ impl Client {
         path: &str,
         body: &str,
     ) -> std::io::Result<ClientResponse> {
+        let (status, body) = self.request_into(method, path, body)?;
+        let body = body.to_string();
+        Ok(ClientResponse { status, body })
+    }
+
+    /// Send one request and read the response into the connection's reused
+    /// buffers; the returned body borrows from the client. Once the buffers
+    /// have grown to steady state, this path performs no heap allocation
+    /// (errors do allocate their messages).
+    pub fn request_into(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> std::io::Result<(u16, &str)> {
+        self.head.clear();
         write!(
-            self.writer,
+            self.head,
             "{method} {path} HTTP/1.1\r\nhost: loopback\r\ncontent-type: application/json\r\n\
-             content-length: {}\r\n\r\n{body}",
+             content-length: {}\r\n\r\n",
             body.len()
-        )?;
+        )
+        .expect("writing to a String cannot fail");
+        self.writer.write_all(self.head.as_bytes())?;
+        self.writer.write_all(body.as_bytes())?;
         self.writer.flush()?;
+        self.sent += (self.head.len() + body.len()) as u64;
 
         let bad = |detail: String| std::io::Error::new(std::io::ErrorKind::InvalidData, detail);
-        let mut line = String::new();
-        self.reader.read_line(&mut line)?;
-        let status: u16 = line
+        self.line.clear();
+        let mut received = self.reader.read_line(&mut self.line)? as u64;
+        let status: u16 = self
+            .line
             .split_whitespace()
             .nth(1)
             .and_then(|s| s.parse().ok())
-            .ok_or_else(|| bad(format!("bad status line {line:?}")))?;
+            .ok_or_else(|| bad(format!("bad status line {:?}", self.line)))?;
         let mut content_length = 0usize;
         loop {
-            line.clear();
-            if self.reader.read_line(&mut line)? == 0 {
+            self.line.clear();
+            let n = self.reader.read_line(&mut self.line)?;
+            if n == 0 {
                 return Err(bad("eof inside response headers".into()));
             }
-            let trimmed = line.trim();
+            received += n as u64;
+            let trimmed = self.line.trim();
             if trimmed.is_empty() {
                 break;
             }
@@ -85,9 +141,11 @@ impl Client {
                 }
             }
         }
-        let mut body = vec![0u8; content_length];
-        self.reader.read_exact(&mut body)?;
-        let body = String::from_utf8(body).map_err(|_| bad("non-UTF-8 body".into()))?;
-        Ok(ClientResponse { status, body })
+        self.body.clear();
+        self.body.resize(content_length, 0);
+        self.reader.read_exact(&mut self.body)?;
+        self.received += received + content_length as u64;
+        let body = std::str::from_utf8(&self.body).map_err(|_| bad("non-UTF-8 body".into()))?;
+        Ok((status, body))
     }
 }

@@ -16,29 +16,59 @@ pub const MAX_HEADER_BYTES: usize = 16 * 1024;
 /// answered with `413 Payload Too Large`.
 pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
 
-/// One parsed HTTP request.
-#[derive(Debug)]
+/// One parsed HTTP request, designed for reuse: [`read_request_into`]
+/// refills an existing `Request` in place, so a keep-alive connection
+/// parses every request after the first without allocating (method, path,
+/// header and body buffers — including the per-header `String`s — keep
+/// their capacity across requests).
+#[derive(Debug, Default)]
 pub struct Request {
     /// Request method, upper-case as received (`GET`, `POST`, ...).
     pub method: String,
     /// Request target path, e.g. `/v1/predict` (any query string is kept).
     pub path: String,
-    /// Headers as `(lower-cased name, value)` pairs in arrival order.
-    pub headers: Vec<(String, String)>,
+    /// Header slots; only the first `header_count` are live for the current
+    /// request. Dead slots keep their `String` capacity for reuse — they
+    /// are never truncated away.
+    headers: Vec<(String, String)>,
+    /// Number of live header slots.
+    header_count: usize,
     /// Request body (empty when no `Content-Length` was sent).
     pub body: Vec<u8>,
     /// True when the client asked to close the connection after this
     /// exchange (`Connection: close`).
     pub close: bool,
+    /// Line scratch for the request-line/header reads.
+    line: Vec<u8>,
 }
 
 impl Request {
+    /// An empty request, ready for [`read_request_into`].
+    pub fn new() -> Request {
+        Request::default()
+    }
+
+    /// Headers of the current request as `(lower-cased name, value)` pairs
+    /// in arrival order.
+    pub fn headers(&self) -> &[(String, String)] {
+        &self.headers[..self.header_count]
+    }
+
     /// First header value under `name` (lower-case), if present.
     pub fn header(&self, name: &str) -> Option<&str> {
-        self.headers
+        self.headers()
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Reset to an empty request, keeping every buffer's capacity.
+    fn clear(&mut self) {
+        self.method.clear();
+        self.path.clear();
+        self.header_count = 0;
+        self.body.clear();
+        self.close = false;
     }
 }
 
@@ -141,37 +171,56 @@ fn line_as_str(buf: &[u8]) -> Result<&str, ReadError> {
 }
 
 /// Read one request from a buffered stream. Blocks until a full request (or
-/// EOF / error) arrives.
+/// EOF / error) arrives. Allocating convenience wrapper over
+/// [`read_request_into`].
 pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadError> {
-    let mut buf: Vec<u8> = Vec::new();
+    let mut request = Request::new();
+    read_request_into(reader, &mut request)?;
+    Ok(request)
+}
+
+/// Read one request from a buffered stream into a reusable [`Request`],
+/// returning the number of wire bytes consumed (request line + headers +
+/// body). Blocks until a full request (or EOF / error) arrives. After the
+/// first request warms the buffers, refills allocate nothing on the
+/// keep-alive path (pinned by `tests/serve_alloc.rs`).
+pub fn read_request_into(
+    reader: &mut BufReader<TcpStream>,
+    request: &mut Request,
+) -> Result<usize, ReadError> {
+    request.clear();
     let mut header_bytes = 0;
     let mut deadline: Option<std::time::Instant> = None;
 
     // Request line. EOF before any byte means a clean keep-alive close; a
     // read timeout before any byte means the connection is merely idle.
-    let n = read_line_capped(reader, &mut buf, MAX_HEADER_BYTES, &mut deadline)?;
+    request.line.clear();
+    let n = read_line_capped(reader, &mut request.line, MAX_HEADER_BYTES, &mut deadline)?;
     if n == 0 {
         return Err(ReadError::Closed);
     }
     // The request is in flight: every further read races the deadline.
     deadline.get_or_insert_with(|| std::time::Instant::now() + REQUEST_READ_TIMEOUT);
-    header_bytes += buf.len();
-    let line = line_as_str(&buf)?;
-    let mut parts = line.split_whitespace();
-    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
-        (Some(m), Some(p), Some(v)) => (m.to_string(), p.to_string(), v),
-        _ => return Err(ReadError::Malformed(format!("bad request line: {line:?}"))),
-    };
-    if !version.starts_with("HTTP/1.") {
-        return Err(ReadError::Malformed(format!("unsupported {version}")));
+    header_bytes += request.line.len();
+    {
+        let line = line_as_str(&request.line)?;
+        let mut parts = line.split_whitespace();
+        let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(m), Some(p), Some(v)) => (m, p, v),
+            _ => return Err(ReadError::Malformed(format!("bad request line: {line:?}"))),
+        };
+        if !version.starts_with("HTTP/1.") {
+            return Err(ReadError::Malformed(format!("unsupported {version}")));
+        }
+        request.method.push_str(method);
+        request.path.push_str(path);
     }
 
-    // Headers until the blank line.
-    let mut headers = Vec::new();
+    // Headers until the blank line, refilling the reusable slots in place.
     loop {
-        buf.clear();
+        request.line.clear();
         let remaining = MAX_HEADER_BYTES.saturating_sub(header_bytes).max(1);
-        let n = read_line_capped(reader, &mut buf, remaining, &mut deadline)?;
+        let n = read_line_capped(reader, &mut request.line, remaining, &mut deadline)?;
         if n == 0 {
             return Err(ReadError::Malformed("eof inside headers".into()));
         }
@@ -179,7 +228,7 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadEr
         if header_bytes > MAX_HEADER_BYTES {
             return Err(ReadError::Malformed("header block too large".into()));
         }
-        let line = line_as_str(&buf)?;
+        let line = line_as_str(&request.line)?;
         let trimmed = line.trim_end_matches(['\r', '\n']);
         if trimmed.is_empty() {
             break;
@@ -187,45 +236,53 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadEr
         let Some((name, value)) = trimmed.split_once(':') else {
             return Err(ReadError::Malformed(format!("bad header: {trimmed:?}")));
         };
-        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        if request.header_count == request.headers.len() {
+            request.headers.push((String::new(), String::new()));
+        }
+        let (slot_name, slot_value) = &mut request.headers[request.header_count];
+        slot_name.clear();
+        for c in name.trim().chars() {
+            slot_name.push(c.to_ascii_lowercase());
+        }
+        slot_value.clear();
+        slot_value.push_str(value.trim());
+        request.header_count += 1;
     }
 
-    let close = headers
-        .iter()
-        .find(|(n, _)| n == "connection")
-        .is_some_and(|(_, v)| v.eq_ignore_ascii_case("close"));
+    request.close = request
+        .header("connection")
+        .is_some_and(|v| v.eq_ignore_ascii_case("close"));
 
     // Only `Content-Length` bodies are implemented. A chunked body must be
     // rejected outright (the caller answers 400 and closes): ignoring it
     // would leave the chunk frames unread on the connection, to be parsed
     // as the next request line — a silent keep-alive desync.
-    if headers.iter().any(|(n, _)| n == "transfer-encoding") {
+    if request.header("transfer-encoding").is_some() {
         return Err(ReadError::Malformed(
             "transfer-encoding is not supported; send a content-length body".into(),
         ));
     }
 
     // Body, when a Content-Length was declared.
-    let mut body = Vec::new();
-    if let Some(len) = headers
-        .iter()
-        .find(|(n, _)| n == "content-length")
-        .map(|(_, v)| v.as_str())
-    {
-        let len: usize = len
-            .parse()
-            .map_err(|_| ReadError::Malformed(format!("bad content-length: {len:?}")))?;
+    let content_length = match request.header("content-length") {
+        Some(raw) => Some(
+            raw.parse::<usize>()
+                .map_err(|_| ReadError::Malformed(format!("bad content-length: {raw:?}")))?,
+        ),
+        None => None,
+    };
+    if let Some(len) = content_length {
         if len > MAX_BODY_BYTES {
             return Err(ReadError::BodyTooLarge(len));
         }
-        body.resize(len, 0);
+        request.body.resize(len, 0);
         // Fill manually rather than `read_exact`: a poll timeout mid-body
         // must not lose the bytes already read (read_exact leaves the
         // buffer unspecified on error), only exceed the request deadline.
         let by = deadline.unwrap_or_else(|| std::time::Instant::now() + REQUEST_READ_TIMEOUT);
         let mut filled = 0;
         while filled < len {
-            match reader.read(&mut body[filled..]) {
+            match reader.read(&mut request.body[filled..]) {
                 Ok(0) => return Err(ReadError::Malformed("eof inside body".into())),
                 Ok(n) => filled += n,
                 Err(e) if is_timeout(&e) => {
@@ -238,47 +295,81 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadEr
         }
     }
 
-    Ok(Request {
-        method,
-        path,
-        headers,
-        body,
-        close,
-    })
+    Ok(header_bytes + request.body.len())
 }
 
-/// One HTTP response about to be written.
+/// One HTTP response being assembled, designed for reuse: a handler sets
+/// the status and appends the body, [`ResponseBuf::write_to`] builds the
+/// head into an internal scratch buffer and writes both to the stream.
+/// After the first response warms the buffers, a keep-alive connection
+/// sends every further response without allocating (pinned by
+/// `tests/serve_alloc.rs`).
 #[derive(Debug)]
-pub struct Response {
+pub struct ResponseBuf {
     /// HTTP status code.
     pub status: u16,
-    /// Response body.
-    pub body: Vec<u8>,
     /// `Content-Type` header value.
     pub content_type: &'static str,
     /// Value of the `Allow` header, emitted on `405 Method Not Allowed`
     /// responses (RFC 9110 §10.2.1 requires it), e.g. `"GET, DELETE"`.
     pub allow: Option<&'static str>,
+    /// Response body. Every endpoint of this service speaks JSON text, so
+    /// the body is a `String` that serializers append into directly.
+    pub body: String,
+    /// Head scratch, rebuilt by [`ResponseBuf::write_to`].
+    head: Vec<u8>,
 }
 
-impl Response {
-    /// A JSON response with the given status.
-    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
-        Response {
-            status,
-            body: body.into(),
+impl Default for ResponseBuf {
+    fn default() -> Self {
+        ResponseBuf::new()
+    }
+}
+
+impl ResponseBuf {
+    /// An empty 200 JSON response.
+    pub fn new() -> ResponseBuf {
+        ResponseBuf {
+            status: 200,
             content_type: "application/json",
             allow: None,
+            body: String::new(),
+            head: Vec::new(),
         }
     }
 
-    /// A `405 Method Not Allowed` JSON response carrying the mandatory
-    /// `Allow` header listing the methods the resource supports.
-    pub fn method_not_allowed(allow: &'static str, body: impl Into<Vec<u8>>) -> Self {
-        Response {
-            allow: Some(allow),
-            ..Response::json(405, body)
+    /// Reset to an empty 200 JSON response, keeping buffer capacity.
+    pub fn reset(&mut self) {
+        self.status = 200;
+        self.content_type = "application/json";
+        self.allow = None;
+        self.body.clear();
+    }
+
+    /// Write the response, with keep-alive unless `close` is set. Returns
+    /// the total wire bytes written (head + body).
+    pub fn write_to(&mut self, stream: &mut TcpStream, close: bool) -> std::io::Result<usize> {
+        self.head.clear();
+        write!(
+            self.head,
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len(),
+        )?;
+        if let Some(methods) = self.allow {
+            write!(self.head, "allow: {methods}\r\n")?;
         }
+        write!(
+            self.head,
+            "connection: {}\r\n\r\n",
+            if close { "close" } else { "keep-alive" }
+        )?;
+        stream.write_all(&self.head)?;
+        stream.write_all(self.body.as_bytes())?;
+        stream.flush()?;
+        Ok(self.head.len() + self.body.len())
     }
 }
 
@@ -295,30 +386,6 @@ fn reason(status: u16) -> &'static str {
         500 => "Internal Server Error",
         _ => "Unknown",
     }
-}
-
-/// Write `response`, with keep-alive unless `close` is set.
-pub fn write_response(
-    stream: &mut TcpStream,
-    response: &Response,
-    close: bool,
-) -> std::io::Result<()> {
-    let allow = match response.allow {
-        Some(methods) => format!("allow: {methods}\r\n"),
-        None => String::new(),
-    };
-    let head = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n{}connection: {}\r\n\r\n",
-        response.status,
-        reason(response.status),
-        response.content_type,
-        response.body.len(),
-        allow,
-        if close { "close" } else { "keep-alive" },
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(&response.body)?;
-    stream.flush()
 }
 
 #[cfg(test)]
@@ -423,17 +490,54 @@ mod tests {
             raw
         });
         let (mut stream, _) = listener.accept().unwrap();
-        let response = Response::method_not_allowed("GET, DELETE", "{}");
-        write_response(&mut stream, &response, true).unwrap();
+        let mut response = ResponseBuf::new();
+        response.status = 405;
+        response.allow = Some("GET, DELETE");
+        response.body.push_str("{}");
+        let written = response.write_to(&mut stream, true).unwrap();
         drop(stream);
         let raw = reader.join().unwrap();
+        assert_eq!(written, raw.len(), "write_to reports the wire bytes");
         assert!(
             raw.starts_with("HTTP/1.1 405 Method Not Allowed\r\n"),
             "{raw}"
         );
         assert!(raw.contains("\r\nallow: GET, DELETE\r\n"), "{raw}");
         // Plain responses must not grow an allow header.
-        assert_eq!(Response::json(200, "{}").allow, None);
+        assert_eq!(ResponseBuf::new().allow, None);
+    }
+
+    #[test]
+    fn reused_request_drops_stale_headers_and_body() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream
+                .write_all(
+                    b"POST /v1/predict HTTP/1.1\r\nHost: x\r\nX-Extra: kept\r\n\
+                      Content-Length: 4\r\n\r\nabcd\
+                      GET /v1/healthz HTTP/1.1\r\n\r\n",
+                )
+                .unwrap();
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut request = Request::new();
+        let first_bytes = read_request_into(&mut reader, &mut request).unwrap();
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.headers().len(), 3);
+        assert_eq!(request.body, b"abcd");
+        assert!(first_bytes > 4, "{first_bytes}");
+        // The second request reuses the same buffers; nothing from the
+        // first may leak through.
+        read_request_into(&mut reader, &mut request).unwrap();
+        assert_eq!(request.method, "GET");
+        assert_eq!(request.path, "/v1/healthz");
+        assert!(request.headers().is_empty());
+        assert_eq!(request.header("x-extra"), None);
+        assert!(request.body.is_empty());
+        writer.join().unwrap();
     }
 
     #[test]

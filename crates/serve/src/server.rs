@@ -21,7 +21,7 @@ use estima_core::json::Json;
 use estima_core::store::EstimaSession;
 use estima_core::{BatchPredictor, EstimaConfig, EstimaError, FitCache, MeasurementSet, SeriesId};
 
-use crate::http::{read_request, write_response, ReadError, Request, Response};
+use crate::http::{read_request_into, ReadError, Request, ResponseBuf};
 use crate::stats::ServerStats;
 use crate::wire;
 
@@ -60,6 +60,10 @@ struct AppState {
     stats: ServerStats,
     workers: usize,
     shutting_down: AtomicBool,
+    /// Precomputed `GET /v1/healthz` body: the contents never change after
+    /// bind, so the hottest route copies from this instead of re-rendering —
+    /// it is the route the zero-allocation request-loop test pins.
+    healthz_body: String,
 }
 
 /// A bound (but not yet running) prediction server.
@@ -91,11 +95,17 @@ impl Server {
         };
         let cache = Arc::new(FitCache::with_capacity(config.cache_capacity));
         let estima_config = EstimaConfig::default().with_parallelism(config.parallelism.max(1));
+        let healthz_body = Json::Object(vec![
+            ("status".to_string(), Json::String("ok".to_string())),
+            ("workers".to_string(), Json::Number(workers as f64)),
+        ])
+        .render();
         let state = Arc::new(AppState {
             batch: BatchPredictor::with_cache(estima_config, cache),
             stats: ServerStats::default(),
             workers,
             shutting_down: AtomicBool::new(false),
+            healthz_body,
         });
         Ok(Server { listener, state })
     }
@@ -188,6 +198,11 @@ fn accept_loop(listener: TcpListener, state: Arc<AppState>) {
 const IDLE_POLL: std::time::Duration = std::time::Duration::from_millis(250);
 
 /// Serve one connection: a keep-alive loop of request → route → response.
+///
+/// The connection owns one reusable [`Request`] and one [`ResponseBuf`];
+/// after the first exchange warms their buffers, the loop performs zero
+/// heap allocations per request on the routes that serve precomputed or
+/// counter-only data (pinned by `tests/serve_alloc.rs`).
 fn handle_connection(stream: TcpStream, state: &AppState) {
     // A read timeout turns blocked idle reads into `ReadError::Idle` polls,
     // so a worker parked on a silent connection still notices shutdown. The
@@ -206,11 +221,19 @@ fn handle_connection(stream: TcpStream, state: &AppState) {
     };
     let mut reader = BufReader::new(read_half);
     let mut stream = stream;
+    let mut request = Request::new();
+    let mut response = ResponseBuf::new();
     loop {
-        let (response, close) = match read_request(&mut reader) {
-            Ok(request) => {
+        response.reset();
+        let close = match read_request_into(&mut reader, &mut request) {
+            Ok(wire_bytes) => {
+                state
+                    .stats
+                    .bytes_in
+                    .fetch_add(wire_bytes as u64, Ordering::Relaxed);
                 let close = request.close || state.shutting_down.load(Ordering::SeqCst);
-                (route(&request, state), close)
+                route(&request, state, &mut response);
+                close
             }
             Err(ReadError::Idle) => {
                 if state.shutting_down.load(Ordering::SeqCst) {
@@ -219,31 +242,52 @@ fn handle_connection(stream: TcpStream, state: &AppState) {
                 continue;
             }
             Err(ReadError::Closed) | Err(ReadError::Io(_)) => return,
-            Err(ReadError::BodyTooLarge(len)) => (
-                Response::json(
+            Err(ReadError::BodyTooLarge(len)) => {
+                respond_error(
+                    &mut response,
                     413,
-                    wire::error_to_json(
-                        "payload_too_large",
-                        &format!("declared body of {len} bytes exceeds the limit"),
-                    )
-                    .render(),
-                ),
-                true,
-            ),
-            Err(ReadError::Malformed(detail)) => (
-                Response::json(400, wire::error_to_json("bad_request", &detail).render()),
-                true,
-            ),
+                    "payload_too_large",
+                    &format!("declared body of {len} bytes exceeds the limit"),
+                );
+                true
+            }
+            Err(ReadError::Malformed(detail)) => {
+                respond_error(&mut response, 400, "bad_request", &detail);
+                true
+            }
         };
         if response.status >= 500 {
             state.stats.server_errors.fetch_add(1, Ordering::Relaxed);
         } else if response.status >= 400 {
             state.stats.client_errors.fetch_add(1, Ordering::Relaxed);
         }
-        if write_response(&mut stream, &response, close).is_err() || close {
+        match response.write_to(&mut stream, close) {
+            Ok(written) => {
+                state
+                    .stats
+                    .bytes_out
+                    .fetch_add(written as u64, Ordering::Relaxed);
+            }
+            Err(_) => return,
+        }
+        if close {
             return;
         }
     }
+}
+
+/// Set a success (or handler-specific) status and render a JSON tree into
+/// the reusable response body.
+fn respond_json(out: &mut ResponseBuf, status: u16, body: &Json) {
+    out.status = status;
+    body.render_into(&mut out.body);
+}
+
+/// Set an error status and serialize the wire error body directly into the
+/// reusable response buffer (no intermediate `Json` tree).
+fn respond_error(out: &mut ResponseBuf, status: u16, code: &str, message: &str) {
+    out.status = status;
+    wire::write_error(code, message, &mut out.body);
 }
 
 /// Dispatch one request to its endpoint handler. Routing ignores any query
@@ -252,128 +296,131 @@ fn handle_connection(stream: TcpStream, state: &AppState) {
 ///
 /// Known paths with the wrong method answer `405` with an `Allow` header
 /// naming the supported methods; only unknown paths fall through to `404`.
-fn route(request: &Request, state: &AppState) -> Response {
+fn route(request: &Request, state: &AppState, out: &mut ResponseBuf) {
     let path = request.path.split('?').next().unwrap_or("");
     let stats = &state.stats;
     if let Some(rest) = path.strip_prefix("/v1/series/") {
-        return match rest.split_once('/') {
+        match rest.split_once('/') {
             None => match request.method.as_str() {
                 "GET" => {
                     stats.series_requests.fetch_add(1, Ordering::Relaxed);
-                    series_get(rest, state)
+                    series_get(rest, state, out);
                 }
                 "DELETE" => {
                     stats.series_delete_requests.fetch_add(1, Ordering::Relaxed);
-                    series_delete(rest, state)
+                    series_delete(rest, state, out);
                 }
-                _ => method_not_allowed(request, "GET, DELETE"),
+                _ => method_not_allowed(request, "GET, DELETE", out),
             },
             Some((id, "predict")) => match request.method.as_str() {
                 "POST" => {
                     stats
                         .series_predict_requests
                         .fetch_add(1, Ordering::Relaxed);
-                    series_predict(id, request, state)
+                    series_predict(id, request, state, out);
                 }
-                _ => method_not_allowed(request, "POST"),
+                _ => method_not_allowed(request, "POST", out),
             },
-            Some(_) => not_found(path),
-        };
+            Some(_) => not_found(path, out),
+        }
+        return;
     }
     match (request.method.as_str(), path) {
         ("GET", "/v1/healthz") => {
             stats.healthz_requests.fetch_add(1, Ordering::Relaxed);
-            healthz(state)
+            healthz(state, out);
         }
         ("GET", "/v1/stats") => {
             stats.stats_requests.fetch_add(1, Ordering::Relaxed);
-            server_stats(state)
+            server_stats(state, out);
         }
         ("POST", "/v1/predict") => {
             stats.predict_requests.fetch_add(1, Ordering::Relaxed);
-            predict(request, state)
+            predict(request, state, out);
         }
         ("POST", "/v1/batch") => {
             stats.batch_requests.fetch_add(1, Ordering::Relaxed);
-            batch(request, state)
+            batch(request, state, out);
         }
         ("POST", "/v1/measurements") => {
             stats.measurements_requests.fetch_add(1, Ordering::Relaxed);
-            ingest_measurements(request, state)
+            ingest_measurements(request, state, out);
         }
         ("GET", "/v1/series") => {
             stats.series_requests.fetch_add(1, Ordering::Relaxed);
-            series_list(state)
+            series_list(state, out);
         }
-        (_, "/v1/healthz" | "/v1/stats" | "/v1/series") => method_not_allowed(request, "GET"),
+        (_, "/v1/healthz" | "/v1/stats" | "/v1/series") => {
+            method_not_allowed(request, "GET", out);
+        }
         (_, "/v1/predict" | "/v1/batch" | "/v1/measurements") => {
-            method_not_allowed(request, "POST")
+            method_not_allowed(request, "POST", out);
         }
-        (_, path) => not_found(path),
+        (_, path) => not_found(path, out),
     }
 }
 
 /// `405 Method Not Allowed` with the mandatory `Allow` header.
-fn method_not_allowed(request: &Request, allow: &'static str) -> Response {
-    Response::method_not_allowed(
-        allow,
-        wire::error_to_json(
-            "method_not_allowed",
-            &format!(
-                "{} is not supported on {} (allowed: {allow})",
-                request.method, request.path
-            ),
-        )
-        .render(),
-    )
+fn method_not_allowed(request: &Request, allow: &'static str, out: &mut ResponseBuf) {
+    out.allow = Some(allow);
+    respond_error(
+        out,
+        405,
+        "method_not_allowed",
+        &format!(
+            "{} is not supported on {} (allowed: {allow})",
+            request.method, request.path
+        ),
+    );
 }
 
 /// `404 Not Found` for an unknown path.
-fn not_found(path: &str) -> Response {
-    Response::json(
-        404,
-        wire::error_to_json("not_found", &format!("no route for {path}")).render(),
-    )
+fn not_found(path: &str, out: &mut ResponseBuf) {
+    respond_error(out, 404, "not_found", &format!("no route for {path}"));
 }
 
 /// Map a store/pipeline error to its wire response (see
 /// [`wire::estima_error_status`]).
-fn store_error(error: &EstimaError) -> Response {
+fn store_error(error: &EstimaError, out: &mut ResponseBuf) {
     let (status, code) = wire::estima_error_status(error);
-    Response::json(
-        status,
-        wire::error_to_json(code, &error.to_string()).render(),
-    )
+    respond_error(out, status, code, &error.to_string());
 }
 
-/// Parse and validate a `{id}` path segment.
-fn parse_series_id(raw: &str) -> Result<SeriesId, Response> {
-    SeriesId::new(raw).map_err(|e| store_error(&e))
+/// Parse and validate a `{id}` path segment, filling `out` on failure.
+fn parse_series_id(raw: &str, out: &mut ResponseBuf) -> Option<SeriesId> {
+    match SeriesId::new(raw) {
+        Ok(id) => Some(id),
+        Err(e) => {
+            store_error(&e, out);
+            None
+        }
+    }
 }
 
-/// Parse a request body as JSON, mapping failures to `400 bad_request`.
-fn parse_body(request: &Request) -> Result<Json, Response> {
-    let text = std::str::from_utf8(&request.body).map_err(|_| {
-        Response::json(
-            400,
-            wire::error_to_json("bad_request", "body is not valid UTF-8").render(),
-        )
-    })?;
-    Json::parse(text)
-        .map_err(|e| Response::json(400, wire::error_to_json("bad_request", &e).render()))
+/// Parse a request body as JSON, answering `400 bad_request` on failure.
+fn parse_body(request: &Request, out: &mut ResponseBuf) -> Option<Json> {
+    let Ok(text) = std::str::from_utf8(&request.body) else {
+        respond_error(out, 400, "bad_request", "body is not valid UTF-8");
+        return None;
+    };
+    match Json::parse(text) {
+        Ok(body) => Some(body),
+        Err(e) => {
+            respond_error(out, 400, "bad_request", &e);
+            None
+        }
+    }
 }
 
-/// `GET /v1/healthz`.
-fn healthz(state: &AppState) -> Response {
-    let body = Json::Object(vec![
-        ("status".to_string(), Json::String("ok".to_string())),
-        ("workers".to_string(), Json::Number(state.workers as f64)),
-    ]);
-    Response::json(200, body.render())
+/// `GET /v1/healthz`: copies the body precomputed at bind — together with
+/// the reusable buffers this route answers without a single allocation.
+fn healthz(state: &AppState, out: &mut ResponseBuf) {
+    out.status = 200;
+    out.body.push_str(&state.healthz_body);
 }
 
 /// `GET /v1/stats`.
-fn server_stats(state: &AppState) -> Response {
+fn server_stats(state: &AppState, out: &mut ResponseBuf) {
     let cache = state.batch.cache();
     let store = state.batch.session().store();
     let (hits, misses) = cache.stats();
@@ -434,6 +481,13 @@ fn server_stats(state: &AppState) -> Response {
             Json::Number(load(&stats.predictions)),
         ),
         (
+            "bytes".to_string(),
+            Json::Object(vec![
+                ("in".to_string(), Json::Number(load(&stats.bytes_in))),
+                ("out".to_string(), Json::Number(load(&stats.bytes_out))),
+            ]),
+        ),
+        (
             "cache".to_string(),
             Json::Object(vec![
                 ("hits".to_string(), Json::Number(hits as f64)),
@@ -479,18 +533,17 @@ fn server_stats(state: &AppState) -> Response {
             ]),
         ),
     ]);
-    Response::json(200, body.render())
+    respond_json(out, 200, &body);
 }
 
 /// `POST /v1/predict`.
-fn predict(request: &Request, state: &AppState) -> Response {
-    let body = match parse_body(request) {
-        Ok(body) => body,
-        Err(response) => return response,
+fn predict(request: &Request, state: &AppState, out: &mut ResponseBuf) {
+    let Some(body) = parse_body(request, out) else {
+        return;
     };
     let (set, target) = match wire::predict_request_from_json(&body) {
         Ok(decoded) => decoded,
-        Err(e) => return Response::json(400, wire::error_to_json("bad_request", &e.0).render()),
+        Err(e) => return respond_error(out, 400, "bad_request", &e.0),
     };
     let started = Instant::now();
     let result = state.batch.predict(&set, &target);
@@ -498,21 +551,21 @@ fn predict(request: &Request, state: &AppState) -> Response {
     match result {
         Ok(prediction) => {
             state.stats.predictions.fetch_add(1, Ordering::Relaxed);
-            Response::json(200, wire::prediction_to_json(&prediction).render())
+            out.status = 200;
+            wire::write_prediction(&prediction, &mut out.body);
         }
-        Err(e) => Response::json(422, wire::estima_error_to_json(&e).render()),
+        Err(e) => respond_error(out, 422, "prediction_failed", &e.to_string()),
     }
 }
 
 /// `POST /v1/batch`.
-fn batch(request: &Request, state: &AppState) -> Response {
-    let body = match parse_body(request) {
-        Ok(body) => body,
-        Err(response) => return response,
+fn batch(request: &Request, state: &AppState, out: &mut ResponseBuf) {
+    let Some(body) = parse_body(request, out) else {
+        return;
     };
     let jobs = match wire::batch_request_from_json(&body) {
         Ok(jobs) => jobs,
-        Err(e) => return Response::json(400, wire::error_to_json("bad_request", &e.0).render()),
+        Err(e) => return respond_error(out, 400, "bad_request", &e.0),
     };
     let started = Instant::now();
     let results = state.batch.predict_all(jobs);
@@ -531,7 +584,7 @@ fn batch(request: &Request, state: &AppState) -> Response {
         })
         .collect();
     let body = Json::Object(vec![("results".to_string(), Json::Array(encoded))]);
-    Response::json(200, body.render())
+    respond_json(out, 200, &body);
 }
 
 /// The session behind every stateful endpoint.
@@ -542,14 +595,13 @@ fn session(state: &AppState) -> &EstimaSession {
 /// `POST /v1/measurements`: append points to a named series, creating it on
 /// first contact (which requires `frequency_ghz`). One request is one store
 /// mutation: the version bumps once however many points arrive.
-fn ingest_measurements(request: &Request, state: &AppState) -> Response {
-    let body = match parse_body(request) {
-        Ok(body) => body,
-        Err(response) => return response,
+fn ingest_measurements(request: &Request, state: &AppState, out: &mut ResponseBuf) {
+    let Some(body) = parse_body(request, out) else {
+        return;
     };
     let ingest = match wire::ingest_request_from_json(&body) {
         Ok(decoded) => decoded,
-        Err(e) => return Response::json(400, wire::error_to_json("bad_request", &e.0).render()),
+        Err(e) => return respond_error(out, 400, "bad_request", &e.0),
     };
     let session = session(state);
     // Resolve the frequency: supplied, or stored (appending), or neither —
@@ -559,16 +611,14 @@ fn ingest_measurements(request: &Request, state: &AppState) -> Response {
         None => match session.snapshot(&ingest.series) {
             Some(snapshot) => snapshot.set.frequency_ghz,
             None => {
-                return Response::json(
+                return respond_error(
+                    out,
                     404,
-                    wire::error_to_json(
-                        "series_not_found",
-                        &format!(
-                            "series `{}` does not exist; supply `frequency_ghz` to create it",
-                            ingest.series.as_str()
-                        ),
-                    )
-                    .render(),
+                    "series_not_found",
+                    &format!(
+                        "series `{}` does not exist; supply `frequency_ghz` to create it",
+                        ingest.series.as_str()
+                    ),
                 )
             }
         },
@@ -592,39 +642,37 @@ fn ingest_measurements(request: &Request, state: &AppState) -> Response {
                     Json::Number(snapshot.set.len() as f64),
                 ),
             ]);
-            Response::json(200, body.render())
+            respond_json(out, 200, &body);
         }
-        Err(e) => store_error(&e),
+        Err(e) => store_error(&e, out),
     }
 }
 
 /// `GET /v1/series`.
-fn series_list(state: &AppState) -> Response {
-    Response::json(
-        200,
-        wire::series_list_to_json(&session(state).list()).render(),
-    )
+fn series_list(state: &AppState, out: &mut ResponseBuf) {
+    respond_json(out, 200, &wire::series_list_to_json(&session(state).list()));
 }
 
 /// `GET /v1/series/{id}`.
-fn series_get(raw_id: &str, state: &AppState) -> Response {
-    let id = match parse_series_id(raw_id) {
-        Ok(id) => id,
-        Err(response) => return response,
+fn series_get(raw_id: &str, state: &AppState, out: &mut ResponseBuf) {
+    let Some(id) = parse_series_id(raw_id, out) else {
+        return;
     };
     match session(state).snapshot(&id) {
-        Some(snapshot) => Response::json(200, wire::series_detail_to_json(&snapshot).render()),
-        None => store_error(&EstimaError::SeriesNotFound {
-            series: id.to_string(),
-        }),
+        Some(snapshot) => respond_json(out, 200, &wire::series_detail_to_json(&snapshot)),
+        None => store_error(
+            &EstimaError::SeriesNotFound {
+                series: id.to_string(),
+            },
+            out,
+        ),
     }
 }
 
 /// `DELETE /v1/series/{id}`: evict the series and its cached fits.
-fn series_delete(raw_id: &str, state: &AppState) -> Response {
-    let id = match parse_series_id(raw_id) {
-        Ok(id) => id,
-        Err(response) => return response,
+fn series_delete(raw_id: &str, state: &AppState, out: &mut ResponseBuf) {
+    let Some(id) = parse_series_id(raw_id, out) else {
+        return;
     };
     match session(state).evict(&id) {
         Some(snapshot) => {
@@ -639,11 +687,14 @@ fn series_delete(raw_id: &str, state: &AppState) -> Response {
                     Json::Number(snapshot.set.len() as f64),
                 ),
             ]);
-            Response::json(200, body.render())
+            respond_json(out, 200, &body);
         }
-        None => store_error(&EstimaError::SeriesNotFound {
-            series: id.to_string(),
-        }),
+        None => store_error(
+            &EstimaError::SeriesNotFound {
+                series: id.to_string(),
+            },
+            out,
+        ),
     }
 }
 
@@ -651,18 +702,16 @@ fn series_delete(raw_id: &str, state: &AppState) -> Response {
 /// the measurements live server-side, so nothing is reshipped per request.
 /// The response body is identical to `POST /v1/predict` with the series'
 /// full set.
-fn series_predict(raw_id: &str, request: &Request, state: &AppState) -> Response {
-    let id = match parse_series_id(raw_id) {
-        Ok(id) => id,
-        Err(response) => return response,
+fn series_predict(raw_id: &str, request: &Request, state: &AppState, out: &mut ResponseBuf) {
+    let Some(id) = parse_series_id(raw_id, out) else {
+        return;
     };
-    let body = match parse_body(request) {
-        Ok(body) => body,
-        Err(response) => return response,
+    let Some(body) = parse_body(request, out) else {
+        return;
     };
     let target = match wire::target_spec_from_json(&body) {
         Ok(target) => target,
-        Err(e) => return Response::json(400, wire::error_to_json("bad_request", &e.0).render()),
+        Err(e) => return respond_error(out, 400, "bad_request", &e.0),
     };
     let started = Instant::now();
     let result = session(state).predict(&id, &target);
@@ -670,8 +719,9 @@ fn series_predict(raw_id: &str, request: &Request, state: &AppState) -> Response
     match result {
         Ok(prediction) => {
             state.stats.predictions.fetch_add(1, Ordering::Relaxed);
-            Response::json(200, wire::prediction_to_json(&prediction).render())
+            out.status = 200;
+            wire::write_prediction(&prediction, &mut out.body);
         }
-        Err(e) => store_error(&e),
+        Err(e) => store_error(&e, out),
     }
 }

@@ -40,6 +40,11 @@ pub struct ServerStats {
     pub server_errors: AtomicU64,
     /// Individual predictions computed (batch jobs count one each).
     pub predictions: AtomicU64,
+    /// Total request wire bytes read (request lines + headers + bodies) on
+    /// successfully parsed requests.
+    pub bytes_in: AtomicU64,
+    /// Total response wire bytes written (heads + bodies).
+    pub bytes_out: AtomicU64,
     /// Latency histogram over prediction requests (predict + batch).
     latency_buckets: [AtomicU64; BUCKETS],
 }
@@ -58,6 +63,8 @@ impl Default for ServerStats {
             client_errors: AtomicU64::new(0),
             server_errors: AtomicU64::new(0),
             predictions: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
             latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }

@@ -14,7 +14,7 @@
 //! byte-identical to in-process [`estima_core::BatchPredictor`] results
 //! (pinned by `tests/server_roundtrip.rs` and the `loadgen` harness).
 
-use estima_core::json::Json;
+use estima_core::json::{write_json_number, write_json_string, Json};
 use estima_core::store::{SeriesInfo, SeriesSnapshot};
 use estima_core::{
     EstimaError, Measurement, MeasurementSet, Prediction, SeriesId, StallCategory, StallSource,
@@ -362,6 +362,87 @@ pub fn prediction_to_json(prediction: &Prediction) -> Json {
     ])
 }
 
+/// Serialize a `Prediction` directly into a caller-provided buffer,
+/// byte-identical to `prediction_to_json(prediction).render()` (pinned by a
+/// test below). This is the serve hot path: no intermediate [`Json`] tree —
+/// a response carrying hundreds of numbers appends straight into the
+/// connection's reusable body buffer.
+pub fn write_prediction(prediction: &Prediction, out: &mut String) {
+    out.push_str("{\"app_name\":");
+    write_json_string(&prediction.app_name, out);
+    out.push_str(",\"measured_cores\":");
+    write_json_number(f64::from(prediction.measured_cores), out);
+    out.push_str(",\"target_cores\":");
+    write_json_number(f64::from(prediction.target_cores), out);
+    out.push_str(",\"predicted_scaling_limit\":");
+    write_json_number(f64::from(prediction.predicted_scaling_limit()), out);
+    out.push_str(",\"factor_correlation\":");
+    write_json_number(prediction.factor_correlation, out);
+    out.push_str(",\"scaling_factor_kernel\":");
+    write_json_string(prediction.scaling_factor.kernel.name(), out);
+    out.push_str(",\"predicted_time\":");
+    write_series(&prediction.predicted_time, out);
+    out.push_str(",\"stalls_per_core\":");
+    write_series(&prediction.stalls_per_core, out);
+    out.push_str(",\"measured_time\":");
+    write_series(&prediction.measured_time, out);
+    out.push_str(",\"categories\":[");
+    for (index, extrapolation) in prediction.categories.iter().enumerate() {
+        if index > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"source\":");
+        write_json_string(source_name(extrapolation.category.source), out);
+        out.push_str(",\"name\":");
+        write_json_string(&extrapolation.category.name, out);
+        out.push_str(",\"kernel\":");
+        write_json_string(extrapolation.curve.kernel.name(), out);
+        out.push_str(",\"params\":[");
+        for (pindex, param) in extrapolation.curve.params.iter().enumerate() {
+            if pindex > 0 {
+                out.push(',');
+            }
+            write_json_number(*param, out);
+        }
+        out.push_str("],\"extrapolated_at_target\":");
+        write_json_number(
+            extrapolation
+                .at(prediction.target_cores)
+                .unwrap_or(f64::NAN),
+            out,
+        );
+        out.push('}');
+    }
+    out.push_str("]}");
+}
+
+/// Serialize a `(cores, value)` series as `[[cores, value], ...]` directly
+/// into `out`; byte-identical to `series_to_json(series).render()`.
+fn write_series(series: &[(u32, f64)], out: &mut String) {
+    out.push('[');
+    for (index, (cores, value)) in series.iter().enumerate() {
+        if index > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        write_json_number(f64::from(*cores), out);
+        out.push(',');
+        write_json_number(*value, out);
+        out.push(']');
+    }
+    out.push(']');
+}
+
+/// Serialize a wire error body directly into `out`; byte-identical to
+/// `error_to_json(code, message).render()`.
+pub fn write_error(code: &str, message: &str, out: &mut String) {
+    out.push_str("{\"error\":{\"code\":");
+    write_json_string(code, out);
+    out.push_str(",\"message\":");
+    write_json_string(message, out);
+    out.push_str("}}");
+}
+
 /// A decoded `POST /v1/measurements` request: which series to append to,
 /// the measurement-machine frequency (required to create a series, verified
 /// against the stored one otherwise), and the points to append.
@@ -577,6 +658,33 @@ mod tests {
         for ((c1, t1), (c2, t2)) in prediction.predicted_time.iter().zip(&times) {
             assert_eq!(c1, c2);
             assert_eq!(t1.to_bits(), t2.to_bits(), "exact f64 round trip");
+        }
+    }
+
+    #[test]
+    fn direct_prediction_writer_matches_tree_render_byte_for_byte() {
+        let prediction = Estima::new(EstimaConfig::default().with_parallelism(1))
+            .predict(&demo_set(), &TargetSpec::cores(48))
+            .unwrap();
+        let via_tree = prediction_to_json(&prediction).render();
+        let mut via_writer = String::new();
+        write_prediction(&prediction, &mut via_writer);
+        assert_eq!(via_writer, via_tree);
+    }
+
+    #[test]
+    fn direct_error_writer_matches_tree_render_byte_for_byte() {
+        for (code, message) in [
+            ("bad_request", "plain message"),
+            (
+                "not_found",
+                "needs \"escaping\"\n\tand \\ control \u{1} bytes",
+            ),
+        ] {
+            let via_tree = error_to_json(code, message).render();
+            let mut via_writer = String::new();
+            write_error(code, message, &mut via_writer);
+            assert_eq!(via_writer, via_tree);
         }
     }
 

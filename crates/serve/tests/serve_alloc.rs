@@ -1,0 +1,82 @@
+//! Pins the zero-allocation contract of the keep-alive request loop: once a
+//! connection's reusable request/response buffers are warm, serving a
+//! `GET /v1/healthz` request — read, parse, route, respond — performs zero
+//! heap allocation anywhere in the process.
+//!
+//! A counting global allocator wraps the system allocator. The server runs
+//! with a single worker thread inside this process, the client half uses
+//! [`Client::request_into`] (also allocation-free after warm-up), so after
+//! the warm-up exchanges the *process-wide* allocation counter must not move
+//! across a burst of requests.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use estima_serve::{Client, Server, ServerConfig};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+#[test]
+fn keep_alive_healthz_loop_never_allocates() {
+    let handle = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .expect("bind")
+    .spawn()
+    .expect("spawn");
+
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // Warm-up: grows every reusable buffer on both ends (request line,
+    // header slots, response head/body, client scratch) to steady state.
+    for _ in 0..8 {
+        let (status, body) = client
+            .request_into("GET", "/v1/healthz", "")
+            .expect("warm-up request");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"status\":\"ok\""), "body: {body}");
+    }
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..100 {
+        let (status, _) = client
+            .request_into("GET", "/v1/healthz", "")
+            .expect("counted request");
+        assert_eq!(status, 200);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    // The counter is process-wide; the only threads running are this test
+    // and the single server worker, both on their steady-state hot paths.
+    assert_eq!(
+        after - before,
+        0,
+        "keep-alive request loop allocated {} time(s) across 100 requests",
+        after - before
+    );
+
+    handle.shutdown();
+}
