@@ -20,7 +20,7 @@ fn job() -> (MeasurementSet, TargetSpec) {
 fn bench_http_roundtrip(c: &mut Criterion) {
     let handle = Server::bind(ServerConfig {
         addr: "127.0.0.1:0".to_string(),
-        workers: 1,
+        reactor_threads: 1,
         ..ServerConfig::default()
     })
     .expect("bind bench server")
@@ -59,7 +59,7 @@ fn bench_http_roundtrip(c: &mut Criterion) {
     // perturbing one measurement, so the cache never hits.
     let handle = Server::bind(ServerConfig {
         addr: "127.0.0.1:0".to_string(),
-        workers: 1,
+        reactor_threads: 1,
         ..ServerConfig::default()
     })
     .expect("bind bench server")

@@ -2,8 +2,8 @@
 //! loopback and report throughput, latency percentiles and cache hit-rate.
 //!
 //! ```text
-//! loadgen [--quick] [--scenario quickstart|ingest] [--duration N]
-//!         [--duration-ms N] [--warmup-ms N] [--connections N]
+//! loadgen [--quick] [--scenario quickstart|ingest|churn] [--duration N]
+//!         [--duration-ms N] [--warmup-ms N] [--connections N[,N...]]
 //!         [--min-rps N] [--addr HOST:PORT]
 //! ```
 //!
@@ -12,6 +12,13 @@
 //! state and the fit cache fills before the first latency sample is taken.
 //! `--duration` takes the timed-phase length in whole seconds,
 //! `--duration-ms` in milliseconds (last flag wins).
+//!
+//! `--connections` takes a single count or a comma-separated sweep
+//! (`--connections 1,2,4`): each count gets its own warmup + timed run
+//! against the same server, a latency-vs-connections table is printed, and
+//! every sweep point is merged into the summary. The **last** count is the
+//! primary run: it fills the headline summary records and faces the
+//! `--min-rps` gate.
 //!
 //! By default an in-process server is spawned on a free loopback port and
 //! torn down afterwards; `--addr` points the clients at an externally
@@ -29,23 +36,29 @@
 //! * **`ingest`** — the stateful mix: each connection owns a named series
 //!   (seeded point-by-point through `POST /v1/measurements` before the
 //!   timed run) and issues 80% `POST /v1/series/{id}/predict` / 20%
-//!   `POST /v1/measurements` traffic. Every ingest bumps the series
-//!   version and invalidates its cached fits, so the mix continuously
-//!   exercises the refit path — and every predict response is checked
+//!   `POST /v1/measurements` traffic. The re-pushed points are
+//!   bit-identical, so ingestion is content-idempotent (no version bump,
+//!   no fit invalidation): the mix measures the ingest wire + store path
+//!   at full cache warmth, and every predict response is checked
 //!   byte-for-byte against the in-process reference for that series.
+//! * **`churn`** — the quickstart request, but over a **fresh connection
+//!   per request** (connect → request → close): measures the reactor's
+//!   accept/register/teardown path instead of steady keep-alive. Latency
+//!   samples include the connect.
 //!
 //! Before the timed run, each scenario verifies one response
 //! **byte-for-byte** against the in-process [`BatchPredictor`] prediction
 //! for the same job — the served bytes must decode to the exact `f64` bit
 //! patterns the library produces. The run fails (exit 1) on a mismatch, or
-//! when throughput falls below `--min-rps` (default 1000; `0` disables the
-//! gate).
+//! when the primary run's throughput falls below `--min-rps` (default
+//! 1000; `0` disables the gate).
 //!
 //! Results are merged into `target/criterion/summary.json` through the
-//! criterion shim (`serve/loadgen[-ingest]/latency` carries
-//! min/p50/stddev ns; `p99`, `throughput_rps` and `cache_hit_rate` carry
-//! their value in the `median_ns` column — the summary schema has one value
-//! slot per record).
+//! criterion shim (`serve/loadgen[-ingest|-churn]/latency` carries
+//! min/p50/stddev ns; `p99`, `p999`, `throughput_rps` and `cache_hit_rate`
+//! carry their value in the `median_ns` column — the summary schema has one
+//! value slot per record). A multi-point sweep additionally records
+//! `serve/{name}/c{N}/p50|p99|throughput_rps` per connection count.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -58,7 +71,8 @@ use estima_serve::{wire, Client, ClientResponse, Server, ServerConfig};
 struct Options {
     duration: Duration,
     warmup: Duration,
-    connections: usize,
+    /// Connection-count sweep; the last entry is the primary run.
+    connections: Vec<usize>,
     min_rps: f64,
     addr: Option<String>,
     scenario: String,
@@ -66,17 +80,27 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: loadgen [--quick] [--scenario quickstart|ingest] [--duration N] \
-         [--duration-ms N] [--warmup-ms N] [--connections N] [--min-rps N] [--addr HOST:PORT]"
+        "usage: loadgen [--quick] [--scenario quickstart|ingest|churn] [--duration N] \
+         [--duration-ms N] [--warmup-ms N] [--connections N[,N...]] [--min-rps N] \
+         [--addr HOST:PORT]"
     );
     std::process::exit(2);
+}
+
+fn parse_connections(raw: &str) -> Option<Vec<usize>> {
+    let counts: Vec<usize> = raw
+        .split(',')
+        .map(|part| part.trim().parse::<usize>())
+        .collect::<std::result::Result<_, _>>()
+        .ok()?;
+    (!counts.is_empty() && counts.iter().all(|&n| n > 0)).then_some(counts)
 }
 
 fn parse_options() -> Options {
     let mut options = Options {
         duration: Duration::from_millis(2000),
         warmup: Duration::from_millis(200),
-        connections: 2,
+        connections: vec![2],
         min_rps: 1000.0,
         addr: None,
         scenario: "quickstart".to_string(),
@@ -101,9 +125,9 @@ fn parse_options() -> Options {
                 Ok(ms) => options.warmup = Duration::from_millis(ms),
                 Err(_) => usage(),
             },
-            "--connections" => match value().parse() {
-                Ok(n) if n > 0 => options.connections = n,
-                _ => usage(),
+            "--connections" => match parse_connections(&value()) {
+                Some(counts) => options.connections = counts,
+                None => usage(),
             },
             "--min-rps" => match value().parse() {
                 Ok(rps) => options.min_rps = rps,
@@ -230,6 +254,12 @@ trait Scenario: Sync {
     /// Short name, used for the summary record prefix (`serve/{name}/...`).
     fn name(&self) -> &'static str;
 
+    /// When true, the timed loop opens a fresh connection per request and
+    /// closes it after the response (the churn workload).
+    fn churn(&self) -> bool {
+        false
+    }
+
     /// One-time setup over the probe connection before the timed run:
     /// seed server-side state and verify byte-identity against the
     /// in-process reference. Every request issued must be tallied in
@@ -274,16 +304,21 @@ fn reference_response(
 }
 
 /// The stateless scenario: every connection re-POSTs the same complete
-/// measurement set to `/v1/predict`.
+/// measurement set to `/v1/predict` — over keep-alive connections
+/// (`quickstart`) or a fresh connection per request (`churn`).
 struct QuickstartScenario {
+    name: &'static str,
+    churn: bool,
     body: String,
     expected: String,
 }
 
 impl QuickstartScenario {
-    fn new() -> std::result::Result<Self, String> {
+    fn new(name: &'static str, churn: bool) -> std::result::Result<Self, String> {
         let (set, target) = quickstart_job("loadgen");
         Ok(QuickstartScenario {
+            name,
+            churn,
             body: wire::predict_request_to_json(&set, &target).render(),
             expected: reference_response(&set, &target)?,
         })
@@ -292,7 +327,11 @@ impl QuickstartScenario {
 
 impl Scenario for QuickstartScenario {
     fn name(&self) -> &'static str {
-        "loadgen"
+        self.name
+    }
+
+    fn churn(&self) -> bool {
+        self.churn
     }
 
     fn prepare(
@@ -343,10 +382,11 @@ const INGEST_EVERY: u64 = 5;
 
 /// The stateful scenario: per-connection named series, mixed
 /// predict/ingest traffic. Every ingest re-pushes one of the series' own
-/// points (cycling through the core counts), which bumps the version and
-/// invalidates that series' cached fits without changing its content — so
-/// the refit path runs continuously while every predict response stays
-/// byte-identical to the reference.
+/// points (cycling through the core counts) — bit-identical to what is
+/// stored, so the store treats it as content-idempotent: no version bump,
+/// no fit invalidation. The mix therefore measures the full ingest wire +
+/// store path while predictions keep serving from a warm cache, and every
+/// predict response stays byte-identical to the reference.
 struct IngestScenario {
     /// Per-connection series predict path (`/v1/series/{id}/predict`).
     predict_paths: Vec<String>,
@@ -356,8 +396,7 @@ struct IngestScenario {
     expected: Vec<String>,
     /// Per-connection, per-point single-point ingest bodies — used both to
     /// seed the series in [`IngestScenario::prepare`] and, cycled, as the
-    /// timed loop's ingest traffic (a re-pushed point is still a version
-    /// bump).
+    /// timed loop's ingest traffic.
     ingest_bodies: Vec<Vec<String>>,
 }
 
@@ -489,26 +528,165 @@ fn percentile(sorted_ns: &[u64], q: f64) -> u64 {
     sorted_ns[rank.min(sorted_ns.len()) - 1]
 }
 
+/// The outcome of one timed run at a fixed connection count.
+struct RunStats {
+    connections: usize,
+    total: u64,
+    elapsed: Duration,
+    rps: f64,
+    min: u64,
+    p50: u64,
+    p99: u64,
+    p999: u64,
+    max: u64,
+    stddev: f64,
+}
+
+/// Client-side accumulators carried across every sweep run: route tallies
+/// and wire-byte totals, matched against the server's cumulative counters
+/// in the end-of-run cross-check.
+#[derive(Default)]
+struct ClientTallies {
+    counts: RouteCounts,
+    sent: u64,
+    received: u64,
+}
+
+/// Run one warmup + timed phase at `connections` concurrent connections,
+/// merging route tallies and client wire-byte totals into the caller's
+/// accumulators.
+fn run_phase(
+    scenario: &Arc<dyn Scenario + Send + Sync>,
+    addr: std::net::SocketAddr,
+    connections: usize,
+    warmup: Duration,
+    duration: Duration,
+    tallies: &mut ClientTallies,
+) -> RunStats {
+    let started = Instant::now();
+    let warmup_deadline = started + warmup;
+    let deadline = warmup_deadline + duration;
+    let churn = scenario.churn();
+    let mut threads = Vec::new();
+    for connection in 0..connections {
+        let scenario = Arc::clone(scenario);
+        threads.push(std::thread::spawn(move || {
+            // Keep-alive scenarios reuse one connection for the whole run;
+            // churn opens and closes one per request inside the loop.
+            let mut keepalive =
+                (!churn).then(|| Client::connect(addr).expect("connect load connection"));
+            let mut latencies_ns: Vec<u64> = Vec::new();
+            let mut counts = RouteCounts::default();
+            let mut sent_bytes = 0u64;
+            let mut received_bytes = 0u64;
+            let mut iteration = 0u64;
+            loop {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let in_warmup = now < warmup_deadline;
+                let spec = scenario.request(connection, iteration);
+                counts.note(spec.path);
+                let sent = Instant::now();
+                let response = match keepalive.as_mut() {
+                    Some(client) => client
+                        .request(spec.method, spec.path, spec.body)
+                        .expect("request during load"),
+                    None => {
+                        // Churn: the sample includes the connect, which is
+                        // the cost under measurement.
+                        let mut client = Client::connect(addr).expect("connect churn connection");
+                        let response = client
+                            .request(spec.method, spec.path, spec.body)
+                            .expect("request during load");
+                        sent_bytes += client.bytes_sent();
+                        received_bytes += client.bytes_received();
+                        response
+                    }
+                };
+                if !in_warmup {
+                    latencies_ns.push(u64::try_from(sent.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                }
+                if let Err(e) = scenario.check(connection, iteration, &response) {
+                    panic!("response check failed: {e}");
+                }
+                iteration += 1;
+            }
+            if let Some(client) = keepalive {
+                sent_bytes += client.bytes_sent();
+                received_bytes += client.bytes_received();
+            }
+            (latencies_ns, counts, sent_bytes, received_bytes)
+        }));
+    }
+    let mut latencies: Vec<u64> = Vec::new();
+    for thread in threads {
+        let (thread_latencies, thread_counts, sent, received) =
+            thread.join().expect("load thread panicked");
+        latencies.extend(thread_latencies);
+        tallies.counts.merge(&thread_counts);
+        tallies.sent += sent;
+        tallies.received += received;
+    }
+    let elapsed = warmup_deadline.elapsed();
+    latencies.sort_unstable();
+
+    let total = latencies.len() as u64;
+    let mean = latencies.iter().sum::<u64>() as f64 / total.max(1) as f64;
+    let stddev = (latencies
+        .iter()
+        .map(|&ns| (ns as f64 - mean).powi(2))
+        .sum::<f64>()
+        / total.max(1) as f64)
+        .sqrt();
+    RunStats {
+        connections,
+        total,
+        elapsed,
+        rps: total as f64 / elapsed.as_secs_f64(),
+        min: latencies.first().copied().unwrap_or(0),
+        p50: percentile(&latencies, 0.50),
+        p99: percentile(&latencies, 0.99),
+        p999: percentile(&latencies, 0.999),
+        max: latencies.last().copied().unwrap_or(0),
+        stddev,
+    }
+}
+
 fn main() {
     let options = parse_options();
+    let max_connections = *options
+        .connections
+        .iter()
+        .max()
+        .expect("--connections is never empty");
     let scenario: Arc<dyn Scenario + Send + Sync> = match options.scenario.as_str() {
-        "quickstart" => Arc::new(QuickstartScenario::new().unwrap_or_else(|e| {
-            eprintln!("error: {e}");
-            std::process::exit(1);
-        })),
-        "ingest" => Arc::new(
-            IngestScenario::new(options.connections).unwrap_or_else(|e| {
+        "quickstart" => Arc::new(
+            QuickstartScenario::new("loadgen", false).unwrap_or_else(|e| {
                 eprintln!("error: {e}");
                 std::process::exit(1);
             }),
         ),
+        "churn" => Arc::new(
+            QuickstartScenario::new("loadgen-churn", true).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }),
+        ),
+        "ingest" => Arc::new(IngestScenario::new(max_connections).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        })),
         other => {
-            eprintln!("error: unknown scenario `{other}` (quickstart, ingest)");
+            eprintln!("error: unknown scenario `{other}` (quickstart, ingest, churn)");
             usage();
         }
     };
 
-    // Spawn the in-process server unless an external one was named.
+    // Spawn the in-process server unless an external one was named. The
+    // reactor multiplexes connections, so nothing is sized to the client
+    // count — the default (one reactor per CPU) serves any sweep point.
     let (addr, handle) = match &options.addr {
         Some(addr) => {
             let addr = addr.parse().unwrap_or_else(|_| {
@@ -520,11 +698,6 @@ fn main() {
         None => {
             let server = Server::bind(ServerConfig {
                 addr: "127.0.0.1:0".to_string(),
-                // One worker per load connection plus one for the probe
-                // connection, which stays open across the timed run (each
-                // worker owns its connection end-to-end, so a pool sized
-                // to the load connections alone would starve one of them).
-                workers: options.connections + 1,
                 ..ServerConfig::default()
             })
             .unwrap_or_else(|e| {
@@ -532,7 +705,7 @@ fn main() {
                 std::process::exit(1);
             });
             let handle = server.spawn().unwrap_or_else(|e| {
-                eprintln!("error: cannot start server workers: {e}");
+                eprintln!("error: cannot start server reactors: {e}");
                 std::process::exit(1);
             });
             (handle.addr(), Some(handle))
@@ -545,77 +718,34 @@ fn main() {
         eprintln!("error: cannot connect to {addr}: {e}");
         std::process::exit(1);
     });
-    let mut counts = RouteCounts::default();
-    if let Err(e) = scenario.prepare(&mut probe, &mut counts) {
+    let mut tallies = ClientTallies::default();
+    if let Err(e) = scenario.prepare(&mut probe, &mut tallies.counts) {
         eprintln!("error: {e}");
         std::process::exit(1);
     }
 
-    // Every connection loops its scenario: first the untimed warmup phase
-    // (buffers and caches reach steady state), then the timed run. Warmup
-    // requests are tallied for the coverage cross-check but contribute no
-    // latency samples.
-    let started = Instant::now();
-    let warmup_deadline = started + options.warmup;
-    let deadline = warmup_deadline + options.duration;
-    let mut threads = Vec::new();
-    for connection in 0..options.connections {
-        let scenario = Arc::clone(&scenario);
-        threads.push(std::thread::spawn(move || {
-            let mut client = Client::connect(addr).expect("connect load connection");
-            let mut latencies_ns: Vec<u64> = Vec::new();
-            let mut counts = RouteCounts::default();
-            let mut iteration = 0u64;
-            loop {
-                let now = Instant::now();
-                if now >= deadline {
-                    break;
-                }
-                let in_warmup = now < warmup_deadline;
-                let spec = scenario.request(connection, iteration);
-                counts.note(spec.path);
-                let sent = Instant::now();
-                let response = client
-                    .request(spec.method, spec.path, spec.body)
-                    .expect("request during load");
-                if !in_warmup {
-                    latencies_ns.push(u64::try_from(sent.elapsed().as_nanos()).unwrap_or(u64::MAX));
-                }
-                if let Err(e) = scenario.check(connection, iteration, &response) {
-                    panic!("response check failed: {e}");
-                }
-                iteration += 1;
-            }
-            (
-                latencies_ns,
-                counts,
-                client.bytes_sent(),
-                client.bytes_received(),
-            )
-        }));
+    // The sweep: one warmup + timed run per connection count, accumulating
+    // the client-side tallies across runs (the server's counters are
+    // cumulative too, so the final cross-check still balances exactly).
+    let mut runs: Vec<RunStats> = Vec::new();
+    for &connections in &options.connections {
+        runs.push(run_phase(
+            &scenario,
+            addr,
+            connections,
+            options.warmup,
+            options.duration,
+            &mut tallies,
+        ));
     }
-    let mut latencies: Vec<u64> = Vec::new();
-    let mut client_sent = 0u64;
-    let mut client_received = 0u64;
-    for thread in threads {
-        let (thread_latencies, thread_counts, sent, received) =
-            thread.join().expect("load thread panicked");
-        latencies.extend(thread_latencies);
-        counts.merge(&thread_counts);
-        client_sent += sent;
-        client_received += received;
-    }
-    let elapsed = warmup_deadline.elapsed();
-    latencies.sort_unstable();
 
     // Coverage cross-check + cache statistics straight from the server.
     // Per stats fetch, `bytes_out` is snapshotted before the request (the
     // server renders the stats body before its own response bytes are
     // counted) and `bytes_in` after (the stats request itself is counted on
-    // read). The server adds a response's bytes *after* flushing it, so a
-    // just-drained load connection's last response can still be uncounted
-    // for a moment — the counters are monotonic, so retry until they
-    // converge on the client tallies.
+    // read). The server accounts a response when it is rendered, which can
+    // momentarily lead the clients' received tallies — the counters are
+    // monotonic, so retry until they converge on the client totals.
     //
     // Only the in-process server has counters that started at zero; an
     // external `--addr` server may carry traffic from before this run, so
@@ -629,19 +759,19 @@ fn main() {
         if attempt > 0 {
             std::thread::sleep(Duration::from_millis(10));
         }
-        expected_bytes_out = client_received + probe.bytes_received();
-        counts.note("/v1/stats");
+        expected_bytes_out = tallies.received + probe.bytes_received();
+        tallies.counts.note("/v1/stats");
         stats = probe
             .request("GET", "/v1/stats", "")
             .ok()
             .and_then(|r| Json::parse(&r.body).ok());
-        expected_bytes_in = client_sent + probe.bytes_sent();
+        expected_bytes_in = tallies.sent + probe.bytes_sent();
         if !fresh_server {
             break;
         }
         cross_check = cross_check_stats(
             stats.as_ref(),
-            &counts,
+            &tallies.counts,
             expected_bytes_in,
             expected_bytes_out,
         );
@@ -671,59 +801,73 @@ fn main() {
         );
     }
 
-    let total = latencies.len() as u64;
-    let rps = total as f64 / elapsed.as_secs_f64();
-    let min = latencies.first().copied().unwrap_or(0);
-    let p50 = percentile(&latencies, 0.50);
-    let p99 = percentile(&latencies, 0.99);
-    let max = latencies.last().copied().unwrap_or(0);
-    let mean = latencies.iter().sum::<u64>() as f64 / total.max(1) as f64;
-    let stddev = (latencies
-        .iter()
-        .map(|&ns| (ns as f64 - mean).powi(2))
-        .sum::<f64>()
-        / total.max(1) as f64)
-        .sqrt();
-
     let name = scenario.name();
+    let primary = runs.last().expect("at least one run");
     println!(
-        "{name}: {total} requests over {} connection(s) in {:.2}s = {rps:.0} req/s",
-        options.connections,
-        elapsed.as_secs_f64(),
+        "{name}: {} requests over {} connection(s) in {:.2}s = {:.0} req/s",
+        primary.total,
+        primary.connections,
+        primary.elapsed.as_secs_f64(),
+        primary.rps,
     );
     println!(
-        "{name}: latency min {:.1}µs p50 {:.1}µs p99 {:.1}µs max {:.1}µs",
-        min as f64 / 1e3,
-        p50 as f64 / 1e3,
-        p99 as f64 / 1e3,
-        max as f64 / 1e3,
+        "{name}: latency min {:.1}µs p50 {:.1}µs p99 {:.1}µs p999 {:.1}µs max {:.1}µs",
+        primary.min as f64 / 1e3,
+        primary.p50 as f64 / 1e3,
+        primary.p99 as f64 / 1e3,
+        primary.p999 as f64 / 1e3,
+        primary.max as f64 / 1e3,
     );
     println!("{name}: fit-cache hit rate {hit_rate:.4}; predictions byte-identical to in-process");
+    if runs.len() > 1 {
+        println!("{name}: latency vs connections");
+        println!("  connections     req/s   p50(µs)   p99(µs)  p999(µs)");
+        for run in &runs {
+            println!(
+                "  {:>11} {:>9.0} {:>9.1} {:>9.1} {:>9.1}",
+                run.connections,
+                run.rps,
+                run.p50 as f64 / 1e3,
+                run.p99 as f64 / 1e3,
+                run.p999 as f64 / 1e3,
+            );
+        }
+    }
 
-    // Merge into target/criterion/summary.json alongside the benches.
+    // Merge into target/criterion/summary.json alongside the benches: the
+    // headline records carry the primary run; a multi-point sweep adds one
+    // record set per connection count.
     criterion::record(BenchRecord {
         name: format!("serve/{name}/latency"),
-        min_ns: min as f64,
-        median_ns: p50 as f64,
-        stddev_ns: stddev,
-        iters: total,
-        batches: options.connections as u64,
+        min_ns: primary.min as f64,
+        median_ns: primary.p50 as f64,
+        stddev_ns: primary.stddev,
+        iters: primary.total,
+        batches: primary.connections as u64,
     });
     criterion::record(BenchRecord {
         name: format!("serve/{name}/p99"),
-        min_ns: p99 as f64,
-        median_ns: p99 as f64,
+        min_ns: primary.p99 as f64,
+        median_ns: primary.p99 as f64,
         stddev_ns: 0.0,
-        iters: total,
-        batches: options.connections as u64,
+        iters: primary.total,
+        batches: primary.connections as u64,
+    });
+    criterion::record(BenchRecord {
+        name: format!("serve/{name}/p999"),
+        min_ns: primary.p999 as f64,
+        median_ns: primary.p999 as f64,
+        stddev_ns: 0.0,
+        iters: primary.total,
+        batches: primary.connections as u64,
     });
     criterion::record(BenchRecord {
         name: format!("serve/{name}/throughput_rps"),
-        min_ns: rps,
-        median_ns: rps,
+        min_ns: primary.rps,
+        median_ns: primary.rps,
         stddev_ns: 0.0,
-        iters: total,
-        batches: options.connections as u64,
+        iters: primary.total,
+        batches: primary.connections as u64,
     });
     // As a percentage: the summary renders values with one decimal, and
     // 0.1% resolution is meaningful where 0.1-of-a-fraction is not.
@@ -732,15 +876,44 @@ fn main() {
         min_ns: hit_rate * 100.0,
         median_ns: hit_rate * 100.0,
         stddev_ns: 0.0,
-        iters: total,
-        batches: options.connections as u64,
+        iters: primary.total,
+        batches: primary.connections as u64,
     });
+    if runs.len() > 1 {
+        for run in &runs {
+            let c = run.connections;
+            criterion::record(BenchRecord {
+                name: format!("serve/{name}/c{c}/p50"),
+                min_ns: run.p50 as f64,
+                median_ns: run.p50 as f64,
+                stddev_ns: 0.0,
+                iters: run.total,
+                batches: c as u64,
+            });
+            criterion::record(BenchRecord {
+                name: format!("serve/{name}/c{c}/p99"),
+                min_ns: run.p99 as f64,
+                median_ns: run.p99 as f64,
+                stddev_ns: 0.0,
+                iters: run.total,
+                batches: c as u64,
+            });
+            criterion::record(BenchRecord {
+                name: format!("serve/{name}/c{c}/throughput_rps"),
+                min_ns: run.rps,
+                median_ns: run.rps,
+                stddev_ns: 0.0,
+                iters: run.total,
+                batches: c as u64,
+            });
+        }
+    }
     criterion::write_summary();
 
-    if options.min_rps > 0.0 && rps < options.min_rps {
+    if options.min_rps > 0.0 && primary.rps < options.min_rps {
         eprintln!(
-            "error: throughput {rps:.0} req/s is below the --min-rps gate ({:.0})",
-            options.min_rps
+            "error: throughput {:.0} req/s is below the --min-rps gate ({:.0})",
+            primary.rps, options.min_rps
         );
         std::process::exit(1);
     }

@@ -127,9 +127,10 @@ impl Engine {
 
 /// Cache key for one fitted series: the full series (as `f64` bit patterns,
 /// so `-0.0` and `0.0` differ and NaNs are stable) plus the full
-/// [`FitOptions`] (rendered through `Debug`, which covers every field). The
-/// key is structural — two keys are equal only if the series and options are
-/// exactly equal — so cache hits can never substitute another series' fits.
+/// [`FitOptions`] (rendered through [`FitOptions::cache_tag`], which covers
+/// every field). The key is structural — two keys are equal only if the
+/// series and options are exactly equal — so cache hits can never substitute
+/// another series' fits.
 ///
 /// Keys built through [`FitKey::scoped`] additionally carry a
 /// `(series id, version)` component from the
@@ -154,7 +155,7 @@ impl FitKey {
         FitKey {
             xs_bits: xs.iter().map(|x| x.to_bits()).collect(),
             ys_bits: ys.iter().map(|y| y.to_bits()).collect(),
-            options: format!("{options:?}"),
+            options: options.cache_tag(),
             scope: None,
         }
     }
@@ -231,17 +232,28 @@ struct ShardEntry {
     last_used: u64,
 }
 
-/// One cache shard: its own map and logical clock behind its own lock, so
-/// lookups on different shards never contend.
+/// One cache shard: its own map, logical clock, and series→keys index
+/// behind its own lock, so lookups on different shards never contend.
+///
+/// Keys are stored as `Arc<FitKey>` so the series index can reference them
+/// without cloning the (potentially large) series bit vectors: the map and
+/// the index share one allocation per key. Invariant: a scoped key is in
+/// `map` iff it is in `by_series[its series]` — insert, evict and
+/// invalidate all maintain both sides under the shard lock.
 #[derive(Debug, Default)]
 struct Shard {
-    map: HashMap<FitKey, ShardEntry>,
+    map: HashMap<Arc<FitKey>, ShardEntry>,
+    /// Scoped keys grouped by their series id, so
+    /// [`FitCache::invalidate_series`] removes exactly that series' entries
+    /// instead of sweeping the whole shard.
+    by_series: HashMap<String, Vec<Arc<FitKey>>>,
     clock: u64,
 }
 
 impl Shard {
     /// Evict least-recently-used entries until the shard is within
-    /// `capacity`. Returns how many entries were evicted.
+    /// `capacity`, keeping the series index in sync. Returns how many
+    /// entries were evicted.
     fn enforce_capacity(&mut self, capacity: usize) -> usize {
         let mut evicted = 0;
         while self.map.len() > capacity {
@@ -249,14 +261,31 @@ impl Shard {
                 .map
                 .iter()
                 .min_by_key(|(_, entry)| entry.last_used)
-                .map(|(key, _)| key.clone())
+                .map(|(key, _)| Arc::clone(key))
             else {
                 break;
             };
             self.map.remove(&oldest);
+            self.unindex(&oldest);
             evicted += 1;
         }
         evicted
+    }
+
+    /// Remove a scoped key from the series index (no-op for unscoped keys).
+    /// Eviction-time bookkeeping: O(that series' keys), and rare.
+    fn unindex(&mut self, key: &FitKey) {
+        let Some((series, _)) = key.scope() else {
+            return;
+        };
+        if let Some(keys) = self.by_series.get_mut(series) {
+            if let Some(position) = keys.iter().position(|k| k.as_ref() == key) {
+                keys.swap_remove(position);
+            }
+            if keys.is_empty() {
+                self.by_series.remove(series);
+            }
+        }
     }
 }
 
@@ -365,21 +394,32 @@ impl FitCache {
         let mut guard = shard.lock().unwrap();
         guard.clock += 1;
         let clock = guard.clock;
-        let value = match guard.map.entry(key) {
+        let key = Arc::new(key);
+        let shard_mut = &mut *guard;
+        let value = match shard_mut.map.entry(Arc::clone(&key)) {
             std::collections::hash_map::Entry::Occupied(mut occupied) => {
                 // A concurrent miss inserted first; its (identical) value
-                // wins, refreshed as just used.
+                // wins, refreshed as just used. The key is already indexed.
                 occupied.get_mut().last_used = clock;
                 Arc::clone(&occupied.get().value)
             }
-            std::collections::hash_map::Entry::Vacant(vacant) => Arc::clone(
-                &vacant
-                    .insert(ShardEntry {
-                        value: computed,
-                        last_used: clock,
-                    })
-                    .value,
-            ),
+            std::collections::hash_map::Entry::Vacant(vacant) => {
+                if let Some((series, _)) = key.scope() {
+                    shard_mut
+                        .by_series
+                        .entry(series.to_string())
+                        .or_default()
+                        .push(Arc::clone(&key));
+                }
+                Arc::clone(
+                    &vacant
+                        .insert(ShardEntry {
+                            value: computed,
+                            last_used: clock,
+                        })
+                        .value,
+                )
+            }
         };
         let evicted = guard.enforce_capacity(self.shard_capacity);
         if evicted > 0 {
@@ -434,16 +474,21 @@ impl FitCache {
     /// next prediction cannot *hit* a stale entry (the version is part of the
     /// key), so this sweep exists to reclaim the now-unreachable entries
     /// immediately instead of waiting for LRU pressure. Unscoped entries and
-    /// entries scoped to other series are untouched.
+    /// entries scoped to other series are untouched — structurally so: each
+    /// shard keeps a series→keys index, and invalidation removes exactly the
+    /// indexed keys, costing O(that series' entries) rather than a
+    /// full-shard sweep. Entries it never owned are never even visited.
     pub fn invalidate_series(&self, series: &str) -> usize {
         let mut removed = 0;
         for shard in &self.shards {
             let mut guard = shard.lock().unwrap();
-            let before = guard.map.len();
-            guard
-                .map
-                .retain(|key, _| key.scope().is_none_or(|(id, _)| id != series));
-            removed += before - guard.map.len();
+            if let Some(keys) = guard.by_series.remove(series) {
+                for key in keys {
+                    if guard.map.remove(&key).is_some() {
+                        removed += 1;
+                    }
+                }
+            }
         }
         if removed > 0 {
             self.invalidations.fetch_add(removed, Ordering::Relaxed);

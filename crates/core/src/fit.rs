@@ -98,6 +98,56 @@ impl Default for FitOptions {
     }
 }
 
+impl FitOptions {
+    /// A compact string encoding every field of the options (including the
+    /// nested [`LmOptions`]), used as the options component of a
+    /// [`crate::engine::FitKey`]. Two options values produce the same tag iff
+    /// they are field-for-field equal: floats are rendered with `{:?}`
+    /// (shortest round trip, so distinct bit patterns of finite values render
+    /// distinctly), and every field is separated by a delimiter that cannot
+    /// appear inside the rendered values. This replaces the old
+    /// `format!("{options:?}")` key, whose derive-generated pretty-printer
+    /// dominated key-construction cost on the serve hot path.
+    pub fn cache_tag(&self) -> String {
+        use std::fmt::Write as _;
+        let mut tag = String::with_capacity(160);
+        for kernel in &self.kernels {
+            tag.push_str(kernel.name());
+            tag.push(',');
+        }
+        tag.push('|');
+        for count in &self.checkpoint_counts {
+            let _ = write!(tag, "{count},");
+        }
+        let _ = write!(
+            tag,
+            "|{};{};{:?};{:?};{};",
+            self.min_training_points,
+            self.realism_horizon,
+            self.max_magnitude,
+            self.max_growth_factor,
+            self.prefix_refitting
+        );
+        let lm = &self.lm;
+        let _ = write!(
+            tag,
+            "{};{:?};{:?};{:?};{:?};{:?};{:?};{}",
+            lm.max_iterations,
+            lm.initial_lambda,
+            lm.lambda_up,
+            lm.lambda_down,
+            lm.tolerance,
+            lm.step_tolerance,
+            lm.finite_difference_step,
+            match lm.jacobian {
+                crate::levenberg::Jacobian::Analytic => "a",
+                crate::levenberg::Jacobian::FiniteDifference => "fd",
+            }
+        );
+        tag
+    }
+}
+
 thread_local! {
     /// Per-thread fitting scratch. Engine workers and the calling thread get
     /// exactly one each, so grid fan-outs of any width reuse a fixed set of
@@ -292,6 +342,87 @@ pub struct FitCandidate {
     pub curve: FittedCurve,
     /// Number of checkpoints this candidate was scored against.
     pub checkpoints: usize,
+    /// Integer-grid evaluations of `curve` over `1..=realism_horizon`,
+    /// captured while the realism filter walked the same grid. Consumers
+    /// that evaluate candidates at integer core counts (the scaling-factor
+    /// selection loop of [`crate::predictor::Estima::predict`]) read the
+    /// table instead of re-evaluating the kernel per candidate per core.
+    pub evals: CandidateEvals,
+}
+
+/// Precomputed integer-grid evaluations of a candidate curve: `values[c - 1]
+/// == curve.eval(c as f64)` for `c in 1..=horizon` (the fit's
+/// [`FitOptions::realism_horizon`]), plus the running max/min of the
+/// *extrapolated tail* — the core counts strictly above the fitted series'
+/// largest measured count. The tail fold replicates the historical
+/// scaling-factor realism check exactly (ascending fold, `0.0` /
+/// `f64::INFINITY` initial values), so reading `tail_max`/`tail_min` is
+/// bit-identical to re-running that loop.
+#[derive(Debug, Clone)]
+pub struct CandidateEvals {
+    values: Vec<f64>,
+    tail_start: u32,
+    tail_max: f64,
+    tail_min: f64,
+}
+
+impl CandidateEvals {
+    /// Build the table from values captured by
+    /// [`FittedCurve::is_realistic_captured`]. `tail_start` is the first
+    /// extrapolated core count (largest measured `x` plus one).
+    fn new(values: Vec<f64>, tail_start: u32) -> Self {
+        let horizon = values.len() as u32;
+        let mut tail_max = 0.0f64;
+        let mut tail_min = f64::INFINITY;
+        if tail_start >= 1 {
+            for c in tail_start..=horizon {
+                let v = values[(c - 1) as usize];
+                tail_max = tail_max.max(v);
+                tail_min = tail_min.min(v);
+            }
+        }
+        CandidateEvals {
+            values,
+            tail_start,
+            tail_max,
+            tail_min,
+        }
+    }
+
+    /// Largest core count the table covers (the fit's realism horizon).
+    pub fn horizon(&self) -> u32 {
+        self.values.len() as u32
+    }
+
+    /// First extrapolated core count: the fitted series' largest measured
+    /// core count plus one.
+    pub fn tail_start(&self) -> u32 {
+        self.tail_start
+    }
+
+    /// Max of the curve over `tail_start..=horizon` (0.0 when the tail is
+    /// empty), folded in ascending core order.
+    pub fn tail_max(&self) -> f64 {
+        self.tail_max
+    }
+
+    /// Min of the curve over `tail_start..=horizon` (+∞ when the tail is
+    /// empty), folded in ascending core order.
+    pub fn tail_min(&self) -> f64 {
+        self.tail_min
+    }
+
+    /// `curve.eval(cores as f64)` read from the table, or `None` when
+    /// `cores` is outside `1..=horizon`.
+    pub fn at(&self, cores: u32) -> Option<f64> {
+        self.values.get(cores.checked_sub(1)? as usize).copied()
+    }
+
+    /// The full table: `values()[c - 1] == curve.eval(c as f64)` for
+    /// `c in 1..=horizon`.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
 }
 
 /// Approximate a measured series with the best kernel, per §3.1.2.
@@ -595,10 +726,19 @@ fn score_candidate(
         training_rmse: model_rmse(kernel, params, &xs[..prefix], &ys[..prefix]),
         training_points: prefix,
     };
-    if !curve.is_realistic(options.realism_horizon, magnitude_cap) {
+    let mut values = Vec::new();
+    if !curve.is_realistic_captured(options.realism_horizon, magnitude_cap, &mut values) {
         return None;
     }
-    Some(FitCandidate { curve, checkpoints })
+    // First extrapolated core count: one past the series' largest measured x
+    // (the series covers *all* measured points — checkpoints included).
+    let tail_start = xs.iter().fold(0.0f64, |a, x| a.max(*x)) as u32 + 1;
+    let evals = CandidateEvals::new(values, tail_start);
+    Some(FitCandidate {
+        curve,
+        checkpoints,
+        evals,
+    })
 }
 
 /// Linear-kernel grid: the columnar design slab is built once over the

@@ -134,9 +134,7 @@ impl Json {
     /// fits (JSON has no integer type; 2^53 is the exact-integer limit).
     pub fn as_u64(&self) -> Option<u64> {
         match self {
-            Json::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
-                Some(*n as u64)
-            }
+            Json::Number(n) => f64_as_u64(*n),
             _ => None,
         }
     }
@@ -200,6 +198,13 @@ pub fn write_json_number(n: f64, out: &mut String) {
     }
 }
 
+/// The `u64` interpretation of a JSON number, shared by [`Json::as_u64`]
+/// and [`JsonReader`] consumers: non-negative integral values up to 2^53
+/// (the exact-integer limit of an `f64`).
+pub fn f64_as_u64(n: f64) -> Option<u64> {
+    (n >= 0.0 && n.fract() == 0.0 && n <= 2f64.powi(53)).then_some(n as u64)
+}
+
 fn render_string(s: &str, out: &mut String) {
     use std::fmt::Write as _;
     out.push('"');
@@ -226,6 +231,7 @@ fn render_string(s: &str, out: &mut String) {
 /// formats this workspace speaks (the wire format nests 5 deep).
 const MAX_DEPTH: usize = 128;
 
+#[derive(Debug)]
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
@@ -303,6 +309,10 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_number(&mut self) -> Result<Json, String> {
+        self.parse_number_f64().map(Json::Number)
+    }
+
+    fn parse_number_f64(&mut self) -> Result<f64, String> {
         self.skip_ws();
         let start = self.pos;
         while self
@@ -316,19 +326,26 @@ impl<'a> Parser<'a> {
             .ok()
             .and_then(|s| s.parse::<f64>().ok())
             .filter(|n| n.is_finite())
-            .map(Json::Number)
             .ok_or_else(|| self.error("invalid number"))
     }
 
     fn parse_string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
         let mut out = String::new();
+        self.parse_string_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// Parse a string literal, appending its decoded contents to `out` —
+    /// the streaming [`JsonReader`] path reuses one buffer across keys
+    /// instead of allocating a `String` per string.
+    fn parse_string_into(&mut self, out: &mut String) -> Result<(), String> {
+        self.expect(b'"')?;
         loop {
             match self.bytes.get(self.pos) {
                 None => return Err(self.error("unterminated string")),
                 Some(b'"') => {
                     self.pos += 1;
-                    return Ok(out);
+                    return Ok(());
                 }
                 Some(b'\\') => {
                     self.pos += 1;
@@ -423,6 +440,69 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// Syntactically validate and discard one value — same grammar, depth
+    /// cap and error positions as [`Parser::parse_value`], but nothing is
+    /// built. String contents land in `scratch` (reused so skipping stays
+    /// allocation-free once the buffer is warm).
+    fn skip_value(&mut self, scratch: &mut String) -> Result<(), String> {
+        match self.peek() {
+            Some(b'{') => {
+                self.expect(b'{')?;
+                self.descend()?;
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(());
+                }
+                loop {
+                    scratch.clear();
+                    self.parse_string_into(scratch)?;
+                    self.expect(b':')?;
+                    self.skip_value(scratch)?;
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            self.depth -= 1;
+                            return Ok(());
+                        }
+                        _ => return Err(self.error("expected `,` or `}`")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.expect(b'[')?;
+                self.descend()?;
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(());
+                }
+                loop {
+                    self.skip_value(scratch)?;
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            self.depth -= 1;
+                            return Ok(());
+                        }
+                        _ => return Err(self.error("expected `,` or `]`")),
+                    }
+                }
+            }
+            Some(b'"') => {
+                scratch.clear();
+                self.parse_string_into(scratch)
+            }
+            Some(b't') => self.parse_literal("true", Json::Bool(true)).map(|_| ()),
+            Some(b'f') => self.parse_literal("false", Json::Bool(false)).map(|_| ()),
+            Some(b'n') => self.parse_literal("null", Json::Null).map(|_| ()),
+            Some(_) => self.parse_number_f64().map(|_| ()),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
     fn parse_object(&mut self) -> Result<Json, String> {
         self.expect(b'{')?;
         self.descend()?;
@@ -447,6 +527,157 @@ impl<'a> Parser<'a> {
                 _ => return Err(self.error("expected `,` or `}`")),
             }
         }
+    }
+}
+
+/// A pull-style streaming reader over the same grammar (and with the same
+/// strictness: number/string syntax, depth cap, trailing-input rejection) as
+/// [`Json::parse`], for decoders that know the shape they expect and want to
+/// skip the intermediate [`Json`] tree — the serve wire format's request
+/// hot path.
+///
+/// The caller drives the traversal: enter a container with
+/// [`JsonReader::begin_object`] / [`JsonReader::begin_array`], then iterate
+/// with [`JsonReader::next_key`] / [`JsonReader::next_element`] (passing a
+/// caller-owned `first` flag per container, so containers nest without the
+/// reader keeping a stack), reading each value with one of the `*_value`
+/// methods or discarding it with [`JsonReader::skip_value`]. Finish the
+/// document with [`JsonReader::finish`].
+///
+/// ```
+/// use estima_core::json::JsonReader;
+///
+/// let mut reader = JsonReader::new(r#"{"cores": 48, "extra": [1, 2]}"#);
+/// let mut key = String::new();
+/// let mut cores = None;
+/// reader.begin_object().unwrap();
+/// let mut first = true;
+/// while reader.next_key(&mut first, &mut key).unwrap() {
+///     match key.as_str() {
+///         "cores" => cores = Some(reader.u64_value().unwrap()),
+///         _ => reader.skip_value().unwrap(),
+///     }
+/// }
+/// reader.finish().unwrap();
+/// assert_eq!(cores, Some(48));
+/// ```
+#[derive(Debug)]
+pub struct JsonReader<'a> {
+    parser: Parser<'a>,
+    /// Reusable sink for the contents of skipped strings.
+    scratch: String,
+}
+
+impl<'a> JsonReader<'a> {
+    /// Start reading `text` from the beginning.
+    pub fn new(text: &'a str) -> Self {
+        JsonReader {
+            parser: Parser::new(text),
+            scratch: String::new(),
+        }
+    }
+
+    /// Consume the `{` opening an object (counting nesting depth).
+    pub fn begin_object(&mut self) -> Result<(), String> {
+        self.parser.expect(b'{')?;
+        self.parser.descend()
+    }
+
+    /// Advance to the next key of the current object, filling `key` with its
+    /// decoded contents and consuming the `:`. Returns `false` once the
+    /// closing `}` is consumed. `*first` must start `true` for each object
+    /// (the reader flips it); the flag is what distinguishes "before the
+    /// first key" from "after a value, expecting `,` or `}`".
+    pub fn next_key(&mut self, first: &mut bool, key: &mut String) -> Result<bool, String> {
+        if std::mem::take(first) {
+            if self.parser.peek() == Some(b'}') {
+                self.parser.pos += 1;
+                self.parser.depth -= 1;
+                return Ok(false);
+            }
+        } else {
+            match self.parser.peek() {
+                Some(b',') => self.parser.pos += 1,
+                Some(b'}') => {
+                    self.parser.pos += 1;
+                    self.parser.depth -= 1;
+                    return Ok(false);
+                }
+                _ => return Err(self.parser.error("expected `,` or `}`")),
+            }
+        }
+        key.clear();
+        self.parser.parse_string_into(key)?;
+        self.parser.expect(b':')?;
+        Ok(true)
+    }
+
+    /// Consume the `[` opening an array (counting nesting depth).
+    pub fn begin_array(&mut self) -> Result<(), String> {
+        self.parser.expect(b'[')?;
+        self.parser.descend()
+    }
+
+    /// Advance to the next element of the current array: `true` means a
+    /// value follows (read or skip it before calling again), `false` that
+    /// the closing `]` was consumed. `*first` works as in
+    /// [`JsonReader::next_key`].
+    pub fn next_element(&mut self, first: &mut bool) -> Result<bool, String> {
+        if std::mem::take(first) {
+            if self.parser.peek() == Some(b']') {
+                self.parser.pos += 1;
+                self.parser.depth -= 1;
+                return Ok(false);
+            }
+            return Ok(true);
+        }
+        match self.parser.peek() {
+            Some(b',') => {
+                self.parser.pos += 1;
+                Ok(true)
+            }
+            Some(b']') => {
+                self.parser.pos += 1;
+                self.parser.depth -= 1;
+                Ok(false)
+            }
+            _ => Err(self.parser.error("expected `,` or `]`")),
+        }
+    }
+
+    /// Read a number value.
+    pub fn f64_value(&mut self) -> Result<f64, String> {
+        self.parser.parse_number_f64()
+    }
+
+    /// Read a number value under the [`f64_as_u64`] interpretation
+    /// (non-negative, integral, ≤ 2^53).
+    pub fn u64_value(&mut self) -> Result<u64, String> {
+        let n = self.f64_value()?;
+        f64_as_u64(n).ok_or_else(|| self.parser.error("expected a non-negative integer"))
+    }
+
+    /// Read a string value, replacing the contents of `out`.
+    pub fn string_value(&mut self, out: &mut String) -> Result<(), String> {
+        out.clear();
+        self.parser.parse_string_into(out)
+    }
+
+    /// Syntactically validate and discard one value of any kind (unknown or
+    /// duplicate fields must still be well-formed JSON, exactly as under
+    /// [`Json::parse`]).
+    pub fn skip_value(&mut self) -> Result<(), String> {
+        self.parser.skip_value(&mut self.scratch)
+    }
+
+    /// Assert the document is complete: nothing but whitespace may remain,
+    /// mirroring [`Json::parse`]'s trailing-input rejection.
+    pub fn finish(mut self) -> Result<(), String> {
+        self.parser.skip_ws();
+        if self.parser.pos < self.parser.bytes.len() {
+            return Err(self.parser.error("trailing characters after document"));
+        }
+        Ok(())
     }
 }
 
@@ -577,6 +808,98 @@ mod tests {
             Json::parse(&rendered).unwrap(),
             Json::String(original.into())
         );
+    }
+
+    /// Drive a [`JsonReader`] over `text` decoding the `{"a": [numbers...],
+    /// "s": string}` shape, skipping everything else.
+    fn read_shape(text: &str) -> Result<(Vec<f64>, String), String> {
+        let mut reader = JsonReader::new(text);
+        let mut key = String::new();
+        let mut numbers = Vec::new();
+        let mut s = String::new();
+        reader.begin_object()?;
+        let mut first = true;
+        while reader.next_key(&mut first, &mut key)? {
+            match key.as_str() {
+                "a" => {
+                    reader.begin_array()?;
+                    let mut afirst = true;
+                    while reader.next_element(&mut afirst)? {
+                        numbers.push(reader.f64_value()?);
+                    }
+                }
+                "s" => reader.string_value(&mut s)?,
+                _ => reader.skip_value()?,
+            }
+        }
+        reader.finish()?;
+        Ok((numbers, s))
+    }
+
+    #[test]
+    fn streaming_reader_decodes_without_a_tree() {
+        let (numbers, s) = read_shape(
+            r#" { "skip\"me" : {"nested": [1, {"x": null}], "b": true},
+                 "a" : [ 1 , -2.5e1 , 3 ] , "s" : "héAllo" , "t": [] } "#,
+        )
+        .unwrap();
+        assert_eq!(numbers, vec![1.0, -25.0, 3.0]);
+        assert_eq!(s, "héAllo");
+        // Empty containers.
+        assert_eq!(
+            read_shape(r#"{"a":[],"s":""}"#).unwrap(),
+            (vec![], String::new())
+        );
+        assert_eq!(read_shape("{}").unwrap(), (vec![], String::new()));
+    }
+
+    #[test]
+    fn streaming_reader_is_as_strict_as_the_tree_parser() {
+        // Every document the reader accepts or rejects must agree with
+        // Json::parse: the serve fast path relies on "reader success implies
+        // tree success" to keep responses byte-identical.
+        for text in [
+            r#"{"a": [1, 2]}"#,
+            r#"{"a": [1 2]}"#,
+            r#"{"a": [1,]}"#,
+            r#"{"s": "open}"#,
+            r#"{"a": []} trailing"#,
+            r#"{"k": 1"#,
+            r#"{"k": nul}"#,
+            "{\"k\": 1}}",
+        ] {
+            assert_eq!(
+                read_shape(text).is_ok(),
+                Json::parse(text).is_ok(),
+                "strictness diverged on {text:?}"
+            );
+        }
+        // Shape mismatches are the one place the reader is *stricter* than
+        // the tree (it errors where a tree decoder would just see the wrong
+        // variant) — callers fall back to the tree path there, so stricter
+        // is safe; laxer would not be.
+        assert!(read_shape("[1]").is_err() && Json::parse("[1]").is_ok());
+        // The depth cap guards skip_value too: a bracket bomb inside a
+        // skipped field must error, not overflow the stack.
+        let bomb = format!(r#"{{"skip": {}}}"#, "[".repeat(100_000));
+        assert!(read_shape(&bomb).unwrap_err().contains("nesting"));
+    }
+
+    #[test]
+    fn u64_values_share_the_tree_interpretation() {
+        for (text, expected) in [
+            ("42", Some(42)),
+            ("42.0", Some(42)),
+            ("1.5", None),
+            ("-1", None),
+            ("1e300", None),
+        ] {
+            let mut reader = JsonReader::new(text);
+            let via_reader = reader.u64_value().ok();
+            let via_tree = Json::parse(text).ok().and_then(|v| v.as_u64());
+            assert_eq!(via_reader, via_tree, "diverged on {text}");
+            assert_eq!(via_reader, expected);
+        }
     }
 
     #[test]

@@ -462,6 +462,23 @@ impl FittedCurve {
     /// "discard the function types that produce functions that are not
     /// realistic for this approximation" rule, made concrete.
     pub fn is_realistic(&self, max_cores: u32, max_magnitude: f64) -> bool {
+        let mut discard = Vec::new();
+        self.is_realistic_captured(max_cores, max_magnitude, &mut discard)
+    }
+
+    /// [`FittedCurve::is_realistic`] that additionally records `eval(c)` for
+    /// every integer `c in 1..=max_cores` into `values` (`values[c - 1]`),
+    /// so the realism walk doubles as the construction of an integer-grid
+    /// evaluation table. When the curve is rejected, `values` is left
+    /// truncated at the offending core count and must be discarded.
+    pub fn is_realistic_captured(
+        &self,
+        max_cores: u32,
+        max_magnitude: f64,
+        values: &mut Vec<f64>,
+    ) -> bool {
+        values.clear();
+        values.reserve(max_cores as usize);
         for c in 1..=max_cores {
             let n = c as f64;
             if let Some(den) = self.kernel.denominator(&self.params, n) {
@@ -473,6 +490,7 @@ impl FittedCurve {
             if !v.is_finite() || v < 0.0 || v.abs() > max_magnitude {
                 return false;
             }
+            values.push(v);
         }
         // Also require the denominator not to change sign anywhere in the
         // range (a sign change implies a pole between integer core counts).

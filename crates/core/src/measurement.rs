@@ -125,6 +125,24 @@ impl Measurement {
     pub fn stalls_per_core(&self, sources: &[StallSource]) -> f64 {
         self.total_stalls(sources) / self.cores.max(1) as f64
     }
+
+    /// Bit-exact content equality: every field equal, with floats compared by
+    /// bit pattern (`-0.0 != 0.0`, `NaN == NaN` of the same bits). This is
+    /// the store's idempotence test — re-ingesting a measurement that is
+    /// `content_eq` to the stored one is a no-op (no version bump, no fit
+    /// invalidation), because every downstream computation is a deterministic
+    /// function of exactly these bits.
+    pub fn content_eq(&self, other: &Measurement) -> bool {
+        self.cores == other.cores
+            && self.exec_time.to_bits() == other.exec_time.to_bits()
+            && self.memory_footprint == other.memory_footprint
+            && self.stalls.len() == other.stalls.len()
+            && self
+                .stalls
+                .iter()
+                .zip(&other.stalls)
+                .all(|((c1, v1), (c2, v2))| c1 == c2 && v1.to_bits() == v2.to_bits())
+    }
 }
 
 /// The full set of measurements collected on the measurements machine.
@@ -184,6 +202,15 @@ impl MeasurementSet {
                 None
             }
         }
+    }
+
+    /// The measurement at exactly `cores`, or `None` when that core count
+    /// has not been measured (binary search; the set is sorted by cores).
+    pub fn at_cores(&self, cores: u32) -> Option<&Measurement> {
+        self.measurements
+            .binary_search_by_key(&cores, |m| m.cores)
+            .ok()
+            .map(|index| &self.measurements[index])
     }
 
     /// Builder-style [`MeasurementSet::push`].

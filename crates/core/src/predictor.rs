@@ -371,14 +371,32 @@ impl Estima {
         let mut best: Option<(&FittedCurve, f64)> = None;
         for candidate in candidates.iter() {
             let curve = &candidate.curve;
+            // The candidate grid captured `curve.eval` over the integer grid
+            // `1..=realism_horizon` while running the realism filter. When
+            // that table covers exactly this request (it always does on the
+            // predict path, where the horizon is stretched to the target and
+            // the factor series spans the measured cores), the realism check
+            // and the trial time series are table lookups instead of ~2x
+            // `target.cores` kernel evaluations per candidate. The fallback
+            // loops below are bit-identical by construction: the table holds
+            // the same deterministic `eval` results in the same fold order.
+            let evals = &candidate.evals;
+            let table = evals.horizon() == target.cores
+                && evals.tail_start() == measured_cores + 1
+                && stalls_per_core.len() == target.cores as usize;
             if factor_at_max_measured > 0.0 && measured_cores < target.cores {
-                let mut max_extrapolated = 0.0f64;
-                let mut min_extrapolated = f64::INFINITY;
-                for c in (measured_cores + 1)..=target.cores {
-                    let factor = curve.eval(c as f64);
-                    max_extrapolated = max_extrapolated.max(factor);
-                    min_extrapolated = min_extrapolated.min(factor);
-                }
+                let (max_extrapolated, min_extrapolated) = if table {
+                    (evals.tail_max(), evals.tail_min())
+                } else {
+                    let mut max_extrapolated = 0.0f64;
+                    let mut min_extrapolated = f64::INFINITY;
+                    for c in (measured_cores + 1)..=target.cores {
+                        let factor = curve.eval(c as f64);
+                        max_extrapolated = max_extrapolated.max(factor);
+                        min_extrapolated = min_extrapolated.min(factor);
+                    }
+                    (max_extrapolated, min_extrapolated)
+                };
                 if factor_trend_decreasing && max_extrapolated > factor_at_max_measured * 1.5 {
                     continue;
                 }
@@ -387,11 +405,20 @@ impl Estima {
                 }
             }
             trial_times.clear();
-            trial_times.extend(
-                stalls_per_core
-                    .iter()
-                    .map(|(c, spc)| spc * curve.eval(*c as f64)),
-            );
+            if table {
+                trial_times.extend(
+                    stalls_per_core
+                        .iter()
+                        .zip(evals.values())
+                        .map(|((_, spc), factor)| spc * factor),
+                );
+            } else {
+                trial_times.extend(
+                    stalls_per_core
+                        .iter()
+                        .map(|(c, spc)| spc * curve.eval(*c as f64)),
+                );
+            }
             if trial_times.iter().any(|t| !t.is_finite() || *t < 0.0) {
                 continue;
             }

@@ -25,13 +25,17 @@
 //!
 //! # Version semantics
 //!
-//! A series is created at version 1. Every content mutation — an ingested
-//! point (including a replace-on-duplicate), a merged set with at least one
-//! point — bumps the version by exactly 1. Reads never bump. The version
-//! therefore uniquely identifies series content *within one store*, which is
-//! what makes it safe as a fit-cache key component: a stale fit can never be
-//! served because its key names a version that no longer matches the
-//! snapshot being predicted.
+//! A series is created at version 1. Every content *change* — an ingested
+//! point that differs from what is stored at its core count, a merged set
+//! with at least one differing point — bumps the version by exactly 1.
+//! Reads never bump, and neither does re-ingesting bit-identical content
+//! ([`Measurement::content_eq`]): an ingest is **content-idempotent**, so a
+//! collector that re-pushes the run it already reported costs nothing — no
+//! version bump, no fit invalidation, and the next prediction is a pure
+//! cache hit. The version therefore uniquely identifies series content
+//! *within one store*, which is what makes it safe as a fit-cache key
+//! component: a stale fit can never be served because its key names a
+//! version that no longer matches the snapshot being predicted.
 //!
 //! # Quick example
 //!
@@ -243,20 +247,38 @@ impl MeasurementStore {
 
     /// Append one measurement to an existing series (create with
     /// [`MeasurementStore::ensure`] or [`MeasurementStore::ingest_set`]
-    /// first). A point at an already-measured core count replaces the old
-    /// one, per the [`MeasurementSet::push`] policy. Returns the new
+    /// first). A *differing* point at an already-measured core count
+    /// replaces the old one, per the [`MeasurementSet::push`] policy; a
+    /// point that is [`Measurement::content_eq`] to the stored one is a
+    /// no-op (same version, no copy-on-write clone). Returns the current
     /// version.
     pub fn ingest(&self, id: &SeriesId, measurement: Measurement) -> Result<u64> {
+        self.ingest_changed(id, measurement)
+            .map(|(version, _)| version)
+    }
+
+    /// [`MeasurementStore::ingest`] that also reports whether the series
+    /// content actually changed (i.e. whether the version was bumped), so
+    /// callers holding a fit cache know whether invalidation is needed.
+    pub fn ingest_changed(&self, id: &SeriesId, measurement: Measurement) -> Result<(u64, bool)> {
         let mut series = self.series.write().unwrap();
         let record = series
             .get_mut(id)
             .ok_or_else(|| EstimaError::SeriesNotFound {
                 series: id.to_string(),
             })?;
-        Arc::make_mut(&mut record.set).push(measurement);
-        record.version += 1;
-        self.ingests.fetch_add(1, Ordering::Relaxed);
-        Ok(record.version)
+        // Idempotence check against the stored point *before* make_mut, so a
+        // redundant re-push never clones the copy-on-write set either.
+        let changed = match record.set.at_cores(measurement.cores) {
+            Some(existing) => !existing.content_eq(&measurement),
+            None => true,
+        };
+        if changed {
+            Arc::make_mut(&mut record.set).push(measurement);
+            record.version += 1;
+            self.ingests.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok((record.version, changed))
     }
 
     /// Merge a whole measurement set into `id`, creating the series when
@@ -268,11 +290,25 @@ impl MeasurementStore {
     /// the id (an incoming `app_name` is not kept). On an existing series the
     /// frequencies must match ([`EstimaError::SeriesConflict`] otherwise) and
     /// the incoming points are pushed in order — one version bump for the
-    /// whole merge, none if `set` is empty. The frequency check, the
+    /// whole merge, none if `set` is empty or every incoming point is
+    /// [`Measurement::content_eq`] to the stored one at its core count (a
+    /// fully redundant merge is a read). The frequency check, the
     /// create-if-absent, and the merge all happen under one lock
     /// acquisition, so a concurrent evict-and-recreate can never slip
     /// between the conflict check and the merge.
     pub fn ingest_set(&self, id: &SeriesId, set: &MeasurementSet) -> Result<SeriesSnapshot> {
+        self.ingest_set_changed(id, set)
+            .map(|(snapshot, _)| snapshot)
+    }
+
+    /// [`MeasurementStore::ingest_set`] that also reports whether the series
+    /// content actually changed, so callers holding a fit cache know whether
+    /// invalidation is needed.
+    pub fn ingest_set_changed(
+        &self,
+        id: &SeriesId,
+        set: &MeasurementSet,
+    ) -> Result<(SeriesSnapshot, bool)> {
         let frequency_ghz = set.frequency_ghz;
         if !frequency_ghz.is_finite() || frequency_ghz <= 0.0 {
             return Err(EstimaError::InvalidConfig(format!(
@@ -302,7 +338,15 @@ impl MeasurementStore {
                 })
             }
         };
-        if !set.is_empty() {
+        // A merge where every incoming point is bit-identical to the stored
+        // one is a read: no version bump, no copy-on-write clone.
+        let changed = set.measurements().iter().any(|measurement| {
+            match record.set.at_cores(measurement.cores) {
+                Some(existing) => !existing.content_eq(measurement),
+                None => true,
+            }
+        });
+        if changed {
             let stored = Arc::make_mut(&mut record.set);
             for measurement in set.measurements() {
                 stored.push(measurement.clone());
@@ -310,11 +354,14 @@ impl MeasurementStore {
             record.version += 1;
             self.ingests.fetch_add(1, Ordering::Relaxed);
         }
-        Ok(SeriesSnapshot {
-            id: id.clone(),
-            version: record.version,
-            set: Arc::clone(&record.set),
-        })
+        Ok((
+            SeriesSnapshot {
+                id: id.clone(),
+                version: record.version,
+                set: Arc::clone(&record.set),
+            },
+            changed,
+        ))
     }
 
     /// A consistent snapshot of one series, or `None` when it does not
@@ -446,21 +493,29 @@ impl EstimaSession {
         self.store.ensure(id, frequency_ghz)
     }
 
-    /// Append one measurement to a series and invalidate its cached fits.
-    /// Returns the new version; the next [`EstimaSession::predict`] of this
-    /// series refits, every other series' cached fits are untouched.
+    /// Append one measurement to a series and invalidate its cached fits —
+    /// but only when the content actually changed: re-ingesting a point that
+    /// is [`Measurement::content_eq`] to the stored one leaves the version
+    /// and the cache alone, so the next predict is still a pure hit.
+    /// Returns the current version; on a change, the next
+    /// [`EstimaSession::predict`] of this series refits, every other series'
+    /// cached fits are untouched.
     pub fn ingest(&self, id: &SeriesId, measurement: Measurement) -> Result<u64> {
-        let version = self.store.ingest(id, measurement)?;
-        self.cache.invalidate_series(id.as_str());
+        let (version, changed) = self.store.ingest_changed(id, measurement)?;
+        if changed {
+            self.cache.invalidate_series(id.as_str());
+        }
         Ok(version)
     }
 
     /// Merge a whole measurement set into a series (creating it when
     /// absent) and invalidate its cached fits when the content changed; see
-    /// [`MeasurementStore::ingest_set`]. Returns the post-merge snapshot.
+    /// [`MeasurementStore::ingest_set`]. A fully redundant merge (every
+    /// point bit-identical to the stored one) invalidates nothing. Returns
+    /// the post-merge snapshot.
     pub fn ingest_set(&self, id: &SeriesId, set: &MeasurementSet) -> Result<SeriesSnapshot> {
-        let snapshot = self.store.ingest_set(id, set)?;
-        if !set.is_empty() {
+        let (snapshot, changed) = self.store.ingest_set_changed(id, set)?;
+        if changed {
             self.cache.invalidate_series(id.as_str());
         }
         Ok(snapshot)
@@ -586,13 +641,50 @@ mod tests {
         store.ensure(&app, 2.1).unwrap();
         assert_eq!(store.ingest(&app, point(1)).unwrap(), 2);
         assert_eq!(store.ingest(&app, point(2)).unwrap(), 3);
-        // Replacing an existing core count is still a content mutation.
-        assert_eq!(store.ingest(&app, point(2)).unwrap(), 4);
+        // Re-pushing a bit-identical point is content-idempotent: no bump.
+        assert_eq!(store.ingest(&app, point(2)).unwrap(), 3);
+        // Replacing with *different* content at the same core count bumps.
+        let mut hotter = point(2);
+        hotter.exec_time *= 1.5;
+        assert_eq!(store.ingest(&app, hotter).unwrap(), 4);
         let snapshot = store.snapshot(&app).unwrap();
         assert_eq!(snapshot.version, 4);
         assert_eq!(snapshot.set.core_counts(), vec![1, 2]);
         assert_eq!(store.total_points(), 2);
         assert_eq!(store.ingests(), 4);
+    }
+
+    #[test]
+    fn redundant_ingests_do_not_invalidate_cached_fits() {
+        let session = EstimaSession::new(EstimaConfig::default().with_parallelism(1));
+        let app = id("app");
+        session.ensure(&app, 2.1).unwrap();
+        for cores in 1..=10 {
+            session.ingest(&app, point(cores)).unwrap();
+        }
+        let target = TargetSpec::cores(40);
+        session.predict(&app, &target).unwrap();
+        let misses_cold = session.cache().stats().1;
+        let version = session.snapshot(&app).unwrap().version;
+
+        // Re-push every point bit-identically: same version, cache intact,
+        // and the follow-up predict is answered entirely from the cache.
+        for cores in 1..=10 {
+            assert_eq!(session.ingest(&app, point(cores)).unwrap(), version);
+        }
+        assert_eq!(session.cache().invalidations(), 0);
+        session.predict(&app, &target).unwrap();
+        assert_eq!(
+            session.cache().stats().1,
+            misses_cold,
+            "a redundant re-ingest forced a refit"
+        );
+
+        // A redundant whole-set merge is just as idempotent.
+        let snapshot = session.snapshot(&app).unwrap();
+        let merged = session.ingest_set(&app, &snapshot.set).unwrap();
+        assert_eq!(merged.version, version);
+        assert_eq!(session.cache().invalidations(), 0);
     }
 
     #[test]

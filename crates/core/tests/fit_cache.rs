@@ -100,6 +100,67 @@ fn same_key_lands_on_same_shard_deterministically() {
     assert_eq!(cache_a.stats(), cache_b.stats());
 }
 
+/// A scoped key for `series` at `version`, distinguished by `tag`.
+fn scoped_key(series: &str, version: u64, tag: u64) -> FitKey {
+    let xs = [1.0, 2.0, 3.0, tag as f64 + 10.0];
+    let ys = [1.0, 4.0, 9.0, (tag as f64).powi(2)];
+    FitKey::scoped(&xs, &ys, &FitOptions::default(), series, version)
+}
+
+#[test]
+fn invalidate_series_never_touches_unrelated_entries() {
+    // One shard so every series shares one map: a scan-based invalidation
+    // would walk (and a buggy one could disturb) the unrelated entries.
+    let cache = FitCache::with_shards_and_capacity(1, 64);
+    let computes = AtomicUsize::new(0);
+
+    // Three populations: series "a" (3 entries, across two versions),
+    // series "b" (2 entries), and unscoped keys (2 entries).
+    for tag in 0..2 {
+        touch(&cache, scoped_key("a", 1, tag), &computes);
+    }
+    touch(&cache, scoped_key("a", 2, 0), &computes);
+    for tag in 0..2 {
+        touch(&cache, scoped_key("b", 1, tag), &computes);
+    }
+    for tag in 0..2 {
+        touch(&cache, key(tag), &computes);
+    }
+    assert_eq!(computes.load(Ordering::Relaxed), 7);
+    assert_eq!(cache.len(), 7);
+
+    // Invalidating "a" removes exactly its three entries, nothing else.
+    assert_eq!(cache.invalidate_series("a"), 3);
+    assert_eq!(cache.invalidations(), 3);
+    assert_eq!(cache.len(), 4);
+
+    // Every unrelated entry is still resident: re-looking them up hits the
+    // cache without recomputing.
+    for tag in 0..2 {
+        touch(&cache, scoped_key("b", 1, tag), &computes);
+        touch(&cache, key(tag), &computes);
+    }
+    assert_eq!(
+        computes.load(Ordering::Relaxed),
+        7,
+        "invalidate_series(\"a\") disturbed entries it does not own"
+    );
+
+    // The "a" entries really are gone — both versions recompute...
+    for tag in 0..2 {
+        touch(&cache, scoped_key("a", 1, tag), &computes);
+    }
+    touch(&cache, scoped_key("a", 2, 0), &computes);
+    assert_eq!(computes.load(Ordering::Relaxed), 10);
+
+    // ...and a second invalidation finds the reinserted entries again (the
+    // series index is rebuilt on insert, not consumed once).
+    assert_eq!(cache.invalidate_series("a"), 3);
+    assert_eq!(cache.invalidate_series("a"), 0, "index left stale keys");
+    assert_eq!(cache.invalidate_series("missing"), 0);
+    assert_eq!(cache.invalidations(), 6);
+}
+
 fn demo_set(name: &str) -> MeasurementSet {
     let mut set = MeasurementSet::new(name, 2.1);
     for cores in 1..=10u32 {

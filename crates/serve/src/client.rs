@@ -20,7 +20,7 @@ use std::net::{SocketAddr, TcpStream};
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
-    /// Reused request-head scratch.
+    /// Reused request scratch (head + body, shipped as one write).
     head: String,
     /// Reused response status/header line scratch.
     line: String,
@@ -46,12 +46,11 @@ impl Client {
     /// Open a connection to the server.
     pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
-        // Request head + body go out as separate small writes; disable
-        // Nagle so the tail write is not delayed behind the peer's ACK.
+        // Each request goes out as one write, but disable Nagle anyway so a
+        // kernel-split segment's tail is never delayed behind the peer's ACK.
         stream.set_nodelay(true)?;
-        // A server whose fixed worker pool never services this connection
-        // (accepted into the kernel backlog, all workers busy) must fail a
-        // request cleanly instead of blocking forever.
+        // A wedged server must fail a request cleanly instead of blocking
+        // the client forever.
         stream.set_read_timeout(Some(std::time::Duration::from_secs(30)))?;
         Ok(Client {
             reader: BufReader::new(stream.try_clone()?),
@@ -98,18 +97,19 @@ impl Client {
         path: &str,
         body: &str,
     ) -> std::io::Result<(u16, &str)> {
+        // Head and body are staged into one reused buffer and shipped as a
+        // single write: one syscall per request, and the server's reactor
+        // sees the whole request in one readiness cycle.
         self.head.clear();
         write!(
             self.head,
             "{method} {path} HTTP/1.1\r\nhost: loopback\r\ncontent-type: application/json\r\n\
-             content-length: {}\r\n\r\n",
+             content-length: {}\r\n\r\n{body}",
             body.len()
         )
         .expect("writing to a String cannot fail");
         self.writer.write_all(self.head.as_bytes())?;
-        self.writer.write_all(body.as_bytes())?;
-        self.writer.flush()?;
-        self.sent += (self.head.len() + body.len()) as u64;
+        self.sent += self.head.len() as u64;
 
         let bad = |detail: String| std::io::Error::new(std::io::ErrorKind::InvalidData, detail);
         self.line.clear();

@@ -6,7 +6,7 @@
 //! need those sit behind a reverse proxy, which is how this service is meant
 //! to be deployed anyway (see DESIGN.md § *Serving layer*).
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufReader, Read, Write};
 use std::net::TcpStream;
 
 /// Largest accepted header block (request line + headers), in bytes.
@@ -38,8 +38,10 @@ pub struct Request {
     /// True when the client asked to close the connection after this
     /// exchange (`Connection: close`).
     pub close: bool,
-    /// Line scratch for the request-line/header reads.
-    line: Vec<u8>,
+    /// Accumulation buffer of the blocking [`read_request_into`] wrapper:
+    /// raw wire bytes not yet consumed by a parsed request. Bytes past a
+    /// completed request (pipelining) stay here for the next call.
+    acc: Vec<u8>,
 }
 
 impl Request {
@@ -112,105 +114,90 @@ fn is_timeout(e: &std::io::Error) -> bool {
     )
 }
 
-/// Read one `\n`-terminated line as raw bytes, with a byte cap and
-/// poll-timeout tolerance.
-///
-/// Reads via `read_until` into a byte buffer — **not** `read_line` into a
-/// `String`, which on any error discards bytes it already consumed from
-/// the socket when they end mid-way through a multi-byte UTF-8 character
-/// (a poll timeout splitting a non-ASCII header would silently corrupt the
-/// request). At most `limit` bytes are appended (counted across retries);
-/// a line that reaches the cap without a newline is `Malformed`, so a
-/// newline-less byte stream cannot grow memory without bound. A poll
-/// timeout with nothing read *and* no deadline started yet reports `Idle`
-/// (the connection is between requests); otherwise the read retries until
-/// `deadline` — set from [`REQUEST_READ_TIMEOUT`] at the first sign of an
-/// in-flight request — and then fails, so a stalled client can never wedge
-/// a worker. Returns the bytes appended (0 = immediate EOF).
-fn read_line_capped(
-    reader: &mut BufReader<TcpStream>,
-    buf: &mut Vec<u8>,
-    limit: usize,
-    deadline: &mut Option<std::time::Instant>,
-) -> Result<usize, ReadError> {
-    let start_len = buf.len();
-    loop {
-        let consumed = buf.len() - start_len;
-        if consumed >= limit {
-            return Err(ReadError::Malformed("line too large".into()));
-        }
-        match (&mut *reader)
-            .take((limit - consumed) as u64)
-            .read_until(b'\n', buf)
-        {
-            Ok(0) => return Ok(buf.len() - start_len), // EOF (maybe mid-line)
-            Ok(_) => {
-                if buf.ends_with(b"\n") {
-                    return Ok(buf.len() - start_len);
-                }
-                // Hit the cap without a newline; next iteration rejects.
-            }
-            Err(e) if is_timeout(&e) => {
-                if buf.len() == start_len && deadline.is_none() {
-                    return Err(ReadError::Idle);
-                }
-                let by = *deadline
-                    .get_or_insert_with(|| std::time::Instant::now() + REQUEST_READ_TIMEOUT);
-                if std::time::Instant::now() >= by {
-                    return Err(ReadError::Malformed("request read timed out".into()));
-                }
-            }
-            Err(e) => return Err(e.into()),
+/// Outcome of a [`parse_request`] attempt over a byte buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseStatus {
+    /// A complete request was decoded into the `Request`. The first
+    /// `consumed` bytes of the buffer belong to it; any remainder is the
+    /// start of the next pipelined request.
+    Complete {
+        /// Wire bytes of this request (request line + headers + body).
+        consumed: usize,
+    },
+    /// The buffer ends mid-request. Read more bytes, append, and call
+    /// [`parse_request`] again with the grown buffer.
+    Partial,
+}
+
+/// Why [`parse_request`] rejected a buffer. A strict subset of
+/// [`ReadError`]: the pure parser has no transport, so it can neither time
+/// out nor hit I/O errors.
+#[derive(Debug)]
+pub enum ParseError {
+    /// The bytes cannot be a valid request (bad request line, bad header,
+    /// header block over [`MAX_HEADER_BYTES`], bad `Content-Length`,
+    /// unsupported transfer encoding). Answer 400 and close.
+    Malformed(String),
+    /// The declared body exceeds [`MAX_BODY_BYTES`]. Answer 413 and close.
+    BodyTooLarge(usize),
+}
+
+impl From<ParseError> for ReadError {
+    fn from(e: ParseError) -> Self {
+        match e {
+            ParseError::Malformed(detail) => ReadError::Malformed(detail),
+            ParseError::BodyTooLarge(len) => ReadError::BodyTooLarge(len),
         }
     }
+}
+
+/// Byte offset just past the next `\n` at or after `pos`, if any.
+fn next_line(buf: &[u8], pos: usize) -> Option<usize> {
+    buf[pos..]
+        .iter()
+        .position(|&b| b == b'\n')
+        .map(|i| pos + i + 1)
 }
 
 /// Decode one header/request line as UTF-8, or fail `Malformed`.
-fn line_as_str(buf: &[u8]) -> Result<&str, ReadError> {
-    std::str::from_utf8(buf).map_err(|_| ReadError::Malformed("line is not valid UTF-8".into()))
+fn line_as_str(buf: &[u8]) -> Result<&str, ParseError> {
+    std::str::from_utf8(buf).map_err(|_| ParseError::Malformed("line is not valid UTF-8".into()))
 }
 
-/// Read one request from a buffered stream. Blocks until a full request (or
-/// EOF / error) arrives. Allocating convenience wrapper over
-/// [`read_request_into`].
-pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadError> {
-    let mut request = Request::new();
-    read_request_into(reader, &mut request)?;
-    Ok(request)
-}
-
-/// Read one request from a buffered stream into a reusable [`Request`],
-/// returning the number of wire bytes consumed (request line + headers +
-/// body). Blocks until a full request (or EOF / error) arrives. After the
-/// first request warms the buffers, refills allocate nothing on the
-/// keep-alive path (pinned by `tests/serve_alloc.rs`).
-pub fn read_request_into(
-    reader: &mut BufReader<TcpStream>,
-    request: &mut Request,
-) -> Result<usize, ReadError> {
+/// Parse one request from the front of `buf` into a reusable [`Request`].
+///
+/// This is the resumable core shared by the blocking wrapper
+/// ([`read_request_into`]) and the event-driven reactor: it never blocks
+/// and holds no transport state, so a connection that delivers a request
+/// over many partial reads just re-runs it on the accumulated buffer until
+/// it reports [`ParseStatus::Complete`]. Re-parsing from the start keeps
+/// the parser stateless; header blocks are tiny, and the body — the bulk of
+/// a large request — is only copied once, on completion.
+///
+/// On `Partial` or an error the contents of `request` are unspecified;
+/// on `Complete` the request is fully populated and, once its buffers are
+/// warm, was refilled without allocating (pinned by
+/// `tests/serve_alloc.rs`).
+pub fn parse_request(buf: &[u8], request: &mut Request) -> Result<ParseStatus, ParseError> {
     request.clear();
-    let mut header_bytes = 0;
-    let mut deadline: Option<std::time::Instant> = None;
 
-    // Request line. EOF before any byte means a clean keep-alive close; a
-    // read timeout before any byte means the connection is merely idle.
-    request.line.clear();
-    let n = read_line_capped(reader, &mut request.line, MAX_HEADER_BYTES, &mut deadline)?;
-    if n == 0 {
-        return Err(ReadError::Closed);
-    }
-    // The request is in flight: every further read races the deadline.
-    deadline.get_or_insert_with(|| std::time::Instant::now() + REQUEST_READ_TIMEOUT);
-    header_bytes += request.line.len();
+    // Request line.
+    let Some(mut pos) = next_line(buf, 0) else {
+        return if buf.len() >= MAX_HEADER_BYTES {
+            Err(ParseError::Malformed("header block too large".into()))
+        } else {
+            Ok(ParseStatus::Partial)
+        };
+    };
     {
-        let line = line_as_str(&request.line)?;
+        let line = line_as_str(&buf[..pos])?;
         let mut parts = line.split_whitespace();
         let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
             (Some(m), Some(p), Some(v)) => (m, p, v),
-            _ => return Err(ReadError::Malformed(format!("bad request line: {line:?}"))),
+            _ => return Err(ParseError::Malformed(format!("bad request line: {line:?}"))),
         };
         if !version.starts_with("HTTP/1.") {
-            return Err(ReadError::Malformed(format!("unsupported {version}")));
+            return Err(ParseError::Malformed(format!("unsupported {version}")));
         }
         request.method.push_str(method);
         request.path.push_str(path);
@@ -218,23 +205,24 @@ pub fn read_request_into(
 
     // Headers until the blank line, refilling the reusable slots in place.
     loop {
-        request.line.clear();
-        let remaining = MAX_HEADER_BYTES.saturating_sub(header_bytes).max(1);
-        let n = read_line_capped(reader, &mut request.line, remaining, &mut deadline)?;
-        if n == 0 {
-            return Err(ReadError::Malformed("eof inside headers".into()));
+        if pos >= MAX_HEADER_BYTES {
+            return Err(ParseError::Malformed("header block too large".into()));
         }
-        header_bytes += n;
-        if header_bytes > MAX_HEADER_BYTES {
-            return Err(ReadError::Malformed("header block too large".into()));
-        }
-        let line = line_as_str(&request.line)?;
+        let Some(end) = next_line(buf, pos) else {
+            return if buf.len() >= MAX_HEADER_BYTES {
+                Err(ParseError::Malformed("header block too large".into()))
+            } else {
+                Ok(ParseStatus::Partial)
+            };
+        };
+        let line = line_as_str(&buf[pos..end])?;
+        pos = end;
         let trimmed = line.trim_end_matches(['\r', '\n']);
         if trimmed.is_empty() {
             break;
         }
         let Some((name, value)) = trimmed.split_once(':') else {
-            return Err(ReadError::Malformed(format!("bad header: {trimmed:?}")));
+            return Err(ParseError::Malformed(format!("bad header: {trimmed:?}")));
         };
         if request.header_count == request.headers.len() {
             request.headers.push((String::new(), String::new()));
@@ -258,44 +246,100 @@ pub fn read_request_into(
     // would leave the chunk frames unread on the connection, to be parsed
     // as the next request line — a silent keep-alive desync.
     if request.header("transfer-encoding").is_some() {
-        return Err(ReadError::Malformed(
+        return Err(ParseError::Malformed(
             "transfer-encoding is not supported; send a content-length body".into(),
         ));
     }
 
     // Body, when a Content-Length was declared.
-    let content_length = match request.header("content-length") {
-        Some(raw) => Some(
-            raw.parse::<usize>()
-                .map_err(|_| ReadError::Malformed(format!("bad content-length: {raw:?}")))?,
-        ),
-        None => None,
+    let body_len = match request.header("content-length") {
+        Some(raw) => raw
+            .parse::<usize>()
+            .map_err(|_| ParseError::Malformed(format!("bad content-length: {raw:?}")))?,
+        None => 0,
     };
-    if let Some(len) = content_length {
-        if len > MAX_BODY_BYTES {
-            return Err(ReadError::BodyTooLarge(len));
-        }
-        request.body.resize(len, 0);
-        // Fill manually rather than `read_exact`: a poll timeout mid-body
-        // must not lose the bytes already read (read_exact leaves the
-        // buffer unspecified on error), only exceed the request deadline.
-        let by = deadline.unwrap_or_else(|| std::time::Instant::now() + REQUEST_READ_TIMEOUT);
-        let mut filled = 0;
-        while filled < len {
-            match reader.read(&mut request.body[filled..]) {
-                Ok(0) => return Err(ReadError::Malformed("eof inside body".into())),
-                Ok(n) => filled += n,
-                Err(e) if is_timeout(&e) => {
-                    if std::time::Instant::now() >= by {
-                        return Err(ReadError::Malformed("request read timed out".into()));
-                    }
+    if body_len > MAX_BODY_BYTES {
+        return Err(ParseError::BodyTooLarge(body_len));
+    }
+    let Some(body) = buf.get(pos..pos + body_len) else {
+        return Ok(ParseStatus::Partial);
+    };
+    request.body.extend_from_slice(body);
+    Ok(ParseStatus::Complete {
+        consumed: pos + body_len,
+    })
+}
+
+/// Read one request from a buffered stream. Blocks until a full request (or
+/// EOF / error) arrives. Allocating convenience wrapper over
+/// [`read_request_into`].
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadError> {
+    let mut request = Request::new();
+    read_request_into(reader, &mut request)?;
+    Ok(request)
+}
+
+/// Read one request from a buffered stream into a reusable [`Request`],
+/// returning the number of wire bytes consumed (request line + headers +
+/// body). Blocks until a full request (or EOF / error) arrives.
+///
+/// A thin transport loop over [`parse_request`]: bytes accumulate in the
+/// request's internal buffer (where pipelined follow-up requests survive
+/// between calls), and each new chunk retries the parse. A poll timeout
+/// with nothing accumulated and no deadline started reports `Idle` (the
+/// connection is between requests); otherwise reads retry until a deadline
+/// set from [`REQUEST_READ_TIMEOUT`] at the first sign of an in-flight
+/// request, so a stalled client can never wedge a worker. After the first
+/// request warms the buffers, refills allocate nothing on the keep-alive
+/// path (pinned by `tests/serve_alloc.rs`).
+pub fn read_request_into(
+    reader: &mut BufReader<TcpStream>,
+    request: &mut Request,
+) -> Result<usize, ReadError> {
+    let mut deadline: Option<std::time::Instant> = None;
+    loop {
+        // Parse what has already accumulated first: a fully buffered
+        // pipelined request completes without touching the socket.
+        if !request.acc.is_empty() {
+            let acc = std::mem::take(&mut request.acc);
+            let outcome = parse_request(&acc, request);
+            request.acc = acc;
+            match outcome? {
+                ParseStatus::Complete { consumed } => {
+                    request.acc.drain(..consumed);
+                    return Ok(consumed);
                 }
-                Err(e) => return Err(e.into()),
+                ParseStatus::Partial => {
+                    // In flight: every further read races the deadline.
+                    deadline
+                        .get_or_insert_with(|| std::time::Instant::now() + REQUEST_READ_TIMEOUT);
+                }
             }
         }
+        let mut chunk = [0u8; 8192];
+        match reader.read(&mut chunk) {
+            Ok(0) => {
+                // EOF before any byte is a clean keep-alive close.
+                return Err(if request.acc.is_empty() {
+                    ReadError::Closed
+                } else {
+                    ReadError::Malformed("eof inside request".into())
+                });
+            }
+            Ok(n) => request.acc.extend_from_slice(&chunk[..n]),
+            Err(e) if is_timeout(&e) => {
+                if request.acc.is_empty() && deadline.is_none() {
+                    return Err(ReadError::Idle);
+                }
+                let by = *deadline
+                    .get_or_insert_with(|| std::time::Instant::now() + REQUEST_READ_TIMEOUT);
+                if std::time::Instant::now() >= by {
+                    return Err(ReadError::Malformed("request read timed out".into()));
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
     }
-
-    Ok(header_bytes + request.body.len())
 }
 
 /// One HTTP response being assembled, designed for reuse: a handler sets
@@ -346,30 +390,48 @@ impl ResponseBuf {
         self.body.clear();
     }
 
-    /// Write the response, with keep-alive unless `close` is set. Returns
-    /// the total wire bytes written (head + body).
-    pub fn write_to(&mut self, stream: &mut TcpStream, close: bool) -> std::io::Result<usize> {
+    /// Rebuild the head scratch for a response of the current status/body.
+    /// Writing into a `Vec` is infallible, so this cannot fail.
+    fn build_head(&mut self, close: bool) {
         self.head.clear();
-        write!(
+        let _ = write!(
             self.head,
             "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n",
             self.status,
             reason(self.status),
             self.content_type,
             self.body.len(),
-        )?;
+        );
         if let Some(methods) = self.allow {
-            write!(self.head, "allow: {methods}\r\n")?;
+            let _ = write!(self.head, "allow: {methods}\r\n");
         }
-        write!(
+        let _ = write!(
             self.head,
             "connection: {}\r\n\r\n",
             if close { "close" } else { "keep-alive" }
-        )?;
+        );
+    }
+
+    /// Write the response, with keep-alive unless `close` is set. Returns
+    /// the total wire bytes written (head + body).
+    pub fn write_to(&mut self, stream: &mut TcpStream, close: bool) -> std::io::Result<usize> {
+        self.build_head(close);
         stream.write_all(&self.head)?;
         stream.write_all(self.body.as_bytes())?;
         stream.flush()?;
         Ok(self.head.len() + self.body.len())
+    }
+
+    /// Append the full wire image of the response (head then body) to
+    /// `out`, returning the bytes appended — byte-identical to what
+    /// [`ResponseBuf::write_to`] sends, but into one buffer so the caller
+    /// can hand the whole response to a single non-blocking write and
+    /// resume from any partial-write offset without copying.
+    pub fn render_into(&mut self, out: &mut Vec<u8>, close: bool) -> usize {
+        self.build_head(close);
+        out.extend_from_slice(&self.head);
+        out.extend_from_slice(self.body.as_bytes());
+        self.head.len() + self.body.len()
     }
 }
 

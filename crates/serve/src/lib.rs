@@ -6,14 +6,15 @@
 //! [`Prediction`](estima_core::Prediction) back — byte-identical to calling
 //! [`BatchPredictor`](estima_core::BatchPredictor) in-process.
 //!
-//! Built entirely on `std::net` (no async runtime, no HTTP crate): a fixed
-//! worker-thread accept pool ([`server`]) shares a sharded
-//! [`FitCache`](estima_core::FitCache), so repeated or concurrent requests
-//! for the same series are fitted once and served from cache. The wire
-//! format ([`wire`]) rides on the shared [`estima_core::json`] machinery
-//! with exact `f64` round-tripping.
+//! Built entirely on `std::net` (no async runtime, no HTTP crate): an
+//! event-driven epoll reactor ([`server`], over the raw syscall bindings in
+//! the private `sys` module) multiplexes non-blocking connections across a small set of
+//! reactor threads sharing a sharded [`FitCache`](estima_core::FitCache),
+//! so repeated or concurrent requests for the same series are fitted once
+//! and served from cache. The wire format ([`wire`]) rides on the shared
+//! [`estima_core::json`] machinery with exact `f64` round-tripping.
 //!
-//! The service is stateful: every worker routes through one shared
+//! The service is stateful: every reactor routes through one shared
 //! [`EstimaSession`](estima_core::EstimaSession), so measurements can be
 //! ingested incrementally into named, versioned series
 //! (`POST /v1/measurements`) and predictions queried against them
@@ -44,6 +45,7 @@ pub mod client;
 pub mod http;
 pub mod server;
 pub mod stats;
+pub(crate) mod sys;
 pub mod wire;
 
 pub use client::{Client, ClientResponse};

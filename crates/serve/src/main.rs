@@ -2,8 +2,8 @@
 //! line.
 //!
 //! ```text
-//! estima-serve [--addr 127.0.0.1:7117] [--workers N] [--parallelism N]
-//!              [--cache-capacity N]
+//! estima-serve [--addr 127.0.0.1:7117] [--reactor-threads N] [--backlog N]
+//!              [--parallelism N] [--cache-capacity N]
 //! ```
 //!
 //! Binds, prints the listening address, and serves until killed. See
@@ -14,13 +14,16 @@ use estima_serve::{Server, ServerConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: estima-serve [--addr HOST:PORT] [--workers N] [--parallelism N] \
-         [--cache-capacity N]\n\
+        "usage: estima-serve [--addr HOST:PORT] [--reactor-threads N] [--backlog N] \
+         [--parallelism N] [--cache-capacity N]\n\
          \n\
-         --addr            bind address (default 127.0.0.1:7117; port 0 = auto)\n\
-         --workers         accept-pool threads, 0 = one per CPU (default 4)\n\
-         --parallelism     per-prediction engine workers (default 1)\n\
-         --cache-capacity  fit-cache size in cached series (default 4096)"
+         --addr             bind address (default 127.0.0.1:7117; port 0 = auto)\n\
+         --reactor-threads  epoll reactor threads, 0 = one per CPU (default 0);\n\
+         \u{20}                  not a connection limit — each reactor multiplexes\n\
+         \u{20}                  any number of connections\n\
+         --backlog          listen backlog depth (default 1024)\n\
+         --parallelism      per-prediction engine workers (default 1)\n\
+         --cache-capacity   fit-cache size in cached series (default 4096)"
     );
     std::process::exit(2);
 }
@@ -37,8 +40,12 @@ fn main() {
         };
         match flag.as_str() {
             "--addr" => config.addr = value("--addr"),
-            "--workers" => match value("--workers").parse() {
-                Ok(n) => config.workers = n,
+            "--reactor-threads" => match value("--reactor-threads").parse() {
+                Ok(n) => config.reactor_threads = n,
+                Err(_) => usage(),
+            },
+            "--backlog" => match value("--backlog").parse() {
+                Ok(n) => config.backlog = n,
                 Err(_) => usage(),
             },
             "--parallelism" => match value("--parallelism").parse() {

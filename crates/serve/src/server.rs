@@ -1,18 +1,32 @@
-//! The HTTP server: a fixed worker-thread accept pool over
-//! `std::net::TcpListener`, routing to the prediction pipeline.
+//! The HTTP server: an event-driven epoll reactor over non-blocking
+//! `std::net` sockets, routing to the prediction pipeline.
 //!
-//! Each worker owns its accepted connection end-to-end (parse → predict →
-//! respond, keep-alive until the client closes), so the pool size is the
-//! concurrent-connection limit — there is no per-connection thread spawn and
-//! no async runtime. All workers share one application state: a
-//! [`BatchPredictor`] whose [`EstimaSession`] holds the measurement store
-//! (the `/v1/series` endpoints) and the sharded [`FitCache`] (concurrent
-//! requests for different series take different shard locks), plus the
-//! lock-free [`ServerStats`]. See DESIGN.md § *Serving layer* for the
-//! architecture diagram and wire contract.
+//! N reactor threads each own a private epoll instance. The shared
+//! listener is registered in every instance (`EPOLLEXCLUSIVE`, so an
+//! incoming connection wakes one reactor, not all); each accepted
+//! connection then lives on the reactor that accepted it, registered once
+//! edge-triggered for read *and* write. A per-connection state machine
+//! (*Reading → Dispatching → Writing → KeepAlive*) drives the reusable
+//! request/response buffers: partial reads accumulate and re-run the
+//! resumable [`parse_request`]; complete requests dispatch synchronously on
+//! the reactor thread; responses render into one output buffer that
+//! resumes from any partial-write offset. The steady-state cost of a
+//! keep-alive request is one `read`, one `write`, and zero heap
+//! allocations (pinned by `tests/serve_alloc.rs`).
+//!
+//! Shutdown is an `eventfd` doorbell registered level-triggered in every
+//! epoll set and never drained: one signal makes every `epoll_wait` return
+//! immediately, so [`ServerHandle::shutdown`] completes in milliseconds
+//! with no idle polling anywhere. All reactors share one application
+//! state: a [`BatchPredictor`] whose [`EstimaSession`] holds the
+//! measurement store (the `/v1/series` endpoints) and the sharded
+//! [`FitCache`] (concurrent requests for different series take different
+//! shard locks), plus the lock-free [`ServerStats`]. See DESIGN.md
+//! § *Serving layer* for the architecture diagram and wire contract.
 
-use std::io::BufReader;
+use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -21,8 +35,11 @@ use estima_core::json::Json;
 use estima_core::store::EstimaSession;
 use estima_core::{BatchPredictor, EstimaConfig, EstimaError, FitCache, MeasurementSet, SeriesId};
 
-use crate::http::{read_request_into, ReadError, Request, ResponseBuf};
+use crate::http::{
+    parse_request, ParseError, ParseStatus, Request, ResponseBuf, REQUEST_READ_TIMEOUT,
+};
 use crate::stats::ServerStats;
+use crate::sys;
 use crate::wire;
 
 /// Configuration of a prediction server.
@@ -31,12 +48,18 @@ pub struct ServerConfig {
     /// Address to bind, e.g. `127.0.0.1:7117`. Port 0 picks a free port
     /// (query it with [`Server::local_addr`]).
     pub addr: String,
-    /// Number of accept-pool worker threads (also the concurrent-connection
-    /// limit). `0` means one worker per available CPU.
-    pub workers: usize,
+    /// Number of reactor threads. Unlike the former accept-pool workers,
+    /// this is **not** a connection limit — each reactor multiplexes any
+    /// number of connections — so it should track CPUs, not expected
+    /// clients. `0` (the default) means one reactor per available CPU.
+    pub reactor_threads: usize,
+    /// Listen backlog depth: connections the kernel queues before the
+    /// reactors accept them. Matters under bursty load; the default (1024)
+    /// is plenty for a service behind a load balancer.
+    pub backlog: usize,
     /// [`EstimaConfig::parallelism`] used per prediction. The default (`1`)
-    /// keeps each request on its worker thread — request throughput comes
-    /// from the pool, not from fanning out a single request.
+    /// keeps each request on its reactor thread — request throughput comes
+    /// from the reactors, not from fanning out a single request.
     pub parallelism: usize,
     /// Total [`FitCache`] capacity in cached series.
     pub cache_capacity: usize,
@@ -46,7 +69,8 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             addr: "127.0.0.1:7117".to_string(),
-            workers: 4,
+            reactor_threads: 0,
+            backlog: 1024,
             parallelism: 1,
             cache_capacity: 4096,
         }
@@ -58,7 +82,7 @@ impl Default for ServerConfig {
 struct AppState {
     batch: BatchPredictor,
     stats: ServerStats,
-    workers: usize,
+    reactor_threads: usize,
     shutting_down: AtomicBool,
     /// Precomputed `GET /v1/healthz` body: the contents never change after
     /// bind, so the hottest route copies from this instead of re-rendering —
@@ -66,18 +90,26 @@ struct AppState {
     healthz_body: String,
 }
 
+/// Everything a reactor thread needs: the shared listener, the shutdown
+/// doorbell, and the application state.
+#[derive(Debug)]
+struct Shared {
+    listener: TcpListener,
+    wake: sys::EventFd,
+    state: Arc<AppState>,
+}
+
 /// A bound (but not yet running) prediction server.
 #[derive(Debug)]
 pub struct Server {
-    listener: TcpListener,
-    state: Arc<AppState>,
+    shared: Arc<Shared>,
 }
 
 /// Handle to a running server: query its address, then shut it down.
 #[derive(Debug)]
 pub struct ServerHandle {
     addr: std::net::SocketAddr,
-    state: Arc<AppState>,
+    shared: Arc<Shared>,
     threads: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -86,66 +118,75 @@ impl Server {
     /// accept connections until [`Server::run`] or [`Server::spawn`].
     pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
-        let workers = if config.workers == 0 {
+        listener.set_nonblocking(true)?;
+        // `std` hard-codes its listen backlog; re-issuing listen(2) on the
+        // bound socket resizes the queue to the configured depth.
+        let backlog = i32::try_from(config.backlog.max(1)).unwrap_or(i32::MAX);
+        sys::relisten(listener.as_raw_fd(), backlog)?;
+        let reactor_threads = if config.reactor_threads == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1)
         } else {
-            config.workers
+            config.reactor_threads
         };
         let cache = Arc::new(FitCache::with_capacity(config.cache_capacity));
         let estima_config = EstimaConfig::default().with_parallelism(config.parallelism.max(1));
+        // The wire key stays `workers` (monitoring compatibility); it now
+        // reports the reactor-thread count.
         let healthz_body = Json::Object(vec![
             ("status".to_string(), Json::String("ok".to_string())),
-            ("workers".to_string(), Json::Number(workers as f64)),
+            ("workers".to_string(), Json::Number(reactor_threads as f64)),
         ])
         .render();
         let state = Arc::new(AppState {
             batch: BatchPredictor::with_cache(estima_config, cache),
             stats: ServerStats::default(),
-            workers,
+            reactor_threads,
             shutting_down: AtomicBool::new(false),
             healthz_body,
         });
-        Ok(Server { listener, state })
+        Ok(Server {
+            shared: Arc::new(Shared {
+                listener,
+                wake: sys::EventFd::new()?,
+                state,
+            }),
+        })
     }
 
     /// The bound address (useful with port 0).
     pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
-        self.listener.local_addr()
+        self.shared.listener.local_addr()
     }
 
-    /// Run the accept pool on the calling thread plus `workers - 1` spawned
-    /// threads. Blocks until the process exits (the binary's mode).
+    /// Run the reactors on the calling thread plus `reactor_threads - 1`
+    /// spawned threads. Blocks until the process exits (the binary's mode).
     pub fn run(self) -> std::io::Result<()> {
-        let workers = self.state.workers;
         let mut threads = Vec::new();
-        for _ in 1..workers {
-            let listener = self.listener.try_clone()?;
-            let state = Arc::clone(&self.state);
-            threads.push(std::thread::spawn(move || accept_loop(listener, state)));
+        for _ in 1..self.shared.state.reactor_threads {
+            let shared = Arc::clone(&self.shared);
+            threads.push(std::thread::spawn(move || reactor(&shared)));
         }
-        accept_loop(self.listener, Arc::clone(&self.state));
+        reactor(&self.shared);
         for thread in threads {
             let _ = thread.join();
         }
         Ok(())
     }
 
-    /// Start the accept pool on background threads and return a handle for
+    /// Start the reactors on background threads and return a handle for
     /// tests and the load generator.
     pub fn spawn(self) -> std::io::Result<ServerHandle> {
         let addr = self.local_addr()?;
-        let workers = self.state.workers;
         let mut threads = Vec::new();
-        for _ in 0..workers {
-            let listener = self.listener.try_clone()?;
-            let state = Arc::clone(&self.state);
-            threads.push(std::thread::spawn(move || accept_loop(listener, state)));
+        for _ in 0..self.shared.state.reactor_threads {
+            let shared = Arc::clone(&self.shared);
+            threads.push(std::thread::spawn(move || reactor(&shared)));
         }
         Ok(ServerHandle {
             addr,
-            state: self.state,
+            shared: self.shared,
             threads,
         })
     }
@@ -157,121 +198,414 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Stop accepting, wake the workers, and join them. In-flight requests
-    /// complete; idle keep-alive connections are closed after their next
-    /// request.
+    /// Stop the server and join its reactors. The shutdown doorbell (a
+    /// level-triggered `eventfd` in every reactor's epoll set) wakes every
+    /// `epoll_wait` immediately — idle keep-alive connections do not delay
+    /// this — so shutdown completes in milliseconds. Requests being
+    /// processed finish (dispatch is synchronous on the reactor thread) and
+    /// queued responses get a best-effort flush; connections then close.
     pub fn shutdown(self) {
-        self.state.shutting_down.store(true, Ordering::SeqCst);
-        // One wake-up connection per worker unblocks every accept() call.
-        for _ in 0..self.threads.len() {
-            let _ = TcpStream::connect(self.addr);
-        }
+        self.shared
+            .state
+            .shutting_down
+            .store(true, Ordering::SeqCst);
+        let _ = self.shared.wake.signal();
         for thread in self.threads {
             let _ = thread.join();
         }
     }
 }
 
-/// One worker: accept connections until shutdown, handling each end-to-end.
-fn accept_loop(listener: TcpListener, state: Arc<AppState>) {
-    loop {
-        let Ok((stream, _)) = listener.accept() else {
-            // Accept errors (EMFILE, aborted handshakes) should not kill
-            // the worker; bail out only on shutdown. Back off briefly so a
-            // *persistent* error (fd exhaustion under overload) does not
-            // turn every worker into a busy-spin at the worst moment.
-            if state.shutting_down.load(Ordering::SeqCst) {
-                return;
-            }
-            std::thread::sleep(std::time::Duration::from_millis(50));
-            continue;
-        };
-        if state.shutting_down.load(Ordering::SeqCst) {
-            return;
+/// Epoll token of the shared listener.
+const TOKEN_LISTENER: u64 = 0;
+/// Epoll token of the shutdown doorbell.
+const TOKEN_WAKE: u64 = 1;
+/// First epoll token used for connections: token = slab index + base.
+const TOKEN_BASE: u64 = 2;
+
+/// Events decoded per `epoll_wait` call.
+const EVENTS_PER_WAIT: usize = 128;
+
+/// How often a reactor scans for connections stalled mid-request or
+/// mid-response, *only while at least one such connection exists* — an
+/// all-idle or all-healthy reactor sleeps in `epoll_wait` indefinitely.
+const STALL_SWEEP: std::time::Duration = std::time::Duration::from_millis(500);
+
+/// One connection owned by a reactor: sockets, reusable buffers, and the
+/// state-machine flags.
+///
+/// The state machine is implicit in the buffer cursors: *Reading* while
+/// `inbuf` holds an incomplete request, *Dispatching* synchronously inside
+/// [`drive`], *Writing* while `outpos < outbuf.len()`, *KeepAlive* when
+/// both buffers are drained and the connection waits for the next edge.
+#[derive(Debug)]
+struct Conn {
+    stream: TcpStream,
+    /// Reusable parsed-request target; its buffers stay warm per connection.
+    request: Request,
+    /// Reusable response assembly buffer.
+    response: ResponseBuf,
+    /// Unconsumed wire bytes (partial request and/or pipelined follow-ups).
+    inbuf: Vec<u8>,
+    /// Rendered response bytes not yet fully written.
+    outbuf: Vec<u8>,
+    /// Bytes of `outbuf` already written.
+    outpos: usize,
+    /// Close the connection once `outbuf` drains (client asked, protocol
+    /// error, or shutdown).
+    close_after_flush: bool,
+    /// The peer closed its writing half; finish flushing, then close.
+    eof: bool,
+    /// When the connection first stalled mid-request or mid-response;
+    /// cleared on completion. Connections stalled longer than
+    /// [`REQUEST_READ_TIMEOUT`] are dropped by the sweep.
+    stalled_since: Option<Instant>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            request: Request::new(),
+            response: ResponseBuf::new(),
+            inbuf: Vec::new(),
+            outbuf: Vec::new(),
+            outpos: 0,
+            close_after_flush: false,
+            eof: false,
+            stalled_since: None,
         }
-        handle_connection(stream, &state);
     }
 }
 
-/// How long a worker waits on an idle keep-alive connection before checking
-/// for shutdown again (also the upper bound a shutdown waits per worker).
-const IDLE_POLL: std::time::Duration = std::time::Duration::from_millis(250);
-
-/// Serve one connection: a keep-alive loop of request → route → response.
-///
-/// The connection owns one reusable [`Request`] and one [`ResponseBuf`];
-/// after the first exchange warms their buffers, the loop performs zero
-/// heap allocations per request on the routes that serve precomputed or
-/// counter-only data (pinned by `tests/serve_alloc.rs`).
-fn handle_connection(stream: TcpStream, state: &AppState) {
-    // A read timeout turns blocked idle reads into `ReadError::Idle` polls,
-    // so a worker parked on a silent connection still notices shutdown. The
-    // write timeout frees a worker whose client stopped reading its
-    // response (a large `/v1/batch` reply can exceed the socket send
-    // buffer); a timed-out write leaves the response half-sent, so the
-    // connection is simply dropped.
-    let _ = stream.set_read_timeout(Some(IDLE_POLL));
-    let _ = stream.set_write_timeout(Some(crate::http::REQUEST_READ_TIMEOUT));
-    // Responses are written as two small writes (head, body); without
-    // TCP_NODELAY the second write can sit behind Nagle + delayed ACK for
-    // tens of milliseconds per request.
-    let _ = stream.set_nodelay(true);
-    let Ok(read_half) = stream.try_clone() else {
+/// One reactor thread: a private epoll instance multiplexing the shared
+/// listener, the shutdown doorbell, and every connection it has accepted.
+fn reactor(shared: &Shared) {
+    let Ok(epoll) = sys::Epoll::new() else {
         return;
     };
-    let mut reader = BufReader::new(read_half);
-    let mut stream = stream;
-    let mut request = Request::new();
-    let mut response = ResponseBuf::new();
+    if epoll
+        .add(
+            shared.listener.as_raw_fd(),
+            // Level-triggered, so a backlog never silently sticks around;
+            // exclusive, so a new connection wakes one reactor, not all.
+            sys::EPOLLIN | sys::EPOLLEXCLUSIVE,
+            TOKEN_LISTENER,
+        )
+        .is_err()
+    {
+        return;
+    }
+    if epoll
+        .add(shared.wake.raw_fd(), sys::EPOLLIN, TOKEN_WAKE)
+        .is_err()
+    {
+        return;
+    }
+
+    // Connection slab: slot index + TOKEN_BASE is the epoll token, closed
+    // slots go on the free list for reuse.
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut stalled_count = 0usize;
+    let mut last_sweep = Instant::now();
+    let mut events = [sys::EpollEvent::zeroed(); EVENTS_PER_WAIT];
+
     loop {
-        response.reset();
-        let close = match read_request_into(&mut reader, &mut request) {
-            Ok(wire_bytes) => {
+        // With no stalled connection there is nothing to poll for: sleep
+        // until a socket edge or the shutdown doorbell. (Shutdown needs no
+        // timeout — the doorbell is level-triggered and never drained, so
+        // it wakes every wait from the moment it is signalled.)
+        let timeout_ms = if stalled_count == 0 {
+            -1
+        } else {
+            STALL_SWEEP.as_millis() as i32
+        };
+        let Ok(n) = epoll.wait(&mut events, timeout_ms) else {
+            return;
+        };
+        shared
+            .state
+            .stats
+            .epoll_wakeups
+            .fetch_add(1, Ordering::Relaxed);
+        if shared.state.shutting_down.load(Ordering::SeqCst) {
+            // Nothing is mid-dispatch (dispatch is synchronous); flush
+            // queued responses best-effort and drop every connection.
+            for conn in conns.iter_mut().flatten() {
+                let _ = flush_some(conn);
+            }
+            return;
+        }
+        for event in &events[..n] {
+            let (ready, token) = (event.events, event.data);
+            match token {
+                TOKEN_WAKE => {}
+                TOKEN_LISTENER => {
+                    accept_ready(&epoll, shared, &mut conns, &mut free);
+                }
+                token => {
+                    let slot = (token - TOKEN_BASE) as usize;
+                    let Some(conn) = conns[slot].as_mut() else {
+                        continue;
+                    };
+                    let keep = if ready & (sys::EPOLLERR | sys::EPOLLHUP) != 0 {
+                        // Socket error or the peer is gone in both
+                        // directions — no response could be delivered.
+                        false
+                    } else {
+                        // EPOLLIN / EPOLLOUT / EPOLLRDHUP all funnel into
+                        // the same drive: flush what is pending, read to
+                        // EAGAIN or EOF, dispatch what completed.
+                        drive(conn, &shared.state)
+                    };
+                    if keep {
+                        note_stall(conn, &mut stalled_count);
+                    } else {
+                        close_slot(&mut conns, &mut free, slot, &mut stalled_count);
+                    }
+                }
+            }
+        }
+        if stalled_count > 0 && last_sweep.elapsed() >= STALL_SWEEP {
+            last_sweep = Instant::now();
+            sweep_stalled(&mut conns, &mut free, &mut stalled_count);
+        }
+    }
+}
+
+/// Drain the listener: accept until `EAGAIN`, registering each connection
+/// edge-triggered on this reactor's epoll.
+fn accept_ready(
+    epoll: &sys::Epoll,
+    shared: &Shared,
+    conns: &mut Vec<Option<Conn>>,
+    free: &mut Vec<usize>,
+) {
+    loop {
+        match sys::accept_nonblocking(shared.listener.as_raw_fd()) {
+            Ok(Some(stream)) => {
+                // Responses can leave in two writes when a write blocks
+                // mid-response; without TCP_NODELAY the tail write can sit
+                // behind Nagle + delayed ACK for tens of milliseconds.
+                let _ = stream.set_nodelay(true);
+                shared.state.stats.accepts.fetch_add(1, Ordering::Relaxed);
+                let slot = free.pop().unwrap_or_else(|| {
+                    conns.push(None);
+                    conns.len() - 1
+                });
+                let token = slot as u64 + TOKEN_BASE;
+                // Registered once, for read and write edges together: the
+                // reactor never re-arms interest, it just reads and writes
+                // to EAGAIN on every event.
+                if epoll
+                    .add(
+                        stream.as_raw_fd(),
+                        sys::EPOLLIN | sys::EPOLLOUT | sys::EPOLLET | sys::EPOLLRDHUP,
+                        token,
+                    )
+                    .is_err()
+                {
+                    free.push(slot);
+                    continue; // drops (closes) the stream
+                }
+                conns[slot] = Some(Conn::new(stream));
+            }
+            Ok(None) => return,
+            Err(_) => {
+                // Persistent accept failure (fd exhaustion under overload):
+                // back off briefly instead of busy-spinning on the
+                // level-triggered listener at the worst moment.
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                return;
+            }
+        }
+    }
+}
+
+/// Outcome of pushing pending output.
+enum Flush {
+    /// `outbuf` fully written (and reset).
+    Drained,
+    /// The socket send buffer filled; resume on the next `EPOLLOUT` edge.
+    Blocked,
+    /// Transport failure; close the connection.
+    Fatal,
+}
+
+/// Write pending response bytes until drained or `EAGAIN`.
+fn flush_some(conn: &mut Conn) -> Flush {
+    while conn.outpos < conn.outbuf.len() {
+        match conn.stream.write(&conn.outbuf[conn.outpos..]) {
+            Ok(0) => return Flush::Fatal,
+            Ok(n) => conn.outpos += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Flush::Blocked,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return Flush::Fatal,
+        }
+    }
+    conn.outbuf.clear();
+    conn.outpos = 0;
+    Flush::Drained
+}
+
+/// Outcome of pulling input and dispatching.
+enum Fill {
+    /// The socket is read to `EAGAIN` (or EOF) and every complete request
+    /// has been dispatched into `outbuf`.
+    Drained,
+    /// Transport failure; close the connection.
+    Fatal,
+}
+
+/// Account for and enqueue the rendered response, mirroring the error
+/// counters and wire-byte accounting of the former blocking loop.
+fn finish_response(conn: &mut Conn, state: &AppState, close: bool) {
+    if conn.response.status >= 500 {
+        state.stats.server_errors.fetch_add(1, Ordering::Relaxed);
+    } else if conn.response.status >= 400 {
+        state.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+    }
+    let written = conn.response.render_into(&mut conn.outbuf, close);
+    state
+        .stats
+        .bytes_out
+        .fetch_add(written as u64, Ordering::Relaxed);
+    if close {
+        conn.close_after_flush = true;
+    }
+}
+
+/// Read to `EAGAIN`/EOF, then parse and dispatch every complete pipelined
+/// request that has accumulated (edge-triggered sockets require consuming
+/// everything per event). Responses render into `outbuf`; the caller
+/// flushes.
+fn fill_and_dispatch(conn: &mut Conn, state: &AppState) -> Fill {
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.eof = true;
+                break;
+            }
+            Ok(n) => conn.inbuf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return Fill::Fatal,
+        }
+    }
+    while !conn.inbuf.is_empty() && !conn.close_after_flush {
+        match parse_request(&conn.inbuf, &mut conn.request) {
+            Ok(ParseStatus::Complete { consumed }) => {
                 state
                     .stats
                     .bytes_in
-                    .fetch_add(wire_bytes as u64, Ordering::Relaxed);
-                let close = request.close || state.shutting_down.load(Ordering::SeqCst);
-                route(&request, state, &mut response);
-                close
+                    .fetch_add(consumed as u64, Ordering::Relaxed);
+                conn.inbuf.drain(..consumed);
+                let close = conn.request.close || state.shutting_down.load(Ordering::SeqCst);
+                conn.response.reset();
+                route(&conn.request, state, &mut conn.response);
+                finish_response(conn, state, close);
             }
-            Err(ReadError::Idle) => {
-                if state.shutting_down.load(Ordering::SeqCst) {
-                    return;
+            Ok(ParseStatus::Partial) => break,
+            Err(error) => {
+                conn.response.reset();
+                match error {
+                    ParseError::BodyTooLarge(len) => respond_error(
+                        &mut conn.response,
+                        413,
+                        "payload_too_large",
+                        &format!("declared body of {len} bytes exceeds the limit"),
+                    ),
+                    ParseError::Malformed(detail) => {
+                        respond_error(&mut conn.response, 400, "bad_request", &detail)
+                    }
                 }
-                continue;
+                finish_response(conn, state, true);
+                conn.inbuf.clear();
             }
-            Err(ReadError::Closed) | Err(ReadError::Io(_)) => return,
-            Err(ReadError::BodyTooLarge(len)) => {
-                respond_error(
-                    &mut response,
-                    413,
-                    "payload_too_large",
-                    &format!("declared body of {len} bytes exceeds the limit"),
-                );
-                true
-            }
-            Err(ReadError::Malformed(detail)) => {
-                respond_error(&mut response, 400, "bad_request", &detail);
-                true
-            }
-        };
-        if response.status >= 500 {
-            state.stats.server_errors.fetch_add(1, Ordering::Relaxed);
-        } else if response.status >= 400 {
-            state.stats.client_errors.fetch_add(1, Ordering::Relaxed);
         }
-        match response.write_to(&mut stream, close) {
-            Ok(written) => {
-                state
-                    .stats
-                    .bytes_out
-                    .fetch_add(written as u64, Ordering::Relaxed);
-            }
-            Err(_) => return,
+    }
+    if conn.eof && !conn.inbuf.is_empty() && !conn.close_after_flush {
+        // The peer stopped mid-request: mirror the blocking reader's 400.
+        conn.response.reset();
+        respond_error(&mut conn.response, 400, "bad_request", "eof inside request");
+        finish_response(conn, state, true);
+        conn.inbuf.clear();
+    }
+    Fill::Drained
+}
+
+/// Advance one connection's state machine as far as the socket allows:
+/// alternate write and read phases until both sides report `EAGAIN` or the
+/// connection is done. Returns `false` when the connection must close.
+fn drive(conn: &mut Conn, state: &AppState) -> bool {
+    loop {
+        match flush_some(conn) {
+            Flush::Fatal => return false,
+            Flush::Blocked => return true, // resume on the EPOLLOUT edge
+            Flush::Drained => {}
         }
-        if close {
-            return;
+        if conn.close_after_flush || conn.eof {
+            return false;
+        }
+        match fill_and_dispatch(conn, state) {
+            Fill::Fatal => return false,
+            Fill::Drained => {
+                if conn.outbuf.is_empty() {
+                    // No response produced: either idle keep-alive or a
+                    // partial request waiting for more bytes.
+                    return !conn.eof;
+                }
+                // Responses queued: loop back to the write phase.
+            }
+        }
+    }
+}
+
+/// Track whether a kept connection is stalled mid-request or mid-response,
+/// maintaining the reactor's count of stalled connections (which gates the
+/// sweep timeout).
+fn note_stall(conn: &mut Conn, stalled_count: &mut usize) {
+    let stalled = conn.outpos < conn.outbuf.len() || !conn.inbuf.is_empty();
+    if stalled && conn.stalled_since.is_none() {
+        conn.stalled_since = Some(Instant::now());
+        *stalled_count += 1;
+    } else if !stalled && conn.stalled_since.is_some() {
+        conn.stalled_since = None;
+        *stalled_count -= 1;
+    }
+}
+
+/// Close and recycle a slab slot. Dropping the `TcpStream` closes the fd,
+/// which also removes it from the epoll interest list.
+fn close_slot(
+    conns: &mut [Option<Conn>],
+    free: &mut Vec<usize>,
+    slot: usize,
+    stalled_count: &mut usize,
+) {
+    if let Some(conn) = conns[slot].take() {
+        if conn.stalled_since.is_some() {
+            *stalled_count -= 1;
+        }
+        free.push(slot);
+    }
+}
+
+/// Drop connections stalled longer than [`REQUEST_READ_TIMEOUT`]: the
+/// non-blocking analogue of the old per-read deadline, so a trickling or
+/// never-reading client cannot pin buffers forever. A stalled client is by
+/// definition not keeping up, so no error response is attempted.
+fn sweep_stalled(conns: &mut [Option<Conn>], free: &mut Vec<usize>, stalled_count: &mut usize) {
+    let now = Instant::now();
+    for slot in 0..conns.len() {
+        let expired = conns[slot].as_ref().is_some_and(|conn| {
+            conn.stalled_since
+                .is_some_and(|since| now.duration_since(since) >= REQUEST_READ_TIMEOUT)
+        });
+        if expired {
+            close_slot(conns, free, slot, stalled_count);
         }
     }
 }
@@ -397,12 +731,22 @@ fn parse_series_id(raw: &str, out: &mut ResponseBuf) -> Option<SeriesId> {
     }
 }
 
+/// View a request body as UTF-8 text, answering `400 bad_request` on
+/// failure. The hot routes hand the text straight to the streaming wire
+/// decoders; only `/v1/batch` still parses a [`Json`] tree.
+fn body_text<'a>(request: &'a Request, out: &mut ResponseBuf) -> Option<&'a str> {
+    match std::str::from_utf8(&request.body) {
+        Ok(text) => Some(text),
+        Err(_) => {
+            respond_error(out, 400, "bad_request", "body is not valid UTF-8");
+            None
+        }
+    }
+}
+
 /// Parse a request body as JSON, answering `400 bad_request` on failure.
 fn parse_body(request: &Request, out: &mut ResponseBuf) -> Option<Json> {
-    let Ok(text) = std::str::from_utf8(&request.body) else {
-        respond_error(out, 400, "bad_request", "body is not valid UTF-8");
-        return None;
-    };
+    let text = body_text(request, out)?;
     match Json::parse(text) {
         Ok(body) => Some(body),
         Err(e) => {
@@ -488,6 +832,20 @@ fn server_stats(state: &AppState, out: &mut ResponseBuf) {
             ]),
         ),
         (
+            "reactor".to_string(),
+            Json::Object(vec![
+                (
+                    "threads".to_string(),
+                    Json::Number(state.reactor_threads as f64),
+                ),
+                ("accepts".to_string(), Json::Number(load(&stats.accepts))),
+                (
+                    "epoll_wakeups".to_string(),
+                    Json::Number(load(&stats.epoll_wakeups)),
+                ),
+            ]),
+        ),
+        (
             "cache".to_string(),
             Json::Object(vec![
                 ("hits".to_string(), Json::Number(hits as f64)),
@@ -538,10 +896,10 @@ fn server_stats(state: &AppState, out: &mut ResponseBuf) {
 
 /// `POST /v1/predict`.
 fn predict(request: &Request, state: &AppState, out: &mut ResponseBuf) {
-    let Some(body) = parse_body(request, out) else {
+    let Some(text) = body_text(request, out) else {
         return;
     };
-    let (set, target) = match wire::predict_request_from_json(&body) {
+    let (set, target) = match wire::decode_predict_request(text) {
         Ok(decoded) => decoded,
         Err(e) => return respond_error(out, 400, "bad_request", &e.0),
     };
@@ -596,10 +954,10 @@ fn session(state: &AppState) -> &EstimaSession {
 /// first contact (which requires `frequency_ghz`). One request is one store
 /// mutation: the version bumps once however many points arrive.
 fn ingest_measurements(request: &Request, state: &AppState, out: &mut ResponseBuf) {
-    let Some(body) = parse_body(request, out) else {
+    let Some(text) = body_text(request, out) else {
         return;
     };
-    let ingest = match wire::ingest_request_from_json(&body) {
+    let ingest = match wire::decode_ingest_request(text) {
         Ok(decoded) => decoded,
         Err(e) => return respond_error(out, 400, "bad_request", &e.0),
     };
@@ -706,10 +1064,10 @@ fn series_predict(raw_id: &str, request: &Request, state: &AppState, out: &mut R
     let Some(id) = parse_series_id(raw_id, out) else {
         return;
     };
-    let Some(body) = parse_body(request, out) else {
+    let Some(text) = body_text(request, out) else {
         return;
     };
-    let target = match wire::target_spec_from_json(&body) {
+    let target = match wire::decode_target_spec(text) {
         Ok(target) => target,
         Err(e) => return respond_error(out, 400, "bad_request", &e.0),
     };

@@ -15,7 +15,7 @@ use std::time::Duration;
 /// `2^i <= nanos < 2^(i+1)`; 64 buckets cover every representable u64.
 const BUCKETS: usize = 64;
 
-/// Request counters and a latency histogram, shared across workers.
+/// Request counters and a latency histogram, shared across reactor threads.
 #[derive(Debug)]
 pub struct ServerStats {
     /// `POST /v1/predict` requests answered (any status).
@@ -45,6 +45,12 @@ pub struct ServerStats {
     pub bytes_in: AtomicU64,
     /// Total response wire bytes written (heads + bodies).
     pub bytes_out: AtomicU64,
+    /// Connections accepted across all reactor threads.
+    pub accepts: AtomicU64,
+    /// `epoll_wait` returns across all reactor threads — the syscall
+    /// heartbeat of the reactor. Requests-per-wakeup (request counters over
+    /// this) shows how well events batch under load.
+    pub epoll_wakeups: AtomicU64,
     /// Latency histogram over prediction requests (predict + batch).
     latency_buckets: [AtomicU64; BUCKETS],
 }
@@ -65,6 +71,8 @@ impl Default for ServerStats {
             predictions: AtomicU64::new(0),
             bytes_in: AtomicU64::new(0),
             bytes_out: AtomicU64::new(0),
+            accepts: AtomicU64::new(0),
+            epoll_wakeups: AtomicU64::new(0),
             latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }

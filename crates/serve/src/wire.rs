@@ -14,7 +14,7 @@
 //! byte-identical to in-process [`estima_core::BatchPredictor`] results
 //! (pinned by `tests/server_roundtrip.rs` and the `loadgen` harness).
 
-use estima_core::json::{write_json_number, write_json_string, Json};
+use estima_core::json::{write_json_number, write_json_string, Json, JsonReader};
 use estima_core::store::{SeriesInfo, SeriesSnapshot};
 use estima_core::{
     EstimaError, Measurement, MeasurementSet, Prediction, SeriesId, StallCategory, StallSource,
@@ -492,6 +492,293 @@ pub fn ingest_request_from_json(value: &Json) -> Result<IngestRequest, WireError
     })
 }
 
+// ---------------------------------------------------------------------------
+// Streaming request decoders: the serve hot path.
+//
+// `decode_predict_request`, `decode_ingest_request` and `decode_target_spec`
+// decode straight from the body text with a [`JsonReader`] — one pass, no
+// intermediate [`Json`] tree, no per-key `String`. The fast path only
+// *commits* on a fully valid document; on any anomaly (syntax error, missing
+// or mistyped field, exotic-but-valid shapes it declines) it falls back to
+// `Json::parse` + the tree decoders above, so every observable outcome —
+// including error messages, duplicate-key first-match-wins and
+// unknown-field tolerance — is identical to the tree path by construction
+// (pinned by the differential tests below).
+// ---------------------------------------------------------------------------
+
+/// Reusable buffers of one streaming decode: one key buffer per object
+/// nesting level (`k0` outermost), a string-value sink, and the accumulators
+/// for array-valued fields. All start empty and unallocated; a decode only
+/// allocates what ends up owned by the decoded request.
+#[derive(Default)]
+struct DecodeScratch {
+    k0: String,
+    k1: String,
+    k2: String,
+    k3: String,
+    text: String,
+    stalls: Vec<(StallCategory, f64)>,
+    points: Vec<Measurement>,
+}
+
+/// Fast-path failure: the document needs the tree decoder's verdict. The
+/// message is never user-visible (the fallback recomputes the real one).
+fn bail(why: &'static str) -> String {
+    why.to_string()
+}
+
+/// Decode one `/v1/predict` request body from its text. Equivalent to
+/// `Json::parse` + [`predict_request_from_json`] — including every error
+/// message — but one streaming pass on well-formed canonical bodies.
+pub fn decode_predict_request(text: &str) -> Result<(MeasurementSet, TargetSpec), WireError> {
+    if let Ok(decoded) = fast_predict_request(text) {
+        return Ok(decoded);
+    }
+    let value = Json::parse(text).map_err(WireError)?;
+    predict_request_from_json(&value)
+}
+
+/// Decode one `POST /v1/measurements` request body from its text.
+/// Equivalent to `Json::parse` + [`ingest_request_from_json`].
+pub fn decode_ingest_request(text: &str) -> Result<IngestRequest, WireError> {
+    if let Ok(decoded) = fast_ingest_request(text) {
+        return Ok(decoded);
+    }
+    let value = Json::parse(text).map_err(WireError)?;
+    ingest_request_from_json(&value)
+}
+
+/// Decode one `POST /v1/series/{id}/predict` request body (a bare
+/// `TargetSpec` object) from its text. Equivalent to `Json::parse` +
+/// [`target_spec_from_json`].
+pub fn decode_target_spec(text: &str) -> Result<TargetSpec, WireError> {
+    if let Ok(spec) = fast_target_spec(text) {
+        return Ok(spec);
+    }
+    let value = Json::parse(text).map_err(WireError)?;
+    target_spec_from_json(&value)
+}
+
+fn fast_predict_request(text: &str) -> Result<(MeasurementSet, TargetSpec), String> {
+    let mut reader = JsonReader::new(text);
+    let mut scratch = DecodeScratch::default();
+    let mut set = None;
+    let mut target = None;
+    reader.begin_object()?;
+    let mut first = true;
+    while reader.next_key(&mut first, &mut scratch.k0)? {
+        if scratch.k0 == "measurements" && set.is_none() {
+            set = Some(read_measurement_set(&mut reader, &mut scratch)?);
+        } else if scratch.k0 == "target" && target.is_none() {
+            target = Some(read_target_fields(&mut reader, &mut scratch.k1)?);
+        } else {
+            reader.skip_value()?;
+        }
+    }
+    reader.finish()?;
+    match (set, target) {
+        (Some(set), Some(target)) => Ok((set, target)),
+        _ => Err(bail("missing measurements or target")),
+    }
+}
+
+fn fast_ingest_request(text: &str) -> Result<IngestRequest, String> {
+    let mut reader = JsonReader::new(text);
+    let mut scratch = DecodeScratch::default();
+    let mut series = None;
+    let mut frequency_ghz = None;
+    let mut have_points = false;
+    reader.begin_object()?;
+    let mut first = true;
+    while reader.next_key(&mut first, &mut scratch.k0)? {
+        if scratch.k0 == "series" && series.is_none() {
+            reader.string_value(&mut scratch.text)?;
+            series = Some(SeriesId::new(&scratch.text).map_err(|_| bail("bad series id"))?);
+        } else if scratch.k0 == "frequency_ghz" && frequency_ghz.is_none() {
+            let ghz = reader.f64_value()?;
+            if !ghz.is_finite() || ghz <= 0.0 {
+                return Err(bail("non-positive frequency"));
+            }
+            frequency_ghz = Some(ghz);
+        } else if scratch.k0 == "points" && !have_points {
+            have_points = true;
+            read_points(&mut reader, &mut scratch)?;
+        } else {
+            reader.skip_value()?;
+        }
+    }
+    reader.finish()?;
+    let (Some(series), true) = (series, have_points) else {
+        return Err(bail("missing series or points"));
+    };
+    Ok(IngestRequest {
+        series,
+        frequency_ghz,
+        points: std::mem::take(&mut scratch.points),
+    })
+}
+
+fn fast_target_spec(text: &str) -> Result<TargetSpec, String> {
+    let mut reader = JsonReader::new(text);
+    let mut key = String::new();
+    let spec = read_target_fields(&mut reader, &mut key)?;
+    reader.finish()?;
+    Ok(spec)
+}
+
+/// Read a `TargetSpec` object (already positioned at its `{`).
+fn read_target_fields(reader: &mut JsonReader<'_>, key: &mut String) -> Result<TargetSpec, String> {
+    let mut cores = None;
+    let mut frequency_ghz = None;
+    let mut dataset_scale = None;
+    reader.begin_object()?;
+    let mut first = true;
+    while reader.next_key(&mut first, key)? {
+        if key == "cores" && cores.is_none() {
+            cores = Some(read_u32(reader)?);
+        } else if key == "frequency_ghz" && frequency_ghz.is_none() {
+            frequency_ghz = Some(reader.f64_value()?);
+        } else if key == "dataset_scale" && dataset_scale.is_none() {
+            dataset_scale = Some(reader.f64_value()?);
+        } else {
+            reader.skip_value()?;
+        }
+    }
+    let mut spec = TargetSpec::cores(cores.ok_or_else(|| bail("missing cores"))?);
+    if let Some(ghz) = frequency_ghz {
+        spec = spec.with_frequency_ghz(ghz);
+    }
+    if let Some(scale) = dataset_scale {
+        spec = spec.with_dataset_scale(scale);
+    }
+    Ok(spec)
+}
+
+/// Read a `measurements` wire object (already positioned at its `{`). The
+/// builders tolerate any field order: `points` may precede `app_name`, so
+/// points accumulate in the scratch buffer until the object completes.
+fn read_measurement_set(
+    reader: &mut JsonReader<'_>,
+    scratch: &mut DecodeScratch,
+) -> Result<MeasurementSet, String> {
+    let mut app_name = None;
+    let mut frequency_ghz = None;
+    let mut have_points = false;
+    reader.begin_object()?;
+    let mut first = true;
+    while reader.next_key(&mut first, &mut scratch.k1)? {
+        if scratch.k1 == "app_name" && app_name.is_none() {
+            reader.string_value(&mut scratch.text)?;
+            app_name = Some(scratch.text.clone());
+        } else if scratch.k1 == "frequency_ghz" && frequency_ghz.is_none() {
+            frequency_ghz = Some(reader.f64_value()?);
+        } else if scratch.k1 == "points" && !have_points {
+            have_points = true;
+            read_points(reader, scratch)?;
+        } else {
+            reader.skip_value()?;
+        }
+    }
+    let (Some(app_name), Some(frequency_ghz), true) = (app_name, frequency_ghz, have_points) else {
+        return Err(bail("missing measurement-set field"));
+    };
+    let mut set = MeasurementSet::new(app_name, frequency_ghz);
+    for point in scratch.points.drain(..) {
+        set.push(point);
+    }
+    Ok(set)
+}
+
+/// Read a `points` array into `scratch.points` (already positioned at `[`).
+fn read_points(reader: &mut JsonReader<'_>, scratch: &mut DecodeScratch) -> Result<(), String> {
+    scratch.points.clear();
+    reader.begin_array()?;
+    let mut first = true;
+    while reader.next_element(&mut first)? {
+        let point = read_measurement(reader, scratch)?;
+        scratch.points.push(point);
+    }
+    Ok(())
+}
+
+/// Read one measurement object (an entry of a `points` array).
+fn read_measurement(
+    reader: &mut JsonReader<'_>,
+    scratch: &mut DecodeScratch,
+) -> Result<Measurement, String> {
+    let mut cores = None;
+    let mut exec_time = None;
+    let mut footprint = None;
+    let mut have_stalls = false;
+    scratch.stalls.clear();
+    reader.begin_object()?;
+    let mut first = true;
+    while reader.next_key(&mut first, &mut scratch.k2)? {
+        if scratch.k2 == "cores" && cores.is_none() {
+            cores = Some(read_u32(reader)?);
+        } else if scratch.k2 == "exec_time" && exec_time.is_none() {
+            exec_time = Some(reader.f64_value()?);
+        } else if scratch.k2 == "memory_footprint" && footprint.is_none() {
+            footprint = Some(reader.u64_value()?);
+        } else if scratch.k2 == "stalls" && !have_stalls {
+            have_stalls = true;
+            read_stalls(reader, scratch)?;
+        } else {
+            reader.skip_value()?;
+        }
+    }
+    let (Some(cores), Some(exec_time)) = (cores, exec_time) else {
+        return Err(bail("missing point field"));
+    };
+    let mut measurement = Measurement::new(cores, exec_time);
+    if let Some(bytes) = footprint {
+        measurement = measurement.with_memory_footprint(bytes);
+    }
+    for (category, cycles) in scratch.stalls.drain(..) {
+        measurement = measurement.with_stall(category, cycles);
+    }
+    Ok(measurement)
+}
+
+/// Read a `stalls` array into `scratch.stalls` (already positioned at `[`).
+fn read_stalls(reader: &mut JsonReader<'_>, scratch: &mut DecodeScratch) -> Result<(), String> {
+    reader.begin_array()?;
+    let mut first = true;
+    while reader.next_element(&mut first)? {
+        let mut source = None;
+        let mut name = None;
+        let mut cycles = None;
+        reader.begin_object()?;
+        let mut sfirst = true;
+        while reader.next_key(&mut sfirst, &mut scratch.k3)? {
+            if scratch.k3 == "source" && source.is_none() {
+                reader.string_value(&mut scratch.text)?;
+                source = Some(parse_source(&scratch.text).map_err(|e| e.0)?);
+            } else if scratch.k3 == "name" && name.is_none() {
+                reader.string_value(&mut scratch.text)?;
+                name = Some(scratch.text.clone());
+            } else if scratch.k3 == "cycles" && cycles.is_none() {
+                cycles = Some(reader.f64_value()?);
+            } else {
+                reader.skip_value()?;
+            }
+        }
+        let (Some(source), Some(name), Some(cycles)) = (source, name, cycles) else {
+            return Err(bail("missing stall field"));
+        };
+        scratch
+            .stalls
+            .push((StallCategory { name, source }, cycles));
+    }
+    Ok(())
+}
+
+/// Read a number under the tree decoders' `u32` interpretation
+/// ([`Json::as_u64`] + `u32::try_from`).
+fn read_u32(reader: &mut JsonReader<'_>) -> Result<u32, String> {
+    u32::try_from(reader.u64_value()?).map_err(|_| bail("out of u32 range"))
+}
+
 /// Encode a `POST /v1/measurements` body. Inverse of
 /// [`ingest_request_from_json`]; used by clients (`loadgen`, tests).
 pub fn ingest_request_to_json(
@@ -711,6 +998,123 @@ mod tests {
         let bad_freq = Json::parse(r#"{"series":"ok","frequency_ghz":-1,"points":[]}"#).unwrap();
         let error = ingest_request_from_json(&bad_freq).unwrap_err();
         assert!(error.0.contains("positive and finite"), "{error}");
+    }
+
+    /// The tree-path outcome `decode_predict_request` must replicate.
+    fn tree_predict(text: &str) -> Result<(MeasurementSet, TargetSpec), WireError> {
+        let value = Json::parse(text).map_err(WireError)?;
+        predict_request_from_json(&value)
+    }
+
+    fn tree_ingest(text: &str) -> Result<IngestRequest, WireError> {
+        let value = Json::parse(text).map_err(WireError)?;
+        ingest_request_from_json(&value)
+    }
+
+    #[test]
+    fn streaming_decoders_match_tree_decoding_on_canonical_bodies() {
+        let set = demo_set();
+        let target = TargetSpec::cores(48)
+            .with_frequency_ghz(2.8)
+            .with_dataset_scale(1.5);
+        let body = predict_request_to_json(&set, &target).render();
+        let (set2, target2) = decode_predict_request(&body).unwrap();
+        assert_eq!(set2, set);
+        assert_eq!(target2, target);
+
+        let series = SeriesId::new("demo-1").unwrap();
+        let points: Vec<Measurement> = set.measurements().to_vec();
+        for frequency in [Some(2.1), None] {
+            let body = ingest_request_to_json(&series, frequency, &points).render();
+            let decoded = decode_ingest_request(&body).unwrap();
+            assert_eq!(decoded, tree_ingest(&body).unwrap());
+            assert_eq!(decoded.points, points);
+        }
+
+        let body = target_spec_to_json(&target).render();
+        assert_eq!(decode_target_spec(&body).unwrap(), target);
+    }
+
+    #[test]
+    fn streaming_decoders_tolerate_field_order_unknowns_and_duplicates() {
+        // Fields out of canonical order (points before app_name, target
+        // first), unknown fields at every level, and duplicate keys where
+        // the first occurrence must win — all tree-path semantics.
+        let body = r#"{
+            "target": {"ignored": [1, {"x": "y"}], "cores": 48, "cores": 7},
+            "measurements": {
+                "points": [
+                    {"exec_time": 2.5, "cores": 1, "extra": null,
+                     "stalls": [{"cycles": 1e9, "name": "rob_full", "source": "hw_backend",
+                                 "source": "software"}]},
+                    {"cores": 2, "exec_time": 1.5, "memory_footprint": 1048576, "stalls": []}
+                ],
+                "frequency_ghz": 2.1, "frequency_ghz": 9.9,
+                "app_name": "ooo-demo"
+            },
+            "trailing_unknown": {"a": [true, false]}
+        }"#;
+        let (set, target) = decode_predict_request(body).unwrap();
+        let (tree_set, tree_target) = tree_predict(body).unwrap();
+        assert_eq!(set, tree_set);
+        assert_eq!(target, tree_target);
+        assert_eq!(set.app_name, "ooo-demo");
+        assert_eq!(set.frequency_ghz, 2.1, "first duplicate must win");
+        assert_eq!(target.cores, 48, "first duplicate must win");
+        assert_eq!(set.len(), 2);
+        assert_eq!(
+            set.measurements()[0].stalls.keys().next().unwrap().source,
+            StallSource::HardwareBackend,
+            "first duplicate must win inside stall objects"
+        );
+    }
+
+    #[test]
+    fn streaming_decoders_report_tree_identical_errors() {
+        // Responses are pinned byte-identical to the tree path, so the
+        // error *messages* must match exactly, not just the error-ness.
+        for body in [
+            "",
+            "not json",
+            r#"{"measurements": 5}"#,
+            r#"{"target": {"cores": 48}}"#,
+            r#"{"measurements": {"app_name": "x", "frequency_ghz": 2.0}}"#,
+            r#"{"measurements": {"app_name": "x", "frequency_ghz": 2.0, "points": [
+                {"cores": 1.5, "exec_time": 1.0}]}, "target": {"cores": 48}}"#,
+            r#"{"measurements": {"app_name": "x", "frequency_ghz": 2.0, "points": [
+                {"cores": 1, "exec_time": 1.0,
+                 "stalls": [{"source": "gpu", "name": "x", "cycles": 1}]}]},
+                "target": {"cores": 48}}"#,
+            r#"{"measurements": {"app_name": "x", "frequency_ghz": 2.0, "points": []},
+                "target": {"cores": 48}} trailing"#,
+            r#"{"measurements": {"app_name": "x", "frequency_ghz": 2.0, "points": [}"#,
+        ] {
+            assert_eq!(
+                decode_predict_request(body).map(|_| ()),
+                tree_predict(body).map(|_| ()),
+                "error diverged on {body:?}"
+            );
+        }
+        for body in [
+            r#"{"series": "a b", "points": []}"#,
+            r#"{"series": "ok"}"#,
+            r#"{"series": "ok", "frequency_ghz": -1, "points": []}"#,
+            r#"{"series": "ok", "frequency_ghz": "fast", "points": []}"#,
+        ] {
+            assert_eq!(
+                decode_ingest_request(body).map(|_| ()),
+                tree_ingest(body).map(|_| ()),
+                "error diverged on {body:?}"
+            );
+        }
+        let bad_target = r#"{"cores": -1}"#;
+        assert_eq!(
+            decode_target_spec(bad_target).map(|_| ()),
+            Json::parse(bad_target)
+                .map_err(WireError)
+                .and_then(|v| target_spec_from_json(&v))
+                .map(|_| ()),
+        );
     }
 
     #[test]

@@ -1,0 +1,294 @@
+//! Property tests for the resumable request parser behind the reactor: a
+//! request must produce byte-identical responses no matter how its bytes
+//! are sliced across TCP writes.
+//!
+//! Two fresh servers receive the same deterministic request sequence over
+//! one connection each. The reference connection writes each request as a
+//! single buffer; the subject connection writes the same bytes byte-at-a-
+//! time, split at seeded-random points, or pipelined (several requests
+//! concatenated into one write, split without regard for message
+//! boundaries). Every response must match the reference **byte-for-byte**
+//! — status line, headers and body.
+//!
+//! The randomness is a hand-rolled xorshift generator with fixed seeds, so
+//! failures replay exactly. The sequence includes stateful ingests: both
+//! servers see the identical order, so their stores evolve identically.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use estima_core::prelude::*;
+use estima_serve::wire;
+use estima_serve::{Server, ServerConfig};
+
+/// Deterministic xorshift64* generator — the test's only randomness
+/// source (no RNG crates in this workspace).
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> XorShift {
+        XorShift(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform-ish draw in `0..bound` (bound > 0).
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound as u64) as usize
+    }
+}
+
+fn spawn_server() -> estima_serve::ServerHandle {
+    Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        reactor_threads: 1,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback server")
+    .spawn()
+    .expect("spawn server reactor")
+}
+
+/// Render one request's full wire bytes (the same head shape the in-repo
+/// client uses).
+fn render_request(method: &str, path: &str, body: &str) -> Vec<u8> {
+    format!(
+        "{method} {path} HTTP/1.1\r\nhost: loopback\r\ncontent-type: application/json\r\n\
+         content-length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+/// A small but non-trivial measurement set (4 core counts, one stall
+/// category) — enough to exercise real prediction bodies while keeping the
+/// byte-at-a-time run fast.
+fn small_set(app: &str) -> MeasurementSet {
+    let mut set = MeasurementSet::new(app, 2.1);
+    for cores in [1u32, 2, 4, 8] {
+        let n = f64::from(cores);
+        let time = 30.0 / n + 2.0;
+        set.push(
+            Measurement::new(cores, time)
+                .with_stall(StallCategory::backend("rob_full"), 3.0e8 * n * time),
+        );
+    }
+    set
+}
+
+/// The deterministic request sequence both servers replay: stateless
+/// predicts, stateful ingests (point by point), series predicts and reads.
+/// `/v1/stats` is excluded — its counters legitimately differ between
+/// connections with different write patterns.
+fn request_sequence() -> Vec<Vec<u8>> {
+    let set = small_set("resume");
+    let series = SeriesId::new("resume").expect("valid series id");
+    let target = TargetSpec::cores(24);
+    let target_body = wire::target_spec_to_json(&target).render();
+    let mut requests = vec![
+        render_request("GET", "/v1/healthz", ""),
+        render_request(
+            "POST",
+            "/v1/predict",
+            &wire::predict_request_to_json(&set, &target).render(),
+        ),
+    ];
+    for point in set.measurements() {
+        requests.push(render_request(
+            "POST",
+            "/v1/measurements",
+            &wire::ingest_request_to_json(
+                &series,
+                Some(set.frequency_ghz),
+                std::slice::from_ref(point),
+            )
+            .render(),
+        ));
+    }
+    requests.push(render_request(
+        "POST",
+        "/v1/series/resume/predict",
+        &target_body,
+    ));
+    requests.push(render_request("GET", "/v1/series/resume", ""));
+    requests.push(render_request("GET", "/v1/series", ""));
+    requests.push(render_request("GET", "/v1/healthz", ""));
+    requests
+}
+
+/// Reads complete HTTP responses off a stream, carrying over any bytes a
+/// `read()` returned past the current response boundary (pipelined
+/// responses arrive back-to-back, so a chunk routinely straddles two).
+struct ResponseReader {
+    stream: TcpStream,
+    buffered: Vec<u8>,
+}
+
+impl ResponseReader {
+    fn new(stream: TcpStream) -> ResponseReader {
+        ResponseReader {
+            stream,
+            buffered: Vec::new(),
+        }
+    }
+
+    /// Consume and return exactly one response's raw wire bytes (head
+    /// through `content-length` body bytes).
+    fn next_response(&mut self) -> Vec<u8> {
+        let mut chunk = [0u8; 4096];
+        let head_end = loop {
+            if let Some(pos) = self.buffered.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos + 4;
+            }
+            let n = self.stream.read(&mut chunk).expect("read response head");
+            assert!(n > 0, "eof inside response head: {:?}", self.buffered);
+            self.buffered.extend_from_slice(&chunk[..n]);
+        };
+        let head = std::str::from_utf8(&self.buffered[..head_end]).expect("UTF-8 head");
+        let content_length: usize = head
+            .lines()
+            .find_map(|line| {
+                let (name, value) = line.split_once(':')?;
+                name.eq_ignore_ascii_case("content-length")
+                    .then(|| value.trim().parse().expect("numeric content-length"))
+            })
+            .expect("response has content-length");
+        let total = head_end + content_length;
+        while self.buffered.len() < total {
+            let n = self.stream.read(&mut chunk).expect("read response body");
+            assert!(n > 0, "eof inside response body");
+            self.buffered.extend_from_slice(&chunk[..n]);
+        }
+        let rest = self.buffered.split_off(total);
+        std::mem::replace(&mut self.buffered, rest)
+    }
+}
+
+/// Collect the reference responses: every request written as one buffer
+/// over a fresh server, responses read back one at a time.
+fn reference_responses(requests: &[Vec<u8>]) -> Vec<Vec<u8>> {
+    let handle = spawn_server();
+    let stream = TcpStream::connect(handle.addr()).expect("connect reference");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = ResponseReader::new(stream.try_clone().expect("clone stream"));
+    let mut stream = stream;
+    let responses = requests
+        .iter()
+        .map(|request| {
+            stream.write_all(request).expect("write reference request");
+            reader.next_response()
+        })
+        .collect();
+    handle.shutdown();
+    responses
+}
+
+#[test]
+fn byte_at_a_time_writes_produce_identical_responses() {
+    let requests = request_sequence();
+    let expected = reference_responses(&requests);
+
+    let handle = spawn_server();
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect subject");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = ResponseReader::new(stream.try_clone().expect("clone stream"));
+    for (request, expected) in requests.iter().zip(&expected) {
+        for &byte in request {
+            stream.write_all(&[byte]).expect("write one byte");
+        }
+        let response = reader.next_response();
+        assert_eq!(
+            response, *expected,
+            "byte-at-a-time response drifted from whole-buffer reference"
+        );
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn randomly_split_writes_produce_identical_responses() {
+    let requests = request_sequence();
+    let expected = reference_responses(&requests);
+
+    for seed in [3, 1415, 926535] {
+        let mut rng = XorShift::new(seed);
+        let handle = spawn_server();
+        let mut stream = TcpStream::connect(handle.addr()).expect("connect subject");
+        stream.set_nodelay(true).expect("nodelay");
+        let mut reader = ResponseReader::new(stream.try_clone().expect("clone stream"));
+        for (request, expected) in requests.iter().zip(&expected) {
+            // Split the request at 1..=5 seeded positions (duplicates
+            // collapse into empty chunks, which are skipped).
+            let mut cuts: Vec<usize> = (0..1 + rng.below(5))
+                .map(|_| rng.below(request.len() + 1))
+                .collect();
+            cuts.push(0);
+            cuts.push(request.len());
+            cuts.sort_unstable();
+            for pair in cuts.windows(2) {
+                if pair[1] > pair[0] {
+                    stream
+                        .write_all(&request[pair[0]..pair[1]])
+                        .expect("write split chunk");
+                }
+            }
+            let response = reader.next_response();
+            assert_eq!(
+                response, *expected,
+                "split-write response drifted from reference (seed {seed})"
+            );
+        }
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn pipelined_requests_in_shared_writes_produce_identical_responses() {
+    let requests = request_sequence();
+    let expected = reference_responses(&requests);
+
+    for seed in [7, 42, 8675309] {
+        let mut rng = XorShift::new(seed);
+        let handle = spawn_server();
+        let mut stream = TcpStream::connect(handle.addr()).expect("connect subject");
+        stream.set_nodelay(true).expect("nodelay");
+
+        // Concatenate the whole conversation and write it in seeded-random
+        // chunks that ignore message boundaries: a single write can carry
+        // the tail of one request, several complete ones, and the head of
+        // the next. Responses come back in order, and the server must keep
+        // them byte-identical while parsing back-to-back requests out of
+        // one buffer.
+        let conversation: Vec<u8> = requests.concat();
+        let reader = std::thread::spawn({
+            let mut reader = ResponseReader::new(stream.try_clone().expect("clone stream"));
+            let expected = expected.clone();
+            move || {
+                for (index, expected) in expected.iter().enumerate() {
+                    let response = reader.next_response();
+                    assert_eq!(
+                        response, *expected,
+                        "pipelined response {index} drifted from reference (seed {seed})"
+                    );
+                }
+            }
+        });
+        let mut offset = 0;
+        while offset < conversation.len() {
+            let chunk = 1 + rng.below(512.min(conversation.len() - offset));
+            stream
+                .write_all(&conversation[offset..offset + chunk])
+                .expect("write pipelined chunk");
+            offset += chunk;
+        }
+        reader.join().expect("reader thread");
+        handle.shutdown();
+    }
+}

@@ -41,7 +41,7 @@ static GLOBAL: CountingAllocator = CountingAllocator;
 fn keep_alive_healthz_loop_never_allocates() {
     let handle = Server::bind(ServerConfig {
         addr: "127.0.0.1:0".to_string(),
-        workers: 1,
+        reactor_threads: 1,
         ..ServerConfig::default()
     })
     .expect("bind")
@@ -70,13 +70,54 @@ fn keep_alive_healthz_loop_never_allocates() {
     let after = ALLOCATIONS.load(Ordering::SeqCst);
 
     // The counter is process-wide; the only threads running are this test
-    // and the single server worker, both on their steady-state hot paths.
+    // and the single server reactor, both on their steady-state hot paths.
     assert_eq!(
         after - before,
         0,
         "keep-alive request loop allocated {} time(s) across 100 requests",
         after - before
     );
+
+    // Pipelined bursts stay allocation-free too: many requests arriving in
+    // one read must be parsed and answered out of the same reusable
+    // buffers. This shares the test (and its server) with the loop above
+    // because the allocation counter is process-wide — a concurrently
+    // running test would poison it.
+    let mut raw = std::net::TcpStream::connect(handle.addr()).expect("connect raw");
+    let request = b"GET /v1/healthz HTTP/1.1\r\nhost: loopback\r\ncontent-length: 0\r\n\r\n";
+
+    // Measure one response's exact wire length, then warm the raw
+    // connection's server-side buffers with a first pipelined burst (the
+    // inbuf must have grown to hold a full burst before counting).
+    use std::io::{Read, Write};
+    raw.write_all(request).expect("probe write");
+    let mut probe = vec![0u8; 4096];
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    let response_len = raw.read(&mut probe).expect("probe read");
+    assert!(probe[..response_len].starts_with(b"HTTP/1.1 200"));
+
+    const BURST: usize = 10;
+    let burst: Vec<u8> = request.repeat(BURST);
+    let mut responses = vec![0u8; response_len * BURST];
+    for _ in 0..2 {
+        raw.write_all(&burst).expect("warm-up burst write");
+        raw.read_exact(&mut responses).expect("warm-up burst read");
+    }
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    raw.write_all(&burst).expect("counted burst write");
+    raw.read_exact(&mut responses).expect("counted burst read");
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "pipelined burst of {BURST} requests allocated {} time(s)",
+        after - before
+    );
+    for chunk in responses.chunks(response_len) {
+        assert!(chunk.starts_with(b"HTTP/1.1 200"), "burst response drifted");
+    }
 
     handle.shutdown();
 }

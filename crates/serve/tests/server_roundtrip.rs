@@ -27,12 +27,12 @@ impl Client {
 fn spawn_server() -> estima_serve::ServerHandle {
     Server::bind(ServerConfig {
         addr: "127.0.0.1:0".to_string(),
-        workers: 2,
+        reactor_threads: 2,
         ..ServerConfig::default()
     })
     .expect("bind loopback server")
     .spawn()
-    .expect("spawn server workers")
+    .expect("spawn server reactors")
 }
 
 /// A quickstart-sized measurement set: 12 core counts, two backend stall
@@ -566,4 +566,32 @@ fn concurrent_clients_are_served_in_parallel_workers() {
         }
     }
     handle.shutdown();
+}
+
+#[test]
+fn shutdown_returns_promptly_with_idle_keepalive_connections_open() {
+    let handle = spawn_server();
+    let addr = handle.addr();
+
+    // Park several live keep-alive connections: each completes one request
+    // and then sits idle. Under the old blocking design these connections
+    // pinned their worker threads inside `read()` and shutdown waited out a
+    // poll interval; the reactor is woken by an eventfd signal instead and
+    // must return as soon as the threads observe it.
+    let mut idle_clients = Vec::new();
+    for _ in 0..3 {
+        let mut client = Client::connect(addr);
+        let (status, _) = client.request("GET", "/v1/healthz", "");
+        assert_eq!(status, 200);
+        idle_clients.push(client);
+    }
+
+    let started = std::time::Instant::now();
+    handle.shutdown();
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < std::time::Duration::from_millis(50),
+        "shutdown with idle keep-alive connections took {elapsed:?} (>= 50ms)"
+    );
+    drop(idle_clients);
 }
