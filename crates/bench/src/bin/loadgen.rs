@@ -540,6 +540,91 @@ struct RunStats {
     p999: u64,
     max: u64,
     stddev: f64,
+    /// Requests that needed at least one retry-with-backoff (connect or
+    /// request failures). 0 on a healthy run.
+    retries: u64,
+}
+
+/// Most retries one request may take before the harness gives up (after
+/// which a failure is a real finding, not a restart blip).
+const MAX_REQUEST_RETRIES: u64 = 8;
+
+/// xorshift64*: a tiny deterministic generator for backoff jitter — no new
+/// deps, stable across runs (seeded per connection).
+fn xorshift64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x.max(1);
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Sleep the bounded exponential backoff for retry number `attempt`
+/// (1-based): 5 ms doubling to a 320 ms ceiling, plus up to 50% jitter so
+/// the load threads do not reconnect in lockstep after a server restart.
+fn backoff(attempt: u64, rng: &mut u64) {
+    let base_ms = 5u64 << (attempt - 1).min(6);
+    let jitter_ms = xorshift64(rng) % (base_ms / 2 + 1);
+    std::thread::sleep(Duration::from_millis(base_ms + jitter_ms));
+}
+
+/// Issue one request with bounded retry: a connect or transport failure
+/// sleeps a jittered exponential backoff and tries again (reconnecting the
+/// keep-alive connection as needed), so a server restart mid-run degrades
+/// into a latency blip and a nonzero `retries` column instead of aborting
+/// the harness. Returns the response and how many retries it took; panics
+/// once a single request has failed [`MAX_REQUEST_RETRIES`] times.
+#[allow(clippy::too_many_arguments)]
+fn request_with_retry(
+    keepalive: &mut Option<Client>,
+    addr: std::net::SocketAddr,
+    churn: bool,
+    spec: &RequestSpec<'_>,
+    rng: &mut u64,
+    sent_bytes: &mut u64,
+    received_bytes: &mut u64,
+) -> (ClientResponse, u64) {
+    let mut retries = 0u64;
+    loop {
+        let result = if churn {
+            // Churn opens one connection per request; its bytes are
+            // tallied per attempt, successful or not.
+            Client::connect(addr).and_then(|mut client| {
+                let outcome = client.request(spec.method, spec.path, spec.body);
+                *sent_bytes += client.bytes_sent();
+                *received_bytes += client.bytes_received();
+                outcome
+            })
+        } else {
+            match keepalive {
+                Some(client) => client.request(spec.method, spec.path, spec.body),
+                None => Client::connect(addr).and_then(|client| {
+                    let client = keepalive.insert(client);
+                    client.request(spec.method, spec.path, spec.body)
+                }),
+            }
+        };
+        match result {
+            Ok(response) => return (response, retries),
+            Err(e) => {
+                if let Some(dead) = keepalive.take() {
+                    // The dead connection's wire traffic still happened;
+                    // absorb it before reconnecting.
+                    *sent_bytes += dead.bytes_sent();
+                    *received_bytes += dead.bytes_received();
+                }
+                retries += 1;
+                assert!(
+                    retries <= MAX_REQUEST_RETRIES,
+                    "request {} {} still failing after {MAX_REQUEST_RETRIES} retries: {e}",
+                    spec.method,
+                    spec.path,
+                );
+                backoff(retries, rng);
+            }
+        }
+    }
 }
 
 /// Client-side accumulators carried across every sweep run: route tallies
@@ -550,6 +635,10 @@ struct ClientTallies {
     counts: RouteCounts,
     sent: u64,
     received: u64,
+    /// Total retried requests across the sweep. When nonzero the exact
+    /// byte/route cross-check is skipped: a failed attempt may or may not
+    /// have reached the server, so the totals no longer balance.
+    retries: u64,
 }
 
 /// Run one warmup + timed phase at `connections` concurrent connections,
@@ -571,14 +660,17 @@ fn run_phase(
     for connection in 0..connections {
         let scenario = Arc::clone(scenario);
         threads.push(std::thread::spawn(move || {
-            // Keep-alive scenarios reuse one connection for the whole run;
-            // churn opens and closes one per request inside the loop.
-            let mut keepalive =
-                (!churn).then(|| Client::connect(addr).expect("connect load connection"));
+            // Keep-alive scenarios reuse one connection for the whole run,
+            // reconnecting lazily inside the retry helper; churn opens and
+            // closes one per request. The jitter rng is seeded from the
+            // connection index so runs stay deterministic.
+            let mut keepalive: Option<Client> = None;
+            let mut rng = 0x9E37_79B9_7F4A_7C15u64 ^ (connection as u64 + 1);
             let mut latencies_ns: Vec<u64> = Vec::new();
             let mut counts = RouteCounts::default();
             let mut sent_bytes = 0u64;
             let mut received_bytes = 0u64;
+            let mut retries_total = 0u64;
             let mut iteration = 0u64;
             loop {
                 let now = Instant::now();
@@ -589,22 +681,19 @@ fn run_phase(
                 let spec = scenario.request(connection, iteration);
                 counts.note(spec.path);
                 let sent = Instant::now();
-                let response = match keepalive.as_mut() {
-                    Some(client) => client
-                        .request(spec.method, spec.path, spec.body)
-                        .expect("request during load"),
-                    None => {
-                        // Churn: the sample includes the connect, which is
-                        // the cost under measurement.
-                        let mut client = Client::connect(addr).expect("connect churn connection");
-                        let response = client
-                            .request(spec.method, spec.path, spec.body)
-                            .expect("request during load");
-                        sent_bytes += client.bytes_sent();
-                        received_bytes += client.bytes_received();
-                        response
-                    }
-                };
+                // Churn samples include the connect, which is the cost
+                // under measurement; retries inflate the sample, which is
+                // the honest latency of the request that succeeded.
+                let (response, retries) = request_with_retry(
+                    &mut keepalive,
+                    addr,
+                    churn,
+                    &spec,
+                    &mut rng,
+                    &mut sent_bytes,
+                    &mut received_bytes,
+                );
+                retries_total += retries;
                 if !in_warmup {
                     latencies_ns.push(u64::try_from(sent.elapsed().as_nanos()).unwrap_or(u64::MAX));
                 }
@@ -617,17 +706,26 @@ fn run_phase(
                 sent_bytes += client.bytes_sent();
                 received_bytes += client.bytes_received();
             }
-            (latencies_ns, counts, sent_bytes, received_bytes)
+            (
+                latencies_ns,
+                counts,
+                sent_bytes,
+                received_bytes,
+                retries_total,
+            )
         }));
     }
     let mut latencies: Vec<u64> = Vec::new();
+    let mut retries = 0u64;
     for thread in threads {
-        let (thread_latencies, thread_counts, sent, received) =
+        let (thread_latencies, thread_counts, sent, received, thread_retries) =
             thread.join().expect("load thread panicked");
         latencies.extend(thread_latencies);
         tallies.counts.merge(&thread_counts);
         tallies.sent += sent;
         tallies.received += received;
+        tallies.retries += thread_retries;
+        retries += thread_retries;
     }
     let elapsed = warmup_deadline.elapsed();
     latencies.sort_unstable();
@@ -651,6 +749,7 @@ fn run_phase(
         p999: percentile(&latencies, 0.999),
         max: latencies.last().copied().unwrap_or(0),
         stddev,
+        retries,
     }
 }
 
@@ -750,7 +849,11 @@ fn main() {
     // Only the in-process server has counters that started at zero; an
     // external `--addr` server may carry traffic from before this run, so
     // the cross-check is skipped and the first fetch is final.
+    // Retried requests may or may not have reached the server, so once any
+    // request retried the byte/route totals cannot balance exactly and the
+    // strict cross-check is skipped (noted in the summary).
     let fresh_server = handle.is_some();
+    let exact_counters = fresh_server && tallies.retries == 0;
     let mut stats = None;
     let mut expected_bytes_in = 0u64;
     let mut expected_bytes_out = 0u64;
@@ -766,7 +869,7 @@ fn main() {
             .ok()
             .and_then(|r| Json::parse(&r.body).ok());
         expected_bytes_in = tallies.sent + probe.bytes_sent();
-        if !fresh_server {
+        if !exact_counters {
             break;
         }
         cross_check = cross_check_stats(
@@ -788,7 +891,7 @@ fn main() {
     if let Some(handle) = handle {
         handle.shutdown();
     }
-    if fresh_server {
+    if exact_counters {
         if let Err(e) = cross_check {
             eprintln!("error: stats coverage cross-check failed: {e}");
             std::process::exit(1);
@@ -798,6 +901,12 @@ fn main() {
             scenario.name(),
             expected_bytes_in,
             expected_bytes_out,
+        );
+    } else if fresh_server {
+        println!(
+            "{}: stats cross-check skipped ({} retried request(s) leave byte totals inexact)",
+            scenario.name(),
+            tallies.retries,
         );
     }
 
@@ -819,17 +928,24 @@ fn main() {
         primary.max as f64 / 1e3,
     );
     println!("{name}: fit-cache hit rate {hit_rate:.4}; predictions byte-identical to in-process");
+    if tallies.retries > 0 {
+        println!(
+            "{name}: {} request retries across the sweep",
+            tallies.retries
+        );
+    }
     if runs.len() > 1 {
         println!("{name}: latency vs connections");
-        println!("  connections     req/s   p50(µs)   p99(µs)  p999(µs)");
+        println!("  connections     req/s   p50(µs)   p99(µs)  p999(µs)   retries");
         for run in &runs {
             println!(
-                "  {:>11} {:>9.0} {:>9.1} {:>9.1} {:>9.1}",
+                "  {:>11} {:>9.0} {:>9.1} {:>9.1} {:>9.1} {:>9}",
                 run.connections,
                 run.rps,
                 run.p50 as f64 / 1e3,
                 run.p99 as f64 / 1e3,
                 run.p999 as f64 / 1e3,
+                run.retries,
             );
         }
     }
@@ -875,6 +991,14 @@ fn main() {
         name: format!("serve/{name}/cache_hit_rate_pct"),
         min_ns: hit_rate * 100.0,
         median_ns: hit_rate * 100.0,
+        stddev_ns: 0.0,
+        iters: primary.total,
+        batches: primary.connections as u64,
+    });
+    criterion::record(BenchRecord {
+        name: format!("serve/{name}/retries"),
+        min_ns: tallies.retries as f64,
+        median_ns: tallies.retries as f64,
         stddev_ns: 0.0,
         iters: primary.total,
         batches: primary.connections as u64,

@@ -580,6 +580,14 @@ impl BatchPredictor {
         }
     }
 
+    /// Create a batch predictor around a fully constructed
+    /// [`EstimaSession`] — the route for sessions whose store is durable or
+    /// resource-limited (see
+    /// [`MeasurementStore::open`](crate::store::MeasurementStore::open)).
+    pub fn with_session(session: EstimaSession) -> Self {
+        BatchPredictor { session }
+    }
+
     /// Borrow the underlying [`EstimaSession`]: the batch predictor is a
     /// thin fan-out wrapper over an (anonymous) session, and the session is
     /// where stateful series live. `estima-serve` routes its `/v1/series`

@@ -63,6 +63,24 @@ pub enum EstimaError {
         /// What the ingest disagreed about.
         detail: String,
     },
+    /// An ingest was rejected because it would exceed the tenant's
+    /// series-count or point-count quota. Retryable: TTL eviction or
+    /// explicit deletes free capacity.
+    QuotaExceeded {
+        /// The tenant whose quota was hit (the series-id prefix before the
+        /// first `.`).
+        tenant: String,
+        /// Which quota was exceeded and by how much.
+        detail: String,
+        /// Suggested client back-off before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The persistence layer (write-ahead log or snapshot) failed; the
+    /// in-memory mutation was not applied.
+    StorageFailure {
+        /// What went wrong.
+        detail: String,
+    },
 }
 
 impl fmt::Display for EstimaError {
@@ -103,6 +121,17 @@ impl fmt::Display for EstimaError {
             }
             EstimaError::SeriesConflict { series, detail } => {
                 write!(f, "series `{series}` conflict: {detail}")
+            }
+            EstimaError::QuotaExceeded {
+                tenant,
+                detail,
+                retry_after_ms,
+            } => write!(
+                f,
+                "tenant `{tenant}` quota exceeded: {detail} (retry after {retry_after_ms} ms)"
+            ),
+            EstimaError::StorageFailure { detail } => {
+                write!(f, "storage failure: {detail}")
             }
         }
     }
@@ -160,6 +189,14 @@ mod tests {
             EstimaError::SeriesConflict {
                 series: "app".into(),
                 detail: "frequency".into(),
+            },
+            EstimaError::QuotaExceeded {
+                tenant: "acme".into(),
+                detail: "series quota".into(),
+                retry_after_ms: 1000,
+            },
+            EstimaError::StorageFailure {
+                detail: "torn tail".into(),
             },
         ];
         for v in variants {

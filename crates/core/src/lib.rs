@@ -80,6 +80,7 @@ pub mod report;
 pub mod stats;
 pub mod store;
 pub mod time_extrapolation;
+pub mod wal;
 
 pub use bottleneck::{BottleneckEntry, BottleneckReport};
 pub use config::{EstimaConfig, TargetSpec};
@@ -94,8 +95,11 @@ pub use kernels::{FittedCurve, KernelKind};
 pub use levenberg::{Jacobian, LmModel, LmOptions, LmStats, LmWorkspace};
 pub use measurement::{Measurement, MeasurementSet, StallCategory, StallSource};
 pub use predictor::{CategoryExtrapolation, Estima, Prediction};
-pub use store::{EstimaSession, MeasurementStore, SeriesId, SeriesInfo, SeriesSnapshot};
+pub use store::{
+    EstimaSession, MeasurementStore, SeriesId, SeriesInfo, SeriesSnapshot, StoreLimits,
+};
 pub use time_extrapolation::{TimeExtrapolation, TimePrediction};
+pub use wal::{DurabilityOptions, WalStats};
 
 /// Convenience re-exports covering the common use of the crate.
 pub mod prelude {
@@ -106,6 +110,7 @@ pub mod prelude {
     pub use crate::kernels::{FittedCurve, KernelKind};
     pub use crate::measurement::{Measurement, MeasurementSet, StallCategory, StallSource};
     pub use crate::predictor::{Estima, Prediction};
-    pub use crate::store::{EstimaSession, MeasurementStore, SeriesId};
+    pub use crate::store::{EstimaSession, MeasurementStore, SeriesId, StoreLimits};
     pub use crate::time_extrapolation::{TimeExtrapolation, TimePrediction};
+    pub use crate::wal::{DurabilityOptions, WalStats};
 }

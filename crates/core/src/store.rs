@@ -68,13 +68,15 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
 use crate::config::{EstimaConfig, TargetSpec};
 use crate::engine::{CacheScope, FitCache};
 use crate::error::{EstimaError, Result};
 use crate::measurement::{Measurement, MeasurementSet};
 use crate::predictor::{Estima, Prediction};
+use crate::wal::{DurabilityOptions, Wal, WalStats};
 
 /// A validated series name: the identity of one measurement series in a
 /// [`MeasurementStore`], and the `{id}` path segment of the
@@ -146,6 +148,57 @@ struct SeriesRecord {
     set: Arc<MeasurementSet>,
     /// Monotonically increasing content version (1 = freshly created).
     version: u64,
+    /// When this series last changed content — the clock
+    /// [`StoreLimits::ttl`] eviction runs against.
+    last_write: Instant,
+}
+
+/// Resource bounds for graceful degradation under unbounded traffic; all
+/// default to "unlimited". A *tenant* is the series-id prefix before the
+/// first `.` (the whole id when there is none): `acme.checkout` and
+/// `acme.search` share tenant `acme`'s quotas.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StoreLimits {
+    /// Evict a series once this long has passed since its last content
+    /// mutation. Enforced lazily by [`MeasurementStore::sweep_expired`]
+    /// (which [`EstimaSession`] runs before every ingest).
+    pub ttl: Option<Duration>,
+    /// Most series one tenant may hold; a create beyond it is
+    /// [`EstimaError::QuotaExceeded`].
+    pub max_series_per_tenant: Option<u64>,
+    /// Most measurement points one tenant may hold across all its series;
+    /// an ingest growing past it is [`EstimaError::QuotaExceeded`].
+    pub max_points_per_tenant: Option<u64>,
+}
+
+impl StoreLimits {
+    /// No limits (the default).
+    pub fn new() -> StoreLimits {
+        StoreLimits::default()
+    }
+
+    /// Set the idle TTL after which a series is evicted.
+    pub fn with_ttl(mut self, ttl: Duration) -> StoreLimits {
+        self.ttl = Some(ttl);
+        self
+    }
+
+    /// Cap how many series one tenant may hold.
+    pub fn with_max_series_per_tenant(mut self, max: u64) -> StoreLimits {
+        self.max_series_per_tenant = Some(max);
+        self
+    }
+
+    /// Cap how many measurement points one tenant may hold.
+    pub fn with_max_points_per_tenant(mut self, max: u64) -> StoreLimits {
+        self.max_points_per_tenant = Some(max);
+        self
+    }
+}
+
+/// The tenant a series belongs to: the id prefix before the first `.`.
+fn tenant_of(id: &SeriesId) -> &str {
+    id.as_str().split('.').next().unwrap_or(id.as_str())
 }
 
 /// A consistent point-in-time view of one series: the measurement set as it
@@ -189,18 +242,215 @@ pub struct SeriesInfo {
 ///
 /// The store never touches the fit cache — pairing the two is
 /// [`EstimaSession`]'s job.
+///
+/// # Durability
+///
+/// A store created by [`MeasurementStore::open`] is backed by the
+/// [`crate::wal`] persistence layer: every content mutation is appended to
+/// a checksummed write-ahead log *before* it is applied in memory, and
+/// startup replays snapshot + log so every series returns at its exact
+/// pre-crash version. A store created by [`MeasurementStore::new`] is
+/// purely in-memory (durability off costs nothing on the hot path — no
+/// lock, no branch beyond one `Option` check).
 #[derive(Debug, Default)]
 pub struct MeasurementStore {
     series: RwLock<BTreeMap<SeriesId, SeriesRecord>>,
     /// Total successful content mutations across all series, ever (ingest
     /// calls that changed nothing do not count). Reported by `/v1/stats`.
     ingests: AtomicU64,
+    /// The write-ahead log, when durable. Lock order: `series` write lock
+    /// first, then this mutex — never the other way around.
+    wal: Option<Mutex<Wal>>,
+    /// TTL / per-tenant quota bounds (unlimited by default).
+    limits: StoreLimits,
 }
 
 impl MeasurementStore {
-    /// Create an empty store.
+    /// Create an empty, in-memory store.
     pub fn new() -> Self {
         MeasurementStore::default()
+    }
+
+    /// Create an empty, in-memory store with resource limits.
+    pub fn with_limits(limits: StoreLimits) -> Self {
+        MeasurementStore {
+            limits,
+            ..MeasurementStore::default()
+        }
+    }
+
+    /// Open a durable store: recover the contents persisted under
+    /// `options.dir` (empty when the directory is new) and write-ahead-log
+    /// every future mutation there.
+    pub fn open(options: &DurabilityOptions) -> Result<Self> {
+        MeasurementStore::open_with_limits(options, StoreLimits::default())
+    }
+
+    /// [`MeasurementStore::open`] with resource limits.
+    pub fn open_with_limits(options: &DurabilityOptions, limits: StoreLimits) -> Result<Self> {
+        let (wal, recovered) = Wal::open(options)?;
+        let now = Instant::now();
+        let series = recovered
+            .series
+            .into_iter()
+            .map(|(id, (version, set))| {
+                (
+                    id,
+                    SeriesRecord {
+                        set: Arc::new(set),
+                        version,
+                        last_write: now,
+                    },
+                )
+            })
+            .collect();
+        Ok(MeasurementStore {
+            series: RwLock::new(series),
+            ingests: AtomicU64::new(recovered.ingests),
+            wal: Some(Mutex::new(wal)),
+            limits,
+        })
+    }
+
+    /// The store's resource limits.
+    pub fn limits(&self) -> StoreLimits {
+        self.limits
+    }
+
+    /// Persistence counters, or `None` for an in-memory store.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.wal.as_ref().map(|wal| wal.lock().unwrap().stats())
+    }
+
+    /// Force a compaction now (snapshot + log truncation). A no-op for an
+    /// in-memory store. Normally compaction runs automatically once the log
+    /// passes [`DurabilityOptions::compact_bytes`]; this is for tests and
+    /// operational tooling.
+    pub fn compact(&self) -> Result<()> {
+        // A read lock suffices: it still excludes mutations, and the wal
+        // mutex (taken second, preserving the lock order) serializes
+        // concurrent compactions.
+        let series = self.series.read().unwrap();
+        let Some(wal) = &self.wal else {
+            return Ok(());
+        };
+        wal.lock().unwrap().compact(
+            series
+                .iter()
+                .map(|(id, record)| (id, record.version, record.set.as_ref())),
+            self.ingests.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Run compaction if the log has outgrown its threshold. Called with
+    /// the write lock held, right after a mutation was applied; errors are
+    /// deliberately swallowed — the mutation is already durable in the log,
+    /// and the next append retriggers compaction.
+    fn maybe_compact(&self, series: &BTreeMap<SeriesId, SeriesRecord>) {
+        let Some(wal) = &self.wal else {
+            return;
+        };
+        let mut wal = wal.lock().unwrap();
+        if wal.should_compact() {
+            let _ = wal.compact(
+                series
+                    .iter()
+                    .map(|(id, record)| (id, record.version, record.set.as_ref())),
+                self.ingests.load(Ordering::Relaxed),
+            );
+        }
+    }
+
+    /// How long a quota-limited client should wait before retrying: one TTL
+    /// period when TTL eviction is on (capacity will free up by itself), a
+    /// second otherwise (capacity frees only via explicit deletes).
+    fn retry_after_ms(&self) -> u64 {
+        self.limits
+            .ttl
+            .map(|ttl| u64::try_from(ttl.as_millis()).unwrap_or(u64::MAX).max(1))
+            .unwrap_or(1000)
+    }
+
+    /// Enforce [`StoreLimits::max_series_per_tenant`] before creating `id`.
+    fn check_series_quota(
+        &self,
+        series: &BTreeMap<SeriesId, SeriesRecord>,
+        id: &SeriesId,
+    ) -> Result<()> {
+        let Some(max) = self.limits.max_series_per_tenant else {
+            return Ok(());
+        };
+        let tenant = tenant_of(id);
+        let held = series.keys().filter(|k| tenant_of(k) == tenant).count() as u64;
+        if held >= max {
+            return Err(EstimaError::QuotaExceeded {
+                tenant: tenant.to_string(),
+                detail: format!(
+                    "creating series `{id}` would exceed the {max}-series quota ({held} held)"
+                ),
+                retry_after_ms: self.retry_after_ms(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Enforce [`StoreLimits::max_points_per_tenant`] before adding
+    /// `new_points` points to one of `id`'s tenant's series.
+    fn check_points_quota(
+        &self,
+        series: &BTreeMap<SeriesId, SeriesRecord>,
+        id: &SeriesId,
+        new_points: usize,
+    ) -> Result<()> {
+        let Some(max) = self.limits.max_points_per_tenant else {
+            return Ok(());
+        };
+        let tenant = tenant_of(id);
+        let held: u64 = series
+            .iter()
+            .filter(|(k, _)| tenant_of(k) == tenant)
+            .map(|(_, record)| record.set.len() as u64)
+            .sum();
+        if held + new_points as u64 > max {
+            return Err(EstimaError::QuotaExceeded {
+                tenant: tenant.to_string(),
+                detail: format!(
+                    "ingesting {new_points} point(s) into `{id}` would exceed the \
+                     {max}-point quota ({held} held)"
+                ),
+                retry_after_ms: self.retry_after_ms(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Evict every series idle longer than [`StoreLimits::ttl`], returning
+    /// the evicted ids (callers holding a fit cache must invalidate them).
+    /// Free when TTL is off: returns immediately without taking a lock.
+    pub fn sweep_expired(&self) -> Vec<SeriesId> {
+        let Some(ttl) = self.limits.ttl else {
+            return Vec::new();
+        };
+        let mut series = self.series.write().unwrap();
+        let expired: Vec<SeriesId> = series
+            .iter()
+            .filter(|(_, record)| record.last_write.elapsed() >= ttl)
+            .map(|(id, _)| id.clone())
+            .collect();
+        let mut evicted = Vec::with_capacity(expired.len());
+        for id in expired {
+            // Log the eviction first; on a log failure keep the series (it
+            // will be retried next sweep) rather than diverging from disk.
+            let logged = match &self.wal {
+                Some(wal) => wal.lock().unwrap().append_evict(&id).is_ok(),
+                None => true,
+            };
+            if logged {
+                series.remove(&id);
+                evicted.push(id);
+            }
+        }
+        evicted
     }
 
     /// Create `id` as an empty series measured at `frequency_ghz`, or verify
@@ -232,14 +482,20 @@ impl MeasurementStore {
                 Ok(record.version)
             }
             None => {
+                self.check_series_quota(&series, id)?;
+                if let Some(wal) = &self.wal {
+                    wal.lock().unwrap().append_create(id, frequency_ghz, 1)?;
+                }
                 series.insert(
                     id.clone(),
                     SeriesRecord {
                         set: Arc::new(MeasurementSet::new(id.as_str(), frequency_ghz)),
                         version: 1,
+                        last_write: Instant::now(),
                     },
                 );
                 self.ingests.fetch_add(1, Ordering::Relaxed);
+                self.maybe_compact(&series);
                 Ok(1)
             }
         }
@@ -262,23 +518,37 @@ impl MeasurementStore {
     /// callers holding a fit cache know whether invalidation is needed.
     pub fn ingest_changed(&self, id: &SeriesId, measurement: Measurement) -> Result<(u64, bool)> {
         let mut series = self.series.write().unwrap();
-        let record = series
-            .get_mut(id)
-            .ok_or_else(|| EstimaError::SeriesNotFound {
-                series: id.to_string(),
-            })?;
+        let record = series.get(id).ok_or_else(|| EstimaError::SeriesNotFound {
+            series: id.to_string(),
+        })?;
         // Idempotence check against the stored point *before* make_mut, so a
-        // redundant re-push never clones the copy-on-write set either.
-        let changed = match record.set.at_cores(measurement.cores) {
-            Some(existing) => !existing.content_eq(&measurement),
-            None => true,
+        // redundant re-push never clones the copy-on-write set — nor logs a
+        // record.
+        let (changed, is_new_point) = match record.set.at_cores(measurement.cores) {
+            Some(existing) => (!existing.content_eq(&measurement), false),
+            None => (true, true),
         };
-        if changed {
-            Arc::make_mut(&mut record.set).push(measurement);
-            record.version += 1;
-            self.ingests.fetch_add(1, Ordering::Relaxed);
+        if !changed {
+            return Ok((record.version, false));
         }
-        Ok((record.version, changed))
+        let version = record.version + 1;
+        if is_new_point {
+            self.check_points_quota(&series, id, 1)?;
+        }
+        // Append-before-apply: if the log rejects the record (torn write,
+        // fsync failure, non-finite value), the store is left untouched.
+        if let Some(wal) = &self.wal {
+            wal.lock()
+                .unwrap()
+                .append_ingest(id, &measurement, version)?;
+        }
+        let record = series.get_mut(id).expect("checked above under this lock");
+        Arc::make_mut(&mut record.set).push(measurement);
+        record.version = version;
+        record.last_write = Instant::now();
+        self.ingests.fetch_add(1, Ordering::Relaxed);
+        self.maybe_compact(&series);
+        Ok((version, true))
     }
 
     /// Merge a whole measurement set into `id`, creating the series when
@@ -316,9 +586,11 @@ impl MeasurementStore {
             )));
         }
         let mut series = self.series.write().unwrap();
-        let record = match series.entry(id.clone()) {
-            std::collections::btree_map::Entry::Occupied(occupied) => {
-                let record = occupied.into_mut();
+        // Decide what the merge will do — create? change content? add how
+        // many new points? — before mutating anything, so quota checks and
+        // the write-ahead append can run first and reject atomically.
+        let (created, changed, new_points, version_before) = match series.get(id) {
+            Some(record) => {
                 if record.set.frequency_ghz != frequency_ghz {
                     return Err(EstimaError::SeriesConflict {
                         series: id.to_string(),
@@ -328,40 +600,75 @@ impl MeasurementStore {
                         ),
                     });
                 }
-                record
+                // A merge where every incoming point is bit-identical to
+                // the stored one is a read: no version bump, no
+                // copy-on-write clone, no log record.
+                let mut changed = false;
+                let mut new_points = 0usize;
+                for measurement in set.measurements() {
+                    match record.set.at_cores(measurement.cores) {
+                        Some(existing) => changed |= !existing.content_eq(measurement),
+                        None => {
+                            changed = true;
+                            new_points += 1;
+                        }
+                    }
+                }
+                (false, changed, new_points, record.version)
             }
-            std::collections::btree_map::Entry::Vacant(vacant) => {
-                self.ingests.fetch_add(1, Ordering::Relaxed);
-                vacant.insert(SeriesRecord {
-                    set: Arc::new(MeasurementSet::new(id.as_str(), frequency_ghz)),
-                    version: 1,
-                })
+            None => {
+                self.check_series_quota(&series, id)?;
+                (true, !set.measurements().is_empty(), set.len(), 0)
             }
         };
-        // A merge where every incoming point is bit-identical to the stored
-        // one is a read: no version bump, no copy-on-write clone.
-        let changed = set.measurements().iter().any(|measurement| {
-            match record.set.at_cores(measurement.cores) {
-                Some(existing) => !existing.content_eq(measurement),
-                None => true,
+        // Create and merge are distinct content mutations (a created series
+        // that also received points lands at version 2, counter += 2).
+        let version = match (created, changed) {
+            (true, false) => 1,
+            (true, true) => 2,
+            (false, true) => version_before + 1,
+            (false, false) => version_before,
+        };
+        let mutations = u64::from(created) + u64::from(changed);
+        if new_points > 0 {
+            self.check_points_quota(&series, id, new_points)?;
+        }
+        if mutations > 0 {
+            if let Some(wal) = &self.wal {
+                wal.lock().unwrap().append_ingest_set(
+                    id,
+                    frequency_ghz,
+                    set.measurements(),
+                    version,
+                    mutations,
+                )?;
             }
+        }
+        let record = series.entry(id.clone()).or_insert_with(|| SeriesRecord {
+            set: Arc::new(MeasurementSet::new(id.as_str(), frequency_ghz)),
+            version: 1,
+            last_write: Instant::now(),
         });
         if changed {
             let stored = Arc::make_mut(&mut record.set);
             for measurement in set.measurements() {
                 stored.push(measurement.clone());
             }
-            record.version += 1;
-            self.ingests.fetch_add(1, Ordering::Relaxed);
         }
-        Ok((
-            SeriesSnapshot {
-                id: id.clone(),
-                version: record.version,
-                set: Arc::clone(&record.set),
-            },
-            changed,
-        ))
+        record.version = version;
+        if mutations > 0 {
+            record.last_write = Instant::now();
+            self.ingests.fetch_add(mutations, Ordering::Relaxed);
+        }
+        let snapshot = SeriesSnapshot {
+            id: id.clone(),
+            version: record.version,
+            set: Arc::clone(&record.set),
+        };
+        if mutations > 0 {
+            self.maybe_compact(&series);
+        }
+        Ok((snapshot, changed))
     }
 
     /// A consistent snapshot of one series, or `None` when it does not
@@ -390,15 +697,23 @@ impl MeasurementStore {
             .collect()
     }
 
-    /// Remove a series, returning its final snapshot (or `None` when it did
-    /// not exist).
-    pub fn evict(&self, id: &SeriesId) -> Option<SeriesSnapshot> {
+    /// Remove a series, returning its final snapshot (or `Ok(None)` when it
+    /// did not exist). On a durable store the eviction is write-ahead
+    /// logged first; a log failure leaves the series in place.
+    pub fn evict(&self, id: &SeriesId) -> Result<Option<SeriesSnapshot>> {
         let mut series = self.series.write().unwrap();
-        series.remove(id).map(|record| SeriesSnapshot {
+        if !series.contains_key(id) {
+            return Ok(None);
+        }
+        if let Some(wal) = &self.wal {
+            wal.lock().unwrap().append_evict(id)?;
+        }
+        let record = series.remove(id).expect("checked above under this lock");
+        Ok(Some(SeriesSnapshot {
             id: id.clone(),
             version: record.version,
             set: record.set,
-        })
+        }))
     }
 
     /// Number of stored series.
@@ -461,9 +776,16 @@ impl EstimaSession {
     /// Create a session sharing an externally owned [`FitCache`] (e.g. the
     /// server's capacity-bounded cache).
     pub fn with_cache(config: EstimaConfig, cache: Arc<FitCache>) -> Self {
+        EstimaSession::with_store(config, cache, MeasurementStore::new())
+    }
+
+    /// Create a session around an externally constructed store — a durable
+    /// one from [`MeasurementStore::open`], or one with
+    /// [`StoreLimits`] — sharing an externally owned [`FitCache`].
+    pub fn with_store(config: EstimaConfig, cache: Arc<FitCache>, store: MeasurementStore) -> Self {
         EstimaSession {
             estima: Estima::new(config),
-            store: MeasurementStore::new(),
+            store,
             cache,
         }
     }
@@ -490,7 +812,19 @@ impl EstimaSession {
 
     /// Create or verify a series; see [`MeasurementStore::ensure`].
     pub fn ensure(&self, id: &SeriesId, frequency_ghz: f64) -> Result<u64> {
+        self.sweep_expired();
         self.store.ensure(id, frequency_ghz)
+    }
+
+    /// Evict every TTL-expired series and drop its cached fits; see
+    /// [`MeasurementStore::sweep_expired`]. Runs automatically before every
+    /// ingest; free (no lock) when no TTL is configured.
+    pub fn sweep_expired(&self) -> Vec<SeriesId> {
+        let evicted = self.store.sweep_expired();
+        for id in &evicted {
+            self.cache.invalidate_series(id.as_str());
+        }
+        evicted
     }
 
     /// Append one measurement to a series and invalidate its cached fits —
@@ -501,6 +835,7 @@ impl EstimaSession {
     /// [`EstimaSession::predict`] of this series refits, every other series'
     /// cached fits are untouched.
     pub fn ingest(&self, id: &SeriesId, measurement: Measurement) -> Result<u64> {
+        self.sweep_expired();
         let (version, changed) = self.store.ingest_changed(id, measurement)?;
         if changed {
             self.cache.invalidate_series(id.as_str());
@@ -514,6 +849,7 @@ impl EstimaSession {
     /// point bit-identical to the stored one) invalidates nothing. Returns
     /// the post-merge snapshot.
     pub fn ingest_set(&self, id: &SeriesId, set: &MeasurementSet) -> Result<SeriesSnapshot> {
+        self.sweep_expired();
         let (snapshot, changed) = self.store.ingest_set_changed(id, set)?;
         if changed {
             self.cache.invalidate_series(id.as_str());
@@ -566,11 +902,14 @@ impl EstimaSession {
     }
 
     /// Remove a series and drop its cached fits. Returns the final snapshot,
-    /// or `None` when the series did not exist.
-    pub fn evict(&self, id: &SeriesId) -> Option<SeriesSnapshot> {
+    /// or `Ok(None)` when the series did not exist; on a durable store a
+    /// persistence failure leaves the series (and its fits) in place.
+    pub fn evict(&self, id: &SeriesId) -> Result<Option<SeriesSnapshot>> {
         let snapshot = self.store.evict(id)?;
-        self.cache.invalidate_series(id.as_str());
-        Some(snapshot)
+        if snapshot.is_some() {
+            self.cache.invalidate_series(id.as_str());
+        }
+        Ok(snapshot)
     }
 }
 
@@ -737,8 +1076,8 @@ mod tests {
         }
         let listed: Vec<String> = store.list().iter().map(|i| i.id.to_string()).collect();
         assert_eq!(listed, vec!["alpha", "mid", "zeta"]);
-        assert!(store.evict(&id("mid")).is_some());
-        assert!(store.evict(&id("mid")).is_none());
+        assert!(store.evict(&id("mid")).unwrap().is_some());
+        assert!(store.evict(&id("mid")).unwrap().is_none());
         assert_eq!(store.len(), 2);
     }
 
@@ -824,11 +1163,197 @@ mod tests {
         }
         session.predict(&app, &TargetSpec::cores(40)).unwrap();
         assert!(!session.cache().is_empty());
-        let snapshot = session.evict(&app).unwrap();
+        let snapshot = session.evict(&app).unwrap().unwrap();
         assert_eq!(snapshot.set.len(), 10);
         assert!(
             session.cache().is_empty(),
             "evicting the only series must drop its cached fits"
+        );
+    }
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "estima-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn durable_store_restores_exact_versions_and_counters() {
+        let dir = tmp_dir("reopen");
+        let options = DurabilityOptions::new(&dir);
+        {
+            let store = MeasurementStore::open(&options).unwrap();
+            let app = id("app");
+            store.ensure(&app, 2.1).unwrap();
+            for cores in 1..=6 {
+                store.ingest(&app, point(cores)).unwrap();
+            }
+            // A redundant ingest is logged nowhere: no version bump on
+            // disk either.
+            store.ingest(&app, point(3)).unwrap();
+            store.ensure(&id("other"), 3.0).unwrap();
+            store.evict(&id("other")).unwrap().unwrap();
+            assert_eq!(store.ingests(), 8);
+        }
+        let store = MeasurementStore::open(&options).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.ingests(), 8);
+        let snapshot = store.snapshot(&id("app")).unwrap();
+        assert_eq!(snapshot.version, 7);
+        assert_eq!(snapshot.set.len(), 6);
+        for cores in 1..=6 {
+            assert!(snapshot
+                .set
+                .at_cores(cores)
+                .unwrap()
+                .content_eq(&point(cores)));
+        }
+        // create app + 6 ingests + create other + evict other = 9 records.
+        assert_eq!(store.wal_stats().unwrap().replays, 9);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn durable_ingest_set_survives_compaction_and_reopen() {
+        let dir = tmp_dir("compact");
+        // A tiny threshold so the second mutation triggers compaction.
+        let options = DurabilityOptions::new(&dir).with_compact_bytes(64);
+        {
+            let store = MeasurementStore::open(&options).unwrap();
+            let mut set = MeasurementSet::new("ignored", 2.1);
+            for cores in 1..=5 {
+                set.push(point(cores));
+            }
+            let merged = store.ingest_set(&id("app"), &set).unwrap();
+            assert_eq!(merged.version, 2);
+            store.ingest(&id("app"), point(6)).unwrap();
+            let stats = store.wal_stats().unwrap();
+            assert!(stats.snapshots >= 1, "compaction never ran: {stats:?}");
+        }
+        let store = MeasurementStore::open(&options).unwrap();
+        let snapshot = store.snapshot(&id("app")).unwrap();
+        assert_eq!(snapshot.version, 3);
+        assert_eq!(snapshot.set.len(), 6);
+        assert_eq!(snapshot.set.app_name, "app");
+        assert_eq!(store.ingests(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn durable_session_predictions_are_bit_identical_after_reopen() {
+        let dir = tmp_dir("predict");
+        let options = DurabilityOptions::new(&dir);
+        let config = EstimaConfig::default().with_parallelism(1);
+        let app = id("app");
+        let target = TargetSpec::cores(40);
+        let before = {
+            let session = EstimaSession::with_store(
+                config.clone(),
+                Arc::new(FitCache::new()),
+                MeasurementStore::open(&options).unwrap(),
+            );
+            session.ensure(&app, 2.1).unwrap();
+            for cores in 1..=10 {
+                session.ingest(&app, point(cores)).unwrap();
+            }
+            session.predict(&app, &target).unwrap()
+        };
+        let session = EstimaSession::with_store(
+            config,
+            Arc::new(FitCache::new()),
+            MeasurementStore::open(&options).unwrap(),
+        );
+        let after = session.predict(&app, &target).unwrap();
+        assert_eq!(before.predicted_time.len(), after.predicted_time.len());
+        for ((c1, t1), (c2, t2)) in before.predicted_time.iter().zip(&after.predicted_time) {
+            assert_eq!(c1, c2);
+            assert_eq!(
+                t1.to_bits(),
+                t2.to_bits(),
+                "prediction drifted at {c1} cores"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ttl_sweep_evicts_idle_series_and_their_fits() {
+        let limits = StoreLimits::new().with_ttl(Duration::from_millis(30));
+        let session = EstimaSession::with_store(
+            EstimaConfig::default().with_parallelism(1),
+            Arc::new(FitCache::new()),
+            MeasurementStore::with_limits(limits),
+        );
+        let app = id("app");
+        session.ensure(&app, 2.1).unwrap();
+        for cores in 1..=10 {
+            session.ingest(&app, point(cores)).unwrap();
+        }
+        session.predict(&app, &TargetSpec::cores(40)).unwrap();
+        assert!(!session.cache().is_empty());
+        std::thread::sleep(Duration::from_millis(40));
+        let evicted = session.sweep_expired();
+        assert_eq!(evicted, vec![app.clone()]);
+        assert!(session.store().is_empty());
+        assert!(session.cache().is_empty(), "expired series kept its fits");
+        // A sweeping store still accepts the series back afterwards.
+        assert_eq!(session.ensure(&app, 2.1).unwrap(), 1);
+    }
+
+    #[test]
+    fn tenant_quotas_reject_with_retry_hints() {
+        let limits = StoreLimits::new()
+            .with_max_series_per_tenant(2)
+            .with_max_points_per_tenant(3);
+        let store = MeasurementStore::with_limits(limits);
+        // Series quota: two `acme.*` series fit, the third is rejected;
+        // another tenant is unaffected.
+        store.ensure(&id("acme.checkout"), 2.1).unwrap();
+        store.ensure(&id("acme.search"), 2.1).unwrap();
+        let err = store.ensure(&id("acme.feed"), 2.1).unwrap_err();
+        match err {
+            EstimaError::QuotaExceeded {
+                tenant,
+                retry_after_ms,
+                ..
+            } => {
+                assert_eq!(tenant, "acme");
+                assert_eq!(retry_after_ms, 1000, "no TTL → fixed retry hint");
+            }
+            other => panic!("expected QuotaExceeded, got {other:?}"),
+        }
+        store.ensure(&id("globex.api"), 2.1).unwrap();
+        // Point quota is shared across the tenant's series.
+        store.ingest(&id("acme.checkout"), point(1)).unwrap();
+        store.ingest(&id("acme.checkout"), point(2)).unwrap();
+        store.ingest(&id("acme.search"), point(1)).unwrap();
+        assert!(matches!(
+            store.ingest(&id("acme.search"), point(2)),
+            Err(EstimaError::QuotaExceeded { .. })
+        ));
+        // Replacing an existing core count adds no point: allowed.
+        let mut hotter = point(2);
+        hotter.exec_time *= 1.5;
+        store.ingest(&id("acme.checkout"), hotter).unwrap();
+        // Evicting frees quota again.
+        store.evict(&id("acme.checkout")).unwrap().unwrap();
+        store.ingest(&id("acme.search"), point(2)).unwrap();
+        // ingest_set counts its genuinely-new points in one check.
+        let mut set = MeasurementSet::new("x", 2.1);
+        for cores in 1..=4 {
+            set.push(point(cores));
+        }
+        assert!(matches!(
+            store.ingest_set(&id("acme.bulk"), &set),
+            Err(EstimaError::QuotaExceeded { .. })
+        ));
+        assert!(
+            store.snapshot(&id("acme.bulk")).is_none(),
+            "a rejected merge must not half-create the series"
         );
     }
 }

@@ -179,6 +179,19 @@ fn line_as_str(buf: &[u8]) -> Result<&str, ParseError> {
 /// warm, was refilled without allocating (pinned by
 /// `tests/serve_alloc.rs`).
 pub fn parse_request(buf: &[u8], request: &mut Request) -> Result<ParseStatus, ParseError> {
+    parse_request_limited(buf, request, MAX_BODY_BYTES)
+}
+
+/// [`parse_request`] with a caller-chosen body cap, for deployments that
+/// bound request sizes below the compiled-in [`MAX_BODY_BYTES`] (the
+/// server's `--max-body-bytes` flag). The cap applies to the declared
+/// `Content-Length`; a request over it is rejected with
+/// [`ParseError::BodyTooLarge`] *before* any body byte is buffered.
+pub fn parse_request_limited(
+    buf: &[u8],
+    request: &mut Request,
+    max_body_bytes: usize,
+) -> Result<ParseStatus, ParseError> {
     request.clear();
 
     // Request line.
@@ -258,7 +271,7 @@ pub fn parse_request(buf: &[u8], request: &mut Request) -> Result<ParseStatus, P
             .map_err(|_| ParseError::Malformed(format!("bad content-length: {raw:?}")))?,
         None => 0,
     };
-    if body_len > MAX_BODY_BYTES {
+    if body_len > max_body_bytes {
         return Err(ParseError::BodyTooLarge(body_len));
     }
     let Some(body) = buf.get(pos..pos + body_len) else {
@@ -357,6 +370,10 @@ pub struct ResponseBuf {
     /// Value of the `Allow` header, emitted on `405 Method Not Allowed`
     /// responses (RFC 9110 §10.2.1 requires it), e.g. `"GET, DELETE"`.
     pub allow: Option<&'static str>,
+    /// Value of the `Retry-After` header in seconds, emitted on `429 Too
+    /// Many Requests` responses so throttled clients know when quota may
+    /// free up.
+    pub retry_after: Option<u64>,
     /// Response body. Every endpoint of this service speaks JSON text, so
     /// the body is a `String` that serializers append into directly.
     pub body: String,
@@ -377,6 +394,7 @@ impl ResponseBuf {
             status: 200,
             content_type: "application/json",
             allow: None,
+            retry_after: None,
             body: String::new(),
             head: Vec::new(),
         }
@@ -387,6 +405,7 @@ impl ResponseBuf {
         self.status = 200;
         self.content_type = "application/json";
         self.allow = None;
+        self.retry_after = None;
         self.body.clear();
     }
 
@@ -404,6 +423,9 @@ impl ResponseBuf {
         );
         if let Some(methods) = self.allow {
             let _ = write!(self.head, "allow: {methods}\r\n");
+        }
+        if let Some(seconds) = self.retry_after {
+            let _ = write!(self.head, "retry-after: {seconds}\r\n");
         }
         let _ = write!(
             self.head,
@@ -444,6 +466,7 @@ fn reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         409 => "Conflict",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         422 => "Unprocessable Entity",
         500 => "Internal Server Error",
         _ => "Unknown",
@@ -600,6 +623,41 @@ mod tests {
         assert_eq!(request.header("x-extra"), None);
         assert!(request.body.is_empty());
         writer.join().unwrap();
+    }
+
+    #[test]
+    fn limited_parser_enforces_the_configured_body_cap() {
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\n0123456789";
+        let mut request = Request::new();
+        assert!(matches!(
+            parse_request_limited(raw, &mut request, 9),
+            Err(ParseError::BodyTooLarge(10))
+        ));
+        assert!(matches!(
+            parse_request_limited(raw, &mut request, 10),
+            Ok(ParseStatus::Complete { consumed }) if consumed == raw.len()
+        ));
+        assert_eq!(request.body, b"0123456789");
+    }
+
+    #[test]
+    fn too_many_requests_carries_the_retry_after_header() {
+        let mut response = ResponseBuf::new();
+        response.status = 429;
+        response.retry_after = Some(7);
+        response.body.push_str("{}");
+        let mut wire = Vec::new();
+        response.render_into(&mut wire, true);
+        let raw = String::from_utf8(wire).unwrap();
+        assert!(
+            raw.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{raw}"
+        );
+        assert!(raw.contains("\r\nretry-after: 7\r\n"), "{raw}");
+        // Plain responses must not grow a retry-after header, and reset
+        // clears it.
+        response.reset();
+        assert_eq!(response.retry_after, None);
     }
 
     #[test]

@@ -4,6 +4,9 @@
 //! ```text
 //! estima-serve [--addr 127.0.0.1:7117] [--reactor-threads N] [--backlog N]
 //!              [--parallelism N] [--cache-capacity N]
+//!              [--data-dir DIR] [--wal-sync] [--wal-compact-bytes N]
+//!              [--ttl-secs N] [--max-series-per-tenant N]
+//!              [--max-points-per-tenant N] [--max-body-bytes N]
 //! ```
 //!
 //! Binds, prints the listening address, and serves until killed. See
@@ -15,7 +18,9 @@ use estima_serve::{Server, ServerConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: estima-serve [--addr HOST:PORT] [--reactor-threads N] [--backlog N] \
-         [--parallelism N] [--cache-capacity N]\n\
+         [--parallelism N] [--cache-capacity N] [--data-dir DIR] [--wal-sync] \
+         [--wal-compact-bytes N] [--ttl-secs N] [--max-series-per-tenant N] \
+         [--max-points-per-tenant N] [--max-body-bytes N]\n\
          \n\
          --addr             bind address (default 127.0.0.1:7117; port 0 = auto)\n\
          --reactor-threads  epoll reactor threads, 0 = one per CPU (default 0);\n\
@@ -23,7 +28,18 @@ fn usage() -> ! {
          \u{20}                  any number of connections\n\
          --backlog          listen backlog depth (default 1024)\n\
          --parallelism      per-prediction engine workers (default 1)\n\
-         --cache-capacity   fit-cache size in cached series (default 4096)"
+         --cache-capacity   fit-cache size in cached series (default 4096)\n\
+         --data-dir         durable store directory: WAL + snapshots; series\n\
+         \u{20}                  survive restarts (default: in-memory only)\n\
+         --wal-sync         fsync every WAL append (power-loss durability;\n\
+         \u{20}                  a process crash never loses data either way)\n\
+         --wal-compact-bytes  WAL size that triggers snapshot compaction\n\
+         \u{20}                  (default 4194304)\n\
+         --ttl-secs         evict series idle this long, 0 = never (default 0)\n\
+         --max-series-per-tenant  per-tenant series quota, 0 = unlimited;\n\
+         \u{20}                  the tenant is the series-id prefix before `.`\n\
+         --max-points-per-tenant  per-tenant point quota, 0 = unlimited\n\
+         --max-body-bytes   largest accepted request body (default 16777216)"
     );
     std::process::exit(2);
 }
@@ -54,6 +70,28 @@ fn main() {
             },
             "--cache-capacity" => match value("--cache-capacity").parse() {
                 Ok(n) => config.cache_capacity = n,
+                Err(_) => usage(),
+            },
+            "--data-dir" => config.data_dir = Some(value("--data-dir")),
+            "--wal-sync" => config.wal_sync = true,
+            "--wal-compact-bytes" => match value("--wal-compact-bytes").parse() {
+                Ok(n) => config.wal_compact_bytes = n,
+                Err(_) => usage(),
+            },
+            "--ttl-secs" => match value("--ttl-secs").parse() {
+                Ok(n) => config.ttl_secs = n,
+                Err(_) => usage(),
+            },
+            "--max-series-per-tenant" => match value("--max-series-per-tenant").parse() {
+                Ok(n) => config.max_series_per_tenant = n,
+                Err(_) => usage(),
+            },
+            "--max-points-per-tenant" => match value("--max-points-per-tenant").parse() {
+                Ok(n) => config.max_points_per_tenant = n,
+                Err(_) => usage(),
+            },
+            "--max-body-bytes" => match value("--max-body-bytes").parse() {
+                Ok(n) => config.max_body_bytes = n,
                 Err(_) => usage(),
             },
             "--help" | "-h" => usage(),

@@ -8,7 +8,8 @@
 //! edge-triggered for read *and* write. A per-connection state machine
 //! (*Reading → Dispatching → Writing → KeepAlive*) drives the reusable
 //! request/response buffers: partial reads accumulate and re-run the
-//! resumable [`parse_request`]; complete requests dispatch synchronously on
+//! resumable [`parse_request_limited`];
+//! complete requests dispatch synchronously on
 //! the reactor thread; responses render into one output buffer that
 //! resumes from any partial-write offset. The steady-state cost of a
 //! keep-alive request is one `read`, one `write`, and zero heap
@@ -33,10 +34,13 @@ use std::time::Instant;
 
 use estima_core::json::Json;
 use estima_core::store::EstimaSession;
-use estima_core::{BatchPredictor, EstimaConfig, EstimaError, FitCache, MeasurementSet, SeriesId};
+use estima_core::{
+    BatchPredictor, DurabilityOptions, EstimaConfig, EstimaError, FitCache, MeasurementSet,
+    MeasurementStore, SeriesId, StoreLimits,
+};
 
 use crate::http::{
-    parse_request, ParseError, ParseStatus, Request, ResponseBuf, REQUEST_READ_TIMEOUT,
+    parse_request_limited, ParseError, ParseStatus, Request, ResponseBuf, REQUEST_READ_TIMEOUT,
 };
 use crate::stats::ServerStats;
 use crate::sys;
@@ -63,6 +67,28 @@ pub struct ServerConfig {
     pub parallelism: usize,
     /// Total [`FitCache`] capacity in cached series.
     pub cache_capacity: usize,
+    /// Directory for the durable measurement store (write-ahead log +
+    /// snapshots). `None` (the default) keeps the store purely in-memory —
+    /// the zero-cost hot path the loadgen gates run against.
+    pub data_dir: Option<String>,
+    /// With `data_dir`: fsync every log append before acknowledging the
+    /// ingest (survives power loss, costs a flush per mutation). Off by
+    /// default — appends still survive a process crash either way.
+    pub wal_sync: bool,
+    /// With `data_dir`: log size in bytes that triggers snapshot
+    /// compaction.
+    pub wal_compact_bytes: u64,
+    /// Evict series idle longer than this many seconds (`0` = never).
+    pub ttl_secs: u64,
+    /// Most series one tenant may hold (`0` = unlimited). A tenant is the
+    /// series-id prefix before the first `.`.
+    pub max_series_per_tenant: u64,
+    /// Most measurement points one tenant may hold across its series
+    /// (`0` = unlimited).
+    pub max_points_per_tenant: u64,
+    /// Largest accepted request body in bytes (413 beyond it). Capped at
+    /// the compiled-in [`crate::http::MAX_BODY_BYTES`].
+    pub max_body_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +99,13 @@ impl Default for ServerConfig {
             backlog: 1024,
             parallelism: 1,
             cache_capacity: 4096,
+            data_dir: None,
+            wal_sync: false,
+            wal_compact_bytes: 4 * 1024 * 1024,
+            ttl_secs: 0,
+            max_series_per_tenant: 0,
+            max_points_per_tenant: 0,
+            max_body_bytes: crate::http::MAX_BODY_BYTES,
         }
     }
 }
@@ -83,6 +116,8 @@ struct AppState {
     batch: BatchPredictor,
     stats: ServerStats,
     reactor_threads: usize,
+    /// Per-connection request-body cap ([`ServerConfig::max_body_bytes`]).
+    max_body_bytes: usize,
     shutting_down: AtomicBool,
     /// Precomputed `GET /v1/healthz` body: the contents never change after
     /// bind, so the hottest route copies from this instead of re-rendering —
@@ -132,6 +167,27 @@ impl Server {
         };
         let cache = Arc::new(FitCache::with_capacity(config.cache_capacity));
         let estima_config = EstimaConfig::default().with_parallelism(config.parallelism.max(1));
+        let mut limits = StoreLimits::new();
+        if config.ttl_secs > 0 {
+            limits = limits.with_ttl(std::time::Duration::from_secs(config.ttl_secs));
+        }
+        if config.max_series_per_tenant > 0 {
+            limits = limits.with_max_series_per_tenant(config.max_series_per_tenant);
+        }
+        if config.max_points_per_tenant > 0 {
+            limits = limits.with_max_points_per_tenant(config.max_points_per_tenant);
+        }
+        let store = match &config.data_dir {
+            Some(dir) => {
+                let options = DurabilityOptions::new(dir)
+                    .with_sync(config.wal_sync)
+                    .with_compact_bytes(config.wal_compact_bytes);
+                MeasurementStore::open_with_limits(&options, limits)
+                    .map_err(|e| std::io::Error::other(format!("cannot open data_dir: {e}")))?
+            }
+            None => MeasurementStore::with_limits(limits),
+        };
+        let session = EstimaSession::with_store(estima_config, cache, store);
         // The wire key stays `workers` (monitoring compatibility); it now
         // reports the reactor-thread count.
         let healthz_body = Json::Object(vec![
@@ -140,9 +196,10 @@ impl Server {
         ])
         .render();
         let state = Arc::new(AppState {
-            batch: BatchPredictor::with_cache(estima_config, cache),
+            batch: BatchPredictor::with_session(session),
             stats: ServerStats::default(),
             reactor_threads,
+            max_body_bytes: config.max_body_bytes.min(crate::http::MAX_BODY_BYTES),
             shutting_down: AtomicBool::new(false),
             healthz_body,
         });
@@ -488,14 +545,54 @@ fn fill_and_dispatch(conn: &mut Conn, state: &AppState) -> Fill {
                 conn.eof = true;
                 break;
             }
-            Ok(n) => conn.inbuf.extend_from_slice(&chunk[..n]),
+            Ok(n) => {
+                conn.inbuf.extend_from_slice(&chunk[..n]);
+                // Parse after *every* chunk, not once the socket drains: a
+                // peer that writes faster than one read loop can drain
+                // would otherwise keep the socket readable while `inbuf`
+                // grows without bound. Consuming complete requests as they
+                // arrive keeps the buffer bounded by a single in-flight
+                // request (whose header and body caps the parser enforces).
+                dispatch_buffered(conn, state);
+                if conn.close_after_flush {
+                    break;
+                }
+                // Backstop for the bound the parser already guarantees: a
+                // partial request can never legitimately out-grow the
+                // header cap plus the configured body cap.
+                if conn.inbuf.len() > crate::http::MAX_HEADER_BYTES + state.max_body_bytes {
+                    conn.response.reset();
+                    respond_error(
+                        &mut conn.response,
+                        413,
+                        "payload_too_large",
+                        "request exceeds the configured size limit",
+                    );
+                    finish_response(conn, state, true);
+                    conn.inbuf.clear();
+                    break;
+                }
+            }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(_) => return Fill::Fatal,
         }
     }
+    if conn.eof && !conn.inbuf.is_empty() && !conn.close_after_flush {
+        // The peer stopped mid-request: mirror the blocking reader's 400.
+        conn.response.reset();
+        respond_error(&mut conn.response, 400, "bad_request", "eof inside request");
+        finish_response(conn, state, true);
+        conn.inbuf.clear();
+    }
+    Fill::Drained
+}
+
+/// Parse and answer every complete request at the front of `inbuf`,
+/// leaving any trailing partial request in place.
+fn dispatch_buffered(conn: &mut Conn, state: &AppState) {
     while !conn.inbuf.is_empty() && !conn.close_after_flush {
-        match parse_request(&conn.inbuf, &mut conn.request) {
+        match parse_request_limited(&conn.inbuf, &mut conn.request, state.max_body_bytes) {
             Ok(ParseStatus::Complete { consumed }) => {
                 state
                     .stats
@@ -526,14 +623,6 @@ fn fill_and_dispatch(conn: &mut Conn, state: &AppState) -> Fill {
             }
         }
     }
-    if conn.eof && !conn.inbuf.is_empty() && !conn.close_after_flush {
-        // The peer stopped mid-request: mirror the blocking reader's 400.
-        conn.response.reset();
-        respond_error(&mut conn.response, 400, "bad_request", "eof inside request");
-        finish_response(conn, state, true);
-        conn.inbuf.clear();
-    }
-    Fill::Drained
 }
 
 /// Advance one connection's state machine as far as the socket allows:
@@ -716,6 +805,14 @@ fn not_found(path: &str, out: &mut ResponseBuf) {
 /// Map a store/pipeline error to its wire response (see
 /// [`wire::estima_error_status`]).
 fn store_error(error: &EstimaError, out: &mut ResponseBuf) {
+    if let EstimaError::QuotaExceeded { retry_after_ms, .. } = error {
+        // Structured degradation: 429 with both a `Retry-After` header
+        // (whole seconds, rounded up) and a millisecond hint in the body.
+        out.status = 429;
+        out.retry_after = Some(retry_after_ms.div_ceil(1000).max(1));
+        wire::write_quota_error(&error.to_string(), *retry_after_ms, &mut out.body);
+        return;
+    }
     let (status, code) = wire::estima_error_status(error);
     respond_error(out, status, code, &error.to_string());
 }
@@ -879,6 +976,24 @@ fn server_stats(state: &AppState, out: &mut ResponseBuf) {
             ]),
         ),
         (
+            "wal".to_string(),
+            match store.wal_stats() {
+                Some(wal) => Json::Object(vec![
+                    ("records".to_string(), Json::Number(wal.records as f64)),
+                    ("bytes".to_string(), Json::Number(wal.bytes as f64)),
+                    ("snapshots".to_string(), Json::Number(wal.snapshots as f64)),
+                    ("replays".to_string(), Json::Number(wal.replays as f64)),
+                    (
+                        "last_compaction_ms".to_string(),
+                        Json::Number(wal.last_compaction_ms),
+                    ),
+                ]),
+                // Durability off: `null`, not a zeroed object, so monitors
+                // can tell "no WAL" from "WAL with no records yet".
+                None => Json::Null,
+            },
+        ),
+        (
             "latency_us".to_string(),
             Json::Object(vec![
                 (
@@ -1033,7 +1148,8 @@ fn series_delete(raw_id: &str, state: &AppState, out: &mut ResponseBuf) {
         return;
     };
     match session(state).evict(&id) {
-        Some(snapshot) => {
+        Err(error) => store_error(&error, out),
+        Ok(Some(snapshot)) => {
             let body = Json::Object(vec![
                 (
                     "deleted".to_string(),
@@ -1047,7 +1163,7 @@ fn series_delete(raw_id: &str, state: &AppState, out: &mut ResponseBuf) {
             ]);
             respond_json(out, 200, &body);
         }
-        None => store_error(
+        Ok(None) => store_error(
             &EstimaError::SeriesNotFound {
                 series: id.to_string(),
             },

@@ -858,8 +858,21 @@ pub fn estima_error_status(error: &EstimaError) -> (u16, &'static str) {
         EstimaError::SeriesNotFound { .. } => (404, "series_not_found"),
         EstimaError::SeriesConflict { .. } => (409, "series_conflict"),
         EstimaError::InvalidSeriesId { .. } => (400, "bad_request"),
+        EstimaError::QuotaExceeded { .. } => (429, "quota_exceeded"),
+        EstimaError::StorageFailure { .. } => (500, "storage_failure"),
         _ => (422, "prediction_failed"),
     }
+}
+
+/// Encode the `429 quota_exceeded` error body: the standard error object
+/// plus a machine-readable `retry_after_ms` hint, mirroring the response's
+/// `Retry-After` header at millisecond precision.
+pub fn write_quota_error(message: &str, retry_after_ms: u64, out: &mut String) {
+    out.push_str("{\"error\":{\"code\":\"quota_exceeded\",\"message\":");
+    write_json_string(message, out);
+    out.push_str(",\"retry_after_ms\":");
+    let _ = std::fmt::Write::write_fmt(out, format_args!("{retry_after_ms}"));
+    out.push_str("}}");
 }
 
 /// Encode a wire error body: `{"error": {"code": ..., "message": ...}}`.
@@ -899,6 +912,36 @@ mod tests {
             );
         }
         set
+    }
+
+    #[test]
+    fn quota_error_body_carries_the_retry_hint() {
+        let mut out = String::new();
+        write_quota_error("tenant `acme` quota exceeded", 1500, &mut out);
+        let parsed = Json::parse(&out).unwrap();
+        let error = parsed.get("error").unwrap();
+        assert_eq!(
+            error.get("code").and_then(Json::as_str),
+            Some("quota_exceeded")
+        );
+        assert_eq!(
+            error.get("retry_after_ms").and_then(Json::as_u64),
+            Some(1500)
+        );
+        assert_eq!(
+            estima_error_status(&EstimaError::QuotaExceeded {
+                tenant: "acme".into(),
+                detail: "series quota".into(),
+                retry_after_ms: 1500,
+            }),
+            (429, "quota_exceeded")
+        );
+        assert_eq!(
+            estima_error_status(&EstimaError::StorageFailure {
+                detail: "disk".into(),
+            }),
+            (500, "storage_failure")
+        );
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! Kill -9 durability loopback test.
+//!
+//! Runs the real `estima-serve` binary with `--data-dir`, ingests a stable
+//! series plus a churn stream, SIGKILLs the process mid-ingest, restarts it
+//! on the same directory, and requires the stable series back at its exact
+//! pre-crash version with predictions **byte-identical** to both the
+//! pre-crash server and an uninterrupted in-process control server.
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use estima_core::json::Json;
+use estima_core::prelude::*;
+use estima_serve::{wire, Client, Server, ServerConfig};
+
+/// A spawned `estima-serve` child plus the loopback address it printed.
+struct ServeProcess {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl ServeProcess {
+    /// Launch the real binary on an ephemeral port with durability enabled
+    /// and parse the listening address off its first stdout line.
+    fn spawn(data_dir: &Path) -> ServeProcess {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_estima-serve"))
+            .args([
+                "--addr",
+                "127.0.0.1:0",
+                "--data-dir",
+                data_dir.to_str().expect("utf-8 temp path"),
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn estima-serve");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read listening line");
+        let addr = line
+            .trim()
+            .split("http://")
+            .nth(1)
+            .and_then(|rest| rest.strip_suffix('/'))
+            .unwrap_or_else(|| panic!("unexpected listening line: {line:?}"))
+            .parse()
+            .expect("parse listening address");
+        ServeProcess { child, addr }
+    }
+
+    /// SIGKILL — no shutdown hooks, no flush; the WAL is on its own.
+    fn kill_dash_nine(mut self) {
+        self.child.kill().expect("kill serve process");
+        self.child.wait().expect("reap serve process");
+    }
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("estima-crash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The stable workload: ingested fully before the crash, so recovery must
+/// reproduce it exactly.
+fn stable_set(app: &str) -> MeasurementSet {
+    let mut set = MeasurementSet::new(app, 2.1);
+    for cores in 1..=12u32 {
+        let n = f64::from(cores);
+        let time = 50.0 / n + 1.0;
+        set.push(
+            Measurement::new(cores, time)
+                .with_stall(StallCategory::backend("rob_full"), 4.0e8 * n * time * 0.7)
+                .with_stall(StallCategory::backend("ls_full"), 4.0e8 * n * time * 0.3)
+                .with_stall(StallCategory::software("lock_spin"), 1.0e7 * n * n),
+        );
+    }
+    set
+}
+
+fn request(client: &mut Client, method: &str, path: &str, body: &str) -> (u16, String) {
+    let response = client.request(method, path, body).expect("request failed");
+    (response.status, response.body)
+}
+
+fn series_version(client: &mut Client, id: &str) -> u64 {
+    let (status, body) = request(client, "GET", &format!("/v1/series/{id}"), "");
+    assert_eq!(status, 200, "{body}");
+    Json::parse(&body)
+        .expect("series detail parses")
+        .get("version")
+        .and_then(Json::as_u64)
+        .expect("series detail carries a version")
+}
+
+#[test]
+fn sigkill_mid_ingest_recovers_byte_identical_predictions() {
+    let data_dir = scratch_dir("sigkill");
+    let set = stable_set("stable.app");
+    let stable_id = SeriesId::new("stable.app").expect("valid id");
+    let ingest_body =
+        wire::ingest_request_to_json(&stable_id, Some(set.frequency_ghz), set.measurements())
+            .render();
+    let predict_body = wire::target_spec_to_json(&TargetSpec::cores(48)).render();
+    let predict_path = "/v1/series/stable.app/predict";
+
+    // Uninterrupted control: an in-process server that never crashes.
+    let control = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        reactor_threads: 1,
+        ..ServerConfig::default()
+    })
+    .expect("bind control server")
+    .spawn()
+    .expect("spawn control server");
+    let mut control_client = Client::connect(control.addr()).expect("connect control");
+    let (status, _) = request(
+        &mut control_client,
+        "POST",
+        "/v1/measurements",
+        &ingest_body,
+    );
+    assert_eq!(status, 200);
+    let (status, control_prediction) =
+        request(&mut control_client, "POST", predict_path, &predict_body);
+    assert_eq!(status, 200, "{control_prediction}");
+    control.shutdown();
+
+    // The durable server: stable series committed, then killed -9 while a
+    // churn stream is mid-flight.
+    let serve = ServeProcess::spawn(&data_dir);
+    let mut client = Client::connect(serve.addr).expect("connect durable server");
+    let (status, _) = request(&mut client, "POST", "/v1/measurements", &ingest_body);
+    assert_eq!(status, 200);
+    let stable_version = series_version(&mut client, "stable.app");
+    let (status, before_crash) = request(&mut client, "POST", predict_path, &predict_body);
+    assert_eq!(status, 200, "{before_crash}");
+    assert_eq!(
+        before_crash, control_prediction,
+        "durable and in-memory servers must serve identical bytes"
+    );
+
+    // Guarantee at least one churn record is committed, then hammer from a
+    // thread so the SIGKILL lands mid-ingest.
+    let churn_point = |i: u64| {
+        let cores = 1 + (i % 24) as u32;
+        let point = Measurement::new(cores, 1.0 + i as f64 * 1.0e-3)
+            .with_stall(StallCategory::backend("rob_full"), 1.0e9 + i as f64);
+        wire::ingest_request_to_json(
+            &SeriesId::new("churn.app").expect("valid id"),
+            Some(2.0),
+            &[point],
+        )
+        .render()
+    };
+    let (status, _) = request(&mut client, "POST", "/v1/measurements", &churn_point(0));
+    assert_eq!(status, 200);
+    let churn_addr = serve.addr;
+    let churner = std::thread::spawn(move || {
+        let Ok(mut churn_client) = Client::connect(churn_addr) else {
+            return 0u64;
+        };
+        let mut landed = 0u64;
+        for i in 1..u64::MAX {
+            match churn_client.request("POST", "/v1/measurements", &churn_point(i)) {
+                Ok(response) if response.status == 200 => landed += 1,
+                _ => break, // the kill arrived; stop churning
+            }
+        }
+        landed
+    });
+    std::thread::sleep(Duration::from_millis(150));
+    serve.kill_dash_nine();
+    let churned = churner.join().expect("churn thread");
+
+    // Restart on the same directory: exact versions, byte-identical
+    // predictions, and a WAL replay on record.
+    let revived = ServeProcess::spawn(&data_dir);
+    let mut client = Client::connect(revived.addr).expect("reconnect after restart");
+    assert_eq!(
+        series_version(&mut client, "stable.app"),
+        stable_version,
+        "stable series must come back at its exact pre-crash version"
+    );
+    assert!(
+        series_version(&mut client, "churn.app") >= 1,
+        "committed churn records must survive ({churned} landed before the kill)"
+    );
+    let (status, after_crash) = request(&mut client, "POST", predict_path, &predict_body);
+    assert_eq!(status, 200, "{after_crash}");
+    assert_eq!(
+        after_crash, before_crash,
+        "post-restart prediction must be byte-identical to the pre-crash run"
+    );
+    let (status, stats) = request(&mut client, "GET", "/v1/stats", "");
+    assert_eq!(status, 200);
+    let stats = Json::parse(&stats).expect("stats parse");
+    let replays = stats
+        .get("wal")
+        .and_then(|wal| wal.get("replays"))
+        .and_then(Json::as_u64)
+        .expect("durable server reports wal.replays");
+    assert!(replays > 0, "restart must have replayed the log");
+
+    revived.kill_dash_nine();
+    let _ = std::fs::remove_dir_all(&data_dir);
+}
