@@ -2,9 +2,9 @@
 //! loopback and report throughput, latency percentiles and cache hit-rate.
 //!
 //! ```text
-//! loadgen [--quick] [--scenario quickstart|ingest|churn] [--duration N]
-//!         [--duration-ms N] [--warmup-ms N] [--connections N[,N...]]
-//!         [--min-rps N] [--addr HOST:PORT]
+//! loadgen [--quick] [--scenario quickstart|ingest|churn|cluster]
+//!         [--duration N] [--duration-ms N] [--warmup-ms N]
+//!         [--connections N[,N...]] [--min-rps N] [--addr HOST:PORT]
 //! ```
 //!
 //! Each load connection runs an untimed **warmup phase** first (default
@@ -45,6 +45,13 @@
 //!   per request** (connect → request → close): measures the reactor's
 //!   accept/register/teardown path instead of steady keep-alive. Latency
 //!   samples include the connect.
+//! * **`cluster`** — the `ingest` mix, but served by a loopback cluster:
+//!   three in-process shard nodes behind an in-process `--mode router`
+//!   tier (spawned automatically when `--addr` is absent; `--addr` points
+//!   at an externally started router instead). Each connection's series
+//!   hashes to its owning shard, so the run measures the full
+//!   forward/park/resume path, and the stats cross-check runs against the
+//!   *router's* counters — which mirror a single node's exactly.
 //!
 //! Before the timed run, each scenario verifies one response
 //! **byte-for-byte** against the in-process [`BatchPredictor`] prediction
@@ -80,7 +87,7 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: loadgen [--quick] [--scenario quickstart|ingest|churn] [--duration N] \
+        "usage: loadgen [--quick] [--scenario quickstart|ingest|churn|cluster] [--duration N] \
          [--duration-ms N] [--warmup-ms N] [--connections N[,N...]] [--min-rps N] \
          [--addr HOST:PORT]"
     );
@@ -388,6 +395,9 @@ const INGEST_EVERY: u64 = 5;
 /// store path while predictions keep serving from a warm cache, and every
 /// predict response stays byte-identical to the reference.
 struct IngestScenario {
+    /// Summary record prefix: `loadgen-ingest` against a single node,
+    /// `loadgen-cluster` when the same mix drives a router + 3 shards.
+    name: &'static str,
     /// Per-connection series predict path (`/v1/series/{id}/predict`).
     predict_paths: Vec<String>,
     /// The bare-`TargetSpec` predict body (shared by every connection).
@@ -401,10 +411,11 @@ struct IngestScenario {
 }
 
 impl IngestScenario {
-    fn new(connections: usize) -> std::result::Result<Self, String> {
+    fn new(name: &'static str, connections: usize) -> std::result::Result<Self, String> {
         // The target is connection-independent; render it once.
         let (_, target) = quickstart_job("load-0");
         let mut scenario = IngestScenario {
+            name,
             predict_paths: Vec::new(),
             target_body: wire::target_spec_to_json(&target).render(),
             expected: Vec::new(),
@@ -438,7 +449,7 @@ impl IngestScenario {
 
 impl Scenario for IngestScenario {
     fn name(&self) -> &'static str {
-        "loadgen-ingest"
+        self.name
     }
 
     fn prepare(
@@ -773,41 +784,74 @@ fn main() {
                 std::process::exit(1);
             }),
         ),
-        "ingest" => Arc::new(IngestScenario::new(max_connections).unwrap_or_else(|e| {
-            eprintln!("error: {e}");
-            std::process::exit(1);
-        })),
+        "ingest" => Arc::new(
+            IngestScenario::new("loadgen-ingest", max_connections).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }),
+        ),
+        "cluster" => Arc::new(
+            IngestScenario::new("loadgen-cluster", max_connections).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }),
+        ),
         other => {
-            eprintln!("error: unknown scenario `{other}` (quickstart, ingest, churn)");
+            eprintln!("error: unknown scenario `{other}` (quickstart, ingest, churn, cluster)");
             usage();
         }
     };
 
-    // Spawn the in-process server unless an external one was named. The
-    // reactor multiplexes connections, so nothing is sized to the client
-    // count — the default (one reactor per CPU) serves any sweep point.
-    let (addr, handle) = match &options.addr {
+    // Spawn the in-process topology unless an external server was named.
+    // The reactor multiplexes connections, so nothing is sized to the
+    // client count — the default (one reactor per CPU) serves any sweep
+    // point. The `cluster` scenario spawns three shard nodes plus a router
+    // fronting them and points the load at the router; every other
+    // scenario spawns a single node. `handles` holds every in-process
+    // server for teardown; the *first* is the one the clients talk to.
+    let spawn_server = |config: ServerConfig| {
+        let server = Server::bind(config).unwrap_or_else(|e| {
+            eprintln!("error: cannot bind loopback server: {e}");
+            std::process::exit(1);
+        });
+        server.spawn().unwrap_or_else(|e| {
+            eprintln!("error: cannot start server reactors: {e}");
+            std::process::exit(1);
+        })
+    };
+    let (addr, handles) = match &options.addr {
         Some(addr) => {
             let addr = addr.parse().unwrap_or_else(|_| {
                 eprintln!("error: bad --addr {addr}");
                 std::process::exit(2);
             });
-            (addr, None)
+            (addr, Vec::new())
+        }
+        None if options.scenario == "cluster" => {
+            let shards: Vec<_> = (0..3)
+                .map(|_| {
+                    spawn_server(ServerConfig {
+                        addr: "127.0.0.1:0".to_string(),
+                        ..ServerConfig::default()
+                    })
+                })
+                .collect();
+            let router = spawn_server(ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                shards: shards.iter().map(|s| s.addr().to_string()).collect(),
+                ..ServerConfig::default()
+            });
+            let addr = router.addr();
+            let mut handles = vec![router];
+            handles.extend(shards);
+            (addr, handles)
         }
         None => {
-            let server = Server::bind(ServerConfig {
+            let handle = spawn_server(ServerConfig {
                 addr: "127.0.0.1:0".to_string(),
                 ..ServerConfig::default()
-            })
-            .unwrap_or_else(|e| {
-                eprintln!("error: cannot bind loopback server: {e}");
-                std::process::exit(1);
             });
-            let handle = server.spawn().unwrap_or_else(|e| {
-                eprintln!("error: cannot start server reactors: {e}");
-                std::process::exit(1);
-            });
-            (handle.addr(), Some(handle))
+            (handle.addr(), vec![handle])
         }
     };
 
@@ -852,7 +896,7 @@ fn main() {
     // Retried requests may or may not have reached the server, so once any
     // request retried the byte/route totals cannot balance exactly and the
     // strict cross-check is skipped (noted in the summary).
-    let fresh_server = handle.is_some();
+    let fresh_server = !handles.is_empty();
     let exact_counters = fresh_server && tallies.retries == 0;
     let mut stats = None;
     let mut expected_bytes_in = 0u64;
@@ -888,7 +932,7 @@ fn main() {
         .and_then(|c| c.get("hit_rate"))
         .and_then(Json::as_f64)
         .unwrap_or(f64::NAN);
-    if let Some(handle) = handle {
+    for handle in handles {
         handle.shutdown();
     }
     if exact_counters {

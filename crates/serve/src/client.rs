@@ -30,6 +30,12 @@ pub struct Client {
     sent: u64,
     /// Total response wire bytes read (status lines + headers + bodies).
     received: u64,
+    /// `Retry-After` header (whole seconds) of the last response, if any.
+    retry_after: Option<u64>,
+    /// `Allow` header of the last response, if any. Only allocated when the
+    /// header actually appears (405s), so the steady-state request loop
+    /// stays allocation-free.
+    allow: Option<String>,
 }
 
 /// A decoded response: status code and body bytes (as text — every endpoint
@@ -43,15 +49,36 @@ pub struct ClientResponse {
 }
 
 impl Client {
-    /// Open a connection to the server.
+    /// Open a connection to the server with the default timeouts: OS connect
+    /// timeout, 30-second reads.
     pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
+        Client::from_stream(stream, std::time::Duration::from_secs(30))
+    }
+
+    /// Open a connection with explicit connect and read deadlines. This is
+    /// the router's upstream constructor: a dead or wedged shard must fail a
+    /// forwarded request within these bounds instead of stalling it behind
+    /// the OS connect timeout or the default 30-second read timeout.
+    pub fn with_timeouts(
+        addr: SocketAddr,
+        connect_timeout: std::time::Duration,
+        read_timeout: std::time::Duration,
+    ) -> std::io::Result<Client> {
+        let stream = TcpStream::connect_timeout(&addr, connect_timeout)?;
+        Client::from_stream(stream, read_timeout)
+    }
+
+    fn from_stream(
+        stream: TcpStream,
+        read_timeout: std::time::Duration,
+    ) -> std::io::Result<Client> {
         // Each request goes out as one write, but disable Nagle anyway so a
         // kernel-split segment's tail is never delayed behind the peer's ACK.
         stream.set_nodelay(true)?;
         // A wedged server must fail a request cleanly instead of blocking
         // the client forever.
-        stream.set_read_timeout(Some(std::time::Duration::from_secs(30)))?;
+        stream.set_read_timeout(Some(read_timeout))?;
         Ok(Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: stream,
@@ -60,6 +87,8 @@ impl Client {
             body: Vec::new(),
             sent: 0,
             received: 0,
+            retry_after: None,
+            allow: None,
         })
     }
 
@@ -73,6 +102,18 @@ impl Client {
     /// headers + bodies) — the mirror of the server's `bytes_out` counter.
     pub fn bytes_received(&self) -> u64 {
         self.received
+    }
+
+    /// `Retry-After` header (whole seconds) of the last response, if the
+    /// server sent one (429 quota and 503 shard-unavailable responses do).
+    pub fn last_retry_after(&self) -> Option<u64> {
+        self.retry_after
+    }
+
+    /// `Allow` header of the last response, if the server sent one (405
+    /// responses must, per RFC 9110).
+    pub fn last_allow(&self) -> Option<&str> {
+        self.allow.as_deref()
     }
 
     /// Send one request and read the response. `body` may be empty (GET).
@@ -121,6 +162,8 @@ impl Client {
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| bad(format!("bad status line {:?}", self.line)))?;
         let mut content_length = 0usize;
+        self.retry_after = None;
+        self.allow = None;
         loop {
             self.line.clear();
             let n = self.reader.read_line(&mut self.line)?;
@@ -138,6 +181,10 @@ impl Client {
                         .trim()
                         .parse()
                         .map_err(|_| bad(format!("bad content-length {value:?}")))?;
+                } else if name.eq_ignore_ascii_case("retry-after") {
+                    self.retry_after = value.trim().parse().ok();
+                } else if name.eq_ignore_ascii_case("allow") {
+                    self.allow = Some(value.trim().to_string());
                 }
             }
         }
@@ -147,5 +194,55 @@ impl Client {
         self.received += received + content_length as u64;
         let body = std::str::from_utf8(&self.body).map_err(|_| bad("non-UTF-8 body".into()))?;
         Ok((status, body))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::time::{Duration, Instant};
+
+    /// A dead shard must fail a request within the explicit read timeout,
+    /// not stall the caller behind the default 30-second deadline. The
+    /// listener here is bound but never accepts; with a backlog the kernel
+    /// still completes the TCP handshake, so the connect and the request
+    /// write succeed — only the response read can notice nobody is home.
+    #[test]
+    fn read_timeout_bounds_a_request_to_a_never_accepting_listener() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client =
+            Client::with_timeouts(addr, Duration::from_secs(5), Duration::from_millis(200))
+                .expect("handshake completes against the kernel backlog");
+        let started = Instant::now();
+        let error = client
+            .request("GET", "/v1/healthz", "")
+            .expect_err("no response can ever arrive");
+        assert!(
+            matches!(
+                error.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ),
+            "expected a timeout, got {error:?}"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "the read timeout must bound the stall ({:?})",
+            started.elapsed()
+        );
+        drop(listener);
+    }
+
+    /// `connect_timeout` is honoured (a plain refused port fails fast, and
+    /// the constructor surfaces it as an error rather than a panic).
+    #[test]
+    fn connect_to_a_closed_port_fails() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener); // free the port: connections are now refused
+        let result =
+            Client::with_timeouts(addr, Duration::from_millis(500), Duration::from_secs(1));
+        assert!(result.is_err(), "connecting to a freed port must fail");
     }
 }

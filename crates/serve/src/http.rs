@@ -469,6 +469,7 @@ fn reason(status: u16) -> &'static str {
         429 => "Too Many Requests",
         422 => "Unprocessable Entity",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }

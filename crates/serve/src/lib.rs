@@ -30,6 +30,13 @@
 //! architecture diagram and error-code semantics are in DESIGN.md
 //! § *Serving layer*; README § *Run as a service* has `curl`-able examples.
 //!
+//! The same binary also scales out: started with `--mode router --shard
+//! <addr>...` it becomes a stateless routing tier ([`router`]) that maps
+//! each series to its owning shard by consistent hashing and answers every
+//! request byte-identically to a single node holding all the data — an
+//! unreachable shard degrades to a structured `503 shard_unavailable`
+//! instead of a hang. See DESIGN.md § *Cluster serving*.
+//!
 //! ```no_run
 //! use estima_serve::{Server, ServerConfig};
 //!
@@ -43,12 +50,14 @@
 
 pub mod client;
 pub mod http;
+pub mod router;
 pub mod server;
 pub mod stats;
 pub(crate) mod sys;
 pub mod wire;
 
 pub use client::{Client, ClientResponse};
+pub use router::ShardRing;
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use stats::ServerStats;
 

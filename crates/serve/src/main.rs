@@ -7,11 +7,15 @@
 //!              [--data-dir DIR] [--wal-sync] [--wal-compact-bytes N]
 //!              [--ttl-secs N] [--max-series-per-tenant N]
 //!              [--max-points-per-tenant N] [--max-body-bytes N]
+//!              [--mode node|router] [--shard HOST:PORT]...
 //! ```
 //!
-//! Binds, prints the listening address, and serves until killed. See
-//! README § *Run as a service* for `curl` examples and DESIGN.md
-//! § *Serving layer* for the wire format.
+//! Binds, prints the listening address, and serves until killed. With
+//! `--mode router` the process holds no data: every request is forwarded to
+//! the shard that owns its series (repeat `--shard` once per node). See
+//! README § *Run as a service* for `curl` examples, README § *Run a
+//! cluster* for the router quickstart, and DESIGN.md § *Serving layer* /
+//! § *Cluster serving* for the wire format.
 
 use estima_serve::{Server, ServerConfig};
 
@@ -20,7 +24,8 @@ fn usage() -> ! {
         "usage: estima-serve [--addr HOST:PORT] [--reactor-threads N] [--backlog N] \
          [--parallelism N] [--cache-capacity N] [--data-dir DIR] [--wal-sync] \
          [--wal-compact-bytes N] [--ttl-secs N] [--max-series-per-tenant N] \
-         [--max-points-per-tenant N] [--max-body-bytes N]\n\
+         [--max-points-per-tenant N] [--max-body-bytes N] \
+         [--mode node|router] [--shard HOST:PORT]...\n\
          \n\
          --addr             bind address (default 127.0.0.1:7117; port 0 = auto)\n\
          --reactor-threads  epoll reactor threads, 0 = one per CPU (default 0);\n\
@@ -39,13 +44,18 @@ fn usage() -> ! {
          --max-series-per-tenant  per-tenant series quota, 0 = unlimited;\n\
          \u{20}                  the tenant is the series-id prefix before `.`\n\
          --max-points-per-tenant  per-tenant point quota, 0 = unlimited\n\
-         --max-body-bytes   largest accepted request body (default 16777216)"
+         --max-body-bytes   largest accepted request body (default 16777216)\n\
+         --mode             node (default) serves data; router forwards every\n\
+         \u{20}                  request to the shard owning its series\n\
+         --shard            a shard node's HOST:PORT (router mode; repeat\n\
+         \u{20}                  once per node — order defines the ring)"
     );
     std::process::exit(2);
 }
 
 fn main() {
     let mut config = ServerConfig::default();
+    let mut mode = String::from("node");
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |flag: &str| {
@@ -94,12 +104,34 @@ fn main() {
                 Ok(n) => config.max_body_bytes = n,
                 Err(_) => usage(),
             },
+            "--mode" => {
+                mode = value("--mode");
+                if mode != "node" && mode != "router" {
+                    eprintln!("error: --mode must be `node` or `router`, not `{mode}`");
+                    usage();
+                }
+            }
+            "--shard" => config.shards.push(value("--shard")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("error: unknown flag `{other}`");
                 usage();
             }
         }
+    }
+
+    if mode == "router" {
+        if config.shards.is_empty() {
+            eprintln!("error: --mode router needs at least one --shard");
+            usage();
+        }
+        if config.data_dir.is_some() {
+            eprintln!("error: a router holds no data; --data-dir belongs on the shard nodes");
+            usage();
+        }
+    } else if !config.shards.is_empty() {
+        eprintln!("error: --shard only makes sense with --mode router");
+        usage();
     }
 
     let server = match Server::bind(config.clone()) {

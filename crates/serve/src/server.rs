@@ -42,6 +42,7 @@ use estima_core::{
 use crate::http::{
     parse_request_limited, ParseError, ParseStatus, Request, ResponseBuf, REQUEST_READ_TIMEOUT,
 };
+use crate::router::{ConnToken, Mailbox, Router};
 use crate::stats::ServerStats;
 use crate::sys;
 use crate::wire;
@@ -89,6 +90,13 @@ pub struct ServerConfig {
     /// Largest accepted request body in bytes (413 beyond it). Capped at
     /// the compiled-in [`crate::http::MAX_BODY_BYTES`].
     pub max_body_bytes: usize,
+    /// Shard addresses for **router mode**. Empty (the default) serves
+    /// locally as a single node; non-empty turns this server into a
+    /// stateless routing tier that maps each series to its owning shard by
+    /// consistent hashing and forwards every data-plane request (only
+    /// `/v1/healthz` and `/v1/stats` are answered by the router itself).
+    /// See DESIGN.md § *Cluster serving*.
+    pub shards: Vec<String>,
 }
 
 impl Default for ServerConfig {
@@ -106,6 +114,7 @@ impl Default for ServerConfig {
             max_series_per_tenant: 0,
             max_points_per_tenant: 0,
             max_body_bytes: crate::http::MAX_BODY_BYTES,
+            shards: Vec::new(),
         }
     }
 }
@@ -123,6 +132,9 @@ struct AppState {
     /// bind, so the hottest route copies from this instead of re-rendering —
     /// it is the route the zero-allocation request-loop test pins.
     healthz_body: String,
+    /// Router mode: the consistent-hash forwarding tier. `None` serves
+    /// locally (single-node mode).
+    router: Option<Router>,
 }
 
 /// Everything a reactor thread needs: the shared listener, the shutdown
@@ -132,6 +144,11 @@ struct Shared {
     listener: TcpListener,
     wake: sys::EventFd,
     state: Arc<AppState>,
+    /// Per-reactor completion inboxes (router mode): forwarder threads
+    /// deliver finished upstream exchanges here and the owning reactor's
+    /// doorbell resumes the parked connection. Allocated in every mode —
+    /// they are inert without a router.
+    mailboxes: Arc<Vec<Mailbox>>,
 }
 
 /// A bound (but not yet running) prediction server.
@@ -152,12 +169,33 @@ impl Server {
     /// Bind the listener and build the shared state. The server does not
     /// accept connections until [`Server::run`] or [`Server::spawn`].
     pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
-        let listener = TcpListener::bind(&config.addr)?;
-        listener.set_nonblocking(true)?;
-        // `std` hard-codes its listen backlog; re-issuing listen(2) on the
-        // bound socket resizes the queue to the configured depth.
+        // Bound through the raw path so `SO_REUSEADDR` lands before
+        // `bind(2)`: a restarted server (most importantly a cluster shard
+        // coming back on the exact address the router's ring names) must
+        // reclaim its port immediately, not after `TIME_WAIT` drains. The
+        // configured backlog is applied by the same call.
         let backlog = i32::try_from(config.backlog.max(1)).unwrap_or(i32::MAX);
-        sys::relisten(listener.as_raw_fd(), backlog)?;
+        let mut candidates = std::net::ToSocketAddrs::to_socket_addrs(config.addr.as_str())?;
+        let mut listener = None;
+        let mut last_error = None;
+        for candidate in candidates.by_ref() {
+            match sys::bind_reusable(&candidate, backlog) {
+                Ok(bound) => {
+                    listener = Some(bound);
+                    break;
+                }
+                Err(e) => last_error = Some(e),
+            }
+        }
+        let listener = listener.ok_or_else(|| {
+            last_error.unwrap_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!("`{}` resolves to no addresses", config.addr),
+                )
+            })
+        })?;
+        listener.set_nonblocking(true)?;
         let reactor_threads = if config.reactor_threads == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -195,6 +233,16 @@ impl Server {
             ("workers".to_string(), Json::Number(reactor_threads as f64)),
         ])
         .render();
+        let mailboxes: Arc<Vec<Mailbox>> = Arc::new(
+            (0..reactor_threads)
+                .map(|_| Mailbox::new())
+                .collect::<std::io::Result<Vec<_>>>()?,
+        );
+        let router = if config.shards.is_empty() {
+            None
+        } else {
+            Some(Router::start(&config.shards, Arc::clone(&mailboxes))?)
+        };
         let state = Arc::new(AppState {
             batch: BatchPredictor::with_session(session),
             stats: ServerStats::default(),
@@ -202,12 +250,14 @@ impl Server {
             max_body_bytes: config.max_body_bytes.min(crate::http::MAX_BODY_BYTES),
             shutting_down: AtomicBool::new(false),
             healthz_body,
+            router,
         });
         Ok(Server {
             shared: Arc::new(Shared {
                 listener,
                 wake: sys::EventFd::new()?,
                 state,
+                mailboxes,
             }),
         })
     }
@@ -221,11 +271,11 @@ impl Server {
     /// spawned threads. Blocks until the process exits (the binary's mode).
     pub fn run(self) -> std::io::Result<()> {
         let mut threads = Vec::new();
-        for _ in 1..self.shared.state.reactor_threads {
+        for index in 1..self.shared.state.reactor_threads {
             let shared = Arc::clone(&self.shared);
-            threads.push(std::thread::spawn(move || reactor(&shared)));
+            threads.push(std::thread::spawn(move || reactor(&shared, index)));
         }
-        reactor(&self.shared);
+        reactor(&self.shared, 0);
         for thread in threads {
             let _ = thread.join();
         }
@@ -237,9 +287,9 @@ impl Server {
     pub fn spawn(self) -> std::io::Result<ServerHandle> {
         let addr = self.local_addr()?;
         let mut threads = Vec::new();
-        for _ in 0..self.shared.state.reactor_threads {
+        for index in 0..self.shared.state.reactor_threads {
             let shared = Arc::clone(&self.shared);
-            threads.push(std::thread::spawn(move || reactor(&shared)));
+            threads.push(std::thread::spawn(move || reactor(&shared, index)));
         }
         Ok(ServerHandle {
             addr,
@@ -270,6 +320,9 @@ impl ServerHandle {
         for thread in self.threads {
             let _ = thread.join();
         }
+        if let Some(router) = &self.shared.state.router {
+            router.shutdown();
+        }
     }
 }
 
@@ -277,8 +330,10 @@ impl ServerHandle {
 const TOKEN_LISTENER: u64 = 0;
 /// Epoll token of the shutdown doorbell.
 const TOKEN_WAKE: u64 = 1;
+/// Epoll token of this reactor's completion-mailbox doorbell (router mode).
+const TOKEN_MAILBOX: u64 = 2;
 /// First epoll token used for connections: token = slab index + base.
-const TOKEN_BASE: u64 = 2;
+const TOKEN_BASE: u64 = 3;
 
 /// Events decoded per `epoll_wait` call.
 const EVENTS_PER_WAIT: usize = 128;
@@ -317,6 +372,12 @@ struct Conn {
     /// cleared on completion. Connections stalled longer than
     /// [`REQUEST_READ_TIMEOUT`] are dropped by the sweep.
     stalled_since: Option<Instant>,
+    /// Router mode: `Some(close_after)` while the connection waits for a
+    /// forwarded request's completion. A parked connection reads nothing
+    /// and dispatches nothing — pipelined follow-ups wait in `inbuf` — and
+    /// is exempt from the stall sweep (the upstream timeouts bound how long
+    /// the park can last).
+    parked: Option<bool>,
 }
 
 impl Conn {
@@ -331,13 +392,16 @@ impl Conn {
             close_after_flush: false,
             eof: false,
             stalled_since: None,
+            parked: None,
         }
     }
 }
 
 /// One reactor thread: a private epoll instance multiplexing the shared
-/// listener, the shutdown doorbell, and every connection it has accepted.
-fn reactor(shared: &Shared) {
+/// listener, the shutdown doorbell, this reactor's completion mailbox, and
+/// every connection it has accepted. `index` names the reactor: it selects
+/// which mailbox forwarder threads deliver this reactor's completions to.
+fn reactor(shared: &Shared, index: usize) {
     let Ok(epoll) = sys::Epoll::new() else {
         return;
     };
@@ -359,11 +423,25 @@ fn reactor(shared: &Shared) {
     {
         return;
     }
+    if epoll
+        .add(
+            shared.mailboxes[index].wake_fd(),
+            sys::EPOLLIN,
+            TOKEN_MAILBOX,
+        )
+        .is_err()
+    {
+        return;
+    }
 
     // Connection slab: slot index + TOKEN_BASE is the epoll token, closed
-    // slots go on the free list for reuse.
+    // slots go on the free list for reuse. `generations[slot]` counts how
+    // often the slot has been closed: a parked connection's completion
+    // carries the generation it parked under, so a completion that outlives
+    // its connection can never resume the slot's next tenant.
     let mut conns: Vec<Option<Conn>> = Vec::new();
     let mut free: Vec<usize> = Vec::new();
+    let mut generations: Vec<u64> = Vec::new();
     let mut stalled_count = 0usize;
     let mut last_sweep = Instant::now();
     let mut events = [sys::EpollEvent::zeroed(); EVENTS_PER_WAIT];
@@ -394,12 +472,14 @@ fn reactor(shared: &Shared) {
             }
             return;
         }
+        let mut mailbox_ready = false;
         for event in &events[..n] {
             let (ready, token) = (event.events, event.data);
             match token {
                 TOKEN_WAKE => {}
+                TOKEN_MAILBOX => mailbox_ready = true,
                 TOKEN_LISTENER => {
-                    accept_ready(&epoll, shared, &mut conns, &mut free);
+                    accept_ready(&epoll, shared, &mut conns, &mut free, &mut generations);
                 }
                 token => {
                     let slot = (token - TOKEN_BASE) as usize;
@@ -414,19 +494,84 @@ fn reactor(shared: &Shared) {
                         // EPOLLIN / EPOLLOUT / EPOLLRDHUP all funnel into
                         // the same drive: flush what is pending, read to
                         // EAGAIN or EOF, dispatch what completed.
-                        drive(conn, &shared.state)
+                        let token = ConnToken {
+                            reactor: index,
+                            slot,
+                            generation: generations[slot],
+                        };
+                        drive(conn, &shared.state, token)
                     };
                     if keep {
                         note_stall(conn, &mut stalled_count);
                     } else {
-                        close_slot(&mut conns, &mut free, slot, &mut stalled_count);
+                        close_slot(
+                            &mut conns,
+                            &mut free,
+                            &mut generations,
+                            slot,
+                            &mut stalled_count,
+                        );
                     }
                 }
             }
         }
+        if mailbox_ready {
+            deliver_completions(
+                shared,
+                index,
+                &mut conns,
+                &mut free,
+                &mut generations,
+                &mut stalled_count,
+            );
+        }
         if stalled_count > 0 && last_sweep.elapsed() >= STALL_SWEEP {
             last_sweep = Instant::now();
-            sweep_stalled(&mut conns, &mut free, &mut stalled_count);
+            sweep_stalled(&mut conns, &mut free, &mut generations, &mut stalled_count);
+        }
+    }
+}
+
+/// Drain this reactor's completion mailbox and resume every parked
+/// connection whose completion arrived: render the forwarded response,
+/// then drive the connection as if the handler had just returned —
+/// flushing, and dispatching any pipelined requests that queued up behind
+/// the park.
+fn deliver_completions(
+    shared: &Shared,
+    index: usize,
+    conns: &mut [Option<Conn>],
+    free: &mut Vec<usize>,
+    generations: &mut [u64],
+    stalled_count: &mut usize,
+) {
+    for completion in shared.mailboxes[index].drain() {
+        let slot = completion.token.slot;
+        if slot >= conns.len() || generations[slot] != completion.token.generation {
+            continue; // the connection died while its job was in flight
+        }
+        let Some(conn) = conns[slot].as_mut() else {
+            continue;
+        };
+        let Some(close) = conn.parked.take() else {
+            continue;
+        };
+        let response = completion.response;
+        conn.response.reset();
+        conn.response.status = response.status;
+        conn.response.retry_after = response.retry_after;
+        conn.response.allow = response.allow;
+        conn.response.body.push_str(&response.body);
+        finish_response(conn, &shared.state, close);
+        let token = ConnToken {
+            reactor: index,
+            slot,
+            generation: generations[slot],
+        };
+        if drive(conn, &shared.state, token) {
+            note_stall(conn, stalled_count);
+        } else {
+            close_slot(conns, free, generations, slot, stalled_count);
         }
     }
 }
@@ -438,6 +583,7 @@ fn accept_ready(
     shared: &Shared,
     conns: &mut Vec<Option<Conn>>,
     free: &mut Vec<usize>,
+    generations: &mut Vec<u64>,
 ) {
     loop {
         match sys::accept_nonblocking(shared.listener.as_raw_fd()) {
@@ -449,6 +595,7 @@ fn accept_ready(
                 shared.state.stats.accepts.fetch_add(1, Ordering::Relaxed);
                 let slot = free.pop().unwrap_or_else(|| {
                     conns.push(None);
+                    generations.push(0);
                     conns.len() - 1
                 });
                 let token = slot as u64 + TOKEN_BASE;
@@ -537,7 +684,7 @@ fn finish_response(conn: &mut Conn, state: &AppState, close: bool) {
 /// request that has accumulated (edge-triggered sockets require consuming
 /// everything per event). Responses render into `outbuf`; the caller
 /// flushes.
-fn fill_and_dispatch(conn: &mut Conn, state: &AppState) -> Fill {
+fn fill_and_dispatch(conn: &mut Conn, state: &AppState, token: ConnToken) -> Fill {
     let mut chunk = [0u8; 16 * 1024];
     loop {
         match conn.stream.read(&mut chunk) {
@@ -553,8 +700,15 @@ fn fill_and_dispatch(conn: &mut Conn, state: &AppState) -> Fill {
                 // grows without bound. Consuming complete requests as they
                 // arrive keeps the buffer bounded by a single in-flight
                 // request (whose header and body caps the parser enforces).
-                dispatch_buffered(conn, state);
+                dispatch_buffered(conn, state, token);
                 if conn.close_after_flush {
+                    break;
+                }
+                if conn.parked.is_some() {
+                    // A request is in flight upstream: stop reading (and
+                    // stop the size backstop — inbuf legitimately holds
+                    // whatever pipelined requests arrived with this one)
+                    // until the completion resumes the connection.
                     break;
                 }
                 // Backstop for the bound the parser already guarantees: a
@@ -578,8 +732,10 @@ fn fill_and_dispatch(conn: &mut Conn, state: &AppState) -> Fill {
             Err(_) => return Fill::Fatal,
         }
     }
-    if conn.eof && !conn.inbuf.is_empty() && !conn.close_after_flush {
+    if conn.eof && !conn.inbuf.is_empty() && !conn.close_after_flush && conn.parked.is_none() {
         // The peer stopped mid-request: mirror the blocking reader's 400.
+        // (While parked the undispatched inbuf bytes are not mid-request —
+        // they are pipelined requests waiting for the resume.)
         conn.response.reset();
         respond_error(&mut conn.response, 400, "bad_request", "eof inside request");
         finish_response(conn, state, true);
@@ -589,9 +745,12 @@ fn fill_and_dispatch(conn: &mut Conn, state: &AppState) -> Fill {
 }
 
 /// Parse and answer every complete request at the front of `inbuf`,
-/// leaving any trailing partial request in place.
-fn dispatch_buffered(conn: &mut Conn, state: &AppState) {
-    while !conn.inbuf.is_empty() && !conn.close_after_flush {
+/// leaving any trailing partial request in place. Stops early when a
+/// request parks the connection (router mode): pipelined follow-ups stay
+/// buffered until the completion resumes dispatch, preserving response
+/// order on the wire.
+fn dispatch_buffered(conn: &mut Conn, state: &AppState, token: ConnToken) {
+    while !conn.inbuf.is_empty() && !conn.close_after_flush && conn.parked.is_none() {
         match parse_request_limited(&conn.inbuf, &mut conn.request, state.max_body_bytes) {
             Ok(ParseStatus::Complete { consumed }) => {
                 state
@@ -601,8 +760,10 @@ fn dispatch_buffered(conn: &mut Conn, state: &AppState) {
                 conn.inbuf.drain(..consumed);
                 let close = conn.request.close || state.shutting_down.load(Ordering::SeqCst);
                 conn.response.reset();
-                route(&conn.request, state, &mut conn.response);
-                finish_response(conn, state, close);
+                match route(&conn.request, state, &mut conn.response, token) {
+                    RouteOutcome::Respond => finish_response(conn, state, close),
+                    RouteOutcome::Park => conn.parked = Some(close),
+                }
             }
             Ok(ParseStatus::Partial) => break,
             Err(error) => {
@@ -628,19 +789,28 @@ fn dispatch_buffered(conn: &mut Conn, state: &AppState) {
 /// Advance one connection's state machine as far as the socket allows:
 /// alternate write and read phases until both sides report `EAGAIN` or the
 /// connection is done. Returns `false` when the connection must close.
-fn drive(conn: &mut Conn, state: &AppState) -> bool {
+fn drive(conn: &mut Conn, state: &AppState, token: ConnToken) -> bool {
     loop {
         match flush_some(conn) {
             Flush::Fatal => return false,
             Flush::Blocked => return true, // resume on the EPOLLOUT edge
             Flush::Drained => {}
         }
+        if conn.parked.is_some() {
+            // Waiting for an upstream completion: earlier pipelined
+            // responses are flushed, nothing more may dispatch until the
+            // mailbox resumes this connection.
+            return true;
+        }
         if conn.close_after_flush || conn.eof {
             return false;
         }
-        match fill_and_dispatch(conn, state) {
+        match fill_and_dispatch(conn, state, token) {
             Fill::Fatal => return false,
             Fill::Drained => {
+                if conn.parked.is_some() {
+                    return true;
+                }
                 if conn.outbuf.is_empty() {
                     // No response produced: either idle keep-alive or a
                     // partial request waiting for more bytes.
@@ -656,7 +826,12 @@ fn drive(conn: &mut Conn, state: &AppState) -> bool {
 /// maintaining the reactor's count of stalled connections (which gates the
 /// sweep timeout).
 fn note_stall(conn: &mut Conn, stalled_count: &mut usize) {
-    let stalled = conn.outpos < conn.outbuf.len() || !conn.inbuf.is_empty();
+    // A parked connection is waiting on an upstream shard, not on its
+    // peer: the upstream connect/read timeouts bound that wait, so it is
+    // exempt from the peer-stall sweep (its inbuf may legitimately hold
+    // pipelined requests the whole time).
+    let stalled =
+        conn.parked.is_none() && (conn.outpos < conn.outbuf.len() || !conn.inbuf.is_empty());
     if stalled && conn.stalled_since.is_none() {
         conn.stalled_since = Some(Instant::now());
         *stalled_count += 1;
@@ -666,11 +841,14 @@ fn note_stall(conn: &mut Conn, stalled_count: &mut usize) {
     }
 }
 
-/// Close and recycle a slab slot. Dropping the `TcpStream` closes the fd,
-/// which also removes it from the epoll interest list.
+/// Close and recycle a slab slot, bumping its generation so a completion
+/// still in flight for the old tenant is dropped on arrival. Dropping the
+/// `TcpStream` closes the fd, which also removes it from the epoll
+/// interest list.
 fn close_slot(
     conns: &mut [Option<Conn>],
     free: &mut Vec<usize>,
+    generations: &mut [u64],
     slot: usize,
     stalled_count: &mut usize,
 ) {
@@ -678,6 +856,7 @@ fn close_slot(
         if conn.stalled_since.is_some() {
             *stalled_count -= 1;
         }
+        generations[slot] += 1;
         free.push(slot);
     }
 }
@@ -686,7 +865,12 @@ fn close_slot(
 /// non-blocking analogue of the old per-read deadline, so a trickling or
 /// never-reading client cannot pin buffers forever. A stalled client is by
 /// definition not keeping up, so no error response is attempted.
-fn sweep_stalled(conns: &mut [Option<Conn>], free: &mut Vec<usize>, stalled_count: &mut usize) {
+fn sweep_stalled(
+    conns: &mut [Option<Conn>],
+    free: &mut Vec<usize>,
+    generations: &mut [u64],
+    stalled_count: &mut usize,
+) {
     let now = Instant::now();
     for slot in 0..conns.len() {
         let expired = conns[slot].as_ref().is_some_and(|conn| {
@@ -694,7 +878,7 @@ fn sweep_stalled(conns: &mut [Option<Conn>], free: &mut Vec<usize>, stalled_coun
                 .is_some_and(|since| now.duration_since(since) >= REQUEST_READ_TIMEOUT)
         });
         if expired {
-            close_slot(conns, free, slot, stalled_count);
+            close_slot(conns, free, generations, slot, stalled_count);
         }
     }
 }
@@ -713,15 +897,53 @@ fn respond_error(out: &mut ResponseBuf, status: u16, code: &str, message: &str) 
     wire::write_error(code, message, &mut out.body);
 }
 
+/// What routing decided about a request: answered into the response buffer,
+/// or handed to the router's forwarder pool with the connection parked
+/// until the completion arrives.
+enum RouteOutcome {
+    /// `out` holds the response; finish and flush it.
+    Respond,
+    /// A forward job was enqueued; park the connection (the mailbox will
+    /// resume it).
+    Park,
+}
+
 /// Dispatch one request to its endpoint handler. Routing ignores any query
 /// string (no endpoint takes parameters, but `GET /v1/healthz?probe=1`
 /// from a health checker must still be served).
 ///
 /// Known paths with the wrong method answer `405` with an `Allow` header
 /// naming the supported methods; only unknown paths fall through to `404`.
-fn route(request: &Request, state: &AppState, out: &mut ResponseBuf) {
+///
+/// In router mode every data-plane request is classified and forwarded by
+/// [`Router::dispatch`]; only `/v1/healthz` and `/v1/stats` (whose answers
+/// are process-local by nature) are served by the router itself.
+fn route(
+    request: &Request,
+    state: &AppState,
+    out: &mut ResponseBuf,
+    token: ConnToken,
+) -> RouteOutcome {
     let path = request.path.split('?').next().unwrap_or("");
     let stats = &state.stats;
+    if let Some(router) = &state.router {
+        match (request.method.as_str(), path) {
+            ("GET", "/v1/healthz") => {
+                stats.healthz_requests.fetch_add(1, Ordering::Relaxed);
+                healthz(state, out);
+            }
+            ("GET", "/v1/stats") => {
+                stats.stats_requests.fetch_add(1, Ordering::Relaxed);
+                server_stats(state, out);
+            }
+            _ => {
+                if router.dispatch(request, stats, token, out) {
+                    return RouteOutcome::Park;
+                }
+            }
+        }
+        return RouteOutcome::Respond;
+    }
     if let Some(rest) = path.strip_prefix("/v1/series/") {
         match rest.split_once('/') {
             None => match request.method.as_str() {
@@ -746,7 +968,7 @@ fn route(request: &Request, state: &AppState, out: &mut ResponseBuf) {
             },
             Some(_) => not_found(path, out),
         }
-        return;
+        return RouteOutcome::Respond;
     }
     match (request.method.as_str(), path) {
         ("GET", "/v1/healthz") => {
@@ -781,6 +1003,7 @@ fn route(request: &Request, state: &AppState, out: &mut ResponseBuf) {
         }
         (_, path) => not_found(path, out),
     }
+    RouteOutcome::Respond
 }
 
 /// `405 Method Not Allowed` with the mandatory `Allow` header.
@@ -941,6 +1164,16 @@ fn server_stats(state: &AppState, out: &mut ResponseBuf) {
                     Json::Number(load(&stats.epoll_wakeups)),
                 ),
             ]),
+        ),
+        (
+            "router".to_string(),
+            match &state.router {
+                // Router mode: per-shard health plus forwarding counters.
+                Some(router) => router.stats_json(),
+                // Single-node mode: `null`, like `wal` with durability off,
+                // so monitors can tell "not a router" from "idle router".
+                None => Json::Null,
+            },
         ),
         (
             "cache".to_string(),

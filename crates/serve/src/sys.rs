@@ -13,7 +13,7 @@
 #![allow(unsafe_code)]
 
 use std::io;
-use std::net::TcpStream;
+use std::net::{TcpListener, TcpStream};
 use std::os::unix::io::{FromRawFd, RawFd};
 
 /// Readable (`EPOLLIN`).
@@ -66,9 +66,41 @@ extern "C" {
     fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
     fn eventfd(initval: u32, flags: i32) -> i32;
     fn accept4(fd: i32, addr: *mut u8, addrlen: *mut u32, flags: i32) -> i32;
+    fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+    fn setsockopt(fd: i32, level: i32, name: i32, value: *const u8, len: u32) -> i32;
+    fn bind(fd: i32, addr: *const u8, len: u32) -> i32;
     fn listen(fd: i32, backlog: i32) -> i32;
     fn close(fd: i32) -> i32;
     fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+}
+
+const AF_INET: i32 = 2;
+const AF_INET6: i32 = 10;
+const SOCK_STREAM: i32 = 1;
+const SOL_SOCKET: i32 = 1;
+const SO_REUSEADDR: i32 = 2;
+
+/// `struct sockaddr_in` (Linux layout).
+#[repr(C)]
+struct SockAddrIn {
+    sin_family: u16,
+    /// Network byte order.
+    sin_port: u16,
+    /// Network byte order.
+    sin_addr: u32,
+    sin_zero: [u8; 8],
+}
+
+/// `struct sockaddr_in6` (Linux layout).
+#[repr(C)]
+struct SockAddrIn6 {
+    sin6_family: u16,
+    /// Network byte order.
+    sin6_port: u16,
+    sin6_flowinfo: u32,
+    sin6_addr: [u8; 16],
+    sin6_scope_id: u32,
 }
 
 /// Map a `-1` syscall return to [`io::Error::last_os_error`].
@@ -163,6 +195,16 @@ impl EventFd {
             Err(io::Error::last_os_error())
         }
     }
+
+    /// Read the counter back down to zero, making the fd quiet until the
+    /// next [`EventFd::signal`]. This is what a *resettable* doorbell needs
+    /// (the router's per-reactor completion mailbox), as opposed to the
+    /// sticky shutdown doorbell which is deliberately never drained.
+    pub fn drain(&self) {
+        let mut counter = [0u8; 8];
+        // One read zeroes an eventfd counter; EAGAIN means it already was.
+        let _ = unsafe { read(self.fd, counter.as_mut_ptr(), 8) };
+    }
 }
 
 impl Drop for EventFd {
@@ -198,13 +240,70 @@ pub fn accept_nonblocking(listener: RawFd) -> io::Result<Option<TcpStream>> {
     }
 }
 
-/// Re-issue `listen(2)` on an already-listening socket. Linux permits this
-/// and uses it to resize the accept backlog, which is how the server honours
-/// a configured backlog on a listener bound through `std` (whose own
-/// `listen` call hard-codes the depth).
-pub fn relisten(fd: RawFd, backlog: i32) -> io::Result<()> {
-    check(unsafe { listen(fd, backlog) })?;
-    Ok(())
+/// Bind a listening socket with `SO_REUSEADDR` set *before* `bind(2)` —
+/// the one thing `std::net::TcpListener::bind` cannot do. A restarting
+/// server must reclaim its port immediately even while connections it
+/// owned linger in `TIME_WAIT` (after a crash or `kill -9`, the kernel
+/// walks the dead process's sockets through an orderly close, so the port
+/// stays claimed for a minute without this); a cluster shard in particular
+/// has to come back on the exact address the router's ring names.
+///
+/// Also applies the configured accept backlog directly (std hard-codes its
+/// own depth).
+pub fn bind_reusable(addr: &std::net::SocketAddr, backlog: i32) -> io::Result<TcpListener> {
+    let (domain, raw, len): (i32, Vec<u8>, u32) = match addr {
+        std::net::SocketAddr::V4(v4) => {
+            let sa = SockAddrIn {
+                sin_family: AF_INET as u16,
+                sin_port: v4.port().to_be(),
+                sin_addr: u32::from(*v4.ip()).to_be(),
+                sin_zero: [0; 8],
+            };
+            let bytes = unsafe {
+                std::slice::from_raw_parts(
+                    (&sa as *const SockAddrIn).cast::<u8>(),
+                    std::mem::size_of::<SockAddrIn>(),
+                )
+            }
+            .to_vec();
+            (AF_INET, bytes, std::mem::size_of::<SockAddrIn>() as u32)
+        }
+        std::net::SocketAddr::V6(v6) => {
+            let sa = SockAddrIn6 {
+                sin6_family: AF_INET6 as u16,
+                sin6_port: v6.port().to_be(),
+                sin6_flowinfo: v6.flowinfo(),
+                sin6_addr: v6.ip().octets(),
+                sin6_scope_id: v6.scope_id(),
+            };
+            let bytes = unsafe {
+                std::slice::from_raw_parts(
+                    (&sa as *const SockAddrIn6).cast::<u8>(),
+                    std::mem::size_of::<SockAddrIn6>(),
+                )
+            }
+            .to_vec();
+            (AF_INET6, bytes, std::mem::size_of::<SockAddrIn6>() as u32)
+        }
+    };
+    let fd = check(unsafe { socket(domain, SOCK_STREAM | SOCK_CLOEXEC, 0) })?;
+    // From here the fd must not leak: wrap syscall failures so it closes.
+    let fail = |fd: i32| -> io::Error {
+        let e = io::Error::last_os_error();
+        unsafe { close(fd) };
+        e
+    };
+    let one: i32 = 1;
+    if unsafe { setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, (&one as *const i32).cast(), 4) } < 0 {
+        return Err(fail(fd));
+    }
+    if unsafe { bind(fd, raw.as_ptr(), len) } < 0 {
+        return Err(fail(fd));
+    }
+    if unsafe { listen(fd, backlog) } < 0 {
+        return Err(fail(fd));
+    }
+    Ok(unsafe { TcpListener::from_raw_fd(fd) })
 }
 
 #[cfg(test)]

@@ -864,15 +864,24 @@ pub fn estima_error_status(error: &EstimaError) -> (u16, &'static str) {
     }
 }
 
-/// Encode the `429 quota_exceeded` error body: the standard error object
-/// plus a machine-readable `retry_after_ms` hint, mirroring the response's
-/// `Retry-After` header at millisecond precision.
-pub fn write_quota_error(message: &str, retry_after_ms: u64, out: &mut String) {
-    out.push_str("{\"error\":{\"code\":\"quota_exceeded\",\"message\":");
+/// Encode a retryable error body: the standard error object plus a
+/// machine-readable `retry_after_ms` hint, mirroring the response's
+/// `Retry-After` header at millisecond precision. Shared by the
+/// `429 quota_exceeded` degradation path and the router's
+/// `503 shard_unavailable` response.
+pub fn write_retry_error(code: &str, message: &str, retry_after_ms: u64, out: &mut String) {
+    out.push_str("{\"error\":{\"code\":");
+    write_json_string(code, out);
+    out.push_str(",\"message\":");
     write_json_string(message, out);
     out.push_str(",\"retry_after_ms\":");
     let _ = std::fmt::Write::write_fmt(out, format_args!("{retry_after_ms}"));
     out.push_str("}}");
+}
+
+/// Encode the `429 quota_exceeded` error body (see [`write_retry_error`]).
+pub fn write_quota_error(message: &str, retry_after_ms: u64, out: &mut String) {
+    write_retry_error("quota_exceeded", message, retry_after_ms, out);
 }
 
 /// Encode a wire error body: `{"error": {"code": ..., "message": ...}}`.

@@ -23,16 +23,12 @@ struct ServeProcess {
 }
 
 impl ServeProcess {
-    /// Launch the real binary on an ephemeral port with durability enabled
-    /// and parse the listening address off its first stdout line.
-    fn spawn(data_dir: &Path) -> ServeProcess {
+    /// Launch the real binary with the given extra flags and parse the
+    /// listening address off its first stdout line. Panics if the process
+    /// dies before printing one (e.g. a failed bind).
+    fn spawn_with(extra: &[&str]) -> ServeProcess {
         let mut child = Command::new(env!("CARGO_BIN_EXE_estima-serve"))
-            .args([
-                "--addr",
-                "127.0.0.1:0",
-                "--data-dir",
-                data_dir.to_str().expect("utf-8 temp path"),
-            ])
+            .args(extra)
             .stdout(Stdio::piped())
             .stderr(Stdio::inherit())
             .spawn()
@@ -51,6 +47,37 @@ impl ServeProcess {
             .parse()
             .expect("parse listening address");
         ServeProcess { child, addr }
+    }
+
+    /// Launch on an ephemeral port with durability enabled.
+    fn spawn(data_dir: &Path) -> ServeProcess {
+        ServeProcess::spawn_with(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--data-dir",
+            data_dir.to_str().expect("utf-8 temp path"),
+        ])
+    }
+
+    /// Relaunch a shard on its exact previous address (the address the
+    /// router's ring names) over the same durable directory.
+    fn spawn_at(data_dir: &Path, addr: &str) -> ServeProcess {
+        ServeProcess::spawn_with(&[
+            "--addr",
+            addr,
+            "--data-dir",
+            data_dir.to_str().expect("utf-8 temp path"),
+        ])
+    }
+
+    /// Launch a router over the given shard addresses.
+    fn spawn_router(shards: &[String]) -> ServeProcess {
+        let mut args = vec!["--addr", "127.0.0.1:0", "--mode", "router"];
+        for shard in shards {
+            args.push("--shard");
+            args.push(shard);
+        }
+        ServeProcess::spawn_with(&args)
     }
 
     /// SIGKILL — no shutdown hooks, no flush; the WAL is on its own.
@@ -209,4 +236,127 @@ fn sigkill_mid_ingest_recovers_byte_identical_predictions() {
 
     revived.kill_dash_nine();
     let _ = std::fs::remove_dir_all(&data_dir);
+}
+
+/// The cluster variant: SIGKILL one shard of a live 3-shard cluster.
+/// The router must keep serving the survivors untouched, answer for the
+/// dead shard's series with a structured `503 shard_unavailable` (with
+/// `retry_after_ms`) instead of hanging, and — once the shard restarts on
+/// the same address over the same durable directory — serve its series'
+/// predictions byte-identical to the pre-kill responses.
+#[test]
+fn sigkill_one_shard_mid_cluster_survives_and_recovers_byte_identical() {
+    let dirs: Vec<PathBuf> = (0..3).map(|i| scratch_dir(&format!("shard{i}"))).collect();
+    let mut shards: Vec<Option<ServeProcess>> = dirs
+        .iter()
+        .map(|dir| Some(ServeProcess::spawn(dir)))
+        .collect();
+    let addrs: Vec<String> = shards
+        .iter()
+        .map(|s| s.as_ref().unwrap().addr.to_string())
+        .collect();
+    let router_process = ServeProcess::spawn_router(&addrs);
+    let ring = estima_serve::ShardRing::new(addrs.clone());
+    let mut router = Client::connect(router_process.addr).expect("connect router");
+
+    // Pick one series per shard so the kill provably partitions the data.
+    let mut app_on_shard: Vec<Option<String>> = vec![None; 3];
+    for i in 0..64 {
+        let app = format!("cluster.app-{i}");
+        let owner = ring.shard_for(&app);
+        if app_on_shard[owner].is_none() {
+            app_on_shard[owner] = Some(app);
+        }
+    }
+    let app_on_shard: Vec<String> = app_on_shard
+        .into_iter()
+        .map(|app| app.expect("64 candidates cover 3 shards"))
+        .collect();
+
+    let predict_body = wire::target_spec_to_json(&TargetSpec::cores(48)).render();
+    let mut before_kill = Vec::new();
+    for app in &app_on_shard {
+        let set = stable_set(app);
+        let id = SeriesId::new(app).expect("valid id");
+        let body =
+            wire::ingest_request_to_json(&id, Some(set.frequency_ghz), set.measurements()).render();
+        let (status, response) = request(&mut router, "POST", "/v1/measurements", &body);
+        assert_eq!(status, 200, "{response}");
+        let (status, prediction) = request(
+            &mut router,
+            "POST",
+            &format!("/v1/series/{app}/predict"),
+            &predict_body,
+        );
+        assert_eq!(status, 200, "{prediction}");
+        before_kill.push(prediction);
+    }
+
+    // Kill -9 shard 1: no flush, no goodbye. Its pooled router connections
+    // go stale and fresh connects are refused.
+    let victim = 1usize;
+    shards[victim].take().unwrap().kill_dash_nine();
+
+    // Survivors answer exactly as before the kill.
+    for shard in [0usize, 2] {
+        let app = &app_on_shard[shard];
+        let (status, prediction) = request(
+            &mut router,
+            "POST",
+            &format!("/v1/series/{app}/predict"),
+            &predict_body,
+        );
+        assert_eq!(status, 200, "{prediction}");
+        assert_eq!(
+            prediction, before_kill[shard],
+            "a shard kill must not perturb the survivors' bytes"
+        );
+    }
+
+    // The dead shard's series: structured 503, bounded (no hang — the
+    // 30-second client read timeout would fail this test if the router
+    // blocked on the dead upstream).
+    let victim_app = &app_on_shard[victim];
+    let (status, body) = request(
+        &mut router,
+        "POST",
+        &format!("/v1/series/{victim_app}/predict"),
+        &predict_body,
+    );
+    assert_eq!(status, 503, "{body}");
+    let error = Json::parse(&body).expect("structured error body");
+    let error = error.get("error").expect("error envelope");
+    assert_eq!(
+        error.get("code").and_then(Json::as_str),
+        Some("shard_unavailable")
+    );
+    assert!(
+        error.get("retry_after_ms").and_then(Json::as_u64).is_some(),
+        "{body}"
+    );
+
+    // Restart the shard on its exact old address (SO_REUSEADDR makes the
+    // port reclaimable immediately) over the same durable directory: the
+    // router heals with no reconfiguration and the revived shard's
+    // predictions are byte-identical to the pre-kill run.
+    shards[victim] = Some(ServeProcess::spawn_at(&dirs[victim], &addrs[victim]));
+    let (status, prediction) = request(
+        &mut router,
+        "POST",
+        &format!("/v1/series/{victim_app}/predict"),
+        &predict_body,
+    );
+    assert_eq!(status, 200, "{prediction}");
+    assert_eq!(
+        prediction, before_kill[victim],
+        "recovered shard must serve byte-identical predictions through the router"
+    );
+
+    router_process.kill_dash_nine();
+    for shard in shards.into_iter().flatten() {
+        shard.kill_dash_nine();
+    }
+    for dir in dirs {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
