@@ -2,7 +2,7 @@
 //! loopback and report throughput, latency percentiles and cache hit-rate.
 //!
 //! ```text
-//! loadgen [--quick] [--scenario quickstart|ingest|churn|cluster]
+//! loadgen [--quick] [--scenario quickstart|ingest|plan|churn|cluster]
 //!         [--duration N] [--duration-ms N] [--warmup-ms N]
 //!         [--connections N[,N...]] [--min-rps N] [--addr HOST:PORT]
 //! ```
@@ -41,6 +41,14 @@
 //!   no fit invalidation): the mix measures the ingest wire + store path
 //!   at full cache warmth, and every predict response is checked
 //!   byte-for-byte against the in-process reference for that series.
+//! * **`plan`** — the `ingest` seeding and 80/20 mix, but the read side is
+//!   `POST /v1/series/{id}/plan`: each plan runs a jackknife per ranked
+//!   candidate, so one response costs on the order of a hundred refits —
+//!   all keyed by measurement bits under the series' cache scope. The
+//!   re-pushed ingest points are bit-identical (no version bump, no
+//!   invalidation), so steady-state planning serves entirely from the warm
+//!   fit cache, and every plan response is checked byte-for-byte against
+//!   the in-process [`Planner`] for the same series.
 //! * **`churn`** — the quickstart request, but over a **fresh connection
 //!   per request** (connect → request → close): measures the reactor's
 //!   accept/register/teardown path instead of steady keep-alive. Latency
@@ -87,9 +95,9 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: loadgen [--quick] [--scenario quickstart|ingest|churn|cluster] [--duration N] \
-         [--duration-ms N] [--warmup-ms N] [--connections N[,N...]] [--min-rps N] \
-         [--addr HOST:PORT]"
+        "usage: loadgen [--quick] [--scenario quickstart|ingest|plan|churn|cluster] \
+         [--duration N] [--duration-ms N] [--warmup-ms N] [--connections N[,N...]] \
+         [--min-rps N] [--addr HOST:PORT]"
     );
     std::process::exit(2);
 }
@@ -162,6 +170,7 @@ struct RequestSpec<'a> {
 struct RouteCounts {
     predict: u64,
     series_predict: u64,
+    series_plan: u64,
     measurements: u64,
     stats: u64,
 }
@@ -177,6 +186,8 @@ impl RouteCounts {
             self.stats += 1;
         } else if path.starts_with("/v1/series/") && path.ends_with("/predict") {
             self.series_predict += 1;
+        } else if path.starts_with("/v1/series/") && path.ends_with("/plan") {
+            self.series_plan += 1;
         } else {
             panic!("loadgen issued a request to unclassified path {path}");
         }
@@ -185,6 +196,7 @@ impl RouteCounts {
     fn merge(&mut self, other: &RouteCounts) {
         self.predict += other.predict;
         self.series_predict += other.series_predict;
+        self.series_plan += other.series_plan;
         self.measurements += other.measurements;
         self.stats += other.stats;
     }
@@ -219,6 +231,11 @@ fn cross_check_stats(
             "requests.series_predict",
             field(["requests", "series_predict"])?,
             counts.series_predict,
+        ),
+        (
+            "requests.series_plan",
+            field(["requests", "series_plan"])?,
+            counts.series_plan,
         ),
         (
             "requests.measurements",
@@ -531,6 +548,162 @@ impl Scenario for IngestScenario {
     }
 }
 
+/// The in-process reference plan for a series, rendered exactly as the
+/// server renders it. Parallelism 1 is safe because jackknife intervals
+/// are parallelism-invariant (fixed summation order in the reduction), so
+/// the bits match whatever reactor parallelism the server fits with.
+fn reference_plan(
+    set: &MeasurementSet,
+    target: &TargetSpec,
+) -> std::result::Result<String, String> {
+    let estima = Estima::new(EstimaConfig::default().with_parallelism(1));
+    let plan = Planner::new(&estima)
+        .plan(set, target, estima_core::plan::DEFAULT_SUGGESTIONS)
+        .map_err(|e| format!("in-process reference plan failed: {e}"))?;
+    Ok(wire::plan_to_json(&plan).render())
+}
+
+/// The planning scenario: the ingest mix's per-connection series and
+/// seeding, with `POST /v1/series/{id}/plan` as the read side. Plans are
+/// the most fit-hungry request the service answers (a jackknife per ranked
+/// candidate); the idempotent re-ingests never bump the series version, so
+/// every refit a steady-state plan needs is already in the fit cache and
+/// the `--min-rps` gate measures the planning math + wire path, not
+/// repeated refitting.
+struct PlanScenario {
+    /// Summary record prefix (`serve/loadgen-plan/...`).
+    name: &'static str,
+    /// Per-connection plan path (`/v1/series/{id}/plan`).
+    plan_paths: Vec<String>,
+    /// The bare-`TargetSpec` plan body (shared by every connection; the
+    /// server defaults the suggestion count).
+    target_body: String,
+    /// Per-connection expected plan response (app_name = series id).
+    expected: Vec<String>,
+    /// Per-connection, per-point single-point ingest bodies — seeds and,
+    /// cycled, the timed loop's idempotent ingest traffic.
+    ingest_bodies: Vec<Vec<String>>,
+}
+
+impl PlanScenario {
+    fn new(name: &'static str, connections: usize) -> std::result::Result<Self, String> {
+        let (_, target) = quickstart_job("plan-0");
+        let mut scenario = PlanScenario {
+            name,
+            plan_paths: Vec::new(),
+            target_body: wire::target_spec_to_json(&target).render(),
+            expected: Vec::new(),
+            ingest_bodies: Vec::new(),
+        };
+        for connection in 0..connections {
+            let name = format!("plan-{connection}");
+            let series = SeriesId::new(&name).map_err(|e| e.to_string())?;
+            let (set, target) = quickstart_job(&name);
+            scenario.plan_paths.push(format!("/v1/series/{name}/plan"));
+            scenario.expected.push(reference_plan(&set, &target)?);
+            let point_bodies: Vec<String> = set
+                .measurements()
+                .iter()
+                .map(|point| {
+                    wire::ingest_request_to_json(
+                        &series,
+                        Some(set.frequency_ghz),
+                        std::slice::from_ref(point),
+                    )
+                    .render()
+                })
+                .collect();
+            scenario.ingest_bodies.push(point_bodies);
+        }
+        Ok(scenario)
+    }
+}
+
+impl Scenario for PlanScenario {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn prepare(
+        &self,
+        probe: &mut Client,
+        counts: &mut RouteCounts,
+    ) -> std::result::Result<(), String> {
+        // Seed every connection's series, then pin the served plan to the
+        // in-process bits — this also pre-warms each series' fit-cache
+        // scope with every leave-out and hypothetical refit the plan
+        // needs, so the timed loop starts cache-hot.
+        for (connection, seeds) in self.ingest_bodies.iter().enumerate() {
+            for body in seeds {
+                counts.note("/v1/measurements");
+                let response = probe
+                    .request("POST", "/v1/measurements", body)
+                    .map_err(|e| format!("seeding ingest failed: {e}"))?;
+                if response.status != 200 {
+                    return Err(format!(
+                        "seeding ingest got status {}: {}",
+                        response.status, response.body
+                    ));
+                }
+            }
+            counts.note(&self.plan_paths[connection]);
+            let first = probe
+                .request("POST", &self.plan_paths[connection], &self.target_body)
+                .map_err(|e| format!("probe plan failed: {e}"))?;
+            if first.status != 200 {
+                return Err(format!(
+                    "probe plan got status {}: {}",
+                    first.status, first.body
+                ));
+            }
+            if first.body != self.expected[connection] {
+                return Err(format!(
+                    "served plan is not byte-identical to in-process for \
+                     connection {connection}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn request(&self, connection: usize, iteration: u64) -> RequestSpec<'_> {
+        if iteration % INGEST_EVERY == INGEST_EVERY - 1 {
+            let bodies = &self.ingest_bodies[connection];
+            let body = &bodies[(iteration / INGEST_EVERY) as usize % bodies.len()];
+            RequestSpec {
+                method: "POST",
+                path: "/v1/measurements",
+                body,
+            }
+        } else {
+            RequestSpec {
+                method: "POST",
+                path: &self.plan_paths[connection],
+                body: &self.target_body,
+            }
+        }
+    }
+
+    fn check(
+        &self,
+        connection: usize,
+        iteration: u64,
+        response: &ClientResponse,
+    ) -> std::result::Result<(), String> {
+        if response.status != 200 {
+            return Err(format!("status {}: {}", response.status, response.body));
+        }
+        let is_ingest = iteration % INGEST_EVERY == INGEST_EVERY - 1;
+        if !is_ingest && response.body != self.expected[connection] {
+            return Err(format!(
+                "served plan drifted from the in-process bits \
+                 (connection {connection}, iteration {iteration})"
+            ));
+        }
+        Ok(())
+    }
+}
+
 fn percentile(sorted_ns: &[u64], q: f64) -> u64 {
     if sorted_ns.is_empty() {
         return 0;
@@ -790,6 +963,12 @@ fn main() {
                 std::process::exit(1);
             }),
         ),
+        "plan" => Arc::new(
+            PlanScenario::new("loadgen-plan", max_connections).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }),
+        ),
         "cluster" => Arc::new(
             IngestScenario::new("loadgen-cluster", max_connections).unwrap_or_else(|e| {
                 eprintln!("error: {e}");
@@ -797,7 +976,9 @@ fn main() {
             }),
         ),
         other => {
-            eprintln!("error: unknown scenario `{other}` (quickstart, ingest, churn, cluster)");
+            eprintln!(
+                "error: unknown scenario `{other}` (quickstart, ingest, plan, churn, cluster)"
+            );
             usage();
         }
     };

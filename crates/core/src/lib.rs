@@ -74,6 +74,7 @@ pub mod kernels;
 pub mod levenberg;
 pub mod linalg;
 pub mod measurement;
+pub mod plan;
 pub mod plugin;
 pub mod predictor;
 pub mod report;
@@ -94,6 +95,7 @@ pub use json::Json;
 pub use kernels::{FittedCurve, KernelKind};
 pub use levenberg::{Jacobian, LmModel, LmOptions, LmStats, LmWorkspace};
 pub use measurement::{Measurement, MeasurementSet, StallCategory, StallSource};
+pub use plan::{ConfidenceInterval, MeasurementPlan, PlanSuggestion, Planner};
 pub use predictor::{CategoryExtrapolation, Estima, Prediction};
 pub use store::{
     EstimaSession, MeasurementStore, SeriesId, SeriesInfo, SeriesSnapshot, StoreLimits,
@@ -103,12 +105,13 @@ pub use wal::{DurabilityOptions, WalStats};
 
 /// Convenience re-exports covering the common use of the crate.
 pub mod prelude {
-    pub use crate::bottleneck::BottleneckReport;
+    pub use crate::bottleneck::{BottleneckEntry, BottleneckReport};
     pub use crate::config::{EstimaConfig, TargetSpec};
     pub use crate::engine::{BatchPredictor, Engine, FitCache};
     pub use crate::error::{EstimaError, Result};
     pub use crate::kernels::{FittedCurve, KernelKind};
     pub use crate::measurement::{Measurement, MeasurementSet, StallCategory, StallSource};
+    pub use crate::plan::{ConfidenceInterval, MeasurementPlan, PlanSuggestion, Planner};
     pub use crate::predictor::{Estima, Prediction};
     pub use crate::store::{EstimaSession, MeasurementStore, SeriesId, StoreLimits};
     pub use crate::time_extrapolation::{TimeExtrapolation, TimePrediction};

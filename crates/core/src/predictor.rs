@@ -81,6 +81,12 @@ pub struct Prediction {
     /// Measured execution time at the measured core counts, after frequency
     /// scaling to the target machine.
     pub measured_time: Vec<(u32, f64)>,
+    /// Jackknife confidence interval around the predicted time at the target
+    /// core count. `None` on the plain predict paths; populated by
+    /// [`Planner::confidence`](crate::plan::Planner::confidence) (the wire
+    /// format only emits it when present, keeping default responses
+    /// byte-identical).
+    pub confidence: Option<crate::plan::ConfidenceInterval>,
 }
 
 impl Prediction {
@@ -459,6 +465,7 @@ impl Estima {
             factor_correlation,
             predicted_time,
             measured_time,
+            confidence: None,
         })
     }
 }

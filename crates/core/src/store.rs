@@ -71,10 +71,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
+use crate::bottleneck::BottleneckReport;
 use crate::config::{EstimaConfig, TargetSpec};
 use crate::engine::{CacheScope, FitCache};
 use crate::error::{EstimaError, Result};
 use crate::measurement::{Measurement, MeasurementSet};
+use crate::plan::{MeasurementPlan, Planner};
 use crate::predictor::{Estima, Prediction};
 use crate::wal::{DurabilityOptions, Wal, WalStats};
 
@@ -888,6 +890,67 @@ impl EstimaSession {
     /// and the server's stateless `/v1/predict` endpoint run on.
     pub fn predict_set(&self, set: &MeasurementSet, target: &TargetSpec) -> Result<Prediction> {
         self.estima.predict_cached(set, target, &self.cache)
+    }
+
+    /// [`EstimaSession::predict`] with a jackknife confidence interval
+    /// attached ([`Prediction::confidence`] is `Some`). Same snapshot and
+    /// cache discipline as a plain predict; the leave-one-out refits share
+    /// the series' [`CacheScope`], so re-estimating an unchanged series is a
+    /// pure cache hit. Requires one measurement beyond the pipeline minimum
+    /// (see [`Planner::confidence`]).
+    pub fn predict_with_confidence(
+        &self,
+        id: &SeriesId,
+        target: &TargetSpec,
+    ) -> Result<Prediction> {
+        let snapshot = self
+            .store
+            .snapshot(id)
+            .ok_or_else(|| EstimaError::SeriesNotFound {
+                series: id.to_string(),
+            })?;
+        let planner = Planner::new(&self.estima)
+            .with_cache(&self.cache)
+            .with_scope(CacheScope {
+                series: snapshot.id.as_str(),
+                version: snapshot.version,
+            });
+        let (prediction, _) = planner.confidence(&snapshot.set, target)?;
+        Ok(prediction)
+    }
+
+    /// Rank which measurement to take next for a named series; see
+    /// [`Planner::plan`]. The hypothetical refits are cached under the
+    /// series' scope, so repeated plans of an unchanged series are pure
+    /// cache hits and any ingest invalidates them along with everything
+    /// else the series cached.
+    pub fn plan(
+        &self,
+        id: &SeriesId,
+        target: &TargetSpec,
+        max_suggestions: usize,
+    ) -> Result<MeasurementPlan> {
+        let snapshot = self
+            .store
+            .snapshot(id)
+            .ok_or_else(|| EstimaError::SeriesNotFound {
+                series: id.to_string(),
+            })?;
+        let planner = Planner::new(&self.estima)
+            .with_cache(&self.cache)
+            .with_scope(CacheScope {
+                series: snapshot.id.as_str(),
+                version: snapshot.version,
+            });
+        planner.plan(&snapshot.set, target, max_suggestions)
+    }
+
+    /// Predict a named series and diagnose its scaling losses at the target
+    /// core count: which stall categories are predicted to dominate, and how
+    /// fast each grows past the measured range. See [`BottleneckReport`].
+    pub fn diagnose(&self, id: &SeriesId, target: &TargetSpec) -> Result<BottleneckReport> {
+        let prediction = self.predict(id, target)?;
+        Ok(BottleneckReport::from_prediction(&prediction, target.cores))
     }
 
     /// Summaries of every stored series, ordered by id.

@@ -1,0 +1,143 @@
+//! Determinism pinning for the planning subsystem:
+//!
+//! 1. Jackknife confidence intervals are **parallelism-invariant**: the
+//!    leave-one-out refits fan across the engine pool, but the reduction is
+//!    index-ordered with a fixed summation order, so parallelism 1 and N
+//!    produce bit-identical intervals over randomized workload shapes.
+//! 2. Confidence and plans are **arrival-order-invariant** through a
+//!    session: ingesting the same points in a shuffled order yields the
+//!    byte-identical interval and suggestion list (the store's ordering
+//!    policy makes arrival order irrelevant, and the planner only ever sees
+//!    the sorted set).
+
+use estima_core::prelude::*;
+use proptest::prelude::*;
+
+/// One synthetic measurement following simple analytic laws, parametrized
+/// so different draws produce genuinely different series. A deterministic
+/// per-core wobble keeps the jackknife interval nondegenerate (a perfect
+/// analytic law can be fit exactly, collapsing the leave-out spread).
+fn synthetic_point(cores: u32, serial: f64, quad: f64, spin: f64) -> Measurement {
+    let n = cores as f64;
+    let wobble = 1.0 + 0.02 * (((cores * 7) % 5) as f64 - 2.0);
+    let time = (serial / n + 1.0) * wobble;
+    Measurement::new(cores, time)
+        .with_stall(
+            StallCategory::backend("rob_full"),
+            1.0e9 * n * time * (0.5 + quad),
+        )
+        .with_stall(
+            StallCategory::backend("ls_full"),
+            1.0e9 * n * time * (0.5 - quad),
+        )
+        .with_stall(StallCategory::software("lock_spin"), spin * 1.0e7 * n * n)
+}
+
+fn assert_interval_bits(a: &ConfidenceInterval, b: &ConfidenceInterval) {
+    assert_eq!(a.lo.to_bits(), b.lo.to_bits(), "interval lo");
+    assert_eq!(a.hi.to_bits(), b.hi.to_bits(), "interval hi");
+    assert_eq!(a.spread.to_bits(), b.spread.to_bits(), "interval spread");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn confidence_is_parallelism_invariant(
+        measured in 8u32..13,
+        serial in 20.0f64..80.0,
+        quad in 0.05f64..0.45,
+        spin in 0.1f64..4.0,
+    ) {
+        let mut set = MeasurementSet::new("prop-ci", 2.1);
+        for cores in 1..=measured {
+            set.push(synthetic_point(cores, serial, quad, spin));
+        }
+        let target = TargetSpec::cores(measured * 4);
+
+        let sequential = Estima::new(EstimaConfig::default().with_parallelism(1));
+        let threaded = Estima::new(EstimaConfig::default().with_parallelism(4));
+        let seq = Planner::new(&sequential).confidence(&set, &target);
+        let par = Planner::new(&threaded).confidence(&set, &target);
+        match (seq, par) {
+            (Ok((p1, i1)), Ok((p2, i2))) => {
+                assert_interval_bits(&i1, &i2);
+                for ((c1, t1), (c2, t2)) in p1.predicted_time.iter().zip(&p2.predicted_time) {
+                    prop_assert_eq!(c1, c2);
+                    prop_assert_eq!(t1.to_bits(), t2.to_bits());
+                }
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => panic!("parallelism 1 {a:?} disagrees with parallelism 4 {b:?}"),
+        }
+    }
+
+    #[test]
+    fn confidence_and_plan_are_arrival_order_invariant(
+        measured in 8u32..13,
+        serial in 20.0f64..80.0,
+        quad in 0.05f64..0.45,
+        spin in 0.1f64..4.0,
+        order_salt in 0u64..1000,
+    ) {
+        let config = EstimaConfig::default().with_parallelism(1);
+        let series = SeriesId::new("prop-plan").unwrap();
+        let target = TargetSpec::cores(measured * 4);
+
+        // A shuffled arrival order for the session's ingests.
+        let mut arrival: Vec<u32> = (1..=measured).collect();
+        for i in (1..arrival.len()).rev() {
+            arrival.swap(i, (order_salt as usize).wrapping_mul(i) % (i + 1));
+        }
+
+        // Reference: the sorted one-shot set, planned directly.
+        let mut full = MeasurementSet::new("prop-plan", 2.1);
+        for cores in 1..=measured {
+            full.push(synthetic_point(cores, serial, quad, spin));
+        }
+        let estima = Estima::new(config.clone());
+        let planner = Planner::new(&estima);
+        let reference_conf = planner.confidence(&full, &target);
+        let reference_plan = planner.plan(&full, &target, 3);
+
+        // Session: same points, shuffled arrival.
+        let session = EstimaSession::new(config);
+        session.ensure(&series, 2.1).unwrap();
+        for cores in arrival {
+            session
+                .ingest(&series, synthetic_point(cores, serial, quad, spin))
+                .unwrap();
+        }
+        let session_conf = session.predict_with_confidence(&series, &target);
+        let session_plan = session.plan(&series, &target, 3);
+
+        match (reference_conf, session_conf) {
+            (Ok((_, i1)), Ok(p2)) => {
+                let i2 = p2.confidence.expect("session prediction carries an interval");
+                assert_interval_bits(&i1, &i2);
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => panic!("one-shot confidence {a:?} disagrees with session {b:?}"),
+        }
+        match (reference_plan, session_plan) {
+            (Ok(a), Ok(b)) => {
+                assert_interval_bits(&a.confidence, &b.confidence);
+                prop_assert_eq!(a.suggestions.len(), b.suggestions.len());
+                for (s1, s2) in a.suggestions.iter().zip(&b.suggestions) {
+                    prop_assert_eq!(s1.cores, s2.cores);
+                    prop_assert_eq!(
+                        s1.expected_spread.to_bits(),
+                        s2.expected_spread.to_bits()
+                    );
+                    prop_assert_eq!(
+                        s1.expected_reduction.to_bits(),
+                        s2.expected_reduction.to_bits()
+                    );
+                    prop_assert_eq!(&s1.rationale, &s2.rationale);
+                }
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => panic!("one-shot plan {a:?} disagrees with session {b:?}"),
+        }
+    }
+}

@@ -23,10 +23,20 @@
 //! by `(series, version)`, so an ingest invalidates exactly that series'
 //! fits.
 //!
+//! Predictions can carry their own uncertainty: a series predict body with
+//! `"confidence": true` attaches a 95% jackknife interval, `"diagnosis":
+//! true` a bottleneck report naming the dominant scaling-loss category,
+//! and `POST /v1/series/{id}/plan` ranks which measurement to take next by
+//! expected interval shrinkage (see
+//! [`Planner`](estima_core::plan::Planner) and DESIGN.md § *Planning &
+//! uncertainty*). All three are opt-in: default predict responses stay
+//! byte-identical to releases predating them.
+//!
 //! Endpoints: `POST /v1/predict`, `POST /v1/batch`,
 //! `POST /v1/measurements`, `GET /v1/series`, `GET /v1/series/{id}`,
 //! `DELETE /v1/series/{id}`, `POST /v1/series/{id}/predict`,
-//! `GET /v1/healthz`, `GET /v1/stats`. The full wire-format specification,
+//! `POST /v1/series/{id}/plan`, `GET /v1/healthz`, `GET /v1/stats`. The
+//! full wire-format specification,
 //! architecture diagram and error-code semantics are in DESIGN.md
 //! § *Serving layer*; README § *Run as a service* has `curl`-able examples.
 //!

@@ -538,6 +538,12 @@ impl Router {
                     }
                     self.forward_with_body(id, request, out)
                 }
+                Some((id, "plan")) => {
+                    if method == "POST" {
+                        stats.series_plan_requests.fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.forward_with_body(id, request, out)
+                }
                 // Deeper paths 404 identically on every shard.
                 Some(_) => Some(self.single("", request, None)),
             };

@@ -35,8 +35,8 @@ use std::time::Instant;
 use estima_core::json::Json;
 use estima_core::store::EstimaSession;
 use estima_core::{
-    BatchPredictor, DurabilityOptions, EstimaConfig, EstimaError, FitCache, MeasurementSet,
-    MeasurementStore, SeriesId, StoreLimits,
+    BatchPredictor, BottleneckReport, DurabilityOptions, EstimaConfig, EstimaError, FitCache,
+    MeasurementSet, MeasurementStore, SeriesId, StoreLimits,
 };
 
 use crate::http::{
@@ -966,6 +966,13 @@ fn route(
                 }
                 _ => method_not_allowed(request, "POST", out),
             },
+            Some((id, "plan")) => match request.method.as_str() {
+                "POST" => {
+                    stats.series_plan_requests.fetch_add(1, Ordering::Relaxed);
+                    series_plan(id, request, state, out);
+                }
+                _ => method_not_allowed(request, "POST", out),
+            },
             Some(_) => not_found(path, out),
         }
         return RouteOutcome::Respond;
@@ -1125,6 +1132,10 @@ fn server_stats(state: &AppState, out: &mut ResponseBuf) {
                 (
                     "series_predict".to_string(),
                     Json::Number(load(&stats.series_predict_requests)),
+                ),
+                (
+                    "series_plan".to_string(),
+                    Json::Number(load(&stats.series_plan_requests)),
                 ),
                 (
                     "series_delete".to_string(),
@@ -1416,18 +1427,53 @@ fn series_predict(raw_id: &str, request: &Request, state: &AppState, out: &mut R
     let Some(text) = body_text(request, out) else {
         return;
     };
-    let target = match wire::decode_target_spec(text) {
-        Ok(target) => target,
+    let (target, extras) = match wire::decode_series_predict_request(text) {
+        Ok(decoded) => decoded,
         Err(e) => return respond_error(out, 400, "bad_request", &e.0),
     };
     let started = Instant::now();
-    let result = session(state).predict(&id, &target);
+    let result = if extras.confidence {
+        session(state).predict_with_confidence(&id, &target)
+    } else {
+        session(state).predict(&id, &target)
+    };
     state.stats.record_latency(started.elapsed());
     match result {
         Ok(prediction) => {
             state.stats.predictions.fetch_add(1, Ordering::Relaxed);
+            let diagnosis = extras
+                .diagnosis
+                .then(|| BottleneckReport::from_prediction(&prediction, target.cores));
             out.status = 200;
-            wire::write_prediction(&prediction, &mut out.body);
+            wire::write_prediction_response(&prediction, diagnosis.as_ref(), &mut out.body);
+        }
+        Err(e) => store_error(&e, out),
+    }
+}
+
+/// `POST /v1/series/{id}/plan`: rank which measurement to take next. The
+/// body is a bare `TargetSpec` plus an optional `suggestions` count; the
+/// response carries the current jackknife interval, the bottleneck
+/// diagnosis, and the ranked suggestions (see
+/// [`estima_core::plan::Planner`]).
+fn series_plan(raw_id: &str, request: &Request, state: &AppState, out: &mut ResponseBuf) {
+    let Some(id) = parse_series_id(raw_id, out) else {
+        return;
+    };
+    let Some(text) = body_text(request, out) else {
+        return;
+    };
+    let (target, suggestions) = match wire::decode_plan_request(text) {
+        Ok(decoded) => decoded,
+        Err(e) => return respond_error(out, 400, "bad_request", &e.0),
+    };
+    let started = Instant::now();
+    let result = session(state).plan(&id, &target, suggestions);
+    state.stats.record_latency(started.elapsed());
+    match result {
+        Ok(plan) => {
+            out.status = 200;
+            wire::write_plan(&plan, &mut out.body);
         }
         Err(e) => store_error(&e, out),
     }

@@ -32,6 +32,8 @@ pub struct ServerStats {
     pub series_requests: AtomicU64,
     /// `POST /v1/series/{id}/predict` requests answered (any status).
     pub series_predict_requests: AtomicU64,
+    /// `POST /v1/series/{id}/plan` requests answered (any status).
+    pub series_plan_requests: AtomicU64,
     /// `DELETE /v1/series/{id}` requests answered (any status).
     pub series_delete_requests: AtomicU64,
     /// Requests answered with a 4xx status.
@@ -65,6 +67,7 @@ impl Default for ServerStats {
             measurements_requests: AtomicU64::new(0),
             series_requests: AtomicU64::new(0),
             series_predict_requests: AtomicU64::new(0),
+            series_plan_requests: AtomicU64::new(0),
             series_delete_requests: AtomicU64::new(0),
             client_errors: AtomicU64::new(0),
             server_errors: AtomicU64::new(0),

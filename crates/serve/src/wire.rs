@@ -17,8 +17,8 @@
 use estima_core::json::{write_json_number, write_json_string, Json, JsonReader};
 use estima_core::store::{SeriesInfo, SeriesSnapshot};
 use estima_core::{
-    EstimaError, Measurement, MeasurementSet, Prediction, SeriesId, StallCategory, StallSource,
-    TargetSpec,
+    BottleneckReport, ConfidenceInterval, EstimaError, Measurement, MeasurementPlan,
+    MeasurementSet, Prediction, SeriesId, StallCategory, StallSource, TargetSpec,
 };
 
 /// A wire-level decoding failure: the body was valid-ish JSON but not a
@@ -321,7 +321,7 @@ pub fn prediction_to_json(prediction: &Prediction) -> Json {
             ])
         })
         .collect();
-    Json::Object(vec![
+    let mut body = Json::Object(vec![
         (
             "app_name".to_string(),
             Json::String(prediction.app_name.clone()),
@@ -359,6 +359,123 @@ pub fn prediction_to_json(prediction: &Prediction) -> Json {
             series_to_json(&prediction.measured_time),
         ),
         ("categories".to_string(), Json::Array(categories)),
+    ]);
+    if let Some(interval) = &prediction.confidence {
+        if let Json::Object(fields) = &mut body {
+            fields.push(("confidence".to_string(), confidence_to_json(interval)));
+        }
+    }
+    body
+}
+
+/// Encode a `Prediction` plus an optional bottleneck diagnosis — the
+/// response body of `POST /v1/series/{id}/predict` when the `diagnosis`
+/// flag is set. With `None` this is exactly [`prediction_to_json`].
+pub fn prediction_response_to_json(
+    prediction: &Prediction,
+    diagnosis: Option<&BottleneckReport>,
+) -> Json {
+    let mut body = prediction_to_json(prediction);
+    if let (Some(report), Json::Object(fields)) = (diagnosis, &mut body) {
+        fields.push(("bottleneck".to_string(), bottleneck_report_to_json(report)));
+    }
+    body
+}
+
+/// Encode a jackknife confidence interval as its wire object.
+pub fn confidence_to_json(interval: &ConfidenceInterval) -> Json {
+    Json::Object(vec![
+        ("lo".to_string(), Json::Number(interval.lo)),
+        ("hi".to_string(), Json::Number(interval.hi)),
+        ("spread".to_string(), Json::Number(interval.spread)),
+    ])
+}
+
+/// Encode a bottleneck report as its wire object: the core count it was
+/// analysed at, the dominant category (or `null` when the report is empty),
+/// and every entry sorted by descending share.
+pub fn bottleneck_report_to_json(report: &BottleneckReport) -> Json {
+    let dominant = report
+        .dominant()
+        .map(|entry| Json::String(entry.category.to_string()))
+        .unwrap_or(Json::Null);
+    let entries = report
+        .entries
+        .iter()
+        .map(|entry| {
+            Json::Object(vec![
+                (
+                    "category".to_string(),
+                    Json::String(entry.category.to_string()),
+                ),
+                (
+                    "predicted_cycles".to_string(),
+                    Json::Number(entry.predicted_cycles),
+                ),
+                ("share".to_string(), Json::Number(entry.share)),
+                (
+                    "growth_factor".to_string(),
+                    Json::Number(entry.growth_factor),
+                ),
+            ])
+        })
+        .collect();
+    Json::Object(vec![
+        (
+            "at_cores".to_string(),
+            Json::Number(f64::from(report.at_cores)),
+        ),
+        ("dominant".to_string(), dominant),
+        ("entries".to_string(), Json::Array(entries)),
+    ])
+}
+
+/// Encode a measurement plan as the `POST /v1/series/{id}/plan` response
+/// body.
+pub fn plan_to_json(plan: &MeasurementPlan) -> Json {
+    let suggestions = plan
+        .suggestions
+        .iter()
+        .map(|suggestion| {
+            Json::Object(vec![
+                (
+                    "cores".to_string(),
+                    Json::Number(f64::from(suggestion.cores)),
+                ),
+                (
+                    "expected_spread".to_string(),
+                    Json::Number(suggestion.expected_spread),
+                ),
+                (
+                    "expected_reduction".to_string(),
+                    Json::Number(suggestion.expected_reduction),
+                ),
+                (
+                    "rationale".to_string(),
+                    Json::String(suggestion.rationale.clone()),
+                ),
+            ])
+        })
+        .collect();
+    Json::Object(vec![
+        ("app_name".to_string(), Json::String(plan.app_name.clone())),
+        (
+            "measured_cores".to_string(),
+            Json::Number(f64::from(plan.measured_cores)),
+        ),
+        (
+            "target_cores".to_string(),
+            Json::Number(f64::from(plan.target_cores)),
+        ),
+        (
+            "confidence".to_string(),
+            confidence_to_json(&plan.confidence),
+        ),
+        (
+            "bottleneck".to_string(),
+            bottleneck_report_to_json(&plan.bottleneck),
+        ),
+        ("suggestions".to_string(), Json::Array(suggestions)),
     ])
 }
 
@@ -368,6 +485,16 @@ pub fn prediction_to_json(prediction: &Prediction) -> Json {
 /// a response carrying hundreds of numbers appends straight into the
 /// connection's reusable body buffer.
 pub fn write_prediction(prediction: &Prediction, out: &mut String) {
+    write_prediction_response(prediction, None, out);
+}
+
+/// [`write_prediction`] with an optional bottleneck diagnosis appended;
+/// byte-identical to `prediction_response_to_json(..).render()`.
+pub fn write_prediction_response(
+    prediction: &Prediction,
+    diagnosis: Option<&BottleneckReport>,
+    out: &mut String,
+) {
     out.push_str("{\"app_name\":");
     write_json_string(&prediction.app_name, out);
     out.push_str(",\"measured_cores\":");
@@ -411,6 +538,87 @@ pub fn write_prediction(prediction: &Prediction, out: &mut String) {
                 .unwrap_or(f64::NAN),
             out,
         );
+        out.push('}');
+    }
+    out.push(']');
+    if let Some(interval) = &prediction.confidence {
+        out.push_str(",\"confidence\":");
+        write_confidence(interval, out);
+    }
+    if let Some(report) = diagnosis {
+        out.push_str(",\"bottleneck\":");
+        write_bottleneck_report(report, out);
+    }
+    out.push('}');
+}
+
+/// Serialize a confidence interval directly into `out`; byte-identical to
+/// `confidence_to_json(interval).render()`.
+fn write_confidence(interval: &ConfidenceInterval, out: &mut String) {
+    out.push_str("{\"lo\":");
+    write_json_number(interval.lo, out);
+    out.push_str(",\"hi\":");
+    write_json_number(interval.hi, out);
+    out.push_str(",\"spread\":");
+    write_json_number(interval.spread, out);
+    out.push('}');
+}
+
+/// Serialize a bottleneck report directly into `out`; byte-identical to
+/// `bottleneck_report_to_json(report).render()`.
+fn write_bottleneck_report(report: &BottleneckReport, out: &mut String) {
+    out.push_str("{\"at_cores\":");
+    write_json_number(f64::from(report.at_cores), out);
+    out.push_str(",\"dominant\":");
+    match report.dominant() {
+        Some(entry) => write_json_string(&entry.category.to_string(), out),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"entries\":[");
+    for (index, entry) in report.entries.iter().enumerate() {
+        if index > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"category\":");
+        write_json_string(&entry.category.to_string(), out);
+        out.push_str(",\"predicted_cycles\":");
+        write_json_number(entry.predicted_cycles, out);
+        out.push_str(",\"share\":");
+        write_json_number(entry.share, out);
+        out.push_str(",\"growth_factor\":");
+        write_json_number(entry.growth_factor, out);
+        out.push('}');
+    }
+    out.push_str("]}");
+}
+
+/// Serialize a measurement plan directly into `out`; byte-identical to
+/// `plan_to_json(plan).render()` (pinned by a test below). The plan
+/// endpoint shares the serve hot path's zero-tree discipline.
+pub fn write_plan(plan: &MeasurementPlan, out: &mut String) {
+    out.push_str("{\"app_name\":");
+    write_json_string(&plan.app_name, out);
+    out.push_str(",\"measured_cores\":");
+    write_json_number(f64::from(plan.measured_cores), out);
+    out.push_str(",\"target_cores\":");
+    write_json_number(f64::from(plan.target_cores), out);
+    out.push_str(",\"confidence\":");
+    write_confidence(&plan.confidence, out);
+    out.push_str(",\"bottleneck\":");
+    write_bottleneck_report(&plan.bottleneck, out);
+    out.push_str(",\"suggestions\":[");
+    for (index, suggestion) in plan.suggestions.iter().enumerate() {
+        if index > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"cores\":");
+        write_json_number(f64::from(suggestion.cores), out);
+        out.push_str(",\"expected_spread\":");
+        write_json_number(suggestion.expected_spread, out);
+        out.push_str(",\"expected_reduction\":");
+        write_json_number(suggestion.expected_reduction, out);
+        out.push_str(",\"rationale\":");
+        write_json_string(&suggestion.rationale, out);
         out.push('}');
     }
     out.push_str("]}");
@@ -557,6 +765,73 @@ pub fn decode_target_spec(text: &str) -> Result<TargetSpec, WireError> {
     }
     let value = Json::parse(text).map_err(WireError)?;
     target_spec_from_json(&value)
+}
+
+/// Opt-in extras on a `POST /v1/series/{id}/predict` body.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredictExtras {
+    /// Attach a jackknife confidence interval (`"confidence": true`).
+    pub confidence: bool,
+    /// Attach a bottleneck diagnosis (`"diagnosis": true`).
+    pub diagnosis: bool,
+}
+
+/// Decode a series-predict body: a `TargetSpec` plus the opt-in
+/// [`PredictExtras`] boolean flags. Bodies that mention neither flag take
+/// exactly the [`decode_target_spec`] fast path, so default requests cost
+/// nothing extra — and produce byte-identical responses to releases that
+/// predate the flags.
+pub fn decode_series_predict_request(text: &str) -> Result<(TargetSpec, PredictExtras), WireError> {
+    if !text.contains("\"confidence\"") && !text.contains("\"diagnosis\"") {
+        return Ok((decode_target_spec(text)?, PredictExtras::default()));
+    }
+    let value = Json::parse(text).map_err(WireError)?;
+    let spec = target_spec_from_json(&value)?;
+    let extras = PredictExtras {
+        confidence: flag(&value, "confidence")?,
+        diagnosis: flag(&value, "diagnosis")?,
+    };
+    Ok((spec, extras))
+}
+
+/// Read an optional boolean flag off a request object.
+fn flag(value: &Json, key: &str) -> Result<bool, WireError> {
+    match value.get(key) {
+        None => Ok(false),
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| err(format!("request: field `{key}` must be a boolean"))),
+    }
+}
+
+/// Most suggestions a plan request may ask for.
+pub const MAX_PLAN_SUGGESTIONS: usize = 8;
+
+/// Decode a `POST /v1/series/{id}/plan` body: a `TargetSpec` plus an
+/// optional `suggestions` count (`1..=8`, default
+/// [`estima_core::plan::DEFAULT_SUGGESTIONS`]).
+pub fn decode_plan_request(text: &str) -> Result<(TargetSpec, usize), WireError> {
+    if !text.contains("\"suggestions\"") {
+        return Ok((
+            decode_target_spec(text)?,
+            estima_core::plan::DEFAULT_SUGGESTIONS,
+        ));
+    }
+    let value = Json::parse(text).map_err(WireError)?;
+    let spec = target_spec_from_json(&value)?;
+    let suggestions = match value.get("suggestions") {
+        None => estima_core::plan::DEFAULT_SUGGESTIONS,
+        Some(v) => v
+            .as_u64()
+            .and_then(|n| usize::try_from(n).ok())
+            .filter(|n| (1..=MAX_PLAN_SUGGESTIONS).contains(n))
+            .ok_or_else(|| {
+                err(format!(
+                    "request: field `suggestions` must be an integer between 1 and {MAX_PLAN_SUGGESTIONS}"
+                ))
+            })?,
+    };
+    Ok((spec, suggestions))
 }
 
 fn fast_predict_request(text: &str) -> Result<(MeasurementSet, TargetSpec), String> {
@@ -1009,6 +1284,71 @@ mod tests {
         let mut via_writer = String::new();
         write_prediction(&prediction, &mut via_writer);
         assert_eq!(via_writer, via_tree);
+        assert!(
+            !via_writer.contains("\"confidence\""),
+            "default predictions must not emit the opt-in confidence field"
+        );
+    }
+
+    #[test]
+    fn extended_prediction_writer_matches_tree_render_byte_for_byte() {
+        let estima = Estima::new(EstimaConfig::default().with_parallelism(1));
+        let (prediction, interval) = estima_core::Planner::new(&estima)
+            .confidence(&demo_set(), &TargetSpec::cores(48))
+            .unwrap();
+        assert_eq!(prediction.confidence, Some(interval));
+        let report = BottleneckReport::from_prediction(&prediction, 48);
+        let via_tree = prediction_response_to_json(&prediction, Some(&report)).render();
+        let mut via_writer = String::new();
+        write_prediction_response(&prediction, Some(&report), &mut via_writer);
+        assert_eq!(via_writer, via_tree);
+        assert!(via_writer.contains("\"confidence\":{\"lo\":"));
+        assert!(via_writer.contains("\"bottleneck\":{\"at_cores\":48"));
+    }
+
+    #[test]
+    fn plan_writer_matches_tree_render_byte_for_byte() {
+        let estima = Estima::new(EstimaConfig::default().with_parallelism(1));
+        let plan = estima_core::Planner::new(&estima)
+            .plan(&demo_set(), &TargetSpec::cores(48), 3)
+            .unwrap();
+        let via_tree = plan_to_json(&plan).render();
+        let mut via_writer = String::new();
+        write_plan(&plan, &mut via_writer);
+        assert_eq!(via_writer, via_tree);
+        assert!(via_writer.starts_with("{\"app_name\":\"wire-demo\""));
+    }
+
+    #[test]
+    fn series_predict_body_decodes_optional_flags() {
+        let (spec, extras) = decode_series_predict_request("{\"cores\":32}").unwrap();
+        assert_eq!(spec.cores, 32);
+        assert_eq!(extras, PredictExtras::default());
+        let (spec, extras) =
+            decode_series_predict_request("{\"cores\":32,\"confidence\":true,\"diagnosis\":true}")
+                .unwrap();
+        assert_eq!(spec.cores, 32);
+        assert!(extras.confidence && extras.diagnosis);
+        let (_, extras) =
+            decode_series_predict_request("{\"cores\":32,\"confidence\":false}").unwrap();
+        assert!(!extras.confidence && !extras.diagnosis);
+        assert!(decode_series_predict_request("{\"cores\":32,\"confidence\":1}").is_err());
+    }
+
+    #[test]
+    fn plan_request_decodes_and_bounds_suggestions() {
+        let (spec, suggestions) = decode_plan_request("{\"cores\":32}").unwrap();
+        assert_eq!(spec.cores, 32);
+        assert_eq!(suggestions, estima_core::plan::DEFAULT_SUGGESTIONS);
+        let (_, suggestions) = decode_plan_request("{\"cores\":32,\"suggestions\":5}").unwrap();
+        assert_eq!(suggestions, 5);
+        for bad in [
+            "{\"cores\":32,\"suggestions\":0}",
+            "{\"cores\":32,\"suggestions\":9}",
+            "{\"cores\":32,\"suggestions\":\"many\"}",
+        ] {
+            assert!(decode_plan_request(bad).is_err(), "accepted {bad}");
+        }
     }
 
     #[test]

@@ -168,6 +168,40 @@ fn every_route_through_the_router_is_byte_identical_to_a_single_node() {
         assert_eq!(got.status, 200, "{}", got.body);
     }
 
+    // --- planning and confidence: routed by series id --------------------
+    // Two apps (hashing to different owners with high likelihood) keep the
+    // fit-heavy plan fan-in bounded while still crossing shards.
+    for app in &apps[..2] {
+        let planned = check(
+            &mut router,
+            &mut single,
+            "POST",
+            &format!("/v1/series/{app}/plan"),
+            &target,
+        );
+        assert_eq!(planned.status, 200, "{}", planned.body);
+        let decoded = Json::parse(&planned.body).unwrap();
+        assert_eq!(
+            decoded.get("app_name").and_then(Json::as_str),
+            Some(app.as_str())
+        );
+        assert!(!decoded
+            .get("suggestions")
+            .and_then(Json::as_array)
+            .unwrap()
+            .is_empty());
+    }
+    let with_extras = check(
+        &mut router,
+        &mut single,
+        "POST",
+        "/v1/series/tenant.app-1/predict",
+        r#"{"cores":48,"confidence":true,"diagnosis":true}"#,
+    );
+    assert_eq!(with_extras.status, 200, "{}", with_extras.body);
+    assert!(with_extras.body.contains("\"confidence\""));
+    assert!(with_extras.body.contains("\"bottleneck\""));
+
     // --- series detail and the merged list ------------------------------
     check(
         &mut router,
@@ -249,6 +283,28 @@ fn every_route_through_the_router_is_byte_identical_to_a_single_node() {
         &target,
     );
     assert_eq!(predict_missing.status, 404);
+    let plan_missing = check(
+        &mut router,
+        &mut single,
+        "POST",
+        "/v1/series/tenant.ghost/plan",
+        &target,
+    );
+    assert_eq!(plan_missing.status, 404);
+    assert!(
+        plan_missing.body.contains("series_not_found"),
+        "{}",
+        plan_missing.body
+    );
+    let wrong_plan_method = check(
+        &mut router,
+        &mut single,
+        "GET",
+        "/v1/series/tenant.app-0/plan",
+        "",
+    );
+    assert_eq!(wrong_plan_method.status, 405);
+    assert_eq!(wrong_plan_method.allow.as_deref(), Some("POST"));
 
     let bad_id = check(&mut router, &mut single, "GET", "/v1/series/bad%20id!", "");
     assert_eq!(bad_id.status, 400);

@@ -535,6 +535,287 @@ fn series_error_codes_match_the_documented_semantics() {
     handle.shutdown();
 }
 
+/// Seed a quickstart-sized series over HTTP and return the equivalent set.
+fn seed_series(client: &mut Client, name: &str) -> MeasurementSet {
+    let set = quickstart_sized_set(name);
+    let body = wire::ingest_request_to_json(
+        &SeriesId::new(name).unwrap(),
+        Some(set.frequency_ghz),
+        set.measurements(),
+    )
+    .render();
+    let (status, response) = client.request("POST", "/v1/measurements", &body);
+    assert_eq!(status, 200, "{response}");
+    set
+}
+
+#[test]
+fn default_predict_bytes_are_unchanged_by_the_plan_subsystem() {
+    let handle = spawn_server();
+    let mut client = Client::connect(handle.addr());
+
+    let set = seed_series(&mut client, "pinned");
+    let target = TargetSpec::cores(48);
+
+    // The pre-flags wire pin: a bare-TargetSpec body serves exactly
+    // `prediction_to_json` of the in-process prediction — no `confidence`
+    // or `bottleneck` key anywhere.
+    let reference = BatchPredictor::new(EstimaConfig::default().with_parallelism(1))
+        .predict(&set, &target)
+        .unwrap();
+    let expected = wire::prediction_to_json(&reference).render();
+    let bare = wire::target_spec_to_json(&target).render();
+    let (status, plain) = client.request("POST", "/v1/series/pinned/predict", &bare);
+    assert_eq!(status, 200, "{plain}");
+    assert_eq!(
+        plain, expected,
+        "default series predict drifted from the pre-flags bytes"
+    );
+    assert!(!plain.contains("\"confidence\""));
+    assert!(!plain.contains("\"bottleneck\""));
+
+    // Explicit `false` flags cost a slower parse but the same bytes.
+    let (status, explicit) = client.request(
+        "POST",
+        "/v1/series/pinned/predict",
+        r#"{"cores":48,"confidence":false,"diagnosis":false}"#,
+    );
+    assert_eq!(status, 200, "{explicit}");
+    assert_eq!(explicit, plain);
+
+    handle.shutdown();
+}
+
+#[test]
+fn predict_confidence_and_diagnosis_opt_in_over_http() {
+    let handle = spawn_server();
+    let mut client = Client::connect(handle.addr());
+
+    let set = seed_series(&mut client, "uncertain");
+    let target = TargetSpec::cores(48);
+
+    let (status, served) = client.request(
+        "POST",
+        "/v1/series/uncertain/predict",
+        r#"{"cores":48,"confidence":true,"diagnosis":true}"#,
+    );
+    assert_eq!(status, 200, "{served}");
+
+    // Byte-identical to the in-process planner + diagnosis path (jackknife
+    // intervals are parallelism-invariant, so parallelism 1 is a valid
+    // reference for any server parallelism).
+    let estima = Estima::new(EstimaConfig::default().with_parallelism(1));
+    let (prediction, _) = Planner::new(&estima).confidence(&set, &target).unwrap();
+    let diagnosis = BottleneckReport::from_prediction(&prediction, target.cores);
+    let mut expected = String::new();
+    wire::write_prediction_response(&prediction, Some(&diagnosis), &mut expected);
+    assert_eq!(
+        served, expected,
+        "served confidence+diagnosis differs from the in-process bits"
+    );
+
+    // The interval brackets the point prediction and is well-formed.
+    let decoded = Json::parse(&served).unwrap();
+    let confidence = decoded.get("confidence").unwrap();
+    let lo = confidence.get("lo").and_then(Json::as_f64).unwrap();
+    let hi = confidence.get("hi").and_then(Json::as_f64).unwrap();
+    let spread = confidence.get("spread").and_then(Json::as_f64).unwrap();
+    let point = prediction.predicted_time_at(48).unwrap();
+    assert!(lo <= point && point <= hi, "{lo} <= {point} <= {hi}");
+    assert_eq!(spread.to_bits(), (hi - lo).to_bits());
+    let bottleneck = decoded.get("bottleneck").unwrap();
+    assert_eq!(bottleneck.get("at_cores").and_then(Json::as_u64), Some(48));
+    assert!(bottleneck.get("dominant").and_then(Json::as_str).is_some());
+
+    handle.shutdown();
+}
+
+#[test]
+fn plan_roundtrip_is_byte_identical_to_in_process() {
+    let handle = spawn_server();
+    let mut client = Client::connect(handle.addr());
+
+    let set = seed_series(&mut client, "planned");
+    let target = TargetSpec::cores(48);
+    let bare = wire::target_spec_to_json(&target).render();
+
+    let (status, served) = client.request("POST", "/v1/series/planned/plan", &bare);
+    assert_eq!(status, 200, "{served}");
+
+    let estima = Estima::new(EstimaConfig::default().with_parallelism(1));
+    let plan = Planner::new(&estima)
+        .plan(&set, &target, estima_core::plan::DEFAULT_SUGGESTIONS)
+        .unwrap();
+    let mut expected = String::new();
+    wire::write_plan(&plan, &mut expected);
+    assert_eq!(served, expected, "served plan differs from in-process bits");
+
+    // Shape checks on the served body.
+    let decoded = Json::parse(&served).unwrap();
+    assert_eq!(
+        decoded.get("app_name").and_then(Json::as_str),
+        Some("planned")
+    );
+    let suggestions = decoded.get("suggestions").unwrap().as_array().unwrap();
+    assert!(!suggestions.is_empty());
+    for suggestion in suggestions {
+        assert!(suggestion.get("cores").and_then(Json::as_u64).is_some());
+        assert!(!suggestion
+            .get("rationale")
+            .and_then(Json::as_str)
+            .unwrap()
+            .is_empty());
+    }
+
+    // A bounded `suggestions` count truncates the ranked list.
+    let (status, one) = client.request(
+        "POST",
+        "/v1/series/planned/plan",
+        r#"{"cores":48,"suggestions":1}"#,
+    );
+    assert_eq!(status, 200, "{one}");
+    let one = Json::parse(&one).unwrap();
+    assert_eq!(one.get("suggestions").unwrap().as_array().unwrap().len(), 1);
+
+    handle.shutdown();
+}
+
+#[test]
+fn plan_error_codes_match_the_documented_semantics() {
+    let handle = spawn_server();
+    let mut client = Client::connect(handle.addr());
+    let code = |body: &str| {
+        Json::parse(body)
+            .unwrap()
+            .get("error")
+            .unwrap()
+            .get("code")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+    };
+    let bare = wire::target_spec_to_json(&TargetSpec::cores(48)).render();
+
+    // Unknown series: 404, same code as predict.
+    let (status, body) = client.request("POST", "/v1/series/ghost/plan", &bare);
+    assert_eq!(status, 404);
+    assert_eq!(code(&body).as_deref(), Some("series_not_found"));
+
+    // Wrong method: 405 with the POST allow set.
+    let (status, body) = client.request("GET", "/v1/series/ghost/plan", "");
+    assert_eq!(status, 405);
+    assert_eq!(code(&body).as_deref(), Some("method_not_allowed"));
+
+    // A series with exactly `min_measurements` points predicts fine but is
+    // too short to jackknife: plan and confidence-predict both 422, while
+    // the default predict still answers 200.
+    let full = quickstart_sized_set("edge");
+    let thin: Vec<Measurement> = full.measurements()[..4].to_vec();
+    let ingest = wire::ingest_request_to_json(
+        &SeriesId::new("edge").unwrap(),
+        Some(full.frequency_ghz),
+        &thin,
+    )
+    .render();
+    let (status, _) = client.request("POST", "/v1/measurements", &ingest);
+    assert_eq!(status, 200);
+    let (status, response) = client.request("POST", "/v1/series/edge/predict", &bare);
+    assert_eq!(status, 200, "{response}");
+    let (status, body) = client.request("POST", "/v1/series/edge/plan", &bare);
+    assert_eq!(status, 422, "{body}");
+    assert_eq!(code(&body).as_deref(), Some("prediction_failed"));
+    let (status, body) = client.request(
+        "POST",
+        "/v1/series/edge/predict",
+        r#"{"cores":48,"confidence":true}"#,
+    );
+    assert_eq!(status, 422, "{body}");
+    assert_eq!(code(&body).as_deref(), Some("prediction_failed"));
+
+    // Malformed opt-ins: 400 bad_request.
+    let (status, body) = client.request(
+        "POST",
+        "/v1/series/edge/predict",
+        r#"{"cores":48,"confidence":"yes"}"#,
+    );
+    assert_eq!(status, 400);
+    assert_eq!(code(&body).as_deref(), Some("bad_request"));
+    let (status, body) = client.request(
+        "POST",
+        "/v1/series/edge/plan",
+        r#"{"cores":48,"suggestions":0}"#,
+    );
+    assert_eq!(status, 400);
+    assert_eq!(code(&body).as_deref(), Some("bad_request"));
+    let (status, body) = client.request(
+        "POST",
+        "/v1/series/edge/plan",
+        r#"{"cores":48,"suggestions":9}"#,
+    );
+    assert_eq!(status, 400);
+    assert_eq!(code(&body).as_deref(), Some("bad_request"));
+
+    handle.shutdown();
+}
+
+#[test]
+fn ingesting_the_top_plan_suggestion_shrinks_the_served_interval() {
+    let handle = spawn_server();
+    let mut client = Client::connect(handle.addr());
+
+    // Seed a 10-point series with a deterministic wobble (a perfectly
+    // analytic law fits exactly and the interval collapses to zero).
+    let series = SeriesId::new("adaptive").unwrap();
+    let law = |cores: u32| -> Measurement {
+        let n = f64::from(cores);
+        let wobble = 1.0 + 0.02 * (((cores * 7) % 5) as f64 - 2.0);
+        let time = (50.0 / n + 1.0) * wobble;
+        Measurement::new(cores, time)
+            .with_stall(StallCategory::backend("rob_full"), 4.0e8 * n * time * 0.7)
+            .with_stall(StallCategory::backend("ls_full"), 4.0e8 * n * time * 0.3)
+    };
+    let points: Vec<Measurement> = (1..=10).map(law).collect();
+    let ingest = wire::ingest_request_to_json(&series, Some(2.1), &points).render();
+    let (status, response) = client.request("POST", "/v1/measurements", &ingest);
+    assert_eq!(status, 200, "{response}");
+
+    let bare = wire::target_spec_to_json(&TargetSpec::cores(32)).render();
+    let (status, planned) = client.request("POST", "/v1/series/adaptive/plan", &bare);
+    assert_eq!(status, 200, "{planned}");
+    let planned = Json::parse(&planned).unwrap();
+    let before = planned
+        .get("confidence")
+        .unwrap()
+        .get("spread")
+        .and_then(Json::as_f64)
+        .unwrap();
+    let top = planned.get("suggestions").unwrap().as_array().unwrap()[0]
+        .get("cores")
+        .and_then(Json::as_u64)
+        .unwrap() as u32;
+    assert!(top > 10, "top suggestion {top} should extend the frontier");
+
+    // Take the suggested measurement (following the true law) and re-plan:
+    // the served interval must tighten.
+    let ingest = wire::ingest_request_to_json(&series, None, &[law(top)]).render();
+    let (status, response) = client.request("POST", "/v1/measurements", &ingest);
+    assert_eq!(status, 200, "{response}");
+    let (status, replanned) = client.request("POST", "/v1/series/adaptive/plan", &bare);
+    assert_eq!(status, 200, "{replanned}");
+    let after = Json::parse(&replanned)
+        .unwrap()
+        .get("confidence")
+        .unwrap()
+        .get("spread")
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert!(
+        after < before,
+        "ingesting the top suggestion did not shrink the interval ({before} -> {after})"
+    );
+
+    handle.shutdown();
+}
+
 #[test]
 fn concurrent_clients_are_served_in_parallel_workers() {
     let handle = spawn_server();
